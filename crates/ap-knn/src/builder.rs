@@ -1,0 +1,173 @@
+//! Composition of per-vector macros into a board-level automata network.
+//!
+//! One AP board configuration holds one [`PartitionNetwork`]: every vector of a
+//! dataset partition gets its own Hamming + sorting macro, all driven by the same
+//! symbol stream. Report codes are the vector's *local* index within the partition;
+//! the engine adds the partition's base index to recover global dataset ids.
+
+use crate::design::KnnDesign;
+use crate::macros::{append_vector_macro, VectorMacroHandles};
+use crate::stream::StreamLayout;
+use ap_sim::{ApResult, AutomataNetwork, PlacementReport, Placer};
+use binvec::dataset::DatasetPartition;
+use binvec::BinaryDataset;
+
+/// A compiled board configuration: the automata network encoding one dataset
+/// partition plus everything needed to interpret its reports.
+#[derive(Clone, Debug)]
+pub struct PartitionNetwork {
+    /// The automata network for this board configuration.
+    pub network: AutomataNetwork,
+    /// The symbol-stream layout shared by every macro in the network.
+    pub layout: StreamLayout,
+    /// Global dataset index of local vector 0.
+    pub base_index: usize,
+    /// Number of vectors encoded.
+    pub vectors: usize,
+    /// Per-vector element handles (index = local vector index = report code).
+    pub handles: Vec<VectorMacroHandles>,
+}
+
+impl PartitionNetwork {
+    /// Builds the network for a dataset partition.
+    pub fn build(partition: &DatasetPartition, design: &KnnDesign) -> Self {
+        Self::build_from_dataset(&partition.data, partition.base_index, design)
+    }
+
+    /// Builds the network for a whole (small) dataset with base index 0.
+    pub fn build_from_dataset(
+        data: &BinaryDataset,
+        base_index: usize,
+        design: &KnnDesign,
+    ) -> Self {
+        assert_eq!(data.dims(), design.dims, "dataset dims must match design dims");
+        let mut network = AutomataNetwork::new();
+        let mut handles = Vec::with_capacity(data.len());
+        for local in 0..data.len() {
+            let v = data.vector(local);
+            handles.push(append_vector_macro(
+                &mut network,
+                &v,
+                local as u32,
+                design,
+            ));
+        }
+        Self {
+            network,
+            layout: StreamLayout::for_design(design),
+            base_index,
+            vectors: data.len(),
+            handles,
+        }
+    }
+
+    /// Maps a report code (local vector index) to the global dataset index.
+    #[inline]
+    pub fn global_index(&self, report_code: u32) -> usize {
+        self.base_index + report_code as usize
+    }
+
+    /// Places the network on the design's device and returns the utilization report.
+    pub fn placement(&self, design: &KnnDesign) -> ApResult<PlacementReport> {
+        Placer::new(design.device).place(&self.network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::generate::uniform_dataset;
+
+    #[test]
+    fn network_scales_linearly_with_vectors() {
+        let design = KnnDesign::new(16);
+        let data = uniform_dataset(10, 16, 1);
+        let pn = PartitionNetwork::build_from_dataset(&data, 0, &design);
+        assert_eq!(pn.vectors, 10);
+        assert_eq!(pn.handles.len(), 10);
+        let stats = pn.network.stats();
+        assert_eq!(stats.stes, 10 * design.stes_per_vector());
+        assert_eq!(stats.counters, 10);
+        assert_eq!(stats.reporting, 10);
+        assert_eq!(stats.components, 10);
+        pn.network.validate().unwrap();
+    }
+
+    #[test]
+    fn report_codes_are_local_indices() {
+        let design = KnnDesign::new(8);
+        let data = uniform_dataset(5, 8, 2);
+        let parts = data.partition(2);
+        let pn = PartitionNetwork::build(&parts[1], &design);
+        assert_eq!(pn.base_index, 2);
+        assert_eq!(pn.global_index(0), 2);
+        assert_eq!(pn.global_index(1), 3);
+        let codes = pn.network.report_codes();
+        assert!(codes.contains(&0) && codes.contains(&1));
+        assert!(!codes.contains(&2));
+    }
+
+    #[test]
+    fn placement_of_small_partition_fits_easily() {
+        let design = KnnDesign::new(32);
+        let data = uniform_dataset(20, 32, 3);
+        let pn = PartitionNetwork::build_from_dataset(&data, 0, &design);
+        let report = pn.placement(&design).unwrap();
+        assert!(report.fits());
+        assert_eq!(report.components, 20);
+        assert!(report.block_utilization < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must match")]
+    fn mismatched_dims_panics() {
+        let design = KnnDesign::new(16);
+        let data = uniform_dataset(4, 8, 4);
+        let _ = PartitionNetwork::build_from_dataset(&data, 0, &design);
+    }
+
+    #[test]
+    fn partition_network_round_trips_through_anml() {
+        // A complete board network (several macros) survives ANML export/import with
+        // identical structure and identical simulated reports.
+        use crate::stream::StreamLayout;
+        use ap_sim::{anml, Simulator};
+
+        let design = KnnDesign::new(12);
+        let data = uniform_dataset(6, 12, 9);
+        let pn = PartitionNetwork::build_from_dataset(&data, 0, &design);
+        let xml = anml::to_anml(&pn.network, "knn-partition");
+        let parsed = anml::from_anml(&xml).unwrap();
+        assert_eq!(parsed.stats(), pn.network.stats());
+
+        let layout = StreamLayout::for_design(&design);
+        let queries = binvec::generate::uniform_queries(3, 12, 10);
+        let stream = layout.encode_batch(&queries);
+        let mut original = Simulator::new(&pn.network).unwrap();
+        let mut reparsed = Simulator::new(&parsed).unwrap();
+        assert_eq!(original.run(&stream), reparsed.run(&stream));
+    }
+
+    #[test]
+    fn paper_scale_partition_fits_on_one_board() {
+        // The paper-calibrated SIFT configuration (1024 vectors x 128 dims) must fit
+        // a single board according to the analytical placement path.
+        use crate::capacity::BoardCapacity;
+        use ap_sim::{ComponentDemand, Placer};
+
+        let design = KnnDesign::new(128);
+        let capacity = BoardCapacity::paper_calibrated(128);
+        let demand = ComponentDemand {
+            stes: design.stes_per_vector(),
+            counters: design.counters_per_vector(),
+            booleans: 0,
+            reporting: 1,
+        };
+        let placer = Placer::new(design.device);
+        let report = placer
+            .estimate_from_demands(&vec![demand; capacity.vectors_per_board])
+            .unwrap();
+        assert!(report.fits());
+        assert_eq!(report.components, 1024);
+    }
+}

@@ -1,0 +1,143 @@
+//! Decoding reporting-state activations back into per-query neighbor lists.
+//!
+//! The AP returns `(report code, stream offset)` pairs. The offset within the query
+//! window encodes the Hamming distance through the temporal sort
+//! ([`StreamLayout::distance_for_report_offset`]); the report code is the vector's
+//! local index within its partition. The host merges these partial results — across
+//! report batches and across board reconfigurations — with the same bounded top-k
+//! selection every other engine in the workspace uses, so AP results are comparable
+//! neighbor-for-neighbor with the CPU baselines.
+
+use crate::stream::StreamLayout;
+use ap_sim::ReportEvent;
+use binvec::{Neighbor, TopK};
+
+/// Decodes raw report events for a batch of `queries` queries into per-query
+/// neighbor candidates and merges them into existing top-k accumulators.
+///
+/// `base_index` is added to every report code to produce global dataset ids.
+/// Reports whose window offset falls outside the valid sort phase (which cannot
+/// happen for well-formed kNN macros, but may for experimental designs) are ignored.
+pub fn merge_reports_into(
+    layout: &StreamLayout,
+    reports: &[ReportEvent],
+    base_index: usize,
+    accumulators: &mut [TopK],
+) {
+    for r in reports {
+        let (query_idx, window_offset) = layout.split_offset(r.offset);
+        if query_idx >= accumulators.len() {
+            continue;
+        }
+        if let Some(distance) = layout.distance_for_report_offset(window_offset) {
+            accumulators[query_idx].offer(Neighbor::new(base_index + r.code as usize, distance));
+        }
+    }
+}
+
+/// Decodes raw report events into fully sorted per-query results (single partition,
+/// no pre-existing accumulator).
+pub fn decode_reports(
+    layout: &StreamLayout,
+    reports: &[ReportEvent],
+    base_index: usize,
+    queries: usize,
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    let mut accumulators: Vec<TopK> = (0..queries).map(|_| TopK::new(k)).collect();
+    merge_reports_into(layout, reports, base_index, &mut accumulators);
+    accumulators.into_iter().map(TopK::into_sorted).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::KnnDesign;
+    use ap_sim::ElementId;
+
+    fn layout() -> StreamLayout {
+        StreamLayout::for_design(&KnnDesign::new(8))
+    }
+
+    fn report(code: u32, offset: u64) -> ReportEvent {
+        ReportEvent {
+            element: ElementId(0),
+            code,
+            offset,
+        }
+    }
+
+    #[test]
+    fn decode_single_query_orders_by_temporal_arrival() {
+        let l = layout();
+        // Vector 3 at distance 0, vector 1 at distance 2, vector 2 at distance 5.
+        let reports = vec![
+            report(3, l.report_offset_for_distance(0) as u64),
+            report(1, l.report_offset_for_distance(2) as u64),
+            report(2, l.report_offset_for_distance(5) as u64),
+        ];
+        let decoded = decode_reports(&l, &reports, 0, 1, 2);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(
+            decoded[0],
+            vec![Neighbor::new(3, 0), Neighbor::new(1, 2)]
+        );
+    }
+
+    #[test]
+    fn decode_assigns_reports_to_the_right_query_window() {
+        let l = layout();
+        let w = l.window_len() as u64;
+        let reports = vec![
+            report(0, l.report_offset_for_distance(1) as u64),
+            report(0, w + l.report_offset_for_distance(4) as u64),
+            report(7, 2 * w + l.report_offset_for_distance(0) as u64),
+        ];
+        let decoded = decode_reports(&l, &reports, 100, 3, 3);
+        assert_eq!(decoded[0], vec![Neighbor::new(100, 1)]);
+        assert_eq!(decoded[1], vec![Neighbor::new(100, 4)]);
+        assert_eq!(decoded[2], vec![Neighbor::new(107, 0)]);
+    }
+
+    #[test]
+    fn out_of_phase_reports_are_ignored() {
+        let l = layout();
+        let reports = vec![report(0, 1), report(0, 0)];
+        let decoded = decode_reports(&l, &reports, 0, 1, 2);
+        assert!(decoded[0].is_empty());
+    }
+
+    #[test]
+    fn reports_beyond_query_count_are_dropped() {
+        let l = layout();
+        let w = l.window_len() as u64;
+        let reports = vec![report(0, 5 * w + l.report_offset_for_distance(0) as u64)];
+        let decoded = decode_reports(&l, &reports, 0, 2, 1);
+        assert!(decoded[0].is_empty() && decoded[1].is_empty());
+    }
+
+    #[test]
+    fn merge_across_partitions_keeps_global_best() {
+        let l = layout();
+        let mut acc: Vec<TopK> = vec![TopK::new(2)];
+        // Partition A (base 0): vector 0 at distance 3.
+        merge_reports_into(
+            &l,
+            &[report(0, l.report_offset_for_distance(3) as u64)],
+            0,
+            &mut acc,
+        );
+        // Partition B (base 10): vector 0 at distance 1, vector 1 at distance 6.
+        merge_reports_into(
+            &l,
+            &[
+                report(0, l.report_offset_for_distance(1) as u64),
+                report(1, l.report_offset_for_distance(6) as u64),
+            ],
+            10,
+            &mut acc,
+        );
+        let result = acc.pop().unwrap().into_sorted();
+        assert_eq!(result, vec![Neighbor::new(10, 1), Neighbor::new(0, 3)]);
+    }
+}

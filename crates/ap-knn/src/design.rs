@@ -1,0 +1,216 @@
+//! Shared design parameters: the symbol alphabet and the automata layout knobs.
+
+use ap_sim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// The special symbols used by the kNN symbol stream.
+///
+/// Query bit values are carried in the low bit of a data symbol (`0x00` / `0x01` in
+/// the single-query encoding; up to seven query bit-slices in the multiplexed
+/// encoding of §VI-B). The control symbols all have the top bit set so they can never
+/// collide with multiplexed data symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolAlphabet {
+    /// Start-of-file symbol marking the beginning of a query window.
+    pub sof: u8,
+    /// End-of-file symbol terminating a query window (triggers the counter reset).
+    pub eof: u8,
+    /// Filler ("^EOF") symbol padding the sort phase.
+    pub filler: u8,
+}
+
+impl Default for SymbolAlphabet {
+    fn default() -> Self {
+        Self {
+            sof: 0xFF,
+            eof: 0xFD,
+            filler: 0xFE,
+        }
+    }
+}
+
+impl SymbolAlphabet {
+    /// Data symbol for a single-query (non-multiplexed) stream bit.
+    pub fn data_symbol(&self, bit: bool) -> u8 {
+        u8::from(bit)
+    }
+
+    /// Checks that the three control symbols are distinct and cannot collide with
+    /// multiplexed data symbols (which use only the low seven bits).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sof == self.eof || self.sof == self.filler || self.eof == self.filler {
+            return Err("control symbols must be distinct".to_string());
+        }
+        for (name, s) in [("SOF", self.sof), ("EOF", self.eof), ("filler", self.filler)] {
+            if s & 0x80 == 0 {
+                return Err(format!(
+                    "{name} symbol {s:#04x} collides with the multiplexed data symbol space"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Layout parameters of the kNN automata design.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KnnDesign {
+    /// Feature-vector dimensionality `d`.
+    pub dims: usize,
+    /// Maximum activation fan-in of a collector-tree node. The paper implements the
+    /// collector "as a reduction tree of `*` states to limit the maximum state fan
+    /// in and improve routability".
+    pub collector_fan_in: usize,
+    /// The symbol alphabet.
+    pub alphabet: SymbolAlphabet,
+    /// The AP device the design targets (capacities + clock + reconfiguration).
+    pub device: DeviceConfig,
+}
+
+impl KnnDesign {
+    /// A design for `dims`-dimensional vectors on a Gen-1 device with the default
+    /// collector fan-in of 8.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            dims,
+            collector_fan_in: 8,
+            alphabet: SymbolAlphabet::default(),
+            device: DeviceConfig::gen1(),
+        }
+    }
+
+    /// Overrides the target device.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Overrides the collector fan-in.
+    ///
+    /// # Panics
+    /// Panics if `fan_in < 2`.
+    pub fn with_collector_fan_in(mut self, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "collector fan-in must be at least 2");
+        self.collector_fan_in = fan_in;
+        self
+    }
+
+    /// Depth of the collector reduction tree: the number of STE hops between a match
+    /// state and the counter enable port. Every leaf sits at the same depth so that
+    /// per-dimension match pulses never collide at the counter (each dimension's
+    /// match occurs on a distinct cycle and stays on a distinct cycle through a
+    /// uniform-depth tree).
+    pub fn collector_depth(&self) -> usize {
+        if self.dims <= 1 {
+            return 1;
+        }
+        let mut depth = 0usize;
+        let mut width = self.dims;
+        while width > 1 {
+            width = width.div_ceil(self.collector_fan_in);
+            depth += 1;
+        }
+        depth.max(1)
+    }
+
+    /// Number of STEs in the collector reduction tree.
+    pub fn collector_nodes(&self) -> usize {
+        let mut nodes = 0usize;
+        let mut width = self.dims;
+        if width <= 1 {
+            return 1;
+        }
+        while width > 1 {
+            width = width.div_ceil(self.collector_fan_in);
+            nodes += width;
+        }
+        nodes
+    }
+
+    /// STE cost of one vector NFA (Hamming macro + sorting macro), excluding the
+    /// counter. Used by the analytical resource models:
+    /// guard + d star states + d match states + collector tree + sort chain
+    /// (1 + depth states) + EOF state + reporting state.
+    pub fn stes_per_vector(&self) -> usize {
+        1 + 2 * self.dims + self.collector_nodes() + (1 + self.collector_depth()) + 1 + 1
+    }
+
+    /// Counters per vector NFA (one inverted-Hamming-distance counter).
+    pub fn counters_per_vector(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_alphabet_is_valid_and_distinct() {
+        let a = SymbolAlphabet::default();
+        a.validate().unwrap();
+        assert_eq!(a.data_symbol(false), 0);
+        assert_eq!(a.data_symbol(true), 1);
+    }
+
+    #[test]
+    fn alphabet_validation_catches_collisions() {
+        let dup = SymbolAlphabet {
+            sof: 0xFF,
+            eof: 0xFF,
+            filler: 0xFE,
+        };
+        assert!(dup.validate().is_err());
+        let low = SymbolAlphabet {
+            sof: 0x01,
+            eof: 0xFD,
+            filler: 0xFE,
+        };
+        assert!(low.validate().is_err());
+    }
+
+    #[test]
+    fn collector_depth_grows_logarithmically() {
+        let d8 = KnnDesign::new(8);
+        assert_eq!(d8.collector_depth(), 1);
+        let d64 = KnnDesign::new(64);
+        assert_eq!(d64.collector_depth(), 2);
+        let d256 = KnnDesign::new(256);
+        assert_eq!(d256.collector_depth(), 3);
+        let d1 = KnnDesign::new(1);
+        assert_eq!(d1.collector_depth(), 1);
+    }
+
+    #[test]
+    fn collector_depth_with_wider_fan_in() {
+        let d = KnnDesign::new(256).with_collector_fan_in(16);
+        assert_eq!(d.collector_depth(), 2);
+        let flat = KnnDesign::new(64).with_collector_fan_in(64);
+        assert_eq!(flat.collector_depth(), 1);
+    }
+
+    #[test]
+    fn collector_nodes_counts_every_level() {
+        // 64 dims, fan-in 8: level 1 = 8 nodes, level 2 = 1 node.
+        let d = KnnDesign::new(64);
+        assert_eq!(d.collector_nodes(), 9);
+        // 256 dims, fan-in 8: 32 + 4 + 1.
+        assert_eq!(KnnDesign::new(256).collector_nodes(), 37);
+        assert_eq!(KnnDesign::new(1).collector_nodes(), 1);
+    }
+
+    #[test]
+    fn ste_cost_is_dominated_by_the_ladder() {
+        let d = KnnDesign::new(128);
+        let cost = d.stes_per_vector();
+        assert!(cost > 2 * 128);
+        assert!(cost < 3 * 128);
+        assert_eq!(d.counters_per_vector(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in must be at least 2")]
+    fn tiny_fan_in_panics() {
+        let _ = KnnDesign::new(8).with_collector_fan_in(1);
+    }
+}

@@ -1,0 +1,383 @@
+//! The end-to-end AP kNN engine: partitioning, (re)configuration, execution, and
+//! host-side merging of partial results.
+//!
+//! For datasets larger than one board configuration, the engine follows §III-C of
+//! the paper: the dataset is split into per-board partitions (precompiled board
+//! images); queries are streamed through the currently loaded partition; a partial
+//! reconfiguration loads the next partition; and the host keeps per-query top-k
+//! accumulators across reconfigurations.
+//!
+//! Two execution modes are provided:
+//!
+//! * [`ExecutionMode::CycleAccurate`] — every partition network is built and driven
+//!   through the cycle-accurate simulator in `ap-sim`. This is the mode used by the
+//!   correctness tests and the small-dataset experiments.
+//! * [`ExecutionMode::Behavioral`] — results are produced by the same temporal-sort
+//!   arithmetic without instantiating the (very large) networks, and the timing /
+//!   report accounting is identical. This is the mode used for the 2^20-vector
+//!   experiments, mirroring how the paper itself estimates large-dataset run time
+//!   from per-board simulations.
+//!
+//! Run-time accounting supports both the paper's throughput model (`d` cycles per
+//! query per configuration — the figure that reproduces Tables III/IV) and the
+//! unpipelined model (the full `2d + D + 3` window per query).
+
+use crate::builder::PartitionNetwork;
+use crate::capacity::BoardCapacity;
+use crate::decode::merge_reports_into;
+use crate::design::KnnDesign;
+use crate::stream::StreamLayout;
+use ap_sim::reconfig::ExecutionEstimate;
+use ap_sim::{Simulator, TimingModel};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use serde::{Deserialize, Serialize};
+
+/// How the engine produces results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Build and simulate every partition's automata network cycle by cycle.
+    CycleAccurate,
+    /// Compute the same results behaviourally (identical accounting, no network).
+    Behavioral,
+}
+
+/// How per-query run time is charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThroughputModel {
+    /// The paper's model: `d` symbol cycles per query per configuration (the sort
+    /// phase of one query is overlapped with the compute phase of the next).
+    PaperPipelined,
+    /// Full window length (`2d + D + 3` cycles) per query per configuration.
+    Unpipelined,
+}
+
+/// Accounting from one engine run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApRunStats {
+    /// Board configurations used (dataset partitions).
+    pub board_configurations: usize,
+    /// Partial reconfigurations performed (configurations − 1; the first image is
+    /// loaded before the batch starts).
+    pub reconfigurations: u64,
+    /// Symbols streamed through the fabric (full windows, regardless of the
+    /// throughput model used for run-time estimation).
+    pub symbols_streamed: u64,
+    /// Symbol cycles charged by the selected throughput model.
+    pub charged_cycles: u64,
+    /// Report events generated.
+    pub reports: u64,
+    /// Report traffic in bits (32 bits of id + offset bookkeeping per report, per
+    /// the paper's §VI-C accounting).
+    pub report_bits: u64,
+    /// Wall-clock estimate (streaming + reconfiguration).
+    pub estimate: ExecutionEstimate,
+}
+
+impl ApRunStats {
+    /// Total estimated seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.estimate.total_s()
+    }
+}
+
+/// The AP kNN engine.
+#[derive(Clone, Debug)]
+pub struct ApKnnEngine {
+    design: KnnDesign,
+    capacity: BoardCapacity,
+    mode: ExecutionMode,
+    throughput: ThroughputModel,
+}
+
+impl ApKnnEngine {
+    /// Creates an engine with paper-calibrated board capacity, cycle-accurate
+    /// execution and the paper's throughput model.
+    pub fn new(design: KnnDesign) -> Self {
+        let capacity = BoardCapacity::paper_calibrated(design.dims);
+        Self {
+            design,
+            capacity,
+            mode: ExecutionMode::CycleAccurate,
+            throughput: ThroughputModel::PaperPipelined,
+        }
+    }
+
+    /// Overrides the board capacity model.
+    pub fn with_capacity(mut self, capacity: BoardCapacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Overrides the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the throughput model.
+    pub fn with_throughput(mut self, throughput: ThroughputModel) -> Self {
+        self.throughput = throughput;
+        self
+    }
+
+    /// The design this engine drives.
+    pub fn design(&self) -> &KnnDesign {
+        &self.design
+    }
+
+    /// The board capacity in use.
+    pub fn capacity(&self) -> &BoardCapacity {
+        &self.capacity
+    }
+
+    /// Searches `queries` against `data`, returning per-query sorted neighbors and
+    /// run statistics.
+    ///
+    /// # Panics
+    /// Panics if dataset or query dimensionality differs from the design.
+    pub fn search_batch(
+        &self,
+        data: &BinaryDataset,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, ApRunStats) {
+        assert_eq!(data.dims(), self.design.dims, "dataset dims mismatch");
+        for q in queries {
+            assert_eq!(q.dims(), self.design.dims, "query dims mismatch");
+        }
+        assert!(k > 0, "k must be positive");
+
+        let layout = StreamLayout::for_design(&self.design);
+        let partitions = data.partition(self.capacity.vectors_per_board.max(1));
+        let configs = partitions.len().max(1);
+
+        let mut accumulators: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        let mut reports_total = 0u64;
+
+        for partition in &partitions {
+            match self.mode {
+                ExecutionMode::CycleAccurate => {
+                    let pn = PartitionNetwork::build(partition, &self.design);
+                    let mut sim =
+                        Simulator::new(&pn.network).expect("partition network must be valid");
+                    let stream = layout.encode_batch(queries);
+                    let reports = sim.run(&stream);
+                    reports_total += reports.len() as u64;
+                    merge_reports_into(&layout, &reports, partition.base_index, &mut accumulators);
+                }
+                ExecutionMode::Behavioral => {
+                    // Behavioural equivalent: every encoded vector reports once per
+                    // query, at the offset encoding its Hamming distance.
+                    for (qi, q) in queries.iter().enumerate() {
+                        for local in 0..partition.data.len() {
+                            let dist = partition.data.hamming_to(local, q);
+                            reports_total += 1;
+                            accumulators[qi]
+                                .offer(Neighbor::new(partition.global_index(local), dist));
+                        }
+                    }
+                }
+            }
+        }
+
+        let stats = self.accounting(data.len(), queries.len(), configs, reports_total, &layout);
+        (
+            accumulators.into_iter().map(TopK::into_sorted).collect(),
+            stats,
+        )
+    }
+
+    /// Produces run statistics without executing a search (used by the large-dataset
+    /// table regeneration, where only the accounting is needed).
+    pub fn estimate_run(&self, n_vectors: usize, queries: usize) -> ApRunStats {
+        let layout = StreamLayout::for_design(&self.design);
+        let configs = self.capacity.configurations_for(n_vectors);
+        // Every encoded vector reports once per query.
+        let reports = n_vectors as u64 * queries as u64;
+        self.accounting(n_vectors, queries, configs, reports, &layout)
+    }
+
+    fn accounting(
+        &self,
+        n_vectors: usize,
+        queries: usize,
+        configs: usize,
+        reports: u64,
+        layout: &StreamLayout,
+    ) -> ApRunStats {
+        let symbols_streamed = layout.stream_len(queries) * configs as u64;
+        let charged_cycles = match self.throughput {
+            ThroughputModel::PaperPipelined => {
+                self.design.dims as u64 * queries as u64 * configs as u64
+            }
+            ThroughputModel::Unpipelined => symbols_streamed,
+        };
+        let reconfigurations = configs.saturating_sub(1) as u64;
+        let timing = TimingModel::new(self.design.device);
+        let estimate = timing.estimate(charged_cycles, reconfigurations);
+        // §VI-C: 32 bits per encoded vector plus 32 bits per dimension of offset
+        // bookkeeping, per query, per configuration.
+        let vectors_per_config = self.capacity.vectors_per_board.min(n_vectors.max(1)) as u64;
+        let report_bits = 32
+            * (vectors_per_config + self.design.dims as u64)
+            * queries as u64
+            * configs as u64;
+        ApRunStats {
+            board_configurations: configs,
+            reconfigurations,
+            symbols_streamed,
+            charged_cycles,
+            reports,
+            report_bits,
+            estimate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::DeviceConfig;
+    use baselines::{LinearScan, SearchIndex};
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    fn exact_results(
+        data: &BinaryDataset,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        LinearScan::new(data.clone()).search_batch(queries, k)
+    }
+
+    #[test]
+    fn cycle_accurate_engine_matches_linear_scan_single_partition() {
+        let dims = 16;
+        let data = uniform_dataset(40, dims, 1);
+        let queries = uniform_queries(5, dims, 2);
+        let engine = ApKnnEngine::new(KnnDesign::new(dims));
+        let (results, stats) = engine.search_batch(&data, &queries, 3);
+        assert_eq!(results, exact_results(&data, &queries, 3));
+        assert_eq!(stats.board_configurations, 1);
+        assert_eq!(stats.reconfigurations, 0);
+        // Every vector reports once per query.
+        assert_eq!(stats.reports, 40 * 5);
+    }
+
+    #[test]
+    fn cycle_accurate_engine_matches_linear_scan_across_reconfigurations() {
+        let dims = 12;
+        let data = uniform_dataset(50, dims, 3);
+        let queries = uniform_queries(4, dims, 4);
+        // Force tiny boards so the engine must reconfigure.
+        let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_capacity(BoardCapacity {
+            vectors_per_board: 8,
+            model: crate::capacity::CapacityModel::PaperCalibrated,
+        });
+        let (results, stats) = engine.search_batch(&data, &queries, 5);
+        assert_eq!(results, exact_results(&data, &queries, 5));
+        assert_eq!(stats.board_configurations, 7);
+        assert_eq!(stats.reconfigurations, 6);
+        assert!(stats.estimate.reconfiguration_s > 0.0);
+    }
+
+    #[test]
+    fn behavioral_mode_matches_cycle_accurate() {
+        let dims = 24;
+        let data = uniform_dataset(60, dims, 5);
+        let queries = uniform_queries(6, dims, 6);
+        let design = KnnDesign::new(dims);
+        let cap = BoardCapacity {
+            vectors_per_board: 25,
+            model: crate::capacity::CapacityModel::PaperCalibrated,
+        };
+        let cycle = ApKnnEngine::new(design)
+            .with_capacity(cap)
+            .with_mode(ExecutionMode::CycleAccurate);
+        let behav = ApKnnEngine::new(design)
+            .with_capacity(cap)
+            .with_mode(ExecutionMode::Behavioral);
+        let (r1, s1) = cycle.search_batch(&data, &queries, 4);
+        let (r2, s2) = behav.search_batch(&data, &queries, 4);
+        assert_eq!(r1, r2);
+        assert_eq!(s1.symbols_streamed, s2.symbols_streamed);
+        assert_eq!(s1.reports, s2.reports);
+        assert_eq!(s1.board_configurations, s2.board_configurations);
+    }
+
+    #[test]
+    fn paper_throughput_model_reproduces_table3_small_dataset_times() {
+        // Table III: AP Gen 1, 4096 queries — WordEmbed (d=64, n=1024): 1.97 ms;
+        // SIFT (d=128, n=1024): 3.94 ms; TagSpace (d=256, n=512): 7.88 ms.
+        for (dims, n, expected_ms) in [(64usize, 1024usize, 1.97f64), (128, 1024, 3.94), (256, 512, 7.88)] {
+            let engine =
+                ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
+            let stats = engine.estimate_run(n, 4096);
+            let ms = stats.total_seconds() * 1e3;
+            let err = (ms - expected_ms).abs() / expected_ms;
+            assert!(
+                err < 0.02,
+                "dims {dims}: estimated {ms:.3} ms, paper {expected_ms} ms"
+            );
+            assert_eq!(stats.reconfigurations, 0);
+        }
+    }
+
+    #[test]
+    fn gen1_large_dataset_is_reconfiguration_bound() {
+        let design = KnnDesign::new(64);
+        let engine = ApKnnEngine::new(design).with_mode(ExecutionMode::Behavioral);
+        let stats = engine.estimate_run(1 << 20, 4096);
+        assert_eq!(stats.board_configurations, 1024);
+        // Table IV: AP Gen 1 WordEmbed ≈ 48.1 s, dominated by reconfiguration.
+        let total = stats.total_seconds();
+        assert!((40.0..60.0).contains(&total), "total {total}");
+        assert!(stats.estimate.reconfiguration_fraction() > 0.85);
+
+        // Gen 2 cuts the total by roughly the 19.4x the paper reports.
+        let gen2 = ApKnnEngine::new(design.with_device(DeviceConfig::gen2()))
+            .with_mode(ExecutionMode::Behavioral);
+        let stats2 = gen2.estimate_run(1 << 20, 4096);
+        let speedup = total / stats2.total_seconds();
+        assert!(
+            (10.0..30.0).contains(&speedup),
+            "Gen1/Gen2 speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn unpipelined_model_charges_more_cycles() {
+        let design = KnnDesign::new(64);
+        let pipelined = ApKnnEngine::new(design).with_mode(ExecutionMode::Behavioral);
+        let unpipelined = ApKnnEngine::new(design)
+            .with_mode(ExecutionMode::Behavioral)
+            .with_throughput(ThroughputModel::Unpipelined);
+        let a = pipelined.estimate_run(1024, 100);
+        let b = unpipelined.estimate_run(1024, 100);
+        assert!(b.charged_cycles > a.charged_cycles);
+        assert_eq!(a.symbols_streamed, b.symbols_streamed);
+        assert!(b.total_seconds() > a.total_seconds());
+    }
+
+    #[test]
+    fn report_bits_match_bandwidth_model() {
+        let engine = ApKnnEngine::new(KnnDesign::new(64)).with_mode(ExecutionMode::Behavioral);
+        let stats = engine.estimate_run(1024, 1);
+        assert_eq!(stats.report_bits, 32 * (1024 + 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = uniform_dataset(4, 8, 0);
+        let queries = uniform_queries(1, 8, 1);
+        let _ = ApKnnEngine::new(KnnDesign::new(8)).search_batch(&data, &queries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset dims mismatch")]
+    fn dataset_dims_mismatch_panics() {
+        let data = uniform_dataset(4, 16, 0);
+        let queries = uniform_queries(1, 8, 1);
+        let _ = ApKnnEngine::new(KnnDesign::new(8)).search_batch(&data, &queries, 1);
+    }
+}

@@ -1,0 +1,462 @@
+//! Architectural extensions (§VII) and their gain models.
+//!
+//! The paper proposes three microarchitectural extensions for future AP generations
+//! and estimates their compounded benefit (Table VIII):
+//!
+//! * **Counter increment extension** (§VII-A) — let counters accept up to 8 enable
+//!   pulses per cycle. Up to seven vector dimensions can then be packed into each
+//!   data symbol, cutting the Hamming-phase latency by 7× (query latency drops from
+//!   `2d` to `d + d/7`, a 1.75× improvement, because the sort phase is unchanged).
+//!   [`append_multi_increment_macro`] builds a functional macro exploiting the
+//!   extension on the simulator (which supports configurable increment caps).
+//! * **Counter dynamic threshold extension** (§VII-B) — expose one counter's count
+//!   as another's threshold, enabling `if (A > B)` constructs.
+//!   [`DynamicComparisonModel`] captures the construct's behaviour.
+//! * **STE decomposition extension** (§VII-C) — split the 8-input STE lookup table
+//!   into several narrower LUTs so states that examine only a few symbol bits (the
+//!   kNN match states examine exactly one) can share an STE.
+//!   [`decomposition_savings`] reproduces the Table VII analytical model.
+//!
+//! [`CompoundedGains`] multiplies the orthogonal factors into the Table VIII totals.
+
+use crate::design::KnnDesign;
+use ap_sim::{AutomataNetwork, ConnectPort, CounterMode, ElementId, StartKind, SymbolClass};
+use binvec::BinaryVector;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Counter increment extension
+// ---------------------------------------------------------------------------
+
+/// Number of vector dimensions packed per symbol when the counter-increment
+/// extension is used (bit 7 stays reserved for control symbols).
+pub const DIMS_PER_SYMBOL: usize = 7;
+
+/// Latency model for the counter increment extension: the Hamming phase shrinks to
+/// `ceil(d / 7)` cycles while the sort phase still takes `d` cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterIncrementModel {
+    /// Vector dimensionality.
+    pub dims: usize,
+}
+
+impl CounterIncrementModel {
+    /// Baseline query latency in cycles (`2d`, Hamming + sort).
+    pub fn baseline_latency(&self) -> usize {
+        2 * self.dims
+    }
+
+    /// Extended query latency in cycles (`ceil(d/7) + d`).
+    pub fn extended_latency(&self) -> usize {
+        self.dims.div_ceil(DIMS_PER_SYMBOL) + self.dims
+    }
+
+    /// Latency improvement factor (≈ 1.75× for large `d`, as quoted in §VII-A).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_latency() as f64 / self.extended_latency() as f64
+    }
+}
+
+/// Handles of a multi-increment macro built with [`append_multi_increment_macro`].
+#[derive(Clone, Debug)]
+pub struct MultiIncrementHandles {
+    /// The guard state.
+    pub guard: ElementId,
+    /// One group of bit-slice match states per packed symbol.
+    pub match_groups: Vec<Vec<ElementId>>,
+    /// The counter (with the extended increment cap).
+    pub counter: ElementId,
+    /// The reporting state.
+    pub reporter: ElementId,
+}
+
+/// Builds a Hamming macro that exploits the counter-increment extension: each data
+/// symbol carries up to seven dimensions (bits 0..6), each dimension's match state is
+/// a ternary bit-slice STE, and all seven feed the counter, which may increment by up
+/// to 8 per cycle.
+///
+/// The returned macro performs only the distance phase (it latches once the count
+/// reaches the number of *matching* dimensions threshold supplied); it is used by the
+/// extension tests and the ablation benchmark rather than the full engine.
+pub fn append_multi_increment_macro(
+    net: &mut AutomataNetwork,
+    vector: &BinaryVector,
+    threshold: u32,
+    report_code: u32,
+    design: &KnnDesign,
+) -> MultiIncrementHandles {
+    let d = vector.dims();
+    assert!(d >= 1, "dimensionality must be at least 1");
+    let alpha = design.alphabet;
+    let tag = format!("x{report_code}");
+    let symbols_per_vector = d.div_ceil(DIMS_PER_SYMBOL);
+
+    let guard = net.add_ste(
+        format!("{tag}:guard"),
+        SymbolClass::single(alpha.sof),
+        StartKind::AllInput,
+        None,
+    );
+
+    let counter = net.add_counter_with_increment(
+        format!("{tag}:ihd"),
+        threshold,
+        CounterMode::Pulse,
+        None,
+        8,
+    );
+
+    let mut match_groups = Vec::with_capacity(symbols_per_vector);
+    let mut prev = guard;
+    for s in 0..symbols_per_vector {
+        // A star state advances the position chain one packed symbol at a time.
+        let star = net.add_ste(
+            format!("{tag}:star{s}"),
+            SymbolClass::any(),
+            StartKind::None,
+            None,
+        );
+        net.connect(prev, star).expect("ladder");
+
+        let mut group = Vec::new();
+        for bit in 0..DIMS_PER_SYMBOL {
+            let dim = s * DIMS_PER_SYMBOL + bit;
+            if dim >= d {
+                break;
+            }
+            let mut constraints = [None; 8];
+            constraints[bit] = Some(vector.get(dim));
+            constraints[7] = Some(false);
+            let matcher = net.add_ste(
+                format!("{tag}:match{dim}"),
+                SymbolClass::ternary(constraints),
+                StartKind::None,
+                None,
+            );
+            net.connect(prev, matcher).expect("ladder");
+            net.connect_port(matcher, counter, ConnectPort::CountEnable)
+                .expect("enable");
+            group.push(matcher);
+        }
+        match_groups.push(group);
+        prev = star;
+    }
+
+    let reporter = net.add_ste(
+        format!("{tag}:report"),
+        SymbolClass::any(),
+        StartKind::None,
+        Some(report_code),
+    );
+    net.connect(counter, reporter).expect("report");
+
+    MultiIncrementHandles {
+        guard,
+        match_groups,
+        counter,
+        reporter,
+    }
+}
+
+/// Encodes a query for the multi-increment macro: one SOF, then `ceil(d/7)` data
+/// symbols each carrying seven dimensions, then `trailer` filler symbols so pending
+/// counter updates and the report can drain.
+pub fn encode_packed_query(query: &BinaryVector, design: &KnnDesign, trailer: usize) -> Vec<u8> {
+    let alpha = design.alphabet;
+    let d = query.dims();
+    let mut out = vec![alpha.sof];
+    for s in 0..d.div_ceil(DIMS_PER_SYMBOL) {
+        let mut symbol = 0u8;
+        for bit in 0..DIMS_PER_SYMBOL {
+            let dim = s * DIMS_PER_SYMBOL + bit;
+            if dim < d && query.get(dim) {
+                symbol |= 1 << bit;
+            }
+        }
+        out.push(symbol);
+    }
+    out.extend(std::iter::repeat(alpha.filler).take(trailer));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic threshold extension
+// ---------------------------------------------------------------------------
+
+/// Behavioural model of the dynamic-threshold comparison macro (Fig. 8): two
+/// counters A and B where A's activation condition becomes `count(A) > count(B)`
+/// instead of a static threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicComparisonModel {
+    /// Current count of counter A.
+    pub count_a: u32,
+    /// Current count of counter B (used as A's dynamic threshold).
+    pub count_b: u32,
+}
+
+impl DynamicComparisonModel {
+    /// Applies one cycle of enable signals.
+    pub fn step(&mut self, enable_a: bool, enable_b: bool) {
+        if enable_a {
+            self.count_a += 1;
+        }
+        if enable_b {
+            self.count_b += 1;
+        }
+    }
+
+    /// Resets both counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The comparison output: `A > B`. On Gen-1 hardware this construct is
+    /// impossible because thresholds are static; the extension exposes B's count as
+    /// A's threshold port.
+    pub fn activates(&self) -> bool {
+        self.count_a > self.count_b
+    }
+
+    /// Extra hardware cost: none beyond routing (the paper: "requires no extra
+    /// hardware resources and only a few wires in the routing fabric").
+    pub fn extra_gate_cost(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STE decomposition extension
+// ---------------------------------------------------------------------------
+
+/// Decomposition factors evaluated in Table VII.
+pub const DECOMPOSITION_FACTORS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Resource savings from decomposing 8-input STEs into `factor` narrower LUTs, for a
+/// design whose states are described by how many symbol bits they actually examine.
+///
+/// Following the paper's analytical model: every state costs one 8-input STE today.
+/// With decomposition factor `x`, an 8-input STE can host `x` sub-STEs of
+/// `8 − log2(x)` inputs; a state fits in a sub-STE iff it examines at most that many
+/// bits, otherwise it still needs a full STE. The savings factor is
+/// `original STEs / decomposed STEs`.
+pub fn decomposition_savings(effective_bits_per_state: &[u8], factor: usize) -> f64 {
+    assert!(factor.is_power_of_two() && factor <= 256, "factor must be a power of two");
+    let original = effective_bits_per_state.len() as f64;
+    if effective_bits_per_state.is_empty() {
+        return 1.0;
+    }
+    let sub_inputs = 8 - (factor as f64).log2() as u8;
+    let mut packable = 0usize;
+    let mut full = 0usize;
+    for &bits in effective_bits_per_state {
+        if bits <= sub_inputs {
+            packable += 1;
+        } else {
+            full += 1;
+        }
+    }
+    let decomposed = full + packable.div_ceil(factor);
+    original / decomposed as f64
+}
+
+/// Per-state effective input bits for one kNN vector macro of the given design.
+///
+/// * match states examine 1 bit (the query bit of their dimension);
+/// * star states, collector states, sort-delay states and the reporting state examine
+///   0 bits (`*` symbol classes);
+/// * the guard, sort-start and EOF states examine the full 8 bits (they must
+///   distinguish exact control symbols).
+pub fn knn_effective_bits(design: &KnnDesign) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(design.stes_per_vector());
+    bits.push(8); // guard
+    for _ in 0..design.dims {
+        bits.push(0); // star
+        bits.push(1); // match
+    }
+    for _ in 0..design.collector_nodes() {
+        bits.push(0);
+    }
+    bits.push(8); // sort start
+    for _ in 0..design.collector_depth() {
+        bits.push(8); // sort delays match the filler symbol exactly
+    }
+    bits.push(8); // EOF state
+    bits.push(0); // reporter
+    bits
+}
+
+// ---------------------------------------------------------------------------
+// Compounded gains (Table VIII)
+// ---------------------------------------------------------------------------
+
+/// The individual multiplicative factors the paper compounds in Table VIII.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompoundedGains {
+    /// Technology scaling from 50 nm to 28 nm (the paper uses 3.19×).
+    pub technology_scaling: f64,
+    /// Vector packing resource savings (groups of 4 in Table VIII).
+    pub vector_packing: f64,
+    /// STE decomposition savings at factor 4.
+    pub ste_decomposition: f64,
+    /// Counter increment extension latency improvement.
+    pub counter_increment: f64,
+}
+
+impl CompoundedGains {
+    /// The paper's technology-scaling factor (50 nm → 28 nm, linear dimension ratio
+    /// squared ≈ 3.19).
+    pub const PAPER_TECHNOLOGY_SCALING: f64 = 3.19;
+
+    /// Builds the Table VIII factors for a workload dimensionality, using this
+    /// workspace's packing and decomposition models and the §VII-A latency model.
+    pub fn for_design(design: &KnnDesign) -> Self {
+        let packing = crate::packing::PackingModel::new(design, 4).savings_factor();
+        let decomposition = decomposition_savings(&knn_effective_bits(design), 4);
+        let increment = CounterIncrementModel { dims: design.dims }.speedup();
+        Self {
+            technology_scaling: Self::PAPER_TECHNOLOGY_SCALING,
+            vector_packing: packing,
+            ste_decomposition: decomposition,
+            counter_increment: increment,
+        }
+    }
+
+    /// Total compounded performance gain (the Table VIII bottom row).
+    pub fn total(&self) -> f64 {
+        self.technology_scaling * self.vector_packing * self.ste_decomposition * self.counter_increment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::Simulator;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    #[test]
+    fn counter_increment_latency_model_matches_section7a() {
+        for dims in [64usize, 128, 256] {
+            let m = CounterIncrementModel { dims };
+            assert_eq!(m.baseline_latency(), 2 * dims);
+            let s = m.speedup();
+            assert!((1.70..=1.76).contains(&s), "dims {dims}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn multi_increment_macro_counts_all_dimensions_per_symbol() {
+        // Encode a 21-dimensional vector (3 packed symbols); with the extension the
+        // counter reaches the full inverted Hamming distance even though several
+        // matches land in the same cycle.
+        let dims = 21;
+        let design = KnnDesign::new(dims);
+        let data = uniform_dataset(1, dims, 60);
+        let vector = data.vector(0);
+        let queries = uniform_queries(8, dims, 61);
+        for q in &queries {
+            let matches = vector.inverted_hamming(q);
+            if matches == 0 {
+                continue;
+            }
+            let mut net = AutomataNetwork::new();
+            append_multi_increment_macro(&mut net, &vector, matches, 0, &design);
+            let mut sim = Simulator::new(&net).unwrap();
+            let stream = encode_packed_query(q, &design, 4);
+            let reports = sim.run(&stream);
+            assert_eq!(reports.len(), 1, "expected exactly one report");
+        }
+    }
+
+    #[test]
+    fn multi_increment_macro_does_not_fire_below_threshold() {
+        let dims = 14;
+        let design = KnnDesign::new(dims);
+        let vector = BinaryVector::ones(dims);
+        let query = BinaryVector::zeros(dims); // zero matches
+        let mut net = AutomataNetwork::new();
+        append_multi_increment_macro(&mut net, &vector, 1, 0, &design);
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&encode_packed_query(&query, &design, 4));
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn dynamic_comparison_behaves_like_a_greater_than() {
+        let mut m = DynamicComparisonModel::default();
+        assert!(!m.activates());
+        m.step(true, false);
+        assert!(m.activates());
+        m.step(false, true);
+        assert!(!m.activates()); // 1 > 1 is false
+        m.step(true, true);
+        assert!(!m.activates());
+        m.step(true, false);
+        assert!(m.activates());
+        assert_eq!(m.extra_gate_cost(), 0);
+        m.reset();
+        assert_eq!(m.count_a + m.count_b, 0);
+    }
+
+    #[test]
+    fn decomposition_savings_match_table7_shape() {
+        // Table VII: savings approach the theoretical factor and increase with
+        // dimensionality (WordEmbed 1.98/3.86/7.38…, SIFT 1.99/3.93/7.67…,
+        // TagSpace 1.99/3.96/7.83… for x = 2/4/8). Our macro carries a few more
+        // full-8-bit control states than the paper's model, so the allowed slack
+        // grows with the decomposition factor.
+        for dims in [64usize, 128, 256] {
+            let bits = knn_effective_bits(&KnnDesign::new(dims));
+            for (x, tolerance) in [(2usize, 0.06), (4, 0.15), (8, 0.25)] {
+                let s = decomposition_savings(&bits, x);
+                assert!(s <= x as f64 + 1e-9, "savings cannot beat the factor");
+                assert!(
+                    s > x as f64 * (1.0 - tolerance),
+                    "dims {dims}, x {x}: savings {s} too far below theoretical {x}"
+                );
+            }
+            // Larger factors keep helping but saturate below the theoretical bound.
+            let s16 = decomposition_savings(&bits, 16);
+            let s32 = decomposition_savings(&bits, 32);
+            assert!(s32 > s16);
+            assert!(s32 < 32.0);
+        }
+        // Higher dimensionality gets closer to the theoretical factor (Table VII rows).
+        let w = decomposition_savings(&knn_effective_bits(&KnnDesign::new(64)), 4);
+        let t = decomposition_savings(&knn_effective_bits(&KnnDesign::new(256)), 4);
+        assert!(t > w);
+    }
+
+    #[test]
+    fn decomposition_factor_one_is_identity() {
+        let bits = knn_effective_bits(&KnnDesign::new(128));
+        assert!((decomposition_savings(&bits, 1) - 1.0).abs() < 1e-12);
+        assert!((decomposition_savings(&[], 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compounded_gains_match_table8_magnitudes() {
+        // Table VIII totals: 63.14x (WordEmbed), 71.96x (SIFT), 73.17x (TagSpace).
+        // Our packing/decomposition constants differ slightly, so check the same
+        // ballpark (45x – 90x) and the increasing trend with dimensionality.
+        let totals: Vec<f64> = [64usize, 128, 256]
+            .iter()
+            .map(|&d| CompoundedGains::for_design(&KnnDesign::new(d)).total())
+            .collect();
+        for t in &totals {
+            assert!((45.0..90.0).contains(t), "total {t}");
+        }
+        assert!(totals[1] > totals[0]);
+        assert!(totals[2] > totals[1]);
+        // Individual factors stay in the paper's reported ranges.
+        let g = CompoundedGains::for_design(&KnnDesign::new(128));
+        assert!((2.5..3.7).contains(&g.vector_packing));
+        assert!((3.5..4.01).contains(&g.ste_decomposition));
+        assert!((1.70..1.76).contains(&g.counter_increment));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_factor_panics() {
+        let _ = decomposition_savings(&[1, 2, 3], 3);
+    }
+}

@@ -1,0 +1,317 @@
+//! Spatial indexing in front of the AP: host-side traversal, AP-side bucket scan.
+//!
+//! §III-D of the paper argues that index traversal should be factored out to the host
+//! processor: only a few traversals per query are relevant, so encoding the index as
+//! automata would waste nearly every NFA's work. Instead, the host traverses a
+//! kd-tree / hierarchical-k-means / LSH index, selects the bucket (≈ one AP board
+//! configuration worth of vectors), and the AP linearly scans that bucket.
+//!
+//! [`IndexedApEngine`] wraps any [`BucketIndex`] from the `baselines` crate: the
+//! functional results come from scanning exactly the candidates the index selects
+//! (so CPU-indexed and AP-indexed searches return identical answers), while the run
+//! statistics account for host traversal work, AP streaming and any board
+//! reconfigurations needed to load the buckets — the model behind Table V.
+
+use crate::capacity::BoardCapacity;
+use crate::design::KnnDesign;
+use crate::stream::StreamLayout;
+use ap_sim::TimingModel;
+use baselines::BucketIndex;
+use binvec::{BinaryVector, Neighbor, TopK};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Accounting for an indexed (bucket-scan) AP search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndexedRunStats {
+    /// Queries executed.
+    pub queries: usize,
+    /// Total candidates scanned on the AP across all queries.
+    pub candidates_scanned: u64,
+    /// Host-side index traversal operations (distance computations / hash probes).
+    pub traversal_ops: u64,
+    /// Board configurations loaded (≥ 1; buckets resident in the current image are
+    /// free, others require a partial reconfiguration).
+    pub reconfigurations: u64,
+    /// Symbols streamed on the AP.
+    pub symbols_streamed: u64,
+    /// Estimated AP seconds (streaming + reconfiguration).
+    pub ap_seconds: f64,
+    /// Estimated host seconds for index traversal.
+    pub host_seconds: f64,
+}
+
+impl IndexedRunStats {
+    /// Total estimated seconds (host + AP; the two are serialized per query batch).
+    pub fn total_seconds(&self) -> f64 {
+        self.ap_seconds + self.host_seconds
+    }
+}
+
+/// An AP engine fronted by a host-resident spatial index.
+///
+/// The index must expose both the candidate buckets ([`BucketIndex`]) and the raw
+/// vectors ([`IndexedDataAccess`]); [`DatasetBackedIndex`] bundles any baseline index
+/// with its dataset to satisfy both.
+pub struct IndexedApEngine<'a, I: BucketIndex + IndexedDataAccess> {
+    index: &'a I,
+    design: KnnDesign,
+    capacity: BoardCapacity,
+    /// Seconds per host-side traversal operation (distance computation or hash probe).
+    host_op_seconds: f64,
+}
+
+impl<'a, I: BucketIndex + IndexedDataAccess> IndexedApEngine<'a, I> {
+    /// Wraps `index` with the given AP design. Board capacity defaults to the
+    /// paper-calibrated figure for the design's dimensionality, which is also the
+    /// natural bucket size the paper uses.
+    pub fn new(index: &'a I, design: KnnDesign) -> Self {
+        Self {
+            index,
+            design,
+            capacity: BoardCapacity::paper_calibrated(design.dims),
+            host_op_seconds: 50e-9,
+        }
+    }
+
+    /// Overrides the per-operation host traversal cost (seconds). The default of
+    /// 50 ns per operation approximates a cache-resident Hamming distance or hash
+    /// probe on the ARM host the paper pairs with the AP.
+    pub fn with_host_op_seconds(mut self, seconds: f64) -> Self {
+        assert!(seconds >= 0.0, "host op cost must be non-negative");
+        self.host_op_seconds = seconds;
+        self
+    }
+
+    /// Overrides the board capacity (bucket-per-configuration size).
+    pub fn with_capacity(mut self, capacity: BoardCapacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Searches a query batch, returning per-query neighbors and run statistics.
+    ///
+    /// Queries whose buckets live in the same board configuration are batched so the
+    /// configuration is loaded once (the paper: "we batch searches to the same bucket
+    /// where possible").
+    pub fn search_batch(
+        &self,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, IndexedRunStats) {
+        assert!(k > 0, "k must be positive");
+        let layout = StreamLayout::for_design(&self.design);
+        let timing = TimingModel::new(self.design.device);
+        let bucket_capacity = self.capacity.vectors_per_board.max(1);
+
+        let mut results = Vec::with_capacity(queries.len());
+        let mut stats = IndexedRunStats {
+            queries: queries.len(),
+            ..IndexedRunStats::default()
+        };
+
+        // Which board images (index buckets) have already been loaded. In the
+        // deployment the paper describes, every index leaf / hash bucket is a
+        // precompiled board image, so revisiting a bucket is free while first use
+        // costs one partial reconfiguration.
+        let mut loaded: HashSet<u64> = HashSet::new();
+        let mut symbols = 0u64;
+
+        for q in queries {
+            let candidates = self.index.candidates(q);
+            stats.candidates_scanned += candidates.len() as u64;
+            stats.traversal_ops += self.index.traversal_cost() as u64;
+
+            for bucket in self.index.bucket_ids(q) {
+                if loaded.insert(bucket) {
+                    stats.reconfigurations += 1;
+                }
+            }
+
+            // The AP streams the query once per board-configuration-sized chunk of
+            // candidates it must scan.
+            let chunks = candidates.len().div_ceil(bucket_capacity).max(1) as u64;
+            symbols += chunks * self.design.dims as u64;
+
+            // Functional result: scan exactly the candidate set.
+            let mut topk = TopK::new(k);
+            for &i in &candidates {
+                let dist = q.hamming(&self.dataset_vector(i));
+                topk.offer(Neighbor::new(i, dist));
+            }
+            results.push(topk.into_sorted());
+        }
+        // The first configuration load is free (pre-loaded before the batch), to be
+        // consistent with the linear engine's accounting.
+        stats.reconfigurations = stats.reconfigurations.saturating_sub(1);
+        stats.symbols_streamed = symbols;
+        let _ = layout; // layout retained for future per-window accounting symmetry
+        stats.ap_seconds = timing.estimate(symbols, stats.reconfigurations).total_s();
+        stats.host_seconds = stats.traversal_ops as f64 * self.host_op_seconds;
+        (results, stats)
+    }
+
+    fn dataset_vector(&self, i: usize) -> BinaryVector {
+        self.index.vector(i)
+    }
+}
+
+/// Access to the raw vectors behind a bucket index (needed so the AP engine can
+/// compute the in-bucket distances the fabric would report).
+pub trait IndexedDataAccess {
+    /// Returns dataset vector `i`.
+    fn vector(&self, i: usize) -> BinaryVector;
+}
+
+impl<T: IndexedDataAccess + ?Sized> IndexedDataAccess for &T {
+    fn vector(&self, i: usize) -> BinaryVector {
+        (**self).vector(i)
+    }
+}
+
+/// A [`BucketIndex`] bundled with its backing dataset, giving the AP engine direct
+/// vector access. This is the form every example and benchmark constructs.
+pub struct DatasetBackedIndex<I> {
+    /// The wrapped index.
+    pub index: I,
+    /// The dataset the index was built over (in the same id space).
+    pub data: binvec::BinaryDataset,
+}
+
+impl<I: BucketIndex> baselines::SearchIndex for DatasetBackedIndex<I> {
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+    fn dims(&self) -> usize {
+        self.index.dims()
+    }
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        self.index.search(query, k)
+    }
+}
+
+impl<I: BucketIndex> BucketIndex for DatasetBackedIndex<I> {
+    fn candidates(&self, query: &BinaryVector) -> Vec<usize> {
+        self.index.candidates(query)
+    }
+    fn traversal_cost(&self) -> usize {
+        self.index.traversal_cost()
+    }
+    fn bucket_ids(&self, query: &BinaryVector) -> Vec<u64> {
+        self.index.bucket_ids(query)
+    }
+}
+
+impl<I> IndexedDataAccess for DatasetBackedIndex<I> {
+    fn vector(&self, i: usize) -> BinaryVector {
+        self.data.vector(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{KdForest, KdForestConfig, LshConfig, LshIndex, SearchIndex};
+    use binvec::generate::{clustered_dataset, uniform_queries, ClusterParams};
+
+    fn backed_kdforest(n: usize, dims: usize) -> DatasetBackedIndex<KdForest> {
+        let (data, _) = clustered_dataset(
+            n,
+            dims,
+            ClusterParams {
+                clusters: 8,
+                flip_probability: 0.03,
+            },
+            42,
+        );
+        let index = KdForest::build(
+            data.clone(),
+            KdForestConfig {
+                trees: 4,
+                bucket_size: 64,
+                top_variance_candidates: 5,
+                seed: 7,
+            },
+        );
+        DatasetBackedIndex { index, data }
+    }
+
+    #[test]
+    fn indexed_engine_matches_cpu_indexed_search() {
+        let backed = backed_kdforest(800, 32);
+        let design = KnnDesign::new(32);
+        let engine = IndexedApEngine::new(&backed, design);
+        let queries = uniform_queries(10, 32, 9);
+        let (ap_results, stats) = engine.search_batch(&queries, 4);
+        let cpu_results: Vec<_> = queries.iter().map(|q| backed.index.search(q, 4)).collect();
+        assert_eq!(ap_results, cpu_results);
+        assert_eq!(stats.queries, 10);
+        assert!(stats.candidates_scanned > 0);
+        assert!(stats.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn repeated_buckets_do_not_recharge_reconfigurations() {
+        let backed = backed_kdforest(500, 32);
+        let design = KnnDesign::new(32);
+        let engine = IndexedApEngine::new(&backed, design);
+        let q = uniform_queries(1, 32, 11);
+        let (_, once) = engine.search_batch(&q, 2);
+        // The same query repeated: the bucket is already loaded, so no additional
+        // reconfigurations are charged.
+        let repeated: Vec<_> = std::iter::repeat(q[0].clone()).take(5).collect();
+        let (_, five) = engine.search_batch(&repeated, 2);
+        assert_eq!(five.reconfigurations, once.reconfigurations);
+        assert!(five.candidates_scanned >= once.candidates_scanned * 5);
+    }
+
+    #[test]
+    fn lsh_backed_engine_works() {
+        let (data, _) = clustered_dataset(
+            600,
+            64,
+            ClusterParams {
+                clusters: 4,
+                flip_probability: 0.02,
+            },
+            3,
+        );
+        let index = LshIndex::build(
+            data.clone(),
+            LshConfig {
+                tables: 4,
+                bits_per_table: 10,
+                probes: 0,
+                seed: 5,
+            },
+        );
+        let backed = DatasetBackedIndex { index, data };
+        let engine = IndexedApEngine::new(&backed, KnnDesign::new(64));
+        let queries = uniform_queries(5, 64, 6);
+        let (results, stats) = engine.search_batch(&queries, 3);
+        assert_eq!(results.len(), 5);
+        assert!(stats.traversal_ops > 0);
+        assert!(stats.host_seconds >= 0.0);
+    }
+
+    #[test]
+    fn host_op_cost_scales_host_seconds() {
+        let backed = backed_kdforest(400, 32);
+        let design = KnnDesign::new(32);
+        let cheap = IndexedApEngine::new(&backed, design).with_host_op_seconds(1e-9);
+        let pricey = IndexedApEngine::new(&backed, design).with_host_op_seconds(1e-6);
+        let q = uniform_queries(3, 32, 13);
+        let (_, a) = cheap.search_batch(&q, 2);
+        let (_, b) = pricey.search_batch(&q, 2);
+        assert!(b.host_seconds > a.host_seconds);
+        assert_eq!(a.candidates_scanned, b.candidates_scanned);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let backed = backed_kdforest(50, 32);
+        let engine = IndexedApEngine::new(&backed, KnnDesign::new(32));
+        let _ = engine.search_batch(&uniform_queries(1, 32, 1), 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Jaccard-similarity search automata.
+//!
+//! Besides Hamming distance, the paper notes (§II-C) that "Hamming distance and
+//! Jaccard similarity on the AP is well-documented and can be efficiently
+//! implemented" — Jaccard is the other metric the Micron application notes cover,
+//! and it is the natural choice when binary vectors are sparse set indicators
+//! (tags, shingles, n-gram sets) rather than dense quantized descriptors.
+//!
+//! The automata design reuses the Hamming/sorting macro of [`crate::macros`]
+//! unchanged except for the match-state symbol classes: the match state of
+//! dimension *i* activates only when the *encoded* bit is 1 **and** the streamed
+//! query bit is 1, so the counter accumulates the **intersection size**
+//! `|x ∩ q|` instead of the inverted Hamming distance. The temporal sort then
+//! reports vectors in order of decreasing intersection, and the report offset
+//! decodes to `d − |x ∩ q|` through the same [`StreamLayout`] arithmetic.
+//!
+//! Because the Jaccard similarity `|x ∩ q| / |x ∪ q|` also depends on the two set
+//! sizes, the host finishes the job with information it already has: the dataset
+//! popcounts are known offline (they are a property of the encoded vectors) and the
+//! query popcount is known when the query is encoded. The AP still does all the
+//! per-candidate work — the host performs a constant-time fix-up per report, not a
+//! rescan of the dataset.
+
+use crate::design::KnnDesign;
+use crate::macros::{append_vector_macro_with_symbols, VectorMacroHandles};
+use crate::stream::StreamLayout;
+use ap_sim::{ApResult, AutomataNetwork, Simulator, SymbolClass};
+use binvec::{BinaryDataset, BinaryVector};
+
+/// One Jaccard search result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JaccardNeighbor {
+    /// Global dataset index of the neighbor.
+    pub id: usize,
+    /// Intersection size `|x ∩ q|` recovered from the temporal sort.
+    pub intersection: u32,
+    /// Union size `|x ∪ q| = |x| + |q| − |x ∩ q|`.
+    pub union: u32,
+    /// Jaccard similarity `|x ∩ q| / |x ∪ q|` (1.0 when both sets are empty).
+    pub similarity: f64,
+}
+
+impl JaccardNeighbor {
+    /// Builds a neighbor record from the decoded intersection and the two popcounts.
+    pub fn from_counts(id: usize, intersection: u32, data_ones: u32, query_ones: u32) -> Self {
+        let union = data_ones + query_ones - intersection;
+        let similarity = if union == 0 {
+            1.0
+        } else {
+            f64::from(intersection) / f64::from(union)
+        };
+        Self {
+            id,
+            intersection,
+            union,
+            similarity,
+        }
+    }
+}
+
+/// Symbol class for a Jaccard match state: dimensions encoded as 1 match the query
+/// symbol `1`; dimensions encoded as 0 never match (their STE carries the empty
+/// class, contributing nothing to the intersection counter).
+fn jaccard_symbols(design: &KnnDesign, bit: bool) -> SymbolClass {
+    if bit {
+        SymbolClass::single(design.alphabet.data_symbol(true))
+    } else {
+        SymbolClass::empty()
+    }
+}
+
+/// Appends one Jaccard macro (intersection counter + sorting macro) for `vector`.
+///
+/// Structure, handles and report semantics are identical to
+/// [`crate::macros::append_vector_macro`]; only the match-state symbol classes
+/// differ, so every capacity and timing model that applies to the Hamming design
+/// applies to the Jaccard design unchanged.
+pub fn append_jaccard_macro(
+    net: &mut AutomataNetwork,
+    vector: &BinaryVector,
+    report_code: u32,
+    design: &KnnDesign,
+) -> VectorMacroHandles {
+    append_vector_macro_with_symbols(net, vector, report_code, design, &jaccard_symbols)
+}
+
+/// Decodes a report offset (window-relative) into the intersection size.
+///
+/// Returns `None` for offsets outside the sort phase.
+pub fn intersection_for_report_offset(layout: &StreamLayout, window_offset: usize) -> Option<u32> {
+    layout
+        .distance_for_report_offset(window_offset)
+        .map(|missing| layout.dims as u32 - missing)
+}
+
+/// End-to-end Jaccard top-k search over a (possibly multi-partition) dataset on the
+/// cycle-accurate AP simulator.
+#[derive(Clone, Debug)]
+pub struct JaccardSearcher {
+    design: KnnDesign,
+    chunk: usize,
+}
+
+impl JaccardSearcher {
+    /// Creates a searcher for the given design, using the paper-calibrated board
+    /// capacity as the partition size.
+    pub fn new(design: KnnDesign) -> Self {
+        let chunk = crate::capacity::BoardCapacity::paper_calibrated(design.dims).vectors_per_board;
+        Self { design, chunk }
+    }
+
+    /// Overrides the number of vectors per board partition.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "partition size must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The design this searcher was built for.
+    pub fn design(&self) -> &KnnDesign {
+        &self.design
+    }
+
+    /// The partition size in vectors per board configuration.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Searches `queries` against `dataset`, returning for each query the top `k`
+    /// neighbors by decreasing Jaccard similarity (ties broken by dataset id).
+    ///
+    /// # Panics
+    /// Panics if the dataset dimensionality differs from the design's.
+    pub fn search_batch(
+        &self,
+        dataset: &BinaryDataset,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> ApResult<Vec<Vec<JaccardNeighbor>>> {
+        assert_eq!(
+            dataset.dims(),
+            self.design.dims,
+            "dataset dims {} != design dims {}",
+            dataset.dims(),
+            self.design.dims
+        );
+        let layout = StreamLayout::for_design(&self.design);
+        let stream = layout.encode_batch(queries);
+        let query_ones: Vec<u32> = queries.iter().map(BinaryVector::count_ones).collect();
+        let mut results: Vec<Vec<JaccardNeighbor>> = vec![Vec::new(); queries.len()];
+
+        let mut base = 0usize;
+        while base < dataset.len() {
+            let end = (base + self.chunk).min(dataset.len());
+
+            // Build one board image for this partition.
+            let mut net = AutomataNetwork::new();
+            let mut data_ones = Vec::with_capacity(end - base);
+            for local in 0..(end - base) {
+                let vector = dataset.vector(base + local);
+                data_ones.push(vector.count_ones());
+                append_jaccard_macro(&mut net, &vector, local as u32, &self.design);
+            }
+
+            // Stream every query through it.
+            let mut sim = Simulator::new(&net)?;
+            let reports = sim.run(&stream);
+            for r in &reports {
+                let (query_idx, window_offset) = layout.split_offset(r.offset);
+                if query_idx >= queries.len() {
+                    continue;
+                }
+                let Some(intersection) = intersection_for_report_offset(&layout, window_offset)
+                else {
+                    continue;
+                };
+                let local = r.code as usize;
+                results[query_idx].push(JaccardNeighbor::from_counts(
+                    base + local,
+                    intersection,
+                    data_ones[local],
+                    query_ones[query_idx],
+                ));
+            }
+
+            // Bound the per-query accumulator between partitions.
+            for acc in &mut results {
+                sort_by_similarity(acc);
+                acc.truncate(k.max(1) * 4);
+            }
+            base = end;
+        }
+
+        for acc in &mut results {
+            sort_by_similarity(acc);
+            acc.truncate(k);
+        }
+        Ok(results)
+    }
+}
+
+/// Sorts neighbors by decreasing similarity, breaking ties by increasing id.
+fn sort_by_similarity(neighbors: &mut [JaccardNeighbor]) {
+    neighbors.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+/// Brute-force reference: top-k by Jaccard similarity computed directly from the
+/// vectors (used by the tests, the benches and the accuracy experiments).
+pub fn brute_force_jaccard(
+    dataset: &BinaryDataset,
+    query: &BinaryVector,
+    k: usize,
+) -> Vec<JaccardNeighbor> {
+    let mut all: Vec<JaccardNeighbor> = (0..dataset.len())
+        .map(|i| {
+            let v = dataset.vector(i);
+            let mut inter = 0u32;
+            for d in 0..v.dims() {
+                if v.get(d) && query.get(d) {
+                    inter += 1;
+                }
+            }
+            JaccardNeighbor::from_counts(i, inter, v.count_ones(), query.count_ones())
+        })
+        .collect();
+    sort_by_similarity(&mut all);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::generate;
+
+    fn intersection_of(a: &BinaryVector, b: &BinaryVector) -> u32 {
+        (0..a.dims()).filter(|&i| a.get(i) && b.get(i)).count() as u32
+    }
+
+    #[test]
+    fn macro_counts_intersection_exhaustively() {
+        let design = KnnDesign::new(3);
+        let layout = StreamLayout::for_design(&design);
+        for data_bits in 0..8u8 {
+            let data: Vec<u8> = (0..3).map(|i| (data_bits >> i) & 1).collect();
+            let data_vec = BinaryVector::from_bits(&data);
+            let mut net = AutomataNetwork::new();
+            append_jaccard_macro(&mut net, &data_vec, 0, &design);
+            for query_bits in 0..8u8 {
+                let query: Vec<u8> = (0..3).map(|i| (query_bits >> i) & 1).collect();
+                let query_vec = BinaryVector::from_bits(&query);
+                let mut sim = Simulator::new(&net).unwrap();
+                let reports = sim.run(&layout.encode_query(&query_vec));
+                assert_eq!(reports.len(), 1, "data {data_bits:#05b} query {query_bits:#05b}");
+                let inter =
+                    intersection_for_report_offset(&layout, reports[0].offset as usize).unwrap();
+                assert_eq!(
+                    inter,
+                    intersection_of(&data_vec, &query_vec),
+                    "data {data_bits:#05b} query {query_bits:#05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_from_counts_handles_empty_union() {
+        let n = JaccardNeighbor::from_counts(3, 0, 0, 0);
+        assert_eq!(n.union, 0);
+        assert_eq!(n.similarity, 1.0);
+        // Consistent with the binvec convention.
+        let a = BinaryVector::zeros(8);
+        assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn neighbor_from_counts_matches_direct_similarity() {
+        let a = BinaryVector::from_bits(&[1, 1, 0, 1, 0, 0, 1, 0]);
+        let b = BinaryVector::from_bits(&[1, 0, 0, 1, 1, 0, 1, 1]);
+        let inter = intersection_of(&a, &b);
+        let n = JaccardNeighbor::from_counts(0, inter, a.count_ones(), b.count_ones());
+        assert!((n.similarity - a.jaccard(&b)).abs() < 1e-12);
+        assert_eq!(n.union, a.count_ones() + b.count_ones() - inter);
+    }
+
+    #[test]
+    fn searcher_matches_brute_force_ranking() {
+        let dims = 16;
+        let dataset = generate::uniform_dataset(48, dims, 11);
+        let queries = generate::uniform_queries(6, dims, 12);
+        let searcher = JaccardSearcher::new(KnnDesign::new(dims)).with_chunk(16);
+        let got = searcher.search_batch(&dataset, &queries, 5).unwrap();
+        assert_eq!(got.len(), queries.len());
+        for (query, result) in queries.iter().zip(&got) {
+            let expected = brute_force_jaccard(&dataset, query, 5);
+            assert_eq!(result.len(), expected.len());
+            for (g, e) in result.iter().zip(&expected) {
+                assert!(
+                    (g.similarity - e.similarity).abs() < 1e-12,
+                    "similarity mismatch: {g:?} vs {e:?}"
+                );
+            }
+            // The top result must be an exact id match unless tied.
+            if expected.len() > 1 && expected[0].similarity > expected[1].similarity {
+                assert_eq!(result[0].id, expected[0].id);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_does_not_change_results() {
+        let dims = 12;
+        let dataset = generate::uniform_dataset(30, dims, 3);
+        let queries = generate::uniform_queries(3, dims, 4);
+        let design = KnnDesign::new(dims);
+        let one = JaccardSearcher::new(design)
+            .with_chunk(1024)
+            .search_batch(&dataset, &queries, 4)
+            .unwrap();
+        let many = JaccardSearcher::new(design)
+            .with_chunk(7)
+            .search_batch(&dataset, &queries, 4)
+            .unwrap();
+        for (a, b) in one.iter().zip(&many) {
+            let sims_a: Vec<f64> = a.iter().map(|n| n.similarity).collect();
+            let sims_b: Vec<f64> = b.iter().map(|n| n.similarity).collect();
+            assert_eq!(sims_a, sims_b);
+        }
+    }
+
+    #[test]
+    fn searcher_exposes_configuration() {
+        let design = KnnDesign::new(64);
+        let searcher = JaccardSearcher::new(design);
+        assert_eq!(searcher.design().dims, 64);
+        assert!(searcher.chunk() >= 1);
+        let searcher = searcher.with_chunk(17);
+        assert_eq!(searcher.chunk(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition size")]
+    fn zero_chunk_panics() {
+        let _ = JaccardSearcher::new(KnnDesign::new(8)).with_chunk(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset dims")]
+    fn mismatched_dataset_dims_panics() {
+        let dataset = generate::uniform_dataset(4, 8, 1);
+        let queries = generate::uniform_queries(1, 8, 2);
+        let _ = JaccardSearcher::new(KnnDesign::new(16)).search_batch(&dataset, &queries, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The Jaccard macro's decoded intersection equals `popcount(x & q)` for any
+        /// vector/query pair.
+        #[test]
+        fn macro_reports_true_intersection(
+            dims in 1usize..24,
+            data_bits in prop::collection::vec(any::<bool>(), 1..24),
+            query_bits in prop::collection::vec(any::<bool>(), 1..24),
+        ) {
+            let dims = dims.min(data_bits.len()).min(query_bits.len());
+            let data = BinaryVector::from_bools(&data_bits[..dims]);
+            let query = BinaryVector::from_bools(&query_bits[..dims]);
+            let design = KnnDesign::new(dims);
+            let layout = StreamLayout::for_design(&design);
+            let mut net = AutomataNetwork::new();
+            append_jaccard_macro(&mut net, &data, 0, &design);
+            let mut sim = Simulator::new(&net).unwrap();
+            let reports = sim.run(&layout.encode_query(&query));
+            prop_assert_eq!(reports.len(), 1);
+            let inter = intersection_for_report_offset(&layout, reports[0].offset as usize);
+            let expected = (0..dims).filter(|&i| data.get(i) && query.get(i)).count() as u32;
+            prop_assert_eq!(inter, Some(expected));
+        }
+    }
+}

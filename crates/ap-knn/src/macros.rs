@@ -1,0 +1,419 @@
+//! The Hamming macro and sorting macro for a single encoded dataset vector.
+//!
+//! One dataset vector is encoded as one NFA (Fig. 2a/2b of the paper):
+//!
+//! ```text
+//!            SOF                q0        q1            q_{d-1}
+//!  guard ───────► star₀ ───► star₁ ───► … ───► star_{d−1}
+//!    │              │           │                   │
+//!    └──► match₀    └─► match₁  └─► …               └─► match_{d−1}
+//!              \        |                            /
+//!               ───── collector reduction tree ─────
+//!                              │ (enable)
+//!   sort_start ─ delay×D ──────┤
+//!      (filler)                ▼
+//!              ┌──────── IHD counter (threshold = d, pulse) ────────┐
+//!   eof_state ─┘ (reset)                                            ▼
+//!      (EOF)                                                  reporting state
+//! ```
+//!
+//! * The **guard state** fires on the SOF symbol and protects the rest of the NFA
+//!   from spurious activations.
+//! * The **star/match ladder** advances one position per query symbol; the match
+//!   state of dimension *i* activates only when the streamed query bit equals the
+//!   encoded vector bit, contributing one increment toward the inverted Hamming
+//!   distance.
+//! * The **collector tree** ORs all match activations into the counter's enable
+//!   port. All leaves sit at the same depth so match pulses (which occur on distinct
+//!   cycles) stay on distinct cycles and none is lost to the counter's
+//!   increment-by-one limit.
+//! * The **sorting macro** (sort start + delay chain, EOF state, counter, reporting
+//!   state) implements the temporally encoded sort: during the filler phase the
+//!   counter is incremented once per cycle, so it crosses the threshold `d` — and the
+//!   reporting state fires — `dist` cycles after the most similar possible vector
+//!   would.
+
+use crate::design::KnnDesign;
+use ap_sim::{
+    AutomataNetwork, ConnectPort, CounterMode, ElementId, StartKind, SymbolClass,
+};
+use binvec::BinaryVector;
+
+/// Element handles of one vector macro, returned for inspection and testing.
+#[derive(Clone, Debug)]
+pub struct VectorMacroHandles {
+    /// The guard (SOF) state.
+    pub guard: ElementId,
+    /// Star states, one per dimension.
+    pub star_states: Vec<ElementId>,
+    /// Match states, one per dimension.
+    pub match_states: Vec<ElementId>,
+    /// Collector-tree internal nodes, level by level (leaf-most level first).
+    pub collector_nodes: Vec<ElementId>,
+    /// The inverted-Hamming-distance counter.
+    pub counter: ElementId,
+    /// The sort-start state (fires on filler symbols).
+    pub sort_start: ElementId,
+    /// The delay states between the sort-start state and the counter enable.
+    pub sort_delays: Vec<ElementId>,
+    /// The EOF state that resets the counter.
+    pub eof_state: ElementId,
+    /// The reporting state.
+    pub reporter: ElementId,
+}
+
+/// Builds the symbol class a match state uses for an expected bit value in the
+/// single-query encoding (exact data symbol).
+fn match_symbols(design: &KnnDesign, bit: bool) -> SymbolClass {
+    SymbolClass::single(design.alphabet.data_symbol(bit))
+}
+
+/// Appends one vector macro (Hamming + sorting) to `net`.
+///
+/// `report_code` must be unique across the network; the engine uses it to map the
+/// report back to the dataset vector.
+///
+/// # Panics
+/// Panics if the vector's dimensionality differs from the design's or is zero.
+pub fn append_vector_macro(
+    net: &mut AutomataNetwork,
+    vector: &BinaryVector,
+    report_code: u32,
+    design: &KnnDesign,
+) -> VectorMacroHandles {
+    append_vector_macro_with_symbols(net, vector, report_code, design, &match_symbols)
+}
+
+/// Like [`append_vector_macro`] but with a custom mapping from expected bit value to
+/// the match state's symbol class. Symbol-stream multiplexing (§VI-B) uses this to
+/// build bit-slice variants of the same macro.
+pub fn append_vector_macro_with_symbols(
+    net: &mut AutomataNetwork,
+    vector: &BinaryVector,
+    report_code: u32,
+    design: &KnnDesign,
+    symbols_for_bit: &dyn Fn(&KnnDesign, bool) -> SymbolClass,
+) -> VectorMacroHandles {
+    let d = design.dims;
+    assert!(d >= 1, "dimensionality must be at least 1");
+    assert_eq!(
+        vector.dims(),
+        d,
+        "vector dims {} != design dims {}",
+        vector.dims(),
+        d
+    );
+    let alpha = design.alphabet;
+    let tag = format!("v{report_code}");
+
+    // Guard state.
+    let guard = net.add_ste(
+        format!("{tag}:guard"),
+        SymbolClass::single(alpha.sof),
+        StartKind::AllInput,
+        None,
+    );
+
+    // Star / match ladder.
+    let mut star_states = Vec::with_capacity(d);
+    let mut match_states = Vec::with_capacity(d);
+    let mut prev = guard;
+    for i in 0..d {
+        let star = net.add_ste(
+            format!("{tag}:star{i}"),
+            SymbolClass::any(),
+            StartKind::None,
+            None,
+        );
+        let matcher = net.add_ste(
+            format!("{tag}:match{i}"),
+            symbols_for_bit(design, vector.get(i)),
+            StartKind::None,
+            None,
+        );
+        net.connect(prev, star).expect("ladder connection");
+        net.connect(prev, matcher).expect("ladder connection");
+        star_states.push(star);
+        match_states.push(matcher);
+        prev = star;
+    }
+
+    // Collector reduction tree: level by level, uniform depth for every leaf.
+    let mut collector_nodes = Vec::new();
+    let mut frontier: Vec<ElementId> = match_states.clone();
+    let mut level = 0usize;
+    while frontier.len() > 1 || level == 0 {
+        let mut next = Vec::new();
+        for (c, chunk) in frontier.chunks(design.collector_fan_in).enumerate() {
+            let node = net.add_ste(
+                format!("{tag}:collect{level}_{c}"),
+                SymbolClass::any(),
+                StartKind::None,
+                None,
+            );
+            for &child in chunk {
+                net.connect(child, node).expect("collector connection");
+            }
+            collector_nodes.push(node);
+            next.push(node);
+        }
+        frontier = next;
+        level += 1;
+    }
+    let collector_root = *frontier.last().expect("collector root");
+    debug_assert_eq!(level, design.collector_depth());
+
+    // Inverted-Hamming-distance counter.
+    let counter = net.add_counter(
+        format!("{tag}:ihd"),
+        d as u32,
+        CounterMode::Pulse,
+        None,
+    );
+    net.connect_port(collector_root, counter, ConnectPort::CountEnable)
+        .expect("collector to counter");
+
+    // Sorting macro: sort start + D delay states driving the counter enable.
+    let sort_start = net.add_ste(
+        format!("{tag}:sort"),
+        SymbolClass::single(alpha.filler),
+        StartKind::AllInput,
+        None,
+    );
+    let mut sort_delays = Vec::new();
+    let mut sort_prev = sort_start;
+    for j in 0..design.collector_depth() {
+        let delay = net.add_ste(
+            format!("{tag}:sortdelay{j}"),
+            SymbolClass::single(alpha.filler),
+            StartKind::None,
+            None,
+        );
+        net.connect(sort_prev, delay).expect("sort delay connection");
+        sort_delays.push(delay);
+        sort_prev = delay;
+    }
+    net.connect_port(sort_prev, counter, ConnectPort::CountEnable)
+        .expect("sort to counter");
+
+    // EOF state resets the counter for the next query window.
+    let eof_state = net.add_ste(
+        format!("{tag}:eof"),
+        SymbolClass::single(alpha.eof),
+        StartKind::None,
+        None,
+    );
+    net.connect(sort_start, eof_state).expect("eof connection");
+    net.connect_port(eof_state, counter, ConnectPort::CountReset)
+        .expect("eof reset connection");
+
+    // Reporting state fires one cycle after the counter pulse.
+    let reporter = net.add_ste(
+        format!("{tag}:report"),
+        SymbolClass::any(),
+        StartKind::None,
+        Some(report_code),
+    );
+    net.connect(counter, reporter).expect("report connection");
+
+    VectorMacroHandles {
+        guard,
+        star_states,
+        match_states,
+        collector_nodes,
+        counter,
+        sort_start,
+        sort_delays,
+        eof_state,
+        reporter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamLayout;
+    use ap_sim::Simulator;
+    use binvec::BinaryVector;
+
+    fn build_single(vector: &[u8], design: &KnnDesign) -> (AutomataNetwork, VectorMacroHandles) {
+        let mut net = AutomataNetwork::new();
+        let handles = append_vector_macro(&mut net, &BinaryVector::from_bits(vector), 0, design);
+        (net, handles)
+    }
+
+    #[test]
+    fn macro_element_count_matches_analytical_model() {
+        for dims in [4usize, 16, 64, 128, 256] {
+            let design = KnnDesign::new(dims);
+            let vector = BinaryVector::zeros(dims);
+            let mut net = AutomataNetwork::new();
+            append_vector_macro(&mut net, &vector, 0, &design);
+            let stats = net.stats();
+            assert_eq!(stats.stes, design.stes_per_vector(), "dims {dims}");
+            assert_eq!(stats.counters, design.counters_per_vector());
+            assert_eq!(stats.reporting, 1);
+            assert_eq!(stats.components, 1);
+            net.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn collector_fan_in_limit_is_respected() {
+        let design = KnnDesign::new(256).with_collector_fan_in(4);
+        let mut net = AutomataNetwork::new();
+        append_vector_macro(&mut net, &BinaryVector::zeros(256), 0, &design);
+        // No element other than counters may exceed the fan-in limit + ladder fan-in.
+        let stats = net.stats();
+        assert!(stats.max_fan_in <= 4, "max fan-in {}", stats.max_fan_in);
+    }
+
+    /// Reproduces the paper's Figure 3 example: vector {1,0,1,1}, query {1,0,0,1}.
+    #[test]
+    fn figure3_example_reports_at_expected_offset() {
+        let design = KnnDesign::new(4);
+        let (net, handles) = build_single(&[1, 0, 1, 1], &design);
+        let layout = StreamLayout::for_design(&design);
+        let query = BinaryVector::from_bits(&[1, 0, 0, 1]);
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&layout.encode_query(&query));
+        assert_eq!(reports.len(), 1);
+        let report = reports[0];
+        assert_eq!(report.element, handles.reporter);
+        // Hamming distance between {1,0,1,1} and {1,0,0,1} is 1.
+        assert_eq!(
+            layout.distance_for_report_offset(report.offset as usize),
+            Some(1)
+        );
+        assert_eq!(
+            report.offset as usize,
+            layout.report_offset_for_distance(1)
+        );
+    }
+
+    #[test]
+    fn every_distance_decodes_correctly() {
+        // Exhaustively check all 16 queries against one 4-dimensional vector.
+        let design = KnnDesign::new(4);
+        let encoded = [1u8, 0, 1, 1];
+        let (net, _) = build_single(&encoded, &design);
+        let layout = StreamLayout::for_design(&design);
+        let enc_vec = BinaryVector::from_bits(&encoded);
+        for q in 0..16u8 {
+            let bits: Vec<u8> = (0..4).map(|i| (q >> i) & 1).collect();
+            let query = BinaryVector::from_bits(&bits);
+            let expected = enc_vec.hamming(&query);
+            let mut sim = Simulator::new(&net).unwrap();
+            let reports = sim.run(&layout.encode_query(&query));
+            assert_eq!(reports.len(), 1, "query {q:#06b}");
+            assert_eq!(
+                layout.distance_for_report_offset(reports[0].offset as usize),
+                Some(expected),
+                "query {q:#06b}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_query_stream_resets_between_windows() {
+        let design = KnnDesign::new(8);
+        let encoded: Vec<u8> = vec![1, 1, 0, 0, 1, 0, 1, 0];
+        let (net, _) = build_single(&encoded, &design);
+        let layout = StreamLayout::for_design(&design);
+        let enc_vec = BinaryVector::from_bits(&encoded);
+        let queries = vec![
+            BinaryVector::from_bits(&[1, 1, 0, 0, 1, 0, 1, 0]), // distance 0
+            BinaryVector::from_bits(&[0, 0, 1, 1, 0, 1, 0, 1]), // distance 8
+            BinaryVector::from_bits(&[1, 1, 1, 1, 0, 0, 0, 0]), // distance 4
+        ];
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&layout.encode_batch(&queries));
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            let (qi, off) = layout.split_offset(r.offset);
+            assert_eq!(qi, i);
+            assert_eq!(
+                layout.distance_for_report_offset(off),
+                Some(enc_vec.hamming(&queries[i]))
+            );
+        }
+    }
+
+    #[test]
+    fn deep_collector_tree_still_counts_exactly() {
+        // Fan-in 2 forces a deep tree; the uniform-depth construction must still
+        // deliver every match to the counter.
+        let design = KnnDesign::new(16).with_collector_fan_in(2);
+        assert!(design.collector_depth() >= 4);
+        let encoded: Vec<u8> = (0..16).map(|i| (i % 3 == 0) as u8).collect();
+        let (net, _) = build_single(&encoded, &design);
+        let layout = StreamLayout::for_design(&design);
+        let enc_vec = BinaryVector::from_bits(&encoded);
+        for seed in 0..5u64 {
+            let query = binvec::generate::uniform_queries(1, 16, seed).pop().unwrap();
+            let mut sim = Simulator::new(&net).unwrap();
+            let reports = sim.run(&layout.encode_query(&query));
+            assert_eq!(reports.len(), 1);
+            assert_eq!(
+                layout.distance_for_report_offset(reports[0].offset as usize),
+                Some(enc_vec.hamming(&query))
+            );
+        }
+    }
+
+    #[test]
+    fn handles_expose_expected_structure() {
+        let design = KnnDesign::new(64);
+        let (net, handles) = build_single(&vec![0u8; 64], &design);
+        assert_eq!(handles.star_states.len(), 64);
+        assert_eq!(handles.match_states.len(), 64);
+        assert_eq!(handles.collector_nodes.len(), design.collector_nodes());
+        assert_eq!(handles.sort_delays.len(), design.collector_depth());
+        let reporter = net.element(handles.reporter).unwrap();
+        assert!(reporter.is_reporting());
+        let counter = net.element(handles.counter).unwrap();
+        assert!(counter.is_counter());
+    }
+
+    #[test]
+    #[should_panic(expected = "vector dims")]
+    fn mismatched_vector_dims_panics() {
+        let design = KnnDesign::new(8);
+        let mut net = AutomataNetwork::new();
+        append_vector_macro(&mut net, &BinaryVector::zeros(4), 0, &design);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::stream::StreamLayout;
+    use ap_sim::Simulator;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The core correctness property of the whole paper: the simulated AP macro
+        /// reports exactly once per query, at the offset encoding the true Hamming
+        /// distance.
+        #[test]
+        fn macro_reports_true_hamming_distance(
+            dims in 1usize..40,
+            vec_bits in prop::collection::vec(any::<bool>(), 1..40),
+            query_bits in prop::collection::vec(any::<bool>(), 1..40),
+        ) {
+            let dims = dims.min(vec_bits.len()).min(query_bits.len());
+            let encoded = binvec::BinaryVector::from_bools(&vec_bits[..dims]);
+            let query = binvec::BinaryVector::from_bools(&query_bits[..dims]);
+            let design = KnnDesign::new(dims);
+            let mut net = AutomataNetwork::new();
+            append_vector_macro(&mut net, &encoded, 0, &design);
+            let layout = StreamLayout::for_design(&design);
+            let mut sim = Simulator::new(&net).unwrap();
+            let reports = sim.run(&layout.encode_query(&query));
+            prop_assert_eq!(reports.len(), 1);
+            let dist = layout.distance_for_report_offset(reports[0].offset as usize);
+            prop_assert_eq!(dist, Some(encoded.hamming(&query)));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Statistical activation reduction (§VI-C): suppressing report traffic.
+//!
+//! Every encoded vector eventually fires its reporting state during the temporal
+//! sort, so a board with `n` vectors produces `32·(n + d)` bits of report traffic per
+//! query — a significant fraction of the PCIe budget. Because the symbol stream
+//! cannot be modified mid-flight (no dynamic EOF injection) and a global reset NFA
+//! would exceed the maximum automaton size, the paper proposes a *local* scheme:
+//! vector NFAs are partitioned into groups of `p`; a per-group **local neighbor
+//! counter** counts reporting activations and, once `k'` of them have occurred,
+//! resets every inverted-Hamming-distance counter in the group, suppressing all
+//! further reports. The host then sorts the `R·k'` surviving candidates
+//! (`R = n / p` groups) into the global top-k.
+//!
+//! The scheme is approximate: if more than `k'` of the true top-k fall into a single
+//! group, the host cannot recover them. The paper quantifies this with a randomized
+//! statistical model (Table VI); [`monte_carlo`] reproduces that experiment, and
+//! [`bandwidth_reduction_factor`] the `p / k'` traffic saving.
+
+use binvec::metrics::{is_distance_exact, AccuracyTally};
+use binvec::topk::select_k;
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the statistical activation reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionConfig {
+    /// Vector NFAs per group (`p`).
+    pub partition_size: usize,
+    /// Reports allowed per group before suppression (`k'`).
+    pub local_k: usize,
+}
+
+impl ReductionConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(partition_size: usize, local_k: usize) -> Self {
+        assert!(partition_size > 0, "partition size must be positive");
+        assert!(local_k > 0, "local k must be positive");
+        Self {
+            partition_size,
+            local_k,
+        }
+    }
+
+    /// Number of groups for a dataset of `n` vectors.
+    pub fn groups(&self, n: usize) -> usize {
+        n.div_ceil(self.partition_size).max(1)
+    }
+
+    /// The paper's guideline check: `k' < k` (there is something to save) and
+    /// `k' × R > k` (the surviving candidates can still cover the global top-k).
+    pub fn satisfies_guideline(&self, n: usize, k: usize) -> bool {
+        self.local_k < k && self.local_k * self.groups(n) > k
+    }
+}
+
+/// Report-bandwidth reduction factor: only `k'` of every group's `p` reports leave
+/// the device, so traffic shrinks by `p / k'`.
+pub fn bandwidth_reduction_factor(config: &ReductionConfig) -> f64 {
+    config.partition_size as f64 / config.local_k as f64
+}
+
+/// The candidates that survive suppression for one query: each group of `p`
+/// consecutive vectors contributes its `k'` temporally-first (smallest-distance)
+/// reports.
+pub fn reduced_candidates(
+    data: &BinaryDataset,
+    query: &BinaryVector,
+    config: &ReductionConfig,
+) -> Vec<Neighbor> {
+    let mut survivors = Vec::new();
+    let mut start = 0usize;
+    while start < data.len() {
+        let end = (start + config.partition_size).min(data.len());
+        let mut local = TopK::new(config.local_k);
+        for i in start..end {
+            local.offer(Neighbor::new(i, data.hamming_to(i, query)));
+        }
+        survivors.extend(local.into_sorted());
+        start = end;
+    }
+    survivors
+}
+
+/// Runs one query through the reduction scheme and reports whether the global top-k
+/// assembled from the surviving candidates is distance-exact.
+pub fn query_is_exact(
+    data: &BinaryDataset,
+    query: &BinaryVector,
+    k: usize,
+    config: &ReductionConfig,
+) -> bool {
+    let survivors = reduced_candidates(data, query, config);
+    let approx = select_k(k, survivors);
+    let exact = select_k(
+        k,
+        (0..data.len()).map(|i| Neighbor::new(i, data.hamming_to(i, query))),
+    );
+    is_distance_exact(&approx, &exact)
+}
+
+/// Outcome of a Monte-Carlo evaluation of the reduction scheme.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReductionEvaluation {
+    /// Per-run correctness tally (a run is correct when *every* query in it returned
+    /// a distance-exact result set).
+    pub runs: usize,
+    /// Runs in which at least one query was not exact.
+    pub incorrect_runs: usize,
+    /// Total queries evaluated.
+    pub queries: usize,
+    /// Queries that were not exact.
+    pub incorrect_queries: usize,
+    /// Bandwidth reduction factor `p / k'`.
+    pub bandwidth_reduction: f64,
+}
+
+impl ReductionEvaluation {
+    /// Percentage of incorrect runs (the Table VI metric).
+    pub fn percent_incorrect_runs(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            100.0 * self.incorrect_runs as f64 / self.runs as f64
+        }
+    }
+
+    /// Percentage of individual queries that were not exact.
+    pub fn percent_incorrect_queries(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            100.0 * self.incorrect_queries as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Reproduces the paper's randomized evaluation: for each of `runs` runs, generate a
+/// fresh random dataset of `n` vectors and `queries_per_run` random queries, execute
+/// the reduced kNN, and count runs / queries whose result sets are not exact.
+///
+/// A run stops early at its first incorrect query (the run is already incorrect), so
+/// large `queries_per_run` values — the paper uses 4096-query batches — stay cheap
+/// for the configurations that fail often.
+pub fn monte_carlo(
+    dims: usize,
+    n: usize,
+    k: usize,
+    config: &ReductionConfig,
+    runs: usize,
+    queries_per_run: usize,
+    seed: u64,
+) -> ReductionEvaluation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tally = AccuracyTally::default();
+    let mut eval = ReductionEvaluation {
+        bandwidth_reduction: bandwidth_reduction_factor(config),
+        ..ReductionEvaluation::default()
+    };
+    for _ in 0..runs {
+        let data = binvec::generate::uniform_dataset(n, dims, rng.gen());
+        let mut run_correct = true;
+        for _ in 0..queries_per_run {
+            let query =
+                binvec::generate::uniform_queries(1, dims, rng.gen()).pop().expect("one query");
+            let ok = query_is_exact(&data, &query, k, config);
+            eval.queries += 1;
+            if !ok {
+                eval.incorrect_queries += 1;
+                run_correct = false;
+                break;
+            }
+        }
+        tally.record(run_correct);
+    }
+    eval.runs = tally.runs;
+    eval.incorrect_runs = tally.incorrect;
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    #[test]
+    fn config_guideline_checks() {
+        let c = ReductionConfig::new(16, 2);
+        assert_eq!(c.groups(1024), 64);
+        assert!(c.satisfies_guideline(1024, 16));
+        // k' >= k: nothing to save.
+        assert!(!ReductionConfig::new(16, 16).satisfies_guideline(1024, 16));
+        // Too few groups to cover k.
+        assert!(!ReductionConfig::new(512, 1).satisfies_guideline(1024, 4));
+        assert!((bandwidth_reduction_factor(&c) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_k_equal_to_group_size_is_lossless() {
+        // If every group may report everything, the reduction is exact by
+        // construction.
+        let data = uniform_dataset(128, 32, 1);
+        let config = ReductionConfig::new(16, 16);
+        for q in uniform_queries(10, 32, 2) {
+            assert!(query_is_exact(&data, &q, 8, &config));
+        }
+    }
+
+    #[test]
+    fn survivors_come_from_every_group() {
+        let data = uniform_dataset(64, 16, 3);
+        let config = ReductionConfig::new(8, 2);
+        let q = uniform_queries(1, 16, 4).pop().unwrap();
+        let survivors = reduced_candidates(&data, &q, &config);
+        assert_eq!(survivors.len(), 8 * 2);
+        // Exactly two ids per group of eight.
+        for g in 0..8 {
+            let in_group = survivors
+                .iter()
+                .filter(|n| n.id / 8 == g)
+                .count();
+            assert_eq!(in_group, 2, "group {g}");
+        }
+    }
+
+    #[test]
+    fn tiny_local_k_fails_when_top_k_collide_in_one_group() {
+        // Construct an adversarial dataset: the two closest vectors live in the same
+        // group, so k' = 1 must lose one of them.
+        let dims = 32;
+        let mut data = BinaryDataset::new(dims);
+        let query = BinaryVector::zeros(dims);
+        // Group 0: two vectors at distance 1 and 2.
+        let mut v1 = BinaryVector::zeros(dims);
+        v1.set(0, true);
+        let mut v2 = BinaryVector::zeros(dims);
+        v2.set(1, true);
+        v2.set(2, true);
+        data.push(&v1);
+        data.push(&v2);
+        // Fill the rest with far-away vectors.
+        for _ in 0..30 {
+            data.push(&BinaryVector::ones(dims));
+        }
+        let bad = ReductionConfig::new(16, 1);
+        assert!(!query_is_exact(&data, &query, 2, &bad));
+        let good = ReductionConfig::new(16, 2);
+        assert!(query_is_exact(&data, &query, 2, &good));
+    }
+
+    #[test]
+    fn monte_carlo_trends_match_table6() {
+        // Small-scale version of the Table VI experiment (p = 16): accuracy improves
+        // monotonically with k', and k' >= k is always exact.
+        let dims = 64;
+        let n = 256;
+        let k = 4;
+        let runs = 20;
+        let queries_per_run = 32;
+        let p = 16;
+        let e1 = monte_carlo(dims, n, k, &ReductionConfig::new(p, 1), runs, queries_per_run, 7);
+        let e2 = monte_carlo(dims, n, k, &ReductionConfig::new(p, 2), runs, queries_per_run, 7);
+        let e4 = monte_carlo(dims, n, k, &ReductionConfig::new(p, 4), runs, queries_per_run, 7);
+        assert!(e1.percent_incorrect_runs() >= e2.percent_incorrect_runs());
+        assert!(e2.percent_incorrect_runs() >= e4.percent_incorrect_runs());
+        // k' = 4 >= k = 4: every true top-k member survives its group's local top-k',
+        // so the scheme is lossless and must be perfect.
+        assert_eq!(e4.incorrect_runs, 0);
+        assert_eq!(e4.incorrect_queries, 0);
+        // k' = 1 with a 32-query batch per run fails most runs (the Table VI "100%"
+        // row is a 4096-query batch, which fails essentially always).
+        assert!(e1.percent_incorrect_runs() > 50.0);
+        assert!((e1.bandwidth_reduction - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_accounting_is_consistent() {
+        let eval = monte_carlo(32, 64, 2, &ReductionConfig::new(8, 1), 5, 4, 11);
+        assert_eq!(eval.runs, 5);
+        assert!(eval.incorrect_runs <= eval.runs);
+        assert!(eval.incorrect_queries <= eval.queries);
+        assert!(eval.queries <= 5 * 4);
+        assert!(eval.queries >= eval.runs);
+    }
+
+    #[test]
+    #[should_panic(expected = "local k must be positive")]
+    fn zero_local_k_panics() {
+        let _ = ReductionConfig::new(8, 0);
+    }
+}

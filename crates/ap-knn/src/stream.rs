@@ -1,0 +1,212 @@
+//! Query symbol-stream encoding and the temporal-sort offset arithmetic.
+//!
+//! Each query occupies one fixed-length *window* of the symbol stream (Fig. 2c):
+//!
+//! ```text
+//! offset:   0     1 … d      d+1 … 2d+D+1      2d+D+2
+//! symbol:  SOF   q₀ … q_{d−1}   filler ×(d+D+1)   EOF
+//! ```
+//!
+//! where `D` is the collector-tree depth of the design. The filler ("^EOF") symbols
+//! give the temporally encoded sort time to run: during the filler phase every
+//! vector's inverted-Hamming-distance counter is incremented once per cycle, so the
+//! counter of a vector at Hamming distance `dist` crosses its threshold — and its
+//! reporting state fires — at window offset `d + D + 2 + dist`. Smaller distances
+//! report earlier; the report order *is* the sort.
+
+use crate::design::KnnDesign;
+use binvec::BinaryVector;
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-query window layout derived from a [`KnnDesign`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamLayout {
+    /// Vector dimensionality `d`.
+    pub dims: usize,
+    /// Collector-tree depth `D`.
+    pub collector_depth: usize,
+    /// SOF symbol.
+    pub sof: u8,
+    /// EOF symbol.
+    pub eof: u8,
+    /// Filler symbol.
+    pub filler: u8,
+}
+
+impl StreamLayout {
+    /// Builds the layout for a design.
+    pub fn for_design(design: &KnnDesign) -> Self {
+        Self {
+            dims: design.dims,
+            collector_depth: design.collector_depth(),
+            sof: design.alphabet.sof,
+            eof: design.alphabet.eof,
+            filler: design.alphabet.filler,
+        }
+    }
+
+    /// Number of filler symbols per window: `d + D + 1`.
+    ///
+    /// This is the smallest padding that (a) lets a zero-match vector still reach
+    /// the threshold before the EOF reset and (b) keeps the sort-phase increments
+    /// strictly after the last possible collector-tree increment, so the counter
+    /// never sees two enable pulses in one cycle (which would silently drop one on
+    /// increment-by-one hardware).
+    pub fn filler_count(&self) -> usize {
+        self.dims + self.collector_depth + 1
+    }
+
+    /// Total symbols per query window: `1 + d + filler + 1 = 2d + D + 3`.
+    pub fn window_len(&self) -> usize {
+        2 * self.dims + self.collector_depth + 3
+    }
+
+    /// Window offset at which a vector at Hamming distance `dist` reports.
+    pub fn report_offset_for_distance(&self, dist: u32) -> usize {
+        self.dims + self.collector_depth + 2 + dist as usize
+    }
+
+    /// Inverse of [`Self::report_offset_for_distance`]: the Hamming distance encoded
+    /// by a report at `window_offset`, or `None` for offsets outside the valid
+    /// reporting range.
+    pub fn distance_for_report_offset(&self, window_offset: usize) -> Option<u32> {
+        let first = self.dims + self.collector_depth + 2;
+        let last = first + self.dims;
+        if (first..=last).contains(&window_offset) {
+            Some((window_offset - first) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Splits an absolute stream offset into `(query index, window offset)`.
+    pub fn split_offset(&self, absolute_offset: u64) -> (usize, usize) {
+        let w = self.window_len() as u64;
+        ((absolute_offset / w) as usize, (absolute_offset % w) as usize)
+    }
+
+    /// Encodes a single query vector into one window of symbols.
+    ///
+    /// # Panics
+    /// Panics if the query's dimensionality differs from the layout's.
+    pub fn encode_query(&self, query: &BinaryVector) -> Vec<u8> {
+        assert_eq!(
+            query.dims(),
+            self.dims,
+            "query dims {} != layout dims {}",
+            query.dims(),
+            self.dims
+        );
+        let mut out = Vec::with_capacity(self.window_len());
+        out.push(self.sof);
+        for i in 0..self.dims {
+            out.push(u8::from(query.get(i)));
+        }
+        out.extend(std::iter::repeat(self.filler).take(self.filler_count()));
+        out.push(self.eof);
+        debug_assert_eq!(out.len(), self.window_len());
+        out
+    }
+
+    /// Encodes a batch of queries back-to-back.
+    pub fn encode_batch(&self, queries: &[BinaryVector]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.window_len() * queries.len());
+        for q in queries {
+            out.extend(self.encode_query(q));
+        }
+        out
+    }
+
+    /// Total symbols streamed for `queries` queries (without building the stream).
+    pub fn stream_len(&self, queries: usize) -> u64 {
+        self.window_len() as u64 * queries as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::BinaryVector;
+
+    fn layout(dims: usize) -> StreamLayout {
+        StreamLayout::for_design(&KnnDesign::new(dims))
+    }
+
+    #[test]
+    fn window_structure_for_small_example() {
+        // d = 4 with fan-in 8 gives collector depth 1, reproducing the 12-symbol
+        // window of the paper's Figure 3 (SOF + 4 query symbols + 6 fillers + EOF).
+        let l = layout(4);
+        assert_eq!(l.collector_depth, 1);
+        assert_eq!(l.filler_count(), 6);
+        assert_eq!(l.window_len(), 12);
+        let q = BinaryVector::from_bits(&[1, 0, 0, 1]);
+        let stream = l.encode_query(&q);
+        assert_eq!(stream.len(), 12);
+        assert_eq!(stream[0], l.sof);
+        assert_eq!(&stream[1..5], &[1, 0, 0, 1]);
+        assert!(stream[5..11].iter().all(|&s| s == l.filler));
+        assert_eq!(stream[11], l.eof);
+    }
+
+    #[test]
+    fn report_offset_roundtrip() {
+        for dims in [4usize, 64, 128, 256] {
+            let l = layout(dims);
+            for dist in [0u32, 1, (dims / 2) as u32, dims as u32] {
+                let off = l.report_offset_for_distance(dist);
+                assert!(off < l.window_len(), "report must land inside the window");
+                assert_eq!(l.distance_for_report_offset(off), Some(dist));
+            }
+            // Offsets before the sort phase decode to nothing.
+            assert_eq!(l.distance_for_report_offset(0), None);
+            assert_eq!(l.distance_for_report_offset(l.dims), None);
+            assert_eq!(
+                l.distance_for_report_offset(l.report_offset_for_distance(dims as u32) + 1),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn closer_vectors_report_earlier() {
+        let l = layout(128);
+        let mut prev = 0;
+        for dist in 0..=128u32 {
+            let off = l.report_offset_for_distance(dist);
+            if dist > 0 {
+                assert_eq!(off, prev + 1, "temporal sort must be strictly ordered");
+            }
+            prev = off;
+        }
+    }
+
+    #[test]
+    fn batch_encoding_concatenates_windows() {
+        let l = layout(8);
+        let queries = vec![
+            BinaryVector::from_bits(&[1, 1, 1, 1, 0, 0, 0, 0]),
+            BinaryVector::from_bits(&[0, 0, 0, 0, 1, 1, 1, 1]),
+        ];
+        let stream = l.encode_batch(&queries);
+        assert_eq!(stream.len() as u64, l.stream_len(2));
+        assert_eq!(stream[0], l.sof);
+        assert_eq!(stream[l.window_len()], l.sof);
+        let (q, w) = l.split_offset(l.window_len() as u64 + 3);
+        assert_eq!((q, w), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "query dims")]
+    fn wrong_query_dims_panics() {
+        let l = layout(16);
+        let _ = l.encode_query(&BinaryVector::zeros(8));
+    }
+
+    #[test]
+    fn larger_fan_in_shrinks_the_window() {
+        let narrow = StreamLayout::for_design(&KnnDesign::new(256).with_collector_fan_in(4));
+        let wide = StreamLayout::for_design(&KnnDesign::new(256).with_collector_fan_in(64));
+        assert!(narrow.window_len() > wide.window_len());
+    }
+}

@@ -1,0 +1,401 @@
+//! ANML-style serialization of automata networks.
+//!
+//! The AP toolchain consumed the *Automata Network Markup Language* (ANML), an
+//! XML dialect describing STEs, counters, boolean elements and their connections.
+//! This module provides a writer producing a closely related XML format and a
+//! matching reader, so designs can be exported for inspection, diffed between
+//! optimization levels, and round-tripped in tests. It intentionally supports only
+//! the subset of ANML this workspace generates (symbol classes as explicit symbol
+//! lists or the `*` / `^x` shorthands).
+
+use crate::element::{BooleanFunction, CounterMode, ElementKind, StartKind};
+use crate::error::{ApError, ApResult};
+use crate::network::{AutomataNetwork, ConnectPort};
+use crate::symbol::SymbolClass;
+use std::fmt::Write as _;
+
+/// Serializes a network to an ANML-like XML string.
+pub fn to_anml(net: &AutomataNetwork, network_id: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<anml version="1.0">"#);
+    let _ = writeln!(out, r#"  <automata-network id="{}">"#, escape(network_id));
+    for e in net.elements() {
+        match &e.kind {
+            ElementKind::Ste {
+                symbols,
+                start,
+                report,
+            } => {
+                let start_attr = match start {
+                    StartKind::None => "none",
+                    StartKind::StartOfData => "start-of-data",
+                    StartKind::AllInput => "all-input",
+                };
+                let _ = write!(
+                    out,
+                    r#"    <state-transition-element id="e{}" label="{}" symbol-set="{}" start="{}""#,
+                    e.id.index(),
+                    escape(&e.label),
+                    symbol_set_string(symbols),
+                    start_attr
+                );
+                if let Some(code) = report {
+                    let _ = write!(out, r#" report-code="{code}""#);
+                }
+                let _ = writeln!(out, " />");
+            }
+            ElementKind::Counter {
+                threshold,
+                mode,
+                report,
+                max_increment_per_cycle,
+            } => {
+                let mode_attr = match mode {
+                    CounterMode::Pulse => "pulse",
+                    CounterMode::Latch => "latch",
+                };
+                let _ = write!(
+                    out,
+                    r#"    <counter id="e{}" label="{}" target="{}" at-target="{}" max-increment="{}""#,
+                    e.id.index(),
+                    escape(&e.label),
+                    threshold,
+                    mode_attr,
+                    max_increment_per_cycle
+                );
+                if let Some(code) = report {
+                    let _ = write!(out, r#" report-code="{code}""#);
+                }
+                let _ = writeln!(out, " />");
+            }
+            ElementKind::Boolean { function, report } => {
+                let func_attr = match function {
+                    BooleanFunction::And => "and",
+                    BooleanFunction::Or => "or",
+                    BooleanFunction::Nand => "nand",
+                    BooleanFunction::Nor => "nor",
+                    BooleanFunction::Xor => "xor",
+                    BooleanFunction::Not => "not",
+                };
+                let _ = write!(
+                    out,
+                    r#"    <boolean id="e{}" label="{}" function="{}""#,
+                    e.id.index(),
+                    escape(&e.label),
+                    func_attr
+                );
+                if let Some(code) = report {
+                    let _ = write!(out, r#" report-code="{code}""#);
+                }
+                let _ = writeln!(out, " />");
+            }
+        }
+    }
+    for c in net.connections() {
+        let port = match c.port {
+            ConnectPort::Activation => "activation",
+            ConnectPort::CountEnable => "count-enable",
+            ConnectPort::CountReset => "count-reset",
+        };
+        let _ = writeln!(
+            out,
+            r#"    <connection from="e{}" to="e{}" port="{}" />"#,
+            c.from.index(),
+            c.to.index(),
+            port
+        );
+    }
+    let _ = writeln!(out, "  </automata-network>");
+    let _ = writeln!(out, "</anml>");
+    out
+}
+
+/// Parses a network from the XML produced by [`to_anml`].
+///
+/// Element ids must be dense and in increasing order (which [`to_anml`] guarantees).
+pub fn from_anml(text: &str) -> ApResult<AutomataNetwork> {
+    let mut net = AutomataNetwork::new();
+    let mut expected_id = 0usize;
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        if line.starts_with("<state-transition-element") {
+            let id = parse_element_id(line)?;
+            if id != expected_id {
+                return Err(ApError::Anml {
+                    reason: format!("expected element id {expected_id}, found {id}"),
+                });
+            }
+            expected_id += 1;
+            let label = attr(line, "label").unwrap_or_default();
+            let symbols = parse_symbol_set(&attr_required(line, "symbol-set")?)?;
+            let start = match attr_required(line, "start")?.as_str() {
+                "none" => StartKind::None,
+                "start-of-data" => StartKind::StartOfData,
+                "all-input" => StartKind::AllInput,
+                other => {
+                    return Err(ApError::Anml {
+                        reason: format!("unknown start kind '{other}'"),
+                    })
+                }
+            };
+            let report = parse_report(line)?;
+            net.add_ste(unescape(&label), symbols, start, report);
+        } else if line.starts_with("<counter") {
+            let id = parse_element_id(line)?;
+            if id != expected_id {
+                return Err(ApError::Anml {
+                    reason: format!("expected element id {expected_id}, found {id}"),
+                });
+            }
+            expected_id += 1;
+            let label = attr(line, "label").unwrap_or_default();
+            let threshold: u32 = attr_required(line, "target")?
+                .parse()
+                .map_err(|_| ApError::Anml {
+                    reason: "counter target is not an integer".into(),
+                })?;
+            let mode = match attr_required(line, "at-target")?.as_str() {
+                "pulse" => CounterMode::Pulse,
+                "latch" => CounterMode::Latch,
+                other => {
+                    return Err(ApError::Anml {
+                        reason: format!("unknown counter mode '{other}'"),
+                    })
+                }
+            };
+            let max_increment: u32 = attr(line, "max-increment")
+                .unwrap_or_else(|| "1".to_string())
+                .parse()
+                .map_err(|_| ApError::Anml {
+                    reason: "max-increment is not an integer".into(),
+                })?;
+            let report = parse_report(line)?;
+            net.add_counter_with_increment(unescape(&label), threshold, mode, report, max_increment);
+        } else if line.starts_with("<boolean") {
+            let id = parse_element_id(line)?;
+            if id != expected_id {
+                return Err(ApError::Anml {
+                    reason: format!("expected element id {expected_id}, found {id}"),
+                });
+            }
+            expected_id += 1;
+            let label = attr(line, "label").unwrap_or_default();
+            let function = match attr_required(line, "function")?.as_str() {
+                "and" => BooleanFunction::And,
+                "or" => BooleanFunction::Or,
+                "nand" => BooleanFunction::Nand,
+                "nor" => BooleanFunction::Nor,
+                "xor" => BooleanFunction::Xor,
+                "not" => BooleanFunction::Not,
+                other => {
+                    return Err(ApError::Anml {
+                        reason: format!("unknown boolean function '{other}'"),
+                    })
+                }
+            };
+            let report = parse_report(line)?;
+            net.add_boolean(unescape(&label), function, report);
+        } else if line.starts_with("<connection") {
+            let from = parse_id_attr(&attr_required(line, "from")?)?;
+            let to = parse_id_attr(&attr_required(line, "to")?)?;
+            let port = match attr_required(line, "port")?.as_str() {
+                "activation" => ConnectPort::Activation,
+                "count-enable" => ConnectPort::CountEnable,
+                "count-reset" => ConnectPort::CountReset,
+                other => {
+                    return Err(ApError::Anml {
+                        reason: format!("unknown port '{other}'"),
+                    })
+                }
+            };
+            net.connect_port(
+                crate::element::ElementId(from),
+                crate::element::ElementId(to),
+                port,
+            )?;
+        }
+    }
+    Ok(net)
+}
+
+/// Renders a symbol class as a compact symbol-set string: `*`, `^xx`, or a
+/// comma-separated hex list.
+fn symbol_set_string(symbols: &SymbolClass) -> String {
+    let card = symbols.cardinality();
+    if card == 256 {
+        return "*".to_string();
+    }
+    if card == 255 {
+        let missing = (0..=255u8).find(|&s| !symbols.matches(s)).unwrap();
+        return format!("^{missing:02x}");
+    }
+    let members: Vec<String> = (0..=255u8)
+        .filter(|&s| symbols.matches(s))
+        .map(|s| format!("{s:02x}"))
+        .collect();
+    members.join(",")
+}
+
+fn parse_symbol_set(s: &str) -> ApResult<SymbolClass> {
+    if s == "*" {
+        return Ok(SymbolClass::any());
+    }
+    if let Some(rest) = s.strip_prefix('^') {
+        let v = u8::from_str_radix(rest, 16).map_err(|_| ApError::Anml {
+            reason: format!("bad negated symbol '{s}'"),
+        })?;
+        return Ok(SymbolClass::all_except(v));
+    }
+    if s.is_empty() {
+        return Ok(SymbolClass::empty());
+    }
+    let mut class = SymbolClass::empty();
+    for part in s.split(',') {
+        let v = u8::from_str_radix(part, 16).map_err(|_| ApError::Anml {
+            reason: format!("bad symbol '{part}'"),
+        })?;
+        class.insert(v);
+    }
+    Ok(class)
+}
+
+fn parse_element_id(line: &str) -> ApResult<usize> {
+    parse_id_attr(&attr_required(line, "id")?)
+}
+
+fn parse_id_attr(value: &str) -> ApResult<usize> {
+    value
+        .strip_prefix('e')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ApError::Anml {
+            reason: format!("bad element id '{value}'"),
+        })
+}
+
+fn parse_report(line: &str) -> ApResult<Option<u32>> {
+    match attr(line, "report-code") {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| ApError::Anml {
+            reason: format!("bad report code '{v}'"),
+        }),
+    }
+}
+
+fn attr(line: &str, name: &str) -> Option<String> {
+    let needle = format!("{name}=\"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn attr_required(line: &str, name: &str) -> ApResult<String> {
+    attr(line, name).ok_or_else(|| ApError::Anml {
+        reason: format!("missing attribute '{name}' in: {line}"),
+    })
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::StartKind;
+
+    fn sample_network() -> AutomataNetwork {
+        let mut net = AutomataNetwork::new();
+        let guard = net.add_ste("guard <SOF>", SymbolClass::single(0xFF), StartKind::AllInput, None);
+        let m0 = net.add_ste("match0", SymbolClass::of(&[b'1']), StartKind::None, None);
+        let collector = net.add_ste("collector", SymbolClass::all_except(0xFD), StartKind::None, None);
+        let counter = net.add_counter("ihd", 4, CounterMode::Pulse, None);
+        let reporter = net.add_ste("report", SymbolClass::any(), StartKind::None, Some(17));
+        let gate = net.add_boolean("or", BooleanFunction::Or, None);
+        net.connect(guard, m0).unwrap();
+        net.connect(m0, collector).unwrap();
+        net.connect_port(collector, counter, ConnectPort::CountEnable)
+            .unwrap();
+        net.connect(counter, reporter).unwrap();
+        net.connect(m0, gate).unwrap();
+        net
+    }
+
+    #[test]
+    fn export_contains_all_elements_and_connections() {
+        let net = sample_network();
+        let xml = to_anml(&net, "knn-test");
+        assert!(xml.contains(r#"<automata-network id="knn-test">"#));
+        assert_eq!(xml.matches("<state-transition-element").count(), 4);
+        assert_eq!(xml.matches("<counter").count(), 1);
+        assert_eq!(xml.matches("<boolean").count(), 1);
+        assert_eq!(xml.matches("<connection").count(), 5);
+        assert!(xml.contains(r#"symbol-set="*""#));
+        assert!(xml.contains(r#"symbol-set="^fd""#));
+        assert!(xml.contains(r#"report-code="17""#));
+        assert!(xml.contains("guard &lt;SOF&gt;"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let net = sample_network();
+        let xml = to_anml(&net, "rt");
+        let parsed = from_anml(&xml).unwrap();
+        assert_eq!(parsed.len(), net.len());
+        assert_eq!(parsed.connections().len(), net.connections().len());
+        let s1 = net.stats();
+        let s2 = parsed.stats();
+        assert_eq!(s1, s2);
+        // Element kinds and labels survive.
+        for (a, b) in net.elements().iter().zip(parsed.elements().iter()) {
+            assert_eq!(a.kind, b.kind, "element {}", a.id.index());
+            assert_eq!(a.label, b.label);
+        }
+        // Reserialization is stable.
+        assert_eq!(to_anml(&parsed, "rt"), xml);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(from_anml(r#"<state-transition-element id="e0" start="none" />"#).is_err());
+        assert!(from_anml(r#"<counter id="e0" label="c" target="x" at-target="pulse" />"#).is_err());
+        assert!(from_anml(
+            r#"<state-transition-element id="e5" label="x" symbol-set="*" start="none" />"#
+        )
+        .is_err());
+        assert!(from_anml(
+            r#"<boolean id="e0" label="b" function="frobnicate" />"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn symbol_set_roundtrip_for_explicit_lists() {
+        let class = SymbolClass::of(&[0x00, 0x10, 0xAB]);
+        let s = symbol_set_string(&class);
+        assert_eq!(s, "00,10,ab");
+        let back = parse_symbol_set(&s).unwrap();
+        assert_eq!(back, class);
+        assert_eq!(parse_symbol_set("*").unwrap(), SymbolClass::any());
+        assert_eq!(
+            parse_symbol_set("^ff").unwrap(),
+            SymbolClass::all_except(0xFF)
+        );
+        assert_eq!(parse_symbol_set("").unwrap(), SymbolClass::empty());
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        let s = r#"a & b < c > "d""#;
+        assert_eq!(unescape(&escape(s)), s);
+    }
+}

@@ -1,0 +1,190 @@
+//! AP device resource model.
+//!
+//! Capacities follow §II-B of the paper: an AP board holds four ranks of eight AP
+//! chips; each chip has two half-cores ("AP cores"); each half-core has 96 blocks;
+//! each block provides 256 STEs, 4 counters, 12 boolean elements and up to 32
+//! reporting STEs. Because NFAs cannot span half-cores, the largest automaton is
+//! 24,576 states. A full board therefore exposes 1,572,864 STEs per chip-set rank
+//! figure the paper quotes (96 × 256 × 2 × 8 × 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware generation of the AP, which determines reconfiguration latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApGeneration {
+    /// Current-generation hardware evaluated in the paper: 45 ms per partial
+    /// reconfiguration (§III-C, citing the association-rule-mining measurements).
+    Gen1,
+    /// Projected next-generation hardware: roughly two orders of magnitude (~100×)
+    /// faster reconfiguration, comparable to production FPGAs.
+    Gen2,
+}
+
+/// Static resource capacities of one AP board and its subdivisions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// STEs per block.
+    pub stes_per_block: usize,
+    /// Threshold counters per block.
+    pub counters_per_block: usize,
+    /// Boolean elements per block.
+    pub booleans_per_block: usize,
+    /// Maximum reporting STEs per block.
+    pub reporting_per_block: usize,
+    /// Blocks per half-core.
+    pub blocks_per_half_core: usize,
+    /// Half-cores per AP chip.
+    pub half_cores_per_chip: usize,
+    /// AP chips per rank.
+    pub chips_per_rank: usize,
+    /// Ranks per board.
+    pub ranks_per_board: usize,
+    /// Symbol clock frequency in MHz (133 MHz for Gen 1).
+    pub clock_mhz: f64,
+    /// Hardware generation (controls reconfiguration latency).
+    pub generation: ApGeneration,
+}
+
+impl DeviceConfig {
+    /// The Gen-1 device evaluated in the paper.
+    pub fn gen1() -> Self {
+        Self {
+            stes_per_block: 256,
+            counters_per_block: 4,
+            booleans_per_block: 12,
+            reporting_per_block: 32,
+            blocks_per_half_core: 96,
+            half_cores_per_chip: 2,
+            chips_per_rank: 8,
+            ranks_per_board: 4,
+            clock_mhz: 133.0,
+            generation: ApGeneration::Gen1,
+        }
+    }
+
+    /// The projected Gen-2 device: identical fabric capacity, ~100× faster partial
+    /// reconfiguration.
+    pub fn gen2() -> Self {
+        Self {
+            generation: ApGeneration::Gen2,
+            ..Self::gen1()
+        }
+    }
+
+    /// A single-rank development board (the configuration the authors measured power
+    /// on before scaling to four ranks).
+    pub fn gen1_single_rank() -> Self {
+        Self {
+            ranks_per_board: 1,
+            ..Self::gen1()
+        }
+    }
+
+    /// STEs per half-core (24,576 for the published device).
+    pub fn stes_per_half_core(&self) -> usize {
+        self.stes_per_block * self.blocks_per_half_core
+    }
+
+    /// Counters per half-core.
+    pub fn counters_per_half_core(&self) -> usize {
+        self.counters_per_block * self.blocks_per_half_core
+    }
+
+    /// Boolean elements per half-core.
+    pub fn booleans_per_half_core(&self) -> usize {
+        self.booleans_per_block * self.blocks_per_half_core
+    }
+
+    /// Reporting STEs per half-core.
+    pub fn reporting_per_half_core(&self) -> usize {
+        self.reporting_per_block * self.blocks_per_half_core
+    }
+
+    /// Half-cores on the whole board.
+    pub fn half_cores_per_board(&self) -> usize {
+        self.half_cores_per_chip * self.chips_per_rank * self.ranks_per_board
+    }
+
+    /// Blocks on the whole board.
+    pub fn blocks_per_board(&self) -> usize {
+        self.blocks_per_half_core * self.half_cores_per_board()
+    }
+
+    /// STEs on the whole board.
+    pub fn stes_per_board(&self) -> usize {
+        self.stes_per_half_core() * self.half_cores_per_board()
+    }
+
+    /// Maximum number of states in a single NFA (one half-core).
+    pub fn max_nfa_states(&self) -> usize {
+        self.stes_per_half_core()
+    }
+
+    /// Symbol period in nanoseconds (7.5 ns at 133 MHz).
+    pub fn symbol_period_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz
+    }
+
+    /// Partial reconfiguration latency in seconds for this generation.
+    pub fn reconfiguration_latency_s(&self) -> f64 {
+        match self.generation {
+            ApGeneration::Gen1 => 45e-3,
+            ApGeneration::Gen2 => 45e-3 / 100.0,
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::gen1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_capacity_figures() {
+        let d = DeviceConfig::gen1();
+        assert_eq!(d.stes_per_half_core(), 24_576);
+        assert_eq!(d.max_nfa_states(), 24_576);
+        assert_eq!(d.half_cores_per_board(), 2 * 8 * 4);
+        // 1,572,864 STEs per device in the paper refers to one rank's worth of chips
+        // times half-cores; the full four-rank board is 4x that of a single rank.
+        let single_rank = DeviceConfig::gen1_single_rank();
+        assert_eq!(single_rank.stes_per_board(), 24_576 * 16);
+        assert_eq!(d.stes_per_board(), 24_576 * 64);
+        assert_eq!(d.blocks_per_board(), 96 * 64);
+    }
+
+    #[test]
+    fn per_half_core_counts() {
+        let d = DeviceConfig::gen1();
+        assert_eq!(d.counters_per_half_core(), 4 * 96);
+        assert_eq!(d.booleans_per_half_core(), 12 * 96);
+        assert_eq!(d.reporting_per_half_core(), 32 * 96);
+    }
+
+    #[test]
+    fn symbol_period_matches_clock() {
+        let d = DeviceConfig::gen1();
+        assert!((d.symbol_period_ns() - 7.5187969).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reconfiguration_latencies() {
+        assert!((DeviceConfig::gen1().reconfiguration_latency_s() - 0.045).abs() < 1e-12);
+        assert!((DeviceConfig::gen2().reconfiguration_latency_s() - 0.00045).abs() < 1e-12);
+        assert!(
+            DeviceConfig::gen1().reconfiguration_latency_s()
+                / DeviceConfig::gen2().reconfiguration_latency_s()
+                > 99.0
+        );
+    }
+
+    #[test]
+    fn default_is_gen1() {
+        assert_eq!(DeviceConfig::default().generation, ApGeneration::Gen1);
+    }
+}

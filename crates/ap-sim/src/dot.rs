@@ -1,0 +1,301 @@
+//! Graphviz export and human-readable trace rendering.
+//!
+//! The paper presents its automata designs as schematics (Figures 2, 5, 6 and 7) and
+//! walks through a cycle-by-cycle execution (Figures 3 and 4). This module provides
+//! the equivalent inspection tools for networks built in this workspace:
+//!
+//! * [`to_dot`] renders an [`AutomataNetwork`] as a Graphviz `digraph`, with STEs,
+//!   counters and boolean gates drawn as distinct node shapes, start states and
+//!   reporting states highlighted, and counter ports labelled on the edges — close
+//!   to the visual conventions of the AP Workbench;
+//! * [`render_trace`] renders a [`SimulationTrace`] as a per-cycle text table
+//!   (symbol consumed, active elements, counter values, reports), which is how the
+//!   Figure 3 walk-through in `examples/trace_execution.rs` and the `figure3_4`
+//!   bench binary print their output.
+
+use crate::element::{ElementKind, StartKind};
+use crate::network::{AutomataNetwork, ConnectPort};
+use crate::simulate::SimulationTrace;
+use crate::symbol::SymbolClass;
+use std::fmt::Write as _;
+
+/// A short, human-readable description of a symbol class, e.g. `*`, `0x41`,
+/// `^0xFF`, `[0x30-0x39]`, or `{17 symbols}`.
+pub fn describe_symbols(class: &SymbolClass) -> String {
+    let card = class.cardinality();
+    if card == 256 {
+        return "*".to_string();
+    }
+    if card == 0 {
+        return "∅".to_string();
+    }
+    if card == 1 {
+        let s = (0..=255u8).find(|&s| class.matches(s)).expect("one member");
+        return format!("{s:#04x}");
+    }
+    if card == 255 {
+        let s = (0..=255u8)
+            .find(|&s| !class.matches(s))
+            .expect("one non-member");
+        return format!("^{s:#04x}");
+    }
+    // Contiguous range?
+    let members: Vec<u8> = (0..=255u8).filter(|&s| class.matches(s)).collect();
+    let lo = members[0];
+    let hi = *members.last().expect("non-empty");
+    if (hi - lo) as u32 + 1 == card {
+        return format!("[{lo:#04x}-{hi:#04x}]");
+    }
+    format!("{{{card} symbols}}")
+}
+
+fn escape_label(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the network as a Graphviz `digraph` named `graph_name`.
+///
+/// Node conventions:
+/// * STEs are ellipses labelled `<label>\n<symbols>`; start states get a bold
+///   outline (`StartOfData` additionally annotated), reporting states are doubled
+///   (`peripheries=2`) and show their report code.
+/// * Counters are boxes labelled with their threshold and mode; edges into their
+///   enable / reset ports are labelled `en` / `rst`.
+/// * Boolean gates are diamonds labelled with their function.
+pub fn to_dot(net: &AutomataNetwork, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape_label(graph_name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=10];");
+
+    for e in net.elements() {
+        let id = e.id.index();
+        match &e.kind {
+            ElementKind::Ste {
+                symbols,
+                start,
+                report,
+            } => {
+                let mut label = format!("{}\\n{}", escape_label(&e.label), describe_symbols(symbols));
+                if let Some(code) = report {
+                    let _ = write!(label, "\\nreport {code}");
+                }
+                if *start == StartKind::StartOfData {
+                    label.push_str("\\n(start-of-data)");
+                }
+                let mut attrs = format!("shape=ellipse, label=\"{label}\"");
+                if *start != StartKind::None {
+                    attrs.push_str(", style=bold");
+                }
+                if report.is_some() {
+                    attrs.push_str(", peripheries=2");
+                }
+                let _ = writeln!(out, "  n{id} [{attrs}];");
+            }
+            ElementKind::Counter {
+                threshold,
+                mode,
+                report,
+                max_increment_per_cycle,
+            } => {
+                let mut label = format!(
+                    "{}\\ncounter thr={threshold}\\n{mode:?}",
+                    escape_label(&e.label)
+                );
+                if *max_increment_per_cycle > 1 {
+                    let _ = write!(label, "\\ninc≤{max_increment_per_cycle}");
+                }
+                if let Some(code) = report {
+                    let _ = write!(label, "\\nreport {code}");
+                }
+                let mut attrs = format!("shape=box, label=\"{label}\"");
+                if report.is_some() {
+                    attrs.push_str(", peripheries=2");
+                }
+                let _ = writeln!(out, "  n{id} [{attrs}];");
+            }
+            ElementKind::Boolean { function, report } => {
+                let mut label = format!("{}\\n{function:?}", escape_label(&e.label));
+                if let Some(code) = report {
+                    let _ = write!(label, "\\nreport {code}");
+                }
+                let mut attrs = format!("shape=diamond, label=\"{label}\"");
+                if report.is_some() {
+                    attrs.push_str(", peripheries=2");
+                }
+                let _ = writeln!(out, "  n{id} [{attrs}];");
+            }
+        }
+    }
+
+    for c in net.connections() {
+        let attrs = match c.port {
+            ConnectPort::Activation => String::new(),
+            ConnectPort::CountEnable => " [label=\"en\"]".to_string(),
+            ConnectPort::CountReset => " [label=\"rst\", style=dashed]".to_string(),
+        };
+        let _ = writeln!(out, "  n{} -> n{}{};", c.from.index(), c.to.index(), attrs);
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a [`SimulationTrace`] as a per-cycle text table.
+///
+/// `stream` must be the symbol stream that produced the trace (used for the symbol
+/// column); element labels are taken from `net`. The output mirrors the layout of the
+/// paper's Figure 3 walk-through: one row per cycle with the consumed symbol, the
+/// labels of all active elements, every counter's value after the cycle, and any
+/// report events.
+pub fn render_trace(net: &AutomataNetwork, trace: &SimulationTrace, stream: &[u8]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>6}  {:<40}  {:<24}  {}",
+        "cycle", "symbol", "active elements", "counter values", "reports"
+    );
+    for (cycle, active) in trace.activations.iter().enumerate() {
+        let symbol = stream
+            .get(cycle)
+            .map(|&s| {
+                if s.is_ascii_graphic() {
+                    format!("{:#04x}/{}", s, s as char)
+                } else {
+                    format!("{s:#04x}")
+                }
+            })
+            .unwrap_or_else(|| "-".to_string());
+        let active_labels: Vec<String> = active
+            .iter()
+            .filter_map(|id| net.element(*id).ok().map(|e| e.label.clone()))
+            .collect();
+        let counters: Vec<String> = trace
+            .counter_values
+            .get(cycle)
+            .map(|values| {
+                values
+                    .iter()
+                    .filter_map(|(id, count)| {
+                        net.element(*id)
+                            .ok()
+                            .map(|e| format!("{}={}", e.label, count))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let reports: Vec<String> = trace
+            .reports
+            .iter()
+            .filter(|r| r.offset == cycle as u64)
+            .map(|r| format!("code {} @ {}", r.code, r.offset))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>6}  {:<40}  {:<24}  {}",
+            cycle,
+            symbol,
+            active_labels.join(", "),
+            counters.join(", "),
+            reports.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{BooleanFunction, CounterMode, StartKind};
+    use crate::network::{AutomataNetwork, ConnectPort};
+    use crate::simulate::Simulator;
+    use crate::symbol::SymbolClass;
+
+    fn sample_network() -> AutomataNetwork {
+        let mut net = AutomataNetwork::new();
+        let start = net.add_ste("start", SymbolClass::single(b'S'), StartKind::AllInput, None);
+        let mid = net.add_ste("mid", SymbolClass::range(b'a', b'z'), StartKind::None, None);
+        let gate = net.add_boolean("gate", BooleanFunction::Or, None);
+        let counter = net.add_counter("cnt", 2, CounterMode::Pulse, Some(7));
+        net.connect(start, mid).unwrap();
+        net.connect(mid, gate).unwrap();
+        net.connect_port(gate, counter, ConnectPort::CountEnable)
+            .unwrap();
+        net.connect_port(start, counter, ConnectPort::CountReset)
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn describe_symbols_covers_shapes() {
+        assert_eq!(describe_symbols(&SymbolClass::any()), "*");
+        assert_eq!(describe_symbols(&SymbolClass::empty()), "∅");
+        assert_eq!(describe_symbols(&SymbolClass::single(0x41)), "0x41");
+        assert_eq!(describe_symbols(&SymbolClass::all_except(0xff)), "^0xff");
+        assert_eq!(
+            describe_symbols(&SymbolClass::range(0x30, 0x39)),
+            "[0x30-0x39]"
+        );
+        assert_eq!(
+            describe_symbols(&SymbolClass::of(&[1, 5, 9])),
+            "{3 symbols}"
+        );
+    }
+
+    #[test]
+    fn dot_output_contains_every_element_and_edge() {
+        let net = sample_network();
+        let dot = to_dot(&net, "sample");
+        assert!(dot.starts_with("digraph \"sample\""));
+        assert!(dot.ends_with("}\n"));
+        for i in 0..net.len() {
+            assert!(dot.contains(&format!("n{i} [")), "missing node n{i}");
+        }
+        // One line per connection.
+        assert_eq!(dot.matches(" -> ").count(), net.connections().len());
+        // Port labels present.
+        assert!(dot.contains("label=\"en\""));
+        assert!(dot.contains("label=\"rst\""));
+        // Counter and boolean shapes present.
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=diamond"));
+        // Reporting element is doubled.
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_labels() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("say \"hi\"", SymbolClass::any(), StartKind::AllInput, None);
+        let dot = to_dot(&net, "q\"q");
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("digraph \"q\\\"q\""));
+    }
+
+    #[test]
+    fn trace_rendering_shows_cycles_and_reports() {
+        let net = sample_network();
+        let stream = b"Sab";
+        let mut sim = Simulator::new(&net).unwrap();
+        let trace = sim.run_traced(stream);
+        let text = render_trace(&net, &trace, stream);
+        // One header plus one row per cycle.
+        assert_eq!(text.lines().count(), 1 + stream.len());
+        assert!(text.contains("0x53/S"));
+        assert!(text.contains("start"));
+        assert!(text.contains("cnt="));
+    }
+
+    #[test]
+    fn trace_rendering_handles_non_graphic_symbols() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("any", SymbolClass::any(), StartKind::AllInput, Some(1));
+        let stream = [0x00u8, 0xff];
+        let mut sim = Simulator::new(&net).unwrap();
+        let trace = sim.run_traced(&stream);
+        let text = render_trace(&net, &trace, &stream);
+        assert!(text.contains("0x00"));
+        assert!(text.contains("0xff"));
+        assert!(text.contains("code 1"));
+    }
+}

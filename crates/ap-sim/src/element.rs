@@ -1,0 +1,252 @@
+//! AP fabric elements: state transition elements (STEs), counters and boolean gates.
+//!
+//! The element set and its limitations follow §II-B/§II-C of the paper:
+//!
+//! * an **STE** implements one NFA state, matches an 8-bit symbol class, may be a
+//!   start state (activates on symbol match alone) and may be a reporting state
+//!   (generates an output event carrying a unique id and the stream offset);
+//! * a **counter** has an increment-by-one enable port and a reset port, a *static*
+//!   threshold programmed at configuration time, and activates downstream elements
+//!   when the internal count reaches the threshold (the kNN design uses the
+//!   single-cycle *pulse* mode). Counters cannot be incremented by more than one per
+//!   cycle and never expose their internal count — both restrictions that the paper's
+//!   proposed architectural extensions later relax;
+//! * a **boolean element** computes any standard two-input logic function of its
+//!   driver activations (the fabric provides 12 per block).
+
+use crate::symbol::SymbolClass;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an element within one [`crate::network::AutomataNetwork`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ElementId(pub usize);
+
+impl ElementId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// How an STE can start matching without an active predecessor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartKind {
+    /// Not a start state: requires an active predecessor on the previous cycle.
+    None,
+    /// Start-of-data: eligible only on the very first symbol of the stream.
+    StartOfData,
+    /// All-input: eligible on every cycle (the kind used by the kNN guard and sort
+    /// states, which gate themselves on dedicated SOF / filler symbols instead).
+    AllInput,
+}
+
+/// Counter output behaviour when the threshold is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterMode {
+    /// Emit a single-cycle activation pulse on the cycle the count first reaches the
+    /// threshold (re-armed by reset). This is the mode the temporal sort relies on.
+    Pulse,
+    /// Stay active from the cycle the threshold is reached until reset.
+    Latch,
+}
+
+/// Two-input (or N-input reduction) boolean functions available in the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BooleanFunction {
+    /// Logical AND of all inputs.
+    And,
+    /// Logical OR of all inputs.
+    Or,
+    /// Logical NAND of all inputs.
+    Nand,
+    /// Logical NOR of all inputs.
+    Nor,
+    /// Exclusive OR (parity) of all inputs.
+    Xor,
+    /// Negation of the single input.
+    Not,
+}
+
+impl BooleanFunction {
+    /// Evaluates the function over the given input activations.
+    pub fn evaluate(self, inputs: &[bool]) -> bool {
+        match self {
+            BooleanFunction::And => !inputs.is_empty() && inputs.iter().all(|&b| b),
+            BooleanFunction::Or => inputs.iter().any(|&b| b),
+            BooleanFunction::Nand => !(!inputs.is_empty() && inputs.iter().all(|&b| b)),
+            BooleanFunction::Nor => !inputs.iter().any(|&b| b),
+            BooleanFunction::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            BooleanFunction::Not => !inputs.first().copied().unwrap_or(false),
+        }
+    }
+}
+
+/// The behavioural payload of an element.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// A state transition element.
+    Ste {
+        /// The 8-bit symbol class this STE matches.
+        symbols: SymbolClass,
+        /// Start behaviour.
+        start: StartKind,
+        /// If `Some`, this STE is a reporting state carrying the given report code.
+        report: Option<u32>,
+    },
+    /// A threshold counter.
+    Counter {
+        /// Static threshold programmed at configuration time.
+        threshold: u32,
+        /// Output behaviour at threshold.
+        mode: CounterMode,
+        /// If `Some`, the counter's activation also reports with the given code
+        /// (mirrors attaching a reporting STE directly after the counter).
+        report: Option<u32>,
+        /// Maximum increment applied per cycle. Real Gen-1 hardware fixes this at 1;
+        /// the paper's "counter increment" architectural extension (§VII-A) raises it
+        /// so several enable activations in one cycle all count.
+        max_increment_per_cycle: u32,
+    },
+    /// A combinational boolean gate over its drivers' activations.
+    Boolean {
+        /// The logic function.
+        function: BooleanFunction,
+        /// If `Some`, the gate output reports with the given code when true.
+        report: Option<u32>,
+    },
+}
+
+/// A named element plus its behavioural payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// Stable id within the owning network.
+    pub id: ElementId,
+    /// Optional human-readable label (used by ANML export and debugging).
+    pub label: String,
+    /// Behaviour.
+    pub kind: ElementKind,
+}
+
+impl Element {
+    /// Whether this element is an STE.
+    pub fn is_ste(&self) -> bool {
+        matches!(self.kind, ElementKind::Ste { .. })
+    }
+
+    /// Whether this element is a counter.
+    pub fn is_counter(&self) -> bool {
+        matches!(self.kind, ElementKind::Counter { .. })
+    }
+
+    /// Whether this element is a boolean gate.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self.kind, ElementKind::Boolean { .. })
+    }
+
+    /// The report code carried by this element, if it is a reporting element.
+    pub fn report_code(&self) -> Option<u32> {
+        match &self.kind {
+            ElementKind::Ste { report, .. }
+            | ElementKind::Counter { report, .. }
+            | ElementKind::Boolean { report, .. } => *report,
+        }
+    }
+
+    /// Whether this element generates report events.
+    pub fn is_reporting(&self) -> bool {
+        self.report_code().is_some()
+    }
+
+    /// Whether this element is a start STE (either kind of start).
+    pub fn is_start(&self) -> bool {
+        matches!(
+            self.kind,
+            ElementKind::Ste {
+                start: StartKind::AllInput | StartKind::StartOfData,
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ste(start: StartKind, report: Option<u32>) -> Element {
+        Element {
+            id: ElementId(0),
+            label: "s".into(),
+            kind: ElementKind::Ste {
+                symbols: SymbolClass::any(),
+                start,
+                report,
+            },
+        }
+    }
+
+    #[test]
+    fn boolean_functions_truth_tables() {
+        use BooleanFunction::*;
+        assert!(And.evaluate(&[true, true]));
+        assert!(!And.evaluate(&[true, false]));
+        assert!(!And.evaluate(&[]));
+        assert!(Or.evaluate(&[false, true]));
+        assert!(!Or.evaluate(&[]));
+        assert!(Nand.evaluate(&[true, false]));
+        assert!(!Nand.evaluate(&[true, true]));
+        assert!(Nor.evaluate(&[false, false]));
+        assert!(!Nor.evaluate(&[false, true]));
+        assert!(Xor.evaluate(&[true, false, false]));
+        assert!(!Xor.evaluate(&[true, true]));
+        assert!(Not.evaluate(&[false]));
+        assert!(!Not.evaluate(&[true]));
+        assert!(Not.evaluate(&[]));
+    }
+
+    #[test]
+    fn element_classification() {
+        let s = ste(StartKind::None, Some(3));
+        assert!(s.is_ste());
+        assert!(!s.is_counter());
+        assert!(!s.is_boolean());
+        assert!(s.is_reporting());
+        assert_eq!(s.report_code(), Some(3));
+        assert!(!s.is_start());
+
+        let start = ste(StartKind::AllInput, None);
+        assert!(start.is_start());
+        assert!(!start.is_reporting());
+
+        let c = Element {
+            id: ElementId(1),
+            label: "c".into(),
+            kind: ElementKind::Counter {
+                threshold: 4,
+                mode: CounterMode::Pulse,
+                report: None,
+                max_increment_per_cycle: 1,
+            },
+        };
+        assert!(c.is_counter());
+        assert!(!c.is_reporting());
+
+        let b = Element {
+            id: ElementId(2),
+            label: "b".into(),
+            kind: ElementKind::Boolean {
+                function: BooleanFunction::Or,
+                report: Some(9),
+            },
+        };
+        assert!(b.is_boolean());
+        assert_eq!(b.report_code(), Some(9));
+    }
+
+    #[test]
+    fn start_of_data_is_start() {
+        assert!(ste(StartKind::StartOfData, None).is_start());
+        assert!(!ste(StartKind::None, None).is_start());
+    }
+}

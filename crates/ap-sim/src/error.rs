@@ -1,0 +1,107 @@
+//! Typed errors for network construction, validation, placement and simulation.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type ApResult<T> = Result<T, ApError>;
+
+/// Errors raised while building, validating, placing or simulating automata networks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApError {
+    /// An element id referenced an element that does not exist in the network.
+    UnknownElement {
+        /// The offending element id.
+        id: usize,
+    },
+    /// An edge endpoint or port combination is not allowed by the programming model.
+    InvalidConnection {
+        /// Explanation of the violated rule.
+        reason: String,
+    },
+    /// A structural rule of the AP was violated (e.g. counter without a driver,
+    /// boolean gate with too many inputs, report code collisions).
+    InvalidNetwork {
+        /// Explanation of the violated rule.
+        reason: String,
+    },
+    /// The network (or a single connected component) exceeds a device capacity.
+    CapacityExceeded {
+        /// Which resource ran out.
+        resource: String,
+        /// How many were requested.
+        requested: usize,
+        /// How many are available.
+        available: usize,
+    },
+    /// A simulation was driven with an input it cannot process.
+    Simulation {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// ANML parsing failed.
+    Anml {
+        /// Explanation of the parse failure.
+        reason: String,
+    },
+    /// A PCRE pattern could not be compiled to an automata network.
+    Pcre {
+        /// Explanation of the compilation failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ApError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApError::UnknownElement { id } => write!(f, "unknown element id {id}"),
+            ApError::InvalidConnection { reason } => write!(f, "invalid connection: {reason}"),
+            ApError::InvalidNetwork { reason } => write!(f, "invalid network: {reason}"),
+            ApError::CapacityExceeded {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded for {resource}: requested {requested}, available {available}"
+            ),
+            ApError::Simulation { reason } => write!(f, "simulation error: {reason}"),
+            ApError::Anml { reason } => write!(f, "ANML error: {reason}"),
+            ApError::Pcre { reason } => write!(f, "PCRE error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ApError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ApError::CapacityExceeded {
+            resource: "STE".into(),
+            requested: 30000,
+            available: 24576,
+        };
+        let s = e.to_string();
+        assert!(s.contains("STE"));
+        assert!(s.contains("30000"));
+        assert!(s.contains("24576"));
+
+        assert!(ApError::UnknownElement { id: 7 }.to_string().contains('7'));
+        assert!(ApError::InvalidConnection {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("invalid connection"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ApError::Simulation {
+            reason: "stream empty".into(),
+        });
+    }
+}

@@ -1,0 +1,60 @@
+//! # ap-sim — a cycle-accurate Micron Automata Processor simulator
+//!
+//! The Micron Automata Processor (AP) is a DRAM-based, non-von-Neumann accelerator
+//! that executes many nondeterministic finite automata (NFAs) in parallel against a
+//! single 8-bit symbol stream. It was the target platform of *"Similarity Search on
+//! Automata Processors"* (Lee et al., IPDPS 2017). Real AP hardware and the vendor
+//! SDK are no longer available, so this crate provides the substrate that the paper's
+//! evaluation relied on:
+//!
+//! * an **element model** ([`element`]) of state transition elements (STEs), threshold
+//!   counters and boolean gates, with the programming-model constraints the paper
+//!   describes (8-bit symbol classes, increment-by-one counters with static
+//!   thresholds, designated start and reporting states);
+//! * an **automata network** ([`network`]) — the ANML-level netlist connecting
+//!   elements, with validation of the AP's structural rules;
+//! * a **cycle-accurate simulator** ([`simulate`]) that consumes one symbol per clock
+//!   and produces reporting-state activation events `(element, report code, cycle
+//!   offset)`, exactly the information a host application receives from the PCIe
+//!   interface;
+//! * a **device resource model** ([`device`], [`place`]) with the published capacity
+//!   figures (256 STEs / 4 counters / 12 booleans / 32 reporting STEs per block,
+//!   96 blocks per half-core, 2 half-cores per chip, 8 chips per rank, 4 ranks per
+//!   board) and a placement estimator that reports utilization the way the paper's
+//!   `apadmin` compilation reports do;
+//! * a **reconfiguration and clock timing model** ([`reconfig`]) covering the Gen-1
+//!   (45 ms) and projected Gen-2 (~100× faster) partial-reconfiguration latencies and
+//!   the 133 MHz symbol clock;
+//! * an **ANML-like serializer** ([`anml`]) so networks can be inspected or exported
+//!   in a format close to what the vendor toolchain consumed.
+//!
+//! The simulator's cycle alignment was calibrated against the worked example in the
+//! paper's Figures 3 and 4 (see the workspace integration tests): a match on symbol
+//! *t* raises the collector state at *t + 1*, the counter value visible at *t + 2*,
+//! a threshold pulse the cycle the count crosses the threshold, and the reporting
+//! state one cycle after the pulse.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anml;
+pub mod device;
+pub mod dot;
+pub mod element;
+pub mod error;
+pub mod network;
+pub mod pcre;
+pub mod place;
+pub mod reconfig;
+pub mod simulate;
+pub mod symbol;
+
+pub use device::{ApGeneration, DeviceConfig};
+pub use element::{BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind};
+pub use error::{ApError, ApResult};
+pub use network::{AutomataNetwork, ConnectPort, NetworkStats};
+pub use pcre::{CompiledPcre, PcreMatch, PcreOptions, PcreSet};
+pub use place::{ComponentDemand, PlacementReport, Placer};
+pub use reconfig::TimingModel;
+pub use simulate::{ReportEvent, SimulationTrace, Simulator};
+pub use symbol::SymbolClass;

@@ -1,0 +1,619 @@
+//! The automata network: an ANML-level netlist of elements and connections.
+//!
+//! Networks are built programmatically (the equivalent of writing an ANML file),
+//! validated against the AP's structural rules, composed out of smaller macros with
+//! [`AutomataNetwork::merge`], and then either simulated ([`crate::simulate`]) or
+//! placed onto the device resource model ([`crate::place`]).
+
+use crate::element::{
+    BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind,
+};
+use crate::error::{ApError, ApResult};
+use crate::symbol::SymbolClass;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which input port of the destination element a connection drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConnectPort {
+    /// Ordinary activation input (STE predecessor, boolean gate input).
+    Activation,
+    /// The increment-by-one enable port of a counter.
+    CountEnable,
+    /// The reset port of a counter.
+    CountReset,
+}
+
+/// A directed connection between two elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Connection {
+    /// Driving element.
+    pub from: ElementId,
+    /// Driven element.
+    pub to: ElementId,
+    /// Destination port.
+    pub port: ConnectPort,
+}
+
+/// Aggregate statistics about a network, used by the placement model and the paper's
+/// analytical resource estimates (1 NFA state ≈ 1 STE resource).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of STEs.
+    pub stes: usize,
+    /// Number of counters.
+    pub counters: usize,
+    /// Number of boolean gates.
+    pub booleans: usize,
+    /// Number of reporting elements (any kind).
+    pub reporting: usize,
+    /// Number of start STEs.
+    pub start_states: usize,
+    /// Number of connections.
+    pub edges: usize,
+    /// Largest activation fan-in of any element.
+    pub max_fan_in: usize,
+    /// Largest fan-out of any element.
+    pub max_fan_out: usize,
+    /// Number of weakly connected components (≈ independent NFAs).
+    pub components: usize,
+}
+
+/// An ANML-level automata network.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AutomataNetwork {
+    elements: Vec<Element>,
+    connections: Vec<Connection>,
+    /// Successor adjacency, indexed by element id.
+    successors: Vec<Vec<(ElementId, ConnectPort)>>,
+    /// Predecessor adjacency, indexed by element id.
+    predecessors: Vec<Vec<(ElementId, ConnectPort)>>,
+}
+
+impl AutomataNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the network has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// All elements, in id order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// All connections in insertion order.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Looks up an element by id.
+    pub fn element(&self, id: ElementId) -> ApResult<&Element> {
+        self.elements
+            .get(id.index())
+            .ok_or(ApError::UnknownElement { id: id.index() })
+    }
+
+    /// Predecessors of `id` (driver, port) pairs.
+    pub fn predecessors(&self, id: ElementId) -> &[(ElementId, ConnectPort)] {
+        &self.predecessors[id.index()]
+    }
+
+    /// Successors of `id` (driven element, port) pairs.
+    pub fn successors(&self, id: ElementId) -> &[(ElementId, ConnectPort)] {
+        &self.successors[id.index()]
+    }
+
+    fn push_element(&mut self, label: impl Into<String>, kind: ElementKind) -> ElementId {
+        let id = ElementId(self.elements.len());
+        self.elements.push(Element {
+            id,
+            label: label.into(),
+            kind,
+        });
+        self.successors.push(Vec::new());
+        self.predecessors.push(Vec::new());
+        id
+    }
+
+    /// Adds an STE.
+    pub fn add_ste(
+        &mut self,
+        label: impl Into<String>,
+        symbols: SymbolClass,
+        start: StartKind,
+        report: Option<u32>,
+    ) -> ElementId {
+        self.push_element(
+            label,
+            ElementKind::Ste {
+                symbols,
+                start,
+                report,
+            },
+        )
+    }
+
+    /// Adds a standard Gen-1 counter (increment at most 1 per cycle).
+    pub fn add_counter(
+        &mut self,
+        label: impl Into<String>,
+        threshold: u32,
+        mode: CounterMode,
+        report: Option<u32>,
+    ) -> ElementId {
+        self.add_counter_with_increment(label, threshold, mode, report, 1)
+    }
+
+    /// Adds a counter with a configurable per-cycle increment cap, modelling the
+    /// paper's counter-increment architectural extension (§VII-A).
+    pub fn add_counter_with_increment(
+        &mut self,
+        label: impl Into<String>,
+        threshold: u32,
+        mode: CounterMode,
+        report: Option<u32>,
+        max_increment_per_cycle: u32,
+    ) -> ElementId {
+        assert!(
+            max_increment_per_cycle >= 1,
+            "counter must increment by at least one"
+        );
+        self.push_element(
+            label,
+            ElementKind::Counter {
+                threshold,
+                mode,
+                report,
+                max_increment_per_cycle,
+            },
+        )
+    }
+
+    /// Adds a boolean gate.
+    pub fn add_boolean(
+        &mut self,
+        label: impl Into<String>,
+        function: BooleanFunction,
+        report: Option<u32>,
+    ) -> ElementId {
+        self.push_element(label, ElementKind::Boolean { function, report })
+    }
+
+    /// Connects `from` to the ordinary activation input of `to`.
+    pub fn connect(&mut self, from: ElementId, to: ElementId) -> ApResult<()> {
+        self.connect_port(from, to, ConnectPort::Activation)
+    }
+
+    /// Connects `from` to a specific input port of `to`.
+    ///
+    /// Enforces the programming-model rules: counter ports may only appear on counter
+    /// destinations and counters may only be driven through their ports; counters and
+    /// boolean gates drive downstream elements through their activation output.
+    pub fn connect_port(
+        &mut self,
+        from: ElementId,
+        to: ElementId,
+        port: ConnectPort,
+    ) -> ApResult<()> {
+        let to_elem = self.element(to)?.clone();
+        let _from_elem = self.element(from)?;
+
+        match (&to_elem.kind, port) {
+            (ElementKind::Counter { .. }, ConnectPort::CountEnable)
+            | (ElementKind::Counter { .. }, ConnectPort::CountReset) => {}
+            (ElementKind::Counter { .. }, ConnectPort::Activation) => {
+                return Err(ApError::InvalidConnection {
+                    reason: format!(
+                        "counter {} must be driven through CountEnable or CountReset",
+                        to.index()
+                    ),
+                });
+            }
+            (_, ConnectPort::CountEnable) | (_, ConnectPort::CountReset) => {
+                return Err(ApError::InvalidConnection {
+                    reason: format!(
+                        "element {} is not a counter and has no counter ports",
+                        to.index()
+                    ),
+                });
+            }
+            (_, ConnectPort::Activation) => {}
+        }
+
+        self.connections.push(Connection { from, to, port });
+        self.successors[from.index()].push((to, port));
+        self.predecessors[to.index()].push((from, port));
+        Ok(())
+    }
+
+    /// Merges `other` into this network, returning the id offset added to every
+    /// element of `other` (i.e. `other`'s element `i` becomes `ElementId(offset + i)`).
+    ///
+    /// Report codes are left untouched; callers composing many macros are responsible
+    /// for assigning unique codes (the kNN builders do this).
+    pub fn merge(&mut self, other: &AutomataNetwork) -> usize {
+        let offset = self.elements.len();
+        for e in &other.elements {
+            let id = ElementId(e.id.index() + offset);
+            self.elements.push(Element {
+                id,
+                label: e.label.clone(),
+                kind: e.kind.clone(),
+            });
+            self.successors.push(Vec::new());
+            self.predecessors.push(Vec::new());
+        }
+        for c in &other.connections {
+            let from = ElementId(c.from.index() + offset);
+            let to = ElementId(c.to.index() + offset);
+            self.connections.push(Connection {
+                from,
+                to,
+                port: c.port,
+            });
+            self.successors[from.index()].push((to, c.port));
+            self.predecessors[to.index()].push((from, c.port));
+        }
+        offset
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = NetworkStats {
+            edges: self.connections.len(),
+            components: self.connected_components().len(),
+            ..NetworkStats::default()
+        };
+        for e in &self.elements {
+            match e.kind {
+                ElementKind::Ste { .. } => s.stes += 1,
+                ElementKind::Counter { .. } => s.counters += 1,
+                ElementKind::Boolean { .. } => s.booleans += 1,
+            }
+            if e.is_reporting() {
+                s.reporting += 1;
+            }
+            if e.is_start() {
+                s.start_states += 1;
+            }
+        }
+        s.max_fan_in = self
+            .predecessors
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0);
+        s.max_fan_out = self
+            .successors
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0);
+        s
+    }
+
+    /// Returns the weakly connected components as lists of element ids.
+    ///
+    /// Each component corresponds to one independent NFA; the placement model uses
+    /// components because an NFA cannot span AP half-cores.
+    pub fn connected_components(&self) -> Vec<Vec<ElementId>> {
+        let n = self.elements.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(ElementId(u));
+                for (v, _) in self.successors[u]
+                    .iter()
+                    .chain(self.predecessors[u].iter())
+                {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Validates the network against the structural rules the AP toolchain enforces.
+    ///
+    /// Checks performed:
+    /// * every counter has at least one `CountEnable` driver;
+    /// * every non-start STE has at least one activation driver (otherwise it can
+    ///   never activate and indicates a construction bug);
+    /// * every boolean gate has at least one input;
+    /// * report codes are unique across the network (the host must be able to map a
+    ///   report back to a single dataset vector);
+    /// * `Not` gates have exactly one input.
+    pub fn validate(&self) -> ApResult<()> {
+        let mut report_codes: HashMap<u32, ElementId> = HashMap::new();
+        for e in &self.elements {
+            if let Some(code) = e.report_code() {
+                if let Some(prev) = report_codes.insert(code, e.id) {
+                    return Err(ApError::InvalidNetwork {
+                        reason: format!(
+                            "report code {code} used by both element {} and element {}",
+                            prev.index(),
+                            e.id.index()
+                        ),
+                    });
+                }
+            }
+            let preds = &self.predecessors[e.id.index()];
+            match &e.kind {
+                ElementKind::Ste { start, .. } => {
+                    let has_activation = preds
+                        .iter()
+                        .any(|(_, p)| *p == ConnectPort::Activation);
+                    if *start == StartKind::None && !has_activation {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "non-start STE {} ('{}') has no activation driver",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
+                }
+                ElementKind::Counter { threshold, .. } => {
+                    let has_enable = preds
+                        .iter()
+                        .any(|(_, p)| *p == ConnectPort::CountEnable);
+                    if !has_enable {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "counter {} ('{}') has no CountEnable driver",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
+                    if *threshold == 0 {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "counter {} ('{}') has a zero threshold",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
+                }
+                ElementKind::Boolean { function, .. } => {
+                    if preds.is_empty() {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "boolean gate {} ('{}') has no inputs",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
+                    if *function == BooleanFunction::Not && preds.len() != 1 {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "NOT gate {} ('{}') must have exactly one input",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ids of all reporting elements.
+    pub fn reporting_elements(&self) -> Vec<ElementId> {
+        self.elements
+            .iter()
+            .filter(|e| e.is_reporting())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Ids of all start STEs.
+    pub fn start_states(&self) -> Vec<ElementId> {
+        self.elements
+            .iter()
+            .filter(|e| e.is_start())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// The set of distinct report codes present in the network.
+    pub fn report_codes(&self) -> HashSet<u32> {
+        self.elements
+            .iter()
+            .filter_map(|e| e.report_code())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::CounterMode;
+
+    fn tiny_chain() -> (AutomataNetwork, ElementId, ElementId, ElementId) {
+        // start --> middle --> counter(en)
+        let mut net = AutomataNetwork::new();
+        let start = net.add_ste("start", SymbolClass::single(1), StartKind::AllInput, None);
+        let middle = net.add_ste("mid", SymbolClass::any(), StartKind::None, None);
+        let counter = net.add_counter("cnt", 2, CounterMode::Pulse, Some(7));
+        net.connect(start, middle).unwrap();
+        net.connect_port(middle, counter, ConnectPort::CountEnable)
+            .unwrap();
+        (net, start, middle, counter)
+    }
+
+    #[test]
+    fn build_and_validate_chain() {
+        let (net, start, middle, counter) = tiny_chain();
+        assert_eq!(net.len(), 3);
+        net.validate().unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.stes, 2);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.reporting, 1);
+        assert_eq!(stats.start_states, 1);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.components, 1);
+        assert_eq!(net.predecessors(middle), &[(start, ConnectPort::Activation)]);
+        assert_eq!(
+            net.successors(middle),
+            &[(counter, ConnectPort::CountEnable)]
+        );
+    }
+
+    #[test]
+    fn counter_requires_port_connection() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::AllInput, None);
+        let c = net.add_counter("c", 1, CounterMode::Pulse, None);
+        let err = net.connect(s, c).unwrap_err();
+        assert!(matches!(err, ApError::InvalidConnection { .. }));
+    }
+
+    #[test]
+    fn non_counter_rejects_counter_ports() {
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::AllInput, None);
+        let b = net.add_ste("b", SymbolClass::any(), StartKind::None, None);
+        let err = net
+            .connect_port(a, b, ConnectPort::CountEnable)
+            .unwrap_err();
+        assert!(matches!(err, ApError::InvalidConnection { .. }));
+    }
+
+    #[test]
+    fn unknown_element_errors() {
+        let net = AutomataNetwork::new();
+        assert!(matches!(
+            net.element(ElementId(3)),
+            Err(ApError::UnknownElement { id: 3 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_undriven_non_start_ste() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("orphan", SymbolClass::any(), StartKind::None, None);
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, ApError::InvalidNetwork { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_counter_without_enable() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::AllInput, None);
+        let c = net.add_counter("c", 2, CounterMode::Pulse, None);
+        net.connect_port(s, c, ConnectPort::CountReset).unwrap();
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_threshold() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::AllInput, None);
+        let c = net.add_counter("c", 0, CounterMode::Pulse, None);
+        net.connect_port(s, c, ConnectPort::CountEnable).unwrap();
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_report_codes() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("a", SymbolClass::any(), StartKind::AllInput, Some(1));
+        net.add_ste("b", SymbolClass::any(), StartKind::AllInput, Some(1));
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inputless_boolean_and_multi_input_not() {
+        let mut net = AutomataNetwork::new();
+        net.add_boolean("lonely", BooleanFunction::Or, None);
+        assert!(net.validate().is_err());
+
+        let mut net2 = AutomataNetwork::new();
+        let a = net2.add_ste("a", SymbolClass::any(), StartKind::AllInput, None);
+        let b = net2.add_ste("b", SymbolClass::any(), StartKind::AllInput, None);
+        let n = net2.add_boolean("not", BooleanFunction::Not, None);
+        net2.connect(a, n).unwrap();
+        net2.connect(b, n).unwrap();
+        assert!(net2.validate().is_err());
+    }
+
+    #[test]
+    fn merge_offsets_ids_and_preserves_structure() {
+        let (mut net, _, _, _) = tiny_chain();
+        let (other, o_start, o_mid, o_counter) = tiny_chain();
+        let before = net.len();
+        let offset = net.merge(&other);
+        assert_eq!(offset, before);
+        assert_eq!(net.len(), 2 * before);
+        // Structure of the merged copy mirrors the original.
+        let merged_mid = ElementId(o_mid.index() + offset);
+        assert_eq!(
+            net.predecessors(merged_mid),
+            &[(ElementId(o_start.index() + offset), ConnectPort::Activation)]
+        );
+        assert_eq!(
+            net.successors(merged_mid),
+            &[(
+                ElementId(o_counter.index() + offset),
+                ConnectPort::CountEnable
+            )]
+        );
+        // Two independent NFAs.
+        assert_eq!(net.stats().components, 2);
+        // Duplicate report codes are now present, so validation must fail.
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn connected_components_partition_elements() {
+        let (mut net, ..) = tiny_chain();
+        net.add_ste("island", SymbolClass::any(), StartKind::AllInput, None);
+        let comps = net.connected_components();
+        assert_eq!(comps.len(), 2);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, net.len());
+    }
+
+    #[test]
+    fn report_queries() {
+        let (net, ..) = tiny_chain();
+        assert_eq!(net.reporting_elements().len(), 1);
+        assert_eq!(net.start_states().len(), 1);
+        assert!(net.report_codes().contains(&7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_increment_counter_panics() {
+        let mut net = AutomataNetwork::new();
+        net.add_counter_with_increment("c", 1, CounterMode::Pulse, None, 0);
+    }
+}

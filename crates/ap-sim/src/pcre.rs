@@ -1,0 +1,1131 @@
+//! PCRE-subset compiler producing homogeneous (Glushkov) automata networks.
+//!
+//! The AP programming model (§II-B of the paper) accepts applications in two forms:
+//! Perl-Compatible Regular Expressions, which the vendor toolchain compiles into
+//! NFAs, or explicit ANML netlists. The kNN design of the paper is authored as ANML
+//! (this workspace builds it programmatically in `ap-knn`), but a faithful substrate
+//! also needs the PCRE front end — it is how every prior AP application (motif
+//! search, rule mining, virus scanning) was expressed, and the symbol-stream
+//! multiplexing optimization (§VI-B) is described directly in terms of the ternary
+//! PCREs it would generate.
+//!
+//! This module implements the subset of PCRE that maps onto the AP fabric without
+//! counters or boolean elements:
+//!
+//! * literals and escaped literals (`\.` `\\` `\n` `\t` `\r` `\0` `\xHH`);
+//! * the predefined classes `\d` `\D` `\w` `\W` `\s` `\S` and the any-symbol dot
+//!   (on the AP "`.`"/"`*`" states match **all 256 symbols**, newline included);
+//! * bracketed classes `[...]` with ranges and `[^...]` negation;
+//! * grouping `( )` (and the non-capturing spelling `(?: )`);
+//! * alternation `|`;
+//! * the quantifiers `*` `+` `?` `{n}` `{n,}` `{n,m}` (bounded repetitions are
+//!   expanded structurally, exactly as the vendor compiler did — the fabric has no
+//!   general-purpose counting for arbitrary sub-expressions);
+//! * the start anchor `^` (compiled to a start-of-data STE). The end anchor `$` is
+//!   rejected: the AP has no end-of-data symbol, applications append their own
+//!   explicit terminator symbol instead (the kNN design's `EOF` symbol is exactly
+//!   that idiom).
+//!
+//! Compilation uses the Glushkov (position automaton) construction, which yields a
+//! *homogeneous* NFA — every state is entered on exactly one symbol class — and is
+//! therefore directly expressible as one STE per position, the same correspondence
+//! ANML assumes. Matching is unanchored by default: every position in the `first`
+//! set becomes an all-input start STE, so a match may begin at any stream offset,
+//! which is the native AP behaviour.
+
+use crate::element::StartKind;
+use crate::error::{ApError, ApResult};
+use crate::network::AutomataNetwork;
+use crate::simulate::Simulator;
+use crate::symbol::SymbolClass;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Options controlling PCRE compilation.
+#[derive(Clone, Debug)]
+pub struct PcreOptions {
+    /// Maximum number of NFA positions (STEs) a single pattern may expand to.
+    ///
+    /// Defaults to 24,576 — the largest NFA a single AP half-core can hold, the same
+    /// limit the paper quotes in §II-B.
+    pub max_states: usize,
+    /// First report code assigned to accepting positions. Each accepting position of
+    /// the pattern receives a consecutive code starting here (report codes must be
+    /// unique within one [`AutomataNetwork`]).
+    pub report_base: u32,
+    /// Upper bound accepted for the `m` of a bounded repetition `{n,m}`. Bounded
+    /// repetitions are expanded by duplication; this cap keeps a single typo from
+    /// exploding the network.
+    pub max_bounded_repeat: u32,
+}
+
+impl Default for PcreOptions {
+    fn default() -> Self {
+        Self {
+            max_states: 24_576,
+            report_base: 0,
+            max_bounded_repeat: 1_024,
+        }
+    }
+}
+
+/// A single match produced by [`CompiledPcre::find_match_ends`] /
+/// [`PcreSet::find_all`]: the AP reports the *end* offset of each match (the cycle on
+/// which the final symbol was consumed), which is all the information a reporting STE
+/// carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PcreMatch {
+    /// Index of the pattern that matched (always 0 for a single [`CompiledPcre`]).
+    pub pattern: usize,
+    /// 0-based offset of the last symbol of the match within the input stream.
+    pub end_offset: u64,
+}
+
+/// A single PCRE pattern compiled into an automata network.
+#[derive(Clone, Debug)]
+pub struct CompiledPcre {
+    pattern: String,
+    network: AutomataNetwork,
+    accept_codes: Vec<u32>,
+    anchored: bool,
+    position_count: usize,
+}
+
+impl CompiledPcre {
+    /// Compiles `pattern` with default [`PcreOptions`].
+    pub fn compile(pattern: &str) -> ApResult<Self> {
+        Self::compile_with(pattern, &PcreOptions::default())
+    }
+
+    /// Compiles `pattern` with explicit options.
+    pub fn compile_with(pattern: &str, options: &PcreOptions) -> ApResult<Self> {
+        compile_pcre(pattern, options)
+    }
+
+    /// The source pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The compiled automata network (one STE per Glushkov position).
+    pub fn network(&self) -> &AutomataNetwork {
+        &self.network
+    }
+
+    /// Consumes the compiled pattern, returning the network (e.g. to merge it into a
+    /// larger board image).
+    pub fn into_network(self) -> AutomataNetwork {
+        self.network
+    }
+
+    /// Report codes assigned to the accepting positions of this pattern.
+    pub fn accept_codes(&self) -> &[u32] {
+        &self.accept_codes
+    }
+
+    /// Whether the pattern was anchored with a leading `^`.
+    pub fn is_anchored(&self) -> bool {
+        self.anchored
+    }
+
+    /// Number of Glushkov positions (= STEs) in the compiled network.
+    pub fn position_count(&self) -> usize {
+        self.position_count
+    }
+
+    /// Runs the compiled pattern against `haystack` on the cycle-accurate simulator
+    /// and returns the sorted, deduplicated match-end offsets.
+    pub fn find_match_ends(&self, haystack: &[u8]) -> ApResult<Vec<u64>> {
+        let mut sim = Simulator::new(&self.network)?;
+        let reports = sim.run(haystack);
+        let mut ends: Vec<u64> = reports.iter().map(|r| r.offset).collect();
+        ends.sort_unstable();
+        ends.dedup();
+        Ok(ends)
+    }
+
+    /// Convenience predicate: does the pattern match anywhere in `haystack`?
+    pub fn is_match(&self, haystack: &[u8]) -> ApResult<bool> {
+        Ok(!self.find_match_ends(haystack)?.is_empty())
+    }
+}
+
+/// Several PCRE patterns compiled into one shared automata network — the dictionary-
+/// matching configuration the AP was designed for (thousands of rules scanned in
+/// parallel against a single symbol stream).
+#[derive(Clone, Debug)]
+pub struct PcreSet {
+    network: AutomataNetwork,
+    patterns: Vec<String>,
+    code_to_pattern: HashMap<u32, usize>,
+}
+
+impl PcreSet {
+    /// Compiles every pattern into one network with disjoint report-code ranges.
+    pub fn compile<S: AsRef<str>>(patterns: &[S]) -> ApResult<Self> {
+        Self::compile_with(patterns, &PcreOptions::default())
+    }
+
+    /// Compiles every pattern with explicit options (the `report_base` option is
+    /// ignored; codes are assigned consecutively across the whole set).
+    pub fn compile_with<S: AsRef<str>>(patterns: &[S], options: &PcreOptions) -> ApResult<Self> {
+        let mut network = AutomataNetwork::new();
+        let mut code_to_pattern = HashMap::new();
+        let mut next_code = 0u32;
+        let mut kept = Vec::with_capacity(patterns.len());
+        for (index, pattern) in patterns.iter().enumerate() {
+            let pattern = pattern.as_ref();
+            let per = PcreOptions {
+                report_base: next_code,
+                ..options.clone()
+            };
+            let compiled = compile_pcre(pattern, &per)?;
+            for &code in compiled.accept_codes() {
+                code_to_pattern.insert(code, index);
+            }
+            next_code += compiled.accept_codes().len() as u32;
+            network.merge(compiled.network());
+            kept.push(pattern.to_string());
+        }
+        network.validate()?;
+        Ok(Self {
+            network,
+            patterns: kept,
+            code_to_pattern,
+        })
+    }
+
+    /// The combined automata network.
+    pub fn network(&self) -> &AutomataNetwork {
+        &self.network
+    }
+
+    /// The source patterns, in compilation order.
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
+    /// Maps a report code back to the index of the pattern that owns it.
+    pub fn pattern_for_code(&self, code: u32) -> Option<usize> {
+        self.code_to_pattern.get(&code).copied()
+    }
+
+    /// Runs the whole set against `haystack` and returns every match, sorted by end
+    /// offset then pattern index.
+    pub fn find_all(&self, haystack: &[u8]) -> ApResult<Vec<PcreMatch>> {
+        let mut sim = Simulator::new(&self.network)?;
+        let reports = sim.run(haystack);
+        let mut matches: Vec<PcreMatch> = reports
+            .iter()
+            .filter_map(|r| {
+                self.pattern_for_code(r.code).map(|pattern| PcreMatch {
+                    pattern,
+                    end_offset: r.offset,
+                })
+            })
+            .collect();
+        matches.sort_unstable_by_key(|m| (m.end_offset, m.pattern));
+        matches.dedup();
+        Ok(matches)
+    }
+}
+
+/// Compiles one PCRE pattern into a [`CompiledPcre`].
+pub fn compile_pcre(pattern: &str, options: &PcreOptions) -> ApResult<CompiledPcre> {
+    let (ast, anchored) = Parser::new(pattern, options).parse()?;
+    let mut positions: Vec<SymbolClass> = Vec::new();
+    let mut follow: Vec<BTreeSet<usize>> = Vec::new();
+    let lin = analyze(&ast, &mut positions, &mut follow);
+
+    if positions.is_empty() || lin.nullable {
+        return Err(pcre_error(
+            pattern,
+            "pattern matches the empty string; the AP reports matches on the cycle a \
+             symbol is consumed, so empty matches cannot be expressed",
+        ));
+    }
+    if positions.len() > options.max_states {
+        return Err(ApError::CapacityExceeded {
+            resource: "NFA states (PCRE positions)".into(),
+            requested: positions.len(),
+            available: options.max_states,
+        });
+    }
+
+    let first: HashSet<usize> = lin.first.iter().copied().collect();
+    let last: HashSet<usize> = lin.last.iter().copied().collect();
+
+    let mut network = AutomataNetwork::new();
+    let mut ids = Vec::with_capacity(positions.len());
+    let mut accept_codes = Vec::new();
+    let mut next_code = options.report_base;
+    for (i, class) in positions.iter().enumerate() {
+        let start = if first.contains(&i) {
+            if anchored {
+                StartKind::StartOfData
+            } else {
+                StartKind::AllInput
+            }
+        } else {
+            StartKind::None
+        };
+        let report = if last.contains(&i) {
+            let code = next_code;
+            next_code += 1;
+            accept_codes.push(code);
+            Some(code)
+        } else {
+            None
+        };
+        ids.push(network.add_ste(format!("p{i}"), *class, start, report));
+    }
+    for (p, successors) in follow.iter().enumerate() {
+        for &q in successors {
+            network.connect(ids[p], ids[q])?;
+        }
+    }
+    network.validate()?;
+
+    Ok(CompiledPcre {
+        pattern: pattern.to_string(),
+        position_count: positions.len(),
+        network,
+        accept_codes,
+        anchored,
+    })
+}
+
+fn pcre_error(pattern: &str, reason: &str) -> ApError {
+    ApError::Pcre {
+        reason: format!("pattern {pattern:?}: {reason}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract syntax
+// ---------------------------------------------------------------------------
+
+/// Normalized regex AST. Bounded repetitions and `+`/`?` are expanded during parsing
+/// so the Glushkov analysis only sees these five constructors.
+#[derive(Clone, Debug, PartialEq)]
+enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one symbol from the class.
+    Class(SymbolClass),
+    /// Matches the concatenation of the children.
+    Concat(Vec<Ast>),
+    /// Matches any one of the children.
+    Alternate(Vec<Ast>),
+    /// Matches zero or more repetitions of the child.
+    Star(Box<Ast>),
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    pattern: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    options: &'a PcreOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str, options: &'a PcreOptions) -> Self {
+        Self {
+            pattern,
+            bytes: pattern.as_bytes(),
+            pos: 0,
+            options,
+        }
+    }
+
+    fn error(&self, reason: impl Into<String>) -> ApError {
+        ApError::Pcre {
+            reason: format!(
+                "pattern {:?} at byte {}: {}",
+                self.pattern,
+                self.pos,
+                reason.into()
+            ),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, expected: u8) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(mut self) -> ApResult<(Ast, bool)> {
+        if self.bytes.is_empty() {
+            return Err(self.error("empty pattern"));
+        }
+        let anchored = self.eat(b'^');
+        let ast = self.parse_alternation()?;
+        if let Some(b) = self.peek() {
+            return Err(self.error(format!("unexpected {:?}", b as char)));
+        }
+        Ok((ast, anchored))
+    }
+
+    fn parse_alternation(&mut self) -> ApResult<Ast> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat(b'|') {
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn parse_concat(&mut self) -> ApResult<Ast> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.parse_quantified()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_quantified(&mut self) -> ApResult<Ast> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Ast::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Ast::Concat(vec![atom.clone(), Ast::Star(Box::new(atom))]);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Ast::Alternate(vec![atom, Ast::Empty]);
+                }
+                Some(b'{') => {
+                    self.bump();
+                    atom = self.parse_bounded_repeat(atom)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_bounded_repeat(&mut self, atom: Ast) -> ApResult<Ast> {
+        let min = self.parse_number()?;
+        let (max, unbounded) = if self.eat(b',') {
+            if self.peek() == Some(b'}') {
+                (0, true)
+            } else {
+                (self.parse_number()?, false)
+            }
+        } else {
+            (min, false)
+        };
+        if !self.eat(b'}') {
+            return Err(self.error("expected '}' to close bounded repetition"));
+        }
+        if !unbounded {
+            if max < min {
+                return Err(self.error(format!(
+                    "bounded repetition {{{min},{max}}} has max < min"
+                )));
+            }
+            if max > self.options.max_bounded_repeat {
+                return Err(self.error(format!(
+                    "bounded repetition {{{min},{max}}} exceeds the {} expansion limit",
+                    self.options.max_bounded_repeat
+                )));
+            }
+        } else if min > self.options.max_bounded_repeat {
+            return Err(self.error(format!(
+                "bounded repetition {{{min},}} exceeds the {} expansion limit",
+                self.options.max_bounded_repeat
+            )));
+        }
+
+        // Expand by duplication: the fabric has no general-purpose counting for
+        // arbitrary sub-expressions, so {n,m} becomes n mandatory copies followed by
+        // (m − n) optional copies, and {n,} becomes n copies followed by a star.
+        let mut items = Vec::new();
+        for _ in 0..min {
+            items.push(atom.clone());
+        }
+        if unbounded {
+            items.push(Ast::Star(Box::new(atom)));
+        } else {
+            for _ in min..max {
+                items.push(Ast::Alternate(vec![atom.clone(), Ast::Empty]));
+            }
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_number(&mut self) -> ApResult<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse::<u32>()
+            .map_err(|_| self.error("repetition count does not fit in 32 bits"))
+    }
+
+    fn parse_atom(&mut self) -> ApResult<Ast> {
+        match self.peek() {
+            None => Err(self.error("expected an atom, found end of pattern")),
+            Some(b'(') => {
+                self.bump();
+                // Accept and ignore the non-capturing group spelling `(?:`.
+                if self.peek() == Some(b'?') {
+                    if self.bytes.get(self.pos + 1) == Some(&b':') {
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error(
+                            "only the (?: ) non-capturing group extension is supported",
+                        ));
+                    }
+                }
+                let inner = self.parse_alternation()?;
+                if !self.eat(b')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some(b')') => Err(self.error("unmatched ')'")),
+            Some(b'[') => {
+                self.bump();
+                let class = self.parse_class()?;
+                Ok(Ast::Class(class))
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(Ast::Class(SymbolClass::any()))
+            }
+            Some(b'\\') => {
+                self.bump();
+                let class = self.parse_escape()?;
+                Ok(Ast::Class(class))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') | Some(b'{') => {
+                Err(self.error("quantifier with nothing to repeat"))
+            }
+            Some(b'^') => Err(self.error("'^' is only supported at the start of the pattern")),
+            Some(b'$') => Err(self.error(
+                "'$' is not supported: the AP has no end-of-data anchor; append an \
+                 explicit terminator symbol to the stream instead",
+            )),
+            Some(literal) => {
+                self.bump();
+                Ok(Ast::Class(SymbolClass::single(literal)))
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> ApResult<SymbolClass> {
+        let Some(b) = self.bump() else {
+            return Err(self.error("dangling '\\' at end of pattern"));
+        };
+        Ok(match b {
+            b'd' => digit_class(),
+            b'D' => complement(&digit_class()),
+            b'w' => word_class(),
+            b'W' => complement(&word_class()),
+            b's' => space_class(),
+            b'S' => complement(&space_class()),
+            b'n' => SymbolClass::single(b'\n'),
+            b'r' => SymbolClass::single(b'\r'),
+            b't' => SymbolClass::single(b'\t'),
+            b'0' => SymbolClass::single(0),
+            b'x' => {
+                let hi = self.parse_hex_digit()?;
+                let lo = self.parse_hex_digit()?;
+                SymbolClass::single(hi * 16 + lo)
+            }
+            other => SymbolClass::single(other),
+        })
+    }
+
+    fn parse_hex_digit(&mut self) -> ApResult<u8> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.error("\\x escape requires two hexadecimal digits")),
+        }
+    }
+
+    fn parse_class(&mut self) -> ApResult<SymbolClass> {
+        let negate = self.eat(b'^');
+        let mut class = SymbolClass::empty();
+        let mut closed = false;
+        while let Some(b) = self.bump() {
+            if b == b']' {
+                closed = true;
+                break;
+            }
+            let item = if b == b'\\' {
+                self.parse_escape()?
+            } else {
+                SymbolClass::single(b)
+            };
+            // A `-` between two single symbols denotes a range.
+            if item.cardinality() == 1
+                && self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+            {
+                self.bump(); // consume '-'
+                let hi_item = match self.bump() {
+                    Some(b'\\') => self.parse_escape()?,
+                    Some(other) => SymbolClass::single(other),
+                    None => return Err(self.error("unclosed character class")),
+                };
+                if hi_item.cardinality() != 1 {
+                    return Err(self.error("character-class range bounds must be single symbols"));
+                }
+                let lo = single_member(&item);
+                let hi = single_member(&hi_item);
+                if hi < lo {
+                    return Err(self.error(format!(
+                        "invalid character-class range {:?}-{:?}",
+                        lo as char, hi as char
+                    )));
+                }
+                class = class.union(&SymbolClass::range(lo, hi));
+            } else {
+                class = class.union(&item);
+            }
+        }
+        if !closed {
+            return Err(self.error("unclosed character class"));
+        }
+        if class.cardinality() == 0 {
+            return Err(self.error("empty character class"));
+        }
+        if negate {
+            class = complement(&class);
+            if class.cardinality() == 0 {
+                return Err(self.error("negated character class matches no symbol"));
+            }
+        }
+        Ok(class)
+    }
+}
+
+fn single_member(class: &SymbolClass) -> u8 {
+    (0..=255u8)
+        .find(|&s| class.matches(s))
+        .expect("class with cardinality 1 has a member")
+}
+
+/// The complement of a symbol class over the full 8-bit alphabet.
+fn complement(class: &SymbolClass) -> SymbolClass {
+    let mut out = SymbolClass::empty();
+    for s in 0..=255u8 {
+        if !class.matches(s) {
+            out.insert(s);
+        }
+    }
+    out
+}
+
+fn digit_class() -> SymbolClass {
+    SymbolClass::range(b'0', b'9')
+}
+
+fn word_class() -> SymbolClass {
+    SymbolClass::range(b'a', b'z')
+        .union(&SymbolClass::range(b'A', b'Z'))
+        .union(&SymbolClass::range(b'0', b'9'))
+        .union(&SymbolClass::single(b'_'))
+}
+
+fn space_class() -> SymbolClass {
+    SymbolClass::of(&[b' ', b'\t', b'\r', b'\n', 0x0b, 0x0c])
+}
+
+// ---------------------------------------------------------------------------
+// Glushkov analysis
+// ---------------------------------------------------------------------------
+
+/// Result of the Glushkov analysis for one sub-expression.
+struct Lin {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+fn union_positions(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Recursively assigns positions to symbol-class leaves and computes the
+/// nullable / first / last / follow sets of the Glushkov construction.
+fn analyze(
+    ast: &Ast,
+    positions: &mut Vec<SymbolClass>,
+    follow: &mut Vec<BTreeSet<usize>>,
+) -> Lin {
+    match ast {
+        Ast::Empty => Lin {
+            nullable: true,
+            first: Vec::new(),
+            last: Vec::new(),
+        },
+        Ast::Class(class) => {
+            let p = positions.len();
+            positions.push(*class);
+            follow.push(BTreeSet::new());
+            Lin {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+            }
+        }
+        Ast::Concat(items) => {
+            let mut acc = Lin {
+                nullable: true,
+                first: Vec::new(),
+                last: Vec::new(),
+            };
+            for item in items {
+                let lin = analyze(item, positions, follow);
+                for &p in &acc.last {
+                    for &q in &lin.first {
+                        follow[p].insert(q);
+                    }
+                }
+                acc.first = if acc.nullable {
+                    union_positions(&acc.first, &lin.first)
+                } else {
+                    acc.first
+                };
+                acc.last = if lin.nullable {
+                    union_positions(&acc.last, &lin.last)
+                } else {
+                    lin.last
+                };
+                acc.nullable = acc.nullable && lin.nullable;
+            }
+            acc
+        }
+        Ast::Alternate(items) => {
+            let mut acc = Lin {
+                nullable: false,
+                first: Vec::new(),
+                last: Vec::new(),
+            };
+            for item in items {
+                let lin = analyze(item, positions, follow);
+                acc.nullable = acc.nullable || lin.nullable;
+                acc.first = union_positions(&acc.first, &lin.first);
+                acc.last = union_positions(&acc.last, &lin.last);
+            }
+            acc
+        }
+        Ast::Star(inner) => {
+            let lin = analyze(inner, positions, follow);
+            for &p in &lin.last {
+                for &q in &lin.first {
+                    follow[p].insert(q);
+                }
+            }
+            Lin {
+                nullable: true,
+                first: lin.first,
+                last: lin.last,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference interpreter: the set of *exclusive* end offsets of matches of `ast`
+    /// that begin at `start` in `text`.
+    fn reference_ends(ast: &Ast, text: &[u8], start: usize) -> BTreeSet<usize> {
+        match ast {
+            Ast::Empty => [start].into_iter().collect(),
+            Ast::Class(class) => {
+                if start < text.len() && class.matches(text[start]) {
+                    [start + 1].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Ast::Concat(items) => {
+                let mut current: BTreeSet<usize> = [start].into_iter().collect();
+                for item in items {
+                    let mut next = BTreeSet::new();
+                    for &s in &current {
+                        next.extend(reference_ends(item, text, s));
+                    }
+                    current = next;
+                    if current.is_empty() {
+                        break;
+                    }
+                }
+                current
+            }
+            Ast::Alternate(items) => items
+                .iter()
+                .flat_map(|item| reference_ends(item, text, start))
+                .collect(),
+            Ast::Star(inner) => {
+                let mut reached: BTreeSet<usize> = [start].into_iter().collect();
+                loop {
+                    let mut added = false;
+                    for s in reached.clone() {
+                        for e in reference_ends(inner, text, s) {
+                            if reached.insert(e) {
+                                added = true;
+                            }
+                        }
+                    }
+                    if !added {
+                        break;
+                    }
+                }
+                reached
+            }
+        }
+    }
+
+    /// Reference unanchored (or anchored) match-end offsets, in AP convention:
+    /// the offset of the *last consumed symbol* of each non-empty match.
+    fn reference_match_ends(pattern: &str, text: &[u8]) -> Vec<u64> {
+        let options = PcreOptions::default();
+        let (ast, anchored) = Parser::new(pattern, &options).parse().expect("parse");
+        let starts: Vec<usize> = if anchored {
+            vec![0]
+        } else {
+            (0..=text.len()).collect()
+        };
+        let mut ends = BTreeSet::new();
+        for start in starts {
+            for end in reference_ends(&ast, text, start) {
+                if end > start {
+                    ends.insert((end - 1) as u64);
+                }
+            }
+        }
+        ends.into_iter().collect()
+    }
+
+    fn ap_match_ends(pattern: &str, text: &[u8]) -> Vec<u64> {
+        CompiledPcre::compile(pattern)
+            .expect("compile")
+            .find_match_ends(text)
+            .expect("simulate")
+    }
+
+    fn assert_agrees(pattern: &str, text: &str) {
+        assert_eq!(
+            ap_match_ends(pattern, text.as_bytes()),
+            reference_match_ends(pattern, text.as_bytes()),
+            "pattern {pattern:?} on {text:?}"
+        );
+    }
+
+    #[test]
+    fn literal_matches_every_occurrence() {
+        let ends = ap_match_ends("abc", b"xxabcxabcabc");
+        assert_eq!(ends, vec![4, 8, 11]);
+    }
+
+    #[test]
+    fn unanchored_literal_agrees_with_reference() {
+        assert_agrees("abc", "xxabcxabcabc");
+        assert_agrees("aa", "aaaa");
+        assert_agrees("a", "");
+    }
+
+    #[test]
+    fn anchored_pattern_only_matches_at_start() {
+        let ends = ap_match_ends("^ab", b"abxab");
+        assert_eq!(ends, vec![1]);
+        assert!(ap_match_ends("^ab", b"xabab").is_empty());
+        assert_agrees("^ab", "abxab");
+        assert_agrees("^a+b", "aaab");
+    }
+
+    #[test]
+    fn character_classes_and_ranges() {
+        assert_agrees("[a-c]x", "ax bx cx dx");
+        assert_agrees("[abz]", "xyzabc");
+        assert_agrees("[^0-9]", "a1b2");
+        assert_agrees("[-a]", "-a b");
+        // literal '-' at the end of a class
+        assert_agrees("[a-]", "-a b");
+    }
+
+    #[test]
+    fn predefined_classes() {
+        assert_agrees("\\d", "a1b22");
+        assert_agrees("\\d+", "a1b22c333");
+        assert_agrees("\\w+", "hi there_42!");
+        assert_agrees("\\s", "a b\tc");
+        assert_agrees("\\D", "1a2");
+        assert_agrees("\\x41", "ABA");
+    }
+
+    #[test]
+    fn dot_matches_any_symbol_including_newline() {
+        let ends = ap_match_ends("a.c", b"a\ncabc axc");
+        assert_eq!(ends, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert_agrees("cat|dog", "hotdog catalog");
+        assert_agrees("(?:ab|cd)+", "ababcdxcd");
+        assert_agrees("a(b|c)d", "abd acd add");
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_agrees("ab*c", "ac abc abbbc abx");
+        assert_agrees("ab+c", "ac abc abbbc");
+        assert_agrees("ab?c", "ac abc abbc");
+        assert_agrees("a{3}", "aaaaa");
+        assert_agrees("a{2,4}", "aaaaaa");
+        assert_agrees("a{2,}b", "ab aab aaaab");
+        assert_agrees("(ab){2}", "ababab");
+    }
+
+    #[test]
+    fn escaped_metacharacters_are_literals() {
+        assert_agrees("\\.", "a.b");
+        assert_agrees("a\\*b", "a*b ab");
+        assert_agrees("\\\\", "a\\b");
+        assert_agrees("\\{2\\}", "a{2}b");
+    }
+
+    #[test]
+    fn nullable_patterns_are_rejected() {
+        for pattern in ["a*", "a?", "(a|)", "a{0,3}", "()", "(?:)"] {
+            let err = CompiledPcre::compile(pattern).unwrap_err();
+            assert!(
+                matches!(err, ApError::Pcre { .. }),
+                "{pattern:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected() {
+        for pattern in [
+            "", "(", ")", "(ab", "a)", "[abc", "[]", "[z-a]", "a{3,2}", "a{2", "*a", "+", "?a",
+            "a$", "$", "ab^c", "\\x4", "\\xzz", "a{99999}", "(?<name>a)",
+        ] {
+            let err = CompiledPcre::compile(pattern).unwrap_err();
+            assert!(
+                matches!(err, ApError::Pcre { .. }),
+                "{pattern:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negated_class_of_everything_is_rejected() {
+        // `[^\x00-\xff]` would match nothing; the parser only sees the 8-bit subset we
+        // can spell, so approximate with a class covering all symbols via escapes.
+        let err = CompiledPcre::compile("[^\\x00-\\xff]");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let options = PcreOptions {
+            max_states: 4,
+            ..PcreOptions::default()
+        };
+        let err = CompiledPcre::compile_with("abcde", &options).unwrap_err();
+        assert!(matches!(err, ApError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn position_count_matches_literal_length() {
+        let compiled = CompiledPcre::compile("abcd").unwrap();
+        assert_eq!(compiled.position_count(), 4);
+        assert_eq!(compiled.network().len(), 4);
+        assert_eq!(compiled.accept_codes().len(), 1);
+        assert!(!compiled.is_anchored());
+        assert_eq!(compiled.pattern(), "abcd");
+    }
+
+    #[test]
+    fn bounded_repetition_expands_states() {
+        let compiled = CompiledPcre::compile("a{4}").unwrap();
+        assert_eq!(compiled.position_count(), 4);
+        let compiled = CompiledPcre::compile("a{2,4}").unwrap();
+        assert_eq!(compiled.position_count(), 4);
+    }
+
+    #[test]
+    fn report_base_offsets_codes() {
+        let options = PcreOptions {
+            report_base: 100,
+            ..PcreOptions::default()
+        };
+        let compiled = CompiledPcre::compile_with("ab|cd", &options).unwrap();
+        assert_eq!(compiled.accept_codes(), &[100, 101]);
+    }
+
+    #[test]
+    fn is_match_reports_presence() {
+        let compiled = CompiledPcre::compile("needle").unwrap();
+        assert!(compiled.is_match(b"haystack with a needle inside").unwrap());
+        assert!(!compiled.is_match(b"haystack only").unwrap());
+    }
+
+    #[test]
+    fn pcre_set_distinguishes_patterns() {
+        let set = PcreSet::compile(&["cat", "dog", "bird|fish"]).unwrap();
+        assert_eq!(set.patterns().len(), 3);
+        let matches = set.find_all(b"the dog chased the cat and the fish").unwrap();
+        let by_pattern: Vec<(usize, u64)> =
+            matches.iter().map(|m| (m.pattern, m.end_offset)).collect();
+        assert!(by_pattern.contains(&(1, 6)));
+        assert!(by_pattern.contains(&(0, 21)));
+        assert!(by_pattern.contains(&(2, 34)));
+        // Every report code maps back to a pattern.
+        for code in set.network().report_codes() {
+            assert!(set.pattern_for_code(code).is_some());
+        }
+        assert_eq!(set.pattern_for_code(999), None);
+    }
+
+    #[test]
+    fn pcre_set_network_merges_components() {
+        let set = PcreSet::compile(&["abc", "de"]).unwrap();
+        let stats = set.network().stats();
+        assert_eq!(stats.stes, 5);
+        assert_eq!(stats.components, 2);
+    }
+
+    #[test]
+    fn into_network_preserves_structure() {
+        let compiled = CompiledPcre::compile("ab|cd").unwrap();
+        let expected = compiled.network().stats();
+        let net = compiled.into_network();
+        assert_eq!(net.stats(), expected);
+    }
+
+    #[test]
+    fn predefined_class_cardinalities() {
+        assert_eq!(digit_class().cardinality(), 10);
+        assert_eq!(word_class().cardinality(), 63);
+        assert_eq!(space_class().cardinality(), 6);
+        assert_eq!(complement(&digit_class()).cardinality(), 246);
+    }
+
+    // -----------------------------------------------------------------------
+    // Property tests: random patterns from a restricted grammar agree with the
+    // reference interpreter on random texts over a small alphabet.
+    // -----------------------------------------------------------------------
+
+    /// Strategy for random pattern ASTs rendered back to pattern strings.
+    fn pattern_strategy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            prop::sample::select(vec!["a", "b", "c", "[ab]", "[^a]", "."]).prop_map(String::from),
+        ];
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            prop_oneof![
+                // concatenation
+                prop::collection::vec(inner.clone(), 1..3).prop_map(|parts| parts.concat()),
+                // alternation (grouped so it composes)
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| format!("(?:{a}|{b})")),
+                // plus (avoids nullable-whole-pattern rejections in most cases)
+                inner.clone().prop_map(|a| format!("(?:{a})+")),
+                // bounded repeat
+                (inner, 1u32..3).prop_map(|(a, n)| format!("(?:{a}){{{n}}}")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_patterns_agree_with_reference(
+            pattern in pattern_strategy(),
+            text in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 0..24),
+        ) {
+            match CompiledPcre::compile(&pattern) {
+                Ok(compiled) => {
+                    let got = compiled.find_match_ends(&text).expect("simulate");
+                    let expected = reference_match_ends(&pattern, &text);
+                    prop_assert_eq!(got, expected, "pattern {} text {:?}", pattern, text);
+                }
+                Err(ApError::Pcre { .. }) => {
+                    // Nullable pattern — legitimately rejected.
+                }
+                Err(other) => return Err(TestCaseError::fail(format!("{other:?}"))),
+            }
+        }
+
+        #[test]
+        fn literal_patterns_match_like_substring_search(
+            needle in prop::collection::vec(prop::sample::select(vec![b'x', b'y', b'z']), 1..5),
+            haystack in prop::collection::vec(prop::sample::select(vec![b'x', b'y', b'z']), 0..32),
+        ) {
+            let pattern: String = needle.iter().map(|&b| b as char).collect();
+            let compiled = CompiledPcre::compile(&pattern).unwrap();
+            let got = compiled.find_match_ends(&haystack).unwrap();
+            let expected: Vec<u64> = haystack
+                .windows(needle.len())
+                .enumerate()
+                .filter(|(_, w)| *w == needle.as_slice())
+                .map(|(i, _)| (i + needle.len() - 1) as u64)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

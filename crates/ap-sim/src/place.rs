@@ -1,0 +1,425 @@
+//! Placement and resource-utilization estimation.
+//!
+//! The paper reports resource utilization from the vendor `apadmin` compilation
+//! reports ("total rectangular block area"). That toolchain is unavailable, so this
+//! module provides a placement estimator with the same granularity: connected
+//! components (independent NFAs) are packed into blocks and half-cores subject to the
+//! published capacity limits, and utilization is reported as the fraction of *blocks*
+//! occupied — matching the paper's rectangular-block-area metric, which charges a
+//! whole block even when it is partially filled.
+//!
+//! A simple routability heuristic penalizes designs with very high fan-in/fan-out
+//! (the effect the paper observed when vector packing "placed but only partially
+//! routed" at high dimensionality).
+
+use crate::device::DeviceConfig;
+use crate::element::ElementKind;
+use crate::error::{ApError, ApResult};
+use crate::network::AutomataNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Resource demand of a single connected component (one NFA).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentDemand {
+    /// STEs required.
+    pub stes: usize,
+    /// Counters required.
+    pub counters: usize,
+    /// Boolean elements required.
+    pub booleans: usize,
+    /// Reporting elements required.
+    pub reporting: usize,
+}
+
+/// Result of placing a network onto a device.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Number of independent NFAs (connected components) placed.
+    pub components: usize,
+    /// Blocks occupied (a block is charged as soon as any of its resources is used).
+    pub blocks_used: usize,
+    /// Half-cores that contain at least one occupied block.
+    pub half_cores_used: usize,
+    /// Total STEs used by the design.
+    pub stes_used: usize,
+    /// Total counters used.
+    pub counters_used: usize,
+    /// Total boolean elements used.
+    pub booleans_used: usize,
+    /// Total reporting elements used.
+    pub reporting_used: usize,
+    /// Fraction of the board's blocks occupied (the paper's utilization metric).
+    pub block_utilization: f64,
+    /// Fraction of the board's STEs occupied.
+    pub ste_utilization: f64,
+    /// Routing-pressure heuristic in [0, 1]; values near 1 indicate designs the
+    /// Gen-1 toolchain would likely fail to fully route (observed for vector packing
+    /// at high dimensionality).
+    pub routing_pressure: f64,
+}
+
+impl PlacementReport {
+    /// Whether the design fits on the device at all.
+    pub fn fits(&self) -> bool {
+        self.block_utilization <= 1.0
+    }
+}
+
+/// Greedy block/half-core packer.
+#[derive(Clone, Debug)]
+pub struct Placer {
+    device: DeviceConfig,
+    /// Fan-in above which the routing-pressure heuristic saturates.
+    routing_fan_in_limit: usize,
+}
+
+impl Placer {
+    /// Creates a placer for the given device.
+    pub fn new(device: DeviceConfig) -> Self {
+        Self {
+            device,
+            routing_fan_in_limit: 64,
+        }
+    }
+
+    /// Overrides the fan-in limit used by the routing-pressure heuristic.
+    pub fn with_routing_fan_in_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "fan-in limit must be positive");
+        self.routing_fan_in_limit = limit;
+        self
+    }
+
+    /// The device this placer targets.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Computes the resource demand of every connected component.
+    pub fn component_demands(&self, net: &AutomataNetwork) -> Vec<ComponentDemand> {
+        net.connected_components()
+            .iter()
+            .map(|comp| {
+                let mut d = ComponentDemand::default();
+                for id in comp {
+                    let e = &net.elements()[id.index()];
+                    match e.kind {
+                        ElementKind::Ste { .. } => d.stes += 1,
+                        ElementKind::Counter { .. } => d.counters += 1,
+                        ElementKind::Boolean { .. } => d.booleans += 1,
+                    }
+                    if e.is_reporting() {
+                        d.reporting += 1;
+                    }
+                }
+                d
+            })
+            .collect()
+    }
+
+    /// Places `net` onto the device, producing a utilization report.
+    ///
+    /// Errors if any single NFA exceeds the half-core limit (NFAs cannot span
+    /// half-cores) or if the whole design does not fit on the board.
+    pub fn place(&self, net: &AutomataNetwork) -> ApResult<PlacementReport> {
+        net.validate()?;
+        let demands = self.component_demands(net);
+        let dev = &self.device;
+
+        // Rule: a single NFA must fit within one half-core.
+        for d in &demands {
+            if d.stes > dev.stes_per_half_core() {
+                return Err(ApError::CapacityExceeded {
+                    resource: "STEs per NFA (half-core limit)".into(),
+                    requested: d.stes,
+                    available: dev.stes_per_half_core(),
+                });
+            }
+            if d.counters > dev.counters_per_half_core() {
+                return Err(ApError::CapacityExceeded {
+                    resource: "counters per NFA (half-core limit)".into(),
+                    requested: d.counters,
+                    available: dev.counters_per_half_core(),
+                });
+            }
+        }
+
+        // Greedy first-fit packing of components into half-cores, then blocks within
+        // each half-core. Components are kept whole within a half-core; block usage
+        // within a half-core is computed from the bottleneck resource.
+        let mut half_cores: Vec<HalfCoreUsage> = Vec::new();
+        for d in &demands {
+            let placed = half_cores.iter_mut().any(|hc| hc.try_add(d, dev));
+            if !placed {
+                let mut hc = HalfCoreUsage::default();
+                if !hc.try_add(d, dev) {
+                    // Cannot happen: single-component limits checked above.
+                    return Err(ApError::CapacityExceeded {
+                        resource: "half-core".into(),
+                        requested: d.stes,
+                        available: dev.stes_per_half_core(),
+                    });
+                }
+                half_cores.push(hc);
+            }
+        }
+
+        if half_cores.len() > dev.half_cores_per_board() {
+            return Err(ApError::CapacityExceeded {
+                resource: "half-cores".into(),
+                requested: half_cores.len(),
+                available: dev.half_cores_per_board(),
+            });
+        }
+
+        let blocks_used: usize = half_cores.iter().map(|hc| hc.blocks_needed(dev)).sum();
+        let stats = net.stats();
+        let stes_used = stats.stes;
+        let total_blocks = dev.blocks_per_board();
+
+        let routing_pressure = {
+            let fan = stats.max_fan_in.max(stats.max_fan_out) as f64;
+            (fan / self.routing_fan_in_limit as f64).min(1.0)
+        };
+
+        Ok(PlacementReport {
+            components: demands.len(),
+            blocks_used,
+            half_cores_used: half_cores.len(),
+            stes_used,
+            counters_used: stats.counters,
+            booleans_used: stats.booleans,
+            reporting_used: stats.reporting,
+            block_utilization: blocks_used as f64 / total_blocks as f64,
+            ste_utilization: stes_used as f64 / dev.stes_per_board() as f64,
+            routing_pressure,
+        })
+    }
+
+    /// Analytical utilization estimate from raw resource counts, bypassing network
+    /// construction. Used for board-capacity planning (how many vectors fit per
+    /// configuration) without building the multi-hundred-thousand-element network.
+    pub fn estimate_from_demands(&self, demands: &[ComponentDemand]) -> ApResult<PlacementReport> {
+        let dev = &self.device;
+        for d in demands {
+            if d.stes > dev.stes_per_half_core() {
+                return Err(ApError::CapacityExceeded {
+                    resource: "STEs per NFA (half-core limit)".into(),
+                    requested: d.stes,
+                    available: dev.stes_per_half_core(),
+                });
+            }
+        }
+        let mut half_cores: Vec<HalfCoreUsage> = Vec::new();
+        for d in demands {
+            let placed = half_cores.iter_mut().any(|hc| hc.try_add(d, dev));
+            if !placed {
+                let mut hc = HalfCoreUsage::default();
+                hc.try_add(d, dev);
+                half_cores.push(hc);
+            }
+        }
+        if half_cores.len() > dev.half_cores_per_board() {
+            return Err(ApError::CapacityExceeded {
+                resource: "half-cores".into(),
+                requested: half_cores.len(),
+                available: dev.half_cores_per_board(),
+            });
+        }
+        let blocks_used: usize = half_cores.iter().map(|hc| hc.blocks_needed(dev)).sum();
+        let stes_used: usize = demands.iter().map(|d| d.stes).sum();
+        Ok(PlacementReport {
+            components: demands.len(),
+            blocks_used,
+            half_cores_used: half_cores.len(),
+            stes_used,
+            counters_used: demands.iter().map(|d| d.counters).sum(),
+            booleans_used: demands.iter().map(|d| d.booleans).sum(),
+            reporting_used: demands.iter().map(|d| d.reporting).sum(),
+            block_utilization: blocks_used as f64 / dev.blocks_per_board() as f64,
+            ste_utilization: stes_used as f64 / dev.stes_per_board() as f64,
+            routing_pressure: 0.0,
+        })
+    }
+}
+
+/// Running resource totals for one half-core during packing.
+#[derive(Clone, Copy, Debug, Default)]
+struct HalfCoreUsage {
+    stes: usize,
+    counters: usize,
+    booleans: usize,
+    reporting: usize,
+}
+
+impl HalfCoreUsage {
+    /// Attempts to add a component; returns false if it would overflow the half-core.
+    fn try_add(&mut self, d: &ComponentDemand, dev: &DeviceConfig) -> bool {
+        let new = HalfCoreUsage {
+            stes: self.stes + d.stes,
+            counters: self.counters + d.counters,
+            booleans: self.booleans + d.booleans,
+            reporting: self.reporting + d.reporting,
+        };
+        if new.stes <= dev.stes_per_half_core()
+            && new.counters <= dev.counters_per_half_core()
+            && new.booleans <= dev.booleans_per_half_core()
+            && new.reporting <= dev.reporting_per_half_core()
+        {
+            *self = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks needed inside this half-core, determined by the bottleneck resource.
+    fn blocks_needed(&self, dev: &DeviceConfig) -> usize {
+        let by_ste = self.stes.div_ceil(dev.stes_per_block);
+        let by_counter = self.counters.div_ceil(dev.counters_per_block);
+        let by_bool = self.booleans.div_ceil(dev.booleans_per_block);
+        let by_report = self.reporting.div_ceil(dev.reporting_per_block);
+        by_ste.max(by_counter).max(by_bool).max(by_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{CounterMode, StartKind};
+    use crate::network::ConnectPort;
+    use crate::symbol::SymbolClass;
+
+    /// Builds `n` small independent NFAs each with `stes` STEs and one counter.
+    fn many_small_nfas(n: usize, stes: usize) -> AutomataNetwork {
+        let mut net = AutomataNetwork::new();
+        for i in 0..n {
+            let start = net.add_ste(
+                format!("s{i}"),
+                SymbolClass::any(),
+                StartKind::AllInput,
+                None,
+            );
+            let mut prev = start;
+            for j in 1..stes {
+                let next = net.add_ste(
+                    format!("s{i}_{j}"),
+                    SymbolClass::any(),
+                    StartKind::None,
+                    None,
+                );
+                net.connect(prev, next).unwrap();
+                prev = next;
+            }
+            let c = net.add_counter(
+                format!("c{i}"),
+                1,
+                CounterMode::Pulse,
+                Some(i as u32),
+            );
+            net.connect_port(prev, c, ConnectPort::CountEnable).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn component_demands_counted_per_nfa() {
+        let net = many_small_nfas(3, 5);
+        let placer = Placer::new(DeviceConfig::gen1());
+        let demands = placer.component_demands(&net);
+        assert_eq!(demands.len(), 3);
+        for d in demands {
+            assert_eq!(d.stes, 5);
+            assert_eq!(d.counters, 1);
+            assert_eq!(d.reporting, 1);
+        }
+    }
+
+    #[test]
+    fn place_small_design_reports_low_utilization() {
+        let net = many_small_nfas(4, 10);
+        let placer = Placer::new(DeviceConfig::gen1());
+        let report = placer.place(&net).unwrap();
+        assert_eq!(report.components, 4);
+        assert!(report.fits());
+        assert!(report.block_utilization > 0.0);
+        assert!(report.block_utilization < 0.01);
+        assert_eq!(report.stes_used, 40);
+        assert_eq!(report.counters_used, 4);
+    }
+
+    #[test]
+    fn counters_can_be_the_bottleneck_resource() {
+        // 16 tiny NFAs, each 2 STEs + 1 counter. STE-wise they fit in one block, but
+        // a block only has 4 counters, so at least 4 blocks are needed.
+        let net = many_small_nfas(16, 2);
+        let placer = Placer::new(DeviceConfig::gen1());
+        let report = placer.place(&net).unwrap();
+        assert!(report.blocks_used >= 4, "blocks_used = {}", report.blocks_used);
+    }
+
+    #[test]
+    fn oversized_single_nfa_is_rejected() {
+        // One NFA with more STEs than a half-core cannot be placed no matter how big
+        // the board is. Use the analytical path to avoid building 25k elements.
+        let placer = Placer::new(DeviceConfig::gen1());
+        let err = placer
+            .estimate_from_demands(&[ComponentDemand {
+                stes: 30_000,
+                counters: 1,
+                booleans: 0,
+                reporting: 1,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, ApError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn board_capacity_is_enforced() {
+        // More half-core-sized components than the board has half-cores.
+        let placer = Placer::new(DeviceConfig::gen1());
+        let demand = ComponentDemand {
+            stes: 24_576,
+            counters: 0,
+            booleans: 0,
+            reporting: 0,
+        };
+        let demands = vec![demand; 65];
+        let err = placer.estimate_from_demands(&demands).unwrap_err();
+        assert!(matches!(err, ApError::CapacityExceeded { .. }));
+        // Exactly the board's worth fits.
+        let ok = placer.estimate_from_demands(&vec![demand; 64]).unwrap();
+        assert!((ok.block_utilization - 1.0).abs() < 1e-9);
+        assert_eq!(ok.half_cores_used, 64);
+    }
+
+    #[test]
+    fn estimate_matches_place_for_simple_designs() {
+        let net = many_small_nfas(8, 6);
+        let placer = Placer::new(DeviceConfig::gen1());
+        let placed = placer.place(&net).unwrap();
+        let estimated = placer
+            .estimate_from_demands(&placer.component_demands(&net))
+            .unwrap();
+        assert_eq!(placed.blocks_used, estimated.blocks_used);
+        assert_eq!(placed.stes_used, estimated.stes_used);
+        assert_eq!(placed.half_cores_used, estimated.half_cores_used);
+    }
+
+    #[test]
+    fn routing_pressure_saturates_with_fan_in() {
+        // A collector with enormous fan-in should drive the heuristic to 1.0.
+        let mut net = AutomataNetwork::new();
+        let collector = net.add_ste("col", SymbolClass::any(), StartKind::AllInput, Some(0));
+        for i in 0..200 {
+            let s = net.add_ste(format!("s{i}"), SymbolClass::any(), StartKind::AllInput, None);
+            net.connect(s, collector).unwrap();
+        }
+        let placer = Placer::new(DeviceConfig::gen1());
+        let report = placer.place(&net).unwrap();
+        assert!((report.routing_pressure - 1.0).abs() < 1e-9);
+
+        let relaxed = Placer::new(DeviceConfig::gen1()).with_routing_fan_in_limit(1000);
+        let report2 = relaxed.place(&net).unwrap();
+        assert!(report2.routing_pressure < 0.5);
+    }
+}

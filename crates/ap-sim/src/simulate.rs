@@ -1,0 +1,548 @@
+//! Cycle-accurate simulation of an automata network against a symbol stream.
+//!
+//! # Timing model
+//!
+//! The simulator advances one 8-bit symbol per clock cycle and follows the activation
+//! semantics of the AP programming model, calibrated against the worked example in
+//! the paper's Figures 3 and 4:
+//!
+//! * An **STE** is active on cycle *t* iff the symbol at *t* is in its symbol class
+//!   **and** it is a start state (or the stream is at its first symbol for
+//!   `StartOfData` states) **or** at least one of its activation drivers was active
+//!   on cycle *t − 1*.
+//! * A **counter** samples its enable and reset ports' activations from cycle
+//!   *t − 1*: a reset zeroes the count (and re-arms pulse mode); otherwise the count
+//!   increases by the number of active enable drivers, capped at the counter's
+//!   per-cycle increment limit (1 on real Gen-1 hardware). The counter is *active*
+//!   on cycle *t* when the count reaches its threshold — for a single cycle in
+//!   [`CounterMode::Pulse`], persistently in [`CounterMode::Latch`].
+//! * A **boolean gate** is combinational: it is active on cycle *t* as a function of
+//!   its drivers' activations on cycle *t* (gate-to-gate chains are resolved to a
+//!   fixpoint within the cycle).
+//! * A **reporting element** that is active on cycle *t* emits a
+//!   [`ReportEvent`] carrying its report code and the 0-based stream offset *t* —
+//!   exactly the `(id, offset)` pair the host receives over PCIe.
+
+use crate::element::{CounterMode, ElementId, ElementKind, StartKind};
+use crate::error::{ApError, ApResult};
+use crate::network::{AutomataNetwork, ConnectPort};
+use serde::{Deserialize, Serialize};
+
+/// A reporting-element activation observed by the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReportEvent {
+    /// The reporting element that fired.
+    pub element: ElementId,
+    /// The report code programmed into that element (maps back to a dataset vector).
+    pub code: u32,
+    /// 0-based offset into the symbol stream (cycle number) at which it fired.
+    pub offset: u64,
+}
+
+/// A full activation trace, produced by [`Simulator::run_traced`]. Intended for
+/// debugging, documentation examples and the Figure 3/4 reproduction — not for the
+/// large-scale performance runs.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimulationTrace {
+    /// For every cycle, the ids of all active elements.
+    pub activations: Vec<Vec<ElementId>>,
+    /// For every cycle, `(counter element id, count after this cycle)` pairs.
+    pub counter_values: Vec<Vec<(ElementId, u32)>>,
+    /// Every report event emitted during the run.
+    pub reports: Vec<ReportEvent>,
+}
+
+/// Cycle-accurate simulator for one [`AutomataNetwork`].
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    net: &'a AutomataNetwork,
+    /// Activation of every element on the previous cycle.
+    prev_active: Vec<bool>,
+    /// Scratch buffer for the current cycle.
+    cur_active: Vec<bool>,
+    /// Counter internal counts, indexed by element id (0 for non-counters).
+    counts: Vec<u32>,
+    /// Whether a pulse-mode counter has already fired since its last reset.
+    fired: Vec<bool>,
+    /// Cycles executed so far (also the offset of the next symbol).
+    cycle: u64,
+    /// Element evaluation order for boolean fixpoint resolution.
+    boolean_ids: Vec<usize>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `net`, validating the network first.
+    pub fn new(net: &'a AutomataNetwork) -> ApResult<Self> {
+        net.validate()?;
+        let n = net.len();
+        let boolean_ids = net
+            .elements()
+            .iter()
+            .filter(|e| e.is_boolean())
+            .map(|e| e.id.index())
+            .collect();
+        Ok(Self {
+            net,
+            prev_active: vec![false; n],
+            cur_active: vec![false; n],
+            counts: vec![0; n],
+            fired: vec![false; n],
+            cycle: 0,
+            boolean_ids,
+        })
+    }
+
+    /// Number of cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether element `id` was active on the most recently executed cycle.
+    pub fn is_active(&self, id: ElementId) -> bool {
+        self.prev_active
+            .get(id.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Internal count of counter `id` after the most recently executed cycle.
+    pub fn counter_value(&self, id: ElementId) -> ApResult<u32> {
+        let e = self.net.element(id)?;
+        if !e.is_counter() {
+            return Err(ApError::Simulation {
+                reason: format!("element {} is not a counter", id.index()),
+            });
+        }
+        Ok(self.counts[id.index()])
+    }
+
+    /// Resets all simulation state (activations, counters, cycle count).
+    pub fn reset(&mut self) {
+        self.prev_active.fill(false);
+        self.cur_active.fill(false);
+        self.counts.fill(0);
+        self.fired.fill(false);
+        self.cycle = 0;
+    }
+
+    /// Executes one cycle with the given input symbol, returning any report events.
+    pub fn step(&mut self, symbol: u8) -> Vec<ReportEvent> {
+        let offset = self.cycle;
+        let first_cycle = self.cycle == 0;
+        self.cur_active.fill(false);
+
+        // Phase 1: STEs (depend on symbol + previous-cycle activations).
+        for e in self.net.elements() {
+            if let ElementKind::Ste { symbols, start, .. } = &e.kind {
+                if !symbols.matches(symbol) {
+                    continue;
+                }
+                let enabled = match start {
+                    StartKind::AllInput => true,
+                    StartKind::StartOfData => first_cycle,
+                    StartKind::None => false,
+                } || self
+                    .net
+                    .predecessors(e.id)
+                    .iter()
+                    .any(|(p, port)| {
+                        *port == ConnectPort::Activation && self.prev_active[p.index()]
+                    });
+                if enabled {
+                    self.cur_active[e.id.index()] = true;
+                }
+            }
+        }
+
+        // Phase 2: counters (sample ports from the previous cycle).
+        for e in self.net.elements() {
+            if let ElementKind::Counter {
+                threshold,
+                mode,
+                max_increment_per_cycle,
+                ..
+            } = &e.kind
+            {
+                let idx = e.id.index();
+                let mut enables = 0u32;
+                let mut reset = false;
+                for (p, port) in self.net.predecessors(e.id) {
+                    if self.prev_active[p.index()] {
+                        match port {
+                            ConnectPort::CountEnable => enables += 1,
+                            ConnectPort::CountReset => reset = true,
+                            ConnectPort::Activation => {}
+                        }
+                    }
+                }
+                if reset {
+                    self.counts[idx] = 0;
+                    self.fired[idx] = false;
+                } else if enables > 0 {
+                    let inc = enables.min(*max_increment_per_cycle);
+                    self.counts[idx] = self.counts[idx].saturating_add(inc);
+                }
+                let reached = self.counts[idx] >= *threshold;
+                let active = match mode {
+                    CounterMode::Pulse => {
+                        if reached && !self.fired[idx] {
+                            self.fired[idx] = true;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    CounterMode::Latch => reached,
+                };
+                if active {
+                    self.cur_active[idx] = true;
+                }
+            }
+        }
+
+        // Phase 3: boolean gates — combinational fixpoint over current activations.
+        // At most `booleans` passes are needed for acyclic gate chains.
+        for _pass in 0..self.boolean_ids.len() {
+            let mut changed = false;
+            for &idx in &self.boolean_ids {
+                let e = &self.net.elements()[idx];
+                if let ElementKind::Boolean { function, .. } = &e.kind {
+                    let inputs: Vec<bool> = self
+                        .net
+                        .predecessors(e.id)
+                        .iter()
+                        .filter(|(_, port)| *port == ConnectPort::Activation)
+                        .map(|(p, _)| self.cur_active[p.index()])
+                        .collect();
+                    let value = function.evaluate(&inputs);
+                    if self.cur_active[idx] != value {
+                        self.cur_active[idx] = value;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 4: collect reports.
+        let mut reports = Vec::new();
+        for e in self.net.elements() {
+            if self.cur_active[e.id.index()] {
+                if let Some(code) = e.report_code() {
+                    reports.push(ReportEvent {
+                        element: e.id,
+                        code,
+                        offset,
+                    });
+                }
+            }
+        }
+
+        std::mem::swap(&mut self.prev_active, &mut self.cur_active);
+        self.cycle += 1;
+        reports
+    }
+
+    /// Runs the simulator over an entire symbol stream, returning every report event.
+    pub fn run(&mut self, stream: &[u8]) -> Vec<ReportEvent> {
+        let mut all = Vec::new();
+        for &s in stream {
+            all.extend(self.step(s));
+        }
+        all
+    }
+
+    /// Runs the simulator over a stream while recording a full activation trace.
+    pub fn run_traced(&mut self, stream: &[u8]) -> SimulationTrace {
+        let mut trace = SimulationTrace::default();
+        for &s in stream {
+            let reports = self.step(s);
+            let active: Vec<ElementId> = self
+                .net
+                .elements()
+                .iter()
+                .filter(|e| self.prev_active[e.id.index()])
+                .map(|e| e.id)
+                .collect();
+            let counters: Vec<(ElementId, u32)> = self
+                .net
+                .elements()
+                .iter()
+                .filter(|e| e.is_counter())
+                .map(|e| (e.id, self.counts[e.id.index()]))
+                .collect();
+            trace.activations.push(active);
+            trace.counter_values.push(counters);
+            trace.reports.extend(reports);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::BooleanFunction;
+    use crate::symbol::SymbolClass;
+
+    /// start(SOF=0xFF) -> a('a') -> b('b', report 1)
+    fn sequence_net() -> AutomataNetwork {
+        let mut net = AutomataNetwork::new();
+        let start = net.add_ste("sof", SymbolClass::single(0xFF), StartKind::AllInput, None);
+        let a = net.add_ste("a", SymbolClass::single(b'a'), StartKind::None, None);
+        let b = net.add_ste("b", SymbolClass::single(b'b'), StartKind::None, Some(1));
+        net.connect(start, a).unwrap();
+        net.connect(a, b).unwrap();
+        net
+    }
+
+    #[test]
+    fn sequence_matches_only_in_order() {
+        let net = sequence_net();
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[0xFF, b'a', b'b']);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].code, 1);
+        assert_eq!(reports[0].offset, 2);
+
+        let mut sim2 = Simulator::new(&net).unwrap();
+        // Without the SOF the chain never starts.
+        assert!(sim2.run(&[b'a', b'b']).is_empty());
+
+        let mut sim3 = Simulator::new(&net).unwrap();
+        // Wrong order does not report.
+        assert!(sim3.run(&[0xFF, b'b', b'a']).is_empty());
+    }
+
+    #[test]
+    fn all_input_start_state_fires_repeatedly() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("x", SymbolClass::single(b'x'), StartKind::AllInput, Some(9));
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[b'x', b'y', b'x', b'x']);
+        let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn start_of_data_only_matches_first_symbol() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste(
+            "first",
+            SymbolClass::single(b'x'),
+            StartKind::StartOfData,
+            Some(4),
+        );
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[b'x', b'x', b'x']);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].offset, 0);
+    }
+
+    #[test]
+    fn counter_pulse_fires_once_and_rearms_after_reset() {
+        // driver(*) -> counter(en, threshold 3) ; resetter('R') -> counter(rst)
+        // reporter(*) after the counter.
+        let mut net = AutomataNetwork::new();
+        let driver = net.add_ste("drv", SymbolClass::all_except(b'R'), StartKind::AllInput, None);
+        let resetter = net.add_ste("rst", SymbolClass::single(b'R'), StartKind::AllInput, None);
+        let counter = net.add_counter("cnt", 3, CounterMode::Pulse, None);
+        let reporter = net.add_ste("rep", SymbolClass::any(), StartKind::None, Some(2));
+        net.connect_port(driver, counter, ConnectPort::CountEnable)
+            .unwrap();
+        net.connect_port(resetter, counter, ConnectPort::CountReset)
+            .unwrap();
+        net.connect(counter, reporter).unwrap();
+
+        let mut sim = Simulator::new(&net).unwrap();
+        // Driver active on cycles 0..; counter samples with one-cycle delay, so the
+        // count reaches 3 on cycle 3 (pulse), reporter fires on cycle 4.
+        let reports = sim.run(&[b'a', b'a', b'a', b'a', b'a', b'a']);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].offset, 4);
+        assert_eq!(sim.counter_value(counter).unwrap(), 5);
+
+        // Reset re-arms the pulse; counting then restarts.
+        let more = sim.run(&[b'R', b'a', b'a', b'a', b'a', b'a']);
+        // After 'R' (sampled one cycle later) the count restarts; it needs three more
+        // enabled cycles to pulse again.
+        assert_eq!(more.len(), 1);
+        assert_eq!(sim.counter_value(counter).unwrap() >= 3, true);
+    }
+
+    #[test]
+    fn counter_latch_stays_active() {
+        let mut net = AutomataNetwork::new();
+        let driver = net.add_ste("drv", SymbolClass::any(), StartKind::AllInput, None);
+        let counter = net.add_counter("cnt", 2, CounterMode::Latch, Some(7));
+        net.connect_port(driver, counter, ConnectPort::CountEnable)
+            .unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[0, 0, 0, 0, 0]);
+        // Count reaches 2 on cycle 2 and the latch stays active afterwards.
+        let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn counter_increment_cap_limits_parallel_enables() {
+        // Two always-active drivers feed the same counter. With the Gen-1 cap of 1
+        // the counter needs `threshold` cycles; with the extension cap of 2 it needs
+        // half as many.
+        for (cap, expected_offset) in [(1u32, 4u64), (2u32, 2u64)] {
+            let mut net = AutomataNetwork::new();
+            let d1 = net.add_ste("d1", SymbolClass::any(), StartKind::AllInput, None);
+            let d2 = net.add_ste("d2", SymbolClass::any(), StartKind::AllInput, None);
+            let counter =
+                net.add_counter_with_increment("cnt", 4, CounterMode::Pulse, Some(1), cap);
+            net.connect_port(d1, counter, ConnectPort::CountEnable)
+                .unwrap();
+            net.connect_port(d2, counter, ConnectPort::CountEnable)
+                .unwrap();
+            let mut sim = Simulator::new(&net).unwrap();
+            let reports = sim.run(&[0, 0, 0, 0, 0, 0]);
+            assert_eq!(reports.len(), 1, "cap {cap}");
+            assert_eq!(reports[0].offset, expected_offset, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn boolean_and_gate_requires_both_inputs() {
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::bit_slice(0, true), StartKind::AllInput, None);
+        let b = net.add_ste("b", SymbolClass::bit_slice(1, true), StartKind::AllInput, None);
+        let and = net.add_boolean("and", BooleanFunction::And, Some(5));
+        net.connect(a, and).unwrap();
+        net.connect(b, and).unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        // 0b01 -> only a; 0b10 -> only b; 0b11 -> both.
+        let reports = sim.run(&[0b01, 0b10, 0b11]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].offset, 2);
+    }
+
+    #[test]
+    fn boolean_chain_resolves_in_one_cycle() {
+        // a -> OR -> NOT(report): report fires exactly when a is inactive.
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::single(b'a'), StartKind::AllInput, None);
+        let or = net.add_boolean("or", BooleanFunction::Or, None);
+        let not = net.add_boolean("not", BooleanFunction::Not, Some(3));
+        net.connect(a, or).unwrap();
+        net.connect(or, not).unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[b'a', b'z', b'a']);
+        let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, vec![1]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let net = sequence_net();
+        let mut sim = Simulator::new(&net).unwrap();
+        sim.run(&[0xFF, b'a']);
+        assert_eq!(sim.cycle(), 2);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        // After reset the StartOfData / chain state is cleared: 'b' alone cannot fire.
+        assert!(sim.run(&[b'b']).is_empty());
+    }
+
+    #[test]
+    fn traced_run_records_activations_and_counters() {
+        let mut net = AutomataNetwork::new();
+        let driver = net.add_ste("drv", SymbolClass::any(), StartKind::AllInput, None);
+        let counter = net.add_counter("cnt", 2, CounterMode::Pulse, Some(1));
+        net.connect_port(driver, counter, ConnectPort::CountEnable)
+            .unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        let trace = sim.run_traced(&[0, 0, 0]);
+        assert_eq!(trace.activations.len(), 3);
+        assert_eq!(trace.counter_values.len(), 3);
+        // Driver active every cycle.
+        assert!(trace.activations.iter().all(|a| a.contains(&driver)));
+        // Counter counts 0, 1, 2 across the three cycles.
+        let counts: Vec<u32> = trace
+            .counter_values
+            .iter()
+            .map(|cv| cv[0].1)
+            .collect();
+        assert_eq!(counts, vec![0, 1, 2]);
+        assert_eq!(trace.reports.len(), 1);
+    }
+
+    #[test]
+    fn invalid_network_is_rejected_at_construction() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("orphan", SymbolClass::any(), StartKind::None, None);
+        assert!(Simulator::new(&net).is_err());
+    }
+
+    #[test]
+    fn counter_value_type_check() {
+        let net = sequence_net();
+        let mut sim = Simulator::new(&net).unwrap();
+        sim.run(&[0xFF]);
+        assert!(sim.counter_value(ElementId(0)).is_err());
+    }
+
+    #[test]
+    fn counter_reset_takes_priority_over_enable() {
+        // When the enable and reset drivers were both active on the previous cycle,
+        // the count must go to zero (not to one) — the rule the kNN macro's EOF
+        // reset relies on when the last sort increment and the reset coincide.
+        let mut net = AutomataNetwork::new();
+        let enable = net.add_ste("en", SymbolClass::any(), StartKind::AllInput, None);
+        let reset = net.add_ste("rst", SymbolClass::single(b'R'), StartKind::AllInput, None);
+        let counter = net.add_counter("cnt", 10, CounterMode::Pulse, None);
+        net.connect_port(enable, counter, ConnectPort::CountEnable)
+            .unwrap();
+        net.connect_port(reset, counter, ConnectPort::CountReset)
+            .unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        sim.run(&[b'a', b'a', b'R']);
+        // Counts: cycle 1 <- enable@0 = 1, cycle 2 <- enable@1 = 2.
+        assert_eq!(sim.counter_value(counter).unwrap(), 2);
+        // One more cycle samples both the enable and the reset from the 'R' cycle;
+        // the reset must win.
+        sim.step(b'a');
+        assert_eq!(sim.counter_value(counter).unwrap(), 0);
+    }
+
+    #[test]
+    fn latch_counter_resets_and_relatches() {
+        let mut net = AutomataNetwork::new();
+        let enable = net.add_ste("en", SymbolClass::all_except(b'R'), StartKind::AllInput, None);
+        let reset = net.add_ste("rst", SymbolClass::single(b'R'), StartKind::AllInput, None);
+        let counter = net.add_counter("cnt", 2, CounterMode::Latch, Some(3));
+        net.connect_port(enable, counter, ConnectPort::CountEnable)
+            .unwrap();
+        net.connect_port(reset, counter, ConnectPort::CountReset)
+            .unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[b'a', b'a', b'a', b'R', b'a', b'a', b'a']);
+        let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
+        // Latched at cycles 2..3 (threshold reached), cleared by the reset sampled at
+        // cycle 4, latched again once two more enabled cycles have been counted.
+        assert_eq!(offsets, vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn self_loop_ste_stays_active() {
+        // A state with a self-loop stays active as long as its symbol keeps matching
+        // — the construct the sort state uses to span the filler phase.
+        let mut net = AutomataNetwork::new();
+        let start = net.add_ste("start", SymbolClass::single(b'S'), StartKind::AllInput, None);
+        let hold = net.add_ste("hold", SymbolClass::single(b'h'), StartKind::None, Some(1));
+        net.connect(start, hold).unwrap();
+        net.connect(hold, hold).unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[b'S', b'h', b'h', b'h', b'x', b'h']);
+        let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
+        // Active at 1, 2, 3 via the self-loop; broken by 'x'; the trailing 'h' has no
+        // active predecessor so it does not reactivate.
+        assert_eq!(offsets, vec![1, 2, 3]);
+    }
+}

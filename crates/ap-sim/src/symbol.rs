@@ -1,0 +1,375 @@
+//! 8-bit symbol classes.
+//!
+//! Every STE is programmed with a set of 8-bit symbols (the AP toolchain expressed
+//! these as PCRE character classes). A [`SymbolClass`] is a 256-bit membership mask
+//! with constructors for the patterns the kNN design needs: single symbols, "match
+//! anything" (`*`), negated singletons (`^EOF`), explicit sets, ranges, and the
+//! ternary bit-slice matches used by symbol-stream multiplexing (e.g. `0b*******1`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of 8-bit symbols, stored as a 256-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SymbolClass {
+    mask: [u64; 4],
+}
+
+impl SymbolClass {
+    /// The empty class (matches nothing). Rarely useful but valid.
+    pub const fn empty() -> Self {
+        Self { mask: [0; 4] }
+    }
+
+    /// The universal class `*` (matches every symbol).
+    pub const fn any() -> Self {
+        Self {
+            mask: [u64::MAX; 4],
+        }
+    }
+
+    /// A class matching exactly one symbol.
+    pub fn single(symbol: u8) -> Self {
+        let mut c = Self::empty();
+        c.insert(symbol);
+        c
+    }
+
+    /// A class matching every symbol except `symbol` (e.g. `^EOF`).
+    pub fn all_except(symbol: u8) -> Self {
+        let mut c = Self::any();
+        c.remove(symbol);
+        c
+    }
+
+    /// A class matching every symbol in `symbols`.
+    pub fn of(symbols: &[u8]) -> Self {
+        let mut c = Self::empty();
+        for &s in symbols {
+            c.insert(s);
+        }
+        c
+    }
+
+    /// A class matching the inclusive range `lo..=hi`.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut c = Self::empty();
+        let mut s = lo;
+        loop {
+            c.insert(s);
+            if s == hi {
+                break;
+            }
+            s += 1;
+        }
+        c
+    }
+
+    /// A ternary bit-pattern match: `bit_values[i]`, when `Some`, constrains bit `i`
+    /// of the symbol (bit 0 = least significant); `None` positions are wildcards.
+    ///
+    /// This is the construction the paper uses for symbol-stream multiplexing, where
+    /// an STE discriminates a single bit slice of the 8-bit symbol (`0b*******1`),
+    /// implemented on real hardware by exhaustively enumerating every matching
+    /// extended-ASCII character.
+    pub fn ternary(bit_values: [Option<bool>; 8]) -> Self {
+        let mut c = Self::empty();
+        'outer: for sym in 0..=255u8 {
+            for (bit, constraint) in bit_values.iter().enumerate() {
+                if let Some(v) = constraint {
+                    if ((sym >> bit) & 1 == 1) != *v {
+                        continue 'outer;
+                    }
+                }
+            }
+            c.insert(sym);
+        }
+        c
+    }
+
+    /// A ternary match constraining only bit `bit` to `value`.
+    pub fn bit_slice(bit: u8, value: bool) -> Self {
+        assert!(bit < 8, "bit index must be 0..8");
+        let mut constraints = [None; 8];
+        constraints[bit as usize] = Some(value);
+        Self::ternary(constraints)
+    }
+
+    /// Adds a symbol to the class.
+    #[inline]
+    pub fn insert(&mut self, symbol: u8) {
+        self.mask[(symbol / 64) as usize] |= 1u64 << (symbol % 64);
+    }
+
+    /// Removes a symbol from the class.
+    #[inline]
+    pub fn remove(&mut self, symbol: u8) {
+        self.mask[(symbol / 64) as usize] &= !(1u64 << (symbol % 64));
+    }
+
+    /// Whether the class matches `symbol`.
+    #[inline]
+    pub fn matches(&self, symbol: u8) -> bool {
+        (self.mask[(symbol / 64) as usize] >> (symbol % 64)) & 1 == 1
+    }
+
+    /// Number of symbols in the class.
+    pub fn cardinality(&self) -> u32 {
+        self.mask.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Set union with another class.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut mask = [0u64; 4];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = self.mask[i] | other.mask[i];
+        }
+        Self { mask }
+    }
+
+    /// Set intersection with another class.
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut mask = [0u64; 4];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = self.mask[i] & other.mask[i];
+        }
+        Self { mask }
+    }
+
+    /// Number of symbol bits an STE actually discriminates on, i.e. the smallest
+    /// lookup-table width that could implement this class assuming the class is a
+    /// ternary cube. Used by the STE-decomposition analytical model (paper §VII-C).
+    ///
+    /// For classes that are not perfect ternary cubes this returns 8 (a full 8-input
+    /// LUT is required).
+    pub fn effective_input_bits(&self) -> u8 {
+        let card = self.cardinality();
+        if card == 0 || card == 256 {
+            return 0;
+        }
+        // A ternary cube with f free (wildcard) bits has 2^f members and is closed
+        // under toggling each free bit. Check that structure.
+        if !card.is_power_of_two() {
+            return 8;
+        }
+        let free_bits = card.trailing_zeros() as u8;
+        // Find a member, derive the fixed-bit pattern, and verify every member agrees
+        // on the non-free bits for some choice of free-bit positions.
+        let members: Vec<u8> = (0..=255u8).filter(|&s| self.matches(s)).collect();
+        let first = members[0];
+        // Candidate free positions: bits that vary across members.
+        let mut varying = 0u8;
+        for &m in &members {
+            varying |= m ^ first;
+        }
+        if u32::from(varying.count_ones()) != u32::from(free_bits) {
+            return 8;
+        }
+        // Verify the class is exactly the cube {first with varying bits arbitrary}.
+        let expected: u32 = 1 << varying.count_ones();
+        let mut count = 0u32;
+        for s in 0..=255u8 {
+            if s & !varying == first & !varying {
+                if !self.matches(s) {
+                    return 8;
+                }
+                count += 1;
+            }
+        }
+        if count != expected {
+            return 8;
+        }
+        8 - varying.count_ones() as u8
+    }
+}
+
+impl fmt::Debug for SymbolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let card = self.cardinality();
+        if card == 256 {
+            return write!(f, "SymbolClass(*)");
+        }
+        if card == 0 {
+            return write!(f, "SymbolClass(∅)");
+        }
+        if card == 1 {
+            let s = (0..=255u8).find(|&s| self.matches(s)).unwrap();
+            return write!(f, "SymbolClass({s:#04x})");
+        }
+        if card == 255 {
+            let s = (0..=255u8).find(|&s| !self.matches(s)).unwrap();
+            return write!(f, "SymbolClass(^{s:#04x})");
+        }
+        write!(f, "SymbolClass({card} symbols)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_any() {
+        let c = SymbolClass::single(0x42);
+        assert!(c.matches(0x42));
+        assert!(!c.matches(0x43));
+        assert_eq!(c.cardinality(), 1);
+        assert_eq!(SymbolClass::any().cardinality(), 256);
+        assert_eq!(SymbolClass::empty().cardinality(), 0);
+    }
+
+    #[test]
+    fn all_except_excludes_exactly_one() {
+        let c = SymbolClass::all_except(0xFF);
+        assert_eq!(c.cardinality(), 255);
+        assert!(!c.matches(0xFF));
+        assert!(c.matches(0x00));
+        assert!(c.matches(0xFE));
+    }
+
+    #[test]
+    fn of_and_range() {
+        let c = SymbolClass::of(&[1, 3, 200]);
+        assert_eq!(c.cardinality(), 3);
+        assert!(c.matches(200));
+        let r = SymbolClass::range(10, 20);
+        assert_eq!(r.cardinality(), 11);
+        assert!(r.matches(10) && r.matches(20) && !r.matches(21));
+        let full = SymbolClass::range(0, 255);
+        assert_eq!(full.cardinality(), 256);
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut c = SymbolClass::empty();
+        c.insert(5);
+        c.insert(5);
+        assert_eq!(c.cardinality(), 1);
+        c.remove(5);
+        assert_eq!(c.cardinality(), 0);
+    }
+
+    #[test]
+    fn ternary_bit_slice_has_128_members() {
+        let c = SymbolClass::bit_slice(0, true);
+        assert_eq!(c.cardinality(), 128);
+        assert!(c.matches(0b0000_0001));
+        assert!(c.matches(0b1111_1111));
+        assert!(!c.matches(0b0000_0000));
+        assert!(!c.matches(0b1111_1110));
+    }
+
+    #[test]
+    fn ternary_multiple_constraints() {
+        // bit0 = 1, bit7 = 0  => 64 members
+        let c = SymbolClass::ternary([
+            Some(true),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            Some(false),
+        ]);
+        assert_eq!(c.cardinality(), 64);
+        assert!(c.matches(0b0000_0001));
+        assert!(!c.matches(0b1000_0001));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = SymbolClass::range(0, 9);
+        let b = SymbolClass::range(5, 14);
+        assert_eq!(a.union(&b).cardinality(), 15);
+        assert_eq!(a.intersection(&b).cardinality(), 5);
+    }
+
+    #[test]
+    fn effective_input_bits_for_cubes() {
+        // Single symbol: all 8 bits matter.
+        assert_eq!(SymbolClass::single(7).effective_input_bits(), 8);
+        // One-bit slice: only that bit matters.
+        assert_eq!(SymbolClass::bit_slice(3, false).effective_input_bits(), 1);
+        // Two constrained bits.
+        let two = SymbolClass::ternary([
+            Some(true),
+            Some(false),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+        ]);
+        assert_eq!(two.effective_input_bits(), 2);
+        // `*` and empty discriminate on nothing.
+        assert_eq!(SymbolClass::any().effective_input_bits(), 0);
+        assert_eq!(SymbolClass::empty().effective_input_bits(), 0);
+    }
+
+    #[test]
+    fn effective_input_bits_for_non_cube_is_8() {
+        // {0, 1, 2} is not a ternary cube (cardinality 3).
+        let c = SymbolClass::of(&[0, 1, 2]);
+        assert_eq!(c.effective_input_bits(), 8);
+        // {0, 3} has power-of-two cardinality but is not a cube over one free bit.
+        let c2 = SymbolClass::of(&[0, 3]);
+        assert_eq!(c2.effective_input_bits(), 8);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", SymbolClass::any()), "SymbolClass(*)");
+        assert_eq!(format!("{:?}", SymbolClass::empty()), "SymbolClass(∅)");
+        assert_eq!(format!("{:?}", SymbolClass::single(1)), "SymbolClass(0x01)");
+        assert_eq!(
+            format!("{:?}", SymbolClass::all_except(0xFD)),
+            "SymbolClass(^0xfd)"
+        );
+        assert_eq!(
+            format!("{:?}", SymbolClass::range(0, 7)),
+            "SymbolClass(8 symbols)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn union_contains_both(a in prop::collection::vec(any::<u8>(), 0..40),
+                               b in prop::collection::vec(any::<u8>(), 0..40)) {
+            let ca = SymbolClass::of(&a);
+            let cb = SymbolClass::of(&b);
+            let u = ca.union(&cb);
+            for s in a.iter().chain(b.iter()) {
+                prop_assert!(u.matches(*s));
+            }
+        }
+
+        #[test]
+        fn intersection_subset_of_both(a in prop::collection::vec(any::<u8>(), 0..40),
+                                       b in prop::collection::vec(any::<u8>(), 0..40)) {
+            let ca = SymbolClass::of(&a);
+            let cb = SymbolClass::of(&b);
+            let i = ca.intersection(&cb);
+            for s in 0..=255u8 {
+                if i.matches(s) {
+                    prop_assert!(ca.matches(s) && cb.matches(s));
+                }
+            }
+        }
+
+        #[test]
+        fn single_matches_only_itself(s in any::<u8>()) {
+            let c = SymbolClass::single(s);
+            for t in 0..=255u8 {
+                prop_assert_eq!(c.matches(t), t == s);
+            }
+        }
+    }
+}

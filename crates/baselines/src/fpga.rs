@@ -1,0 +1,290 @@
+//! Cycle-level simulator of the paper's fixed-function FPGA kNN accelerator.
+//!
+//! §IV-C describes an AXI4-Stream accelerator for a Xilinx Kintex-7-325T (185 MHz,
+//! Table I) consisting of:
+//!
+//! * a **scratchpad** holding a batch of query vectors,
+//! * an **XOR / POPCOUNT distance unit** computing Hamming distance against the
+//!   streamed dataset words, and
+//! * a **hardware priority queue** per query maintaining the current top-k,
+//!
+//! with dataset vectors streamed through the core **once per batch of queries**.
+//! The Vivado toolchain used for synthesis and cycle simulation is unavailable, so
+//! this module provides a functional + cycle-count model of the same
+//! microarchitecture: it produces bit-exact kNN results (verified against the linear
+//! scan) and a cycle count from the stream width, query parallelism and pipeline
+//! depth, which the `perf-model` crate converts into the Table III/IV run times.
+
+use crate::index::SearchIndex;
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural parameters of the accelerator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FpgaConfig {
+    /// Core clock in MHz (185 MHz for the Kintex-7 design in Table I).
+    pub clock_mhz: f64,
+    /// Width of the AXI stream delivering dataset vectors, in bits per cycle.
+    pub stream_width_bits: usize,
+    /// Number of query lanes processed in parallel against the streamed data.
+    pub parallel_queries: usize,
+    /// Pipeline depth of the distance unit + priority queue (fill/drain overhead per
+    /// dataset pass).
+    pub pipeline_depth: usize,
+}
+
+impl Default for FpgaConfig {
+    fn default() -> Self {
+        Self::kintex7()
+    }
+}
+
+impl FpgaConfig {
+    /// The Kintex-7-325T configuration evaluated in the paper.
+    pub fn kintex7() -> Self {
+        Self {
+            clock_mhz: 185.0,
+            stream_width_bits: 256,
+            parallel_queries: 128,
+            pipeline_depth: 8,
+        }
+    }
+
+    /// Cycle period in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz
+    }
+}
+
+/// Cycle statistics from one batched kNN run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FpgaRunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Number of times the dataset was streamed through the core.
+    pub dataset_passes: u64,
+    /// Words streamed per dataset vector.
+    pub words_per_vector: u64,
+    /// Estimated wall-clock seconds at the configured clock.
+    pub seconds: f64,
+}
+
+/// The simulated accelerator.
+#[derive(Clone, Debug)]
+pub struct FpgaAccelerator {
+    config: FpgaConfig,
+    data: BinaryDataset,
+}
+
+impl FpgaAccelerator {
+    /// Instantiates the accelerator with `data` resident in its streaming source
+    /// (DRAM behind the AXI interface).
+    pub fn new(data: BinaryDataset, config: FpgaConfig) -> Self {
+        assert!(config.stream_width_bits > 0, "stream width must be positive");
+        assert!(config.parallel_queries > 0, "need at least one query lane");
+        Self { config, data }
+    }
+
+    /// The configured microarchitecture.
+    pub fn config(&self) -> &FpgaConfig {
+        &self.config
+    }
+
+    /// Runs a batched kNN query, returning per-query results and cycle statistics.
+    ///
+    /// Functionally this is an exact search: every query's priority queue sees every
+    /// dataset vector exactly once per pass.
+    pub fn run_batch(
+        &self,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, FpgaRunStats) {
+        let dims = self.data.dims();
+        let words_per_vector = dims.div_ceil(self.config.stream_width_bits).max(1) as u64;
+
+        // Functional model: per-lane priority queues, dataset streamed once per lane
+        // group.
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            let mut topk = TopK::new(k.max(1));
+            for i in 0..self.data.len() {
+                topk.offer(Neighbor::new(i, self.data.hamming_to(i, q)));
+            }
+            results.push(topk.into_sorted());
+        }
+        if k == 0 {
+            for r in &mut results {
+                r.clear();
+            }
+        }
+
+        // Cycle model: the dataset is streamed once per batch of `parallel_queries`
+        // queries; each vector takes `words_per_vector` cycles on the stream; the
+        // pipeline fills/drains once per pass.
+        let passes = if queries.is_empty() {
+            0
+        } else {
+            queries.len().div_ceil(self.config.parallel_queries) as u64
+        };
+        let cycles_per_pass =
+            self.data.len() as u64 * words_per_vector + self.config.pipeline_depth as u64;
+        let cycles = passes * cycles_per_pass;
+        let seconds = cycles as f64 * self.config.cycle_ns() * 1e-9;
+
+        (
+            results,
+            FpgaRunStats {
+                cycles,
+                dataset_passes: passes,
+                words_per_vector,
+                seconds,
+            },
+        )
+    }
+
+    /// Cycle estimate only (no functional search) — used by the large-dataset table
+    /// regeneration where running the functional model for 2^20 × 4096 pairs is
+    /// unnecessary.
+    pub fn estimate_cycles(&self, n_vectors: usize, dims: usize, queries: usize) -> FpgaRunStats {
+        let words_per_vector = dims.div_ceil(self.config.stream_width_bits).max(1) as u64;
+        let passes = if queries == 0 {
+            0
+        } else {
+            queries.div_ceil(self.config.parallel_queries) as u64
+        };
+        let cycles_per_pass = n_vectors as u64 * words_per_vector + self.config.pipeline_depth as u64;
+        let cycles = passes * cycles_per_pass;
+        FpgaRunStats {
+            cycles,
+            dataset_passes: passes,
+            words_per_vector,
+            seconds: cycles as f64 * self.config.cycle_ns() * 1e-9,
+        }
+    }
+}
+
+impl SearchIndex for FpgaAccelerator {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        let (mut results, _) = self.run_batch(std::slice::from_ref(query), k);
+        results.pop().unwrap_or_default()
+    }
+
+    fn search_batch(&self, queries: &[BinaryVector], k: usize) -> Vec<Vec<Neighbor>> {
+        self.run_batch(queries, k).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    #[test]
+    fn results_match_exact_linear_scan() {
+        let data = uniform_dataset(400, 128, 1);
+        let fpga = FpgaAccelerator::new(data.clone(), FpgaConfig::kintex7());
+        let exact = LinearScan::new(data);
+        let queries = uniform_queries(10, 128, 2);
+        let (results, stats) = fpga.run_batch(&queries, 4);
+        for (q, r) in queries.iter().zip(results.iter()) {
+            assert_eq!(r, &exact.search(q, 4));
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.seconds > 0.0);
+    }
+
+    #[test]
+    fn cycle_count_scales_with_batch_passes() {
+        let data = uniform_dataset(1000, 128, 3);
+        let cfg = FpgaConfig {
+            parallel_queries: 16,
+            ..FpgaConfig::kintex7()
+        };
+        let fpga = FpgaAccelerator::new(data, cfg);
+        let q16 = uniform_queries(16, 128, 4);
+        let q64 = uniform_queries(64, 128, 4);
+        let (_, s16) = fpga.run_batch(&q16, 2);
+        let (_, s64) = fpga.run_batch(&q64, 2);
+        assert_eq!(s16.dataset_passes, 1);
+        assert_eq!(s64.dataset_passes, 4);
+        assert_eq!(s64.cycles, 4 * s16.cycles);
+    }
+
+    #[test]
+    fn one_word_per_narrow_vector() {
+        let data = uniform_dataset(10, 64, 5);
+        let fpga = FpgaAccelerator::new(data, FpgaConfig::kintex7());
+        let (_, stats) = fpga.run_batch(&uniform_queries(1, 64, 6), 1);
+        assert_eq!(stats.words_per_vector, 1);
+        // 256-dimensional vectors need one 256-bit word too; 512 would need two.
+        let wide = FpgaAccelerator::new(uniform_dataset(10, 512, 7), FpgaConfig::kintex7());
+        let (_, wstats) = wide.run_batch(&uniform_queries(1, 512, 8), 1);
+        assert_eq!(wstats.words_per_vector, 2);
+    }
+
+    #[test]
+    fn estimate_matches_run_batch_cycles() {
+        let data = uniform_dataset(200, 128, 9);
+        let fpga = FpgaAccelerator::new(data, FpgaConfig::kintex7());
+        let queries = uniform_queries(300, 128, 10);
+        let (_, run) = fpga.run_batch(&queries, 4);
+        let est = fpga.estimate_cycles(200, 128, 300);
+        assert_eq!(run.cycles, est.cycles);
+        assert_eq!(run.dataset_passes, est.dataset_passes);
+    }
+
+    #[test]
+    fn empty_inputs_are_graceful() {
+        let data = uniform_dataset(50, 32, 11);
+        let fpga = FpgaAccelerator::new(data, FpgaConfig::kintex7());
+        let (results, stats) = fpga.run_batch(&[], 3);
+        assert!(results.is_empty());
+        assert_eq!(stats.cycles, 0);
+        let q = uniform_queries(1, 32, 12);
+        let (r0, _) = fpga.run_batch(&q, 0);
+        assert!(r0[0].is_empty());
+    }
+
+    #[test]
+    fn search_index_trait_consistency() {
+        let data = uniform_dataset(100, 64, 13);
+        let fpga = FpgaAccelerator::new(data.clone(), FpgaConfig::kintex7());
+        let exact = LinearScan::new(data);
+        let q = uniform_queries(1, 64, 14).pop().unwrap();
+        assert_eq!(fpga.search(&q, 3), exact.search(&q, 3));
+        assert_eq!(fpga.len(), 100);
+        assert_eq!(fpga.dims(), 64);
+    }
+
+    #[test]
+    fn faster_clock_reduces_seconds_not_cycles() {
+        let data = uniform_dataset(500, 128, 15);
+        let slow = FpgaAccelerator::new(
+            data.clone(),
+            FpgaConfig {
+                clock_mhz: 100.0,
+                ..FpgaConfig::kintex7()
+            },
+        );
+        let fast = FpgaAccelerator::new(
+            data,
+            FpgaConfig {
+                clock_mhz: 200.0,
+                ..FpgaConfig::kintex7()
+            },
+        );
+        let s = slow.estimate_cycles(500, 128, 64);
+        let f = fast.estimate_cycles(500, 128, 64);
+        assert_eq!(s.cycles, f.cycles);
+        assert!(s.seconds > f.seconds);
+    }
+}

@@ -1,0 +1,338 @@
+//! SIMT GPU baseline: a functional + throughput model of the CUDA kNN kernel.
+//!
+//! The paper's GPU baseline (§IV-C) is the Garcia et al. CUDA implementation with the
+//! 32-bit Euclidean distance swapped for a 32-bit XOR + POPCOUNT, run on a Jetson TK1
+//! and a Titan X (Table I). Neither device nor CUDA is available here, so this module
+//! provides the equivalent substrate at the level that actually determines the
+//! paper's numbers: a functional execution of the same kernel (so results can be
+//! compared neighbor-for-neighbor) plus a throughput model that charges
+//!
+//! * **compute**: one fused XOR+POPC+accumulate per 32-bit word per query/vector
+//!   pair, spread over the device's CUDA cores at its boost clock, and
+//! * **memory**: every dataset word read from DRAM once per *tile* of queries (the
+//!   kernel blocks queries so a dataset tile is reused from shared memory), plus the
+//!   query and result traffic,
+//!
+//! and takes the maximum of the two — the roofline the paper implicitly appeals to
+//! when it attributes the poor observed GPU performance to "poor blocking of the
+//! binarized data": with 1-bit dimensions the arithmetic intensity is so low that
+//! the kernel sits firmly on the memory roof.
+
+use crate::index::SearchIndex;
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use serde::{Deserialize, Serialize};
+
+/// Device and kernel-launch parameters of the GPU model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of CUDA cores (Table I lists 192 for the TK1, 3072 for the Titan X).
+    pub cuda_cores: usize,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Sustained DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Fused XOR+POPC+accumulate operations retired per core per cycle.
+    pub ops_per_core_cycle: f64,
+    /// Number of queries per kernel tile (dataset words are read from DRAM once per
+    /// tile and reused from shared memory within it).
+    pub query_tile: usize,
+    /// Fraction of peak DRAM bandwidth the kernel actually sustains.
+    ///
+    /// The paper attributes the poor observed GPU performance to "poor blocking of
+    /// the binarized data": with 1-bit dimensions the off-the-shelf kernel issues
+    /// fine-grained, poorly coalesced accesses and realizes only a small fraction of
+    /// peak bandwidth. The presets calibrate this fraction so the model reproduces
+    /// the Table IV measurements; setting it to 1.0 gives the ideal-kernel roofline.
+    pub memory_efficiency: f64,
+    /// Fixed per-kernel-launch overhead in seconds (driver + launch + top-k copy
+    /// back). Dominates small batches, irrelevant for Table IV's 4096-query runs.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuConfig {
+    /// The Jetson TK1 configuration of Table I (192 cores, 852 MHz, ~14.9 GB/s
+    /// LPDDR3).
+    pub fn jetson_tk1() -> Self {
+        Self {
+            cuda_cores: 192,
+            clock_mhz: 852.0,
+            mem_bandwidth_gbps: 14.9,
+            ops_per_core_cycle: 0.5,
+            query_tile: 64,
+            memory_efficiency: 0.08,
+            launch_overhead_s: 2.0e-3,
+        }
+    }
+
+    /// The Titan X (Maxwell) configuration of Table I (3072 cores, 1075 MHz,
+    /// ~336 GB/s GDDR5).
+    pub fn titan_x() -> Self {
+        Self {
+            cuda_cores: 3072,
+            clock_mhz: 1075.0,
+            mem_bandwidth_gbps: 336.0,
+            ops_per_core_cycle: 0.5,
+            query_tile: 256,
+            memory_efficiency: 0.05,
+            launch_overhead_s: 1.0e-3,
+        }
+    }
+
+    /// Peak fused-op throughput in operations per second.
+    pub fn peak_ops_per_s(&self) -> f64 {
+        self.cuda_cores as f64 * self.clock_mhz * 1e6 * self.ops_per_core_cycle
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::titan_x()
+    }
+}
+
+/// Throughput-model output for one batched kNN launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuRunStats {
+    /// Fused XOR+POPC+accumulate operations executed.
+    pub distance_ops: u64,
+    /// Bytes moved between DRAM and the SMs.
+    pub bytes_moved: u64,
+    /// Seconds attributable to arithmetic at peak throughput.
+    pub compute_s: f64,
+    /// Seconds attributable to DRAM traffic at peak bandwidth.
+    pub memory_s: f64,
+    /// Estimated kernel wall-clock: `max(compute, memory) + launch overhead`.
+    pub seconds: f64,
+    /// Whether the memory roof (rather than the compute roof) binds.
+    pub memory_bound: bool,
+}
+
+/// The simulated GPU kNN engine.
+#[derive(Clone, Debug)]
+pub struct GpuAccelerator {
+    config: GpuConfig,
+    data: BinaryDataset,
+}
+
+impl GpuAccelerator {
+    /// Instantiates the engine with `data` resident in device DRAM.
+    ///
+    /// # Panics
+    /// Panics if the configuration has no cores, zero bandwidth or a zero tile.
+    pub fn new(data: BinaryDataset, config: GpuConfig) -> Self {
+        assert!(config.cuda_cores > 0, "GPU needs at least one core");
+        assert!(config.mem_bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(config.query_tile > 0, "query tile must be positive");
+        assert!(
+            config.memory_efficiency > 0.0 && config.memory_efficiency <= 1.0,
+            "memory efficiency must be in (0, 1]"
+        );
+        Self { config, data }
+    }
+
+    /// The configured device parameters.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs the batched kernel functionally (exact results) and returns the
+    /// throughput-model statistics for the same launch.
+    pub fn run_batch(
+        &self,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, GpuRunStats) {
+        let results = if k == 0 {
+            vec![Vec::new(); queries.len()]
+        } else {
+            queries
+                .iter()
+                .map(|q| {
+                    let mut topk = TopK::new(k);
+                    for i in 0..self.data.len() {
+                        topk.offer(Neighbor::new(i, self.data.hamming_to(i, q)));
+                    }
+                    topk.into_sorted()
+                })
+                .collect()
+        };
+        let stats = self.estimate_run(self.data.len(), self.data.dims(), queries.len());
+        (results, stats)
+    }
+
+    /// Throughput-model estimate only (no functional search) — the large-dataset
+    /// tables need the timing for 2^20 × 4096 pairs, not the neighbor lists.
+    pub fn estimate_run(&self, n_vectors: usize, dims: usize, queries: usize) -> GpuRunStats {
+        if n_vectors == 0 || queries == 0 {
+            return GpuRunStats::default();
+        }
+        let words_per_vector = dims.div_ceil(32) as u64;
+        let pairs = n_vectors as u64 * queries as u64;
+        let distance_ops = pairs * words_per_vector;
+
+        // Dataset words are fetched from DRAM once per query tile; queries and the
+        // per-pair distance outputs move once.
+        let tiles = (queries as u64).div_ceil(self.config.query_tile as u64);
+        let dataset_bytes = n_vectors as u64 * words_per_vector * 4 * tiles;
+        let query_bytes = queries as u64 * words_per_vector * 4;
+        let result_bytes = pairs * 4;
+        let bytes_moved = dataset_bytes + query_bytes + result_bytes;
+
+        let compute_s = distance_ops as f64 / self.config.peak_ops_per_s();
+        let memory_s = bytes_moved as f64
+            / (self.config.mem_bandwidth_gbps * 1e9 * self.config.memory_efficiency);
+        let seconds = compute_s.max(memory_s) + self.config.launch_overhead_s;
+        GpuRunStats {
+            distance_ops,
+            bytes_moved,
+            compute_s,
+            memory_s,
+            seconds,
+            memory_bound: memory_s >= compute_s,
+        }
+    }
+}
+
+impl SearchIndex for GpuAccelerator {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        binvec::topk::select_k(
+            k,
+            (0..self.data.len()).map(|i| Neighbor::new(i, self.data.hamming_to(i, query))),
+        )
+    }
+
+    fn search_batch(&self, queries: &[BinaryVector], k: usize) -> Vec<Vec<Neighbor>> {
+        self.run_batch(queries, k).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    #[test]
+    fn gpu_results_match_linear_scan() {
+        let data = uniform_dataset(80, 64, 7);
+        let queries = uniform_queries(6, 64, 8);
+        let gpu = GpuAccelerator::new(data.clone(), GpuConfig::titan_x());
+        let cpu = LinearScan::new(data);
+        let (results, stats) = gpu.run_batch(&queries, 5);
+        assert_eq!(results, cpu.search_batch(&queries, 5));
+        assert!(stats.seconds > 0.0);
+        assert_eq!(stats.distance_ops, 80 * 6 * 2);
+    }
+
+    #[test]
+    fn search_index_trait_is_consistent_with_run_batch() {
+        let data = uniform_dataset(40, 32, 9);
+        let queries = uniform_queries(3, 32, 10);
+        let gpu = GpuAccelerator::new(data, GpuConfig::jetson_tk1());
+        assert_eq!(gpu.len(), 40);
+        assert_eq!(gpu.dims(), 32);
+        let via_trait = gpu.search_batch(&queries, 4);
+        let (via_run, _) = gpu.run_batch(&queries, 4);
+        assert_eq!(via_trait, via_run);
+        assert_eq!(via_trait[0], gpu.search(&queries[0], 4));
+    }
+
+    #[test]
+    fn binarized_knn_is_memory_bound_on_both_devices() {
+        // The paper's explanation for the poor GPU numbers: 1-bit dimensions give an
+        // arithmetic intensity of one fused op per 4 bytes streamed, far below the
+        // compute/bandwidth ratio of either device.
+        for config in [GpuConfig::jetson_tk1(), GpuConfig::titan_x()] {
+            let gpu = GpuAccelerator::new(BinaryDataset::new(128), config);
+            let stats = gpu.estimate_run(1 << 20, 128, 4096);
+            assert!(stats.memory_bound, "{config:?}");
+            assert!(stats.memory_s > stats.compute_s);
+        }
+    }
+
+    #[test]
+    fn titan_x_is_roughly_an_order_of_magnitude_faster_than_tk1() {
+        let tk1 = GpuAccelerator::new(BinaryDataset::new(64), GpuConfig::jetson_tk1());
+        let titan = GpuAccelerator::new(BinaryDataset::new(64), GpuConfig::titan_x());
+        let a = tk1.estimate_run(1 << 20, 64, 4096).seconds;
+        let b = titan.estimate_run(1 << 20, 64, 4096).seconds;
+        let ratio = a / b;
+        assert!(
+            (5.0..40.0).contains(&ratio),
+            "TK1/TitanX ratio {ratio} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn large_dataset_estimates_land_in_the_paper_band() {
+        // Table IV: Jetson TK1 ≈ 16.1–16.7 s and Titan X ≈ 0.99–1.03 s for 2^20
+        // vectors and 4096 queries, roughly independent of dimensionality (the
+        // per-pair result traffic dominates). The calibrated model must land within
+        // ~30 % of those measurements for every workload.
+        for dims in [64usize, 128, 256] {
+            let tk1 = GpuAccelerator::new(BinaryDataset::new(dims), GpuConfig::jetson_tk1())
+                .estimate_run(1 << 20, dims, 4096)
+                .seconds;
+            assert!(
+                (11.0..22.0).contains(&tk1),
+                "TK1 d={dims}: {tk1} s vs the paper's ~16 s"
+            );
+            let titan = GpuAccelerator::new(BinaryDataset::new(dims), GpuConfig::titan_x())
+                .estimate_run(1 << 20, dims, 4096)
+                .seconds;
+            assert!(
+                (0.7..1.4).contains(&titan),
+                "Titan X d={dims}: {titan} s vs the paper's ~1 s"
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_blocking_would_close_most_of_the_gap() {
+        // With perfect coalescing (memory_efficiency = 1) the same device is an
+        // order of magnitude faster — the "poor blocking of the binarized data"
+        // explanation in §V-B, quantified.
+        let mut ideal = GpuConfig::jetson_tk1();
+        ideal.memory_efficiency = 1.0;
+        let observed = GpuAccelerator::new(BinaryDataset::new(64), GpuConfig::jetson_tk1())
+            .estimate_run(1 << 20, 64, 4096)
+            .seconds;
+        let idealized = GpuAccelerator::new(BinaryDataset::new(64), ideal)
+            .estimate_run(1 << 20, 64, 4096)
+            .seconds;
+        assert!(observed / idealized > 5.0);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_batches() {
+        let gpu = GpuAccelerator::new(uniform_dataset(64, 64, 1), GpuConfig::titan_x());
+        let (_, stats) = gpu.run_batch(&uniform_queries(1, 64, 2), 1);
+        assert!(stats.seconds >= gpu.config().launch_overhead_s);
+        assert!(stats.compute_s < 1e-6);
+    }
+
+    #[test]
+    fn zero_k_and_empty_inputs_are_handled() {
+        let gpu = GpuAccelerator::new(uniform_dataset(8, 16, 3), GpuConfig::jetson_tk1());
+        let (results, _) = gpu.run_batch(&uniform_queries(2, 16, 4), 0);
+        assert!(results.iter().all(Vec::is_empty));
+        let stats = gpu.estimate_run(0, 16, 0);
+        assert_eq!(stats, GpuRunStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let mut config = GpuConfig::titan_x();
+        config.cuda_cores = 0;
+        let _ = GpuAccelerator::new(BinaryDataset::new(8), config);
+    }
+}

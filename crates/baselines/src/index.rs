@@ -1,0 +1,113 @@
+//! Common interface implemented by every kNN engine and index structure.
+
+use binvec::{BinaryVector, Neighbor};
+
+/// A k-nearest-neighbor search engine over a fixed dataset.
+pub trait SearchIndex {
+    /// Number of vectors indexed.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed vectors.
+    fn dims(&self) -> usize;
+
+    /// Returns the `k` nearest neighbors of `query`, sorted by (distance, id).
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor>;
+
+    /// Searches a batch of queries. The default implementation searches serially;
+    /// engines with batch-level parallelism override it.
+    fn search_batch(&self, queries: &[BinaryVector], k: usize) -> Vec<Vec<Neighbor>> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
+}
+
+/// An *approximate* index that prunes the search space to a candidate bucket.
+///
+/// The paper factors index traversal out to the host processor and uses the AP only
+/// for the linear scan of the selected bucket (§III-D), so approximate indexes must
+/// expose which dataset ids a query's traversal would visit. The same candidate list
+/// drives the CPU-side approximate baselines, guaranteeing that the CPU and AP
+/// variants of an index search exactly the same candidates.
+pub trait BucketIndex: SearchIndex {
+    /// Returns the dataset indices the index would scan for `query`.
+    fn candidates(&self, query: &BinaryVector) -> Vec<usize>;
+
+    /// Number of index-traversal distance computations (or hash evaluations) needed
+    /// to locate the candidate bucket for one query. Used by the analytical run-time
+    /// models for Table V.
+    fn traversal_cost(&self) -> usize;
+
+    /// Stable identifiers of the buckets the query's traversal lands in — one per
+    /// tree / hash table. Two queries reaching the same leaf (or hash bucket) must
+    /// return the same identifier, because in the AP deployment each bucket is a
+    /// precompiled board image and reloading an already-resident image is free.
+    ///
+    /// The default implementation fingerprints the whole candidate set, which is
+    /// correct but pessimistic for forest-style indexes whose candidate unions vary
+    /// per query; those override it with per-leaf identifiers.
+    fn bucket_ids(&self, query: &BinaryVector) -> Vec<u64> {
+        vec![fingerprint_ids(self.candidates(query).iter().copied())]
+    }
+}
+
+/// FNV-1a fingerprint of a sequence of dataset ids, used to derive stable bucket
+/// identifiers from leaf membership lists.
+pub fn fingerprint_ids<I: IntoIterator<Item = usize>>(ids: I) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for i in ids {
+        h ^= i as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::BinaryDataset;
+
+    /// A trivial exhaustive index used to exercise the trait defaults.
+    struct Exhaustive {
+        data: BinaryDataset,
+    }
+
+    impl SearchIndex for Exhaustive {
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn dims(&self) -> usize {
+            self.data.dims()
+        }
+        fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+            binvec::topk::select_k(
+                k,
+                (0..self.data.len()).map(|i| Neighbor::new(i, self.data.hamming_to(i, query))),
+            )
+        }
+    }
+
+    #[test]
+    fn default_batch_search_matches_single() {
+        let data = binvec::generate::uniform_dataset(50, 32, 1);
+        let idx = Exhaustive { data };
+        assert!(!idx.is_empty());
+        let queries = binvec::generate::uniform_queries(5, 32, 2);
+        let batch = idx.search_batch(&queries, 3);
+        for (q, result) in queries.iter().zip(batch.iter()) {
+            assert_eq!(result, &idx.search(q, 3));
+        }
+    }
+
+    #[test]
+    fn empty_index_reports_empty() {
+        let idx = Exhaustive {
+            data: BinaryDataset::new(16),
+        };
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+}

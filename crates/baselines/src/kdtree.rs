@@ -1,0 +1,367 @@
+//! Randomized kd-trees over binary codes (the FLANN-style approximate index).
+//!
+//! Following the paper's description (§II-A): the dataset is indexed across multiple
+//! parallel trees, each partitioning on dimensions with the highest variance (a
+//! random choice among the top candidates decorrelates the trees). Tree depth is
+//! bounded so the index size stays manageable; each leaf holds a bucket of candidate
+//! points which is scanned linearly when a traversal reaches it. Searching consults
+//! every tree, unions the reached buckets, and linearly scans the union — matching
+//! the "each tree traversal checks one bucket of vectors" evaluation setup (§IV-C).
+
+use crate::index::{BucketIndex, SearchIndex};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration for a [`KdForest`].
+#[derive(Clone, Copy, Debug)]
+pub struct KdForestConfig {
+    /// Number of parallel randomized trees (the paper uses four).
+    pub trees: usize,
+    /// Maximum number of points in a leaf bucket. The paper sets this to the AP
+    /// board capacity (512–1024) so one bucket maps to one board configuration.
+    pub bucket_size: usize,
+    /// Among how many of the highest-variance dimensions the split dimension is
+    /// randomly chosen (FLANN uses 5).
+    pub top_variance_candidates: usize,
+    /// RNG seed for reproducible tree construction.
+    pub seed: u64,
+}
+
+impl Default for KdForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 4,
+            bucket_size: 1024,
+            top_variance_candidates: 5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One node of a single randomized kd-tree.
+#[derive(Clone, Debug)]
+enum Node {
+    /// Internal node splitting on `dim`: vectors with bit `dim` == 0 go left.
+    Split {
+        /// Split dimension.
+        dim: usize,
+        /// Child for bit == 0.
+        left: Box<Node>,
+        /// Child for bit == 1.
+        right: Box<Node>,
+    },
+    /// Leaf bucket of dataset indices.
+    Leaf(Vec<usize>),
+}
+
+impl Node {
+    /// Follows the query's bits to a leaf bucket.
+    fn locate<'a>(&'a self, query: &BinaryVector) -> &'a [usize] {
+        match self {
+            Node::Leaf(ids) => ids,
+            Node::Split { dim, left, right } => {
+                if query.get(*dim) {
+                    right.locate(query)
+                } else {
+                    left.locate(query)
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree below this node.
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaves<'a>(&'a self, out: &mut Vec<&'a Vec<usize>>) {
+        match self {
+            Node::Leaf(ids) => out.push(ids),
+            Node::Split { left, right, .. } => {
+                left.leaves(out);
+                right.leaves(out);
+            }
+        }
+    }
+}
+
+/// A forest of randomized kd-trees over a binary dataset.
+#[derive(Clone, Debug)]
+pub struct KdForest {
+    data: BinaryDataset,
+    roots: Vec<Node>,
+    config: KdForestConfig,
+}
+
+impl KdForest {
+    /// Builds the forest over `data`.
+    pub fn build(data: BinaryDataset, config: KdForestConfig) -> Self {
+        assert!(config.trees > 0, "need at least one tree");
+        assert!(config.bucket_size > 0, "bucket size must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let roots = (0..config.trees)
+            .map(|_| Self::build_node(&data, all.clone(), &config, &mut rng))
+            .collect();
+        Self {
+            data,
+            roots,
+            config,
+        }
+    }
+
+    fn build_node(
+        data: &BinaryDataset,
+        ids: Vec<usize>,
+        config: &KdForestConfig,
+        rng: &mut StdRng,
+    ) -> Node {
+        if ids.len() <= config.bucket_size {
+            return Node::Leaf(ids);
+        }
+        // Compute per-dimension set-bit counts for this subset and rank dimensions by
+        // variance of the Bernoulli bit (maximized when the split is balanced).
+        let dims = data.dims();
+        let mut ones = vec![0usize; dims];
+        for &i in &ids {
+            let v = data.vector(i);
+            for d in 0..dims {
+                if v.get(d) {
+                    ones[d] += 1;
+                }
+            }
+        }
+        let n = ids.len() as f64;
+        let mut ranked: Vec<(usize, f64)> = ones
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| {
+                let p = c as f64 / n;
+                (d, p * (1.0 - p))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Pick randomly among the top candidates with nonzero variance.
+        let usable: Vec<usize> = ranked
+            .iter()
+            .take(config.top_variance_candidates)
+            .filter(|(_, var)| *var > 0.0)
+            .map(|(d, _)| *d)
+            .collect();
+        if usable.is_empty() {
+            // All remaining points are identical on every dimension; stop splitting.
+            return Node::Leaf(ids);
+        }
+        let dim = usable[rng.gen_range(0..usable.len())];
+
+        let (left_ids, right_ids): (Vec<usize>, Vec<usize>) =
+            ids.into_iter().partition(|&i| !data.vector(i).get(dim));
+        if left_ids.is_empty() || right_ids.is_empty() {
+            // Degenerate split (can happen when variance ranking used stale info);
+            // fall back to a leaf to guarantee termination.
+            let mut all = left_ids;
+            all.extend(right_ids);
+            return Node::Leaf(all);
+        }
+        Node::Split {
+            dim,
+            left: Box::new(Self::build_node(data, left_ids, config, rng)),
+            right: Box::new(Self::build_node(data, right_ids, config, rng)),
+        }
+    }
+
+    /// The configuration the forest was built with.
+    pub fn config(&self) -> &KdForestConfig {
+        &self.config
+    }
+
+    /// Maximum tree depth across the forest (index-size diagnostic).
+    pub fn max_depth(&self) -> usize {
+        self.roots.iter().map(Node::depth).max().unwrap_or(0)
+    }
+
+    /// Number of leaf buckets across all trees.
+    pub fn leaf_count(&self) -> usize {
+        let mut leaves = Vec::new();
+        for r in &self.roots {
+            r.leaves(&mut leaves);
+        }
+        leaves.len()
+    }
+}
+
+impl SearchIndex for KdForest {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        let mut topk = TopK::new(k);
+        for i in self.candidates(query) {
+            topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
+        }
+        topk.into_sorted()
+    }
+}
+
+impl BucketIndex for KdForest {
+    fn candidates(&self, query: &BinaryVector) -> Vec<usize> {
+        let mut set = BTreeSet::new();
+        for root in &self.roots {
+            for &i in root.locate(query) {
+                set.insert(i);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    fn traversal_cost(&self) -> usize {
+        // One bit test per level per tree.
+        self.roots.iter().map(Node::depth).sum()
+    }
+
+    fn bucket_ids(&self, query: &BinaryVector) -> Vec<u64> {
+        // One bucket per tree: the leaf the query's traversal reaches.
+        self.roots
+            .iter()
+            .map(|root| crate::index::fingerprint_ids(root.locate(query).iter().copied()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::generate::{clustered_dataset, planted_queries, uniform_dataset, ClusterParams};
+    use binvec::metrics::recall_at_k;
+    use crate::linear::LinearScan;
+
+    fn small_config(bucket: usize) -> KdForestConfig {
+        KdForestConfig {
+            trees: 4,
+            bucket_size: bucket,
+            top_variance_candidates: 5,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn dataset_smaller_than_bucket_degenerates_to_linear_scan() {
+        let data = uniform_dataset(100, 64, 1);
+        let forest = KdForest::build(data.clone(), small_config(1024));
+        let exact = LinearScan::new(data);
+        let q = binvec::generate::uniform_queries(5, 64, 2);
+        for query in &q {
+            assert_eq!(forest.search(query, 3), exact.search(query, 3));
+            assert_eq!(forest.candidates(query).len(), 100);
+        }
+        assert_eq!(forest.max_depth(), 0);
+    }
+
+    #[test]
+    fn buckets_respect_size_and_partition_dataset() {
+        let data = uniform_dataset(1000, 32, 7);
+        let forest = KdForest::build(data, small_config(64));
+        assert!(forest.max_depth() > 0);
+        // Every tree's leaves partition the dataset.
+        for root in &forest.roots {
+            let mut leaves = Vec::new();
+            root.leaves(&mut leaves);
+            let total: usize = leaves.iter().map(|l| l.len()).sum();
+            assert_eq!(total, 1000);
+            let mut seen = std::collections::HashSet::new();
+            for l in &leaves {
+                for &i in l.iter() {
+                    assert!(seen.insert(i), "vector {i} in two leaves of one tree");
+                }
+            }
+        }
+        assert!(forest.leaf_count() >= 4);
+        assert!(forest.traversal_cost() >= 4);
+    }
+
+    #[test]
+    fn planted_neighbors_are_recalled_on_clustered_data() {
+        let (data, _) = clustered_dataset(
+            2000,
+            64,
+            ClusterParams {
+                clusters: 8,
+                flip_probability: 0.02,
+            },
+            3,
+        );
+        let forest = KdForest::build(data.clone(), small_config(128));
+        let exact = LinearScan::new(data.clone());
+        let queries = planted_queries(&data, 50, 1, 5);
+        let mut recall = 0.0;
+        for pq in &queries {
+            let truth = exact.search(&pq.query, 4);
+            let got = forest.search(&pq.query, 4);
+            recall += recall_at_k(&got, &truth);
+        }
+        recall /= queries.len() as f64;
+        assert!(recall > 0.6, "kd-forest recall too low: {recall}");
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_unique() {
+        let data = uniform_dataset(500, 32, 9);
+        let forest = KdForest::build(data, small_config(50));
+        let q = binvec::generate::uniform_queries(1, 32, 10).pop().unwrap();
+        let cands = forest.candidates(&q);
+        for w in cands.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= 500);
+    }
+
+    #[test]
+    fn more_trees_scan_more_candidates() {
+        let data = uniform_dataset(2000, 64, 11);
+        let one = KdForest::build(data.clone(), KdForestConfig { trees: 1, ..small_config(64) });
+        let four = KdForest::build(data, KdForestConfig { trees: 4, ..small_config(64) });
+        let q = binvec::generate::uniform_queries(5, 64, 12);
+        let avg = |f: &KdForest| -> f64 {
+            q.iter().map(|query| f.candidates(query).len()).sum::<usize>() as f64 / q.len() as f64
+        };
+        assert!(avg(&four) > avg(&one));
+    }
+
+    #[test]
+    fn constant_dataset_terminates() {
+        // All-identical vectors have zero variance everywhere; the builder must not
+        // recurse forever.
+        let mut data = BinaryDataset::new(16);
+        let v = BinaryVector::ones(16);
+        for _ in 0..100 {
+            data.push(&v);
+        }
+        let forest = KdForest::build(data, small_config(10));
+        assert_eq!(forest.max_depth(), 0);
+        assert_eq!(forest.candidates(&BinaryVector::zeros(16)).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let _ = KdForest::build(
+            uniform_dataset(10, 8, 0),
+            KdForestConfig {
+                trees: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Hierarchical k-means index over binary codes.
+//!
+//! Following §II-A of the paper: the dataset is hierarchically partitioned into
+//! clusters; traversing the index requires a distance calculation at each node to
+//! pick the next child; each leaf is a bucket of candidate points scanned linearly
+//! after the traversal. In Hamming space the cluster "centroid" is the per-dimension
+//! majority bit (the binary vector minimizing the summed Hamming distance to the
+//! cluster members), and Lloyd-style iterations alternate assignment and majority
+//! recomputation.
+
+use crate::index::{BucketIndex, SearchIndex};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a [`HierarchicalKMeans`] index.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Branching factor at every internal node.
+    pub branching: usize,
+    /// Maximum number of points in a leaf bucket (the paper sets this to one AP
+    /// board configuration's capacity).
+    pub bucket_size: usize,
+    /// Lloyd iterations per node.
+    pub iterations: usize,
+    /// RNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            branching: 8,
+            bucket_size: 1024,
+            iterations: 5,
+            seed: 0xC1u64,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Internal {
+        /// One centroid per child, in child order.
+        centroids: Vec<BinaryVector>,
+        children: Vec<Node>,
+    },
+    Leaf(Vec<usize>),
+}
+
+impl Node {
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Traverses to a leaf, accumulating the number of centroid distance
+    /// computations performed.
+    fn locate<'a>(&'a self, query: &BinaryVector, cost: &mut usize) -> &'a [usize] {
+        match self {
+            Node::Leaf(ids) => ids,
+            Node::Internal {
+                centroids,
+                children,
+            } => {
+                *cost += centroids.len();
+                let best = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| query.hamming(c))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                children[best].locate(query, cost)
+            }
+        }
+    }
+
+    fn leaves<'a>(&'a self, out: &mut Vec<&'a Vec<usize>>) {
+        match self {
+            Node::Leaf(ids) => out.push(ids),
+            Node::Internal { children, .. } => {
+                for c in children {
+                    c.leaves(out);
+                }
+            }
+        }
+    }
+}
+
+/// Hierarchical k-means (k-majority) index.
+#[derive(Clone, Debug)]
+pub struct HierarchicalKMeans {
+    data: BinaryDataset,
+    root: Node,
+    config: KMeansConfig,
+}
+
+impl HierarchicalKMeans {
+    /// Builds the index over `data`.
+    pub fn build(data: BinaryDataset, config: KMeansConfig) -> Self {
+        assert!(config.branching >= 2, "branching factor must be at least 2");
+        assert!(config.bucket_size > 0, "bucket size must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let root = Self::build_node(&data, all, &config, &mut rng);
+        Self { data, root, config }
+    }
+
+    fn build_node(
+        data: &BinaryDataset,
+        ids: Vec<usize>,
+        config: &KMeansConfig,
+        rng: &mut StdRng,
+    ) -> Node {
+        if ids.len() <= config.bucket_size {
+            return Node::Leaf(ids);
+        }
+        let k = config.branching.min(ids.len());
+
+        // Initialize centroids from random distinct members.
+        let mut centroid_ids: Vec<usize> = Vec::with_capacity(k);
+        while centroid_ids.len() < k {
+            let candidate = ids[rng.gen_range(0..ids.len())];
+            if !centroid_ids.contains(&candidate) {
+                centroid_ids.push(candidate);
+            }
+        }
+        let mut centroids: Vec<BinaryVector> =
+            centroid_ids.iter().map(|&i| data.vector(i)).collect();
+
+        let mut assignment = vec![0usize; ids.len()];
+        for _ in 0..config.iterations {
+            // Assignment step.
+            for (slot, &i) in ids.iter().enumerate() {
+                let v = data.vector(i);
+                assignment[slot] = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| v.hamming(c))
+                    .map(|(ci, _)| ci)
+                    .unwrap_or(0);
+            }
+            // Majority update step.
+            let dims = data.dims();
+            for (ci, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<usize> = ids
+                    .iter()
+                    .zip(assignment.iter())
+                    .filter(|(_, &a)| a == ci)
+                    .map(|(&i, _)| i)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut ones = vec![0usize; dims];
+                for &m in &members {
+                    let v = data.vector(m);
+                    for (d, count) in ones.iter_mut().enumerate() {
+                        if v.get(d) {
+                            *count += 1;
+                        }
+                    }
+                }
+                let half = members.len();
+                let bools: Vec<bool> = ones.iter().map(|&c| 2 * c > half).collect();
+                *centroid = BinaryVector::from_bools(&bools);
+            }
+        }
+
+        // Final assignment into child id lists.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &i in &ids {
+            let v = data.vector(i);
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| v.hamming(c))
+                .map(|(ci, _)| ci)
+                .unwrap_or(0);
+            buckets[best].push(i);
+        }
+
+        // If clustering failed to split the data (all points in one child), stop.
+        let nonempty = buckets.iter().filter(|b| !b.is_empty()).count();
+        if nonempty <= 1 {
+            return Node::Leaf(ids);
+        }
+
+        let mut kept_centroids = Vec::new();
+        let mut children = Vec::new();
+        for (ci, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            kept_centroids.push(centroids[ci].clone());
+            children.push(Self::build_node(data, bucket, config, rng));
+        }
+        Node::Internal {
+            centroids: kept_centroids,
+            children,
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// Index tree depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaf buckets.
+    pub fn leaf_count(&self) -> usize {
+        let mut leaves = Vec::new();
+        self.root.leaves(&mut leaves);
+        leaves.len()
+    }
+}
+
+impl SearchIndex for HierarchicalKMeans {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        let mut topk = TopK::new(k);
+        for i in self.candidates(query) {
+            topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
+        }
+        topk.into_sorted()
+    }
+}
+
+impl BucketIndex for HierarchicalKMeans {
+    fn candidates(&self, query: &BinaryVector) -> Vec<usize> {
+        let mut cost = 0;
+        self.root.locate(query, &mut cost).to_vec()
+    }
+
+    fn traversal_cost(&self) -> usize {
+        // Distance computations along one root-to-leaf path (worst case: full
+        // branching at every level).
+        self.config.branching * self.root.depth()
+    }
+
+    fn bucket_ids(&self, query: &BinaryVector) -> Vec<u64> {
+        let mut cost = 0;
+        vec![crate::index::fingerprint_ids(
+            self.root.locate(query, &mut cost).iter().copied(),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use binvec::generate::{clustered_dataset, planted_queries, uniform_dataset, ClusterParams};
+    use binvec::metrics::recall_at_k;
+
+    fn cfg(bucket: usize) -> KMeansConfig {
+        KMeansConfig {
+            branching: 4,
+            bucket_size: bucket,
+            iterations: 4,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn small_dataset_is_single_leaf() {
+        let data = uniform_dataset(50, 32, 1);
+        let index = HierarchicalKMeans::build(data.clone(), cfg(100));
+        assert_eq!(index.depth(), 0);
+        assert_eq!(index.leaf_count(), 1);
+        let exact = LinearScan::new(data);
+        let q = binvec::generate::uniform_queries(3, 32, 2);
+        for query in &q {
+            assert_eq!(index.search(query, 5), exact.search(query, 5));
+        }
+    }
+
+    #[test]
+    fn large_dataset_gets_partitioned() {
+        let data = uniform_dataset(1500, 32, 3);
+        let index = HierarchicalKMeans::build(data, cfg(200));
+        assert!(index.depth() >= 1);
+        assert!(index.leaf_count() >= 2);
+        // Leaves partition the dataset.
+        let mut leaves = Vec::new();
+        index.root.leaves(&mut leaves);
+        let total: usize = leaves.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 1500);
+    }
+
+    #[test]
+    fn clustered_data_recalls_planted_neighbors() {
+        let (data, _) = clustered_dataset(
+            2000,
+            64,
+            ClusterParams {
+                clusters: 6,
+                flip_probability: 0.02,
+            },
+            5,
+        );
+        let index = HierarchicalKMeans::build(data.clone(), cfg(256));
+        let exact = LinearScan::new(data.clone());
+        let queries = planted_queries(&data, 40, 1, 6);
+        let mut recall = 0.0;
+        for pq in &queries {
+            let truth = exact.search(&pq.query, 4);
+            let got = index.search(&pq.query, 4);
+            recall += recall_at_k(&got, &truth);
+        }
+        recall /= queries.len() as f64;
+        assert!(recall > 0.7, "k-means recall too low: {recall}");
+    }
+
+    #[test]
+    fn candidates_come_from_one_bucket() {
+        let data = uniform_dataset(1000, 32, 7);
+        let index = HierarchicalKMeans::build(data, cfg(128));
+        let q = binvec::generate::uniform_queries(1, 32, 8).pop().unwrap();
+        let cands = index.candidates(&q);
+        assert!(!cands.is_empty());
+        assert!(cands.len() < 1000, "bucket should be a strict subset");
+        assert!(index.traversal_cost() > 0);
+    }
+
+    #[test]
+    fn identical_vectors_terminate() {
+        let mut data = BinaryDataset::new(8);
+        for _ in 0..200 {
+            data.push(&BinaryVector::zeros(8));
+        }
+        let index = HierarchicalKMeans::build(data, cfg(50));
+        // Identical points cannot be split; builder must fall back to a leaf.
+        assert_eq!(index.depth(), 0);
+        assert_eq!(index.candidates(&BinaryVector::zeros(8)).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn branching_of_one_panics() {
+        let _ = HierarchicalKMeans::build(
+            uniform_dataset(10, 8, 0),
+            KMeansConfig {
+                branching: 1,
+                ..Default::default()
+            },
+        );
+    }
+}

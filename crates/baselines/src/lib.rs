@@ -1,0 +1,46 @@
+//! # baselines — comparison systems for Hamming-space kNN
+//!
+//! The paper evaluates the Automata Processor design against CPU, GPU and FPGA
+//! implementations and against three approximate spatial-indexing schemes. This crate
+//! implements every one of those comparison systems (a simpler calibrated projection
+//! of the CPU/GPU numbers also lives in `perf-model` for the table harness):
+//!
+//! * [`linear`] — exact linear-scan kNN, single-threaded (the FLANN-style CPU
+//!   baseline) and multi-threaded (crossbeam scoped threads), both bit-parallel over
+//!   packed words like the XOR + POPCOUNT kernels every platform in the paper uses.
+//! * [`kdtree`] — randomized kd-trees over binary codes (FLANN's default index),
+//!   splitting on high-variance dimensions, one bucket scanned per tree traversal.
+//! * [`kmeans`] — hierarchical k-means (k-majority in Hamming space) with
+//!   per-level centroid distance computations during traversal.
+//! * [`lsh`] — bit-sampling locality-sensitive hashing with multiple tables and
+//!   optional multi-probing (the "MPLSH" row of Table V).
+//! * [`fpga`] — a cycle-level simulator of the paper's Kintex-7 accelerator
+//!   (scratchpad for a query batch, XOR/POPCOUNT distance unit, hardware priority
+//!   queue, dataset streamed once per batch).
+//! * [`gpu`] — a functional + roofline model of the Garcia-et-al. CUDA kernel
+//!   (XOR + POPCOUNT variant) with Jetson TK1 and Titan X presets, calibrated for
+//!   the poor blocking of binarized data the paper observes.
+//!
+//! All index structures implement the common [`SearchIndex`] trait so the evaluation
+//! harness can swap them uniformly, and every approximate index exposes the *bucket*
+//! of candidates it would scan so the AP engine can implement the paper's
+//! host-traverses-index / AP-scans-bucket split (§III-D).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fpga;
+pub mod gpu;
+pub mod index;
+pub mod kdtree;
+pub mod kmeans;
+pub mod linear;
+pub mod lsh;
+
+pub use fpga::{FpgaAccelerator, FpgaConfig, FpgaRunStats};
+pub use gpu::{GpuAccelerator, GpuConfig, GpuRunStats};
+pub use index::{BucketIndex, SearchIndex};
+pub use kdtree::{KdForest, KdForestConfig};
+pub use kmeans::{HierarchicalKMeans, KMeansConfig};
+pub use linear::{LinearScan, ParallelLinearScan};
+pub use lsh::{LshConfig, LshIndex};

@@ -1,0 +1,272 @@
+//! Exact linear-scan kNN — the CPU baseline.
+//!
+//! This mirrors the FLANN Hamming-distance implementation the paper uses on the Xeon
+//! and Cortex-A15 platforms: for every query, XOR + POPCOUNT every dataset vector's
+//! packed words and keep the k best with a bounded priority queue (`O(n·d/64)` word
+//! operations plus `O(n log k)` queue maintenance per query).
+//!
+//! [`LinearScan`] is the single-threaded kernel; [`ParallelLinearScan`] exploits the
+//! *query-level* parallelism the paper describes by distributing the query batch over
+//! crossbeam scoped threads (the dataset is shared read-only, so this mirrors the
+//! batch processing a multicore CPU performs).
+
+use crate::index::SearchIndex;
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+
+/// Single-threaded exact linear scan.
+#[derive(Clone, Debug)]
+pub struct LinearScan {
+    data: BinaryDataset,
+}
+
+impl LinearScan {
+    /// Builds a linear-scan engine over `data`.
+    pub fn new(data: BinaryDataset) -> Self {
+        Self { data }
+    }
+
+    /// Access to the underlying dataset.
+    pub fn dataset(&self) -> &BinaryDataset {
+        &self.data
+    }
+
+    /// Scans only the given candidate ids (used by the approximate indexes, which
+    /// restrict the scan to one bucket).
+    pub fn search_subset(&self, query: &BinaryVector, k: usize, candidates: &[usize]) -> Vec<Neighbor> {
+        let mut topk = TopK::new(k);
+        for &i in candidates {
+            topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
+        }
+        topk.into_sorted()
+    }
+}
+
+impl SearchIndex for LinearScan {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        let mut topk = TopK::new(k);
+        for i in 0..self.data.len() {
+            topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
+        }
+        topk.into_sorted()
+    }
+}
+
+/// Multi-threaded exact linear scan exploiting query-level parallelism.
+#[derive(Clone, Debug)]
+pub struct ParallelLinearScan {
+    data: BinaryDataset,
+    threads: usize,
+}
+
+impl ParallelLinearScan {
+    /// Builds a parallel scan engine using `threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(data: BinaryDataset, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Self { data, threads }
+    }
+
+    /// Number of worker threads used for batch searches.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl SearchIndex for ParallelLinearScan {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        // A single query is processed with data-level parallelism: each thread scans
+        // a contiguous slice of the dataset and the per-thread top-k sets are merged.
+        let n = self.data.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.min(n);
+        let chunk = n.div_ceil(threads);
+        let partials = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let data = &self.data;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                handles.push(scope.spawn(move |_| {
+                    let mut topk = TopK::new(k);
+                    for i in start..end {
+                        topk.offer(Neighbor::new(i, data.hamming_to(i, query)));
+                    }
+                    topk
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect::<Vec<TopK>>()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut merged = TopK::new(k);
+        for p in &partials {
+            merged.merge(p);
+        }
+        merged.into_sorted()
+    }
+
+    fn search_batch(&self, queries: &[BinaryVector], k: usize) -> Vec<Vec<Neighbor>> {
+        // Query-level parallelism: split the query batch across threads; each thread
+        // runs the plain sequential kernel.
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.min(queries.len());
+        let chunk = queries.len().div_ceil(threads);
+        let sequential = LinearScan::new(self.data.clone());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for qchunk in queries.chunks(chunk) {
+                let engine = &sequential;
+                handles.push(scope.spawn(move |_| {
+                    qchunk
+                        .iter()
+                        .map(|q| engine.search(q, k))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::generate::{planted_queries, uniform_dataset, uniform_queries};
+
+    #[test]
+    fn linear_scan_finds_planted_neighbor() {
+        let data = uniform_dataset(300, 64, 3);
+        let engine = LinearScan::new(data.clone());
+        for pq in planted_queries(&data, 20, 2, 9) {
+            let result = engine.search(&pq.query, 1);
+            assert_eq!(result[0].id, pq.source_index);
+            assert_eq!(result[0].distance, 2);
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_k_long() {
+        let data = uniform_dataset(100, 32, 5);
+        let engine = LinearScan::new(data);
+        let q = uniform_queries(1, 32, 6).pop().unwrap();
+        let result = engine.search(&q, 10);
+        assert_eq!(result.len(), 10);
+        for w in result.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let data = uniform_dataset(7, 16, 2);
+        let engine = LinearScan::new(data);
+        let q = uniform_queries(1, 16, 3).pop().unwrap();
+        assert_eq!(engine.search(&q, 50).len(), 7);
+    }
+
+    #[test]
+    fn search_subset_restricts_candidates() {
+        let data = uniform_dataset(50, 32, 8);
+        let engine = LinearScan::new(data);
+        let q = uniform_queries(1, 32, 9).pop().unwrap();
+        let subset = engine.search_subset(&q, 3, &[1, 2, 3]);
+        assert!(subset.iter().all(|n| (1..=3).contains(&n.id)));
+        assert_eq!(subset.len(), 3);
+        let empty = engine.search_subset(&q, 3, &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parallel_single_query_matches_sequential() {
+        let data = uniform_dataset(500, 128, 11);
+        let seq = LinearScan::new(data.clone());
+        let par = ParallelLinearScan::new(data, 4);
+        for q in uniform_queries(10, 128, 12) {
+            assert_eq!(par.search(&q, 5), seq.search(&q, 5));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let data = uniform_dataset(200, 64, 13);
+        let seq = LinearScan::new(data.clone());
+        let par = ParallelLinearScan::new(data, 3);
+        let queries = uniform_queries(17, 64, 14);
+        assert_eq!(par.search_batch(&queries, 4), seq.search_batch(&queries, 4));
+    }
+
+    #[test]
+    fn parallel_handles_tiny_inputs() {
+        let data = uniform_dataset(2, 32, 15);
+        let par = ParallelLinearScan::new(data, 8);
+        assert_eq!(par.threads(), 8);
+        let queries = uniform_queries(1, 32, 16);
+        let results = par.search_batch(&queries, 5);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].len(), 2);
+        assert!(par.search_batch(&[], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = ParallelLinearScan::new(uniform_dataset(1, 8, 0), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn parallel_always_matches_sequential(
+            n in 1usize..200,
+            dims in 1usize..100,
+            k in 1usize..10,
+            threads in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            let data = uniform_dataset(n, dims, seed);
+            let seq = LinearScan::new(data.clone());
+            let par = ParallelLinearScan::new(data, threads);
+            let queries = uniform_queries(3, dims, seed.wrapping_add(1));
+            prop_assert_eq!(par.search_batch(&queries, k), seq.search_batch(&queries, k));
+            for q in &queries {
+                prop_assert_eq!(par.search(q, k), seq.search(q, k));
+            }
+        }
+    }
+}

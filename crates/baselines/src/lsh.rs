@@ -1,0 +1,283 @@
+//! Locality-sensitive hashing for Hamming space (bit sampling), with multi-probing.
+//!
+//! The paper's LSH baseline uses an off-the-shelf ITQ-LSH toolbox with four hash
+//! tables (§IV-C) and appears as "MPLSH" (multi-probe LSH) in Table V. For binary
+//! codes the canonical LSH family is *bit sampling*: each table hashes a vector to
+//! the concatenation of `bits_per_table` randomly chosen bit positions. Similar
+//! vectors collide with probability `(1 - d/D)^bits`, so querying the query's own
+//! bucket (plus, for multi-probe, buckets at Hamming distance 1 in hash space)
+//! retrieves near neighbors with tunable recall.
+
+use crate::index::{BucketIndex, SearchIndex};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+
+/// Configuration for an [`LshIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct LshConfig {
+    /// Number of independent hash tables (the paper uses four).
+    pub tables: usize,
+    /// Number of sampled bit positions per table.
+    pub bits_per_table: usize,
+    /// Number of additional buckets probed per table (0 = exact-bucket LSH,
+    /// > 0 = multi-probe over hash codes at Hamming distance 1).
+    pub probes: usize,
+    /// RNG seed for reproducible bit sampling.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            tables: 4,
+            bits_per_table: 16,
+            probes: 0,
+            seed: 0x15A,
+        }
+    }
+}
+
+/// One bit-sampling hash table.
+#[derive(Clone, Debug)]
+struct Table {
+    /// Sampled bit positions, in hash-bit order.
+    bit_positions: Vec<usize>,
+    /// Map from hash code to dataset ids.
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl Table {
+    fn hash(&self, v: &BinaryVector) -> u64 {
+        let mut h = 0u64;
+        for (i, &pos) in self.bit_positions.iter().enumerate() {
+            if v.get(pos) {
+                h |= 1 << i;
+            }
+        }
+        h
+    }
+}
+
+/// Bit-sampling LSH index with optional multi-probing.
+#[derive(Clone, Debug)]
+pub struct LshIndex {
+    data: BinaryDataset,
+    tables: Vec<Table>,
+    config: LshConfig,
+}
+
+impl LshIndex {
+    /// Builds the index over `data`.
+    pub fn build(data: BinaryDataset, config: LshConfig) -> Self {
+        assert!(config.tables > 0, "need at least one hash table");
+        assert!(
+            config.bits_per_table > 0 && config.bits_per_table <= 63,
+            "bits_per_table must be in 1..=63"
+        );
+        assert!(
+            config.bits_per_table <= data.dims() || data.is_empty(),
+            "cannot sample more bits than dimensions"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tables = Vec::with_capacity(config.tables);
+        for _ in 0..config.tables {
+            let mut dims: Vec<usize> = (0..data.dims()).collect();
+            dims.shuffle(&mut rng);
+            dims.truncate(config.bits_per_table);
+            let mut table = Table {
+                bit_positions: dims,
+                buckets: HashMap::new(),
+            };
+            for i in 0..data.len() {
+                let h = table.hash(&data.vector(i));
+                table.buckets.entry(h).or_default().push(i);
+            }
+            tables.push(table);
+        }
+        Self {
+            data,
+            tables,
+            config,
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &LshConfig {
+        &self.config
+    }
+
+    /// Average number of vectors per non-empty bucket, across all tables.
+    pub fn mean_bucket_size(&self) -> f64 {
+        let mut total = 0usize;
+        let mut buckets = 0usize;
+        for t in &self.tables {
+            for b in t.buckets.values() {
+                total += b.len();
+                buckets += 1;
+            }
+        }
+        if buckets == 0 {
+            0.0
+        } else {
+            total as f64 / buckets as f64
+        }
+    }
+}
+
+impl SearchIndex for LshIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        let mut topk = TopK::new(k);
+        for i in self.candidates(query) {
+            topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
+        }
+        topk.into_sorted()
+    }
+}
+
+impl BucketIndex for LshIndex {
+    fn candidates(&self, query: &BinaryVector) -> Vec<usize> {
+        let mut set = BTreeSet::new();
+        for t in &self.tables {
+            let h = t.hash(query);
+            if let Some(bucket) = t.buckets.get(&h) {
+                set.extend(bucket.iter().copied());
+            }
+            // Multi-probe: also visit the `probes` hash codes at Hamming distance 1
+            // (flipping the lowest-index hash bits first).
+            for bit in 0..self.config.probes.min(self.config.bits_per_table) {
+                let probe = h ^ (1u64 << bit);
+                if let Some(bucket) = t.buckets.get(&probe) {
+                    set.extend(bucket.iter().copied());
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    fn traversal_cost(&self) -> usize {
+        // One hash evaluation (bits_per_table bit reads) per table, plus probe lookups.
+        self.config.tables * (self.config.bits_per_table + self.config.probes)
+    }
+
+    fn bucket_ids(&self, query: &BinaryVector) -> Vec<u64> {
+        // One bucket per (table, hash code) actually probed.
+        let mut ids = Vec::new();
+        for (t, table) in self.tables.iter().enumerate() {
+            let h = table.hash(query);
+            ids.push(((t as u64) << 56) ^ h);
+            for bit in 0..self.config.probes.min(self.config.bits_per_table) {
+                ids.push(((t as u64) << 56) ^ h ^ (1u64 << bit));
+            }
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use binvec::generate::{planted_queries, uniform_dataset};
+    use binvec::metrics::recall_at_k;
+
+    fn cfg(tables: usize, bits: usize, probes: usize) -> LshConfig {
+        LshConfig {
+            tables,
+            bits_per_table: bits,
+            probes,
+            seed: 123,
+        }
+    }
+
+    #[test]
+    fn exact_duplicate_is_always_found() {
+        let data = uniform_dataset(500, 64, 1);
+        let index = LshIndex::build(data.clone(), cfg(4, 12, 0));
+        // A query identical to a dataset vector hashes to the same bucket in every
+        // table, so it must appear in its own candidate set.
+        for i in [0usize, 17, 100, 499] {
+            let q = data.vector(i);
+            let cands = index.candidates(&q);
+            assert!(cands.contains(&i), "vector {i} not in its own bucket");
+            let res = index.search(&q, 1);
+            assert_eq!(res[0].id, i);
+            assert_eq!(res[0].distance, 0);
+        }
+    }
+
+    #[test]
+    fn planted_near_neighbors_have_good_recall() {
+        let data = uniform_dataset(2000, 128, 2);
+        let index = LshIndex::build(data.clone(), cfg(4, 10, 0));
+        let exact = LinearScan::new(data.clone());
+        let queries = planted_queries(&data, 50, 2, 3);
+        let mut recall = 0.0;
+        for pq in &queries {
+            let truth = exact.search(&pq.query, 1);
+            let got = index.search(&pq.query, 1);
+            recall += recall_at_k(&got, &truth);
+        }
+        recall /= queries.len() as f64;
+        // With 4 tables of 10 bits and only 2/128 bits flipped, collision probability
+        // per table is (1 - 2/128)^10 ≈ 0.85, so overall recall should be very high.
+        assert!(recall > 0.9, "LSH recall too low: {recall}");
+    }
+
+    #[test]
+    fn multiprobe_never_reduces_candidates() {
+        let data = uniform_dataset(1000, 64, 4);
+        let plain = LshIndex::build(data.clone(), cfg(2, 14, 0));
+        let probed = LshIndex::build(data, cfg(2, 14, 6));
+        let queries = binvec::generate::uniform_queries(10, 64, 5);
+        for q in &queries {
+            let a = plain.candidates(q).len();
+            let b = probed.candidates(q).len();
+            assert!(b >= a, "multi-probe shrank the candidate set");
+        }
+        assert!(probed.traversal_cost() > plain.traversal_cost());
+    }
+
+    #[test]
+    fn more_bits_means_smaller_buckets() {
+        let data = uniform_dataset(2000, 64, 6);
+        let coarse = LshIndex::build(data.clone(), cfg(2, 4, 0));
+        let fine = LshIndex::build(data, cfg(2, 16, 0));
+        assert!(fine.mean_bucket_size() < coarse.mean_bucket_size());
+    }
+
+    #[test]
+    fn search_results_are_sorted() {
+        let data = uniform_dataset(300, 32, 7);
+        let index = LshIndex::build(data, cfg(4, 8, 1));
+        let q = binvec::generate::uniform_queries(1, 32, 8).pop().unwrap();
+        let res = index.search(&q, 5);
+        for w in res.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let index = LshIndex::build(BinaryDataset::new(32), cfg(2, 8, 0));
+        assert!(index.is_empty());
+        let q = BinaryVector::zeros(32);
+        assert!(index.candidates(&q).is_empty());
+        assert!(index.search(&q, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more bits than dimensions")]
+    fn too_many_bits_panics() {
+        let _ = LshIndex::build(uniform_dataset(10, 8, 0), cfg(1, 16, 0));
+    }
+}

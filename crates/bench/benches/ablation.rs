@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * collector-tree fan-in (flat OR vs. deep reduction tree) — affects window length
+//!   and simulation cost;
+//! * temporal sort decoding vs. host-side sorting of raw distances;
+//! * statistical-reduction parameters (p, k') — accuracy-free work reduction.
+
+use ap_knn::reduction::{reduced_candidates, ReductionConfig};
+use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+use binvec::topk::{full_sort, select_k};
+use binvec::Neighbor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_collector_fan_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_collector_fan_in");
+    group.sample_size(10);
+    let dims = 64;
+    let data = binvec::generate::uniform_dataset(32, dims, 3);
+    let queries = binvec::generate::uniform_queries(4, dims, 4);
+    for fan_in in [2usize, 8, 64] {
+        let engine = ApKnnEngine::new(KnnDesign::new(dims).with_collector_fan_in(fan_in));
+        group.bench_function(BenchmarkId::new("cycle_accurate_fan_in", fan_in), |b| {
+            b.iter(|| black_box(engine.search_batch(black_box(&data), black_box(&queries), 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_strategies(c: &mut Criterion) {
+    // The paper's motivation for the temporal sort: selecting the top-k from n
+    // distances should not cost O(n log n) per query on the host.
+    let mut group = c.benchmark_group("ablation_sort_strategy");
+    let n = 65_536usize;
+    let k = 16;
+    let distances: Vec<Neighbor> = (0..n)
+        .map(|i| Neighbor::new(i, ((i * 2654435761) % 257) as u32))
+        .collect();
+    group.bench_function("full_sort", |b| {
+        b.iter(|| black_box(full_sort(black_box(distances.clone()))))
+    });
+    group.bench_function("bounded_top_k", |b| {
+        b.iter(|| black_box(select_k(k, black_box(distances.iter().copied()))))
+    });
+    group.finish();
+}
+
+fn bench_reduction_parameters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reduction_parameters");
+    group.sample_size(10);
+    let data = binvec::generate::uniform_dataset(1024, 128, 5);
+    let query = binvec::generate::uniform_queries(1, 128, 6).pop().unwrap();
+    for (p, local_k) in [(16usize, 1usize), (16, 4), (64, 4)] {
+        let config = ReductionConfig::new(p, local_k);
+        group.bench_function(BenchmarkId::new("reduced_candidates", format!("p{p}_k{local_k}")), |b| {
+            b.iter(|| black_box(reduced_candidates(black_box(&data), black_box(&query), &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_execution_mode");
+    group.sample_size(10);
+    let dims = 32;
+    let data = binvec::generate::uniform_dataset(64, dims, 7);
+    let queries = binvec::generate::uniform_queries(8, dims, 8);
+    for (name, mode) in [
+        ("behavioral", ExecutionMode::Behavioral),
+        ("cycle_accurate", ExecutionMode::CycleAccurate),
+    ] {
+        let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(mode);
+        group.bench_function(BenchmarkId::new("engine", name), |b| {
+            b.iter(|| black_box(engine.search_batch(black_box(&data), black_box(&queries), 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collector_fan_in,
+    bench_sort_strategies,
+    bench_reduction_parameters,
+    bench_execution_modes
+);
+criterion_main!(benches);

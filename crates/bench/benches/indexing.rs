@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the spatial-indexing baselines (Table V substrate):
+//! index construction and query throughput for kd-forest, hierarchical k-means and
+//! LSH over a clustered dataset.
+
+use baselines::{
+    HierarchicalKMeans, KMeansConfig, KdForest, KdForestConfig, LshConfig, LshIndex, SearchIndex,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dataset() -> binvec::BinaryDataset {
+    binvec::generate::clustered_dataset(
+        8_192,
+        128,
+        binvec::generate::ClusterParams {
+            clusters: 32,
+            flip_probability: 0.04,
+        },
+        11,
+    )
+    .0
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("kd_forest", |b| {
+        b.iter(|| {
+            black_box(KdForest::build(
+                data.clone(),
+                KdForestConfig {
+                    trees: 4,
+                    bucket_size: 512,
+                    top_variance_candidates: 5,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    group.bench_function("hierarchical_kmeans", |b| {
+        b.iter(|| {
+            black_box(HierarchicalKMeans::build(
+                data.clone(),
+                KMeansConfig {
+                    branching: 8,
+                    bucket_size: 512,
+                    iterations: 3,
+                    seed: 2,
+                },
+            ))
+        })
+    });
+    group.bench_function("lsh", |b| {
+        b.iter(|| {
+            black_box(LshIndex::build(
+                data.clone(),
+                LshConfig {
+                    tables: 4,
+                    bits_per_table: 12,
+                    probes: 0,
+                    seed: 3,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_query(c: &mut Criterion) {
+    let data = dataset();
+    let queries = binvec::generate::uniform_queries(64, 128, 21);
+    let k = 8;
+
+    let kd = KdForest::build(
+        data.clone(),
+        KdForestConfig {
+            trees: 4,
+            bucket_size: 512,
+            top_variance_candidates: 5,
+            seed: 1,
+        },
+    );
+    let km = HierarchicalKMeans::build(
+        data.clone(),
+        KMeansConfig {
+            branching: 8,
+            bucket_size: 512,
+            iterations: 3,
+            seed: 2,
+        },
+    );
+    let lsh = LshIndex::build(
+        data.clone(),
+        LshConfig {
+            tables: 4,
+            bits_per_table: 12,
+            probes: 1,
+            seed: 3,
+        },
+    );
+    let exact = baselines::LinearScan::new(data);
+
+    let mut group = c.benchmark_group("index_query");
+    group.sample_size(10);
+    let engines: Vec<(&str, Box<dyn Fn() -> usize>)> = vec![
+        ("exact_scan", Box::new(|| exact.search_batch(&queries, k).len())),
+        ("kd_forest", Box::new(|| kd.search_batch(&queries, k).len())),
+        ("hierarchical_kmeans", Box::new(|| km.search_batch(&queries, k).len())),
+        ("lsh", Box::new(|| lsh.search_batch(&queries, k).len())),
+    ];
+    for (name, search) in &engines {
+        group.bench_function(BenchmarkId::new("batch_64_queries", *name), |b| {
+            b.iter(|| black_box(search()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_index_query);
+criterion_main!(benches);

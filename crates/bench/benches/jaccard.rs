@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the Jaccard-similarity design and the multi-board
+//! scheduler.
+//!
+//! Compares the cycle-accurate Jaccard automata search against the host-side
+//! brute-force reference, and measures how the parallel scheduler's wall-clock
+//! scales with worker (board) count for the Hamming design.
+
+use ap_knn::jaccard::{brute_force_jaccard, JaccardSearcher};
+use ap_knn::{BoardCapacity, KnnDesign, ParallelApScheduler};
+use binvec::generate::{uniform_dataset, uniform_queries};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_jaccard_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jaccard_search");
+    group.sample_size(10);
+    let dims = 32;
+    let dataset = uniform_dataset(64, dims, 31);
+    let queries = uniform_queries(4, dims, 32);
+    let searcher = JaccardSearcher::new(KnnDesign::new(dims));
+
+    group.bench_function("ap_cycle_accurate_64x32", |b| {
+        b.iter(|| black_box(searcher.search_batch(black_box(&dataset), black_box(&queries), 4)))
+    });
+    group.bench_function("host_brute_force_64x32", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(brute_force_jaccard(black_box(&dataset), q, 4));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_scaling");
+    group.sample_size(10);
+    let dims = 32;
+    let dataset = uniform_dataset(96, dims, 41);
+    let queries = uniform_queries(4, dims, 42);
+    let capacity = BoardCapacity {
+        vectors_per_board: 12,
+        model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+    };
+    for workers in [1usize, 2, 4] {
+        let scheduler = ParallelApScheduler::new(KnnDesign::new(dims))
+            .with_capacity(capacity)
+            .with_workers(workers);
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| black_box(scheduler.search_batch(black_box(&dataset), black_box(&queries), 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jaccard_search, bench_scheduler_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the large-dataset regime: CPU scan throughput as the
+//! dataset grows, and the (cheap) analytical AP estimates across generations.
+
+use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+use ap_sim::DeviceConfig;
+use baselines::{LinearScan, ParallelLinearScan, SearchIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scan_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_dataset_scan");
+    group.sample_size(10);
+    let dims = 128;
+    let k = 4;
+    let queries = binvec::generate::uniform_queries(8, dims, 7);
+    for n in [4_096usize, 16_384, 65_536] {
+        let data = binvec::generate::uniform_dataset(n, dims, 5);
+        group.throughput(Throughput::Elements((n * queries.len()) as u64));
+        let linear = LinearScan::new(data.clone());
+        group.bench_function(BenchmarkId::new("cpu_linear", n), |b| {
+            b.iter(|| black_box(linear.search_batch(black_box(&queries), k)))
+        });
+        let parallel = ParallelLinearScan::new(data, 4);
+        group.bench_function(BenchmarkId::new("cpu_parallel", n), |b| {
+            b.iter(|| black_box(parallel.search_batch(black_box(&queries), k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ap_estimation(c: &mut Criterion) {
+    // The table-regeneration path: how fast the analytical AP estimates themselves
+    // are (they are called thousands of times by the harness binaries).
+    let mut group = c.benchmark_group("ap_estimation");
+    for (name, device) in [("gen1", DeviceConfig::gen1()), ("gen2", DeviceConfig::gen2())] {
+        let engine = ApKnnEngine::new(KnnDesign::new(128).with_device(device))
+            .with_mode(ExecutionMode::Behavioral);
+        group.bench_function(BenchmarkId::new("estimate_run", name), |b| {
+            b.iter(|| black_box(engine.estimate_run(black_box(1 << 20), black_box(4096))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_scaling, bench_ap_estimation);
+criterion_main!(benches);

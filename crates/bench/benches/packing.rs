@@ -1,0 +1,74 @@
+//! Criterion benchmarks for automata construction: per-vector macros vs. packed
+//! groups (§VI-A), and simulation throughput of the two designs.
+
+use ap_knn::macros::append_vector_macro;
+use ap_knn::packing::append_packed_group;
+use ap_knn::{KnnDesign, StreamLayout};
+use ap_sim::{AutomataNetwork, Simulator};
+use binvec::BinaryVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn build_unpacked(vectors: &[BinaryVector], design: &KnnDesign) -> AutomataNetwork {
+    let mut net = AutomataNetwork::new();
+    for (i, v) in vectors.iter().enumerate() {
+        append_vector_macro(&mut net, v, i as u32, design);
+    }
+    net
+}
+
+fn build_packed(vectors: &[BinaryVector], design: &KnnDesign) -> AutomataNetwork {
+    let mut net = AutomataNetwork::new();
+    let codes: Vec<u32> = (0..vectors.len() as u32).collect();
+    append_packed_group(&mut net, vectors, &codes, design);
+    net
+}
+
+fn bench_network_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_construction");
+    group.sample_size(10);
+    for dims in [32usize, 64, 128] {
+        let design = KnnDesign::new(dims);
+        let data = binvec::generate::uniform_dataset(8, dims, dims as u64);
+        let vectors: Vec<BinaryVector> = data.iter().collect();
+        group.bench_function(BenchmarkId::new("unpacked_8_vectors", dims), |b| {
+            b.iter(|| black_box(build_unpacked(black_box(&vectors), &design)))
+        });
+        group.bench_function(BenchmarkId::new("packed_8_vectors", dims), |b| {
+            b.iter(|| black_box(build_packed(black_box(&vectors), &design)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_throughput");
+    group.sample_size(10);
+    let dims = 64;
+    let design = KnnDesign::new(dims);
+    let layout = StreamLayout::for_design(&design);
+    let data = binvec::generate::uniform_dataset(8, dims, 9);
+    let vectors: Vec<BinaryVector> = data.iter().collect();
+    let queries = binvec::generate::uniform_queries(4, dims, 10);
+    let stream = layout.encode_batch(&queries);
+
+    let unpacked = build_unpacked(&vectors, &design);
+    let packed = build_packed(&vectors, &design);
+
+    group.bench_function("unpacked_simulation", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&unpacked).unwrap();
+            black_box(sim.run(black_box(&stream)))
+        })
+    });
+    group.bench_function("packed_simulation", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&packed).unwrap();
+            black_box(sim.run(black_box(&stream)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_construction, bench_simulation_throughput);
+criterion_main!(benches);

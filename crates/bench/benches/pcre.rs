@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the PCRE front end of the AP simulator.
+//!
+//! Two costs matter in the AP programming model: *compile* time (pattern → Glushkov
+//! network, an offline cost like the kNN board images) and *scan* throughput
+//! (symbols per second through the cycle-accurate simulator, which is what the
+//! paper's 133 MHz symbol clock abstracts).
+
+use ap_sim::{CompiledPcre, PcreSet, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Synthetic log-like haystack over a small alphabet.
+fn haystack(len: usize) -> Vec<u8> {
+    let words: [&[u8]; 6] = [
+        b"GET /index ",
+        b"POST /api/v1/items ",
+        b"error: timeout ",
+        b"user=alice id=1234 ",
+        b"warn: retry 42 ",
+        b"OK 200 ",
+    ];
+    let mut out = Vec::with_capacity(len + 32);
+    let mut i = 0usize;
+    while out.len() < len {
+        out.extend_from_slice(words[i % words.len()]);
+        i += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+fn dictionary() -> Vec<&'static str> {
+    vec![
+        "error",
+        "timeout",
+        "user=[a-z]+",
+        "id=\\d+",
+        "(?:GET|POST) /",
+        "\\d\\d\\d",
+        "retry \\d+",
+        "warn",
+    ]
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcre_compile");
+    group.sample_size(20);
+    for pattern in ["error", "user=[a-z]+", "(?:GET|POST) /[a-z/]+", "a{64}"] {
+        group.bench_function(BenchmarkId::new("compile", pattern), |b| {
+            b.iter(|| black_box(CompiledPcre::compile(black_box(pattern)).unwrap()))
+        });
+    }
+    group.bench_function("compile_dictionary_8_patterns", |b| {
+        let patterns = dictionary();
+        b.iter(|| black_box(PcreSet::compile(black_box(&patterns)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcre_scan");
+    group.sample_size(10);
+    let set = PcreSet::compile(&dictionary()).unwrap();
+    for len in [1usize << 10, 1 << 13] {
+        let text = haystack(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(BenchmarkId::new("dictionary_scan", len), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(set.network()).unwrap();
+                black_box(sim.run(black_box(&text)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_scan);
+criterion_main!(benches);

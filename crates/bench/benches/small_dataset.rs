@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the small-dataset (single board configuration) regime:
+//! the engines that actually execute on this host, compared head to head.
+
+use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+use baselines::{FpgaAccelerator, FpgaConfig, LinearScan, ParallelLinearScan, SearchIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_small_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_dataset_knn");
+    group.sample_size(10);
+
+    // A scaled-down kNN-WordEmbed-shaped workload that the cycle-accurate simulator
+    // can execute in a benchmark iteration.
+    let dims = 64;
+    let n = 128;
+    let k = 4;
+    let data = binvec::generate::uniform_dataset(n, dims, 1);
+    let queries = binvec::generate::uniform_queries(16, dims, 2);
+
+    let linear = LinearScan::new(data.clone());
+    group.bench_function(BenchmarkId::new("cpu_linear_scan", n), |b| {
+        b.iter(|| black_box(linear.search_batch(black_box(&queries), k)))
+    });
+
+    let parallel = ParallelLinearScan::new(data.clone(), 4);
+    group.bench_function(BenchmarkId::new("cpu_parallel_scan", n), |b| {
+        b.iter(|| black_box(parallel.search_batch(black_box(&queries), k)))
+    });
+
+    let fpga = FpgaAccelerator::new(data.clone(), FpgaConfig::kintex7());
+    group.bench_function(BenchmarkId::new("fpga_functional_model", n), |b| {
+        b.iter(|| black_box(fpga.run_batch(black_box(&queries), k)))
+    });
+
+    let behavioral = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
+    group.bench_function(BenchmarkId::new("ap_engine_behavioral", n), |b| {
+        b.iter(|| black_box(behavioral.search_batch(black_box(&data), black_box(&queries), k)))
+    });
+
+    let cycle_accurate = ApKnnEngine::new(KnnDesign::new(dims));
+    group.bench_function(BenchmarkId::new("ap_engine_cycle_accurate", n), |b| {
+        b.iter(|| black_box(cycle_accurate.search_batch(black_box(&data), black_box(&queries), k)))
+    });
+
+    group.finish();
+}
+
+fn bench_distance_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming_kernel");
+    for dims in [64usize, 128, 256] {
+        let a = binvec::generate::uniform_dataset(1, dims, 3).vector(0);
+        let b = binvec::generate::uniform_dataset(1, dims, 4).vector(0);
+        group.bench_function(BenchmarkId::new("hamming", dims), |bencher| {
+            bencher.iter(|| black_box(black_box(&a).hamming(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_dataset, bench_distance_kernel);
+criterion_main!(benches);

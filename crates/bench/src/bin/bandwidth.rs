@@ -1,0 +1,76 @@
+//! §VI-C regeneration: report-bandwidth analysis and the effect of statistical
+//! activation reduction and symbol-stream multiplexing on the PCIe budget.
+//!
+//! Usage: `cargo run --release -p bench --bin bandwidth [--json]`
+
+use ap_knn::multiplex::MultiplexModel;
+use ap_knn::reduction::{bandwidth_reduction_factor, ReductionConfig};
+use ap_sim::TimingModel;
+use bench::{maybe_emit_json, ExperimentRecord};
+use binvec::Workload;
+use perf_model::TextTable;
+
+/// Paper values for the sustained report bandwidth of the base design (Gbit/s).
+const PAPER_GBPS: &[(Workload, f64)] = &[
+    (Workload::WordEmbed, 36.2),
+    (Workload::Sift, 18.1),
+    (Workload::TagSpace, 9.0),
+];
+
+fn main() {
+    let timing = TimingModel::gen1();
+    let mut table = TextTable::new(
+        "Report bandwidth per board configuration (PCIe Gen3 x8 budget = 63 Gbit/s)",
+        &[
+            "Workload",
+            "n/board",
+            "base Gbit/s",
+            "paper Gbit/s",
+            "with reduction p=16,k'=2",
+            "7x multiplexed",
+            "multiplexed fits PCIe?",
+        ],
+    );
+    let mut records = Vec::new();
+
+    for (w, paper) in PAPER_GBPS {
+        let params = w.params();
+        let n = w.small_dataset_size();
+        let base = timing.report_bandwidth_gbps(n as u64, params.dims as u64);
+        let reduction = ReductionConfig::new(16, 2);
+        let reduced = base / bandwidth_reduction_factor(&reduction);
+        let multiplex = MultiplexModel::new(7);
+        let multiplexed = base * multiplex.report_bandwidth_multiplier as f64;
+        table.add_row(&[
+            w.name().to_string(),
+            n.to_string(),
+            format!("{base:.1}"),
+            format!("{paper:.1}"),
+            format!("{reduced:.1}"),
+            format!("{multiplexed:.1}"),
+            multiplex
+                .within_bandwidth(base, TimingModel::PCIE_GEN3_X8_GBPS)
+                .to_string(),
+        ]);
+        records.push(ExperimentRecord::new(
+            "bandwidth",
+            w.name(),
+            "base_gbps",
+            base,
+            Some(*paper),
+        ));
+        records.push(ExperimentRecord::new(
+            "bandwidth",
+            w.name(),
+            "reduced_gbps",
+            reduced,
+            None,
+        ));
+    }
+
+    println!("{}", table.render());
+    println!("Statistical reduction (p/k' = 8x) brings every workload comfortably under the");
+    println!("PCIe budget, while naive 7x multiplexing exceeds it for the low-dimensional");
+    println!("workloads — matching the paper's argument that the two must be combined.");
+    maybe_emit_json(&records);
+}

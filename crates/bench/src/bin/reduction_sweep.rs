@@ -1,0 +1,91 @@
+//! Ablation: statistical activation reduction beyond Table VI.
+//!
+//! Table VI fixes the partition size at p = 16 and sweeps only k'. This ablation
+//! (called out in DESIGN.md §5) sweeps both parameters — p ∈ {4, 8, 16, 32} and
+//! k' ∈ {1, 2, 3, 4} — for the TagSpace workload (the hardest case in Table VI,
+//! k = 16), reporting the failure probability *and* the report-bandwidth reduction
+//! factor p / k' side by side, which is the actual trade-off the optimization buys.
+//!
+//! Usage: `cargo run --release -p bench --bin reduction_sweep [--json] [--runs N] [--queries N]`
+
+use ap_knn::reduction::{bandwidth_reduction_factor, monte_carlo, ReductionConfig};
+use bench::{maybe_emit_json, ExperimentRecord};
+use binvec::Workload;
+use perf_model::TextTable;
+
+fn arg_value(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let runs = arg_value("--runs", 40);
+    let queries_per_run = arg_value("--queries", 64);
+    let n = 1024;
+    let workload = Workload::TagSpace;
+    let params = workload.params();
+
+    println!(
+        "Reduction ablation — {} (d = {}, k = {}), n = {n}, {runs} runs of {queries_per_run} queries",
+        workload.name(),
+        params.dims,
+        params.k
+    );
+    println!();
+
+    let mut table = TextTable::new(
+        "",
+        &[
+            "p (partition size)",
+            "k' (local results)",
+            "% incorrect runs",
+            "bandwidth reduction p/k'",
+        ],
+    );
+    let mut records = Vec::new();
+
+    for &p in &[4usize, 8, 16, 32] {
+        for &local_k in &[1usize, 2, 3, 4] {
+            let config = ReductionConfig::new(p, local_k);
+            let eval = monte_carlo(
+                params.dims,
+                n,
+                params.k,
+                &config,
+                runs,
+                queries_per_run,
+                0xACE + p as u64 * 131 + local_k as u64,
+            );
+            let pct = eval.percent_incorrect_runs();
+            let reduction = bandwidth_reduction_factor(&config);
+            table.add_row(&[
+                p.to_string(),
+                local_k.to_string(),
+                format!("{pct:.0}%"),
+                format!("{reduction:.1}x"),
+            ]);
+            records.push(ExperimentRecord::new(
+                "reduction_sweep",
+                format!("p={p}/k'={local_k}"),
+                "percent_incorrect_runs",
+                pct,
+                None,
+            ));
+            records.push(ExperimentRecord::new(
+                "reduction_sweep",
+                format!("p={p}/k'={local_k}"),
+                "bandwidth_reduction",
+                reduction,
+                None,
+            ));
+        }
+    }
+
+    println!("{}", table.render());
+    println!("Table VI's published operating point is p = 16 (rows above reproduce it in context).");
+    maybe_emit_json(&records);
+}

@@ -1,0 +1,90 @@
+//! Table I regeneration: the evaluated platforms.
+//!
+//! Prints the platform list (type, cores, process node, clock) exactly as the paper's
+//! Table I states it, plus the dynamic-power constants this reproduction's energy
+//! model derives from the paper's (run time, queries/joule) pairs — those constants
+//! are the calibration inputs every other table uses.
+//!
+//! Usage: `cargo run --release -p bench --bin table1 [--json]`
+
+use bench::{maybe_emit_json, ExperimentRecord};
+use perf_model::{Platform, PlatformClass, TextTable};
+
+/// Paper Table I rows: (platform, listed cores, process nm, clock MHz).
+const PAPER: &[(Platform, usize, u32, f64)] = &[
+    (Platform::XeonE5_2620, 6, 32, 2000.0),
+    (Platform::CortexA15, 4, 28, 2300.0),
+    (Platform::JetsonTk1, 192, 28, 852.0),
+    (Platform::TitanX, 3072, 28, 1075.0),
+    (Platform::Kintex7, 1, 28, 185.0),
+    (Platform::ApGen1, 64, 50, 133.0),
+];
+
+fn class_name(class: PlatformClass) -> &'static str {
+    match class {
+        PlatformClass::Cpu => "CPU",
+        PlatformClass::Gpu => "GPU",
+        PlatformClass::Fpga => "FPGA",
+        PlatformClass::Ap => "AP",
+    }
+}
+
+fn main() {
+    println!("Table I — evaluated platforms (reproduced spec vs. paper)");
+    println!();
+
+    let mut table = TextTable::new(
+        "",
+        &[
+            "Platform",
+            "Type",
+            "Cores",
+            "Process (nm)",
+            "Clock (MHz)",
+            "Dynamic power model (W)",
+        ],
+    );
+    let mut records = Vec::new();
+
+    for &(platform, paper_cores, paper_nm, paper_clock) in PAPER {
+        let spec = platform.spec();
+        table.add_row(&[
+            spec.name.to_string(),
+            class_name(spec.class).to_string(),
+            format!("{} ({paper_cores})", spec.cores),
+            format!("{} ({paper_nm})", spec.process_nm),
+            format!("{:.0} ({paper_clock:.0})", spec.clock_mhz),
+            format!("{:.1}", spec.dynamic_power_w),
+        ]);
+        records.push(ExperimentRecord::new(
+            "table1",
+            spec.name,
+            "clock_mhz",
+            spec.clock_mhz,
+            Some(paper_clock),
+        ));
+        records.push(ExperimentRecord::new(
+            "table1",
+            spec.name,
+            "cores",
+            spec.cores as f64,
+            Some(paper_cores as f64),
+        ));
+        records.push(ExperimentRecord::new(
+            "table1",
+            spec.name,
+            "process_nm",
+            f64::from(spec.process_nm),
+            Some(f64::from(paper_nm)),
+        ));
+    }
+
+    println!("{}", table.render());
+    println!("values in parentheses are the paper's Table I entries");
+    println!(
+        "projected platforms not in Table I but used by Tables IV/VIII: {}, {}",
+        Platform::ApGen2.spec().name,
+        Platform::ApOptExt.spec().name
+    );
+    maybe_emit_json(&records);
+}

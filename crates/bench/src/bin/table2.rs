@@ -1,0 +1,68 @@
+//! Table II regeneration: kNN workload parameters.
+//!
+//! Prints the three workload presets (dimensionality, neighbor count, query batch
+//! size) together with the dataset sizes and per-board capacities this reproduction
+//! derives from them — the parameters every downstream table consumes.
+//!
+//! Usage: `cargo run --release -p bench --bin table2 [--json]`
+
+use bench::{maybe_emit_json, ExperimentRecord};
+use binvec::Workload;
+use perf_model::TextTable;
+
+/// Paper Table II rows: (workload, dimensionality, neighbors).
+const PAPER: &[(Workload, usize, usize)] = &[
+    (Workload::WordEmbed, 64, 2),
+    (Workload::Sift, 128, 4),
+    (Workload::TagSpace, 256, 16),
+];
+
+fn main() {
+    println!("Table II — kNN workload parameters (reproduced vs. paper, 4096-query batches)");
+    println!();
+
+    let mut table = TextTable::new(
+        "",
+        &[
+            "Workload",
+            "Dimensionality",
+            "Neighbors k",
+            "Queries",
+            "Small dataset n",
+            "Large dataset n",
+            "Vectors / board",
+        ],
+    );
+    let mut records = Vec::new();
+
+    for &(workload, paper_dims, paper_k) in PAPER {
+        let params = workload.params();
+        table.add_row(&[
+            workload.name().to_string(),
+            format!("{} ({paper_dims})", params.dims),
+            format!("{} ({paper_k})", params.k),
+            params.queries.to_string(),
+            workload.small_dataset_size().to_string(),
+            format!("2^20 = {}", workload.large_dataset_size()),
+            workload.vectors_per_board().to_string(),
+        ]);
+        records.push(ExperimentRecord::new(
+            "table2",
+            workload.name(),
+            "dims",
+            params.dims as f64,
+            Some(paper_dims as f64),
+        ));
+        records.push(ExperimentRecord::new(
+            "table2",
+            workload.name(),
+            "k",
+            params.k as f64,
+            Some(paper_k as f64),
+        ));
+    }
+
+    println!("{}", table.render());
+    println!("values in parentheses are the paper's Table II entries");
+    maybe_emit_json(&records);
+}

@@ -1,0 +1,106 @@
+//! Table III regeneration: run time and energy efficiency on small datasets
+//! (one AP board configuration), 4096 queries.
+//!
+//! Usage: `cargo run --release -p bench --bin table3 [--json] [--measure]`
+//!
+//! `--measure` additionally runs the real Rust linear-scan baseline on this machine
+//! and prints the measured wall-clock time next to the platform models.
+
+use bench::{maybe_emit_json, small_job, ExperimentRecord};
+use binvec::Workload;
+use perf_model::tables::format_seconds;
+use perf_model::{EnergyReport, Platform, TextTable};
+use std::time::Instant;
+
+/// Paper values: (workload, platform, run time ms, queries per joule).
+const PAPER: &[(Workload, Platform, f64, f64)] = &[
+    (Workload::WordEmbed, Platform::XeonE5_2620, 23.33, 3344.0),
+    (Workload::WordEmbed, Platform::CortexA15, 103.63, 4941.0),
+    (Workload::WordEmbed, Platform::JetsonTk1, 125.80, 27133.0),
+    (Workload::WordEmbed, Platform::Kintex7, 1.89, 579214.0),
+    (Workload::WordEmbed, Platform::ApGen1, 1.97, 110445.0),
+    (Workload::Sift, Platform::XeonE5_2620, 37.50, 2081.0),
+    (Workload::Sift, Platform::CortexA15, 191.44, 2674.0),
+    (Workload::Sift, Platform::JetsonTk1, 155.94, 21889.0),
+    (Workload::Sift, Platform::Kintex7, 3.78, 289607.0),
+    (Workload::Sift, Platform::ApGen1, 3.94, 44603.0),
+    (Workload::TagSpace, Platform::XeonE5_2620, 33.97, 2297.0),
+    (Workload::TagSpace, Platform::CortexA15, 185.34, 2762.0),
+    (Workload::TagSpace, Platform::JetsonTk1, 160.15, 21314.0),
+    (Workload::TagSpace, Platform::Kintex7, 4.33, 253406.0),
+    (Workload::TagSpace, Platform::ApGen1, 7.88, 22301.0),
+];
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let mut records = Vec::new();
+
+    let mut runtime = TextTable::new(
+        "Table III — run time on small datasets (lower is better)",
+        &["Workload", "Platform", "Reproduced", "Paper", "Ratio"],
+    );
+    let mut energy = TextTable::new(
+        "Table III — energy efficiency, queries/J (higher is better)",
+        &["Workload", "Platform", "Reproduced", "Paper", "Ratio"],
+    );
+
+    for &(w, p, paper_ms, paper_qpj) in PAPER {
+        let job = small_job(w);
+        let report = EnergyReport::evaluate(p, &job);
+        let ms = report.run_time_s * 1e3;
+        runtime.add_row(&[
+            w.name().to_string(),
+            p.name().to_string(),
+            format_seconds(report.run_time_s),
+            format!("{paper_ms:.2} ms"),
+            format!("{:.2}", ms / paper_ms),
+        ]);
+        energy.add_row(&[
+            w.name().to_string(),
+            p.name().to_string(),
+            format!("{:.0}", report.queries_per_joule),
+            format!("{paper_qpj:.0}"),
+            format!("{:.2}", report.queries_per_joule / paper_qpj),
+        ]);
+        records.push(ExperimentRecord::new(
+            "table3",
+            format!("{}/{}", w.name(), p.name()),
+            "run_time_ms",
+            ms,
+            Some(paper_ms),
+        ));
+        records.push(ExperimentRecord::new(
+            "table3",
+            format!("{}/{}", w.name(), p.name()),
+            "queries_per_joule",
+            report.queries_per_joule,
+            Some(paper_qpj),
+        ));
+    }
+
+    println!("{}", runtime.render());
+    println!("{}", energy.render());
+
+    if measure {
+        println!("Measured on this host (Rust linear scan, single thread):");
+        for w in Workload::ALL {
+            let params = w.params();
+            let data =
+                binvec::generate::uniform_dataset(w.small_dataset_size(), params.dims, 11);
+            let queries = binvec::generate::uniform_queries(params.queries, params.dims, 13);
+            let engine = baselines::LinearScan::new(data);
+            let start = Instant::now();
+            let results = baselines::SearchIndex::search_batch(&engine, &queries, params.k);
+            let elapsed = start.elapsed();
+            println!(
+                "  {:<15} {:>10.2} ms   ({} result sets)",
+                w.name(),
+                elapsed.as_secs_f64() * 1e3,
+                results.len()
+            );
+        }
+        println!();
+    }
+
+    maybe_emit_json(&records);
+}

@@ -1,0 +1,94 @@
+//! Table IV regeneration: run time and energy efficiency on large datasets
+//! (2^20 vectors), 4096 queries, all eight platforms.
+//!
+//! Usage: `cargo run --release -p bench --bin table4 [--json]`
+
+use bench::{large_job, maybe_emit_json, ExperimentRecord};
+use binvec::Workload;
+use perf_model::{EnergyReport, Platform, TextTable};
+
+/// Paper values: (workload, platform, run time s, queries per joule).
+const PAPER: &[(Workload, Platform, f64, f64)] = &[
+    (Workload::WordEmbed, Platform::XeonE5_2620, 19.89, 3.92),
+    (Workload::WordEmbed, Platform::CortexA15, 109.06, 4.69),
+    (Workload::WordEmbed, Platform::JetsonTk1, 16.09, 212.14),
+    (Workload::WordEmbed, Platform::TitanX, 0.99, 83.84),
+    (Workload::WordEmbed, Platform::Kintex7, 1.85, 593.89),
+    (Workload::WordEmbed, Platform::ApGen1, 48.10, 4.53),
+    (Workload::WordEmbed, Platform::ApGen2, 2.48, 87.81),
+    (Workload::WordEmbed, Platform::ApOptExt, 0.039, 1737.92),
+    (Workload::Sift, Platform::XeonE5_2620, 33.18, 2.35),
+    (Workload::Sift, Platform::CortexA15, 199.5, 2.57),
+    (Workload::Sift, Platform::JetsonTk1, 16.73, 204.02),
+    (Workload::Sift, Platform::TitanX, 1.02, 81.94),
+    (Workload::Sift, Platform::Kintex7, 3.69, 296.95),
+    (Workload::Sift, Platform::ApGen1, 50.11, 4.34),
+    (Workload::Sift, Platform::ApGen2, 4.50, 48.40),
+    (Workload::Sift, Platform::ApOptExt, 0.062, 1091.86),
+    (Workload::TagSpace, Platform::XeonE5_2620, 60.12, 1.30),
+    (Workload::TagSpace, Platform::CortexA15, 382.82, 1.34),
+    (Workload::TagSpace, Platform::JetsonTk1, 16.41, 208.00),
+    (Workload::TagSpace, Platform::TitanX, 1.03, 81.05),
+    (Workload::TagSpace, Platform::Kintex7, 7.38, 148.47),
+    (Workload::TagSpace, Platform::ApGen1, 108.31, 1.62),
+    (Workload::TagSpace, Platform::ApGen2, 17.07, 10.20),
+    (Workload::TagSpace, Platform::ApOptExt, 0.23, 236.30),
+];
+
+fn main() {
+    let mut records = Vec::new();
+    let mut runtime = TextTable::new(
+        "Table IV — run time on large datasets, seconds (lower is better)",
+        &["Workload", "Platform", "Reproduced (s)", "Paper (s)", "Ratio"],
+    );
+    let mut energy = TextTable::new(
+        "Table IV — energy efficiency, queries/J (higher is better)",
+        &["Workload", "Platform", "Reproduced", "Paper", "Ratio"],
+    );
+
+    for &(w, p, paper_s, paper_qpj) in PAPER {
+        let job = large_job(w);
+        let report = EnergyReport::evaluate(p, &job);
+        runtime.add_row(&[
+            w.name().to_string(),
+            p.name().to_string(),
+            format!("{:.3}", report.run_time_s),
+            format!("{paper_s:.3}"),
+            format!("{:.2}", report.run_time_s / paper_s),
+        ]);
+        energy.add_row(&[
+            w.name().to_string(),
+            p.name().to_string(),
+            format!("{:.2}", report.queries_per_joule),
+            format!("{paper_qpj:.2}"),
+            format!("{:.2}", report.queries_per_joule / paper_qpj),
+        ]);
+        records.push(ExperimentRecord::new(
+            "table4",
+            format!("{}/{}", w.name(), p.name()),
+            "run_time_s",
+            report.run_time_s,
+            Some(paper_s),
+        ));
+        records.push(ExperimentRecord::new(
+            "table4",
+            format!("{}/{}", w.name(), p.name()),
+            "queries_per_joule",
+            report.queries_per_joule,
+            Some(paper_qpj),
+        ));
+    }
+
+    println!("{}", runtime.render());
+    println!("{}", energy.render());
+
+    // Headline derived figures.
+    let gen1 = EnergyReport::evaluate(Platform::ApGen1, &large_job(Workload::WordEmbed));
+    let gen2 = EnergyReport::evaluate(Platform::ApGen2, &large_job(Workload::WordEmbed));
+    println!(
+        "Gen 1 -> Gen 2 speedup on kNN-WordEmbed: {:.1}x (paper: 19.4x)",
+        gen1.run_time_s / gen2.run_time_s
+    );
+
+    maybe_emit_json(&records);
+}

@@ -1,0 +1,84 @@
+//! Table VI regeneration: statistical activation reduction accuracy.
+//!
+//! Percentage of incorrect runs out of 100 randomized runs for p = 16, n = 1024 and
+//! k' ∈ {1, 2, 3, 4}, for each workload's (d, k). Following the paper's methodology
+//! each run draws a fresh random dataset and a batch of random queries; a run counts
+//! as incorrect if any query's reduced result set is not distance-exact.
+//!
+//! Usage: `cargo run --release -p bench --bin table6 [--json] [--runs N] [--queries N]`
+
+use ap_knn::reduction::{bandwidth_reduction_factor, monte_carlo, ReductionConfig};
+use bench::{maybe_emit_json, ExperimentRecord};
+use binvec::Workload;
+use perf_model::TextTable;
+
+/// Paper values: (workload, [incorrect % for k' = 1, 2, 3, >=4]).
+const PAPER: &[(Workload, [f64; 4])] = &[
+    (Workload::WordEmbed, [100.0, 1.0, 0.0, 0.0]),
+    (Workload::Sift, [100.0, 1.0, 0.0, 0.0]),
+    (Workload::TagSpace, [100.0, 72.0, 5.0, 0.0]),
+];
+
+fn arg_value(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let runs = arg_value("--runs", 100);
+    // The paper streams 4096-query batches; a run fails as soon as one query is
+    // wrong, so smaller batches only make the reproduced percentages conservative.
+    let queries_per_run = arg_value("--queries", 256);
+    let n = 1024;
+    let p = 16;
+
+    println!(
+        "Table VI — % incorrect result sets over {runs} randomized runs (p = {p}, n = {n}, {queries_per_run}-query batches)"
+    );
+    println!();
+
+    let mut table = TextTable::new(
+        "",
+        &["Workload", "k", "k' = 1", "k' = 2", "k' = 3", "k' >= 4", "bandwidth reduction @ k'=2"],
+    );
+    let mut records = Vec::new();
+
+    for (wi, (w, paper_row)) in PAPER.iter().enumerate() {
+        let params = w.params();
+        let mut cells = vec![w.name().to_string(), params.k.to_string()];
+        for (ki, local_k) in [1usize, 2, 3, 4].iter().enumerate() {
+            let config = ReductionConfig::new(p, *local_k);
+            let eval = monte_carlo(
+                params.dims,
+                n,
+                params.k,
+                &config,
+                runs,
+                queries_per_run,
+                0xBEEF + wi as u64 * 97 + *local_k as u64,
+            );
+            let pct = eval.percent_incorrect_runs();
+            cells.push(format!("{pct:.0}% ({:.0}%)", paper_row[ki]));
+            records.push(ExperimentRecord::new(
+                "table6",
+                format!("{}/k'={}", w.name(), local_k),
+                "percent_incorrect_runs",
+                pct,
+                Some(paper_row[ki]),
+            ));
+        }
+        cells.push(format!(
+            "{:.1}x",
+            bandwidth_reduction_factor(&ReductionConfig::new(p, 2))
+        ));
+        table.add_row(&cells);
+    }
+
+    println!("{}", table.render());
+    println!("(reproduced value first, paper value in parentheses)");
+    maybe_emit_json(&records);
+}

@@ -1,0 +1,368 @@
+//! Bit-packed binary vectors.
+//!
+//! The Automata Processor encodes one vector *dimension* per streamed symbol (one bit
+//! of payload per 8-bit symbol), while CPU/GPU/FPGA baselines operate on words of
+//! packed bits (the paper's CUDA baseline uses 32-bit XOR + POPCOUNT). A
+//! [`BinaryVector`] stores the dimensions packed into `u64` words so both views are
+//! cheap: word-level access for the von-Neumann baselines and per-dimension access for
+//! symbol-stream construction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-dimensionality binary feature vector, bit-packed into `u64` words.
+///
+/// Bit `i` of the vector is stored in word `i / 64`, bit position `i % 64`
+/// (little-endian bit order within the word). Bits beyond `dims` in the last word are
+/// always zero; this invariant is maintained by every constructor and mutator and is
+/// relied upon by the word-level Hamming kernels.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BinaryVector {
+    dims: usize,
+    words: Vec<u64>,
+}
+
+impl BinaryVector {
+    /// Creates an all-zero vector with `dims` dimensions.
+    pub fn zeros(dims: usize) -> Self {
+        Self {
+            dims,
+            words: vec![0u64; words_for(dims)],
+        }
+    }
+
+    /// Creates an all-ones vector with `dims` dimensions.
+    pub fn ones(dims: usize) -> Self {
+        let mut v = Self {
+            dims,
+            words: vec![u64::MAX; words_for(dims)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector from a slice of booleans, one per dimension.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector from a slice of `0`/`1` bytes, one per dimension.
+    ///
+    /// Any nonzero byte is treated as a set bit.
+    pub fn from_bits(bits: &[u8]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b != 0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector of `dims` dimensions from pre-packed little-endian words.
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than required for `dims` dimensions.
+    pub fn from_words(dims: usize, words: Vec<u64>) -> Self {
+        assert!(
+            words.len() >= words_for(dims),
+            "need {} words for {} dims, got {}",
+            words_for(dims),
+            dims,
+            words.len()
+        );
+        let mut v = Self {
+            dims,
+            words: words[..words_for(dims)].to_vec(),
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Number of dimensions (bits) in the vector.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The packed word representation.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns the value of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= dims()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.dims, "dimension {i} out of range (dims={})", self.dims);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets dimension `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= dims()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.dims, "dimension {i} out of range (dims={})", self.dims);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips dimension `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        let cur = self.get(i);
+        self.set(i, !cur);
+    }
+
+    /// Number of set bits (population count).
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates over the dimensions as booleans, in dimension order.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.dims).map(move |i| self.get(i))
+    }
+
+    /// Returns the vector as a `Vec<u8>` of `0`/`1` values, one per dimension.
+    ///
+    /// This is the representation streamed to the Automata Processor (one dimension
+    /// per 8-bit symbol).
+    pub fn to_bits(&self) -> Vec<u8> {
+        self.iter_bits().map(u8::from).collect()
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    /// Panics if the two vectors have different dimensionality.
+    #[inline]
+    pub fn hamming(&self, other: &Self) -> u32 {
+        assert_eq!(
+            self.dims, other.dims,
+            "hamming distance requires equal dimensionality"
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Inverted Hamming distance: `dims - hamming(self, other)`.
+    ///
+    /// This is the quantity the paper's Hamming macro accumulates: the number of
+    /// dimensions on which the two vectors *agree*. Vectors that are more similar
+    /// have a **higher** inverted Hamming distance.
+    #[inline]
+    pub fn inverted_hamming(&self, other: &Self) -> u32 {
+        self.dims as u32 - self.hamming(other)
+    }
+
+    /// Jaccard similarity (|A ∩ B| / |A ∪ B|) treating the vectors as bit sets.
+    ///
+    /// Returns 1.0 when both vectors are empty.
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.dims, other.dims,
+            "jaccard similarity requires equal dimensionality"
+        );
+        let mut inter = 0u32;
+        let mut union = 0u32;
+        for (a, b) in self.words.iter().zip(other.words.iter()) {
+            inter += (a & b).count_ones();
+            union += (a | b).count_ones();
+        }
+        if union == 0 {
+            1.0
+        } else {
+            f64::from(inter) / f64::from(union)
+        }
+    }
+
+    /// Zeroes any bits beyond `dims` in the final word.
+    fn mask_tail(&mut self) {
+        let rem = self.dims % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BinaryVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BinaryVector[{}](", self.dims)?;
+        let shown = self.dims.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.dims > shown {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Number of `u64` words needed to hold `dims` bits.
+#[inline]
+pub fn words_for(dims: usize) -> usize {
+    dims.div_ceil(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_popcount() {
+        for dims in [1, 7, 63, 64, 65, 128, 200, 256] {
+            assert_eq!(BinaryVector::zeros(dims).count_ones(), 0);
+            assert_eq!(BinaryVector::ones(dims).count_ones(), dims as u32);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BinaryVector::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0));
+        assert!(v.get(64));
+        assert!(v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut v = BinaryVector::zeros(10);
+        v.flip(3);
+        assert!(v.get(3));
+        v.flip(3);
+        assert!(!v.get(3));
+    }
+
+    #[test]
+    fn from_bools_and_bits_agree() {
+        let bools = [true, false, true, true, false, false, true];
+        let bytes: Vec<u8> = bools.iter().map(|&b| u8::from(b)).collect();
+        assert_eq!(
+            BinaryVector::from_bools(&bools),
+            BinaryVector::from_bits(&bytes)
+        );
+    }
+
+    #[test]
+    fn to_bits_roundtrip() {
+        let bits = vec![1u8, 0, 0, 1, 1, 0, 1, 0, 1];
+        let v = BinaryVector::from_bits(&bits);
+        assert_eq!(v.to_bits(), bits);
+    }
+
+    #[test]
+    fn hamming_basic() {
+        let a = BinaryVector::from_bits(&[1, 0, 1, 1]);
+        let b = BinaryVector::from_bits(&[1, 0, 0, 1]);
+        assert_eq!(a.hamming(&b), 1);
+        assert_eq!(a.inverted_hamming(&b), 3);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.inverted_hamming(&a), 4);
+    }
+
+    #[test]
+    fn hamming_across_word_boundary() {
+        let mut a = BinaryVector::zeros(130);
+        let mut b = BinaryVector::zeros(130);
+        a.set(0, true);
+        a.set(65, true);
+        a.set(129, true);
+        b.set(65, true);
+        assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn hamming_against_complement_is_dims() {
+        let dims = 100;
+        let z = BinaryVector::zeros(dims);
+        let o = BinaryVector::ones(dims);
+        assert_eq!(z.hamming(&o), dims as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn hamming_dim_mismatch_panics() {
+        let a = BinaryVector::zeros(8);
+        let b = BinaryVector::zeros(9);
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BinaryVector::zeros(8);
+        let _ = v.get(8);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BinaryVector::from_words(4, vec![u64::MAX]);
+        assert_eq!(v.count_ones(), 4);
+        assert_eq!(v.to_bits(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let a = BinaryVector::from_bits(&[1, 1, 0, 0]);
+        let b = BinaryVector::from_bits(&[0, 0, 1, 1]);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+        assert!((a.jaccard(&b) - 0.0).abs() < 1e-12);
+        let z = BinaryVector::zeros(4);
+        assert!((z.jaccard(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = BinaryVector::from_bits(&[1, 1, 1, 0]);
+        let b = BinaryVector::from_bits(&[0, 1, 1, 1]);
+        // intersection = 2, union = 4
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(256), 4);
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let v = BinaryVector::zeros(3);
+        assert_eq!(format!("{v:?}"), "BinaryVector[3](000)");
+    }
+}

@@ -1,0 +1,122 @@
+//! Free-function distance kernels over binary vectors.
+//!
+//! These mirror the kernels used by every comparison platform in the paper: the CPU
+//! baseline (FLANN-style Hamming popcount), the GPU baseline (32-bit XOR + POPCOUNT),
+//! the FPGA accelerator (XOR/POPCOUNT distance unit) and the AP itself (per-dimension
+//! match counting — the *inverted* Hamming distance).
+
+use crate::bits::BinaryVector;
+
+/// Hamming distance between two equal-dimensionality binary vectors.
+#[inline]
+pub fn hamming(a: &BinaryVector, b: &BinaryVector) -> u32 {
+    a.hamming(b)
+}
+
+/// Inverted Hamming distance: the number of dimensions on which `a` and `b` agree.
+///
+/// The paper's Hamming macro computes this quantity directly (one counter increment
+/// per matching dimension) because the AP has no subtraction; the temporally encoded
+/// sort then releases the *highest* inverted-distance (most similar) vectors first.
+#[inline]
+pub fn inverted_hamming(a: &BinaryVector, b: &BinaryVector) -> u32 {
+    a.inverted_hamming(b)
+}
+
+/// Jaccard similarity between the set-of-set-bits interpretations of `a` and `b`.
+#[inline]
+pub fn jaccard_similarity(a: &BinaryVector, b: &BinaryVector) -> f64 {
+    a.jaccard(b)
+}
+
+/// Hamming distance computed on raw packed words.
+///
+/// Used by the linear-scan and FPGA baselines which operate on word streams without
+/// materializing [`BinaryVector`]s.
+#[inline]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_functions_match_methods() {
+        let a = BinaryVector::from_bits(&[1, 0, 1, 1, 0, 0, 1, 0]);
+        let b = BinaryVector::from_bits(&[1, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(hamming(&a, &b), a.hamming(&b));
+        assert_eq!(inverted_hamming(&a, &b), a.inverted_hamming(&b));
+        assert!((jaccard_similarity(&a, &b) - a.jaccard(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_plus_inverted_equals_dims() {
+        let a = BinaryVector::from_bits(&[1, 0, 1, 1, 0, 1]);
+        let b = BinaryVector::from_bits(&[0, 0, 1, 0, 0, 1]);
+        assert_eq!(hamming(&a, &b) + inverted_hamming(&a, &b), 6);
+    }
+
+    #[test]
+    fn hamming_words_matches_vector_hamming() {
+        let a = BinaryVector::from_bits(&[1, 0, 1, 1, 0, 1, 1, 1, 0]);
+        let b = BinaryVector::from_bits(&[0, 0, 1, 0, 0, 1, 0, 1, 1]);
+        assert_eq!(hamming_words(a.words(), b.words()), a.hamming(&b));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pair(max_dims: usize) -> impl Strategy<Value = (BinaryVector, BinaryVector)> {
+        (1..=max_dims).prop_flat_map(|d| {
+            (
+                prop::collection::vec(any::<bool>(), d),
+                prop::collection::vec(any::<bool>(), d),
+            )
+                .prop_map(|(a, b)| (BinaryVector::from_bools(&a), BinaryVector::from_bools(&b)))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn hamming_is_symmetric((a, b) in arb_pair(300)) {
+            prop_assert_eq!(hamming(&a, &b), hamming(&b, &a));
+        }
+
+        #[test]
+        fn hamming_is_zero_iff_equal((a, b) in arb_pair(300)) {
+            prop_assert_eq!(hamming(&a, &b) == 0, a == b);
+        }
+
+        #[test]
+        fn hamming_bounded_by_dims((a, b) in arb_pair(300)) {
+            prop_assert!(hamming(&a, &b) <= a.dims() as u32);
+        }
+
+        #[test]
+        fn inverted_complements((a, b) in arb_pair(300)) {
+            prop_assert_eq!(hamming(&a, &b) + inverted_hamming(&a, &b), a.dims() as u32);
+        }
+
+        #[test]
+        fn triangle_inequality((a, b) in arb_pair(128), flips in prop::collection::vec(0usize..128, 0..32)) {
+            // Construct c by flipping some bits of b (indices clamped to dims).
+            let mut c = b.clone();
+            for f in flips {
+                if f < c.dims() { c.flip(f); }
+            }
+            prop_assert!(hamming(&a, &c) <= hamming(&a, &b) + hamming(&b, &c));
+        }
+
+        #[test]
+        fn jaccard_in_unit_interval((a, b) in arb_pair(300)) {
+            let j = jaccard_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+        }
+    }
+}

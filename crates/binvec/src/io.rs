@@ -1,0 +1,453 @@
+//! Dataset I/O: the `.fvecs` / `.bvecs` / `.ivecs` formats used by the standard
+//! similarity-search corpora, plus a compact container for packed binary codes.
+//!
+//! The paper evaluates on SIFT descriptors, word embeddings and TagSpace semantic
+//! embeddings. The public distributions of such corpora (TexMex SIFT1M, GloVe dumps
+//! converted for ANN benchmarks, …) ship in the *vecs* family of formats — each
+//! vector is a little-endian `i32` dimensionality followed by that many components
+//! (`f32` for `.fvecs`, `u8` for `.bvecs`, `i32` for `.ivecs`). Implementing those
+//! readers and writers lets a downstream user run this workspace's pipeline on the
+//! real corpora instead of the synthetic generators; the synthetic generators remain
+//! the default because the corpora themselves cannot be redistributed here.
+//!
+//! Quantized codes have no standard interchange format, so [`write_dataset`] /
+//! [`read_dataset`] define a small, versioned container for [`BinaryDataset`]
+//! (magic, dimensionality, count, then the packed 64-bit words of every vector) —
+//! this is what an offline ITQ pass would hand to the AP host program.
+//!
+//! All functions are generic over [`std::io::Read`] / [`std::io::Write`]; the
+//! `*_path` helpers wrap them for files.
+
+use crate::bits::{words_for, BinaryVector};
+use crate::dataset::BinaryDataset;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the packed binary-dataset container.
+pub const DATASET_MAGIC: &[u8; 4] = b"BINV";
+/// Current version of the packed binary-dataset container.
+pub const DATASET_VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(invalid("truncated record"));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<Option<u32>> {
+    let mut buf = [0u8; 4];
+    Ok(read_exact_or_eof(reader, &mut buf)?.then(|| u32::from_le_bytes(buf)))
+}
+
+fn read_record_dims<R: Read>(reader: &mut R) -> io::Result<Option<usize>> {
+    match read_u32(reader)? {
+        None => Ok(None),
+        Some(raw) => {
+            let dims = raw as i32;
+            if dims <= 0 {
+                return Err(invalid(format!("non-positive vector dimensionality {dims}")));
+            }
+            Ok(Some(dims as usize))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fvecs
+// ---------------------------------------------------------------------------
+
+/// Writes real-valued vectors in `.fvecs` format (components stored as `f32`).
+///
+/// Returns an error if the vectors do not all share one dimensionality.
+pub fn write_fvecs<W: Write>(writer: &mut W, vectors: &[Vec<f64>]) -> io::Result<()> {
+    let dims = vectors.first().map(Vec::len).unwrap_or(0);
+    for v in vectors {
+        if v.len() != dims {
+            return Err(invalid("all vectors must share one dimensionality"));
+        }
+        writer.write_all(&(dims as u32).to_le_bytes())?;
+        for &x in v {
+            writer.write_all(&(x as f32).to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an `.fvecs` stream into real-valued vectors.
+pub fn read_fvecs<R: Read>(reader: &mut R) -> io::Result<Vec<Vec<f64>>> {
+    let mut out = Vec::new();
+    while let Some(dims) = read_record_dims(reader)? {
+        if let Some(first) = out.first() {
+            let expected: &Vec<f64> = first;
+            if expected.len() != dims {
+                return Err(invalid("inconsistent dimensionality between records"));
+            }
+        }
+        let mut v = Vec::with_capacity(dims);
+        let mut buf = [0u8; 4];
+        for _ in 0..dims {
+            if !read_exact_or_eof(reader, &mut buf)? {
+                return Err(invalid("truncated fvecs record"));
+            }
+            v.push(f64::from(f32::from_le_bytes(buf)));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// bvecs
+// ---------------------------------------------------------------------------
+
+/// Writes byte-valued vectors in `.bvecs` format.
+pub fn write_bvecs<W: Write>(writer: &mut W, vectors: &[Vec<u8>]) -> io::Result<()> {
+    let dims = vectors.first().map(Vec::len).unwrap_or(0);
+    for v in vectors {
+        if v.len() != dims {
+            return Err(invalid("all vectors must share one dimensionality"));
+        }
+        writer.write_all(&(dims as u32).to_le_bytes())?;
+        writer.write_all(v)?;
+    }
+    Ok(())
+}
+
+/// Reads a `.bvecs` stream into byte-valued vectors.
+pub fn read_bvecs<R: Read>(reader: &mut R) -> io::Result<Vec<Vec<u8>>> {
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    while let Some(dims) = read_record_dims(reader)? {
+        if let Some(first) = out.first() {
+            if first.len() != dims {
+                return Err(invalid("inconsistent dimensionality between records"));
+            }
+        }
+        let mut v = vec![0u8; dims];
+        if !read_exact_or_eof(reader, &mut v)? {
+            return Err(invalid("truncated bvecs record"));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// ivecs
+// ---------------------------------------------------------------------------
+
+/// Writes integer vectors in `.ivecs` format (the format ANN ground-truth files use).
+pub fn write_ivecs<W: Write>(writer: &mut W, vectors: &[Vec<i32>]) -> io::Result<()> {
+    let dims = vectors.first().map(Vec::len).unwrap_or(0);
+    for v in vectors {
+        if v.len() != dims {
+            return Err(invalid("all vectors must share one dimensionality"));
+        }
+        writer.write_all(&(dims as u32).to_le_bytes())?;
+        for &x in v {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an `.ivecs` stream into integer vectors.
+pub fn read_ivecs<R: Read>(reader: &mut R) -> io::Result<Vec<Vec<i32>>> {
+    let mut out: Vec<Vec<i32>> = Vec::new();
+    while let Some(dims) = read_record_dims(reader)? {
+        if let Some(first) = out.first() {
+            if first.len() != dims {
+                return Err(invalid("inconsistent dimensionality between records"));
+            }
+        }
+        let mut v = Vec::with_capacity(dims);
+        let mut buf = [0u8; 4];
+        for _ in 0..dims {
+            if !read_exact_or_eof(reader, &mut buf)? {
+                return Err(invalid("truncated ivecs record"));
+            }
+            v.push(i32::from_le_bytes(buf));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Packed binary dataset container
+// ---------------------------------------------------------------------------
+
+/// Writes a [`BinaryDataset`] in the packed container format.
+///
+/// Layout: `"BINV"`, `u32` version, `u32` dimensionality, `u64` vector count, then
+/// `ceil(dims / 64)` little-endian `u64` words per vector.
+pub fn write_dataset<W: Write>(writer: &mut W, dataset: &BinaryDataset) -> io::Result<()> {
+    writer.write_all(DATASET_MAGIC)?;
+    writer.write_all(&DATASET_VERSION.to_le_bytes())?;
+    writer.write_all(&(dataset.dims() as u32).to_le_bytes())?;
+    writer.write_all(&(dataset.len() as u64).to_le_bytes())?;
+    for i in 0..dataset.len() {
+        for word in dataset.vector_words(i) {
+            writer.write_all(&word.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a [`BinaryDataset`] from the packed container format.
+pub fn read_dataset<R: Read>(reader: &mut R) -> io::Result<BinaryDataset> {
+    let mut magic = [0u8; 4];
+    if !read_exact_or_eof(reader, &mut magic)? || &magic != DATASET_MAGIC {
+        return Err(invalid("missing BINV magic"));
+    }
+    let version = read_u32(reader)?.ok_or_else(|| invalid("truncated header"))?;
+    if version != DATASET_VERSION {
+        return Err(invalid(format!("unsupported container version {version}")));
+    }
+    let dims = read_u32(reader)?.ok_or_else(|| invalid("truncated header"))? as usize;
+    if dims == 0 {
+        return Err(invalid("zero dimensionality"));
+    }
+    let mut count_buf = [0u8; 8];
+    if !read_exact_or_eof(reader, &mut count_buf)? {
+        return Err(invalid("truncated header"));
+    }
+    let count = u64::from_le_bytes(count_buf) as usize;
+
+    let words = words_for(dims);
+    let mut dataset = BinaryDataset::with_capacity(dims, count);
+    let mut word_buf = [0u8; 8];
+    for _ in 0..count {
+        let mut vector_words = Vec::with_capacity(words);
+        for _ in 0..words {
+            if !read_exact_or_eof(reader, &mut word_buf)? {
+                return Err(invalid("truncated vector payload"));
+            }
+            vector_words.push(u64::from_le_bytes(word_buf));
+        }
+        dataset.push(&BinaryVector::from_words(dims, vector_words));
+    }
+    Ok(dataset)
+}
+
+// ---------------------------------------------------------------------------
+// Path conveniences
+// ---------------------------------------------------------------------------
+
+/// Reads an `.fvecs` file.
+pub fn read_fvecs_path(path: impl AsRef<Path>) -> io::Result<Vec<Vec<f64>>> {
+    read_fvecs(&mut BufReader::new(File::open(path)?))
+}
+
+/// Writes an `.fvecs` file.
+pub fn write_fvecs_path(path: impl AsRef<Path>, vectors: &[Vec<f64>]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_fvecs(&mut w, vectors)?;
+    w.flush()
+}
+
+/// Reads a packed binary-dataset file.
+pub fn read_dataset_path(path: impl AsRef<Path>) -> io::Result<BinaryDataset> {
+    read_dataset(&mut BufReader::new(File::open(path)?))
+}
+
+/// Writes a packed binary-dataset file.
+pub fn write_dataset_path(path: impl AsRef<Path>, dataset: &BinaryDataset) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_dataset(&mut w, dataset)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::io::Cursor;
+
+    #[test]
+    fn fvecs_round_trip() {
+        let vectors = vec![
+            vec![1.5, -2.25, 0.0, 3.0],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![-1.0, 2.0, -3.0, 4.0],
+        ];
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &vectors).unwrap();
+        assert_eq!(buf.len(), 3 * (4 + 4 * 4));
+        let back = read_fvecs(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back, vectors);
+    }
+
+    #[test]
+    fn bvecs_and_ivecs_round_trip() {
+        let bytes = vec![vec![0u8, 1, 255, 128], vec![9, 8, 7, 6]];
+        let mut buf = Vec::new();
+        write_bvecs(&mut buf, &bytes).unwrap();
+        assert_eq!(read_bvecs(&mut Cursor::new(buf)).unwrap(), bytes);
+
+        let ints = vec![vec![-1i32, 0, 7], vec![i32::MAX, i32::MIN, 42]];
+        let mut buf = Vec::new();
+        write_ivecs(&mut buf, &ints).unwrap();
+        assert_eq!(read_ivecs(&mut Cursor::new(buf)).unwrap(), ints);
+    }
+
+    #[test]
+    fn empty_streams_read_as_empty() {
+        assert!(read_fvecs(&mut Cursor::new(Vec::new())).unwrap().is_empty());
+        assert!(read_bvecs(&mut Cursor::new(Vec::new())).unwrap().is_empty());
+        assert!(read_ivecs(&mut Cursor::new(Vec::new())).unwrap().is_empty());
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &[]).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn malformed_vecs_streams_are_rejected() {
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &[vec![1.0, 2.0, 3.0]]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_fvecs(&mut Cursor::new(buf)).is_err());
+
+        // Negative dimensionality.
+        let buf = (-3i32).to_le_bytes().to_vec();
+        assert!(read_fvecs(&mut Cursor::new(buf)).is_err());
+
+        // Inconsistent dimensionality between records.
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &[vec![1.0, 2.0]]).unwrap();
+        write_fvecs(&mut buf, &[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(read_fvecs(&mut Cursor::new(buf)).is_err());
+
+        // Ragged input on the write side.
+        let mut sink = Vec::new();
+        assert!(write_fvecs(&mut sink, &[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(write_bvecs(&mut sink, &[vec![1], vec![1, 2]]).is_err());
+        assert!(write_ivecs(&mut sink, &[vec![1], vec![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn dataset_container_round_trip() {
+        for dims in [1usize, 8, 63, 64, 65, 200] {
+            let dataset = generate::uniform_dataset(17, dims, dims as u64);
+            let mut buf = Vec::new();
+            write_dataset(&mut buf, &dataset).unwrap();
+            let back = read_dataset(&mut Cursor::new(buf)).unwrap();
+            assert_eq!(back.len(), dataset.len());
+            assert_eq!(back.dims(), dims);
+            for i in 0..dataset.len() {
+                assert_eq!(back.vector(i), dataset.vector(i), "dims {dims} vector {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_container_rejects_corruption() {
+        let dataset = generate::uniform_dataset(4, 32, 1);
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &dataset).unwrap();
+
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_dataset(&mut Cursor::new(bad)).is_err());
+
+        // Wrong version.
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(read_dataset(&mut Cursor::new(bad)).is_err());
+
+        // Truncated payload.
+        let mut bad = buf.clone();
+        bad.truncate(buf.len() - 3);
+        assert!(read_dataset(&mut Cursor::new(bad)).is_err());
+
+        // Zero dimensionality.
+        let mut bad = buf;
+        bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(read_dataset(&mut Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn path_helpers_round_trip_through_the_filesystem() {
+        let dir = std::env::temp_dir();
+        let unique = format!(
+            "binvec-io-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        );
+        let fvecs_path = dir.join(format!("{unique}.fvecs"));
+        let dataset_path = dir.join(format!("{unique}.binv"));
+
+        let vectors = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        write_fvecs_path(&fvecs_path, &vectors).unwrap();
+        assert_eq!(read_fvecs_path(&fvecs_path).unwrap(), vectors);
+
+        let dataset = generate::uniform_dataset(9, 48, 2);
+        write_dataset_path(&dataset_path, &dataset).unwrap();
+        let back = read_dataset_path(&dataset_path).unwrap();
+        assert_eq!(back.len(), 9);
+        assert_eq!(back.vector(3), dataset.vector(3));
+
+        let _ = std::fs::remove_file(fvecs_path);
+        let _ = std::fs::remove_file(dataset_path);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn fvecs_round_trips_any_rectangular_f32_data(
+            rows in prop::collection::vec(prop::collection::vec(-1e6f32..1e6, 1..12), 0..8),
+        ) {
+            prop_assume!(rows.windows(2).all(|w| w[0].len() == w[1].len()));
+            let vectors: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| r.iter().map(|&x| f64::from(x)).collect())
+                .collect();
+            let mut buf = Vec::new();
+            write_fvecs(&mut buf, &vectors).unwrap();
+            let back = read_fvecs(&mut Cursor::new(buf)).unwrap();
+            prop_assert_eq!(back, vectors);
+        }
+
+        #[test]
+        fn dataset_container_round_trips_random_datasets(
+            dims in 1usize..130,
+            n in 0usize..20,
+            seed in 0u64..1000,
+        ) {
+            let dataset = crate::generate::uniform_dataset(n, dims, seed);
+            let mut buf = Vec::new();
+            write_dataset(&mut buf, &dataset).unwrap();
+            let back = read_dataset(&mut Cursor::new(buf)).unwrap();
+            prop_assert_eq!(back.len(), dataset.len());
+            for i in 0..dataset.len() {
+                prop_assert_eq!(back.vector(i), dataset.vector(i));
+            }
+        }
+    }
+}

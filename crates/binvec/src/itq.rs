@@ -1,0 +1,349 @@
+//! Iterative quantization (ITQ): learned rotation binary codes.
+//!
+//! The paper assumes dataset vectors are quantized offline into Hamming space with
+//! "techniques like iterative quantization (ITQ)" (Gong & Lazebnik, CVPR 2011) so the
+//! AP only ever processes binary codes. The simpler sign / random-rotation quantizers
+//! in [`crate::quantize`] are the initializations ITQ starts from; this module
+//! implements the full training loop:
+//!
+//! 1. mean-center the training vectors and project them onto their top-`c` PCA
+//!    directions (`c` = code length);
+//! 2. initialize a random orthogonal rotation `R`;
+//! 3. alternate: fix `R` and set the codes `B = sign(V·R)`, then fix `B` and update
+//!    `R` as the orthogonal Procrustes solution minimizing `‖B − V·R‖_F`;
+//! 4. quantize any vector `x` as `sign((x − mean)·W·R)`.
+//!
+//! The alternation monotonically decreases the quantization loss, which is what makes
+//! ITQ codes preserve neighborhoods better than a raw random rotation — the property
+//! the paper's accuracy-neutral "quantize offline, search on the AP" pipeline relies
+//! on. Training is a few small dense matrix operations (the code length is 64–256),
+//! handled by [`crate::linalg`].
+
+use crate::bits::BinaryVector;
+use crate::linalg::{covariance, jacobi_eigen, orthogonal_procrustes, random_orthogonal, Matrix};
+use crate::quantize::{Quantizer, RealVector};
+
+/// Configuration for ITQ training.
+#[derive(Clone, Copy, Debug)]
+pub struct ItqConfig {
+    /// Length of the produced binary codes (must not exceed the input
+    /// dimensionality: ITQ projects onto the top-`code_dims` PCA directions).
+    pub code_dims: usize,
+    /// Number of alternating-minimization iterations. The original paper uses 50;
+    /// the loss typically plateaus well before that.
+    pub iterations: usize,
+    /// Seed for the random orthogonal initialization of the rotation.
+    pub seed: u64,
+}
+
+impl ItqConfig {
+    /// A reasonable default configuration for the given code length.
+    pub fn new(code_dims: usize) -> Self {
+        Self {
+            code_dims,
+            iterations: 50,
+            seed: 1,
+        }
+    }
+
+    /// Sets the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A trained ITQ quantizer: mean, PCA projection and learned rotation.
+#[derive(Clone, Debug)]
+pub struct ItqQuantizer {
+    mean: Vec<f64>,
+    /// `input_dims × code_dims` PCA projection (top eigenvectors as columns).
+    projection: Matrix,
+    /// `code_dims × code_dims` learned orthogonal rotation.
+    rotation: Matrix,
+    /// Quantization loss `‖B − V·R‖²_F / n` after each training iteration.
+    loss_history: Vec<f64>,
+}
+
+impl ItqQuantizer {
+    /// Trains an ITQ quantizer on `training` vectors.
+    ///
+    /// # Panics
+    /// Panics if `training` is empty, the vectors have differing lengths, or
+    /// `config.code_dims` is zero or exceeds the input dimensionality.
+    pub fn fit(training: &[RealVector], config: &ItqConfig) -> Self {
+        assert!(!training.is_empty(), "ITQ needs a non-empty training set");
+        let input_dims = training[0].len();
+        assert!(
+            training.iter().all(|v| v.len() == input_dims),
+            "all training vectors must have the same dimensionality"
+        );
+        assert!(
+            config.code_dims > 0 && config.code_dims <= input_dims,
+            "code_dims must be in 1..=input_dims (got {} for input dimensionality {})",
+            config.code_dims,
+            input_dims
+        );
+
+        // PCA: top-c eigenvectors of the covariance matrix.
+        let (mean, cov) = covariance(training);
+        let (_eigenvalues, eigenvectors) = jacobi_eigen(&cov);
+        let projection =
+            Matrix::from_fn(input_dims, config.code_dims, |r, c| eigenvectors.get(r, c));
+
+        // Projected, centered training data V (n × c).
+        let n = training.len();
+        let v = Matrix::from_rows(
+            &training
+                .iter()
+                .map(|x| {
+                    let centered: Vec<f64> = x.iter().zip(&mean).map(|(a, m)| a - m).collect();
+                    projection.transpose().matvec(&centered)
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        // Alternating minimization of ‖B − V·R‖².
+        let mut rotation = random_orthogonal(config.code_dims, config.seed);
+        let mut loss_history = Vec::with_capacity(config.iterations);
+        for _ in 0..config.iterations.max(1) {
+            let projected = v.matmul(&rotation);
+            let codes = Matrix::from_fn(n, config.code_dims, |r, c| {
+                if projected.get(r, c) >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            });
+            // Loss with the *current* rotation, before the Procrustes update.
+            let mut loss = 0.0;
+            for r in 0..n {
+                for c in 0..config.code_dims {
+                    let d = codes.get(r, c) - projected.get(r, c);
+                    loss += d * d;
+                }
+            }
+            loss_history.push(loss / n as f64);
+            rotation = orthogonal_procrustes(&codes, &v);
+        }
+
+        Self {
+            mean,
+            projection,
+            rotation,
+            loss_history,
+        }
+    }
+
+    /// The per-iteration quantization loss recorded during training.
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+
+    /// The learned rotation (orthogonal, `code_dims × code_dims`).
+    pub fn rotation(&self) -> &Matrix {
+        &self.rotation
+    }
+
+    /// The input dimensionality the quantizer was trained on.
+    pub fn input_dims(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+impl Quantizer for ItqQuantizer {
+    fn code_dims(&self) -> usize {
+        self.projection.cols()
+    }
+
+    fn quantize(&self, v: &[f64]) -> BinaryVector {
+        assert_eq!(
+            v.len(),
+            self.mean.len(),
+            "vector dimensionality {} does not match the trained dimensionality {}",
+            v.len(),
+            self.mean.len()
+        );
+        let centered: Vec<f64> = v.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        let projected = self.projection.transpose().matvec(&centered);
+        let rotated = self.rotation.transpose().matvec(&projected);
+        BinaryVector::from_bools(&rotated.iter().map(|&x| x >= 0.0).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::RandomRotationQuantizer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Clustered synthetic real-valued data: `clusters` Gaussian blobs in
+    /// `dims`-dimensional space.
+    fn clustered_real_data(
+        n: usize,
+        dims: usize,
+        clusters: usize,
+        spread: f64,
+        seed: u64,
+    ) -> (Vec<RealVector>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<RealVector> = (0..clusters)
+            .map(|_| (0..dims).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % clusters;
+            let point: RealVector = centers[c]
+                .iter()
+                .map(|&x| {
+                    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = rng.gen();
+                    let gauss =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    x + gauss * spread
+                })
+                .collect();
+            data.push(point);
+            labels.push(c);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn codes_have_requested_dimensionality() {
+        let (data, _) = clustered_real_data(64, 16, 4, 0.5, 1);
+        let itq = ItqQuantizer::fit(&data, &ItqConfig::new(8).with_iterations(10));
+        assert_eq!(itq.code_dims(), 8);
+        assert_eq!(itq.input_dims(), 16);
+        let code = itq.quantize(&data[0]);
+        assert_eq!(code.dims(), 8);
+    }
+
+    #[test]
+    fn rotation_stays_orthogonal() {
+        let (data, _) = clustered_real_data(80, 12, 3, 0.7, 2);
+        let itq = ItqQuantizer::fit(&data, &ItqConfig::new(12).with_iterations(20));
+        assert!(itq.rotation().is_orthonormal(1e-7));
+    }
+
+    #[test]
+    fn quantization_loss_is_monotonically_non_increasing() {
+        let (data, _) = clustered_real_data(128, 16, 5, 0.8, 3);
+        let itq = ItqQuantizer::fit(&data, &ItqConfig::new(16).with_iterations(25));
+        let losses = itq.loss_history();
+        assert_eq!(losses.len(), 25);
+        for w in losses.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "loss increased: {} -> {} (history {:?})",
+                w[0],
+                w[1],
+                losses
+            );
+        }
+        // And it actually improves over the random initialization.
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn nearby_points_get_nearby_codes() {
+        let (data, _) = clustered_real_data(64, 24, 4, 0.3, 4);
+        let itq = ItqQuantizer::fit(&data, &ItqConfig::new(24).with_iterations(20));
+        let mut rng = StdRng::seed_from_u64(9);
+        for base in data.iter().take(16) {
+            let perturbed: RealVector = base
+                .iter()
+                .map(|&x| x + (rng.gen::<f64>() - 0.5) * 0.01)
+                .collect();
+            let far: RealVector = base.iter().map(|&x| -x + 7.0).collect();
+            let code_base = itq.quantize(base);
+            let code_near = itq.quantize(&perturbed);
+            let code_far = itq.quantize(&far);
+            assert!(
+                code_base.hamming(&code_near) <= code_base.hamming(&code_far),
+                "perturbed code should not be farther than an antipodal point"
+            );
+            assert!(code_base.hamming(&code_near) <= 2);
+        }
+    }
+
+    #[test]
+    fn itq_separates_clusters_at_least_as_well_as_random_rotation() {
+        // Same-cluster pairs should be closer in code space than cross-cluster pairs;
+        // measure the separation margin for ITQ and for a plain random rotation.
+        let dims = 16;
+        let code_dims = 16;
+        let (data, labels) = clustered_real_data(200, dims, 4, 0.4, 5);
+        let itq = ItqQuantizer::fit(&data, &ItqConfig::new(code_dims).with_iterations(30));
+        let rr = RandomRotationQuantizer::new(dims, code_dims, 11);
+
+        let margin = |codes: &[BinaryVector]| -> f64 {
+            let mut same = Vec::new();
+            let mut cross = Vec::new();
+            for i in 0..codes.len() {
+                for j in (i + 1)..codes.len() {
+                    let d = codes[i].hamming(&codes[j]) as f64;
+                    if labels[i] == labels[j] {
+                        same.push(d);
+                    } else {
+                        cross.push(d);
+                    }
+                }
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            mean(&cross) - mean(&same)
+        };
+
+        let itq_codes: Vec<BinaryVector> = data.iter().map(|v| itq.quantize(v)).collect();
+        let rr_codes: Vec<BinaryVector> = data.iter().map(|v| rr.quantize(v)).collect();
+        let itq_margin = margin(&itq_codes);
+        let rr_margin = margin(&rr_codes);
+        assert!(
+            itq_margin > 0.0,
+            "ITQ codes must separate clusters (margin {itq_margin})"
+        );
+        assert!(
+            itq_margin >= rr_margin * 0.8,
+            "ITQ margin {itq_margin} should be competitive with random rotation {rr_margin}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = clustered_real_data(50, 10, 2, 0.5, 6);
+        let a = ItqQuantizer::fit(&data, &ItqConfig::new(8).with_seed(3).with_iterations(10));
+        let b = ItqQuantizer::fit(&data, &ItqConfig::new(8).with_seed(3).with_iterations(10));
+        for v in data.iter().take(10) {
+            assert_eq!(a.quantize(v), b.quantize(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "code_dims")]
+    fn code_dims_larger_than_input_panics() {
+        let (data, _) = clustered_real_data(10, 4, 2, 0.5, 7);
+        let _ = ItqQuantizer::fit(&data, &ItqConfig::new(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_set_panics() {
+        let _ = ItqQuantizer::fit(&[], &ItqConfig::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn quantize_wrong_dimensionality_panics() {
+        let (data, _) = clustered_real_data(20, 6, 2, 0.5, 8);
+        let itq = ItqQuantizer::fit(&data, &ItqConfig::new(4).with_iterations(5));
+        let _ = itq.quantize(&[1.0, 2.0]);
+    }
+}

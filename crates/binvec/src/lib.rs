@@ -1,0 +1,49 @@
+//! # binvec — binary vectors for Hamming-space similarity search
+//!
+//! This crate is the data substrate for the reproduction of *"Similarity Search on
+//! Automata Processors"* (Lee et al., IPDPS 2017). The paper performs k-nearest-neighbor
+//! search over **binary feature vectors** (real-valued descriptors quantized into
+//! Hamming space with techniques such as ITQ), because Hamming distance maps well onto
+//! the Automata Processor which has no hardened arithmetic units.
+//!
+//! The crate provides:
+//!
+//! * [`BinaryVector`] / [`BinaryDataset`] — bit-packed vectors of arbitrary
+//!   dimensionality with cheap Hamming/Jaccard distance kernels.
+//! * [`topk`] — exact top-k selection utilities shared by every baseline and by the
+//!   AP result decoder.
+//! * [`quantize`] — sign and random-rotation quantizers (the initializations ITQ
+//!   starts from).
+//! * [`itq`] — the full iterative-quantization trainer (PCA + learned rotation),
+//!   built on the small dense linear algebra in [`linalg`].
+//! * [`generate`] — synthetic dataset generators (uniform, clustered, planted
+//!   neighbors) used in place of the paper's proprietary SIFT / word-embedding /
+//!   TagSpace corpora.
+//! * [`io`] — readers/writers for the `.fvecs`/`.bvecs`/`.ivecs` corpus formats and
+//!   a packed container for quantized binary datasets, so the pipeline can also be
+//!   run on the real corpora when they are available.
+//! * [`workload`] — the paper's Table II workload parameter presets.
+//! * [`metrics`] — recall / accuracy metrics used by the approximate-search and
+//!   statistical-reduction experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bits;
+pub mod dataset;
+pub mod distance;
+pub mod generate;
+pub mod io;
+pub mod itq;
+pub mod linalg;
+pub mod metrics;
+pub mod quantize;
+pub mod topk;
+pub mod workload;
+
+pub use bits::BinaryVector;
+pub use dataset::BinaryDataset;
+pub use distance::{hamming, inverted_hamming, jaccard_similarity};
+pub use itq::{ItqConfig, ItqQuantizer};
+pub use topk::{Neighbor, TopK};
+pub use workload::{Workload, WorkloadParams};

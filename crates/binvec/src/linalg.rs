@@ -1,0 +1,599 @@
+//! Small dense linear algebra used by the iterative-quantization (ITQ) trainer.
+//!
+//! The paper quantizes real-valued feature descriptors into Hamming codes with ITQ
+//! (Gong & Lazebnik), which needs mean-centering, PCA and repeated orthogonal
+//! Procrustes solves. Those are small problems — the code length is 64–256 bits — so
+//! rather than pulling in an external linear-algebra crate this module implements the
+//! handful of dense operations required: a row-major [`Matrix`], matrix products,
+//! covariance, a cyclic Jacobi eigensolver for symmetric matrices, a thin SVD built
+//! on top of it, QR-based random orthogonal matrices, and the orthogonal Procrustes
+//! solution itself.
+//!
+//! Everything here is written for clarity and numerical robustness at small sizes
+//! (tens to a few hundred rows/columns), not for BLAS-level throughput; quantization
+//! is an offline preprocessing step explicitly excluded from the paper's measured
+//! kNN kernel.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets element `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of row `row` as a slice.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Column `col` copied into a `Vec`.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether `self * selfᵀ` is within `tolerance` of the identity (i.e. the rows
+    /// are orthonormal; for square matrices this means the matrix is orthogonal).
+    pub fn is_orthonormal(&self, tolerance: f64) -> bool {
+        let gram = self.matmul(&self.transpose());
+        gram.max_abs_diff(&Matrix::identity(self.rows)) <= tolerance
+    }
+}
+
+/// Mean vector of a set of equal-length sample vectors.
+///
+/// # Panics
+/// Panics if `samples` is empty or the vectors have differing lengths.
+pub fn mean_vector(samples: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!samples.is_empty(), "mean of an empty sample set");
+    let dims = samples[0].len();
+    let mut mean = vec![0.0; dims];
+    for s in samples {
+        assert_eq!(s.len(), dims, "all samples must have the same length");
+        for (m, x) in mean.iter_mut().zip(s) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= samples.len() as f64;
+    }
+    mean
+}
+
+/// Sample covariance matrix (dividing by `n`, not `n − 1`) of mean-centered data.
+///
+/// Returns `(mean, covariance)`.
+pub fn covariance(samples: &[Vec<f64>]) -> (Vec<f64>, Matrix) {
+    let mean = mean_vector(samples);
+    let dims = mean.len();
+    let mut cov = Matrix::zeros(dims, dims);
+    for s in samples {
+        let centered: Vec<f64> = s.iter().zip(&mean).map(|(x, m)| x - m).collect();
+        for i in 0..dims {
+            if centered[i] == 0.0 {
+                continue;
+            }
+            for j in i..dims {
+                let v = centered[i] * centered[j];
+                cov.data[i * dims + j] += v;
+            }
+        }
+    }
+    let n = samples.len() as f64;
+    for i in 0..dims {
+        for j in i..dims {
+            let v = cov.get(i, j) / n;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    (mean, cov)
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by **descending** eigenvalue; the
+/// eigenvectors are the *columns* of the returned matrix and are orthonormal.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn jacobi_eigen(sym: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(sym.rows, sym.cols, "eigendecomposition needs a square matrix");
+    let n = sym.rows;
+    let mut a = sym.clone();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 64;
+    let tolerance = 1e-12;
+    for _ in 0..max_sweeps {
+        // Sum of squares of the off-diagonal elements.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a.get(i, j) * a.get(i, j);
+            }
+        }
+        if off.sqrt() <= tolerance {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() <= f64::EPSILON {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to A (both sides) and accumulate into V.
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a.get(j, j)
+            .partial_cmp(&a.get(i, i))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |r, c| v.get(r, order[c]));
+    (eigenvalues, eigenvectors)
+}
+
+/// Thin singular value decomposition `A = U · diag(S) · Vᵀ` of a small matrix,
+/// computed from the eigendecomposition of `AᵀA`.
+///
+/// Returns `(U, S, V)` with singular values sorted descending. Singular vectors
+/// belonging to (numerically) zero singular values are completed to an orthonormal
+/// basis so `U` and `V` always have orthonormal columns.
+pub fn svd(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
+    let ata = a.transpose().matmul(a);
+    let (eigenvalues, v) = jacobi_eigen(&ata);
+    let singular: Vec<f64> = eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+
+    let m = a.rows;
+    let n = a.cols;
+    let mut u = Matrix::zeros(m, n);
+    for j in 0..n {
+        if singular[j] > 1e-10 {
+            let vj = v.column(j);
+            let uj = a.matvec(&vj);
+            for i in 0..m {
+                u.set(i, j, uj[i] / singular[j]);
+            }
+        }
+    }
+    // Complete columns for zero singular values via Gram–Schmidt against the
+    // existing columns, starting from coordinate axes.
+    for j in 0..n {
+        if singular[j] > 1e-10 {
+            continue;
+        }
+        'candidates: for axis in 0..m {
+            let mut candidate = vec![0.0; m];
+            candidate[axis] = 1.0;
+            for k in 0..n {
+                if k == j {
+                    continue;
+                }
+                let uk = u.column(k);
+                let dot: f64 = candidate.iter().zip(&uk).map(|(a, b)| a * b).sum();
+                for (c, b) in candidate.iter_mut().zip(&uk) {
+                    *c -= dot * b;
+                }
+            }
+            let norm: f64 = candidate.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-6 {
+                for i in 0..m {
+                    u.set(i, j, candidate[i] / norm);
+                }
+                break 'candidates;
+            }
+        }
+    }
+    (u, singular, v)
+}
+
+/// Solution of the orthogonal Procrustes problem: the orthogonal matrix `R`
+/// minimizing `‖A − B·R‖_F`, namely `R = U·Vᵀ` where `BᵀA = U·Σ·Vᵀ`.
+///
+/// This is the rotation update at the heart of each ITQ iteration (with `A` the
+/// current binary codes and `B` the PCA-projected data).
+pub fn orthogonal_procrustes(a: &Matrix, b: &Matrix) -> Matrix {
+    let m = b.transpose().matmul(a);
+    let (u, _singular, v) = svd(&m);
+    u.matmul(&v.transpose())
+}
+
+/// A deterministic random orthogonal matrix of size `n`, produced by filling a
+/// matrix with Gaussian samples (Box–Muller over a small xorshift generator) and
+/// orthonormalizing its columns with modified Gram–Schmidt.
+pub fn random_orthogonal(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = state.wrapping_mul(0x2545F4914F6CDD1D);
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut gauss = move || {
+        let u1: f64 = next().max(f64::MIN_POSITIVE);
+        let u2: f64 = next();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let mut m = Matrix::from_fn(n, n, |_, _| gauss());
+
+    // Modified Gram–Schmidt over columns.
+    for j in 0..n {
+        for k in 0..j {
+            let dot: f64 = (0..n).map(|i| m.get(i, j) * m.get(i, k)).sum();
+            for i in 0..n {
+                let v = m.get(i, j) - dot * m.get(i, k);
+                m.set(i, j, v);
+            }
+        }
+        let norm: f64 = (0..n).map(|i| m.get(i, j) * m.get(i, j)).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            // Degenerate column (astronomically unlikely): fall back to a unit axis.
+            for i in 0..n {
+                m.set(i, j, if i == j { 1.0 } else { 0.0 });
+            }
+        } else {
+            for i in 0..n {
+                let v = m.get(i, j) / norm;
+                m.set(i, j, v);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_and_matmul() {
+        let i3 = Matrix::identity(3);
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+        ]);
+        assert_eq!(m.matmul(&i3), m);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]])
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = Matrix::from_rows(&[vec![1.0, -1.0, 2.0], vec![0.0, 3.0, 1.0]]);
+        let v = vec![2.0, 1.0, -1.0];
+        assert_eq!(m.matvec(&v), vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn mean_and_covariance() {
+        let samples = vec![
+            vec![1.0, 2.0],
+            vec![3.0, 6.0],
+        ];
+        let (mean, cov) = covariance(&samples);
+        assert_eq!(mean, vec![2.0, 4.0]);
+        // Centered samples are (-1,-2) and (1,2): cov = [[1,2],[2,4]].
+        assert_close(cov.get(0, 0), 1.0, 1e-12);
+        assert_close(cov.get(0, 1), 2.0, 1e-12);
+        assert_close(cov.get(1, 0), 2.0, 1e-12);
+        assert_close(cov.get(1, 1), 4.0, 1e-12);
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (values, vectors) = jacobi_eigen(&m);
+        assert_close(values[0], 3.0, 1e-9);
+        assert_close(values[1], 1.0, 1e-9);
+        assert!(vectors.transpose().is_orthonormal(1e-9));
+        // Check A·v = λ·v for each eigenpair.
+        for (j, &lambda) in values.iter().enumerate() {
+            let v = vectors.column(j);
+            let av = m.matvec(&v);
+            for i in 0..2 {
+                assert_close(av[i], lambda * v[i], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_handles_larger_random_symmetric_matrix() {
+        let n = 12;
+        let raw = random_orthogonal(n, 7);
+        // Build a symmetric positive semi-definite matrix with known eigenvalues.
+        let eigenvalues: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let diag = Matrix::from_fn(n, n, |r, c| if r == c { eigenvalues[r] } else { 0.0 });
+        let m = raw.matmul(&diag).matmul(&raw.transpose());
+        let (values, vectors) = jacobi_eigen(&m);
+        for (got, want) in values.iter().zip(&eigenvalues) {
+            assert_close(*got, *want, 1e-6);
+        }
+        assert!(vectors.transpose().is_orthonormal(1e-8));
+        // Reconstruction: V·Λ·Vᵀ ≈ M.
+        let lambda = Matrix::from_fn(n, n, |r, c| if r == c { values[r] } else { 0.0 });
+        let rebuilt = vectors.matmul(&lambda).matmul(&vectors.transpose());
+        assert!(rebuilt.max_abs_diff(&m) < 1e-6);
+    }
+
+    #[test]
+    fn svd_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 1.0, 0.5],
+            vec![-1.0, 2.0, 4.0],
+            vec![0.0, -2.0, 1.0],
+        ]);
+        let (u, s, v) = svd(&a);
+        let sigma = Matrix::from_fn(3, 3, |r, c| if r == c { s[r] } else { 0.0 });
+        let rebuilt = u.matmul(&sigma).matmul(&v.transpose());
+        assert!(rebuilt.max_abs_diff(&a) < 1e-8);
+        assert!(u.transpose().is_orthonormal(1e-8));
+        assert!(v.transpose().is_orthonormal(1e-8));
+        // Singular values are sorted descending and non-negative.
+        assert!(s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn svd_of_rank_deficient_matrix_still_orthonormal() {
+        // Rank-1 matrix.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+        ]);
+        let (u, s, v) = svd(&a);
+        assert!(s[1].abs() < 1e-8);
+        assert!(u.transpose().is_orthonormal(1e-6));
+        assert!(v.transpose().is_orthonormal(1e-6));
+        let sigma = Matrix::from_fn(2, 2, |r, c| if r == c { s[r] } else { 0.0 });
+        let rebuilt = u.matmul(&sigma).matmul(&v.transpose());
+        assert!(rebuilt.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn procrustes_recovers_known_rotation() {
+        // B is random data, A = B·R for a known rotation R; the Procrustes solution
+        // applied to (A, B) must recover R.
+        let n = 6;
+        let b = Matrix::from_fn(20, n, |r, c| (((r + 1) * (c + 2)) as f64).sin() * 3.0);
+        let r_true = random_orthogonal(n, 42);
+        let a = b.matmul(&r_true);
+        let r = orthogonal_procrustes(&a, &b);
+        assert!(r.max_abs_diff(&r_true) < 1e-6);
+        assert!(r.is_orthonormal(1e-8));
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthonormal_and_deterministic() {
+        for &n in &[1usize, 2, 8, 32] {
+            let m = random_orthogonal(n, 3);
+            assert!(m.is_orthonormal(1e-9), "n = {n}");
+            assert!(m.transpose().is_orthonormal(1e-9), "n = {n}");
+        }
+        assert_eq!(random_orthogonal(8, 5), random_orthogonal(8, 5));
+        assert!(random_orthogonal(8, 5).max_abs_diff(&random_orthogonal(8, 6)) > 1e-3);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_close(m.frobenius_norm(), 5.0, 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Accuracy metrics for approximate and statistically-reduced kNN results.
+//!
+//! The paper reports two kinds of accuracy figures:
+//!
+//! * Table VI — the *percentage of incorrect result sets* out of 100 randomized runs
+//!   of the statistical activation reduction, where "incorrect" means the returned
+//!   set is not exactly the global top-k.
+//! * Implicitly, the recall of the approximate index structures (kd-tree, k-means,
+//!   LSH) that scan only one bucket per query.
+//!
+//! This module provides the exact-set-match and recall@k computations both of those
+//! need, with deterministic tie handling consistent with [`crate::topk`].
+
+use crate::topk::Neighbor;
+use std::collections::HashSet;
+
+/// Fraction of ground-truth neighbors that appear in the returned set (recall@k).
+///
+/// Both lists are treated as sets of ids; duplicates are ignored. Returns 1.0 when the
+/// ground truth is empty.
+pub fn recall_at_k(returned: &[Neighbor], ground_truth: &[Neighbor]) -> f64 {
+    if ground_truth.is_empty() {
+        return 1.0;
+    }
+    let truth: HashSet<usize> = ground_truth.iter().map(|n| n.id).collect();
+    let got: HashSet<usize> = returned.iter().map(|n| n.id).collect();
+    let hit = truth.intersection(&got).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Whether the returned set is *distance-exact*: for every ground-truth result there
+/// is a returned result at the same rank with the same distance.
+///
+/// This is the correctness criterion used for Table VI: a run counts as correct when
+/// the approximate scheme returns a set of k neighbors whose distances equal the true
+/// top-k distances (ties may legitimately swap equal-distance ids).
+pub fn is_distance_exact(returned: &[Neighbor], ground_truth: &[Neighbor]) -> bool {
+    if returned.len() != ground_truth.len() {
+        return false;
+    }
+    let mut r: Vec<u32> = returned.iter().map(|n| n.distance).collect();
+    let mut g: Vec<u32> = ground_truth.iter().map(|n| n.distance).collect();
+    r.sort_unstable();
+    g.sort_unstable();
+    r == g
+}
+
+/// Whether the returned set is exactly the ground-truth set of ids (order-insensitive).
+pub fn is_id_exact(returned: &[Neighbor], ground_truth: &[Neighbor]) -> bool {
+    if returned.len() != ground_truth.len() {
+        return false;
+    }
+    let r: HashSet<usize> = returned.iter().map(|n| n.id).collect();
+    let g: HashSet<usize> = ground_truth.iter().map(|n| n.id).collect();
+    r == g
+}
+
+/// Aggregates per-run correctness into the "percentage incorrect" figure of Table VI.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccuracyTally {
+    /// Total runs observed.
+    pub runs: usize,
+    /// Runs whose result set was not exact.
+    pub incorrect: usize,
+}
+
+impl AccuracyTally {
+    /// Records one run.
+    pub fn record(&mut self, correct: bool) {
+        self.runs += 1;
+        if !correct {
+            self.incorrect += 1;
+        }
+    }
+
+    /// Percentage of incorrect runs (0–100). Returns 0 when no runs were recorded.
+    pub fn percent_incorrect(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            100.0 * self.incorrect as f64 / self.runs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize, d: u32) -> Neighbor {
+        Neighbor::new(id, d)
+    }
+
+    #[test]
+    fn recall_full_and_partial() {
+        let truth = vec![n(1, 1), n(2, 2), n(3, 3), n(4, 4)];
+        let perfect = truth.clone();
+        let half = vec![n(1, 1), n(3, 3), n(9, 0), n(8, 0)];
+        assert!((recall_at_k(&perfect, &truth) - 1.0).abs() < 1e-12);
+        assert!((recall_at_k(&half, &truth) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&[], &truth) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_empty_truth_is_one() {
+        assert!((recall_at_k(&[n(1, 1)], &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_exact_allows_tie_swaps() {
+        let truth = vec![n(1, 2), n(2, 2)];
+        let swapped = vec![n(2, 2), n(5, 2)]; // different ids but same distances
+        assert!(is_distance_exact(&swapped, &truth));
+        let worse = vec![n(2, 2), n(5, 3)];
+        assert!(!is_distance_exact(&worse, &truth));
+        let short = vec![n(2, 2)];
+        assert!(!is_distance_exact(&short, &truth));
+    }
+
+    #[test]
+    fn id_exact_requires_same_ids() {
+        let truth = vec![n(1, 2), n(2, 2)];
+        assert!(is_id_exact(&[n(2, 2), n(1, 2)], &truth));
+        assert!(!is_id_exact(&[n(3, 2), n(1, 2)], &truth));
+    }
+
+    #[test]
+    fn tally_percentages() {
+        let mut t = AccuracyTally::default();
+        assert_eq!(t.percent_incorrect(), 0.0);
+        for i in 0..100 {
+            t.record(i % 4 != 0); // 25 incorrect
+        }
+        assert!((t.percent_incorrect() - 25.0).abs() < 1e-12);
+        assert_eq!(t.runs, 100);
+        assert_eq!(t.incorrect, 25);
+    }
+}

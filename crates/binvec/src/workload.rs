@@ -1,0 +1,149 @@
+//! The paper's evaluation workloads (Table II) and dataset-size presets.
+//!
+//! | Workload        | Dimensionality | Neighbors k |
+//! |-----------------|----------------|-------------|
+//! | kNN-WordEmbed   | 64             | 2           |
+//! | kNN-SIFT        | 128            | 4           |
+//! | kNN-TagSpace    | 256            | 16          |
+//!
+//! All workloads are evaluated with 4096 queries. "Small" datasets hold 1024 points
+//! (512 for TagSpace, which at 256 dimensions only fits 512 vectors per AP board
+//! configuration); "large" datasets hold 2^20 points.
+
+use serde::{Deserialize, Serialize};
+
+/// The three kNN workloads evaluated in the paper (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Word-embedding retrieval: d = 64, k = 2.
+    WordEmbed,
+    /// SIFT image-descriptor matching: d = 128, k = 4.
+    Sift,
+    /// TagSpace semantic-embedding search: d = 256, k = 16.
+    TagSpace,
+}
+
+impl Workload {
+    /// All workloads, in the order the paper's tables list them.
+    pub const ALL: [Workload; 3] = [Workload::WordEmbed, Workload::Sift, Workload::TagSpace];
+
+    /// The workload's parameter set.
+    pub fn params(self) -> WorkloadParams {
+        match self {
+            Workload::WordEmbed => WorkloadParams {
+                workload: self,
+                dims: 64,
+                k: 2,
+                queries: 4096,
+            },
+            Workload::Sift => WorkloadParams {
+                workload: self,
+                dims: 128,
+                k: 4,
+                queries: 4096,
+            },
+            Workload::TagSpace => WorkloadParams {
+                workload: self,
+                dims: 256,
+                k: 16,
+                queries: 4096,
+            },
+        }
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::WordEmbed => "kNN-WordEmbed",
+            Workload::Sift => "kNN-SIFT",
+            Workload::TagSpace => "kNN-TagSpace",
+        }
+    }
+
+    /// Dataset size used in the small-dataset experiments (Table III).
+    ///
+    /// This equals the number of vectors that fit in a single AP board configuration:
+    /// 1024 vectors at ≤128 dimensions, 512 vectors at 256 dimensions (§V-A reports
+    /// "1024×128 dimensions or 512×256 dimensions" ≈ 128 Kb per configuration).
+    pub fn small_dataset_size(self) -> usize {
+        match self {
+            Workload::WordEmbed | Workload::Sift => 1024,
+            Workload::TagSpace => 512,
+        }
+    }
+
+    /// Dataset size used in the large-dataset experiments (Table IV): 2^20 points.
+    pub fn large_dataset_size(self) -> usize {
+        1 << 20
+    }
+
+    /// Vectors per AP board configuration (the natural bucket size for indexing).
+    pub fn vectors_per_board(self) -> usize {
+        self.small_dataset_size()
+    }
+}
+
+/// Fully resolved workload parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Which workload these parameters belong to.
+    pub workload: Workload,
+    /// Feature-vector dimensionality `d`.
+    pub dims: usize,
+    /// Number of nearest neighbors `k`.
+    pub k: usize,
+    /// Number of queries per batch (the paper uses 4096 throughout).
+    pub queries: usize,
+}
+
+impl WorkloadParams {
+    /// A scaled-down copy with `queries` queries — used by tests and quick examples
+    /// that cannot afford the full 4096-query batch.
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters() {
+        let w = Workload::WordEmbed.params();
+        assert_eq!((w.dims, w.k, w.queries), (64, 2, 4096));
+        let s = Workload::Sift.params();
+        assert_eq!((s.dims, s.k, s.queries), (128, 4, 4096));
+        let t = Workload::TagSpace.params();
+        assert_eq!((t.dims, t.k, t.queries), (256, 16, 4096));
+    }
+
+    #[test]
+    fn small_dataset_sizes_match_board_capacity() {
+        assert_eq!(Workload::WordEmbed.small_dataset_size(), 1024);
+        assert_eq!(Workload::Sift.small_dataset_size(), 1024);
+        assert_eq!(Workload::TagSpace.small_dataset_size(), 512);
+    }
+
+    #[test]
+    fn large_dataset_is_one_million() {
+        for w in Workload::ALL {
+            assert_eq!(w.large_dataset_size(), 1_048_576);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Workload::WordEmbed.name(), "kNN-WordEmbed");
+        assert_eq!(Workload::Sift.name(), "kNN-SIFT");
+        assert_eq!(Workload::TagSpace.name(), "kNN-TagSpace");
+    }
+
+    #[test]
+    fn with_queries_overrides() {
+        let p = Workload::Sift.params().with_queries(16);
+        assert_eq!(p.queries, 16);
+        assert_eq!(p.dims, 128);
+    }
+}

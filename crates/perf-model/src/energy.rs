@@ -1,0 +1,156 @@
+//! Energy and queries-per-joule arithmetic.
+//!
+//! The paper estimates energy as *dynamic power × run time* (dynamic power measured
+//! as load minus idle power) and reports efficiency as *queries per joule*. This
+//! module performs the same arithmetic on top of the run-time models, using the
+//! per-platform dynamic-power constants from [`crate::platform`].
+
+use crate::platform::Platform;
+use crate::runtime::{KnnJob, RuntimeModel};
+use serde::{Deserialize, Serialize};
+
+/// Energy accounting for one platform × workload combination.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// The platform evaluated.
+    pub platform: Platform,
+    /// Run time in seconds.
+    pub run_time_s: f64,
+    /// Dynamic power in watts.
+    pub dynamic_power_w: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Queries per joule (the paper's efficiency metric — higher is better).
+    pub queries_per_joule: f64,
+}
+
+/// Computes queries/joule given a run time, power and query count.
+pub fn queries_per_joule(queries: usize, run_time_s: f64, power_w: f64) -> f64 {
+    let energy = run_time_s * power_w;
+    if energy <= 0.0 {
+        return f64::INFINITY;
+    }
+    queries as f64 / energy
+}
+
+impl EnergyReport {
+    /// Builds the report for a platform and job using the calibrated run-time model.
+    pub fn evaluate(platform: Platform, job: &KnnJob) -> Self {
+        let run_time_s = RuntimeModel.run_time_s(platform, job);
+        let dynamic_power_w = platform.spec().dynamic_power_w;
+        let energy_j = run_time_s * dynamic_power_w;
+        Self {
+            platform,
+            run_time_s,
+            dynamic_power_w,
+            energy_j,
+            queries_per_joule: queries_per_joule(job.queries, run_time_s, dynamic_power_w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binvec::Workload;
+
+    fn job(w: Workload, large: bool) -> KnnJob {
+        let p = w.params();
+        KnnJob {
+            dims: p.dims,
+            dataset_size: if large {
+                w.large_dataset_size()
+            } else {
+                w.small_dataset_size()
+            },
+            queries: p.queries,
+            k: p.k,
+        }
+    }
+
+    fn assert_close(got: f64, expected: f64, rel_tol: f64, label: &str) {
+        let err = (got - expected).abs() / expected;
+        assert!(
+            err <= rel_tol,
+            "{label}: got {got:.1}, paper {expected:.1} (err {:.0}%)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        assert!((queries_per_joule(100, 2.0, 5.0) - 10.0).abs() < 1e-12);
+        assert!(queries_per_joule(1, 0.0, 10.0).is_infinite());
+        let r = EnergyReport::evaluate(Platform::XeonE5_2620, &job(Workload::WordEmbed, false));
+        assert!((r.energy_j - r.run_time_s * r.dynamic_power_w).abs() < 1e-12);
+        assert!(
+            (r.queries_per_joule - 4096.0 / r.energy_j).abs() / r.queries_per_joule < 1e-9
+        );
+    }
+
+    #[test]
+    fn table3_energy_efficiency_is_reproduced() {
+        // Queries/joule from Table III (small datasets).
+        let rows = [
+            (Workload::WordEmbed, Platform::XeonE5_2620, 3344.0, 0.06),
+            (Workload::Sift, Platform::XeonE5_2620, 2081.0, 0.06),
+            (Workload::WordEmbed, Platform::CortexA15, 4941.0, 0.06),
+            (Workload::WordEmbed, Platform::JetsonTk1, 27133.0, 0.10),
+            (Workload::WordEmbed, Platform::Kintex7, 579214.0, 0.06),
+            (Workload::Sift, Platform::Kintex7, 289607.0, 0.06),
+            (Workload::WordEmbed, Platform::ApGen1, 110445.0, 0.05),
+            // The paper's SIFT/TagSpace energy rows imply ~23 W of AP dynamic power
+            // instead of the ~19 W implied by every other AP row (presumably higher
+            // fabric activity at higher board utilization); the single-power-constant
+            // model lands within ~25% of them.
+            (Workload::Sift, Platform::ApGen1, 44603.0, 0.30),
+            (Workload::TagSpace, Platform::ApGen1, 22301.0, 0.30),
+        ];
+        for (w, p, expected, tol) in rows {
+            let r = EnergyReport::evaluate(p, &job(w, false));
+            assert_close(
+                r.queries_per_joule,
+                expected,
+                tol,
+                &format!("{} {}", p.name(), w.name()),
+            );
+        }
+    }
+
+    #[test]
+    fn table4_energy_efficiency_is_reproduced() {
+        // Queries/joule from Table IV (large datasets), spot-checking every platform.
+        let rows = [
+            (Workload::WordEmbed, Platform::XeonE5_2620, 3.92, 0.25),
+            (Workload::TagSpace, Platform::CortexA15, 1.34, 0.15),
+            (Workload::WordEmbed, Platform::JetsonTk1, 212.14, 0.15),
+            (Workload::WordEmbed, Platform::TitanX, 83.84, 0.15),
+            (Workload::WordEmbed, Platform::Kintex7, 593.89, 0.15),
+            (Workload::WordEmbed, Platform::ApGen1, 4.53, 0.10),
+            (Workload::WordEmbed, Platform::ApGen2, 87.81, 0.10),
+            (Workload::Sift, Platform::ApGen2, 48.40, 0.15),
+            (Workload::WordEmbed, Platform::ApOptExt, 1737.92, 0.30),
+        ];
+        for (w, p, expected, tol) in rows {
+            let r = EnergyReport::evaluate(p, &job(w, true));
+            assert_close(
+                r.queries_per_joule,
+                expected,
+                tol,
+                &format!("{} {}", p.name(), w.name()),
+            );
+        }
+    }
+
+    #[test]
+    fn ap_gen1_energy_gain_over_cpus_matches_abstract() {
+        // The abstract claims up to ~43x energy-efficiency gain over general-purpose
+        // cores on small datasets (AP Gen 1 vs the Xeon on WordEmbed: 110445 / 3344
+        // ~= 33x; vs the Cortex A15: ~22x; SIFT vs Xeon ~21x). Check the order of
+        // magnitude.
+        let ap = EnergyReport::evaluate(Platform::ApGen1, &job(Workload::WordEmbed, false));
+        let xeon = EnergyReport::evaluate(Platform::XeonE5_2620, &job(Workload::WordEmbed, false));
+        let gain = ap.queries_per_joule / xeon.queries_per_joule;
+        assert!((20.0..50.0).contains(&gain), "gain {gain:.1}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # perf-model — platform performance and energy models
+//!
+//! The paper's evaluation compares the Automata Processor against CPU, GPU and FPGA
+//! platforms (Table I) on run time and energy efficiency (Tables III, IV and V).
+//! None of that hardware (nor the power meters used to characterize it) is available
+//! here, so this crate captures the *models* that regenerate those tables:
+//!
+//! * [`platform`] — the Table I platform list with process node, core count, clock
+//!   and the dynamic-power figures implied by the paper's run-time / queries-per-
+//!   joule pairs;
+//! * [`runtime`] — per-platform run-time models for batched Hamming kNN, calibrated
+//!   against the paper's small-dataset measurements and validated against the
+//!   large-dataset ones (the AP itself is modelled by `ap-knn`'s engine, the FPGA by
+//!   the cycle simulator in `baselines`);
+//! * [`energy`] — energy and queries-per-joule arithmetic, including the
+//!   technology-scaling adjustment used for the AP Opt+Ext column;
+//! * [`tables`] — plain-text table rendering shared by the bench harness binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod energy;
+pub mod platform;
+pub mod runtime;
+pub mod tables;
+
+pub use energy::{queries_per_joule, EnergyReport};
+pub use platform::{Platform, PlatformClass, PlatformSpec};
+pub use runtime::{KnnJob, RuntimeModel};
+pub use tables::TextTable;

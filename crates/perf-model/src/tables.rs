@@ -1,0 +1,144 @@
+//! Plain-text table rendering for the benchmark harness binaries.
+//!
+//! Every `table*` binary in the `bench` crate prints rows in the same layout as the
+//! paper's tables so measured and published values can be compared side by side.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty cells;
+    /// longer rows are allowed and extend the column count.
+    pub fn add_row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for rows of displayable values.
+    pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.add_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let _ = write!(line, "| {cell:width$} ", width = width);
+            }
+            line.push('|');
+            line
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", render_row(&self.header, &widths));
+            let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a seconds value the way the paper's tables do: milliseconds below one
+/// second (2 decimals), seconds otherwise.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn format_speedup(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Demo", &["Workload", "Run time"]);
+        t.add_row(&["WordEmbed".to_string(), "1.97 ms".to_string()]);
+        t.add_row(&["SIFT".to_string(), "3.94 ms".to_string()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("| Workload  | Run time |"));
+        assert!(s.contains("| WordEmbed | 1.97 ms  |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_extend() {
+        let mut t = TextTable::new("", &["A", "B"]);
+        t.add_row(&["x".to_string()]);
+        t.add_row(&["1".to_string(), "2".to_string(), "3".to_string()]);
+        let s = t.render();
+        assert!(s.lines().count() >= 4);
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn display_row_helper() {
+        let mut t = TextTable::new("", &["n"]);
+        t.add_display_row(&[42]);
+        assert!(t.render().contains("42"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(0.00197), "1.97 ms");
+        assert_eq!(format_seconds(48.1), "48.10 s");
+        assert_eq!(format_speedup(19.4321), "19.43x");
+    }
+}

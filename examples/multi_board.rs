@@ -1,0 +1,69 @@
+//! Multi-board scheduling and pipelined reconfiguration.
+//!
+//! The paper's engine drives a single board: load a partition, stream the query
+//! batch, reconfigure, repeat. This example shows the two host-side scheduling
+//! levers provided by `ap_knn::scheduler`:
+//!
+//! * spreading partitions over several boards (worker threads running the
+//!   cycle-accurate simulator in parallel) while keeping results bit-identical to
+//!   the single-board engine;
+//! * the double-buffered reconfiguration model, which estimates how much of the
+//!   Gen-1 reconfiguration bottleneck (Table IV) overlap can hide.
+//!
+//! Run with: `cargo run --release --example multi_board`
+
+use ap_similarity::ap_knn::capacity::CapacityModel;
+use ap_similarity::ap_knn::{ParallelApScheduler, PipelineModel};
+use ap_similarity::prelude::*;
+
+fn main() {
+    let dims = 32;
+    let data = ap_similarity::binvec::generate::uniform_dataset(480, dims, 3);
+    let queries = ap_similarity::binvec::generate::uniform_queries(8, dims, 4);
+    let k = 5;
+    let design = KnnDesign::new(dims);
+    // Small boards so the example exercises many partitions quickly.
+    let capacity = BoardCapacity {
+        vectors_per_board: 48,
+        model: CapacityModel::PaperCalibrated,
+    };
+
+    // Reference: the sequential single-board engine.
+    let engine = ApKnnEngine::new(design).with_capacity(capacity);
+    let (reference, stats) = engine.search_batch(&data, &queries, k);
+    println!(
+        "single board : {} partitions, {} reconfigurations, {} symbols streamed",
+        stats.board_configurations, stats.reconfigurations, stats.symbols_streamed
+    );
+
+    // Multi-board runs.
+    for workers in [1usize, 2, 4] {
+        let scheduler = ParallelApScheduler::new(design)
+            .with_capacity(capacity)
+            .with_workers(workers);
+        let (results, sched) = scheduler.search_batch(&data, &queries, k);
+        assert_eq!(results, reference, "parallel schedule must not change results");
+        println!(
+            "{workers:>2} board(s) : critical path {:>7} symbols ({} partitions / board max), results identical ✔",
+            sched.critical_path_symbols(),
+            sched.partitions_per_worker.iter().max().unwrap()
+        );
+    }
+
+    // Pipelined reconfiguration estimates for the paper's large-dataset setting.
+    println!();
+    println!("double-buffered reconfiguration (2^20 vectors, 4096 queries, d = 64):");
+    let large_design = KnnDesign::new(64);
+    let layout = StreamLayout::for_design(&large_design);
+    let partitions = BoardCapacity::paper_calibrated(64).configurations_for(1 << 20);
+    let symbols = layout.stream_len(4096);
+    for (name, device) in [("Gen 1", DeviceConfig::gen1()), ("Gen 2", DeviceConfig::gen2())] {
+        let estimate = PipelineModel::new(TimingModel::new(device)).estimate(symbols, partitions);
+        println!(
+            "  {name}: serial {:.2} s, overlapped {:.2} s ({:.2}x)",
+            estimate.serial_s,
+            estimate.overlapped_s,
+            estimate.speedup()
+        );
+    }
+}

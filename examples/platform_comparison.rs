@@ -1,0 +1,92 @@
+//! Platform comparison: regenerates the shape of the paper's Tables III and IV from
+//! the calibrated run-time and energy models.
+//!
+//! Prints run time and queries-per-joule for every workload on every platform, for
+//! both the small (one board configuration) and large (2^20 vectors) datasets, plus
+//! the compounded optimization gains behind the "AP Opt+Ext" column.
+//!
+//! Run with: `cargo run --release --example platform_comparison`
+
+use ap_knn::extensions::CompoundedGains;
+use ap_similarity::prelude::*;
+use perf_model::tables::format_seconds;
+use perf_model::TextTable;
+
+fn main() {
+    let small_platforms = [
+        Platform::XeonE5_2620,
+        Platform::CortexA15,
+        Platform::JetsonTk1,
+        Platform::Kintex7,
+        Platform::ApGen1,
+    ];
+    let large_platforms = Platform::ALL;
+
+    for (title, large, platforms) in [
+        ("Small datasets (one AP board configuration) — cf. Table III", false, &small_platforms[..]),
+        ("Large datasets (2^20 vectors) — cf. Table IV", true, &large_platforms[..]),
+    ] {
+        // Header: workload, dataset size, then one column per platform.
+        let mut header = vec!["Workload".to_string(), "n".to_string()];
+        header.extend(platforms.iter().map(|p| p.name().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut runtime_table = TextTable::new(format!("{title}: run time"), &header_refs);
+        let mut energy_table = TextTable::new(
+            format!("{title}: energy efficiency (queries/J)"),
+            &header_refs,
+        );
+
+        for w in Workload::ALL {
+            let params = w.params();
+            let n = if large {
+                w.large_dataset_size()
+            } else {
+                w.small_dataset_size()
+            };
+            let job = KnnJob {
+                dims: params.dims,
+                dataset_size: n,
+                queries: params.queries,
+                k: params.k,
+            };
+            let mut rt_row = vec![w.name().to_string(), n.to_string()];
+            let mut en_row = vec![w.name().to_string(), n.to_string()];
+            for p in platforms {
+                let report = EnergyReport::evaluate(*p, &job);
+                rt_row.push(format_seconds(report.run_time_s));
+                en_row.push(format!("{:.0}", report.queries_per_joule));
+            }
+            runtime_table.add_row(&rt_row);
+            energy_table.add_row(&en_row);
+        }
+
+        println!("{}", runtime_table.render());
+        println!("{}", energy_table.render());
+    }
+
+    println!("Compounded optimization + extension gains behind 'AP (Opt+Ext)' — cf. Table VIII");
+    let mut gains_table = TextTable::new(
+        "",
+        &["Factor", "kNN-WordEmbed", "kNN-SIFT", "kNN-TagSpace"],
+    );
+    let gains: Vec<CompoundedGains> = [64usize, 128, 256]
+        .iter()
+        .map(|&d| CompoundedGains::for_design(&KnnDesign::new(d)))
+        .collect();
+    let rows: Vec<(&str, fn(&CompoundedGains) -> f64)> = vec![
+        ("Technology scaling", |g| g.technology_scaling),
+        ("Vector packing", |g| g.vector_packing),
+        ("STE decomposition", |g| g.ste_decomposition),
+        ("Counter increment ext.", |g| g.counter_increment),
+        ("Total", |g| g.total()),
+    ];
+    for (name, f) in rows {
+        gains_table.add_row(&[
+            name.to_string(),
+            format!("{:.2}x", f(&gains[0])),
+            format!("{:.2}x", f(&gains[1])),
+            format!("{:.2}x", f(&gains[2])),
+        ]);
+    }
+    println!("{}", gains_table.render());
+}

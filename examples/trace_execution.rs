@@ -1,0 +1,93 @@
+//! Reproduction of the paper's Figures 3 and 4: a cycle-by-cycle trace of the
+//! Hamming macro and the temporally encoded sort.
+//!
+//! Two 4-dimensional vectors are encoded — A = {1,0,1,1} and B = {0,0,0,0} — and a
+//! single query {1,0,0,1} is streamed through the simulator. The example prints the
+//! input symbol, each vector's inverted-Hamming-distance counter value and any
+//! reporting-state activations at every time step, showing that vector A (Hamming
+//! distance 1) reports before vector B (Hamming distance 2).
+//!
+//! Run with: `cargo run --release --example trace_execution`
+
+use ap_knn::macros::append_vector_macro;
+use ap_similarity::prelude::*;
+
+fn main() {
+    let dims = 4;
+    let design = KnnDesign::new(dims);
+    let layout = StreamLayout::for_design(&design);
+
+    let vector_a = BinaryVector::from_bits(&[1, 0, 1, 1]);
+    let vector_b = BinaryVector::from_bits(&[0, 0, 0, 0]);
+    let query = BinaryVector::from_bits(&[1, 0, 0, 1]);
+
+    let mut net = AutomataNetwork::new();
+    let handles_a = append_vector_macro(&mut net, &vector_a, 0, &design);
+    let handles_b = append_vector_macro(&mut net, &vector_b, 1, &design);
+
+    let stream = layout.encode_query(&query);
+    let mut sim = Simulator::new(&net).expect("valid network");
+    let trace = sim.run_traced(&stream);
+
+    println!("Figure 3/4 reproduction");
+    println!("  vector A = {:?}  (Hamming distance to query: {})", vector_a.to_bits(), vector_a.hamming(&query));
+    println!("  vector B = {:?}  (Hamming distance to query: {})", vector_b.to_bits(), vector_b.hamming(&query));
+    println!("  query    = {:?}", query.to_bits());
+    println!();
+    println!("{:>4}  {:>8}  {:>9}  {:>9}  report", "t", "symbol", "count(A)", "count(B)");
+
+    for (offset, symbol) in stream.iter().enumerate() {
+        let symbol_name = if *symbol == layout.sof {
+            "SOF".to_string()
+        } else if *symbol == layout.eof {
+            "EOF".to_string()
+        } else if *symbol == layout.filler {
+            "^EOF".to_string()
+        } else {
+            format!("{symbol}")
+        };
+        let counters = &trace.counter_values[offset];
+        let count_a = counters
+            .iter()
+            .find(|(id, _)| *id == handles_a.counter)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let count_b = counters
+            .iter()
+            .find(|(id, _)| *id == handles_b.counter)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let reports: Vec<String> = trace
+            .reports
+            .iter()
+            .filter(|r| r.offset == offset as u64)
+            .map(|r| {
+                let name = if r.code == 0 { "A" } else { "B" };
+                let dist = layout
+                    .distance_for_report_offset(offset)
+                    .map(|d| format!(" (distance {d})"))
+                    .unwrap_or_default();
+                format!("vector {name} reports{dist}")
+            })
+            .collect();
+        println!(
+            "{:>4}  {:>8}  {:>9}  {:>9}  {}",
+            offset + 1,
+            symbol_name,
+            count_a,
+            count_b,
+            reports.join("; ")
+        );
+    }
+
+    println!();
+    let mut ordered: Vec<(u64, u32)> = trace.reports.iter().map(|r| (r.offset, r.code)).collect();
+    ordered.sort_unstable();
+    let order: Vec<&str> = ordered
+        .iter()
+        .map(|(_, code)| if *code == 0 { "A" } else { "B" })
+        .collect();
+    println!("temporal report order: {}", order.join(" then "));
+    assert_eq!(order, ["A", "B"], "the closer vector must report first");
+    println!("vector A (closer) reported before vector B — the report order IS the sort ✔");
+}

@@ -1,0 +1,83 @@
+//! # ap-similarity — similarity search on (simulated) Automata Processors
+//!
+//! This is the umbrella crate of the reproduction of *"Similarity Search on Automata
+//! Processors"* (Lee, Kotalik, del Mundo, Alaghi, Ceze, Oskin — IPDPS 2017). It
+//! re-exports the workspace crates and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`ap_sim`] | Cycle-accurate Automata Processor simulator, PCRE front end, device resource model |
+//! | [`binvec`] | Bit-packed binary vectors, Hamming distance, ITQ quantization, corpus I/O, workloads |
+//! | [`baselines`] | CPU linear scan, kd-tree / k-means / LSH indexes, FPGA and GPU simulators |
+//! | [`ap_knn`] | The paper's contribution: kNN automata, temporal sort, optimizations, extensions, Jaccard, scheduler |
+//! | [`perf_model`] | Table I platforms, run-time and energy models for table regeneration |
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use ap_similarity::prelude::*;
+//!
+//! // A small Hamming-space dataset and a query batch.
+//! let dims = 32;
+//! let data = binvec::generate::uniform_dataset(64, dims, 1);
+//! let queries = binvec::generate::uniform_queries(4, dims, 2);
+//!
+//! // Exact CPU baseline.
+//! let cpu = LinearScan::new(data.clone());
+//!
+//! // The AP engine: builds one NFA per dataset vector, streams the queries through
+//! // the cycle-accurate simulator, and decodes the temporally encoded sort.
+//! let engine = ApKnnEngine::new(KnnDesign::new(dims));
+//! let (ap_results, stats) = engine.search_batch(&data, &queries, 3);
+//!
+//! for (q, ap) in queries.iter().zip(&ap_results) {
+//!     assert_eq!(ap, &cpu.search(q, 3));
+//! }
+//! assert_eq!(stats.board_configurations, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ap_knn;
+pub use ap_sim;
+pub use baselines;
+pub use binvec;
+pub use perf_model;
+
+/// Convenient re-exports of the most frequently used types across the workspace.
+pub mod prelude {
+    pub use ap_knn::{
+        ApKnnEngine, BoardCapacity, ExecutionMode, JaccardSearcher, KnnDesign,
+        ParallelApScheduler, StreamLayout,
+    };
+    pub use ap_sim::{
+        ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator,
+        TimingModel,
+    };
+    pub use baselines::{
+        FpgaAccelerator, FpgaConfig, GpuAccelerator, GpuConfig, HierarchicalKMeans, KdForest,
+        LinearScan, LshIndex, ParallelLinearScan, SearchIndex,
+    };
+    pub use binvec::{
+        BinaryDataset, BinaryVector, ItqConfig, ItqQuantizer, Neighbor, TopK, Workload,
+    };
+    pub use perf_model::{EnergyReport, KnnJob, Platform, RuntimeModel};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_core_types() {
+        let design = KnnDesign::new(8);
+        let engine = ApKnnEngine::new(design);
+        assert_eq!(engine.design().dims, 8);
+        let _ = Workload::ALL;
+        let _ = Platform::ALL;
+    }
+}

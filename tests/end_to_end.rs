@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the AP engine against every baseline, across
+//! reconfigurations, quantization pipelines, and the indexed engines.
+
+use ap_knn::indexed::{DatasetBackedIndex, IndexedApEngine};
+use ap_similarity::prelude::*;
+use baselines::{BucketIndex, KMeansConfig, KdForestConfig, LshConfig};
+use binvec::generate::{clustered_dataset, planted_queries, uniform_dataset, uniform_queries, ClusterParams};
+use binvec::metrics::recall_at_k;
+use binvec::quantize::{Quantizer, RandomRotationQuantizer};
+
+#[test]
+fn ap_engine_agrees_with_every_exact_baseline() {
+    let dims = 32;
+    let data = uniform_dataset(96, dims, 1);
+    let queries = uniform_queries(6, dims, 2);
+    let k = 5;
+
+    let engine = ApKnnEngine::new(KnnDesign::new(dims));
+    let (ap, _) = engine.search_batch(&data, &queries, k);
+
+    let cpu = LinearScan::new(data.clone());
+    let parallel = ParallelLinearScan::new(data.clone(), 4);
+    let fpga = FpgaAccelerator::new(data.clone(), FpgaConfig::kintex7());
+
+    assert_eq!(ap, cpu.search_batch(&queries, k));
+    assert_eq!(ap, parallel.search_batch(&queries, k));
+    assert_eq!(ap, fpga.search_batch(&queries, k));
+}
+
+#[test]
+fn ap_engine_handles_multiple_board_configurations() {
+    let dims = 24;
+    let data = uniform_dataset(70, dims, 3);
+    let queries = uniform_queries(4, dims, 4);
+    let k = 6;
+
+    let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_capacity(BoardCapacity {
+        vectors_per_board: 16,
+        model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+    });
+    let (ap, stats) = engine.search_batch(&data, &queries, k);
+    assert_eq!(stats.board_configurations, 5);
+    assert_eq!(stats.reconfigurations, 4);
+    assert_eq!(ap, LinearScan::new(data).search_batch(&queries, k));
+}
+
+#[test]
+fn quantization_pipeline_preserves_nearest_neighbors() {
+    // Real-valued vectors quantized into Hamming space: a perturbed copy of a
+    // database vector should be retrieved by the AP engine as its nearest neighbor
+    // for the overwhelming majority of queries.
+    let input_dims = 32;
+    let code_dims = 64;
+    let quantizer = RandomRotationQuantizer::new(input_dims, code_dims, 5);
+
+    let mut reals: Vec<Vec<f64>> = Vec::new();
+    let mut rng_state = 0.123f64;
+    let mut next = move || {
+        // A tiny deterministic generator keeps the test free of RNG dependencies.
+        rng_state = (rng_state * 997.0 + 0.71).fract();
+        rng_state * 2.0 - 1.0
+    };
+    for _ in 0..128 {
+        reals.push((0..input_dims).map(|_| next()).collect());
+    }
+    let codes = quantizer.quantize_batch(&reals);
+    let data = BinaryDataset::from_vectors(code_dims, codes);
+
+    let engine = ApKnnEngine::new(KnnDesign::new(code_dims)).with_mode(ExecutionMode::Behavioral);
+    let mut hits = 0;
+    for (i, real) in reals.iter().enumerate().take(20) {
+        let perturbed: Vec<f64> = real.iter().map(|x| x + 0.01).collect();
+        let query = quantizer.quantize(&perturbed);
+        let (results, _) = engine.search_batch(&data, std::slice::from_ref(&query), 1);
+        if results[0][0].id == i {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 18, "only {hits}/20 planted queries retrieved their source");
+}
+
+#[test]
+fn indexed_engines_match_their_cpu_indexes_and_have_reasonable_recall() {
+    let dims = 64;
+    let k = 4;
+    let (data, _) = clustered_dataset(
+        1500,
+        dims,
+        ClusterParams {
+            clusters: 12,
+            flip_probability: 0.03,
+        },
+        7,
+    );
+    let queries: Vec<BinaryVector> = planted_queries(&data, 20, 2, 8)
+        .into_iter()
+        .map(|p| p.query)
+        .collect();
+    let exact = LinearScan::new(data.clone());
+    let truth: Vec<_> = queries.iter().map(|q| exact.search(q, k)).collect();
+
+    // kd-forest
+    let kd = DatasetBackedIndex {
+        index: KdForest::build(
+            data.clone(),
+            KdForestConfig {
+                trees: 4,
+                bucket_size: 128,
+                top_variance_candidates: 5,
+                seed: 1,
+            },
+        ),
+        data: data.clone(),
+    };
+    // hierarchical k-means
+    let km = DatasetBackedIndex {
+        index: HierarchicalKMeans::build(
+            data.clone(),
+            KMeansConfig {
+                branching: 4,
+                bucket_size: 256,
+                iterations: 4,
+                seed: 2,
+            },
+        ),
+        data: data.clone(),
+    };
+    // LSH
+    let lsh = DatasetBackedIndex {
+        index: LshIndex::build(
+            data.clone(),
+            LshConfig {
+                tables: 4,
+                bits_per_table: 8,
+                probes: 1,
+                seed: 3,
+            },
+        ),
+        data: data.clone(),
+    };
+
+    check_indexed(&kd, &queries, &truth, k, dims, 0.5);
+    check_indexed(&km, &queries, &truth, k, dims, 0.5);
+    check_indexed(&lsh, &queries, &truth, k, dims, 0.4);
+}
+
+fn check_indexed<I: BucketIndex>(
+    index: &DatasetBackedIndex<I>,
+    queries: &[BinaryVector],
+    truth: &[Vec<Neighbor>],
+    k: usize,
+    dims: usize,
+    min_recall: f64,
+) {
+    let engine = IndexedApEngine::new(index, KnnDesign::new(dims));
+    let (ap_results, stats) = engine.search_batch(queries, k);
+    // The AP bucket scan returns exactly what the CPU version of the index returns.
+    for (q, ap) in queries.iter().zip(ap_results.iter()) {
+        assert_eq!(ap, &index.index.search(q, k));
+    }
+    // And the approximate recall is sane on clustered data.
+    let recall: f64 = ap_results
+        .iter()
+        .zip(truth.iter())
+        .map(|(got, want)| recall_at_k(got, want))
+        .sum::<f64>()
+        / truth.len() as f64;
+    assert!(recall >= min_recall, "recall {recall} below {min_recall}");
+    assert!(stats.candidates_scanned > 0);
+}
+
+#[test]
+fn gen2_is_faster_than_gen1_for_multi_board_workloads() {
+    let dims = 64;
+    let n = 1 << 16;
+    let queries = 512;
+    let gen1 = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
+    let gen2 = ApKnnEngine::new(KnnDesign::new(dims).with_device(DeviceConfig::gen2()))
+        .with_mode(ExecutionMode::Behavioral);
+    let t1 = gen1.estimate_run(n, queries).total_seconds();
+    let t2 = gen2.estimate_run(n, queries).total_seconds();
+    assert!(t1 > t2);
+    assert!(t1 / t2 > 5.0, "Gen2 should be far faster when reconfiguration dominates");
+}

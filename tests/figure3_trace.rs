@@ -1,0 +1,115 @@
+//! Reproduction of the paper's Figure 3 / Figure 4 worked example as an executable
+//! test: the counter trajectory and report times of two 4-dimensional vectors
+//! against the query {1,0,0,1}.
+
+use ap_knn::macros::append_vector_macro;
+use ap_similarity::prelude::*;
+
+/// Builds the two-vector network of Figure 4 and returns (network layout, trace,
+/// counter ids).
+fn run_figure4() -> (
+    StreamLayout,
+    ap_sim::SimulationTrace,
+    ap_sim::ElementId,
+    ap_sim::ElementId,
+) {
+    let design = KnnDesign::new(4);
+    let layout = StreamLayout::for_design(&design);
+    let mut net = AutomataNetwork::new();
+    let a = append_vector_macro(&mut net, &BinaryVector::from_bits(&[1, 0, 1, 1]), 0, &design);
+    let b = append_vector_macro(&mut net, &BinaryVector::from_bits(&[0, 0, 0, 0]), 1, &design);
+    let query = BinaryVector::from_bits(&[1, 0, 0, 1]);
+    let mut sim = Simulator::new(&net).unwrap();
+    let trace = sim.run_traced(&layout.encode_query(&query));
+    (layout, trace, a.counter, b.counter)
+}
+
+fn counter_series(trace: &ap_sim::SimulationTrace, counter: ap_sim::ElementId) -> Vec<u32> {
+    trace
+        .counter_values
+        .iter()
+        .map(|cycle| {
+            cycle
+                .iter()
+                .find(|(id, _)| *id == counter)
+                .map(|(_, c)| *c)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn window_is_twelve_symbols_like_figure_3() {
+    let (layout, trace, _, _) = run_figure4();
+    assert_eq!(layout.window_len(), 12);
+    assert_eq!(trace.counter_values.len(), 12);
+}
+
+#[test]
+fn counter_trajectories_accumulate_matches_then_sort_increments() {
+    let (_, trace, counter_a, counter_b) = run_figure4();
+    let a = counter_series(&trace, counter_a);
+    let b = counter_series(&trace, counter_b);
+
+    // Vector A = {1,0,1,1} vs query {1,0,0,1}: 3 matching dimensions. The last
+    // match (dimension 3, streamed at offset 4) flows through the collector and is
+    // visible in the counter two cycles later, so by offset 6 the counter holds the
+    // full inverted Hamming distance...
+    assert_eq!(a[6], 3, "A's inverted Hamming distance after the compute phase");
+    // ...and vector B = {0,0,0,0} accumulates its 2 matches (dimensions 1 and 2).
+    assert_eq!(b[6], 2, "B's inverted Hamming distance after the compute phase");
+    assert_eq!(b[5], 2, "B's matches have all arrived by offset 5");
+
+    // During the sort phase both counters are incremented uniformly, once per cycle,
+    // so their difference stays constant until the EOF reset.
+    for t in 7..11 {
+        assert_eq!(a[t] - b[t], 1, "uniform sort increments at offset {t}");
+        assert!(a[t] > a[t - 1], "A must keep counting at offset {t}");
+    }
+
+    // Counters never exceed the window and are monotone within the query.
+    for t in 1..11 {
+        assert!(a[t] >= a[t - 1]);
+        assert!(b[t] >= b[t - 1]);
+    }
+}
+
+#[test]
+fn closer_vector_reports_first_and_offsets_encode_distances() {
+    let (layout, trace, _, _) = run_figure4();
+    assert_eq!(trace.reports.len(), 2, "both vectors report exactly once");
+    let report_a = trace.reports.iter().find(|r| r.code == 0).unwrap();
+    let report_b = trace.reports.iter().find(|r| r.code == 1).unwrap();
+    // A is at Hamming distance 1, B at distance 2: A reports exactly one cycle
+    // earlier, and the offsets decode to the true distances.
+    assert!(report_a.offset < report_b.offset);
+    assert_eq!(report_b.offset - report_a.offset, 1);
+    assert_eq!(
+        layout.distance_for_report_offset(report_a.offset as usize),
+        Some(1)
+    );
+    assert_eq!(
+        layout.distance_for_report_offset(report_b.offset as usize),
+        Some(2)
+    );
+}
+
+#[test]
+fn counters_reset_after_eof_for_the_next_query() {
+    // Stream two consecutive queries; the second query's results must be unaffected
+    // by the first (the EOF state resets the counter).
+    let design = KnnDesign::new(4);
+    let layout = StreamLayout::for_design(&design);
+    let mut net = AutomataNetwork::new();
+    append_vector_macro(&mut net, &BinaryVector::from_bits(&[1, 0, 1, 1]), 0, &design);
+    let q1 = BinaryVector::from_bits(&[1, 0, 0, 1]); // distance 1
+    let q2 = BinaryVector::from_bits(&[0, 1, 0, 0]); // distance 4
+    let mut sim = Simulator::new(&net).unwrap();
+    let reports = sim.run(&layout.encode_batch(&[q1, q2]));
+    assert_eq!(reports.len(), 2);
+    let (first_query, off1) = layout.split_offset(reports[0].offset);
+    let (second_query, off2) = layout.split_offset(reports[1].offset);
+    assert_eq!((first_query, second_query), (0, 1));
+    assert_eq!(layout.distance_for_report_offset(off1), Some(1));
+    assert_eq!(layout.distance_for_report_offset(off2), Some(4));
+}

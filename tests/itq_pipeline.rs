@@ -1,0 +1,178 @@
+//! Integration tests for the full offline-quantization → AP-search pipeline:
+//! real-valued features are quantized with ITQ (the technique the paper assumes),
+//! the binary codes are searched on the cycle-accurate AP engine, and the results
+//! are compared against exact CPU search and against the real-space ground truth.
+
+use ap_similarity::prelude::*;
+use binvec::itq::{ItqConfig, ItqQuantizer};
+use binvec::quantize::{Quantizer, RandomRotationQuantizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clustered real-valued corpus plus queries that are small perturbations of known
+/// dataset members (so the real-space nearest neighbor is planted and known).
+fn planted_real_corpus(
+    n: usize,
+    dims: usize,
+    queries: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..12)
+        .map(|_| (0..dims).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect())
+        .collect();
+    // Per-point spread comparable to the center spread: points share loose cluster
+    // structure but keep distinct codes after quantization (tightly clustered data
+    // legitimately collapses onto identical codes, which would make identity-based
+    // recall assertions meaningless).
+    let data: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            centers[i % centers.len()]
+                .iter()
+                .map(|&x| x + (rng.gen::<f64>() - 0.5) * 10.0)
+                .collect()
+        })
+        .collect();
+    let mut query_vecs = Vec::with_capacity(queries);
+    let mut planted = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        let src = rng.gen_range(0..n);
+        planted.push(src);
+        query_vecs.push(
+            data[src]
+                .iter()
+                .map(|&x| x + (rng.gen::<f64>() - 0.5) * 0.02)
+                .collect(),
+        );
+    }
+    (data, query_vecs, planted)
+}
+
+fn to_dataset(codes: &[BinaryVector], dims: usize) -> BinaryDataset {
+    let mut ds = BinaryDataset::new(dims);
+    for c in codes {
+        ds.push(c);
+    }
+    ds
+}
+
+#[test]
+fn ap_search_over_itq_codes_matches_cpu_search_exactly() {
+    let (data, queries, _) = planted_real_corpus(120, 48, 6, 1);
+    let code_dims = 32;
+    let itq = ItqQuantizer::fit(&data, &ItqConfig::new(code_dims).with_iterations(20));
+    let data_codes: Vec<BinaryVector> = data.iter().map(|v| itq.quantize(v)).collect();
+    let query_codes: Vec<BinaryVector> = queries.iter().map(|v| itq.quantize(v)).collect();
+    let dataset = to_dataset(&data_codes, code_dims);
+
+    let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
+    let (ap, _) = engine.search_batch(&dataset, &query_codes, 5);
+    let cpu = LinearScan::new(dataset.clone()).search_batch(&query_codes, 5);
+    assert_eq!(ap, cpu, "Hamming-space search must be exact regardless of quantizer");
+}
+
+#[test]
+fn itq_pipeline_recovers_planted_real_space_neighbors() {
+    // Tightly clustered corpora collapse same-cluster points onto identical codes
+    // (which is correct behaviour but makes exact-id recovery ambiguous), so use a
+    // spread-out corpus and measure recall@5 rather than exact top-1 identity.
+    let (data, queries, planted) = planted_real_corpus(200, 64, 16, 2);
+    let code_dims = 48;
+    let itq = ItqQuantizer::fit(&data, &ItqConfig::new(code_dims).with_iterations(30));
+    let data_codes: Vec<BinaryVector> = data.iter().map(|v| itq.quantize(v)).collect();
+    let dataset = to_dataset(&data_codes, code_dims);
+    let query_codes: Vec<BinaryVector> = queries.iter().map(|v| itq.quantize(v)).collect();
+
+    let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
+    let (results, _) = engine.search_batch(&dataset, &query_codes, 5);
+
+    let mut recovered = 0usize;
+    for ((neighbors, &truth), query_code) in results.iter().zip(&planted).zip(&query_codes) {
+        let truth_distance = query_code.hamming(&data_codes[truth]);
+        // The query is a tiny perturbation of its planted source, so the codes must
+        // land very close together…
+        assert!(
+            truth_distance <= 3,
+            "planted pair quantized {truth_distance} bits apart"
+        );
+        // …and the AP search is exact in code space: whatever it returns at rank 1
+        // can never be farther than the planted source.
+        assert!(neighbors[0].distance <= truth_distance);
+        if neighbors.iter().any(|n| n.id == truth) {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered * 10 >= planted.len() * 7,
+        "ITQ + AP recovered only {recovered}/{} planted neighbors in the top 5",
+        planted.len()
+    );
+}
+
+#[test]
+fn itq_preserves_neighborhoods_at_least_as_well_as_random_rotation() {
+    // Direct neighborhood-preservation metric (robust to ties): the code distance
+    // between a query and its planted source should be a small fraction of the code
+    // length, and far smaller than the distance to an arbitrary other point.
+    let (data, queries, planted) = planted_real_corpus(200, 48, 24, 3);
+    let code_dims = 24;
+
+    let separation = |codes: &dyn Quantizer| -> (f64, f64) {
+        let data_codes: Vec<BinaryVector> = data.iter().map(|v| codes.quantize(v)).collect();
+        let query_codes: Vec<BinaryVector> = queries.iter().map(|v| codes.quantize(v)).collect();
+        let mut to_planted = 0.0;
+        let mut to_others = 0.0;
+        let mut other_pairs = 0usize;
+        for ((q, &truth), qi) in query_codes.iter().zip(&planted).zip(0usize..) {
+            to_planted += f64::from(q.hamming(&data_codes[truth]));
+            for (j, other) in data_codes.iter().enumerate() {
+                if j != truth {
+                    to_others += f64::from(q.hamming(other));
+                    other_pairs += 1;
+                }
+            }
+            let _ = qi;
+        }
+        (
+            to_planted / query_codes.len() as f64,
+            to_others / other_pairs as f64,
+        )
+    };
+
+    let itq = ItqQuantizer::fit(&data, &ItqConfig::new(code_dims).with_iterations(30));
+    let rr = RandomRotationQuantizer::new(48, code_dims, 7);
+    let (itq_near, itq_far) = separation(&itq);
+    let (rr_near, rr_far) = separation(&rr);
+
+    // Planted pairs stay within a small fraction of the code length.
+    assert!(itq_near <= code_dims as f64 * 0.15, "ITQ planted-pair distance {itq_near}");
+    // And are clearly separated from arbitrary points.
+    assert!(itq_near * 2.0 < itq_far, "ITQ near {itq_near} vs far {itq_far}");
+    // ITQ's neighborhood preservation is competitive with the random rotation's.
+    assert!(
+        itq_near <= rr_near + 1.0,
+        "ITQ planted-pair distance {itq_near} should not trail random rotation {rr_near}"
+    );
+    assert!(rr_far > 0.0);
+}
+
+#[test]
+fn quantizer_trait_objects_are_interchangeable_in_the_pipeline() {
+    let (data, queries, _) = planted_real_corpus(60, 32, 3, 4);
+    let quantizers: Vec<Box<dyn Quantizer>> = vec![
+        Box::new(ItqQuantizer::fit(&data, &ItqConfig::new(16).with_iterations(10))),
+        Box::new(RandomRotationQuantizer::new(32, 16, 5)),
+    ];
+    for q in &quantizers {
+        assert_eq!(q.code_dims(), 16);
+        let dataset = to_dataset(
+            &data.iter().map(|v| q.quantize(v)).collect::<Vec<_>>(),
+            16,
+        );
+        let query_codes: Vec<BinaryVector> = queries.iter().map(|v| q.quantize(v)).collect();
+        let engine = ApKnnEngine::new(KnnDesign::new(16));
+        let (results, _) = engine.search_batch(&dataset, &query_codes, 2);
+        assert_eq!(results.len(), queries.len());
+        assert!(results.iter().all(|r| r.len() == 2));
+    }
+}

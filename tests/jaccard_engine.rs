@@ -1,0 +1,113 @@
+//! Integration tests for the Jaccard-similarity automata design: the cycle-accurate
+//! searcher against the host-side reference, consistency with the `binvec` Jaccard
+//! kernel, and behaviour across board partitions.
+
+use ap_knn::jaccard::{brute_force_jaccard, JaccardSearcher};
+use ap_similarity::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn ap_jaccard_matches_brute_force_on_clustered_data() {
+    let dims = 24;
+    let (data, _clusters) = binvec::generate::clustered_dataset(
+        72,
+        dims,
+        binvec::generate::ClusterParams {
+            clusters: 6,
+            flip_probability: 0.08,
+        },
+        17,
+    );
+    let queries = binvec::generate::uniform_queries(8, dims, 18);
+    let searcher = JaccardSearcher::new(KnnDesign::new(dims)).with_chunk(24);
+    let results = searcher.search_batch(&data, &queries, 6).unwrap();
+
+    for (query, got) in queries.iter().zip(&results) {
+        let expected = brute_force_jaccard(&data, query, 6);
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g.similarity - e.similarity).abs() < 1e-12);
+        }
+        // Each returned similarity matches the direct binvec computation.
+        for n in got {
+            let direct = data.vector(n.id).jaccard(query);
+            assert!((n.similarity - direct).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn jaccard_and_hamming_rankings_differ_when_set_sizes_differ() {
+    // A sparse vector can be Hamming-far but Jaccard-close; make sure the two
+    // engines are genuinely ranking by different criteria.
+    let dims = 16;
+    let mut data = BinaryDataset::new(dims);
+    // Vector 0: exactly the query's two bits (Jaccard 1.0, Hamming 0).
+    let query = BinaryVector::from_bits(&[1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+    data.push(&query);
+    // Vector 1: superset with many extra bits (high intersection, low Jaccard).
+    data.push(&BinaryVector::from_bits(&[
+        1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0,
+    ]));
+    // Vector 2: shares one bit only.
+    data.push(&BinaryVector::from_bits(&[
+        1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0,
+    ]));
+
+    let searcher = JaccardSearcher::new(KnnDesign::new(dims));
+    let jaccard = &searcher.search_batch(&data, &[query.clone()], 3).unwrap()[0];
+    assert_eq!(jaccard[0].id, 0);
+    assert!((jaccard[0].similarity - 1.0).abs() < 1e-12);
+    // The superset (id 1) scores 2/10, the single-shared-bit vector (id 2) 1/3;
+    // Jaccard prefers id 2 while Hamming prefers id 1.
+    assert_eq!(jaccard[1].id, 2);
+    assert_eq!(jaccard[2].id, 1);
+
+    let engine = ApKnnEngine::new(KnnDesign::new(dims));
+    let (hamming, _) = engine.search_batch(&data, &[query], 3);
+    assert_eq!(hamming[0][0].id, 0);
+    assert_eq!(hamming[0][1].id, 2, "Hamming: id 2 differs in 2 bits");
+    assert_eq!(hamming[0][2].id, 1, "Hamming: id 1 differs in 8 bits");
+}
+
+#[test]
+fn jaccard_partitioning_is_result_invariant() {
+    let dims = 20;
+    let data = binvec::generate::uniform_dataset(45, dims, 31);
+    let queries = binvec::generate::uniform_queries(4, dims, 32);
+    let design = KnnDesign::new(dims);
+    let whole = JaccardSearcher::new(design)
+        .with_chunk(1024)
+        .search_batch(&data, &queries, 5)
+        .unwrap();
+    for chunk in [4usize, 11, 45] {
+        let parts = JaccardSearcher::new(design)
+            .with_chunk(chunk)
+            .search_batch(&data, &queries, 5)
+            .unwrap();
+        for (a, b) in whole.iter().zip(&parts) {
+            let sa: Vec<f64> = a.iter().map(|n| n.similarity).collect();
+            let sb: Vec<f64> = b.iter().map(|n| n.similarity).collect();
+            assert_eq!(sa, sb, "chunk {chunk}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The AP Jaccard top-1 similarity always equals the brute-force top-1 similarity.
+    #[test]
+    fn top1_similarity_matches_brute_force(
+        dims in 2usize..16,
+        n in 2usize..20,
+        seed in 0u64..1000,
+    ) {
+        let data = binvec::generate::uniform_dataset(n, dims, seed);
+        let queries = binvec::generate::uniform_queries(1, dims, seed.wrapping_add(1));
+        let searcher = JaccardSearcher::new(KnnDesign::new(dims));
+        let got = searcher.search_batch(&data, &queries, 1).unwrap();
+        let expected = brute_force_jaccard(&data, &queries[0], 1);
+        prop_assert!((got[0][0].similarity - expected[0].similarity).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the PCRE front end: dictionary scanning on the
+//! cycle-accurate simulator, cross-checked against host-side references, and
+//! resource accounting through the same placement model the kNN experiments use.
+
+use ap_sim::dot::to_dot;
+use ap_sim::{CompiledPcre, PcreOptions, PcreSet, Placer};
+use ap_similarity::prelude::*;
+
+/// Naive host-side reference for plain literal patterns: every end offset of every
+/// occurrence of `needle` in `haystack`.
+fn literal_match_ends(needle: &[u8], haystack: &[u8]) -> Vec<u64> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return Vec::new();
+    }
+    haystack
+        .windows(needle.len())
+        .enumerate()
+        .filter(|(_, w)| *w == needle)
+        .map(|(i, _)| (i + needle.len() - 1) as u64)
+        .collect()
+}
+
+fn synthetic_log() -> Vec<u8> {
+    let lines = [
+        "user=alice GET /api/v1 status 200",
+        "user=bob POST /api/v2 error timeout after 350ms status 503",
+        "user=carol GET /static/logo.png status 404",
+        "user=dave PUT /api/v1/items/42 status 201",
+        "user=erin GET /api/v3 warn retry status 500",
+    ];
+    lines.join("\n").into_bytes()
+}
+
+#[test]
+fn literal_dictionary_matches_substring_search() {
+    let log = synthetic_log();
+    let patterns = ["status", "error", "GET", "api", "retry", "zebra"];
+    let set = PcreSet::compile(&patterns).expect("dictionary compiles");
+    let matches = set.find_all(&log).expect("scan");
+    for (pi, pattern) in patterns.iter().enumerate() {
+        let expected = literal_match_ends(pattern.as_bytes(), &log);
+        let got: Vec<u64> = matches
+            .iter()
+            .filter(|m| m.pattern == pi)
+            .map(|m| m.end_offset)
+            .collect();
+        assert_eq!(got, expected, "pattern {pattern:?}");
+    }
+    // "zebra" never occurs.
+    assert!(matches.iter().all(|m| m.pattern != 5));
+}
+
+#[test]
+fn structured_patterns_find_expected_lines() {
+    let log = synthetic_log();
+    let patterns = [
+        "status [45]\\d\\d",       // the two error lines
+        "timeout after \\d+ms",    // one line
+        "user=[a-z]+ (?:GET|POST)", // four lines (PUT excluded)
+    ];
+    let set = PcreSet::compile(&patterns).expect("compiles");
+    let matches = set.find_all(&log).expect("scan");
+    let count = |p: usize| matches.iter().filter(|m| m.pattern == p).count();
+    assert_eq!(count(0), 3, "status 503, 404 and 500");
+    assert_eq!(count(1), 1);
+    assert_eq!(count(2), 4, "alice, bob, carol and erin use GET/POST");
+}
+
+#[test]
+fn anchored_pattern_only_fires_on_stream_start() {
+    let log = synthetic_log();
+    let anchored = CompiledPcre::compile("^user=alice").unwrap();
+    assert!(anchored.is_anchored());
+    assert_eq!(anchored.find_match_ends(&log).unwrap().len(), 1);
+    let elsewhere = CompiledPcre::compile("^user=bob").unwrap();
+    assert!(elsewhere.find_match_ends(&log).unwrap().is_empty());
+}
+
+#[test]
+fn large_literal_dictionary_places_on_one_board() {
+    // A few hundred signature-like literals — the classic AP rule-matching shape.
+    let patterns: Vec<String> = (0..200)
+        .map(|i| format!("sig{i:03}payload{}", (b'a' + (i % 26) as u8) as char))
+        .collect();
+    let set = PcreSet::compile(&patterns).expect("compiles");
+    let stats = set.network().stats();
+    assert_eq!(stats.components, 200);
+    assert_eq!(stats.reporting, 200);
+
+    let placement = Placer::new(DeviceConfig::gen1())
+        .place(set.network())
+        .expect("fits");
+    assert!(placement.fits());
+    assert!(placement.ste_utilization < 0.01, "a literal dictionary is tiny");
+
+    // Every signature is found when its payload appears in the stream.
+    let mut haystack = b"noise ".to_vec();
+    haystack.extend_from_slice(patterns[137].as_bytes());
+    haystack.extend_from_slice(b" more noise ");
+    haystack.extend_from_slice(patterns[5].as_bytes());
+    let matches = set.find_all(&haystack).expect("scan");
+    let hit: Vec<usize> = matches.iter().map(|m| m.pattern).collect();
+    assert!(hit.contains(&137));
+    assert!(hit.contains(&5));
+    assert_eq!(hit.len(), 2);
+}
+
+#[test]
+fn compiled_pattern_exports_anml_and_dot() {
+    let compiled = CompiledPcre::compile("(?:GET|POST) /api/v\\d").unwrap();
+    let dot = to_dot(compiled.network(), "api");
+    assert!(dot.contains("digraph"));
+    assert!(dot.matches("shape=ellipse").count() >= compiled.position_count());
+
+    let anml = ap_sim::anml::to_anml(compiled.network(), "api");
+    let reparsed = ap_sim::anml::from_anml(&anml).expect("round-trips");
+    assert_eq!(reparsed.stats(), compiled.network().stats());
+}
+
+#[test]
+fn report_code_budget_respects_options() {
+    let options = PcreOptions {
+        report_base: 1000,
+        ..PcreOptions::default()
+    };
+    let compiled = CompiledPcre::compile_with("abc|de|f", &options).unwrap();
+    assert_eq!(compiled.accept_codes(), &[1000, 1001, 1002]);
+}

@@ -1,0 +1,139 @@
+//! Workspace-level property tests: the AP engine (cycle-accurate, behavioural,
+//! packed, multiplexed) is equivalent to brute force on random inputs.
+
+use ap_knn::multiplex::{
+    append_sliced_vector_macro, decode_multiplexed_code, encode_multiplexed_window,
+    multiplexed_report_code,
+};
+use ap_knn::packing::append_packed_group;
+use ap_similarity::prelude::*;
+use proptest::prelude::*;
+
+fn arb_dataset(max_n: usize, max_d: usize) -> impl Strategy<Value = (Vec<Vec<bool>>, Vec<bool>)> {
+    (1..=max_d).prop_flat_map(move |d| {
+        (
+            prop::collection::vec(prop::collection::vec(any::<bool>(), d), 1..=max_n),
+            prop::collection::vec(any::<bool>(), d),
+        )
+    })
+}
+
+fn to_dataset(rows: &[Vec<bool>]) -> BinaryDataset {
+    let dims = rows[0].len();
+    BinaryDataset::from_vectors(dims, rows.iter().map(|r| BinaryVector::from_bools(r)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cycle-accurate AP search == exact CPU search, for arbitrary data / queries / k.
+    #[test]
+    fn cycle_accurate_engine_equals_brute_force(
+        (rows, query) in arb_dataset(24, 20),
+        k in 1usize..8,
+    ) {
+        let data = to_dataset(&rows);
+        let dims = data.dims();
+        let query = BinaryVector::from_bools(&query);
+        let engine = ApKnnEngine::new(KnnDesign::new(dims));
+        let (ap, _) = engine.search_batch(&data, std::slice::from_ref(&query), k);
+        let cpu = LinearScan::new(data).search(&query, k);
+        prop_assert_eq!(&ap[0], &cpu);
+    }
+
+    /// Forcing tiny board configurations (many reconfigurations) never changes results.
+    #[test]
+    fn partitioning_is_transparent(
+        (rows, query) in arb_dataset(30, 16),
+        k in 1usize..6,
+        board in 1usize..8,
+    ) {
+        let data = to_dataset(&rows);
+        let dims = data.dims();
+        let query = BinaryVector::from_bools(&query);
+        let whole = ApKnnEngine::new(KnnDesign::new(dims))
+            .with_mode(ExecutionMode::Behavioral);
+        let split = ApKnnEngine::new(KnnDesign::new(dims))
+            .with_mode(ExecutionMode::Behavioral)
+            .with_capacity(BoardCapacity { vectors_per_board: board, model: ap_knn::capacity::CapacityModel::PaperCalibrated });
+        let (a, _) = whole.search_batch(&data, std::slice::from_ref(&query), k);
+        let (b, stats) = split.search_batch(&data, std::slice::from_ref(&query), k);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(stats.board_configurations, data.len().div_ceil(board));
+    }
+
+    /// A packed group reports the same (code, offset) pairs as unpacked macros.
+    #[test]
+    fn packed_and_unpacked_macros_are_equivalent(
+        (rows, query) in arb_dataset(8, 12),
+    ) {
+        let data = to_dataset(&rows);
+        let dims = data.dims();
+        let query = BinaryVector::from_bools(&query);
+        let design = KnnDesign::new(dims);
+        let layout = StreamLayout::for_design(&design);
+        let vectors: Vec<BinaryVector> = data.iter().collect();
+        let codes: Vec<u32> = (0..vectors.len() as u32).collect();
+
+        let mut packed = AutomataNetwork::new();
+        append_packed_group(&mut packed, &vectors, &codes, &design);
+        let mut unpacked = AutomataNetwork::new();
+        for (v, &c) in vectors.iter().zip(codes.iter()) {
+            ap_knn::macros::append_vector_macro(&mut unpacked, v, c, &design);
+        }
+        let stream = layout.encode_query(&query);
+        let mut ps = Simulator::new(&packed).unwrap();
+        let mut us = Simulator::new(&unpacked).unwrap();
+        let mut pr: Vec<(u32, u64)> = ps.run(&stream).into_iter().map(|r| (r.code, r.offset)).collect();
+        let mut ur: Vec<(u32, u64)> = us.run(&stream).into_iter().map(|r| (r.code, r.offset)).collect();
+        pr.sort_unstable();
+        ur.sort_unstable();
+        prop_assert_eq!(pr, ur);
+    }
+
+    /// Multiplexed streams answer every slice's query with its true distances.
+    #[test]
+    fn multiplexed_slices_decode_to_true_distances(
+        (rows, _unused) in arb_dataset(4, 10),
+        query_rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 10), 1..=7),
+    ) {
+        let data = to_dataset(&rows);
+        let dims = data.dims();
+        // Reshape the query rows to the dataset dimensionality.
+        let queries: Vec<BinaryVector> = query_rows
+            .iter()
+            .map(|r| {
+                let mut bits = r.clone();
+                bits.resize(dims, false);
+                BinaryVector::from_bools(&bits)
+            })
+            .collect();
+        let design = KnnDesign::new(dims);
+        let layout = StreamLayout::for_design(&design);
+        let mut net = AutomataNetwork::new();
+        for v in 0..data.len() {
+            for s in 0..queries.len() {
+                append_sliced_vector_macro(
+                    &mut net,
+                    &data.vector(v),
+                    multiplexed_report_code(v, s),
+                    &design,
+                    s,
+                );
+            }
+        }
+        let refs: Vec<&BinaryVector> = queries.iter().collect();
+        let stream = encode_multiplexed_window(&layout, &refs);
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&stream);
+        prop_assert_eq!(reports.len(), data.len() * queries.len());
+        for r in reports {
+            let (v, s) = decode_multiplexed_code(r.code);
+            let expected = data.vector(v).hamming(&queries[s]);
+            prop_assert_eq!(
+                layout.distance_for_report_offset(r.offset as usize),
+                Some(expected)
+            );
+        }
+    }
+}
