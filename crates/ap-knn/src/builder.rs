@@ -35,22 +35,17 @@ impl PartitionNetwork {
     }
 
     /// Builds the network for a whole (small) dataset with base index 0.
-    pub fn build_from_dataset(
-        data: &BinaryDataset,
-        base_index: usize,
-        design: &KnnDesign,
-    ) -> Self {
-        assert_eq!(data.dims(), design.dims, "dataset dims must match design dims");
+    pub fn build_from_dataset(data: &BinaryDataset, base_index: usize, design: &KnnDesign) -> Self {
+        assert_eq!(
+            data.dims(),
+            design.dims,
+            "dataset dims must match design dims"
+        );
         let mut network = AutomataNetwork::new();
         let mut handles = Vec::with_capacity(data.len());
         for local in 0..data.len() {
             let v = data.vector(local);
-            handles.push(append_vector_macro(
-                &mut network,
-                &v,
-                local as u32,
-                design,
-            ));
+            handles.push(append_vector_macro(&mut network, &v, local as u32, design));
         }
         Self {
             network,

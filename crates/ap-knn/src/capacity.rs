@@ -42,7 +42,7 @@ impl BoardCapacity {
         assert!(dims > 0, "dimensionality must be positive");
         let payload_limited = (128 * 1024) / dims;
         Self {
-            vectors_per_board: payload_limited.min(1024).max(1),
+            vectors_per_board: payload_limited.clamp(1, 1024),
             model: CapacityModel::PaperCalibrated,
         }
     }
@@ -69,7 +69,7 @@ impl BoardCapacity {
         let mut lo = 1usize;
         let mut hi = device.stes_per_board() / per_vec.stes + 1;
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             let fits = placer
                 .estimate_from_demands(&vec![per_vec; mid])
                 .map(|r| r.fits())
@@ -120,7 +120,10 @@ mod tests {
     fn paper_calibrated_scales_down_for_very_wide_vectors() {
         let c = BoardCapacity::paper_calibrated(1024);
         assert_eq!(c.vectors_per_board, 128);
-        assert_eq!(BoardCapacity::paper_calibrated(1 << 20).vectors_per_board, 1);
+        assert_eq!(
+            BoardCapacity::paper_calibrated(1 << 20).vectors_per_board,
+            1
+        );
     }
 
     #[test]

@@ -78,10 +78,7 @@ mod tests {
         ];
         let decoded = decode_reports(&l, &reports, 0, 1, 2);
         assert_eq!(decoded.len(), 1);
-        assert_eq!(
-            decoded[0],
-            vec![Neighbor::new(3, 0), Neighbor::new(1, 2)]
-        );
+        assert_eq!(decoded[0], vec![Neighbor::new(3, 0), Neighbor::new(1, 2)]);
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl SymbolAlphabet {
         if self.sof == self.eof || self.sof == self.filler || self.eof == self.filler {
             return Err("control symbols must be distinct".to_string());
         }
-        for (name, s) in [("SOF", self.sof), ("EOF", self.eof), ("filler", self.filler)] {
+        for (name, s) in [
+            ("SOF", self.sof),
+            ("EOF", self.eof),
+            ("filler", self.filler),
+        ] {
             if s & 0x80 == 0 {
                 return Err(format!(
                     "{name} symbol {s:#04x} collides with the multiplexed data symbol space"

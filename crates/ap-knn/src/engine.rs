@@ -218,10 +218,8 @@ impl ApKnnEngine {
         // §VI-C: 32 bits per encoded vector plus 32 bits per dimension of offset
         // bookkeeping, per query, per configuration.
         let vectors_per_config = self.capacity.vectors_per_board.min(n_vectors.max(1)) as u64;
-        let report_bits = 32
-            * (vectors_per_config + self.design.dims as u64)
-            * queries as u64
-            * configs as u64;
+        let report_bits =
+            32 * (vectors_per_config + self.design.dims as u64) * queries as u64 * configs as u64;
         ApRunStats {
             board_configurations: configs,
             reconfigurations,
@@ -308,7 +306,11 @@ mod tests {
     fn paper_throughput_model_reproduces_table3_small_dataset_times() {
         // Table III: AP Gen 1, 4096 queries — WordEmbed (d=64, n=1024): 1.97 ms;
         // SIFT (d=128, n=1024): 3.94 ms; TagSpace (d=256, n=512): 7.88 ms.
-        for (dims, n, expected_ms) in [(64usize, 1024usize, 1.97f64), (128, 1024, 3.94), (256, 512, 7.88)] {
+        for (dims, n, expected_ms) in [
+            (64usize, 1024usize, 1.97f64),
+            (128, 1024, 3.94),
+            (256, 512, 7.88),
+        ] {
             let engine =
                 ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
             let stats = engine.estimate_run(n, 4096);

@@ -175,7 +175,7 @@ pub fn encode_packed_query(query: &BinaryVector, design: &KnnDesign, trailer: us
         }
         out.push(symbol);
     }
-    out.extend(std::iter::repeat(alpha.filler).take(trailer));
+    out.extend(std::iter::repeat_n(alpha.filler, trailer));
     out
 }
 
@@ -240,7 +240,10 @@ pub const DECOMPOSITION_FACTORS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 /// bits, otherwise it still needs a full STE. The savings factor is
 /// `original STEs / decomposed STEs`.
 pub fn decomposition_savings(effective_bits_per_state: &[u8], factor: usize) -> f64 {
-    assert!(factor.is_power_of_two() && factor <= 256, "factor must be a power of two");
+    assert!(
+        factor.is_power_of_two() && factor <= 256,
+        "factor must be a power of two"
+    );
     let original = effective_bits_per_state.len() as f64;
     if effective_bits_per_state.is_empty() {
         return 1.0;
@@ -273,13 +276,10 @@ pub fn knn_effective_bits(design: &KnnDesign) -> Vec<u8> {
         bits.push(0); // star
         bits.push(1); // match
     }
-    for _ in 0..design.collector_nodes() {
-        bits.push(0);
-    }
+    bits.extend(std::iter::repeat_n(0, design.collector_nodes()));
     bits.push(8); // sort start
-    for _ in 0..design.collector_depth() {
-        bits.push(8); // sort delays match the filler symbol exactly
-    }
+                  // Sort delays match the filler symbol exactly.
+    bits.extend(std::iter::repeat_n(8, design.collector_depth()));
     bits.push(8); // EOF state
     bits.push(0); // reporter
     bits
@@ -323,7 +323,10 @@ impl CompoundedGains {
 
     /// Total compounded performance gain (the Table VIII bottom row).
     pub fn total(&self) -> f64 {
-        self.technology_scaling * self.vector_packing * self.ste_decomposition * self.counter_increment
+        self.technology_scaling
+            * self.vector_packing
+            * self.ste_decomposition
+            * self.counter_increment
     }
 }
 

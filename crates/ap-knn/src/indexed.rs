@@ -259,7 +259,7 @@ mod tests {
         let (_, once) = engine.search_batch(&q, 2);
         // The same query repeated: the bucket is already loaded, so no additional
         // reconfigurations are charged.
-        let repeated: Vec<_> = std::iter::repeat(q[0].clone()).take(5).collect();
+        let repeated: Vec<_> = std::iter::repeat_n(q[0].clone(), 5).collect();
         let (_, five) = engine.search_batch(&repeated, 2);
         assert_eq!(five.reconfigurations, once.reconfigurations);
         assert!(five.candidates_scanned >= once.candidates_scanned * 5);

@@ -259,7 +259,11 @@ mod tests {
                 let query_vec = BinaryVector::from_bits(&query);
                 let mut sim = Simulator::new(&net).unwrap();
                 let reports = sim.run(&layout.encode_query(&query_vec));
-                assert_eq!(reports.len(), 1, "data {data_bits:#05b} query {query_bits:#05b}");
+                assert_eq!(
+                    reports.len(),
+                    1,
+                    "data {data_bits:#05b} query {query_bits:#05b}"
+                );
                 let inter =
                     intersection_for_report_offset(&layout, reports[0].offset as usize).unwrap();
                 assert_eq!(

@@ -34,9 +34,7 @@
 //!   would.
 
 use crate::design::KnnDesign;
-use ap_sim::{
-    AutomataNetwork, ConnectPort, CounterMode, ElementId, StartKind, SymbolClass,
-};
+use ap_sim::{AutomataNetwork, ConnectPort, CounterMode, ElementId, StartKind, SymbolClass};
 use binvec::BinaryVector;
 
 /// Element handles of one vector macro, returned for inspection and testing.
@@ -164,12 +162,7 @@ pub fn append_vector_macro_with_symbols(
     debug_assert_eq!(level, design.collector_depth());
 
     // Inverted-Hamming-distance counter.
-    let counter = net.add_counter(
-        format!("{tag}:ihd"),
-        d as u32,
-        CounterMode::Pulse,
-        None,
-    );
+    let counter = net.add_counter(format!("{tag}:ihd"), d as u32, CounterMode::Pulse, None);
     net.connect_port(collector_root, counter, ConnectPort::CountEnable)
         .expect("collector to counter");
 
@@ -189,7 +182,8 @@ pub fn append_vector_macro_with_symbols(
             StartKind::None,
             None,
         );
-        net.connect(sort_prev, delay).expect("sort delay connection");
+        net.connect(sort_prev, delay)
+            .expect("sort delay connection");
         sort_delays.push(delay);
         sort_prev = delay;
     }
@@ -285,10 +279,7 @@ mod tests {
             layout.distance_for_report_offset(report.offset as usize),
             Some(1)
         );
-        assert_eq!(
-            report.offset as usize,
-            layout.report_offset_for_distance(1)
-        );
+        assert_eq!(report.offset as usize, layout.report_offset_for_distance(1));
     }
 
     #[test]
@@ -350,7 +341,9 @@ mod tests {
         let layout = StreamLayout::for_design(&design);
         let enc_vec = BinaryVector::from_bits(&encoded);
         for seed in 0..5u64 {
-            let query = binvec::generate::uniform_queries(1, 16, seed).pop().unwrap();
+            let query = binvec::generate::uniform_queries(1, 16, seed)
+                .pop()
+                .unwrap();
             let mut sim = Simulator::new(&net).unwrap();
             let reports = sim.run(&layout.encode_query(&query));
             assert_eq!(reports.len(), 1);
@@ -364,7 +357,7 @@ mod tests {
     #[test]
     fn handles_expose_expected_structure() {
         let design = KnnDesign::new(64);
-        let (net, handles) = build_single(&vec![0u8; 64], &design);
+        let (net, handles) = build_single(&[0u8; 64], &design);
         assert_eq!(handles.star_states.len(), 64);
         assert_eq!(handles.match_states.len(), 64);
         assert_eq!(handles.collector_nodes.len(), design.collector_nodes());

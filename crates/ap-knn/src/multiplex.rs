@@ -53,7 +53,7 @@ pub fn encode_multiplexed_window(layout: &StreamLayout, queries: &[&BinaryVector
         }
         out.push(symbol);
     }
-    out.extend(std::iter::repeat(layout.filler).take(layout.filler_count()));
+    out.extend(std::iter::repeat_n(layout.filler, layout.filler_count()));
     out.push(layout.eof);
     out
 }
@@ -220,7 +220,10 @@ mod tests {
     fn report_code_roundtrip() {
         for v in [0usize, 1, 100, 1023] {
             for s in 0..MAX_SLICES {
-                assert_eq!(decode_multiplexed_code(multiplexed_report_code(v, s)), (v, s));
+                assert_eq!(
+                    decode_multiplexed_code(multiplexed_report_code(v, s)),
+                    (v, s)
+                );
             }
         }
     }

@@ -199,8 +199,7 @@ impl PackingModel {
     /// Builds the model for a design and group size.
     pub fn new(design: &KnnDesign, group_size: usize) -> Self {
         assert!(group_size >= 1, "group size must be at least 1");
-        let per_vector_private =
-            design.collector_nodes() + (1 + design.collector_depth()) + 1 + 1;
+        let per_vector_private = design.collector_nodes() + (1 + design.collector_depth()) + 1 + 1;
         let shared = 1 + 2 * design.dims;
         Self {
             group_size,
@@ -352,11 +351,6 @@ mod tests {
     fn mismatched_codes_panic() {
         let design = KnnDesign::new(8);
         let mut net = AutomataNetwork::new();
-        append_packed_group(
-            &mut net,
-            &[BinaryVector::zeros(8)],
-            &[0, 1],
-            &design,
-        );
+        append_packed_group(&mut net, &[BinaryVector::zeros(8)], &[0, 1], &design);
     }
 }

@@ -165,8 +165,9 @@ pub fn monte_carlo(
         let data = binvec::generate::uniform_dataset(n, dims, rng.gen());
         let mut run_correct = true;
         for _ in 0..queries_per_run {
-            let query =
-                binvec::generate::uniform_queries(1, dims, rng.gen()).pop().expect("one query");
+            let query = binvec::generate::uniform_queries(1, dims, rng.gen())
+                .pop()
+                .expect("one query");
             let ok = query_is_exact(&data, &query, k, config);
             eval.queries += 1;
             if !ok {
@@ -219,10 +220,7 @@ mod tests {
         assert_eq!(survivors.len(), 8 * 2);
         // Exactly two ids per group of eight.
         for g in 0..8 {
-            let in_group = survivors
-                .iter()
-                .filter(|n| n.id / 8 == g)
-                .count();
+            let in_group = survivors.iter().filter(|n| n.id / 8 == g).count();
             assert_eq!(in_group, 2, "group {g}");
         }
     }
@@ -262,9 +260,33 @@ mod tests {
         let runs = 20;
         let queries_per_run = 32;
         let p = 16;
-        let e1 = monte_carlo(dims, n, k, &ReductionConfig::new(p, 1), runs, queries_per_run, 7);
-        let e2 = monte_carlo(dims, n, k, &ReductionConfig::new(p, 2), runs, queries_per_run, 7);
-        let e4 = monte_carlo(dims, n, k, &ReductionConfig::new(p, 4), runs, queries_per_run, 7);
+        let e1 = monte_carlo(
+            dims,
+            n,
+            k,
+            &ReductionConfig::new(p, 1),
+            runs,
+            queries_per_run,
+            7,
+        );
+        let e2 = monte_carlo(
+            dims,
+            n,
+            k,
+            &ReductionConfig::new(p, 2),
+            runs,
+            queries_per_run,
+            7,
+        );
+        let e4 = monte_carlo(
+            dims,
+            n,
+            k,
+            &ReductionConfig::new(p, 4),
+            runs,
+            queries_per_run,
+            7,
+        );
         assert!(e1.percent_incorrect_runs() >= e2.percent_incorrect_runs());
         assert!(e2.percent_incorrect_runs() >= e4.percent_incorrect_runs());
         // k' = 4 >= k = 4: every true top-k member survives its group's local top-k',

@@ -82,7 +82,10 @@ impl StreamLayout {
     /// Splits an absolute stream offset into `(query index, window offset)`.
     pub fn split_offset(&self, absolute_offset: u64) -> (usize, usize) {
         let w = self.window_len() as u64;
-        ((absolute_offset / w) as usize, (absolute_offset % w) as usize)
+        (
+            (absolute_offset / w) as usize,
+            (absolute_offset % w) as usize,
+        )
     }
 
     /// Encodes a single query vector into one window of symbols.
@@ -102,7 +105,7 @@ impl StreamLayout {
         for i in 0..self.dims {
             out.push(u8::from(query.get(i)));
         }
-        out.extend(std::iter::repeat(self.filler).take(self.filler_count()));
+        out.extend(std::iter::repeat_n(self.filler, self.filler_count()));
         out.push(self.eof);
         debug_assert_eq!(out.len(), self.window_len());
         out

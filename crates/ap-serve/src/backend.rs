@@ -1,0 +1,403 @@
+//! The uniform execution interface the service dispatches batches to.
+//!
+//! A backend is an engine *bound to its dataset*: the service hands it nothing
+//! but queries. Every engine in the workspace fits behind [`SimilarityBackend`]
+//! — the paper's AP engine, the multi-board scheduler, the Jaccard variant,
+//! the host-side baselines and approximate indexes, and the indexed
+//! host/AP split of §III-D.
+
+use ap_knn::engine::ApRunStats;
+use ap_knn::indexed::{IndexedApEngine, IndexedDataAccess};
+use ap_knn::jaccard::JaccardSearcher;
+use ap_knn::{ApKnnEngine, KnnDesign, ParallelApScheduler};
+use baselines::{BucketIndex, SearchIndex};
+use binvec::{BinaryDataset, BinaryVector, Neighbor};
+
+/// Results and accounting from one dispatched batch.
+#[derive(Clone, Debug, Default)]
+pub struct BackendBatch {
+    /// Per-query sorted neighbors, parallel to the submitted batch.
+    pub results: Vec<Vec<Neighbor>>,
+    /// AP symbol cycles charged for the batch (0 for host-only backends).
+    pub ap_symbol_cycles: u64,
+    /// Partial reconfigurations performed (0 for host-only backends).
+    pub reconfigurations: u64,
+    /// Symbol cycles per simulated board, when the backend executes on several
+    /// (empty for single-board and host-only backends).
+    pub shard_cycles: Vec<u64>,
+}
+
+impl BackendBatch {
+    /// A host-only batch: results with no AP accounting.
+    pub fn host_only(results: Vec<Vec<Neighbor>>) -> Self {
+        Self {
+            results,
+            ..Self::default()
+        }
+    }
+}
+
+/// A kNN engine bound to its dataset, ready to serve query batches.
+///
+/// Implementations must be [`Send`] + [`Sync`] so sharded deployments can fan
+/// batches out to per-shard backends on scoped threads.
+pub trait SimilarityBackend: Send + Sync {
+    /// Human-readable backend label for reports.
+    fn name(&self) -> String;
+
+    /// Number of vectors served.
+    fn len(&self) -> usize;
+
+    /// Whether the backend serves an empty dataset.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the served vectors.
+    fn dims(&self) -> usize;
+
+    /// Executes one batch of queries, returning per-query sorted neighbors.
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch;
+}
+
+/// Every host-side index (linear scans, kd-forest, k-means, LSH, …) is a
+/// backend with no AP accounting.
+impl<T: SearchIndex + Send + Sync> SimilarityBackend for T {
+    fn name(&self) -> String {
+        short_type_name::<T>()
+    }
+
+    fn len(&self) -> usize {
+        SearchIndex::len(self)
+    }
+
+    fn dims(&self) -> usize {
+        SearchIndex::dims(self)
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        BackendBatch::host_only(SearchIndex::search_batch(self, queries, k))
+    }
+}
+
+fn short_type_name<T: ?Sized>() -> String {
+    let full = std::any::type_name::<T>();
+    full.rsplit("::").next().unwrap_or(full).to_string()
+}
+
+/// The paper's AP kNN engine bound to its dataset.
+#[derive(Clone, Debug)]
+pub struct ApEngineBackend {
+    engine: ApKnnEngine,
+    data: BinaryDataset,
+}
+
+impl ApEngineBackend {
+    /// Binds `engine` to `data`.
+    ///
+    /// # Panics
+    /// Panics if the dataset dimensionality differs from the engine design's.
+    pub fn new(engine: ApKnnEngine, data: BinaryDataset) -> Self {
+        assert_eq!(
+            data.dims(),
+            engine.design().dims,
+            "dataset dims must match the engine design"
+        );
+        Self { engine, data }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &ApKnnEngine {
+        &self.engine
+    }
+
+    /// Statistics from the most recent accounting model, without executing.
+    pub fn estimate_run(&self, queries: usize) -> ApRunStats {
+        self.engine.estimate_run(self.data.len(), queries)
+    }
+}
+
+impl SimilarityBackend for ApEngineBackend {
+    fn name(&self) -> String {
+        "ap-knn".to_string()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        let (results, stats) = self.engine.search_batch(&self.data, queries, k);
+        BackendBatch {
+            results,
+            ap_symbol_cycles: stats.charged_cycles,
+            reconfigurations: stats.reconfigurations,
+            shard_cycles: Vec::new(),
+        }
+    }
+}
+
+/// Multi-board parallel execution via [`ParallelApScheduler`]: each worker
+/// stands in for one board, and the scheduler's per-worker symbol counts feed
+/// the service's per-shard utilization report.
+#[derive(Clone, Debug)]
+pub struct ApSchedulerBackend {
+    scheduler: ParallelApScheduler,
+    data: BinaryDataset,
+}
+
+impl ApSchedulerBackend {
+    /// Binds `scheduler` to `data`.
+    ///
+    /// # Panics
+    /// Panics if the dataset dimensionality differs from the scheduler design's.
+    pub fn new(scheduler: ParallelApScheduler, data: BinaryDataset) -> Self {
+        assert_eq!(
+            data.dims(),
+            scheduler.design().dims,
+            "dataset dims must match the scheduler design"
+        );
+        Self { scheduler, data }
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &ParallelApScheduler {
+        &self.scheduler
+    }
+}
+
+impl SimilarityBackend for ApSchedulerBackend {
+    fn name(&self) -> String {
+        format!("ap-scheduler x{}", self.scheduler.workers())
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        let (results, stats) = self.scheduler.search_batch(&self.data, queries, k);
+        BackendBatch {
+            results,
+            ap_symbol_cycles: stats.critical_path_symbols(),
+            // Every worker after the first loads its image concurrently with the
+            // first board's pre-batch load; reconfigurations only happen when a
+            // worker owns several partitions.
+            reconfigurations: stats
+                .partitions_per_worker
+                .iter()
+                .map(|&p| p.saturating_sub(1) as u64)
+                .sum(),
+            shard_cycles: stats.symbols_per_worker.clone(),
+        }
+    }
+}
+
+/// The Jaccard-similarity searcher bound to its dataset.
+///
+/// Results are reported through the common [`Neighbor`] shape with
+/// `distance = round((1 − similarity) · 2³⁰)` — a quantization of the Jaccard
+/// *dissimilarity*. Using the similarity itself (rather than the intersection
+/// size) as the distance key keeps the ranking criterion identical between the
+/// searcher's per-partition top-k selection and the service's cross-shard
+/// [`binvec::TopK`] merge, so a sharded Jaccard deployment selects the same
+/// global top-k a single-corpus scan would. The 2³⁰ scale preserves the exact
+/// similarity order for any dimensionality up to ~16k bits (distinct Jaccard
+/// values of `d`-bit vectors differ by at least `1/(2d)²`).
+#[derive(Clone, Debug)]
+pub struct JaccardBackend {
+    searcher: JaccardSearcher,
+    data: BinaryDataset,
+}
+
+/// Quantization scale for Jaccard dissimilarity → `Neighbor::distance`.
+const JACCARD_DISTANCE_SCALE: f64 = (1u32 << 30) as f64;
+
+/// Converts a Jaccard similarity into the service's distance key.
+pub fn jaccard_distance(similarity: f64) -> u32 {
+    ((1.0 - similarity).clamp(0.0, 1.0) * JACCARD_DISTANCE_SCALE).round() as u32
+}
+
+impl JaccardBackend {
+    /// Binds `searcher` to `data`.
+    ///
+    /// # Panics
+    /// Panics if the dataset dimensionality differs from the searcher design's.
+    pub fn new(searcher: JaccardSearcher, data: BinaryDataset) -> Self {
+        assert_eq!(
+            data.dims(),
+            searcher.design().dims,
+            "dataset dims must match the searcher design"
+        );
+        Self { searcher, data }
+    }
+}
+
+impl SimilarityBackend for JaccardBackend {
+    fn name(&self) -> String {
+        "ap-jaccard".to_string()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.data.dims()
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        let per_query = self
+            .searcher
+            .search_batch(&self.data, queries, k)
+            .expect("jaccard partition network must be valid");
+        let results = per_query
+            .into_iter()
+            .map(|neighbors| {
+                let mut converted: Vec<Neighbor> = neighbors
+                    .into_iter()
+                    .map(|n| Neighbor::new(n.id, jaccard_distance(n.similarity)))
+                    .collect();
+                converted.sort_unstable();
+                converted
+            })
+            .collect();
+        // One full window per query per partition, as in the engine's
+        // unpipelined accounting.
+        let partitions = self.data.len().div_ceil(self.searcher.chunk()).max(1) as u64;
+        let layout = ap_knn::StreamLayout::for_design(self.searcher.design());
+        BackendBatch {
+            results,
+            ap_symbol_cycles: layout.stream_len(queries.len()) * partitions,
+            reconfigurations: partitions.saturating_sub(1),
+            shard_cycles: Vec::new(),
+        }
+    }
+}
+
+/// The §III-D deployment: a host-resident spatial index selects candidate
+/// buckets, the AP scans only those buckets.
+pub struct IndexedApBackend<I: BucketIndex + IndexedDataAccess + Send + Sync> {
+    index: I,
+    design: KnnDesign,
+}
+
+impl<I: BucketIndex + IndexedDataAccess + Send + Sync> IndexedApBackend<I> {
+    /// Wraps a bucket index (with data access) and the AP design that scans
+    /// its buckets.
+    pub fn new(index: I, design: KnnDesign) -> Self {
+        Self { index, design }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+}
+
+impl<I: BucketIndex + IndexedDataAccess + Send + Sync> SimilarityBackend for IndexedApBackend<I> {
+    fn name(&self) -> String {
+        format!("ap-indexed({})", short_type_name::<I>())
+    }
+
+    fn len(&self) -> usize {
+        SearchIndex::len(&self.index)
+    }
+
+    fn dims(&self) -> usize {
+        SearchIndex::dims(&self.index)
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        let engine = IndexedApEngine::new(&self.index, self.design);
+        let (results, stats) = engine.search_batch(queries, k);
+        BackendBatch {
+            results,
+            ap_symbol_cycles: stats.symbols_streamed,
+            reconfigurations: stats.reconfigurations,
+            shard_cycles: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_knn::ExecutionMode;
+    use baselines::{LinearScan, ParallelLinearScan};
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    fn fixtures(n: usize, dims: usize) -> (BinaryDataset, Vec<BinaryVector>) {
+        (uniform_dataset(n, dims, 7), uniform_queries(6, dims, 8))
+    }
+
+    #[test]
+    fn search_index_blanket_impl_serves_batches() {
+        let (data, queries) = fixtures(80, 32);
+        let linear: Box<dyn SimilarityBackend> = Box::new(LinearScan::new(data.clone()));
+        let parallel: Box<dyn SimilarityBackend> = Box::new(ParallelLinearScan::new(data, 3));
+        assert_eq!(linear.name(), "LinearScan");
+        assert_eq!(parallel.name(), "ParallelLinearScan");
+        assert_eq!(linear.len(), 80);
+        assert_eq!(linear.dims(), 32);
+        let a = linear.serve_batch(&queries, 4);
+        let b = parallel.serve_batch(&queries, 4);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.ap_symbol_cycles, 0);
+    }
+
+    #[test]
+    fn ap_engine_backend_matches_linear_scan_and_charges_cycles() {
+        let (data, queries) = fixtures(60, 16);
+        let engine = ApKnnEngine::new(KnnDesign::new(16)).with_mode(ExecutionMode::Behavioral);
+        let backend = ApEngineBackend::new(engine, data.clone());
+        let batch = backend.serve_batch(&queries, 3);
+        let expected = LinearScan::new(data).search_batch(&queries, 3);
+        assert_eq!(batch.results, expected);
+        assert!(batch.ap_symbol_cycles > 0);
+    }
+
+    #[test]
+    fn scheduler_backend_reports_per_worker_cycles() {
+        let (data, queries) = fixtures(60, 16);
+        let scheduler = ParallelApScheduler::new(KnnDesign::new(16))
+            .with_capacity(ap_knn::BoardCapacity {
+                vectors_per_board: 10,
+                model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+            })
+            .with_workers(3);
+        let backend = ApSchedulerBackend::new(scheduler, data.clone());
+        let batch = backend.serve_batch(&queries, 3);
+        let expected = LinearScan::new(data).search_batch(&queries, 3);
+        assert_eq!(batch.results, expected);
+        assert_eq!(batch.shard_cycles.len(), 3);
+        assert!(batch.shard_cycles.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn jaccard_backend_orders_by_decreasing_intersection() {
+        let (data, queries) = fixtures(30, 12);
+        let backend = JaccardBackend::new(JaccardSearcher::new(KnnDesign::new(12)), data);
+        let batch = backend.serve_batch(&queries, 5);
+        assert_eq!(batch.results.len(), queries.len());
+        for result in &batch.results {
+            assert!(result.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert!(batch.ap_symbol_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset dims must match")]
+    fn dims_mismatch_panics() {
+        let data = uniform_dataset(8, 16, 1);
+        let _ = ApEngineBackend::new(ApKnnEngine::new(KnnDesign::new(8)), data);
+    }
+}

@@ -1,0 +1,283 @@
+//! LRU result cache keyed by `(query, k)`.
+//!
+//! Production similarity-search traffic is heavily skewed — the same image,
+//! document, or tag query recurs — and a cached answer costs nanoseconds where
+//! a fabric dispatch costs a full streamed window per board. The cache is an
+//! intrusive doubly-linked LRU list over a slab, with a `HashMap` from key to
+//! slab slot: `get`, `insert`, and eviction are all O(1).
+
+use binvec::{BinaryVector, Neighbor};
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    /// Precomputed hash of `(query, k)`, so eviction can find the bucket.
+    hash: u64,
+    query: BinaryVector,
+    k: usize,
+    value: Vec<Neighbor>,
+    prev: usize,
+    next: usize,
+}
+
+fn key_hash(query: &BinaryVector, k: usize) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    query.hash(&mut hasher);
+    k.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A fixed-capacity least-recently-used cache of query results.
+///
+/// The map is keyed by the hash of `(query, k)` with exact key comparison
+/// inside each (rarely populated) bucket, so lookups never clone the query.
+pub struct ResultCache {
+    capacity: usize,
+    buckets: HashMap<u64, Vec<usize>>,
+    slots: Vec<Slot>,
+    /// Most recently used slot (list head), or `NIL` when empty.
+    head: usize,
+    /// Least recently used slot (list tail), or `NIL` when empty.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding up to `capacity` entries. A capacity of zero
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        // Storage grows with actual occupancy; a large capacity costs nothing
+        // until entries are inserted.
+        Self {
+            capacity,
+            buckets: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        // Slots are only created while below capacity and are reused (never
+        // freed) on eviction, so every slot always holds a live entry.
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the cached neighbors for `(query, k)`, marking the entry most
+    /// recently used. The query is only hashed and compared, never cloned.
+    ///
+    /// A disabled cache (capacity 0) returns `None` without counting a miss,
+    /// so hit-rate statistics stay `None` rather than reading as a cold cache.
+    pub fn get(&mut self, query: &BinaryVector, k: usize) -> Option<Vec<Neighbor>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        match self.find(query, k) {
+            Some(slot) => {
+                self.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(self.slots[slot].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the result for `(query, k)`, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&mut self, query: BinaryVector, k: usize, value: Vec<Neighbor>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.find(&query, k) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        let hash = key_hash(&query, k);
+        let slot = if self.slots.len() < self.capacity {
+            let slot = self.slots.len();
+            self.slots.push(Slot {
+                hash,
+                query,
+                k,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        } else {
+            // Reuse the LRU slot, unlinking it from its old hash bucket.
+            let slot = self.tail;
+            self.detach(slot);
+            self.remove_from_bucket(slot);
+            let entry = &mut self.slots[slot];
+            entry.hash = hash;
+            entry.query = query;
+            entry.k = k;
+            entry.value = value;
+            slot
+        };
+        self.buckets.entry(hash).or_default().push(slot);
+        self.attach_front(slot);
+    }
+
+    fn find(&self, query: &BinaryVector, k: usize) -> Option<usize> {
+        let bucket = self.buckets.get(&key_hash(query, k))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&slot| self.slots[slot].k == k && self.slots[slot].query == *query)
+    }
+
+    fn remove_from_bucket(&mut self, slot: usize) {
+        let hash = self.slots[slot].hash;
+        if let Some(bucket) = self.buckets.get_mut(&hash) {
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                self.buckets.remove(&hash);
+            }
+        }
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(bit: usize) -> BinaryVector {
+        let mut v = BinaryVector::zeros(64);
+        v.set(bit, true);
+        v
+    }
+
+    fn result(id: usize) -> Vec<Neighbor> {
+        vec![Neighbor::new(id, 1)]
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut cache = ResultCache::new(4);
+        assert!(cache.get(&query(0), 3).is_none());
+        cache.insert(query(0), 3, result(9));
+        assert_eq!(cache.get(&query(0), 3), Some(result(9)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn k_is_part_of_the_key() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(query(0), 3, result(1));
+        assert!(cache.get(&query(0), 5).is_none());
+        assert!(cache.get(&query(0), 3).is_some());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(query(0), 1, result(0));
+        cache.insert(query(1), 1, result(1));
+        // Touch 0 so 1 becomes LRU.
+        assert!(cache.get(&query(0), 1).is_some());
+        cache.insert(query(2), 1, result(2));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get(&query(1), 1).is_none(),
+            "LRU entry should be gone"
+        );
+        assert!(cache.get(&query(0), 1).is_some());
+        assert!(cache.get(&query(2), 1).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(query(0), 1, result(0));
+        cache.insert(query(1), 1, result(1));
+        cache.insert(query(0), 1, result(7));
+        cache.insert(query(2), 1, result(2));
+        assert_eq!(cache.get(&query(0), 1), Some(result(7)));
+        assert!(cache.get(&query(1), 1).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(query(0), 1, result(0));
+        assert!(cache.get(&query(0), 1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn churn_stays_within_capacity() {
+        let mut cache = ResultCache::new(8);
+        for round in 0..50 {
+            for bit in 0..16 {
+                cache.insert(query(bit), 1, result(round * 16 + bit));
+                assert!(cache.len() <= 8);
+            }
+        }
+        // The last 8 inserted keys are resident.
+        for bit in 8..16 {
+            assert!(cache.get(&query(bit), 1).is_some(), "bit {bit}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # ap-serve — a sharded, batched query-serving subsystem over the AP kNN engine
+//!
+//! The paper's engine answers one *batch* of queries at a time: cost is
+//! amortized over the queries sharing a board configuration (§V) and, with
+//! symbol-stream multiplexing, over the up-to-seven queries sharing a stream
+//! window (§VI-B). Real similarity-search traffic does not arrive in batches —
+//! it arrives one query at a time. This crate turns the engine (or any of the
+//! comparison engines) into a *service* that recreates the batch regime from
+//! single-query traffic:
+//!
+//! * [`SimilarityBackend`] — the uniform execution interface. Implemented by
+//!   [`ApEngineBackend`] (the paper's engine bound to its dataset),
+//!   [`ApSchedulerBackend`] (multi-board parallel execution via
+//!   [`ap_knn::ParallelApScheduler`]), [`JaccardBackend`], every
+//!   [`baselines::SearchIndex`] (linear scans and the approximate indexes) via
+//!   a blanket impl, and [`IndexedApBackend`] (host-traverses-index /
+//!   AP-scans-bucket, §III-D).
+//! * [`AdmissionQueue`] — coalesces submitted queries into batches sized to
+//!   the engine's multiplexing width ([`ap_knn::multiplex::MAX_SLICES`] by
+//!   default), tracking how full the dispatched batches are.
+//! * [`ShardedDataset`] / [`ShardedBackend`] — partitions the corpus across N
+//!   simulated boards, fans every batch out to per-shard backends on scoped
+//!   threads, and merges the per-shard top-k on the host — the same merge the
+//!   engine already performs across sequential reconfigurations.
+//! * [`ResultCache`] — an LRU cache keyed by `(query, k)`, so repeated queries
+//!   are answered without touching the fabric.
+//! * [`SearchService`] — the front door: `submit` single queries, `drain`
+//!   completed results, read a [`ServiceStats`] report (throughput, batch-fill
+//!   ratio, cache hit rate, per-shard utilization).
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+//! use ap_serve::{ApEngineBackend, SearchService, ServiceConfig};
+//!
+//! let dims = 32;
+//! let data = binvec::generate::uniform_dataset(256, dims, 1);
+//! let queries = binvec::generate::uniform_queries(20, dims, 2);
+//!
+//! let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
+//! let backend = ApEngineBackend::new(engine, data);
+//! let mut service = SearchService::new(Box::new(backend), ServiceConfig::default());
+//!
+//! let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
+//! let completed = service.drain();
+//! assert_eq!(completed.len(), tickets.len());
+//! let stats = service.stats();
+//! assert_eq!(stats.queries_served, 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod cache;
+pub mod queue;
+pub mod service;
+pub mod shard;
+pub mod stats;
+
+pub use backend::{
+    ApEngineBackend, ApSchedulerBackend, BackendBatch, IndexedApBackend, JaccardBackend,
+    SimilarityBackend,
+};
+pub use cache::ResultCache;
+pub use queue::{AdmissionQueue, QueryTicket};
+pub use service::{Completed, SearchService, ServiceConfig};
+pub use shard::{ShardedBackend, ShardedDataset};
+pub use stats::ServiceStats;

@@ -1,0 +1,157 @@
+//! Admission batching: coalescing single queries into engine-sized batches.
+//!
+//! The AP amortizes its costs over the queries that share a dispatch: a board
+//! configuration is streamed once per batch (§V), and symbol-stream
+//! multiplexing packs up to seven queries into one window (§VI-B) — which is
+//! why the service's default batch size is the multiplex width. The admission
+//! queue holds submitted queries until a full batch is available (or the
+//! caller forces a flush) and hands the service the batch to dispatch.
+
+use binvec::BinaryVector;
+use std::collections::VecDeque;
+
+/// Opaque handle identifying one submitted query; tickets are issued in
+/// monotonically increasing order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryTicket(pub(crate) u64);
+
+impl QueryTicket {
+    /// The ticket's sequence number (submission order).
+    pub fn sequence(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One queued query awaiting dispatch.
+#[derive(Clone, Debug)]
+pub struct PendingQuery {
+    /// The ticket issued at submission.
+    pub ticket: QueryTicket,
+    /// The query itself.
+    pub query: BinaryVector,
+}
+
+/// Coalesces single-query submissions into batches of a fixed target size.
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    batch_size: usize,
+    pending: VecDeque<PendingQuery>,
+    next_ticket: u64,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue dispatching batches of `batch_size` queries.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            pending: VecDeque::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of queries waiting for a batch.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no queries are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Enqueues a query and returns its ticket.
+    pub fn submit(&mut self, query: BinaryVector) -> QueryTicket {
+        let ticket = self.mint_ticket();
+        self.pending.push_back(PendingQuery { ticket, query });
+        ticket
+    }
+
+    /// Issues a ticket without enqueueing anything — for queries the caller
+    /// can answer without a dispatch (e.g. a cache hit), keeping the ticket
+    /// sequence shared with queued queries.
+    pub fn mint_ticket(&mut self) -> QueryTicket {
+        let ticket = QueryTicket(self.next_ticket);
+        self.next_ticket += 1;
+        ticket
+    }
+
+    /// Takes one batch if a full one is available, in submission order.
+    pub fn take_full_batch(&mut self) -> Option<Vec<PendingQuery>> {
+        (self.pending.len() >= self.batch_size).then(|| self.take(self.batch_size))
+    }
+
+    /// Takes whatever is pending (at most one batch), full or not. Returns
+    /// `None` when the queue is empty.
+    pub fn take_partial_batch(&mut self) -> Option<Vec<PendingQuery>> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.take(self.batch_size.min(self.pending.len())))
+        }
+    }
+
+    fn take(&mut self, count: usize) -> Vec<PendingQuery> {
+        self.pending.drain(..count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(bit: usize) -> BinaryVector {
+        let mut v = BinaryVector::zeros(16);
+        v.set(bit, true);
+        v
+    }
+
+    #[test]
+    fn tickets_are_sequential_and_batches_preserve_order() {
+        let mut queue = AdmissionQueue::new(3);
+        let tickets: Vec<_> = (0..7).map(|i| queue.submit(query(i))).collect();
+        assert!(tickets.windows(2).all(|w| w[0] < w[1]));
+
+        let first = queue.take_full_batch().expect("full batch");
+        assert_eq!(
+            first.iter().map(|p| p.ticket).collect::<Vec<_>>(),
+            &tickets[..3]
+        );
+        let second = queue.take_full_batch().expect("full batch");
+        assert_eq!(
+            second.iter().map(|p| p.ticket).collect::<Vec<_>>(),
+            &tickets[3..6]
+        );
+        // One query left: not a full batch.
+        assert!(queue.take_full_batch().is_none());
+        assert_eq!(queue.pending(), 1);
+        let tail = queue.take_partial_batch().expect("partial batch");
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].ticket, tickets[6]);
+        assert!(queue.take_partial_batch().is_none());
+    }
+
+    #[test]
+    fn partial_take_is_capped_at_one_batch() {
+        let mut queue = AdmissionQueue::new(4);
+        for i in 0..6 {
+            queue.submit(query(i));
+        }
+        assert_eq!(queue.take_partial_batch().expect("batch").len(), 4);
+        assert_eq!(queue.take_partial_batch().expect("batch").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = AdmissionQueue::new(0);
+    }
+}

@@ -1,0 +1,357 @@
+//! The service front door: single-query admission, batched dispatch, cached
+//! results, and a statistics report.
+
+use crate::backend::SimilarityBackend;
+use crate::cache::ResultCache;
+use crate::queue::{AdmissionQueue, PendingQuery, QueryTicket};
+use crate::stats::ServiceStats;
+use ap_knn::multiplex::MAX_SLICES;
+use binvec::{BinaryVector, Neighbor};
+use std::time::Instant;
+
+/// Configuration for a [`SearchService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Queries per dispatched batch. Defaults to the engine's symbol-stream
+    /// multiplexing width (§VI-B): seven queries share one streamed window.
+    pub batch_size: usize,
+    /// Neighbors returned per query.
+    pub k: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: MAX_SLICES,
+            k: 10,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Overrides the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the neighbors returned per query.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// A finished query: the ticket issued at submission and its neighbors.
+#[derive(Clone, Debug)]
+pub struct Completed {
+    /// The ticket `submit` returned for this query.
+    pub ticket: QueryTicket,
+    /// The submitted query.
+    pub query: BinaryVector,
+    /// The k nearest neighbors, sorted by (distance, id).
+    pub neighbors: Vec<Neighbor>,
+}
+
+/// A synchronous query-serving layer over any [`SimilarityBackend`].
+///
+/// `submit` accepts one query at a time; the service answers from the LRU
+/// cache when it can and otherwise coalesces queries into engine-sized batches
+/// (dispatching whenever a batch fills). `drain` flushes the remaining partial
+/// batch and returns everything completed so far in submission order.
+pub struct SearchService {
+    backend: Box<dyn SimilarityBackend>,
+    config: ServiceConfig,
+    queue: AdmissionQueue,
+    cache: ResultCache,
+    completed: Vec<Completed>,
+    stats: ServiceStats,
+    started: Instant,
+}
+
+impl SearchService {
+    /// Creates a service over `backend`.
+    ///
+    /// # Panics
+    /// Panics if `config.batch_size` or `config.k` is zero.
+    pub fn new(backend: Box<dyn SimilarityBackend>, config: ServiceConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        Self {
+            backend,
+            queue: AdmissionQueue::new(config.batch_size),
+            cache: ResultCache::new(config.cache_capacity),
+            completed: Vec::new(),
+            stats: ServiceStats::default(),
+            started: Instant::now(),
+            config,
+        }
+    }
+
+    /// The backend's label.
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Queries admitted but not yet dispatched.
+    pub fn pending(&self) -> usize {
+        self.queue.pending()
+    }
+
+    /// Completed results not yet drained.
+    pub fn ready(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Submits one query; returns a ticket to correlate with [`Self::drain`].
+    ///
+    /// A cache hit completes immediately; otherwise the query joins the
+    /// admission queue, and every time a full batch accumulates it is
+    /// dispatched to the backend synchronously.
+    pub fn submit(&mut self, query: BinaryVector) -> QueryTicket {
+        assert_eq!(
+            query.dims(),
+            self.backend.dims(),
+            "query dims must match the backend"
+        );
+        self.stats.queries_submitted += 1;
+
+        if let Some(neighbors) = self.cache.get(&query, self.config.k) {
+            let ticket = self.queue.mint_ticket();
+            self.stats.queries_served += 1;
+            self.completed.push(Completed {
+                ticket,
+                query,
+                neighbors,
+            });
+            return ticket;
+        }
+
+        let ticket = self.queue.submit(query);
+        while let Some(batch) = self.queue.take_full_batch() {
+            self.dispatch(batch);
+        }
+        ticket
+    }
+
+    /// Flushes any partially filled batch and returns all completed results in
+    /// submission (ticket) order.
+    pub fn drain(&mut self) -> Vec<Completed> {
+        while let Some(batch) = self.queue.take_partial_batch() {
+            self.dispatch(batch);
+        }
+        self.completed.sort_by_key(|c| c.ticket);
+        std::mem::take(&mut self.completed)
+    }
+
+    /// A snapshot of the service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.stats.clone();
+        stats.batch_size = self.config.batch_size;
+        stats.cache_hits = self.cache.hits();
+        stats.cache_misses = self.cache.misses();
+        stats.uptime = self.started.elapsed();
+        stats
+    }
+
+    fn dispatch(&mut self, batch: Vec<PendingQuery>) {
+        let queries: Vec<BinaryVector> = batch.iter().map(|p| p.query.clone()).collect();
+        let dispatch_start = Instant::now();
+        let result = self.backend.serve_batch(&queries, self.config.k);
+        self.stats.busy_time += dispatch_start.elapsed();
+
+        assert_eq!(
+            result.results.len(),
+            batch.len(),
+            "backend must return one result per query"
+        );
+
+        self.stats.batches_dispatched += 1;
+        self.stats.batched_queries += batch.len() as u64;
+        if batch.len() == self.config.batch_size {
+            self.stats.full_batches += 1;
+        }
+        self.stats.ap_symbol_cycles += result.ap_symbol_cycles;
+        self.stats.reconfigurations += result.reconfigurations;
+        if self.stats.shard_cycles.len() < result.shard_cycles.len() {
+            self.stats.shard_cycles.resize(result.shard_cycles.len(), 0);
+        }
+        for (total, &cycles) in self.stats.shard_cycles.iter_mut().zip(&result.shard_cycles) {
+            *total += cycles;
+        }
+
+        // The `queries` vec built for the dispatch provides the cache keys, so
+        // each query is cloned exactly once per dispatch.
+        for ((pending, neighbors), query) in batch.into_iter().zip(result.results).zip(queries) {
+            self.cache.insert(query, self.config.k, neighbors.clone());
+            self.stats.queries_served += 1;
+            self.completed.push(Completed {
+                ticket: pending.ticket,
+                query: pending.query,
+                neighbors,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ApEngineBackend;
+    use crate::shard::{ShardedBackend, ShardedDataset};
+    use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+    use baselines::{LinearScan, SearchIndex};
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    fn linear_service(n: usize, dims: usize, config: ServiceConfig) -> SearchService {
+        let data = uniform_dataset(n, dims, 11);
+        SearchService::new(Box::new(LinearScan::new(data)), config)
+    }
+
+    #[test]
+    fn full_batches_dispatch_eagerly_partial_on_drain() {
+        let config = ServiceConfig::default()
+            .with_batch_size(4)
+            .with_k(3)
+            .with_cache_capacity(0);
+        let mut service = linear_service(50, 16, config);
+        let queries = uniform_queries(10, 16, 12);
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        // 10 submissions at batch size 4: two full batches dispatched eagerly,
+        // two queries still pending.
+        assert_eq!(service.pending(), 2);
+        assert_eq!(service.ready(), 8);
+        let completed = service.drain();
+        assert_eq!(completed.len(), 10);
+        let stats = service.stats();
+        assert_eq!(stats.batches_dispatched, 3);
+        assert_eq!(stats.full_batches, 2);
+        assert!((stats.batch_fill_ratio().unwrap() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order_and_match_direct_search() {
+        let data = uniform_dataset(64, 16, 13);
+        let direct = LinearScan::new(data.clone());
+        let config = ServiceConfig::default().with_batch_size(7).with_k(5);
+        let mut service = SearchService::new(Box::new(LinearScan::new(data)), config);
+        let queries = uniform_queries(23, 16, 14);
+        let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
+        let completed = service.drain();
+        assert_eq!(completed.len(), queries.len());
+        for ((ticket, query), completed) in tickets.iter().zip(&queries).zip(&completed) {
+            assert_eq!(completed.ticket, *ticket);
+            assert_eq!(&completed.query, query);
+            assert_eq!(completed.neighbors, direct.search(query, 5));
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_hit_the_cache() {
+        let config = ServiceConfig::default().with_batch_size(2).with_k(3);
+        let mut service = linear_service(40, 16, config);
+        let queries = uniform_queries(2, 16, 15);
+
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        let first = service.drain();
+        assert_eq!(service.stats().cache_hits, 0);
+
+        // Same queries again: answered instantly, no new dispatch.
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        assert_eq!(service.ready(), 2, "cache hits complete without dispatch");
+        let second = service.drain();
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.batches_dispatched, 1);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_serves_whole_dataset() {
+        let config = ServiceConfig::default().with_batch_size(3).with_k(50);
+        let mut service = linear_service(7, 16, config);
+        for q in uniform_queries(4, 16, 16) {
+            service.submit(q);
+        }
+        let completed = service.drain();
+        assert_eq!(completed.len(), 4);
+        for c in &completed {
+            assert_eq!(c.neighbors.len(), 7);
+        }
+    }
+
+    #[test]
+    fn sharded_ap_service_matches_linear_scan() {
+        let dims = 24;
+        let data = uniform_dataset(120, dims, 17);
+        let queries = uniform_queries(19, dims, 18);
+        let direct = LinearScan::new(data.clone());
+
+        let sharding = ShardedDataset::split(&data, 4);
+        let backend = ShardedBackend::build(&sharding, |_, shard| {
+            ApEngineBackend::new(
+                ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral),
+                shard.clone(),
+            )
+        });
+        let config = ServiceConfig::default().with_k(6);
+        let mut service = SearchService::new(Box::new(backend), config);
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        let completed = service.drain();
+        for (c, q) in completed.iter().zip(&queries) {
+            assert_eq!(c.neighbors, direct.search(q, 6));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.shard_cycles.len(), 4);
+        assert!(stats.ap_symbol_cycles > 0);
+        assert!(stats.shard_utilization().iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn stats_report_renders() {
+        let config = ServiceConfig::default().with_batch_size(2).with_k(2);
+        let mut service = linear_service(10, 16, config);
+        for q in uniform_queries(3, 16, 19) {
+            service.submit(q);
+        }
+        service.drain();
+        let report = service.stats().report();
+        assert!(report.contains("served 3/3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "query dims must match")]
+    fn wrong_dims_panics() {
+        let mut service = linear_service(10, 16, ServiceConfig::default());
+        let _ = service.submit(BinaryVector::zeros(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = linear_service(10, 16, ServiceConfig::default().with_k(0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Service-level accounting: throughput, batching efficiency, cache behavior,
+//! and per-shard utilization.
+
+use std::time::Duration;
+
+/// Cumulative statistics for one [`crate::SearchService`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// The service's configured batch size (recorded into the snapshot so the
+    /// fill ratio can't be computed against the wrong denominator).
+    pub batch_size: usize,
+    /// Queries accepted by `submit`.
+    pub queries_submitted: u64,
+    /// Queries whose results have been produced (served from the engine or the
+    /// cache).
+    pub queries_served: u64,
+    /// Queries answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Queries that had to be dispatched to the backend.
+    pub cache_misses: u64,
+    /// Batches dispatched to the backend.
+    pub batches_dispatched: u64,
+    /// Batches dispatched at exactly the configured batch size.
+    pub full_batches: u64,
+    /// Queries carried by dispatched batches.
+    pub batched_queries: u64,
+    /// AP symbol cycles charged across all dispatched batches (critical-path
+    /// cycles for sharded backends).
+    pub ap_symbol_cycles: u64,
+    /// Partial reconfigurations across all dispatched batches.
+    pub reconfigurations: u64,
+    /// Per-shard symbol cycles, summed over batches (empty for unsharded
+    /// backends).
+    pub shard_cycles: Vec<u64>,
+    /// Wall-clock time spent inside backend dispatches.
+    pub busy_time: Duration,
+    /// Wall-clock time since the service was created.
+    pub uptime: Duration,
+}
+
+impl ServiceStats {
+    /// Fraction of dispatched batch slots that carried a query (1.0 = every
+    /// batch was full). `None` before the first dispatch.
+    pub fn batch_fill_ratio(&self) -> Option<f64> {
+        (self.batches_dispatched > 0 && self.batch_size > 0).then(|| {
+            self.batched_queries as f64 / (self.batches_dispatched * self.batch_size as u64) as f64
+        })
+    }
+
+    /// Fraction of served queries answered by the cache. `None` before any
+    /// query was served.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let looked_up = self.cache_hits + self.cache_misses;
+        (looked_up > 0).then(|| self.cache_hits as f64 / looked_up as f64)
+    }
+
+    /// Served queries per second of wall-clock uptime.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs > 0.0 {
+            self.queries_served as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Engine-dispatched queries per second of backend busy time — the
+    /// engine-side rate. Cache hits never reach the backend, so they are
+    /// excluded from this figure (they do count toward
+    /// [`Self::throughput_qps`]).
+    pub fn busy_throughput_qps(&self) -> f64 {
+        let secs = self.busy_time.as_secs_f64();
+        if secs > 0.0 {
+            self.batched_queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-shard utilization: each shard's symbol cycles as a fraction of the
+    /// busiest shard's. Empty for unsharded backends; 1.0 everywhere means a
+    /// perfectly balanced fleet.
+    pub fn shard_utilization(&self) -> Vec<f64> {
+        let max = self.shard_cycles.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return vec![0.0; self.shard_cycles.len()];
+        }
+        self.shard_cycles
+            .iter()
+            .map(|&c| c as f64 / max as f64)
+            .collect()
+    }
+
+    /// Renders a compact human-readable report.
+    pub fn report(&self) -> String {
+        let fill = self
+            .batch_fill_ratio()
+            .map_or("n/a".to_string(), |f| format!("{:.1}%", f * 100.0));
+        let hit = self
+            .cache_hit_rate()
+            .map_or("n/a".to_string(), |h| format!("{:.1}%", h * 100.0));
+        let utilization = if self.shard_cycles.is_empty() {
+            "unsharded".to_string()
+        } else {
+            self.shard_utilization()
+                .iter()
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
+             {} AP cycles, {} reconfigs | shard load [{utilization}] | \
+             {:.0} q/s wall, {:.0} q/s busy",
+            self.queries_served,
+            self.queries_submitted,
+            self.batches_dispatched,
+            self.ap_symbol_cycles,
+            self.reconfigurations,
+            self.throughput_qps(),
+            self.busy_throughput_qps(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_and_populated_states() {
+        let mut stats = ServiceStats::default();
+        assert_eq!(stats.batch_fill_ratio(), None);
+        assert_eq!(stats.cache_hit_rate(), None);
+        assert_eq!(stats.throughput_qps(), 0.0);
+        assert!(stats.shard_utilization().is_empty());
+
+        stats.batch_size = 7;
+        stats.batches_dispatched = 2;
+        stats.batched_queries = 10;
+        stats.full_batches = 1;
+        stats.cache_hits = 3;
+        stats.cache_misses = 10;
+        stats.queries_served = 13;
+        stats.uptime = Duration::from_secs(2);
+        stats.shard_cycles = vec![100, 50, 0];
+
+        assert!((stats.batch_fill_ratio().unwrap() - 10.0 / 14.0).abs() < 1e-12);
+        assert!((stats.cache_hit_rate().unwrap() - 3.0 / 13.0).abs() < 1e-12);
+        assert!((stats.throughput_qps() - 6.5).abs() < 1e-12);
+        assert_eq!(stats.shard_utilization(), vec![1.0, 0.5, 0.0]);
+        let report = stats.report();
+        assert!(report.contains("served 13/0"));
+        assert!(report.contains("2 batches"));
+    }
+}

@@ -149,11 +149,12 @@ pub fn from_anml(text: &str) -> ApResult<AutomataNetwork> {
             }
             expected_id += 1;
             let label = attr(line, "label").unwrap_or_default();
-            let threshold: u32 = attr_required(line, "target")?
-                .parse()
-                .map_err(|_| ApError::Anml {
-                    reason: "counter target is not an integer".into(),
-                })?;
+            let threshold: u32 =
+                attr_required(line, "target")?
+                    .parse()
+                    .map_err(|_| ApError::Anml {
+                        reason: "counter target is not an integer".into(),
+                    })?;
             let mode = match attr_required(line, "at-target")?.as_str() {
                 "pulse" => CounterMode::Pulse,
                 "latch" => CounterMode::Latch,
@@ -170,7 +171,13 @@ pub fn from_anml(text: &str) -> ApResult<AutomataNetwork> {
                     reason: "max-increment is not an integer".into(),
                 })?;
             let report = parse_report(line)?;
-            net.add_counter_with_increment(unescape(&label), threshold, mode, report, max_increment);
+            net.add_counter_with_increment(
+                unescape(&label),
+                threshold,
+                mode,
+                report,
+                max_increment,
+            );
         } else if line.starts_with("<boolean") {
             let id = parse_element_id(line)?;
             if id != expected_id {
@@ -315,9 +322,19 @@ mod tests {
 
     fn sample_network() -> AutomataNetwork {
         let mut net = AutomataNetwork::new();
-        let guard = net.add_ste("guard <SOF>", SymbolClass::single(0xFF), StartKind::AllInput, None);
-        let m0 = net.add_ste("match0", SymbolClass::of(&[b'1']), StartKind::None, None);
-        let collector = net.add_ste("collector", SymbolClass::all_except(0xFD), StartKind::None, None);
+        let guard = net.add_ste(
+            "guard <SOF>",
+            SymbolClass::single(0xFF),
+            StartKind::AllInput,
+            None,
+        );
+        let m0 = net.add_ste("match0", SymbolClass::of(b"1"), StartKind::None, None);
+        let collector = net.add_ste(
+            "collector",
+            SymbolClass::all_except(0xFD),
+            StartKind::None,
+            None,
+        );
         let counter = net.add_counter("ihd", 4, CounterMode::Pulse, None);
         let reporter = net.add_ste("report", SymbolClass::any(), StartKind::None, Some(17));
         let gate = net.add_boolean("or", BooleanFunction::Or, None);
@@ -367,15 +384,14 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert!(from_anml(r#"<state-transition-element id="e0" start="none" />"#).is_err());
-        assert!(from_anml(r#"<counter id="e0" label="c" target="x" at-target="pulse" />"#).is_err());
+        assert!(
+            from_anml(r#"<counter id="e0" label="c" target="x" at-target="pulse" />"#).is_err()
+        );
         assert!(from_anml(
             r#"<state-transition-element id="e5" label="x" symbol-set="*" start="none" />"#
         )
         .is_err());
-        assert!(from_anml(
-            r#"<boolean id="e0" label="b" function="frobnicate" />"#
-        )
-        .is_err());
+        assert!(from_anml(r#"<boolean id="e0" label="b" function="frobnicate" />"#).is_err());
     }
 
     #[test]

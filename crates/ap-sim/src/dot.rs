@@ -76,7 +76,8 @@ pub fn to_dot(net: &AutomataNetwork, graph_name: &str) -> String {
                 start,
                 report,
             } => {
-                let mut label = format!("{}\\n{}", escape_label(&e.label), describe_symbols(symbols));
+                let mut label =
+                    format!("{}\\n{}", escape_label(&e.label), describe_symbols(symbols));
                 if let Some(code) = report {
                     let _ = write!(label, "\\nreport {code}");
                 }
@@ -152,8 +153,8 @@ pub fn render_trace(net: &AutomataNetwork, trace: &SimulationTrace, stream: &[u8
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>5}  {:>6}  {:<40}  {:<24}  {}",
-        "cycle", "symbol", "active elements", "counter values", "reports"
+        "{:>5}  {:>6}  {:<40}  {:<24}  reports",
+        "cycle", "symbol", "active elements", "counter values"
     );
     for (cycle, active) in trace.activations.iter().enumerate() {
         let symbol = stream
@@ -213,7 +214,12 @@ mod tests {
 
     fn sample_network() -> AutomataNetwork {
         let mut net = AutomataNetwork::new();
-        let start = net.add_ste("start", SymbolClass::single(b'S'), StartKind::AllInput, None);
+        let start = net.add_ste(
+            "start",
+            SymbolClass::single(b'S'),
+            StartKind::AllInput,
+            None,
+        );
         let mid = net.add_ste("mid", SymbolClass::range(b'a', b'z'), StartKind::None, None);
         let gate = net.add_boolean("gate", BooleanFunction::Or, None);
         let counter = net.add_counter("cnt", 2, CounterMode::Pulse, Some(7));

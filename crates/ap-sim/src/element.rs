@@ -74,7 +74,7 @@ impl BooleanFunction {
         match self {
             BooleanFunction::And => !inputs.is_empty() && inputs.iter().all(|&b| b),
             BooleanFunction::Or => inputs.iter().any(|&b| b),
-            BooleanFunction::Nand => !(!inputs.is_empty() && inputs.iter().all(|&b| b)),
+            BooleanFunction::Nand => inputs.is_empty() || inputs.iter().any(|&b| !b),
             BooleanFunction::Nor => !inputs.iter().any(|&b| b),
             BooleanFunction::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
             BooleanFunction::Not => !inputs.first().copied().unwrap_or(false),

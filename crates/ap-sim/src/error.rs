@@ -90,11 +90,9 @@ mod tests {
         assert!(s.contains("24576"));
 
         assert!(ApError::UnknownElement { id: 7 }.to_string().contains('7'));
-        assert!(ApError::InvalidConnection {
-            reason: "x".into()
-        }
-        .to_string()
-        .contains("invalid connection"));
+        assert!(ApError::InvalidConnection { reason: "x".into() }
+            .to_string()
+            .contains("invalid connection"));
     }
 
     #[test]

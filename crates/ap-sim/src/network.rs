@@ -5,9 +5,7 @@
 //! [`AutomataNetwork::merge`], and then either simulated ([`crate::simulate`]) or
 //! placed onto the device resource model ([`crate::place`]).
 
-use crate::element::{
-    BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind,
-};
+use crate::element::{BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind};
 use crate::error::{ApError, ApResult};
 use crate::symbol::SymbolClass;
 use serde::{Deserialize, Serialize};
@@ -287,18 +285,8 @@ impl AutomataNetwork {
                 s.start_states += 1;
             }
         }
-        s.max_fan_in = self
-            .predecessors
-            .iter()
-            .map(|p| p.len())
-            .max()
-            .unwrap_or(0);
-        s.max_fan_out = self
-            .successors
-            .iter()
-            .map(|p| p.len())
-            .max()
-            .unwrap_or(0);
+        s.max_fan_in = self.predecessors.iter().map(|p| p.len()).max().unwrap_or(0);
+        s.max_fan_out = self.successors.iter().map(|p| p.len()).max().unwrap_or(0);
         s
     }
 
@@ -320,10 +308,7 @@ impl AutomataNetwork {
             seen[start] = true;
             while let Some(u) = queue.pop_front() {
                 comp.push(ElementId(u));
-                for (v, _) in self.successors[u]
-                    .iter()
-                    .chain(self.predecessors[u].iter())
-                {
+                for (v, _) in self.successors[u].iter().chain(self.predecessors[u].iter()) {
                     if !seen[v.index()] {
                         seen[v.index()] = true;
                         queue.push_back(v.index());
@@ -363,9 +348,7 @@ impl AutomataNetwork {
             let preds = &self.predecessors[e.id.index()];
             match &e.kind {
                 ElementKind::Ste { start, .. } => {
-                    let has_activation = preds
-                        .iter()
-                        .any(|(_, p)| *p == ConnectPort::Activation);
+                    let has_activation = preds.iter().any(|(_, p)| *p == ConnectPort::Activation);
                     if *start == StartKind::None && !has_activation {
                         return Err(ApError::InvalidNetwork {
                             reason: format!(
@@ -377,9 +360,7 @@ impl AutomataNetwork {
                     }
                 }
                 ElementKind::Counter { threshold, .. } => {
-                    let has_enable = preds
-                        .iter()
-                        .any(|(_, p)| *p == ConnectPort::CountEnable);
+                    let has_enable = preds.iter().any(|(_, p)| *p == ConnectPort::CountEnable);
                     if !has_enable {
                         return Err(ApError::InvalidNetwork {
                             reason: format!(
@@ -480,7 +461,10 @@ mod tests {
         assert_eq!(stats.start_states, 1);
         assert_eq!(stats.edges, 2);
         assert_eq!(stats.components, 1);
-        assert_eq!(net.predecessors(middle), &[(start, ConnectPort::Activation)]);
+        assert_eq!(
+            net.predecessors(middle),
+            &[(start, ConnectPort::Activation)]
+        );
         assert_eq!(
             net.successors(middle),
             &[(counter, ConnectPort::CountEnable)]

@@ -454,9 +454,7 @@ impl<'a> Parser<'a> {
         }
         if !unbounded {
             if max < min {
-                return Err(self.error(format!(
-                    "bounded repetition {{{min},{max}}} has max < min"
-                )));
+                return Err(self.error(format!("bounded repetition {{{min},{max}}} has max < min")));
             }
             if max > self.options.max_bounded_repeat {
                 return Err(self.error(format!(
@@ -516,9 +514,9 @@ impl<'a> Parser<'a> {
                     if self.bytes.get(self.pos + 1) == Some(&b':') {
                         self.pos += 2;
                     } else {
-                        return Err(self.error(
-                            "only the (?: ) non-capturing group extension is supported",
-                        ));
+                        return Err(
+                            self.error("only the (?: ) non-capturing group extension is supported")
+                        );
                     }
                 }
                 let inner = self.parse_alternation()?;
@@ -699,11 +697,7 @@ fn union_positions(a: &[usize], b: &[usize]) -> Vec<usize> {
 
 /// Recursively assigns positions to symbol-class leaves and computes the
 /// nullable / first / last / follow sets of the Glushkov construction.
-fn analyze(
-    ast: &Ast,
-    positions: &mut Vec<SymbolClass>,
-    follow: &mut Vec<BTreeSet<usize>>,
-) -> Lin {
+fn analyze(ast: &Ast, positions: &mut Vec<SymbolClass>, follow: &mut Vec<BTreeSet<usize>>) -> Lin {
     match ast {
         Ast::Empty => Lin {
             nullable: true,
@@ -960,8 +954,26 @@ mod tests {
     #[test]
     fn syntax_errors_are_rejected() {
         for pattern in [
-            "", "(", ")", "(ab", "a)", "[abc", "[]", "[z-a]", "a{3,2}", "a{2", "*a", "+", "?a",
-            "a$", "$", "ab^c", "\\x4", "\\xzz", "a{99999}", "(?<name>a)",
+            "",
+            "(",
+            ")",
+            "(ab",
+            "a)",
+            "[abc",
+            "[]",
+            "[z-a]",
+            "a{3,2}",
+            "a{2",
+            "*a",
+            "+",
+            "?a",
+            "a$",
+            "$",
+            "ab^c",
+            "\\x4",
+            "\\xzz",
+            "a{99999}",
+            "(?<name>a)",
         ] {
             let err = CompiledPcre::compile(pattern).unwrap_err();
             assert!(
@@ -1028,7 +1040,9 @@ mod tests {
     fn pcre_set_distinguishes_patterns() {
         let set = PcreSet::compile(&["cat", "dog", "bird|fish"]).unwrap();
         assert_eq!(set.patterns().len(), 3);
-        let matches = set.find_all(b"the dog chased the cat and the fish").unwrap();
+        let matches = set
+            .find_all(b"the dog chased the cat and the fish")
+            .unwrap();
         let by_pattern: Vec<(usize, u64)> =
             matches.iter().map(|m| (m.pattern, m.end_offset)).collect();
         assert!(by_pattern.contains(&(1, 6)));
@@ -1080,8 +1094,7 @@ mod tests {
                 // concatenation
                 prop::collection::vec(inner.clone(), 1..3).prop_map(|parts| parts.concat()),
                 // alternation (grouped so it composes)
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| format!("(?:{a}|{b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(?:{a}|{b})")),
                 // plus (avoids nullable-whole-pattern rejections in most cases)
                 inner.clone().prop_map(|a| format!("(?:{a})+")),
                 // bounded repeat

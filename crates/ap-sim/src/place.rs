@@ -310,12 +310,7 @@ mod tests {
                 net.connect(prev, next).unwrap();
                 prev = next;
             }
-            let c = net.add_counter(
-                format!("c{i}"),
-                1,
-                CounterMode::Pulse,
-                Some(i as u32),
-            );
+            let c = net.add_counter(format!("c{i}"), 1, CounterMode::Pulse, Some(i as u32));
             net.connect_port(prev, c, ConnectPort::CountEnable).unwrap();
         }
         net
@@ -354,7 +349,11 @@ mod tests {
         let net = many_small_nfas(16, 2);
         let placer = Placer::new(DeviceConfig::gen1());
         let report = placer.place(&net).unwrap();
-        assert!(report.blocks_used >= 4, "blocks_used = {}", report.blocks_used);
+        assert!(
+            report.blocks_used >= 4,
+            "blocks_used = {}",
+            report.blocks_used
+        );
     }
 
     #[test]
@@ -411,7 +410,12 @@ mod tests {
         let mut net = AutomataNetwork::new();
         let collector = net.add_ste("col", SymbolClass::any(), StartKind::AllInput, Some(0));
         for i in 0..200 {
-            let s = net.add_ste(format!("s{i}"), SymbolClass::any(), StartKind::AllInput, None);
+            let s = net.add_ste(
+                format!("s{i}"),
+                SymbolClass::any(),
+                StartKind::AllInput,
+                None,
+            );
             net.connect(s, collector).unwrap();
         }
         let placer = Placer::new(DeviceConfig::gen1());

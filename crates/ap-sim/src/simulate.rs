@@ -99,10 +99,7 @@ impl<'a> Simulator<'a> {
 
     /// Whether element `id` was active on the most recently executed cycle.
     pub fn is_active(&self, id: ElementId) -> bool {
-        self.prev_active
-            .get(id.index())
-            .copied()
-            .unwrap_or(false)
+        self.prev_active.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Internal count of counter `id` after the most recently executed cycle.
@@ -141,13 +138,9 @@ impl<'a> Simulator<'a> {
                     StartKind::AllInput => true,
                     StartKind::StartOfData => first_cycle,
                     StartKind::None => false,
-                } || self
-                    .net
-                    .predecessors(e.id)
-                    .iter()
-                    .any(|(p, port)| {
-                        *port == ConnectPort::Activation && self.prev_active[p.index()]
-                    });
+                } || self.net.predecessors(e.id).iter().any(|(p, port)| {
+                    *port == ConnectPort::Activation && self.prev_active[p.index()]
+                });
                 if enabled {
                     self.cur_active[e.id.index()] = true;
                 }
@@ -309,7 +302,7 @@ mod tests {
 
         let mut sim2 = Simulator::new(&net).unwrap();
         // Without the SOF the chain never starts.
-        assert!(sim2.run(&[b'a', b'b']).is_empty());
+        assert!(sim2.run(b"ab").is_empty());
 
         let mut sim3 = Simulator::new(&net).unwrap();
         // Wrong order does not report.
@@ -321,7 +314,7 @@ mod tests {
         let mut net = AutomataNetwork::new();
         net.add_ste("x", SymbolClass::single(b'x'), StartKind::AllInput, Some(9));
         let mut sim = Simulator::new(&net).unwrap();
-        let reports = sim.run(&[b'x', b'y', b'x', b'x']);
+        let reports = sim.run(b"xyxx");
         let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
         assert_eq!(offsets, vec![0, 2, 3]);
     }
@@ -336,7 +329,7 @@ mod tests {
             Some(4),
         );
         let mut sim = Simulator::new(&net).unwrap();
-        let reports = sim.run(&[b'x', b'x', b'x']);
+        let reports = sim.run(b"xxx");
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].offset, 0);
     }
@@ -346,7 +339,12 @@ mod tests {
         // driver(*) -> counter(en, threshold 3) ; resetter('R') -> counter(rst)
         // reporter(*) after the counter.
         let mut net = AutomataNetwork::new();
-        let driver = net.add_ste("drv", SymbolClass::all_except(b'R'), StartKind::AllInput, None);
+        let driver = net.add_ste(
+            "drv",
+            SymbolClass::all_except(b'R'),
+            StartKind::AllInput,
+            None,
+        );
         let resetter = net.add_ste("rst", SymbolClass::single(b'R'), StartKind::AllInput, None);
         let counter = net.add_counter("cnt", 3, CounterMode::Pulse, None);
         let reporter = net.add_ste("rep", SymbolClass::any(), StartKind::None, Some(2));
@@ -359,17 +357,17 @@ mod tests {
         let mut sim = Simulator::new(&net).unwrap();
         // Driver active on cycles 0..; counter samples with one-cycle delay, so the
         // count reaches 3 on cycle 3 (pulse), reporter fires on cycle 4.
-        let reports = sim.run(&[b'a', b'a', b'a', b'a', b'a', b'a']);
+        let reports = sim.run(b"aaaaaa");
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].offset, 4);
         assert_eq!(sim.counter_value(counter).unwrap(), 5);
 
         // Reset re-arms the pulse; counting then restarts.
-        let more = sim.run(&[b'R', b'a', b'a', b'a', b'a', b'a']);
+        let more = sim.run(b"Raaaaa");
         // After 'R' (sampled one cycle later) the count restarts; it needs three more
         // enabled cycles to pulse again.
         assert_eq!(more.len(), 1);
-        assert_eq!(sim.counter_value(counter).unwrap() >= 3, true);
+        assert!(sim.counter_value(counter).unwrap() >= 3);
     }
 
     #[test]
@@ -411,8 +409,18 @@ mod tests {
     #[test]
     fn boolean_and_gate_requires_both_inputs() {
         let mut net = AutomataNetwork::new();
-        let a = net.add_ste("a", SymbolClass::bit_slice(0, true), StartKind::AllInput, None);
-        let b = net.add_ste("b", SymbolClass::bit_slice(1, true), StartKind::AllInput, None);
+        let a = net.add_ste(
+            "a",
+            SymbolClass::bit_slice(0, true),
+            StartKind::AllInput,
+            None,
+        );
+        let b = net.add_ste(
+            "b",
+            SymbolClass::bit_slice(1, true),
+            StartKind::AllInput,
+            None,
+        );
         let and = net.add_boolean("and", BooleanFunction::And, Some(5));
         net.connect(a, and).unwrap();
         net.connect(b, and).unwrap();
@@ -433,7 +441,7 @@ mod tests {
         net.connect(a, or).unwrap();
         net.connect(or, not).unwrap();
         let mut sim = Simulator::new(&net).unwrap();
-        let reports = sim.run(&[b'a', b'z', b'a']);
+        let reports = sim.run(b"aza");
         let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
         assert_eq!(offsets, vec![1]);
     }
@@ -447,7 +455,7 @@ mod tests {
         sim.reset();
         assert_eq!(sim.cycle(), 0);
         // After reset the StartOfData / chain state is cleared: 'b' alone cannot fire.
-        assert!(sim.run(&[b'b']).is_empty());
+        assert!(sim.run(b"b").is_empty());
     }
 
     #[test]
@@ -464,11 +472,7 @@ mod tests {
         // Driver active every cycle.
         assert!(trace.activations.iter().all(|a| a.contains(&driver)));
         // Counter counts 0, 1, 2 across the three cycles.
-        let counts: Vec<u32> = trace
-            .counter_values
-            .iter()
-            .map(|cv| cv[0].1)
-            .collect();
+        let counts: Vec<u32> = trace.counter_values.iter().map(|cv| cv[0].1).collect();
         assert_eq!(counts, vec![0, 1, 2]);
         assert_eq!(trace.reports.len(), 1);
     }
@@ -502,7 +506,7 @@ mod tests {
         net.connect_port(reset, counter, ConnectPort::CountReset)
             .unwrap();
         let mut sim = Simulator::new(&net).unwrap();
-        sim.run(&[b'a', b'a', b'R']);
+        sim.run(b"aaR");
         // Counts: cycle 1 <- enable@0 = 1, cycle 2 <- enable@1 = 2.
         assert_eq!(sim.counter_value(counter).unwrap(), 2);
         // One more cycle samples both the enable and the reset from the 'R' cycle;
@@ -514,7 +518,12 @@ mod tests {
     #[test]
     fn latch_counter_resets_and_relatches() {
         let mut net = AutomataNetwork::new();
-        let enable = net.add_ste("en", SymbolClass::all_except(b'R'), StartKind::AllInput, None);
+        let enable = net.add_ste(
+            "en",
+            SymbolClass::all_except(b'R'),
+            StartKind::AllInput,
+            None,
+        );
         let reset = net.add_ste("rst", SymbolClass::single(b'R'), StartKind::AllInput, None);
         let counter = net.add_counter("cnt", 2, CounterMode::Latch, Some(3));
         net.connect_port(enable, counter, ConnectPort::CountEnable)
@@ -522,7 +531,7 @@ mod tests {
         net.connect_port(reset, counter, ConnectPort::CountReset)
             .unwrap();
         let mut sim = Simulator::new(&net).unwrap();
-        let reports = sim.run(&[b'a', b'a', b'a', b'R', b'a', b'a', b'a']);
+        let reports = sim.run(b"aaaRaaa");
         let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
         // Latched at cycles 2..3 (threshold reached), cleared by the reset sampled at
         // cycle 4, latched again once two more enabled cycles have been counted.
@@ -534,12 +543,17 @@ mod tests {
         // A state with a self-loop stays active as long as its symbol keeps matching
         // — the construct the sort state uses to span the filler phase.
         let mut net = AutomataNetwork::new();
-        let start = net.add_ste("start", SymbolClass::single(b'S'), StartKind::AllInput, None);
+        let start = net.add_ste(
+            "start",
+            SymbolClass::single(b'S'),
+            StartKind::AllInput,
+            None,
+        );
         let hold = net.add_ste("hold", SymbolClass::single(b'h'), StartKind::None, Some(1));
         net.connect(start, hold).unwrap();
         net.connect(hold, hold).unwrap();
         let mut sim = Simulator::new(&net).unwrap();
-        let reports = sim.run(&[b'S', b'h', b'h', b'h', b'x', b'h']);
+        let reports = sim.run(b"Shhhxh");
         let offsets: Vec<u64> = reports.iter().map(|r| r.offset).collect();
         // Active at 1, 2, 3 via the self-loop; broken by 'x'; the trailing 'h' has no
         // active predecessor so it does not reactivate.

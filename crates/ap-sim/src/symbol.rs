@@ -162,7 +162,7 @@ impl SymbolClass {
         for &m in &members {
             varying |= m ^ first;
         }
-        if u32::from(varying.count_ones()) != u32::from(free_bits) {
+        if varying.count_ones() != u32::from(free_bits) {
             return 8;
         }
         // Verify the class is exactly the cube {first with varying bits arbitrary}.
@@ -262,16 +262,7 @@ mod tests {
     #[test]
     fn ternary_multiple_constraints() {
         // bit0 = 1, bit7 = 0  => 64 members
-        let c = SymbolClass::ternary([
-            Some(true),
-            None,
-            None,
-            None,
-            None,
-            None,
-            None,
-            Some(false),
-        ]);
+        let c = SymbolClass::ternary([Some(true), None, None, None, None, None, None, Some(false)]);
         assert_eq!(c.cardinality(), 64);
         assert!(c.matches(0b0000_0001));
         assert!(!c.matches(0b1000_0001));
@@ -292,16 +283,8 @@ mod tests {
         // One-bit slice: only that bit matters.
         assert_eq!(SymbolClass::bit_slice(3, false).effective_input_bits(), 1);
         // Two constrained bits.
-        let two = SymbolClass::ternary([
-            Some(true),
-            Some(false),
-            None,
-            None,
-            None,
-            None,
-            None,
-            None,
-        ]);
+        let two =
+            SymbolClass::ternary([Some(true), Some(false), None, None, None, None, None, None]);
         assert_eq!(two.effective_input_bits(), 2);
         // `*` and empty discriminate on nothing.
         assert_eq!(SymbolClass::any().effective_input_bits(), 0);

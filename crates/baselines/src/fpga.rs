@@ -80,7 +80,10 @@ impl FpgaAccelerator {
     /// Instantiates the accelerator with `data` resident in its streaming source
     /// (DRAM behind the AXI interface).
     pub fn new(data: BinaryDataset, config: FpgaConfig) -> Self {
-        assert!(config.stream_width_bits > 0, "stream width must be positive");
+        assert!(
+            config.stream_width_bits > 0,
+            "stream width must be positive"
+        );
         assert!(config.parallel_queries > 0, "need at least one query lane");
         Self { config, data }
     }
@@ -152,7 +155,8 @@ impl FpgaAccelerator {
         } else {
             queries.div_ceil(self.config.parallel_queries) as u64
         };
-        let cycles_per_pass = n_vectors as u64 * words_per_vector + self.config.pipeline_depth as u64;
+        let cycles_per_pass =
+            n_vectors as u64 * words_per_vector + self.config.pipeline_depth as u64;
         let cycles = passes * cycles_per_pass;
         FpgaRunStats {
             cycles,

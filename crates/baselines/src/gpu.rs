@@ -121,7 +121,10 @@ impl GpuAccelerator {
     /// Panics if the configuration has no cores, zero bandwidth or a zero tile.
     pub fn new(data: BinaryDataset, config: GpuConfig) -> Self {
         assert!(config.cuda_cores > 0, "GPU needs at least one core");
-        assert!(config.mem_bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(
+            config.mem_bandwidth_gbps > 0.0,
+            "bandwidth must be positive"
+        );
         assert!(config.query_tile > 0, "query tile must be positive");
         assert!(
             config.memory_efficiency > 0.0 && config.memory_efficiency <= 1.0,

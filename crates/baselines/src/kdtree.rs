@@ -130,9 +130,9 @@ impl KdForest {
         let mut ones = vec![0usize; dims];
         for &i in &ids {
             let v = data.vector(i);
-            for d in 0..dims {
+            for (d, count) in ones.iter_mut().enumerate() {
                 if v.get(d) {
-                    ones[d] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -242,9 +242,9 @@ impl BucketIndex for KdForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::linear::LinearScan;
     use binvec::generate::{clustered_dataset, planted_queries, uniform_dataset, ClusterParams};
     use binvec::metrics::recall_at_k;
-    use crate::linear::LinearScan;
 
     fn small_config(bucket: usize) -> KdForestConfig {
         KdForestConfig {
@@ -330,11 +330,26 @@ mod tests {
     #[test]
     fn more_trees_scan_more_candidates() {
         let data = uniform_dataset(2000, 64, 11);
-        let one = KdForest::build(data.clone(), KdForestConfig { trees: 1, ..small_config(64) });
-        let four = KdForest::build(data, KdForestConfig { trees: 4, ..small_config(64) });
+        let one = KdForest::build(
+            data.clone(),
+            KdForestConfig {
+                trees: 1,
+                ..small_config(64)
+            },
+        );
+        let four = KdForest::build(
+            data,
+            KdForestConfig {
+                trees: 4,
+                ..small_config(64)
+            },
+        );
         let q = binvec::generate::uniform_queries(5, 64, 12);
         let avg = |f: &KdForest| -> f64 {
-            q.iter().map(|query| f.candidates(query).len()).sum::<usize>() as f64 / q.len() as f64
+            q.iter()
+                .map(|query| f.candidates(query).len())
+                .sum::<usize>() as f64
+                / q.len() as f64
         };
         assert!(avg(&four) > avg(&one));
     }

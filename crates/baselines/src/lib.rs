@@ -6,7 +6,7 @@
 //! of the CPU/GPU numbers also lives in `perf-model` for the table harness):
 //!
 //! * [`linear`] — exact linear-scan kNN, single-threaded (the FLANN-style CPU
-//!   baseline) and multi-threaded (crossbeam scoped threads), both bit-parallel over
+//!   baseline) and multi-threaded (scoped threads), both bit-parallel over
 //!   packed words like the XOR + POPCOUNT kernels every platform in the paper uses.
 //! * [`kdtree`] — randomized kd-trees over binary codes (FLANN's default index),
 //!   splitting on high-variance dimensions, one bucket scanned per tree traversal.

@@ -7,8 +7,8 @@
 //!
 //! [`LinearScan`] is the single-threaded kernel; [`ParallelLinearScan`] exploits the
 //! *query-level* parallelism the paper describes by distributing the query batch over
-//! crossbeam scoped threads (the dataset is shared read-only, so this mirrors the
-//! batch processing a multicore CPU performs).
+//! scoped threads (the dataset is shared read-only, so this mirrors the batch
+//! processing a multicore CPU performs).
 
 use crate::index::SearchIndex;
 use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
@@ -32,7 +32,12 @@ impl LinearScan {
 
     /// Scans only the given candidate ids (used by the approximate indexes, which
     /// restrict the scan to one bucket).
-    pub fn search_subset(&self, query: &BinaryVector, k: usize, candidates: &[usize]) -> Vec<Neighbor> {
+    pub fn search_subset(
+        &self,
+        query: &BinaryVector,
+        k: usize,
+        candidates: &[usize],
+    ) -> Vec<Neighbor> {
         let mut topk = TopK::new(k);
         for &i in candidates {
             topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
@@ -100,13 +105,13 @@ impl SearchIndex for ParallelLinearScan {
         }
         let threads = self.threads.min(n);
         let chunk = n.div_ceil(threads);
-        let partials = crossbeam::thread::scope(|scope| {
+        let partials = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let data = &self.data;
                 let start = t * chunk;
                 let end = ((t + 1) * chunk).min(n);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut topk = TopK::new(k);
                     for i in start..end {
                         topk.offer(Neighbor::new(i, data.hamming_to(i, query)));
@@ -118,8 +123,7 @@ impl SearchIndex for ParallelLinearScan {
                 .into_iter()
                 .map(|h| h.join().expect("scan worker panicked"))
                 .collect::<Vec<TopK>>()
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut merged = TopK::new(k);
         for p in &partials {
@@ -137,11 +141,11 @@ impl SearchIndex for ParallelLinearScan {
         let threads = self.threads.min(queries.len());
         let chunk = queries.len().div_ceil(threads);
         let sequential = LinearScan::new(self.data.clone());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for qchunk in queries.chunks(chunk) {
                 let engine = &sequential;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     qchunk
                         .iter()
                         .map(|q| engine.search(q, k))
@@ -153,7 +157,6 @@ impl SearchIndex for ParallelLinearScan {
                 .flat_map(|h| h.join().expect("batch worker panicked"))
                 .collect()
         })
-        .expect("crossbeam scope failed")
     }
 }
 

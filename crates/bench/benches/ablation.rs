@@ -52,9 +52,18 @@ fn bench_reduction_parameters(c: &mut Criterion) {
     let query = binvec::generate::uniform_queries(1, 128, 6).pop().unwrap();
     for (p, local_k) in [(16usize, 1usize), (16, 4), (64, 4)] {
         let config = ReductionConfig::new(p, local_k);
-        group.bench_function(BenchmarkId::new("reduced_candidates", format!("p{p}_k{local_k}")), |b| {
-            b.iter(|| black_box(reduced_candidates(black_box(&data), black_box(&query), &config)))
-        });
+        group.bench_function(
+            BenchmarkId::new("reduced_candidates", format!("p{p}_k{local_k}")),
+            |b| {
+                b.iter(|| {
+                    black_box(reduced_candidates(
+                        black_box(&data),
+                        black_box(&query),
+                        &config,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -103,10 +103,17 @@ fn bench_index_query(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("index_query");
     group.sample_size(10);
-    let engines: Vec<(&str, Box<dyn Fn() -> usize>)> = vec![
-        ("exact_scan", Box::new(|| exact.search_batch(&queries, k).len())),
+    type QueryFn<'a> = Box<dyn Fn() -> usize + 'a>;
+    let engines: [(&str, QueryFn<'_>); 4] = [
+        (
+            "exact_scan",
+            Box::new(|| exact.search_batch(&queries, k).len()),
+        ),
         ("kd_forest", Box::new(|| kd.search_batch(&queries, k).len())),
-        ("hierarchical_kmeans", Box::new(|| km.search_batch(&queries, k).len())),
+        (
+            "hierarchical_kmeans",
+            Box::new(|| km.search_batch(&queries, k).len()),
+        ),
         ("lsh", Box::new(|| lsh.search_batch(&queries, k).len())),
     ];
     for (name, search) in &engines {

@@ -47,7 +47,9 @@ fn bench_scheduler_scaling(c: &mut Criterion) {
             .with_capacity(capacity)
             .with_workers(workers);
         group.bench_function(BenchmarkId::new("workers", workers), |b| {
-            b.iter(|| black_box(scheduler.search_batch(black_box(&dataset), black_box(&queries), 4)))
+            b.iter(|| {
+                black_box(scheduler.search_batch(black_box(&dataset), black_box(&queries), 4))
+            })
         });
     }
     group.finish();

@@ -32,7 +32,10 @@ fn bench_ap_estimation(c: &mut Criterion) {
     // The table-regeneration path: how fast the analytical AP estimates themselves
     // are (they are called thousands of times by the harness binaries).
     let mut group = c.benchmark_group("ap_estimation");
-    for (name, device) in [("gen1", DeviceConfig::gen1()), ("gen2", DeviceConfig::gen2())] {
+    for (name, device) in [
+        ("gen1", DeviceConfig::gen1()),
+        ("gen2", DeviceConfig::gen2()),
+    ] {
         let engine = ApKnnEngine::new(KnnDesign::new(128).with_device(device))
             .with_mode(ExecutionMode::Behavioral);
         group.bench_function(BenchmarkId::new("estimate_run", name), |b| {

@@ -70,5 +70,9 @@ fn bench_simulation_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_network_construction, bench_simulation_throughput);
+criterion_group!(
+    benches,
+    bench_network_construction,
+    bench_simulation_throughput
+);
 criterion_main!(benches);

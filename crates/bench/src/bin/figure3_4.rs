@@ -69,8 +69,16 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let report_a = trace.reports.iter().find(|r| r.code == 0).expect("A reports");
-    let report_b = trace.reports.iter().find(|r| r.code == 1).expect("B reports");
+    let report_a = trace
+        .reports
+        .iter()
+        .find(|r| r.code == 0)
+        .expect("A reports");
+    let report_b = trace
+        .reports
+        .iter()
+        .find(|r| r.code == 1)
+        .expect("B reports");
     println!(
         "vector A reports at offset {} (decoded distance {:?}); vector B at offset {} (distance {:?})",
         report_a.offset,
@@ -81,8 +89,20 @@ fn main() {
     println!("temporal order matches the Hamming-distance order, as in the paper's Figure 4.");
 
     let records = vec![
-        ExperimentRecord::new("figure3_4", "vector_a", "report_offset", report_a.offset as f64, None),
-        ExperimentRecord::new("figure3_4", "vector_b", "report_offset", report_b.offset as f64, None),
+        ExperimentRecord::new(
+            "figure3_4",
+            "vector_a",
+            "report_offset",
+            report_a.offset as f64,
+            None,
+        ),
+        ExperimentRecord::new(
+            "figure3_4",
+            "vector_b",
+            "report_offset",
+            report_b.offset as f64,
+            None,
+        ),
     ];
     maybe_emit_json(&records);
 }

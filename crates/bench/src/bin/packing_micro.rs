@@ -51,8 +51,16 @@ fn main() {
         let stream = layout.encode_batch(&queries);
         let mut ps = Simulator::new(&packed).expect("packed network valid");
         let mut us = Simulator::new(&unpacked).expect("unpacked network valid");
-        let mut pr: Vec<(u32, u64)> = ps.run(&stream).into_iter().map(|r| (r.code, r.offset)).collect();
-        let mut ur: Vec<(u32, u64)> = us.run(&stream).into_iter().map(|r| (r.code, r.offset)).collect();
+        let mut pr: Vec<(u32, u64)> = ps
+            .run(&stream)
+            .into_iter()
+            .map(|r| (r.code, r.offset))
+            .collect();
+        let mut ur: Vec<(u32, u64)> = us
+            .run(&stream)
+            .into_iter()
+            .map(|r| (r.code, r.offset))
+            .collect();
         pr.sort_unstable();
         ur.sort_unstable();
         let identical = pr == ur;

@@ -47,7 +47,10 @@ fn main() {
         let layout = StreamLayout::for_design(&design);
         let symbols_per_partition = layout.stream_len(queries);
 
-        for (device, device_name) in [(DeviceConfig::gen1(), "Gen 1"), (DeviceConfig::gen2(), "Gen 2")] {
+        for (device, device_name) in [
+            (DeviceConfig::gen1(), "Gen 1"),
+            (DeviceConfig::gen2(), "Gen 2"),
+        ] {
             let timing = TimingModel::new(device);
             let model = PipelineModel::new(timing);
             let estimate = model.estimate(symbols_per_partition, partitions);
@@ -56,7 +59,9 @@ fn main() {
             // (reconfiguration still overlapped within each board).
             let boards = 4usize;
             let per_board = partitions.div_ceil(boards);
-            let critical = model.estimate(symbols_per_partition, per_board).overlapped_s;
+            let critical = model
+                .estimate(symbols_per_partition, per_board)
+                .overlapped_s;
 
             table.add_row(&[
                 workload.name().to_string(),

@@ -86,6 +86,8 @@ fn main() {
     }
 
     println!("{}", table.render());
-    println!("Table VI's published operating point is p = 16 (rows above reproduce it in context).");
+    println!(
+        "Table VI's published operating point is p = 16 (rows above reproduce it in context)."
+    );
     maybe_emit_json(&records);
 }

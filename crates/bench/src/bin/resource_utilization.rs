@@ -64,9 +64,10 @@ fn main() {
         let model_capacity = BoardCapacity::from_placement(&design);
         let timing = TimingModel::new(design.device);
         let resource_bound = design.device.stes_per_board() / design.stes_per_vector();
-        let pcie_bound_hit = timing
-            .report_bandwidth_gbps(model_capacity.vectors_per_board as u64 + 1, params.dims as u64)
-            > TimingModel::PCIE_GEN3_X8_GBPS;
+        let pcie_bound_hit = timing.report_bandwidth_gbps(
+            model_capacity.vectors_per_board as u64 + 1,
+            params.dims as u64,
+        ) > TimingModel::PCIE_GEN3_X8_GBPS;
         let constraint = if pcie_bound_hit && model_capacity.vectors_per_board < resource_bound {
             "PCIe report bandwidth"
         } else {

@@ -85,8 +85,7 @@ fn main() {
         println!("Measured on this host (Rust linear scan, single thread):");
         for w in Workload::ALL {
             let params = w.params();
-            let data =
-                binvec::generate::uniform_dataset(w.small_dataset_size(), params.dims, 11);
+            let data = binvec::generate::uniform_dataset(w.small_dataset_size(), params.dims, 11);
             let queries = binvec::generate::uniform_queries(params.queries, params.dims, 13);
             let engine = baselines::LinearScan::new(data);
             let start = Instant::now();

@@ -39,7 +39,13 @@ fn main() {
     let mut records = Vec::new();
     let mut runtime = TextTable::new(
         "Table IV — run time on large datasets, seconds (lower is better)",
-        &["Workload", "Platform", "Reproduced (s)", "Paper (s)", "Ratio"],
+        &[
+            "Workload",
+            "Platform",
+            "Reproduced (s)",
+            "Paper (s)",
+            "Ratio",
+        ],
     );
     let mut energy = TextTable::new(
         "Table IV — energy efficiency, queries/J (higher is better)",

@@ -78,7 +78,10 @@ fn evaluate_index<I: BucketIndex>(
     // ARM + AP: host traverses, AP scans the bucket.
     let gen1 = IndexedApEngine::new(index, KnnDesign::new(dims));
     let (_, s1) = gen1.search_batch(queries, k);
-    let gen2 = IndexedApEngine::new(index, KnnDesign::new(dims).with_device(DeviceConfig::gen2()));
+    let gen2 = IndexedApEngine::new(
+        index,
+        KnnDesign::new(dims).with_device(DeviceConfig::gen2()),
+    );
     let (_, s2) = gen2.search_batch(queries, k);
 
     Row {
@@ -182,9 +185,8 @@ fn main() {
     // between two denominators, so both are reported: the same indexing technique on
     // the ARM host, and a single-threaded ARM linear scan (the Table IV ARM model is
     // calibrated against the 4-core figures, so single-threaded is taken as 4x).
-    let single_thread_linear = 4.0
-        * queries.len() as f64
-        * arm_scan_seconds(data.len() as u64, dims);
+    let single_thread_linear =
+        4.0 * queries.len() as f64 * arm_scan_seconds(data.len() as u64, dims);
 
     let mut table = TextTable::new(
         "Relative speedups of ARM + AP over ARM-only baselines",
@@ -209,10 +211,14 @@ fn main() {
             row.name.to_string(),
             format!("{gen1_same:.2}x"),
             format!("{gen1_linear:.2}x"),
-            paper.map(|(_, g1, _)| format!("{g1:.2}x")).unwrap_or_default(),
+            paper
+                .map(|(_, g1, _)| format!("{g1:.2}x"))
+                .unwrap_or_default(),
             format!("{gen2_same:.2}x"),
             format!("{gen2_linear:.2}x"),
-            paper.map(|(_, _, g2)| format!("{g2:.1}x")).unwrap_or_default(),
+            paper
+                .map(|(_, _, g2)| format!("{g2:.1}x"))
+                .unwrap_or_default(),
         ]);
         records.push(ExperimentRecord::new(
             "table5",

@@ -43,7 +43,15 @@ fn main() {
 
     let mut table = TextTable::new(
         "",
-        &["Workload", "k", "k' = 1", "k' = 2", "k' = 3", "k' >= 4", "bandwidth reduction @ k'=2"],
+        &[
+            "Workload",
+            "k",
+            "k' = 1",
+            "k' = 2",
+            "k' = 3",
+            "k' >= 4",
+            "bandwidth reduction @ k'=2",
+        ],
     );
     let mut records = Vec::new();
 

@@ -49,13 +49,57 @@ impl ExperimentRecord {
     pub fn ratio(&self) -> Option<f64> {
         self.paper.map(|p| self.reproduced / p)
     }
+
+    /// Renders the record as one JSON object (written by hand — the serde shim
+    /// used in the offline build environment does not serialize).
+    pub fn to_json(&self) -> String {
+        let paper = match self.paper {
+            Some(p) => format_json_f64(p),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"experiment\":{},\"label\":{},\"metric\":{},\"reproduced\":{},\"paper\":{}}}",
+            json_string(&self.experiment),
+            json_string(&self.label),
+            json_string(&self.metric),
+            format_json_f64(self.reproduced),
+            paper,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn format_json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal point.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Prints records as JSON lines when `--json` was passed on the command line.
 pub fn maybe_emit_json(records: &[ExperimentRecord]) {
     if std::env::args().any(|a| a == "--json") {
         for r in records {
-            println!("{}", serde_json::to_string(r).expect("serializable record"));
+            println!("{}", r.to_json());
         }
     }
 }
@@ -98,6 +142,9 @@ mod tests {
     fn record_ratio() {
         let r = ExperimentRecord::new("table3", "x", "ms", 2.0, Some(4.0));
         assert_eq!(r.ratio(), Some(0.5));
-        assert_eq!(ExperimentRecord::new("t", "x", "ms", 2.0, None).ratio(), None);
+        assert_eq!(
+            ExperimentRecord::new("t", "x", "ms", 2.0, None).ratio(),
+            None
+        );
     }
 }

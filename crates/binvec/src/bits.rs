@@ -103,7 +103,11 @@ impl BinaryVector {
     /// Panics if `i >= dims()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.dims, "dimension {i} out of range (dims={})", self.dims);
+        assert!(
+            i < self.dims,
+            "dimension {i} out of range (dims={})",
+            self.dims
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -113,7 +117,11 @@ impl BinaryVector {
     /// Panics if `i >= dims()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.dims, "dimension {i} out of range (dims={})", self.dims);
+        assert!(
+            i < self.dims,
+            "dimension {i} out of range (dims={})",
+            self.dims
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if value {

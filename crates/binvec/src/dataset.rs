@@ -94,7 +94,11 @@ impl BinaryDataset {
     /// Returns the packed words of vector `i`.
     #[inline]
     pub fn vector_words(&self, i: usize) -> &[u64] {
-        assert!(i < self.len, "vector index {i} out of range (len={})", self.len);
+        assert!(
+            i < self.len,
+            "vector index {i} out of range (len={})",
+            self.len
+        );
         let start = i * self.words_per_vec;
         &self.words[start..start + self.words_per_vec]
     }
@@ -148,7 +152,12 @@ impl BinaryDataset {
 
     /// Total bytes of payload (packed) — used for bandwidth accounting.
     pub fn payload_bytes(&self) -> usize {
-        self.len * self.dims / 8 + if self.dims % 8 != 0 { self.len } else { 0 }
+        self.len * self.dims / 8
+            + if !self.dims.is_multiple_of(8) {
+                self.len
+            } else {
+                0
+            }
     }
 }
 

@@ -36,7 +36,10 @@ pub fn jaccard_similarity(a: &BinaryVector, b: &BinaryVector) -> f64 {
 #[inline]
 pub fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum()
 }
 
 #[cfg(test)]

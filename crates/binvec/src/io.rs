@@ -59,7 +59,9 @@ fn read_record_dims<R: Read>(reader: &mut R) -> io::Result<Option<usize>> {
         Some(raw) => {
             let dims = raw as i32;
             if dims <= 0 {
-                return Err(invalid(format!("non-positive vector dimensionality {dims}")));
+                return Err(invalid(format!(
+                    "non-positive vector dimensionality {dims}"
+                )));
             }
             Ok(Some(dims as usize))
         }

@@ -206,8 +206,7 @@ mod tests {
                 .map(|&x| {
                     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                     let u2: f64 = rng.gen();
-                    let gauss =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     x + gauss * spread
                 })
                 .collect();

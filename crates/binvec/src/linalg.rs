@@ -250,7 +250,10 @@ pub fn covariance(samples: &[Vec<f64>]) -> (Vec<f64>, Matrix) {
 /// # Panics
 /// Panics if the matrix is not square.
 pub fn jacobi_eigen(sym: &Matrix) -> (Vec<f64>, Matrix) {
-    assert_eq!(sym.rows, sym.cols, "eigendecomposition needs a square matrix");
+    assert_eq!(
+        sym.rows, sym.cols,
+        "eigendecomposition needs a square matrix"
+    );
     let n = sym.rows;
     let mut a = sym.clone();
     let mut v = Matrix::identity(n);
@@ -330,19 +333,19 @@ pub fn svd(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
     let m = a.rows;
     let n = a.cols;
     let mut u = Matrix::zeros(m, n);
-    for j in 0..n {
-        if singular[j] > 1e-10 {
+    for (j, &sj) in singular.iter().enumerate() {
+        if sj > 1e-10 {
             let vj = v.column(j);
             let uj = a.matvec(&vj);
-            for i in 0..m {
-                u.set(i, j, uj[i] / singular[j]);
+            for (i, &uji) in uj.iter().enumerate() {
+                u.set(i, j, uji / sj);
             }
         }
     }
     // Complete columns for zero singular values via Gram–Schmidt against the
     // existing columns, starting from coordinate axes.
-    for j in 0..n {
-        if singular[j] > 1e-10 {
+    for (j, &sj) in singular.iter().enumerate() {
+        if sj > 1e-10 {
             continue;
         }
         'candidates: for axis in 0..m {
@@ -360,8 +363,8 @@ pub fn svd(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
             }
             let norm: f64 = candidate.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm > 1e-6 {
-                for i in 0..m {
-                    u.set(i, j, candidate[i] / norm);
+                for (i, &ci) in candidate.iter().enumerate() {
+                    u.set(i, j, ci / norm);
                 }
                 break 'candidates;
             }
@@ -410,7 +413,10 @@ pub fn random_orthogonal(n: usize, seed: u64) -> Matrix {
                 m.set(i, j, v);
             }
         }
-        let norm: f64 = (0..n).map(|i| m.get(i, j) * m.get(i, j)).sum::<f64>().sqrt();
+        let norm: f64 = (0..n)
+            .map(|i| m.get(i, j) * m.get(i, j))
+            .sum::<f64>()
+            .sqrt();
         if norm < 1e-12 {
             // Degenerate column (astronomically unlikely): fall back to a unit axis.
             for i in 0..n {
@@ -437,10 +443,7 @@ mod tests {
     #[test]
     fn identity_and_matmul() {
         let i3 = Matrix::identity(3);
-        let m = Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ]);
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         assert_eq!(m.matmul(&i3), m);
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
@@ -453,10 +456,7 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b);
-        assert_eq!(
-            c,
-            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]])
-        );
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
     }
 
     #[test]
@@ -483,10 +483,7 @@ mod tests {
 
     #[test]
     fn mean_and_covariance() {
-        let samples = vec![
-            vec![1.0, 2.0],
-            vec![3.0, 6.0],
-        ];
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
         let (mean, cov) = covariance(&samples);
         assert_eq!(mean, vec![2.0, 4.0]);
         // Centered samples are (-1,-2) and (1,2): cov = [[1,2],[2,4]].
@@ -554,10 +551,7 @@ mod tests {
     #[test]
     fn svd_of_rank_deficient_matrix_still_orthonormal() {
         // Rank-1 matrix.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         let (u, s, v) = svd(&a);
         assert!(s[1].abs() < 1e-8);
         assert!(u.transpose().is_orthonormal(1e-6));

@@ -59,7 +59,10 @@ impl SignQuantizer {
     /// # Panics
     /// Panics if `training` is empty or contains vectors of differing lengths.
     pub fn fit(training: &[RealVector]) -> Self {
-        assert!(!training.is_empty(), "cannot fit quantizer on empty training set");
+        assert!(
+            !training.is_empty(),
+            "cannot fit quantizer on empty training set"
+        );
         let dims = training[0].len();
         let mut sums = vec![0.0f64; dims];
         for v in training {
@@ -229,7 +232,10 @@ mod tests {
         let mut far_total = 0u32;
         for _ in 0..20 {
             let a: Vec<f64> = (0..32).map(|_| standard_normal(&mut rng)).collect();
-            let near: Vec<f64> = a.iter().map(|x| x + 0.01 * standard_normal(&mut rng)).collect();
+            let near: Vec<f64> = a
+                .iter()
+                .map(|x| x + 0.01 * standard_normal(&mut rng))
+                .collect();
             let far: Vec<f64> = (0..32).map(|_| standard_normal(&mut rng)).collect();
             close_total += q.quantize(&a).hamming(&q.quantize(&near));
             far_total += q.quantize(&a).hamming(&q.quantize(&far));

@@ -183,7 +183,11 @@ mod tests {
         let got = select_k(3, candidates);
         assert_eq!(
             got,
-            vec![Neighbor::new(4, 1), Neighbor::new(1, 2), Neighbor::new(3, 2)]
+            vec![
+                Neighbor::new(4, 1),
+                Neighbor::new(1, 2),
+                Neighbor::new(3, 2)
+            ]
         );
     }
 
@@ -214,7 +218,9 @@ mod tests {
 
     #[test]
     fn merge_equals_single_pass() {
-        let all: Vec<Neighbor> = (0..50).map(|i| Neighbor::new(i, (i * 7 % 23) as u32)).collect();
+        let all: Vec<Neighbor> = (0..50)
+            .map(|i| Neighbor::new(i, (i * 7 % 23) as u32))
+            .collect();
         let expected = select_k(5, all.clone());
 
         let mut left = TopK::new(5);
@@ -239,7 +245,11 @@ mod tests {
         ]);
         assert_eq!(
             sorted,
-            vec![Neighbor::new(0, 1), Neighbor::new(1, 3), Neighbor::new(2, 3)]
+            vec![
+                Neighbor::new(0, 1),
+                Neighbor::new(1, 3),
+                Neighbor::new(2, 3)
+            ]
         );
     }
 

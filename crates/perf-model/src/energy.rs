@@ -83,9 +83,7 @@ mod tests {
         assert!(queries_per_joule(1, 0.0, 10.0).is_infinite());
         let r = EnergyReport::evaluate(Platform::XeonE5_2620, &job(Workload::WordEmbed, false));
         assert!((r.energy_j - r.run_time_s * r.dynamic_power_w).abs() < 1e-12);
-        assert!(
-            (r.queries_per_joule - 4096.0 / r.energy_j).abs() / r.queries_per_joule < 1e-9
-        );
+        assert!((r.queries_per_joule - 4096.0 / r.energy_j).abs() / r.queries_per_joule < 1e-9);
     }
 
     #[test]

@@ -176,9 +176,15 @@ mod tests {
         let titan = Platform::TitanX.spec();
         assert_eq!((titan.cores, titan.clock_mhz as u32), (3072, 1075));
         let kintex = Platform::Kintex7.spec();
-        assert_eq!((kintex.class, kintex.clock_mhz as u32), (PlatformClass::Fpga, 185));
+        assert_eq!(
+            (kintex.class, kintex.clock_mhz as u32),
+            (PlatformClass::Fpga, 185)
+        );
         let ap = Platform::ApGen1.spec();
-        assert_eq!((ap.cores, ap.process_nm, ap.clock_mhz as u32), (64, 50, 133));
+        assert_eq!(
+            (ap.cores, ap.process_nm, ap.clock_mhz as u32),
+            (64, 50, 133)
+        );
     }
 
     #[test]

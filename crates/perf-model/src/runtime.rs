@@ -82,17 +82,11 @@ impl RuntimeModel {
             Platform::CortexA15 => {
                 job.pairs() as f64 * (A15_FIXED_NS + A15_PER_WORD_NS * job.words() as f64) * 1e-9
             }
-            Platform::JetsonTk1 => {
-                TK1_OVERHEAD_S + job.pairs() as f64 * TK1_PER_PAIR_NS * 1e-9
-            }
-            Platform::TitanX => {
-                TITANX_OVERHEAD_S + job.pairs() as f64 * TITANX_PER_PAIR_NS * 1e-9
-            }
+            Platform::JetsonTk1 => TK1_OVERHEAD_S + job.pairs() as f64 * TK1_PER_PAIR_NS * 1e-9,
+            Platform::TitanX => TITANX_OVERHEAD_S + job.pairs() as f64 * TITANX_PER_PAIR_NS * 1e-9,
             Platform::Kintex7 => {
-                let accel = FpgaAccelerator::new(
-                    BinaryDataset::new(job.dims),
-                    Self::kintex7_config(),
-                );
+                let accel =
+                    FpgaAccelerator::new(BinaryDataset::new(job.dims), Self::kintex7_config());
                 accel
                     .estimate_cycles(job.dataset_size, job.dims, job.queries)
                     .seconds

@@ -1,0 +1,294 @@
+//! Minimal, API-compatible subset of `criterion` for offline builds.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! prints mean / min / max time per iteration (plus derived throughput when a
+//! [`Throughput`] annotation is set). There is no statistical analysis, outlier
+//! rejection, or HTML report — just honest wall-clock numbers on stdout in a
+//! stable format.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may use either this or
+/// `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Target time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+
+/// An identifier for one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    /// The label shown in the report line.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Quantity processed per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count per sample that
+        // lands near SAMPLE_TARGET.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET / 4 || iters_per_sample >= 1 << 20 {
+                let per_iter = elapsed.as_secs_f64() / iters_per_sample as f64;
+                iters_per_sample =
+                    ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        let mut means = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            means.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        self.mean_s = means.iter().sum::<f64>() / means.len() as f64;
+        self.min_s = means.iter().copied().fold(f64::INFINITY, f64::min);
+        self.max_s = means.iter().copied().fold(0.0, f64::max);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: samples.max(2),
+        mean_s: f64::NAN,
+        min_s: f64::NAN,
+        max_s: f64::NAN,
+    };
+    f(&mut bencher);
+    let mut line = format!(
+        "{label:<50} {:>10} [{} .. {}]",
+        format_time(bencher.mean_s),
+        format_time(bencher.min_s),
+        format_time(bencher.max_s),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  {:.3e} elem/s", n as f64 / bencher.mean_s));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!("  {:.3e} B/s", n as f64 / bencher.mean_s));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark runner handle passed to every bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&label.into_label(), self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration throughput used to derive rate figures.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, label.into_label());
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(label, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` (harness = false targets get --test passed by
+            // some cargo versions) or an explicit --test flag, skip the timed
+            // runs so test sweeps stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(2)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .throughput(Throughput::Elements(10))
+            .bench_function(BenchmarkId::new("id", 5), |b| b.iter(|| black_box(3) * 2));
+        group.finish();
+    }
+}

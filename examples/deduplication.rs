@@ -31,7 +31,11 @@ fn main() {
     // 1. Corpus: clustered "topics" plus planted near-duplicates.
     let mut corpus: Vec<Vec<f64>> = Vec::new();
     let topics: Vec<Vec<f64>> = (0..8)
-        .map(|_| (0..input_dims).map(|_| rng.gen::<f64>() * 8.0 - 4.0).collect())
+        .map(|_| {
+            (0..input_dims)
+                .map(|_| rng.gen::<f64>() * 8.0 - 4.0)
+                .collect()
+        })
         .collect();
     for i in 0..originals {
         let topic = &topics[i % topics.len()];
@@ -110,9 +114,7 @@ fn main() {
         "  flagged {} document pairs at Hamming distance <= {threshold}",
         flagged.len()
     );
-    println!(
-        "  planted duplicates recovered: {recovered}/{planted_duplicates}"
-    );
+    println!("  planted duplicates recovered: {recovered}/{planted_duplicates}");
     for (doc, other, dist) in flagged.iter().take(8) {
         println!("    doc {doc:>3} ~ doc {other:>3} (distance {dist})");
     }

@@ -29,7 +29,11 @@ fn main() {
     // 1. Synthetic "SIFT" descriptors: clustered Gaussians around random centroids.
     let mut rng = StdRng::seed_from_u64(2024);
     let centroids: Vec<Vec<f64>> = (0..16)
-        .map(|_| (0..descriptor_dims).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .map(|_| {
+            (0..descriptor_dims)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect()
+        })
         .collect();
     let descriptors: Vec<Vec<f64>> = (0..database_size)
         .map(|_| {
@@ -77,7 +81,11 @@ fn main() {
     let mut forest_hits = 0usize;
     let mut forest_candidates = 0usize;
     for (qi, q) in queries.iter().enumerate() {
-        assert_eq!(ap_results[qi], cpu.search(q, k), "AP must equal exact search");
+        assert_eq!(
+            ap_results[qi],
+            cpu.search(q, k),
+            "AP must equal exact search"
+        );
         if ap_results[qi].iter().any(|n| n.id == expected[qi]) {
             ap_hits += 1;
         }
@@ -94,21 +102,35 @@ fn main() {
         queries: n_queries,
         k,
     };
-    println!("Image retrieval (kNN-SIFT style): {database_size} images, {n_queries} queries, k = {k}");
+    println!(
+        "Image retrieval (kNN-SIFT style): {database_size} images, {n_queries} queries, k = {k}"
+    );
     println!();
     println!("recall of the planted source image in the top-{k}:");
-    println!("  AP exact scan   : {:>5.1} %", 100.0 * ap_hits as f64 / n_queries as f64);
+    println!(
+        "  AP exact scan   : {:>5.1} %",
+        100.0 * ap_hits as f64 / n_queries as f64
+    );
     println!(
         "  kd-forest (approx, scans {:.0} candidates/query on average): {:>5.1} %",
         forest_candidates as f64 / n_queries as f64,
         100.0 * forest_hits as f64 / n_queries as f64
     );
     println!();
-    println!("AP execution: {} symbols streamed, {} report events, {:.3} ms estimated",
-        stats.symbols_streamed, stats.reports, stats.total_seconds() * 1e3);
+    println!(
+        "AP execution: {} symbols streamed, {} report events, {:.3} ms estimated",
+        stats.symbols_streamed,
+        stats.reports,
+        stats.total_seconds() * 1e3
+    );
     println!();
     println!("projected run time of this batch on the paper's platforms:");
-    for platform in [Platform::XeonE5_2620, Platform::CortexA15, Platform::Kintex7, Platform::ApGen1] {
+    for platform in [
+        Platform::XeonE5_2620,
+        Platform::CortexA15,
+        Platform::Kintex7,
+        Platform::ApGen1,
+    ] {
         let report = EnergyReport::evaluate(platform, &job);
         println!(
             "  {:<13} {:>10.3} ms   {:>12.0} queries/J",

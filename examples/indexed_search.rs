@@ -35,7 +35,11 @@ fn main() {
     let exact = LinearScan::new(data.clone());
     let truth: Vec<_> = query_vectors.iter().map(|q| exact.search(q, k)).collect();
 
-    println!("Indexed AP search: {} vectors x {dims} dims, {} queries, k = {k}", data.len(), query_vectors.len());
+    println!(
+        "Indexed AP search: {} vectors x {dims} dims, {} queries, k = {k}",
+        data.len(),
+        query_vectors.len()
+    );
     println!();
     println!(
         "{:<22} {:>12} {:>9} {:>14} {:>14}",

@@ -42,7 +42,10 @@ fn main() {
             .with_capacity(capacity)
             .with_workers(workers);
         let (results, sched) = scheduler.search_batch(&data, &queries, k);
-        assert_eq!(results, reference, "parallel schedule must not change results");
+        assert_eq!(
+            results, reference,
+            "parallel schedule must not change results"
+        );
         println!(
             "{workers:>2} board(s) : critical path {:>7} symbols ({} partitions / board max), results identical ✔",
             sched.critical_path_symbols(),
@@ -57,7 +60,10 @@ fn main() {
     let layout = StreamLayout::for_design(&large_design);
     let partitions = BoardCapacity::paper_calibrated(64).configurations_for(1 << 20);
     let symbols = layout.stream_len(4096);
-    for (name, device) in [("Gen 1", DeviceConfig::gen1()), ("Gen 2", DeviceConfig::gen2())] {
+    for (name, device) in [
+        ("Gen 1", DeviceConfig::gen1()),
+        ("Gen 2", DeviceConfig::gen2()),
+    ] {
         let estimate = PipelineModel::new(TimingModel::new(device)).estimate(symbols, partitions);
         println!(
             "  {name}: serial {:.2} s, overlapped {:.2} s ({:.2}x)",

@@ -23,8 +23,16 @@ fn main() {
     let large_platforms = Platform::ALL;
 
     for (title, large, platforms) in [
-        ("Small datasets (one AP board configuration) — cf. Table III", false, &small_platforms[..]),
-        ("Large datasets (2^20 vectors) — cf. Table IV", true, &large_platforms[..]),
+        (
+            "Small datasets (one AP board configuration) — cf. Table III",
+            false,
+            &small_platforms[..],
+        ),
+        (
+            "Large datasets (2^20 vectors) — cf. Table IV",
+            true,
+            &large_platforms[..],
+        ),
     ] {
         // Header: workload, dataset size, then one column per platform.
         let mut header = vec!["Workload".to_string(), "n".to_string()];
@@ -65,15 +73,14 @@ fn main() {
     }
 
     println!("Compounded optimization + extension gains behind 'AP (Opt+Ext)' — cf. Table VIII");
-    let mut gains_table = TextTable::new(
-        "",
-        &["Factor", "kNN-WordEmbed", "kNN-SIFT", "kNN-TagSpace"],
-    );
+    let mut gains_table =
+        TextTable::new("", &["Factor", "kNN-WordEmbed", "kNN-SIFT", "kNN-TagSpace"]);
     let gains: Vec<CompoundedGains> = [64usize, 128, 256]
         .iter()
         .map(|&d| CompoundedGains::for_design(&KnnDesign::new(d)))
         .collect();
-    let rows: Vec<(&str, fn(&CompoundedGains) -> f64)> = vec![
+    type GainFn = fn(&CompoundedGains) -> f64;
+    let rows: [(&str, GainFn); 5] = [
         ("Technology scaling", |g| g.technology_scaling),
         ("Vector packing", |g| g.vector_packing),
         ("STE decomposition", |g| g.ste_decomposition),

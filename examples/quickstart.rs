@@ -38,7 +38,12 @@ fn main() {
     // 4. The AP's temporally encoded sort returns exactly the same neighbors.
     assert_eq!(ap_results, cpu_results);
 
-    println!("AP kNN quickstart ({} vectors x {} dims, {} queries, k = {k})", data.len(), dims, queries.len());
+    println!(
+        "AP kNN quickstart ({} vectors x {} dims, {} queries, k = {k})",
+        data.len(),
+        dims,
+        queries.len()
+    );
     println!();
     for (qi, neighbors) in ap_results.iter().enumerate().take(3) {
         let formatted: Vec<String> = neighbors
@@ -47,14 +52,20 @@ fn main() {
             .collect();
         println!("query {qi}: {}", formatted.join(", "));
     }
-    println!("  ... ({} more queries)", ap_results.len().saturating_sub(3));
+    println!(
+        "  ... ({} more queries)",
+        ap_results.len().saturating_sub(3)
+    );
     println!();
     println!("AP execution statistics");
     println!("  board configurations : {}", stats.board_configurations);
     println!("  reconfigurations     : {}", stats.reconfigurations);
     println!("  symbols streamed     : {}", stats.symbols_streamed);
     println!("  report events        : {}", stats.reports);
-    println!("  estimated run time   : {:.3} ms", stats.total_seconds() * 1e3);
+    println!(
+        "  estimated run time   : {:.3} ms",
+        stats.total_seconds() * 1e3
+    );
     println!();
     println!("results verified against the exact CPU linear scan ✔");
 }

@@ -53,7 +53,10 @@ fn main() {
         .place(set.network())
         .expect("dictionary fits on one board");
     println!();
-    println!("network: {} STEs, {} edges, {} independent NFAs", stats.stes, stats.edges, stats.components);
+    println!(
+        "network: {} STEs, {} edges, {} independent NFAs",
+        stats.stes, stats.edges, stats.components
+    );
     println!(
         "placement: {} blocks used, {:.3}% of board STE capacity",
         placement.blocks_used,
@@ -63,6 +66,10 @@ fn main() {
     // 4. The homogeneous (one-symbol-class-per-state) structure of a single pattern.
     let single = CompiledPcre::compile("(?:GET|POST) /api/v\\d").expect("compiles");
     println!();
-    println!("Graphviz rendering of {:?} ({} positions):", single.pattern(), single.position_count());
+    println!(
+        "Graphviz rendering of {:?} ({} positions):",
+        single.pattern(),
+        single.position_count()
+    );
     println!("{}", to_dot(single.network(), "api_pattern"));
 }

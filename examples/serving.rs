@@ -1,0 +1,90 @@
+//! End-to-end tour of the `ap-serve` serving subsystem.
+//!
+//! Builds a corpus, shards it across four simulated AP boards, stands up a
+//! `SearchService` with admission batching and a result cache, pushes 1 000
+//! single-query submissions through it (with a skewed re-query pattern, as
+//! production traffic would have), verifies a sample against the exact scan,
+//! and prints the `ServiceStats` report.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use ap_similarity::prelude::*;
+
+fn main() {
+    let dims = 64;
+    let k = 10;
+    let corpus_size = 2_000;
+    let shards = 4;
+    let total_queries = 1_000;
+
+    println!("== ap-serve demo ==");
+    println!("corpus: {corpus_size} x {dims}-bit vectors, {shards} shards, k = {k}");
+
+    // 1. Corpus and sharding: contiguous slices, one simulated board each.
+    let data = binvec::generate::uniform_dataset(corpus_size, dims, 42);
+    let sharding = ShardedDataset::split(&data, shards);
+    for s in 0..sharding.shard_count() {
+        println!(
+            "  shard {s}: {} vectors, global ids {}..{}",
+            sharding.shards()[s].len(),
+            sharding.base(s),
+            sharding.base(s) + sharding.shards()[s].len(),
+        );
+    }
+
+    // 2. One AP engine per shard behind the uniform backend interface.
+    let backend = ShardedBackend::build(&sharding, |_, shard| {
+        ApEngineBackend::new(
+            ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral),
+            shard.clone(),
+        )
+    });
+
+    // 3. The service: batches of 7 (the §VI-B multiplex width), LRU cache.
+    let config = ServiceConfig::default().with_k(k).with_cache_capacity(512);
+    let mut service = SearchService::new(Box::new(backend), config);
+    println!("backend: {}", service.backend_name());
+
+    // 4. Traffic: fresh queries mixed with re-queries of a small hot set, the
+    //    skew a production similarity service sees.
+    let fresh = binvec::generate::uniform_queries(total_queries, dims, 43);
+    let hot: Vec<BinaryVector> = fresh[..20].to_vec();
+    let mut submitted = Vec::with_capacity(total_queries);
+    for (i, q) in fresh.into_iter().enumerate() {
+        // Every third submission re-asks a hot query.
+        let query = if i % 3 == 2 {
+            hot[i % hot.len()].clone()
+        } else {
+            q
+        };
+        submitted.push(query.clone());
+        service.submit(query);
+    }
+    let completed = service.drain();
+    assert_eq!(completed.len(), total_queries);
+
+    // 5. Spot-check against the exact scan.
+    let ground_truth = LinearScan::new(data);
+    for c in completed.iter().step_by(97) {
+        assert_eq!(
+            c.neighbors,
+            ground_truth.search(&c.query, k),
+            "service result diverged from the exact scan"
+        );
+    }
+    println!("results verified against LinearScan ground truth");
+
+    // 6. The service report.
+    let stats = service.stats();
+    println!("\n{}", stats.report());
+    println!(
+        "batch fill {:.1}% | cache hit rate {:.1}% | shard utilization {:?}",
+        stats.batch_fill_ratio().unwrap_or(0.0) * 100.0,
+        stats.cache_hit_rate().unwrap_or(0.0) * 100.0,
+        stats
+            .shard_utilization()
+            .iter()
+            .map(|u| format!("{:.2}", u))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -30,11 +30,22 @@ fn main() {
     let trace = sim.run_traced(&stream);
 
     println!("Figure 3/4 reproduction");
-    println!("  vector A = {:?}  (Hamming distance to query: {})", vector_a.to_bits(), vector_a.hamming(&query));
-    println!("  vector B = {:?}  (Hamming distance to query: {})", vector_b.to_bits(), vector_b.hamming(&query));
+    println!(
+        "  vector A = {:?}  (Hamming distance to query: {})",
+        vector_a.to_bits(),
+        vector_a.hamming(&query)
+    );
+    println!(
+        "  vector B = {:?}  (Hamming distance to query: {})",
+        vector_b.to_bits(),
+        vector_b.hamming(&query)
+    );
     println!("  query    = {:?}", query.to_bits());
     println!();
-    println!("{:>4}  {:>8}  {:>9}  {:>9}  report", "t", "symbol", "count(A)", "count(B)");
+    println!(
+        "{:>4}  {:>8}  {:>9}  {:>9}  report",
+        "t", "symbol", "count(A)", "count(B)"
+    );
 
     for (offset, symbol) in stream.iter().enumerate() {
         let symbol_name = if *symbol == layout.sof {

@@ -13,6 +13,7 @@
 //! | [`binvec`] | Bit-packed binary vectors, Hamming distance, ITQ quantization, corpus I/O, workloads |
 //! | [`baselines`] | CPU linear scan, kd-tree / k-means / LSH indexes, FPGA and GPU simulators |
 //! | [`ap_knn`] | The paper's contribution: kNN automata, temporal sort, optimizations, extensions, Jaccard, scheduler |
+//! | [`ap_serve`] | Query-serving subsystem: admission batching, dataset sharding, result caching, service stats |
 //! | [`perf_model`] | Table I platforms, run-time and energy models for table regeneration |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use ap_knn;
+pub use ap_serve;
 pub use ap_sim;
 pub use baselines;
 pub use binvec;
@@ -51,12 +53,15 @@ pub use perf_model;
 /// Convenient re-exports of the most frequently used types across the workspace.
 pub mod prelude {
     pub use ap_knn::{
-        ApKnnEngine, BoardCapacity, ExecutionMode, JaccardSearcher, KnnDesign,
-        ParallelApScheduler, StreamLayout,
+        ApKnnEngine, BoardCapacity, ExecutionMode, JaccardSearcher, KnnDesign, ParallelApScheduler,
+        StreamLayout,
+    };
+    pub use ap_serve::{
+        ApEngineBackend, ApSchedulerBackend, SearchService, ServiceConfig, ServiceStats,
+        ShardedBackend, ShardedDataset, SimilarityBackend,
     };
     pub use ap_sim::{
-        ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator,
-        TimingModel,
+        ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator, TimingModel,
     };
     pub use baselines::{
         FpgaAccelerator, FpgaConfig, GpuAccelerator, GpuConfig, HierarchicalKMeans, KdForest,

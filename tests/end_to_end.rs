@@ -4,7 +4,9 @@
 use ap_knn::indexed::{DatasetBackedIndex, IndexedApEngine};
 use ap_similarity::prelude::*;
 use baselines::{BucketIndex, KMeansConfig, KdForestConfig, LshConfig};
-use binvec::generate::{clustered_dataset, planted_queries, uniform_dataset, uniform_queries, ClusterParams};
+use binvec::generate::{
+    clustered_dataset, planted_queries, uniform_dataset, uniform_queries, ClusterParams,
+};
 use binvec::metrics::recall_at_k;
 use binvec::quantize::{Quantizer, RandomRotationQuantizer};
 
@@ -76,7 +78,10 @@ fn quantization_pipeline_preserves_nearest_neighbors() {
             hits += 1;
         }
     }
-    assert!(hits >= 18, "only {hits}/20 planted queries retrieved their source");
+    assert!(
+        hits >= 18,
+        "only {hits}/20 planted queries retrieved their source"
+    );
 }
 
 #[test]
@@ -180,5 +185,8 @@ fn gen2_is_faster_than_gen1_for_multi_board_workloads() {
     let t1 = gen1.estimate_run(n, queries).total_seconds();
     let t2 = gen2.estimate_run(n, queries).total_seconds();
     assert!(t1 > t2);
-    assert!(t1 / t2 > 5.0, "Gen2 should be far faster when reconfiguration dominates");
+    assert!(
+        t1 / t2 > 5.0,
+        "Gen2 should be far faster when reconfiguration dominates"
+    );
 }

@@ -16,8 +16,18 @@ fn run_figure4() -> (
     let design = KnnDesign::new(4);
     let layout = StreamLayout::for_design(&design);
     let mut net = AutomataNetwork::new();
-    let a = append_vector_macro(&mut net, &BinaryVector::from_bits(&[1, 0, 1, 1]), 0, &design);
-    let b = append_vector_macro(&mut net, &BinaryVector::from_bits(&[0, 0, 0, 0]), 1, &design);
+    let a = append_vector_macro(
+        &mut net,
+        &BinaryVector::from_bits(&[1, 0, 1, 1]),
+        0,
+        &design,
+    );
+    let b = append_vector_macro(
+        &mut net,
+        &BinaryVector::from_bits(&[0, 0, 0, 0]),
+        1,
+        &design,
+    );
     let query = BinaryVector::from_bits(&[1, 0, 0, 1]);
     let mut sim = Simulator::new(&net).unwrap();
     let trace = sim.run_traced(&layout.encode_query(&query));
@@ -55,9 +65,15 @@ fn counter_trajectories_accumulate_matches_then_sort_increments() {
     // match (dimension 3, streamed at offset 4) flows through the collector and is
     // visible in the counter two cycles later, so by offset 6 the counter holds the
     // full inverted Hamming distance...
-    assert_eq!(a[6], 3, "A's inverted Hamming distance after the compute phase");
+    assert_eq!(
+        a[6], 3,
+        "A's inverted Hamming distance after the compute phase"
+    );
     // ...and vector B = {0,0,0,0} accumulates its 2 matches (dimensions 1 and 2).
-    assert_eq!(b[6], 2, "B's inverted Hamming distance after the compute phase");
+    assert_eq!(
+        b[6], 2,
+        "B's inverted Hamming distance after the compute phase"
+    );
     assert_eq!(b[5], 2, "B's matches have all arrived by offset 5");
 
     // During the sort phase both counters are incremented uniformly, once per cycle,
@@ -101,7 +117,12 @@ fn counters_reset_after_eof_for_the_next_query() {
     let design = KnnDesign::new(4);
     let layout = StreamLayout::for_design(&design);
     let mut net = AutomataNetwork::new();
-    append_vector_macro(&mut net, &BinaryVector::from_bits(&[1, 0, 1, 1]), 0, &design);
+    append_vector_macro(
+        &mut net,
+        &BinaryVector::from_bits(&[1, 0, 1, 1]),
+        0,
+        &design,
+    );
     let q1 = BinaryVector::from_bits(&[1, 0, 0, 1]); // distance 1
     let q2 = BinaryVector::from_bits(&[0, 1, 0, 0]); // distance 4
     let mut sim = Simulator::new(&net).unwrap();

@@ -68,7 +68,10 @@ fn ap_search_over_itq_codes_matches_cpu_search_exactly() {
     let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
     let (ap, _) = engine.search_batch(&dataset, &query_codes, 5);
     let cpu = LinearScan::new(dataset.clone()).search_batch(&query_codes, 5);
-    assert_eq!(ap, cpu, "Hamming-space search must be exact regardless of quantizer");
+    assert_eq!(
+        ap, cpu,
+        "Hamming-space search must be exact regardless of quantizer"
+    );
 }
 
 #[test]
@@ -145,9 +148,15 @@ fn itq_preserves_neighborhoods_at_least_as_well_as_random_rotation() {
     let (rr_near, rr_far) = separation(&rr);
 
     // Planted pairs stay within a small fraction of the code length.
-    assert!(itq_near <= code_dims as f64 * 0.15, "ITQ planted-pair distance {itq_near}");
+    assert!(
+        itq_near <= code_dims as f64 * 0.15,
+        "ITQ planted-pair distance {itq_near}"
+    );
     // And are clearly separated from arbitrary points.
-    assert!(itq_near * 2.0 < itq_far, "ITQ near {itq_near} vs far {itq_far}");
+    assert!(
+        itq_near * 2.0 < itq_far,
+        "ITQ near {itq_near} vs far {itq_far}"
+    );
     // ITQ's neighborhood preservation is competitive with the random rotation's.
     assert!(
         itq_near <= rr_near + 1.0,
@@ -160,15 +169,15 @@ fn itq_preserves_neighborhoods_at_least_as_well_as_random_rotation() {
 fn quantizer_trait_objects_are_interchangeable_in_the_pipeline() {
     let (data, queries, _) = planted_real_corpus(60, 32, 3, 4);
     let quantizers: Vec<Box<dyn Quantizer>> = vec![
-        Box::new(ItqQuantizer::fit(&data, &ItqConfig::new(16).with_iterations(10))),
+        Box::new(ItqQuantizer::fit(
+            &data,
+            &ItqConfig::new(16).with_iterations(10),
+        )),
         Box::new(RandomRotationQuantizer::new(32, 16, 5)),
     ];
     for q in &quantizers {
         assert_eq!(q.code_dims(), 16);
-        let dataset = to_dataset(
-            &data.iter().map(|v| q.quantize(v)).collect::<Vec<_>>(),
-            16,
-        );
+        let dataset = to_dataset(&data.iter().map(|v| q.quantize(v)).collect::<Vec<_>>(), 16);
         let query_codes: Vec<BinaryVector> = queries.iter().map(|v| q.quantize(v)).collect();
         let engine = ApKnnEngine::new(KnnDesign::new(16));
         let (results, _) = engine.search_batch(&dataset, &query_codes, 2);

@@ -55,7 +55,9 @@ fn jaccard_and_hamming_rankings_differ_when_set_sizes_differ() {
     ]));
 
     let searcher = JaccardSearcher::new(KnnDesign::new(dims));
-    let jaccard = &searcher.search_batch(&data, &[query.clone()], 3).unwrap()[0];
+    let jaccard = &searcher
+        .search_batch(&data, std::slice::from_ref(&query), 3)
+        .unwrap()[0];
     assert_eq!(jaccard[0].id, 0);
     assert!((jaccard[0].similarity - 1.0).abs() < 1e-12);
     // The superset (id 1) scores 2/10, the single-shared-bit vector (id 2) 1/3;

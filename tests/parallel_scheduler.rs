@@ -74,14 +74,18 @@ fn pipeline_estimates_are_consistent_across_generations() {
     let symbols = layout.stream_len(4096);
     let partitions = BoardCapacity::paper_calibrated(64).configurations_for(1 << 20);
 
-    let gen1 = PipelineModel::new(TimingModel::new(DeviceConfig::gen1()))
-        .estimate(symbols, partitions);
-    let gen2 = PipelineModel::new(TimingModel::new(DeviceConfig::gen2()))
-        .estimate(symbols, partitions);
+    let gen1 =
+        PipelineModel::new(TimingModel::new(DeviceConfig::gen1())).estimate(symbols, partitions);
+    let gen2 =
+        PipelineModel::new(TimingModel::new(DeviceConfig::gen2())).estimate(symbols, partitions);
 
     // Serial Gen-1 time should be in the neighbourhood of the paper's Table IV
     // WordEmbed figure (48.1 s) — same order, dominated by reconfiguration.
-    assert!((30.0..80.0).contains(&gen1.serial_s), "gen1 {}", gen1.serial_s);
+    assert!(
+        (30.0..80.0).contains(&gen1.serial_s),
+        "gen1 {}",
+        gen1.serial_s
+    );
     assert!(gen1.reconfiguration_s > gen1.stream_per_partition_s);
     // Gen 2 is roughly an order of magnitude faster end to end.
     assert!(gen1.serial_s / gen2.serial_s > 5.0);

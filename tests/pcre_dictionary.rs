@@ -54,8 +54,8 @@ fn literal_dictionary_matches_substring_search() {
 fn structured_patterns_find_expected_lines() {
     let log = synthetic_log();
     let patterns = [
-        "status [45]\\d\\d",       // the two error lines
-        "timeout after \\d+ms",    // one line
+        "status [45]\\d\\d",        // the two error lines
+        "timeout after \\d+ms",     // one line
         "user=[a-z]+ (?:GET|POST)", // four lines (PUT excluded)
     ];
     let set = PcreSet::compile(&patterns).expect("compiles");
@@ -91,7 +91,10 @@ fn large_literal_dictionary_places_on_one_board() {
         .place(set.network())
         .expect("fits");
     assert!(placement.fits());
-    assert!(placement.ste_utilization < 0.01, "a literal dictionary is tiny");
+    assert!(
+        placement.ste_utilization < 0.01,
+        "a literal dictionary is tiny"
+    );
 
     // Every signature is found when its payload appears in the stream.
     let mut haystack = b"noise ".to_vec();

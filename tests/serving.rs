@@ -1,0 +1,133 @@
+//! Integration tests for the `ap-serve` serving subsystem: a sharded service
+//! must answer exactly like a brute-force scan of the unsharded corpus.
+
+use ap_similarity::prelude::*;
+
+fn build_sharded_ap_service(
+    data: &BinaryDataset,
+    shards: usize,
+    config: ServiceConfig,
+) -> SearchService {
+    let dims = data.dims();
+    let sharding = ShardedDataset::split(data, shards);
+    let backend = ShardedBackend::build(&sharding, |_, shard| {
+        ApEngineBackend::new(
+            ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral),
+            shard.clone(),
+        )
+    });
+    SearchService::new(Box::new(backend), config)
+}
+
+#[test]
+fn sharded_service_matches_linear_scan_on_1k_corpus() {
+    let dims = 64;
+    let k = 10;
+    let data = binvec::generate::uniform_dataset(1000, dims, 101);
+    let queries = binvec::generate::uniform_queries(64, dims, 102);
+    let ground_truth = LinearScan::new(data.clone());
+
+    let mut service = build_sharded_ap_service(&data, 4, ServiceConfig::default().with_k(k));
+    let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
+    let completed = service.drain();
+
+    assert_eq!(completed.len(), queries.len());
+    for ((completed, ticket), query) in completed.iter().zip(&tickets).zip(&queries) {
+        assert_eq!(completed.ticket, *ticket);
+        assert_eq!(
+            completed.neighbors,
+            ground_truth.search(query, k),
+            "sharded AP service must equal the exact scan"
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.queries_served, 64);
+    assert_eq!(stats.shard_cycles.len(), 4);
+    // Contiguous sharding of a uniform corpus keeps the boards near-evenly
+    // loaded: every shard streams the same windows per batch.
+    for utilization in stats.shard_utilization() {
+        assert!(utilization > 0.9, "shard underutilized: {utilization}");
+    }
+}
+
+#[test]
+fn shard_count_does_not_change_results() {
+    let dims = 32;
+    let k = 5;
+    let data = binvec::generate::uniform_dataset(257, dims, 103);
+    let queries = binvec::generate::uniform_queries(21, dims, 104);
+
+    let mut reference: Option<Vec<Vec<Neighbor>>> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let mut service =
+            build_sharded_ap_service(&data, shards, ServiceConfig::default().with_k(k));
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        let results: Vec<Vec<Neighbor>> =
+            service.drain().into_iter().map(|c| c.neighbors).collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(expected) => assert_eq!(&results, expected, "shards = {shards}"),
+        }
+    }
+}
+
+#[test]
+fn cached_replay_serves_without_new_dispatches() {
+    let dims = 32;
+    let data = binvec::generate::uniform_dataset(300, dims, 105);
+    let queries = binvec::generate::uniform_queries(14, dims, 106);
+
+    let mut service = build_sharded_ap_service(&data, 2, ServiceConfig::default().with_k(4));
+    for q in &queries {
+        service.submit(q.clone());
+    }
+    let first = service.drain();
+    let batches_after_first_wave = service.stats().batches_dispatched;
+
+    for q in &queries {
+        service.submit(q.clone());
+    }
+    let second = service.drain();
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.batches_dispatched, batches_after_first_wave,
+        "replayed queries must be served by the cache"
+    );
+    assert_eq!(stats.cache_hits, queries.len() as u64);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+}
+
+#[test]
+fn scheduler_backend_behaves_like_sharded_backend() {
+    // The multi-board scheduler is itself a sharded deployment (partitions
+    // spread over workers); served through the service it must agree with the
+    // exact scan too.
+    let dims = 16;
+    let k = 3;
+    let data = binvec::generate::uniform_dataset(96, dims, 107);
+    let queries = binvec::generate::uniform_queries(10, dims, 108);
+    let ground_truth = LinearScan::new(data.clone());
+
+    let scheduler = ParallelApScheduler::new(KnnDesign::new(dims))
+        .with_capacity(BoardCapacity {
+            vectors_per_board: 24,
+            model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+        })
+        .with_workers(4);
+    let backend = ApSchedulerBackend::new(scheduler, data);
+    let mut service = SearchService::new(Box::new(backend), ServiceConfig::default().with_k(k));
+    for q in &queries {
+        service.submit(q.clone());
+    }
+    for (completed, query) in service.drain().iter().zip(&queries) {
+        assert_eq!(completed.neighbors, ground_truth.search(query, k));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shard_cycles.len(), 4);
+}
