@@ -29,7 +29,9 @@ use crate::design::KnnDesign;
 use crate::stream::StreamLayout;
 use ap_sim::reconfig::ExecutionEstimate;
 use ap_sim::{Simulator, TimingModel};
-use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use binvec::{
+    BinaryDataset, BinaryVector, ExecutionPreference, Neighbor, QueryOptions, SearchError, TopK,
+};
 use serde::{Deserialize, Serialize};
 
 /// How the engine produces results.
@@ -133,35 +135,83 @@ impl ApKnnEngine {
     /// Searches `queries` against `data`, returning per-query sorted neighbors and
     /// run statistics.
     ///
-    /// # Panics
-    /// Panics if dataset or query dimensionality differs from the design.
-    pub fn search_batch(
+    /// This is the fallible uniform entry point: validation failures come back as
+    /// typed [`SearchError`]s instead of panics, `options.within` restricts results
+    /// to neighbors strictly inside the distance bound (the §VII range-query
+    /// scenario), and `options.execution` can override the engine's configured
+    /// [`ExecutionMode`] per call.
+    ///
+    /// # Errors
+    /// * [`SearchError::ZeroDims`] — the design has no dimensions;
+    /// * [`SearchError::DimMismatch`] — dataset or query dims differ from the design;
+    /// * [`SearchError::ZeroK`] / [`SearchError::ZeroDistanceBound`] — invalid options;
+    /// * [`SearchError::CapacityExceeded`] — the encoded batch would overflow the
+    ///   32-bit report-offset space of one streamed window sequence;
+    /// * [`SearchError::Backend`] — a partition network failed simulator validation.
+    pub fn try_search_batch(
         &self,
         data: &BinaryDataset,
         queries: &[BinaryVector],
-        k: usize,
-    ) -> (Vec<Vec<Neighbor>>, ApRunStats) {
-        assert_eq!(data.dims(), self.design.dims, "dataset dims mismatch");
-        for q in queries {
-            assert_eq!(q.dims(), self.design.dims, "query dims mismatch");
+        options: &QueryOptions,
+    ) -> Result<(Vec<Vec<Neighbor>>, ApRunStats), SearchError> {
+        options.validate()?;
+        if self.design.dims == 0 {
+            return Err(SearchError::ZeroDims);
         }
-        assert!(k > 0, "k must be positive");
+        if data.dims() != self.design.dims {
+            return Err(SearchError::DimMismatch {
+                expected: self.design.dims,
+                actual: data.dims(),
+            });
+        }
+        for q in queries {
+            if q.dims() != self.design.dims {
+                return Err(SearchError::DimMismatch {
+                    expected: self.design.dims,
+                    actual: q.dims(),
+                });
+            }
+        }
 
         let layout = StreamLayout::for_design(&self.design);
+        // Reports address their window by a 32-bit stream offset; a batch whose
+        // stream is longer than that cannot be decoded unambiguously.
+        let stream_len = layout.stream_len(queries.len());
+        if stream_len > u64::from(u32::MAX) {
+            return Err(SearchError::CapacityExceeded {
+                needed: stream_len,
+                limit: u64::from(u32::MAX),
+            });
+        }
+
+        let mode = match options.execution {
+            ExecutionPreference::Auto => self.mode,
+            ExecutionPreference::CycleAccurate => ExecutionMode::CycleAccurate,
+            ExecutionPreference::Behavioral => ExecutionMode::Behavioral,
+        };
+        let k = options.k;
         let partitions = data.partition(self.capacity.vectors_per_board.max(1));
         let configs = partitions.len().max(1);
 
         let mut accumulators: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
         let mut reports_total = 0u64;
+        // The symbol stream is identical for every partition; encode it once.
+        let stream = match mode {
+            ExecutionMode::CycleAccurate => Some(layout.encode_batch(queries)),
+            ExecutionMode::Behavioral => None,
+        };
 
         for partition in &partitions {
-            match self.mode {
+            match mode {
                 ExecutionMode::CycleAccurate => {
                     let pn = PartitionNetwork::build(partition, &self.design);
                     let mut sim =
-                        Simulator::new(&pn.network).expect("partition network must be valid");
-                    let stream = layout.encode_batch(queries);
-                    let reports = sim.run(&stream);
+                        Simulator::new(&pn.network).map_err(|e| SearchError::Backend {
+                            backend: "ap-knn".to_string(),
+                            reason: e.to_string(),
+                        })?;
+                    let stream = stream.as_deref().expect("encoded for cycle-accurate mode");
+                    let reports = sim.run(stream);
                     reports_total += reports.len() as u64;
                     merge_reports_into(&layout, &reports, partition.base_index, &mut accumulators);
                 }
@@ -181,10 +231,31 @@ impl ApKnnEngine {
         }
 
         let stats = self.accounting(data.len(), queries.len(), configs, reports_total, &layout);
-        (
-            accumulators.into_iter().map(TopK::into_sorted).collect(),
-            stats,
-        )
+        let mut results: Vec<Vec<Neighbor>> =
+            accumulators.into_iter().map(TopK::into_sorted).collect();
+        for neighbors in &mut results {
+            options.clip(neighbors);
+        }
+        Ok((results, stats))
+    }
+
+    /// Searches `queries` against `data`, returning per-query sorted neighbors and
+    /// run statistics.
+    ///
+    /// # Panics
+    /// Panics if dataset or query dimensionality differs from the design or `k`
+    /// is zero. Use [`Self::try_search_batch`] to handle these as typed errors.
+    #[deprecated(since = "0.2.0", note = "use `try_search_batch` with `QueryOptions`")]
+    pub fn search_batch(
+        &self,
+        data: &BinaryDataset,
+        queries: &[BinaryVector],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, ApRunStats) {
+        match self.try_search_batch(data, queries, &QueryOptions::top(k)) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Produces run statistics without executing a search (used by the large-dataset
@@ -253,7 +324,9 @@ mod tests {
         let data = uniform_dataset(40, dims, 1);
         let queries = uniform_queries(5, dims, 2);
         let engine = ApKnnEngine::new(KnnDesign::new(dims));
-        let (results, stats) = engine.search_batch(&data, &queries, 3);
+        let (results, stats) = engine
+            .try_search_batch(&data, &queries, &QueryOptions::top(3))
+            .unwrap();
         assert_eq!(results, exact_results(&data, &queries, 3));
         assert_eq!(stats.board_configurations, 1);
         assert_eq!(stats.reconfigurations, 0);
@@ -271,7 +344,9 @@ mod tests {
             vectors_per_board: 8,
             model: crate::capacity::CapacityModel::PaperCalibrated,
         });
-        let (results, stats) = engine.search_batch(&data, &queries, 5);
+        let (results, stats) = engine
+            .try_search_batch(&data, &queries, &QueryOptions::top(5))
+            .unwrap();
         assert_eq!(results, exact_results(&data, &queries, 5));
         assert_eq!(stats.board_configurations, 7);
         assert_eq!(stats.reconfigurations, 6);
@@ -294,8 +369,12 @@ mod tests {
         let behav = ApKnnEngine::new(design)
             .with_capacity(cap)
             .with_mode(ExecutionMode::Behavioral);
-        let (r1, s1) = cycle.search_batch(&data, &queries, 4);
-        let (r2, s2) = behav.search_batch(&data, &queries, 4);
+        let (r1, s1) = cycle
+            .try_search_batch(&data, &queries, &QueryOptions::top(4))
+            .unwrap();
+        let (r2, s2) = behav
+            .try_search_batch(&data, &queries, &QueryOptions::top(4))
+            .unwrap();
         assert_eq!(r1, r2);
         assert_eq!(s1.symbols_streamed, s2.symbols_streamed);
         assert_eq!(s1.reports, s2.reports);
@@ -368,18 +447,98 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be positive")]
-    fn zero_k_panics() {
+    fn distance_bound_returns_exactly_the_in_range_neighbors() {
+        // Cycle-accurate run: the bound must select exactly the vectors whose
+        // Hamming distance is strictly below it, in sorted order.
+        let dims = 12;
+        let data = uniform_dataset(36, dims, 21);
+        let queries = uniform_queries(4, dims, 22);
+        let engine = ApKnnEngine::new(KnnDesign::new(dims));
+        let bound = 5u32;
+        // k chosen larger than any within-bound set so the bound is the only cap.
+        let options = QueryOptions::top(data.len()).within(bound);
+        let (results, _) = engine.try_search_batch(&data, &queries, &options).unwrap();
+        for (q, got) in queries.iter().zip(&results) {
+            let mut expected: Vec<Neighbor> = (0..data.len())
+                .map(|i| Neighbor::new(i, data.hamming_to(i, q)))
+                .filter(|n| n.distance < bound)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, &expected);
+        }
+    }
+
+    #[test]
+    fn execution_preference_overrides_the_configured_mode() {
+        let dims = 16;
+        let data = uniform_dataset(30, dims, 23);
+        let queries = uniform_queries(3, dims, 24);
+        let behavioral =
+            ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
+        let forced = QueryOptions::top(3).execution(ExecutionPreference::CycleAccurate);
+        let (r1, _) = behavioral
+            .try_search_batch(&data, &queries, &forced)
+            .unwrap();
+        assert_eq!(r1, exact_results(&data, &queries, 3));
+        let auto = QueryOptions::top(3);
+        let (r2, _) = behavioral.try_search_batch(&data, &queries, &auto).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn typed_errors_replace_the_assert_paths() {
         let data = uniform_dataset(4, 8, 0);
         let queries = uniform_queries(1, 8, 1);
+        let engine = ApKnnEngine::new(KnnDesign::new(8));
+        assert_eq!(
+            engine
+                .try_search_batch(&data, &queries, &QueryOptions::top(0))
+                .unwrap_err(),
+            SearchError::ZeroK
+        );
+        assert_eq!(
+            engine
+                .try_search_batch(&data, &queries, &QueryOptions::top(1).within(0))
+                .unwrap_err(),
+            SearchError::ZeroDistanceBound
+        );
+        let wide = uniform_dataset(4, 16, 0);
+        assert_eq!(
+            engine
+                .try_search_batch(&wide, &queries, &QueryOptions::top(1))
+                .unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 8,
+                actual: 16
+            }
+        );
+        let narrow_queries = uniform_queries(1, 4, 1);
+        assert_eq!(
+            engine
+                .try_search_batch(&data, &narrow_queries, &QueryOptions::top(1))
+                .unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn deprecated_wrapper_still_panics_on_zero_k() {
+        let data = uniform_dataset(4, 8, 0);
+        let queries = uniform_queries(1, 8, 1);
+        #[allow(deprecated)]
         let _ = ApKnnEngine::new(KnnDesign::new(8)).search_batch(&data, &queries, 0);
     }
 
     #[test]
-    #[should_panic(expected = "dataset dims mismatch")]
-    fn dataset_dims_mismatch_panics() {
+    #[should_panic(expected = "dims mismatch")]
+    fn deprecated_wrapper_still_panics_on_dims_mismatch() {
         let data = uniform_dataset(4, 16, 0);
         let queries = uniform_queries(1, 8, 1);
+        #[allow(deprecated)]
         let _ = ApKnnEngine::new(KnnDesign::new(8)).search_batch(&data, &queries, 1);
     }
 }

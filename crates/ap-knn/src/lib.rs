@@ -56,6 +56,7 @@ pub mod reduction;
 pub mod scheduler;
 pub mod stream;
 
+pub use binvec::{ExecutionPreference, QueryOptions, SearchError};
 pub use builder::PartitionNetwork;
 pub use capacity::BoardCapacity;
 pub use decode::decode_reports;

@@ -285,7 +285,8 @@ mod tests {
         let design = KnnDesign::new(dims);
         let (expected, _) = ApKnnEngine::new(design)
             .with_capacity(tiny_capacity(9))
-            .search_batch(&data, &queries, 4);
+            .try_search_batch(&data, &queries, &binvec::QueryOptions::top(4))
+            .unwrap();
         for workers in [1usize, 2, 3, 8] {
             let scheduler = ParallelApScheduler::new(design)
                 .with_capacity(tiny_capacity(9))

@@ -11,7 +11,7 @@ use ap_knn::indexed::{IndexedApEngine, IndexedDataAccess};
 use ap_knn::jaccard::JaccardSearcher;
 use ap_knn::{ApKnnEngine, KnnDesign, ParallelApScheduler};
 use baselines::{BucketIndex, SearchIndex};
-use binvec::{BinaryDataset, BinaryVector, Neighbor};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError};
 
 /// Results and accounting from one dispatched batch.
 #[derive(Clone, Debug, Default)]
@@ -25,6 +25,9 @@ pub struct BackendBatch {
     /// Symbol cycles per simulated board, when the backend executes on several
     /// (empty for single-board and host-only backends).
     pub shard_cycles: Vec<u64>,
+    /// Full engine run statistics, when the backend is the paper's AP engine
+    /// (`None` for backends with their own accounting shapes).
+    pub run_stats: Option<ApRunStats>,
 }
 
 impl BackendBatch {
@@ -58,6 +61,76 @@ pub trait SimilarityBackend: Send + Sync {
 
     /// Executes one batch of queries, returning per-query sorted neighbors.
     fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch;
+
+    /// The fallible uniform entry point: validates the options and every
+    /// query's dimensionality, serves the batch, and applies the optional
+    /// distance bound to the sorted results.
+    ///
+    /// The default implementation wraps [`Self::serve_batch`]; backends that
+    /// can push the options deeper (the AP engine honours the execution
+    /// preference and bounds inside the run) override it.
+    ///
+    /// # Errors
+    /// [`SearchError::ZeroK`], [`SearchError::ZeroDistanceBound`] for invalid
+    /// options and [`SearchError::DimMismatch`] for mis-sized queries.
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        options.validate()?;
+        for q in queries {
+            if q.dims() != self.dims() {
+                return Err(SearchError::DimMismatch {
+                    expected: self.dims(),
+                    actual: q.dims(),
+                });
+            }
+        }
+        let mut batch = self.serve_batch(queries, options.k);
+        if batch.results.len() != queries.len() {
+            return Err(SearchError::Backend {
+                backend: self.name(),
+                reason: format!(
+                    "returned {} results for {} queries",
+                    batch.results.len(),
+                    queries.len()
+                ),
+            });
+        }
+        for neighbors in &mut batch.results {
+            options.clip(neighbors);
+        }
+        Ok(batch)
+    }
+}
+
+/// Boxed trait objects serve exactly like the backend they wrap, so sharded
+/// deployments and the pipeline builder can mix backend families freely.
+impl SimilarityBackend for Box<dyn SimilarityBackend> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    fn dims(&self) -> usize {
+        self.as_ref().dims()
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        self.as_ref().serve_batch(queries, k)
+    }
+
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        self.as_ref().try_serve_batch(queries, options)
+    }
 }
 
 /// Every host-side index (linear scans, kd-forest, k-means, LSH, …) is a
@@ -81,8 +154,20 @@ impl<T: SearchIndex + Send + Sync> SimilarityBackend for T {
 }
 
 fn short_type_name<T: ?Sized>() -> String {
-    let full = std::any::type_name::<T>();
-    full.rsplit("::").next().unwrap_or(full).to_string()
+    // Strip module paths while keeping generic brackets and every comma-
+    // separated argument: "a::b::Index<c::D, e::F>" → "Index<D, F>".
+    std::any::type_name::<T>()
+        .split('<')
+        .map(|piece| {
+            piece
+                .split(',')
+                .map(|arg| arg.trim_start())
+                .map(|arg| arg.rsplit("::").next().unwrap_or(arg))
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect::<Vec<_>>()
+        .join("<")
 }
 
 /// The paper's AP kNN engine bound to its dataset.
@@ -95,15 +180,32 @@ pub struct ApEngineBackend {
 impl ApEngineBackend {
     /// Binds `engine` to `data`.
     ///
+    /// # Errors
+    /// [`SearchError::DimMismatch`] if the dataset dimensionality differs from
+    /// the engine design's, [`SearchError::ZeroDims`] for a zero-dim design.
+    pub fn try_new(engine: ApKnnEngine, data: BinaryDataset) -> Result<Self, SearchError> {
+        if engine.design().dims == 0 {
+            return Err(SearchError::ZeroDims);
+        }
+        if data.dims() != engine.design().dims {
+            return Err(SearchError::DimMismatch {
+                expected: engine.design().dims,
+                actual: data.dims(),
+            });
+        }
+        Ok(Self { engine, data })
+    }
+
+    /// Binds `engine` to `data`.
+    ///
     /// # Panics
     /// Panics if the dataset dimensionality differs from the engine design's.
+    /// Use [`Self::try_new`] to handle the mismatch as a typed error.
     pub fn new(engine: ApKnnEngine, data: BinaryDataset) -> Self {
-        assert_eq!(
-            data.dims(),
-            engine.design().dims,
-            "dataset dims must match the engine design"
-        );
-        Self { engine, data }
+        match Self::try_new(engine, data) {
+            Ok(backend) => backend,
+            Err(e) => panic!("dataset dims must match the engine design: {e}"),
+        }
     }
 
     /// The wrapped engine.
@@ -131,13 +233,27 @@ impl SimilarityBackend for ApEngineBackend {
     }
 
     fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
-        let (results, stats) = self.engine.search_batch(&self.data, queries, k);
-        BackendBatch {
+        match self.try_serve_batch(queries, &QueryOptions::top(k)) {
+            Ok(batch) => batch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        // Push the whole options struct into the engine so the distance bound
+        // and execution preference apply inside the run, not as a post-pass.
+        let (results, stats) = self.engine.try_search_batch(&self.data, queries, options)?;
+        Ok(BackendBatch {
             results,
             ap_symbol_cycles: stats.charged_cycles,
             reconfigurations: stats.reconfigurations,
             shard_cycles: Vec::new(),
-        }
+            run_stats: Some(stats),
+        })
     }
 }
 
@@ -153,15 +269,32 @@ pub struct ApSchedulerBackend {
 impl ApSchedulerBackend {
     /// Binds `scheduler` to `data`.
     ///
+    /// # Errors
+    /// [`SearchError::DimMismatch`] if the dataset dimensionality differs from
+    /// the scheduler design's.
+    pub fn try_new(
+        scheduler: ParallelApScheduler,
+        data: BinaryDataset,
+    ) -> Result<Self, SearchError> {
+        if data.dims() != scheduler.design().dims {
+            return Err(SearchError::DimMismatch {
+                expected: scheduler.design().dims,
+                actual: data.dims(),
+            });
+        }
+        Ok(Self { scheduler, data })
+    }
+
+    /// Binds `scheduler` to `data`.
+    ///
     /// # Panics
     /// Panics if the dataset dimensionality differs from the scheduler design's.
+    /// Use [`Self::try_new`] to handle the mismatch as a typed error.
     pub fn new(scheduler: ParallelApScheduler, data: BinaryDataset) -> Self {
-        assert_eq!(
-            data.dims(),
-            scheduler.design().dims,
-            "dataset dims must match the scheduler design"
-        );
-        Self { scheduler, data }
+        match Self::try_new(scheduler, data) {
+            Ok(backend) => backend,
+            Err(e) => panic!("dataset dims must match the scheduler design: {e}"),
+        }
     }
 
     /// The wrapped scheduler.
@@ -197,6 +330,7 @@ impl SimilarityBackend for ApSchedulerBackend {
                 .map(|&p| p.saturating_sub(1) as u64)
                 .sum(),
             shard_cycles: stats.symbols_per_worker.clone(),
+            run_stats: None,
         }
     }
 }
@@ -229,15 +363,29 @@ pub fn jaccard_distance(similarity: f64) -> u32 {
 impl JaccardBackend {
     /// Binds `searcher` to `data`.
     ///
+    /// # Errors
+    /// [`SearchError::DimMismatch`] if the dataset dimensionality differs from
+    /// the searcher design's.
+    pub fn try_new(searcher: JaccardSearcher, data: BinaryDataset) -> Result<Self, SearchError> {
+        if data.dims() != searcher.design().dims {
+            return Err(SearchError::DimMismatch {
+                expected: searcher.design().dims,
+                actual: data.dims(),
+            });
+        }
+        Ok(Self { searcher, data })
+    }
+
+    /// Binds `searcher` to `data`.
+    ///
     /// # Panics
     /// Panics if the dataset dimensionality differs from the searcher design's.
+    /// Use [`Self::try_new`] to handle the mismatch as a typed error.
     pub fn new(searcher: JaccardSearcher, data: BinaryDataset) -> Self {
-        assert_eq!(
-            data.dims(),
-            searcher.design().dims,
-            "dataset dims must match the searcher design"
-        );
-        Self { searcher, data }
+        match Self::try_new(searcher, data) {
+            Ok(backend) => backend,
+            Err(e) => panic!("dataset dims must match the searcher design: {e}"),
+        }
     }
 }
 
@@ -279,6 +427,7 @@ impl SimilarityBackend for JaccardBackend {
             ap_symbol_cycles: layout.stream_len(queries.len()) * partitions,
             reconfigurations: partitions.saturating_sub(1),
             shard_cycles: Vec::new(),
+            run_stats: None,
         }
     }
 }
@@ -324,6 +473,7 @@ impl<I: BucketIndex + IndexedDataAccess + Send + Sync> SimilarityBackend for Ind
             ap_symbol_cycles: stats.symbols_streamed,
             reconfigurations: stats.reconfigurations,
             shard_cycles: Vec::new(),
+            run_stats: None,
         }
     }
 }

@@ -12,6 +12,11 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 
 const NIL: usize = usize::MAX;
 
+/// Sanity ceiling on configurable cache capacities (entries). A service asking
+/// for more than this is almost certainly confusing bytes with entries, so the
+/// validated builders reject it rather than letting the slab grow unbounded.
+pub const MAX_CACHE_CAPACITY: usize = 1 << 22;
+
 struct Slot {
     /// Precomputed hash of `(query, k)`, so eviction can find the bucket.
     hash: u64,

@@ -27,26 +27,37 @@
 //! * [`SearchService`] — the front door: `submit` single queries, `drain`
 //!   completed results, read a [`ServiceStats`] report (throughput, batch-fill
 //!   ratio, cache hit rate, per-shard utilization).
+//! * [`SearchPipeline`] — **the one query API**: a fluent builder
+//!   (`over → metric → backend → sharded → cached → build`) that constructs any
+//!   backend family behind one fallible `query`/`query_batch` interface, with
+//!   [`binvec::QueryOptions`] carrying `k`, the optional §VII distance bound,
+//!   and an execution preference, and every answer returned as a [`Response`]
+//!   with cache/shard provenance.
+//! * [`BackendRegistry`] — named backend factories, so deployments swap
+//!   engine families by configuration.
 //!
 //! ## Quickstart
 //!
 //! ```rust
-//! use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
-//! use ap_serve::{ApEngineBackend, SearchService, ServiceConfig};
+//! use ap_serve::{BackendSpec, SearchPipeline};
+//! use binvec::QueryOptions;
 //!
 //! let dims = 32;
 //! let data = binvec::generate::uniform_dataset(256, dims, 1);
 //! let queries = binvec::generate::uniform_queries(20, dims, 2);
 //!
-//! let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
-//! let backend = ApEngineBackend::new(engine, data);
-//! let mut service = SearchService::new(Box::new(backend), ServiceConfig::default());
+//! let mut pipeline = SearchPipeline::over(data)
+//!     .backend(BackendSpec::behavioral())
+//!     .sharded(2)
+//!     .cached(128)
+//!     .build()
+//!     .expect("valid pipeline configuration");
 //!
-//! let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
-//! let completed = service.drain();
-//! assert_eq!(completed.len(), tickets.len());
-//! let stats = service.stats();
-//! assert_eq!(stats.queries_served, 20);
+//! let responses = pipeline
+//!     .query_batch(&queries, &QueryOptions::top(5))
+//!     .expect("well-formed queries");
+//! assert_eq!(responses.len(), 20);
+//! assert!(responses.iter().all(|r| r.neighbors.len() == 5));
 //! ```
 
 #![warn(missing_docs)]
@@ -54,7 +65,9 @@
 
 pub mod backend;
 pub mod cache;
+pub mod pipeline;
 pub mod queue;
+pub mod registry;
 pub mod service;
 pub mod shard;
 pub mod stats;
@@ -63,8 +76,14 @@ pub use backend::{
     ApEngineBackend, ApSchedulerBackend, BackendBatch, IndexedApBackend, JaccardBackend,
     SimilarityBackend,
 };
-pub use cache::ResultCache;
+pub use binvec::{ExecutionPreference, QueryOptions, SearchError};
+pub use cache::{ResultCache, MAX_CACHE_CAPACITY};
+pub use pipeline::{
+    BackendSpec, BaselineKind, IndexKind, Metric, Provenance, Query, Response, SearchPipeline,
+    SearchPipelineBuilder,
+};
 pub use queue::{AdmissionQueue, QueryTicket};
+pub use registry::{BackendFactory, BackendRegistry};
 pub use service::{Completed, SearchService, ServiceConfig};
 pub use shard::{ShardedBackend, ShardedDataset};
 pub use stats::ServiceStats;

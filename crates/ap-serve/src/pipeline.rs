@@ -1,0 +1,798 @@
+//! One query API over every backend family: the [`SearchPipeline`] builder.
+//!
+//! The paper's value is that *one streamed query* answers kNN over every
+//! encoding — exact Hamming, Jaccard, the §III-D indexed front ends, and the
+//! §VII range-query extensions — yet each of those used to be a differently
+//! shaped entry point. The pipeline is the single fluent front door:
+//!
+//! ```rust
+//! use ap_serve::pipeline::{BackendSpec, Metric, SearchPipeline};
+//! use binvec::QueryOptions;
+//!
+//! let data = binvec::generate::uniform_dataset(128, 32, 1);
+//! let queries = binvec::generate::uniform_queries(3, 32, 2);
+//!
+//! let mut pipeline = SearchPipeline::over(data)
+//!     .metric(Metric::Hamming)
+//!     .backend(BackendSpec::behavioral())
+//!     .sharded(2)
+//!     .cached(256)
+//!     .build()
+//!     .unwrap();
+//!
+//! let response = pipeline.query(&queries[0], &QueryOptions::top(4)).unwrap();
+//! assert_eq!(response.neighbors.len(), 4);
+//! assert!(!response.provenance.cache_hit);
+//! ```
+//!
+//! Every call is fallible ([`binvec::SearchError`]), every answer is a
+//! [`Response`] carrying neighbors, optional engine [`ApRunStats`], and
+//! cache/shard provenance, and [`QueryOptions::within`] turns any configured
+//! backend into the ε-bounded range query of §VII.
+
+use crate::backend::{
+    ApEngineBackend, ApSchedulerBackend, IndexedApBackend, JaccardBackend, SimilarityBackend,
+};
+use crate::cache::{ResultCache, MAX_CACHE_CAPACITY};
+use crate::registry::BackendRegistry;
+use crate::service::{SearchService, ServiceConfig};
+use crate::shard::{ShardedBackend, ShardedDataset};
+use ap_knn::engine::ApRunStats;
+use ap_knn::indexed::DatasetBackedIndex;
+use ap_knn::{
+    ApKnnEngine, BoardCapacity, ExecutionMode, JaccardSearcher, KnnDesign, ParallelApScheduler,
+};
+use baselines::{
+    HierarchicalKMeans, KMeansConfig, KdForest, KdForestConfig, LinearScan, LshConfig, LshIndex,
+    ParallelLinearScan,
+};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError};
+
+/// A query vector, in the same bit-packed shape the datasets use.
+pub type Query = BinaryVector;
+
+/// The similarity metric a pipeline ranks by.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Metric {
+    /// Exact Hamming distance (the paper's primary encoding).
+    #[default]
+    Hamming,
+    /// Jaccard similarity, reported through the quantized-dissimilarity
+    /// distance key of [`crate::backend::jaccard_distance`].
+    Jaccard,
+}
+
+/// The spatial-index families servable behind the §III-D host/AP split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Randomized kd-trees (FLANN's default index).
+    KdForest,
+    /// Hierarchical k-means (k-majority in Hamming space).
+    KMeans,
+    /// Bit-sampling LSH with multiple tables.
+    Lsh,
+}
+
+/// The host-side baseline engines from the `baselines` crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Single-threaded exact linear scan.
+    Linear,
+    /// Multi-threaded exact linear scan.
+    ParallelLinear {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// Approximate kd-forest searched entirely on the host.
+    KdForest,
+    /// Approximate hierarchical k-means searched entirely on the host.
+    KMeans,
+    /// Approximate LSH searched entirely on the host.
+    Lsh,
+}
+
+/// Which engine family answers the pipeline's queries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BackendSpec {
+    /// The paper's single-board AP engine.
+    Ap {
+        /// Cycle-accurate simulation or the behavioural fast path.
+        mode: ExecutionMode,
+        /// Board capacity override (`None` = paper-calibrated for the dims).
+        capacity: Option<BoardCapacity>,
+    },
+    /// Multi-board parallel execution via [`ParallelApScheduler`].
+    Scheduler {
+        /// Simulated boards (worker threads).
+        boards: usize,
+        /// Board capacity override (`None` = paper-calibrated for the dims).
+        capacity: Option<BoardCapacity>,
+    },
+    /// Host-traverses-index / AP-scans-bucket (§III-D).
+    Indexed(IndexKind),
+    /// A host-only comparison engine.
+    Baseline(BaselineKind),
+}
+
+impl Default for BackendSpec {
+    fn default() -> Self {
+        Self::ap()
+    }
+}
+
+impl BackendSpec {
+    /// The cycle-accurate AP engine with paper-calibrated capacity.
+    pub fn ap() -> Self {
+        Self::Ap {
+            mode: ExecutionMode::CycleAccurate,
+            capacity: None,
+        }
+    }
+
+    /// The behavioural AP engine (identical results, no network instantiation).
+    pub fn behavioral() -> Self {
+        Self::Ap {
+            mode: ExecutionMode::Behavioral,
+            capacity: None,
+        }
+    }
+
+    /// A multi-board scheduler over `boards` simulated boards.
+    pub fn scheduler(boards: usize) -> Self {
+        Self::Scheduler {
+            boards,
+            capacity: None,
+        }
+    }
+
+    /// Instantiates this spec over `data` for `metric`, binding the engine to
+    /// the dataset.
+    ///
+    /// # Errors
+    /// [`SearchError::Unsupported`] for metric/backend combinations no engine
+    /// serves (only the single-board AP engine implements Jaccard),
+    /// [`SearchError::InvalidConfig`] for zero boards/threads, and any error
+    /// the underlying constructor reports.
+    pub fn instantiate(
+        &self,
+        data: &BinaryDataset,
+        metric: Metric,
+    ) -> Result<Box<dyn SimilarityBackend>, SearchError> {
+        let dims = data.dims();
+        if dims == 0 {
+            return Err(SearchError::ZeroDims);
+        }
+        // A zero board capacity is rejected for every capacity-accepting
+        // branch, not silently clamped to 1 by the engines.
+        if let Self::Ap {
+            capacity: Some(capacity),
+            ..
+        }
+        | Self::Scheduler {
+            capacity: Some(capacity),
+            ..
+        } = *self
+        {
+            if capacity.vectors_per_board == 0 {
+                return Err(SearchError::InvalidConfig {
+                    field: "capacity",
+                    reason: "vectors_per_board must be at least 1".to_string(),
+                });
+            }
+        }
+        let design = KnnDesign::new(dims);
+        if metric == Metric::Jaccard {
+            return match *self {
+                Self::Ap { mode, capacity } => {
+                    if mode == ExecutionMode::Behavioral {
+                        return Err(SearchError::Unsupported {
+                            what: "Jaccard search runs cycle-accurately; there is no behavioral \
+                                   Jaccard engine"
+                                .to_string(),
+                        });
+                    }
+                    let mut searcher = JaccardSearcher::new(design);
+                    if let Some(capacity) = capacity {
+                        searcher = searcher.with_chunk(capacity.vectors_per_board);
+                    }
+                    Ok(Box::new(JaccardBackend::try_new(searcher, data.clone())?))
+                }
+                _ => Err(SearchError::Unsupported {
+                    what: format!("metric Jaccard is only served by the AP engine, not {self:?}"),
+                }),
+            };
+        }
+        match *self {
+            Self::Ap { mode, capacity } => {
+                let mut engine = ApKnnEngine::new(design).with_mode(mode);
+                if let Some(capacity) = capacity {
+                    engine = engine.with_capacity(capacity);
+                }
+                Ok(Box::new(ApEngineBackend::try_new(engine, data.clone())?))
+            }
+            Self::Scheduler { boards, capacity } => {
+                if boards == 0 {
+                    return Err(SearchError::InvalidConfig {
+                        field: "boards",
+                        reason: "the scheduler needs at least one board".to_string(),
+                    });
+                }
+                let mut scheduler = ParallelApScheduler::new(design).with_workers(boards);
+                if let Some(capacity) = capacity {
+                    scheduler = scheduler.with_capacity(capacity);
+                }
+                Ok(Box::new(ApSchedulerBackend::try_new(
+                    scheduler,
+                    data.clone(),
+                )?))
+            }
+            Self::Indexed(kind) => match kind {
+                IndexKind::KdForest => Ok(Box::new(IndexedApBackend::new(
+                    DatasetBackedIndex {
+                        index: KdForest::build(data.clone(), KdForestConfig::default()),
+                        data: data.clone(),
+                    },
+                    design,
+                ))),
+                IndexKind::KMeans => Ok(Box::new(IndexedApBackend::new(
+                    DatasetBackedIndex {
+                        index: HierarchicalKMeans::build(data.clone(), KMeansConfig::default()),
+                        data: data.clone(),
+                    },
+                    design,
+                ))),
+                IndexKind::Lsh => Ok(Box::new(IndexedApBackend::new(
+                    DatasetBackedIndex {
+                        index: LshIndex::build(data.clone(), LshConfig::default()),
+                        data: data.clone(),
+                    },
+                    design,
+                ))),
+            },
+            Self::Baseline(kind) => match kind {
+                BaselineKind::Linear => Ok(Box::new(LinearScan::new(data.clone()))),
+                BaselineKind::ParallelLinear { threads } => {
+                    if threads == 0 {
+                        return Err(SearchError::InvalidConfig {
+                            field: "threads",
+                            reason: "the parallel scan needs at least one thread".to_string(),
+                        });
+                    }
+                    Ok(Box::new(ParallelLinearScan::new(data.clone(), threads)))
+                }
+                BaselineKind::KdForest => Ok(Box::new(KdForest::build(
+                    data.clone(),
+                    KdForestConfig::default(),
+                ))),
+                BaselineKind::KMeans => Ok(Box::new(HierarchicalKMeans::build(
+                    data.clone(),
+                    KMeansConfig::default(),
+                ))),
+                BaselineKind::Lsh => Ok(Box::new(LshIndex::build(
+                    data.clone(),
+                    LshConfig::default(),
+                ))),
+            },
+        }
+    }
+}
+
+/// Where an answer came from and what the fabric did for it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Label of the backend that answered (or would have, for cache hits).
+    pub backend: String,
+    /// Whether the answer came straight from the result cache.
+    pub cache_hit: bool,
+    /// Shards the pipeline fans out to (1 = unsharded).
+    pub shards: usize,
+    /// AP symbol cycles charged to the dispatched batch this query rode in
+    /// (0 for cache hits and host-only backends).
+    pub ap_symbol_cycles: u64,
+    /// Partial reconfigurations performed by that batch.
+    pub reconfigurations: u64,
+    /// Per-shard symbol cycles of that batch (empty when unsharded).
+    pub shard_cycles: Vec<u64>,
+}
+
+/// One answered query: neighbors plus execution provenance.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The neighbors, sorted by (distance, id), bounded by `k` and the
+    /// optional distance bound.
+    pub neighbors: Vec<Neighbor>,
+    /// Full engine statistics for the fabric run that answered this query's
+    /// batch, when the backend is the paper's AP engine (`None` for cache
+    /// hits and for backends with their own accounting shapes).
+    pub ap_run: Option<ApRunStats>,
+    /// Cache/shard/backend provenance.
+    pub provenance: Provenance,
+}
+
+/// Internal: how the builder chooses the backend.
+enum BackendChoice {
+    Spec(BackendSpec),
+    Named(String),
+}
+
+/// Fluent configuration for a [`SearchPipeline`]. Created by
+/// [`SearchPipeline::over`]; consumed by [`SearchPipelineBuilder::build`].
+pub struct SearchPipelineBuilder {
+    data: BinaryDataset,
+    metric: Metric,
+    backend: BackendChoice,
+    registry: Option<BackendRegistry>,
+    shards: usize,
+    cache_capacity: usize,
+}
+
+impl SearchPipelineBuilder {
+    /// Sets the similarity metric (default [`Metric::Hamming`]).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the backend family (default [`BackendSpec::ap`]).
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = BackendChoice::Spec(spec);
+        self
+    }
+
+    /// Selects the backend by registry name (see [`BackendRegistry::builtin`]
+    /// for the built-in names). Resolved at [`Self::build`] time against the
+    /// registry set with [`Self::registry`], or the built-in one.
+    pub fn backend_named(mut self, name: impl Into<String>) -> Self {
+        self.backend = BackendChoice::Named(name.into());
+        self
+    }
+
+    /// Overrides the registry used to resolve [`Self::backend_named`], so
+    /// deployments can add their own backend families.
+    pub fn registry(mut self, registry: BackendRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Splits the corpus over `shards` simulated boards queried in parallel
+    /// (default 1 = unsharded).
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables an LRU result cache of `capacity` entries (default 0 = off).
+    pub fn cached(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration and constructs the pipeline.
+    ///
+    /// # Errors
+    /// * [`SearchError::ZeroDims`] — the dataset has zero dimensions;
+    /// * [`SearchError::InvalidConfig`] — zero shards, an absurd cache
+    ///   capacity (> [`MAX_CACHE_CAPACITY`]), or an invalid backend spec;
+    /// * [`SearchError::Unsupported`] — a metric/backend combination no
+    ///   engine serves, or an unknown registry name.
+    pub fn build(self) -> Result<SearchPipeline, SearchError> {
+        if self.data.dims() == 0 {
+            return Err(SearchError::ZeroDims);
+        }
+        if self.shards == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "shards",
+                reason: "need at least one shard".to_string(),
+            });
+        }
+        if self.cache_capacity > MAX_CACHE_CAPACITY {
+            return Err(SearchError::InvalidConfig {
+                field: "cache_capacity",
+                reason: format!(
+                    "{} entries exceeds the sanity limit of {MAX_CACHE_CAPACITY}",
+                    self.cache_capacity
+                ),
+            });
+        }
+
+        let instantiate =
+            |data: &BinaryDataset| -> Result<Box<dyn SimilarityBackend>, SearchError> {
+                match &self.backend {
+                    BackendChoice::Spec(spec) => spec.instantiate(data, self.metric),
+                    BackendChoice::Named(name) => match &self.registry {
+                        Some(registry) => registry.build(name, data, self.metric),
+                        None => BackendRegistry::builtin().build(name, data, self.metric),
+                    },
+                }
+            };
+
+        let (backend, shards): (Box<dyn SimilarityBackend>, usize) = if self.shards == 1 {
+            (instantiate(&self.data)?, 1)
+        } else {
+            let sharding = ShardedDataset::split(&self.data, self.shards);
+            let shard_count = sharding.shard_count();
+            let sharded: ShardedBackend<Box<dyn SimilarityBackend>> =
+                ShardedBackend::try_build(&sharding, |_, shard| instantiate(shard))?;
+            (Box::new(sharded), shard_count)
+        };
+
+        Ok(SearchPipeline {
+            backend,
+            cache: ResultCache::new(self.cache_capacity),
+            shards,
+            metric: self.metric,
+        })
+    }
+}
+
+/// The uniform query front door over any backend family.
+///
+/// Construct with [`SearchPipeline::over`], answer with [`SearchPipeline::query`]
+/// / [`SearchPipeline::query_batch`], or hand the configured backend to the
+/// batching [`SearchService`] with [`SearchPipeline::into_service`].
+pub struct SearchPipeline {
+    backend: Box<dyn SimilarityBackend>,
+    cache: ResultCache,
+    shards: usize,
+    metric: Metric,
+}
+
+impl SearchPipeline {
+    /// Starts building a pipeline over `dataset`.
+    pub fn over(dataset: BinaryDataset) -> SearchPipelineBuilder {
+        SearchPipelineBuilder {
+            data: dataset,
+            metric: Metric::default(),
+            backend: BackendChoice::Spec(BackendSpec::default()),
+            registry: None,
+            shards: 1,
+            cache_capacity: 0,
+        }
+    }
+
+    /// The backend's label.
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// The metric this pipeline ranks by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Vectors served.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// Whether the served corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// Dimensionality of the served vectors.
+    pub fn dims(&self) -> usize {
+        self.backend.dims()
+    }
+
+    /// Shards the pipeline fans out to (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Answers one query.
+    ///
+    /// # Errors
+    /// Everything [`Self::query_batch`] reports.
+    pub fn query(
+        &mut self,
+        query: &Query,
+        options: &QueryOptions,
+    ) -> Result<Response, SearchError> {
+        let mut responses = self.query_batch(std::slice::from_ref(query), options)?;
+        Ok(responses.pop().expect("one response per query"))
+    }
+
+    /// Answers a batch of queries, one [`Response`] per query in order.
+    ///
+    /// Cache hits are answered without touching the backend; the remaining
+    /// queries are dispatched as one batch. With caching enabled the cache
+    /// stores the unbounded top-`k` answer and the distance bound is applied
+    /// per lookup, so bounded and unbounded queries share entries.
+    ///
+    /// # Errors
+    /// [`SearchError::ZeroK`] / [`SearchError::ZeroDistanceBound`] for invalid
+    /// options, [`SearchError::DimMismatch`] for mis-sized queries, and any
+    /// execution error the backend reports.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Query],
+        options: &QueryOptions,
+    ) -> Result<Vec<Response>, SearchError> {
+        options.validate()?;
+        for q in queries {
+            if q.dims() != self.backend.dims() {
+                return Err(SearchError::DimMismatch {
+                    expected: self.backend.dims(),
+                    actual: q.dims(),
+                });
+            }
+        }
+
+        let backend_name = self.backend.name();
+        let caching = self.cache.capacity() > 0;
+        // With the cache in play the stored entry must be the unbounded top-k;
+        // without it the bound travels into the backend (the AP engine applies
+        // it inside the run).
+        let dispatch_options = if caching {
+            options.unbounded()
+        } else {
+            *options
+        };
+
+        let mut responses: Vec<Option<Response>> = Vec::with_capacity(queries.len());
+        let mut missed: Vec<usize> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            match self.cache.get(q, options.k) {
+                Some(mut neighbors) => {
+                    options.clip(&mut neighbors);
+                    responses.push(Some(Response {
+                        neighbors,
+                        ap_run: None,
+                        provenance: Provenance {
+                            backend: backend_name.clone(),
+                            cache_hit: true,
+                            shards: self.shards,
+                            ..Provenance::default()
+                        },
+                    }));
+                }
+                None => {
+                    responses.push(None);
+                    missed.push(i);
+                }
+            }
+        }
+
+        if !missed.is_empty() {
+            // With the cache disabled every query misses, so the caller's
+            // slice is dispatched as-is; only the caching path needs an owned
+            // copy of the missed subset.
+            let batch = if caching {
+                let miss_queries: Vec<Query> = missed.iter().map(|&i| queries[i].clone()).collect();
+                self.backend
+                    .try_serve_batch(&miss_queries, &dispatch_options)?
+            } else {
+                self.backend.try_serve_batch(queries, &dispatch_options)?
+            };
+            if batch.results.len() != missed.len() {
+                return Err(SearchError::Backend {
+                    backend: backend_name,
+                    reason: format!(
+                        "returned {} results for {} queries",
+                        batch.results.len(),
+                        missed.len()
+                    ),
+                });
+            }
+            for (&i, mut neighbors) in missed.iter().zip(batch.results) {
+                if caching {
+                    self.cache
+                        .insert(queries[i].clone(), options.k, neighbors.clone());
+                    options.clip(&mut neighbors);
+                }
+                responses[i] = Some(Response {
+                    neighbors,
+                    ap_run: batch.run_stats,
+                    provenance: Provenance {
+                        backend: backend_name.clone(),
+                        cache_hit: false,
+                        shards: self.shards,
+                        ap_symbol_cycles: batch.ap_symbol_cycles,
+                        reconfigurations: batch.reconfigurations,
+                        shard_cycles: batch.shard_cycles.clone(),
+                    },
+                });
+            }
+        }
+
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect())
+    }
+
+    /// Hands the configured backend to a batching [`SearchService`] front
+    /// door (admission queue, eager full-batch dispatch, service statistics).
+    ///
+    /// Only the backend (including sharding) carries over: the service keeps
+    /// its own result cache governed by `config.cache_capacity`, so a
+    /// pipeline-level [`SearchPipelineBuilder::cached`] setting does not
+    /// apply to the service.
+    ///
+    /// # Errors
+    /// Whatever [`ServiceConfig::build`] rejects.
+    pub fn into_service(self, config: ServiceConfig) -> Result<SearchService, SearchError> {
+        SearchService::try_new(self.backend, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::SearchIndex;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    fn fixtures(n: usize, dims: usize) -> (BinaryDataset, Vec<Query>) {
+        (uniform_dataset(n, dims, 41), uniform_queries(5, dims, 42))
+    }
+
+    #[test]
+    fn default_pipeline_matches_linear_scan() {
+        let (data, queries) = fixtures(40, 16);
+        let expected = LinearScan::new(data.clone()).search_batch(&queries, 3);
+        let mut pipeline = SearchPipeline::over(data).build().unwrap();
+        assert_eq!(pipeline.backend_name(), "ap-knn");
+        let responses = pipeline
+            .query_batch(&queries, &QueryOptions::top(3))
+            .unwrap();
+        for (r, e) in responses.iter().zip(&expected) {
+            assert_eq!(&r.neighbors, e);
+            assert!(!r.provenance.cache_hit);
+            assert!(r.ap_run.is_some(), "AP engine reports full run stats");
+        }
+    }
+
+    #[test]
+    fn cache_hits_carry_provenance_and_identical_neighbors() {
+        let (data, queries) = fixtures(40, 16);
+        let mut pipeline = SearchPipeline::over(data)
+            .backend(BackendSpec::behavioral())
+            .cached(64)
+            .build()
+            .unwrap();
+        let first = pipeline.query(&queries[0], &QueryOptions::top(4)).unwrap();
+        let second = pipeline.query(&queries[0], &QueryOptions::top(4)).unwrap();
+        assert!(!first.provenance.cache_hit);
+        assert!(second.provenance.cache_hit);
+        assert_eq!(first.neighbors, second.neighbors);
+        assert!(second.ap_run.is_none(), "cache hits skip the fabric");
+        assert_eq!(second.provenance.ap_symbol_cycles, 0);
+    }
+
+    #[test]
+    fn bounded_query_shares_the_cache_entry_with_unbounded() {
+        let (data, queries) = fixtures(50, 16);
+        let mut pipeline = SearchPipeline::over(data.clone())
+            .backend(BackendSpec::behavioral())
+            .cached(64)
+            .build()
+            .unwrap();
+        let k = data.len();
+        let unbounded = pipeline.query(&queries[0], &QueryOptions::top(k)).unwrap();
+        let bound = unbounded.neighbors[2].distance + 1;
+        let bounded = pipeline
+            .query(&queries[0], &QueryOptions::top(k).within(bound))
+            .unwrap();
+        assert!(
+            bounded.provenance.cache_hit,
+            "bound reuses the cached top-k"
+        );
+        assert!(bounded.neighbors.iter().all(|n| n.distance < bound));
+        let expected: Vec<Neighbor> = unbounded
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|n| n.distance < bound)
+            .collect();
+        assert_eq!(bounded.neighbors, expected);
+    }
+
+    #[test]
+    fn sharded_pipeline_reports_shard_provenance() {
+        let (data, queries) = fixtures(60, 16);
+        let expected = LinearScan::new(data.clone()).search_batch(&queries, 4);
+        let mut pipeline = SearchPipeline::over(data)
+            .backend(BackendSpec::behavioral())
+            .sharded(3)
+            .build()
+            .unwrap();
+        assert_eq!(pipeline.shard_count(), 3);
+        let responses = pipeline
+            .query_batch(&queries, &QueryOptions::top(4))
+            .unwrap();
+        for (r, e) in responses.iter().zip(&expected) {
+            assert_eq!(&r.neighbors, e);
+            assert_eq!(r.provenance.shard_cycles.len(), 3);
+            assert_eq!(r.provenance.shards, 3);
+        }
+    }
+
+    #[test]
+    fn build_rejects_invalid_configurations() {
+        let data = uniform_dataset(10, 8, 1);
+        assert!(matches!(
+            SearchPipeline::over(data.clone()).sharded(0).build(),
+            Err(SearchError::InvalidConfig {
+                field: "shards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SearchPipeline::over(data.clone())
+                .cached(MAX_CACHE_CAPACITY + 1)
+                .build(),
+            Err(SearchError::InvalidConfig {
+                field: "cache_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SearchPipeline::over(data.clone())
+                .backend(BackendSpec::scheduler(0))
+                .build(),
+            Err(SearchError::InvalidConfig {
+                field: "boards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SearchPipeline::over(data)
+                .metric(Metric::Jaccard)
+                .backend(BackendSpec::Baseline(BaselineKind::Linear))
+                .build(),
+            Err(SearchError::Unsupported { .. })
+        ));
+        let zero_dim = BinaryDataset::new(0);
+        let err = SearchPipeline::over(zero_dim).build().err().unwrap();
+        assert_eq!(err, SearchError::ZeroDims);
+    }
+
+    #[test]
+    fn query_rejects_mismatched_dims_and_bad_options() {
+        let (data, _) = fixtures(20, 16);
+        let mut pipeline = SearchPipeline::over(data)
+            .backend(BackendSpec::Baseline(BaselineKind::Linear))
+            .build()
+            .unwrap();
+        let narrow = Query::zeros(8);
+        assert_eq!(
+            pipeline.query(&narrow, &QueryOptions::top(2)).unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
+        let q = Query::zeros(16);
+        assert_eq!(
+            pipeline.query(&q, &QueryOptions::top(0)).unwrap_err(),
+            SearchError::ZeroK
+        );
+        assert_eq!(
+            pipeline
+                .query(&q, &QueryOptions::top(2).within(0))
+                .unwrap_err(),
+            SearchError::ZeroDistanceBound
+        );
+    }
+
+    #[test]
+    fn into_service_serves_the_configured_backend() {
+        let (data, queries) = fixtures(30, 16);
+        let direct = LinearScan::new(data.clone());
+        let service_config = ServiceConfig::default().with_batch_size(2).with_k(3);
+        let mut service = SearchPipeline::over(data)
+            .backend(BackendSpec::behavioral())
+            .build()
+            .unwrap()
+            .into_service(service_config)
+            .unwrap();
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        let completed = service.drain();
+        for (c, q) in completed.iter().zip(&queries) {
+            assert_eq!(c.neighbors, direct.search(q, 3));
+        }
+    }
+}

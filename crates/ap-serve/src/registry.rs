@@ -1,0 +1,193 @@
+//! Named backend factories, so deployments can swap engine families under
+//! live traffic by configuration instead of code.
+//!
+//! A [`BackendRegistry`] maps stable names to factories that bind an engine to
+//! a dataset for a metric. [`BackendRegistry::builtin`] pre-registers every
+//! family in the workspace; deployments extend it with
+//! [`BackendRegistry::register`] and hand it to
+//! [`crate::pipeline::SearchPipelineBuilder::registry`].
+
+use crate::backend::SimilarityBackend;
+use crate::pipeline::{BackendSpec, BaselineKind, IndexKind, Metric};
+use binvec::{BinaryDataset, SearchError};
+
+/// A factory binding an engine family to a dataset for a metric.
+pub type BackendFactory = Box<
+    dyn Fn(&BinaryDataset, Metric) -> Result<Box<dyn SimilarityBackend>, SearchError> + Send + Sync,
+>;
+
+/// An ordered name → factory map of servable backend families.
+pub struct BackendRegistry {
+    entries: Vec<(String, BackendFactory)>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry pre-populated with every backend family in the workspace:
+    ///
+    /// | name | backend |
+    /// |---|---|
+    /// | `ap` | cycle-accurate single-board AP engine |
+    /// | `ap-behavioral` | behavioural AP engine |
+    /// | `ap-scheduler` | four-board [`ap_knn::ParallelApScheduler`] |
+    /// | `indexed-kdforest` / `indexed-kmeans` / `indexed-lsh` | §III-D host-index / AP-bucket-scan |
+    /// | `linear` / `parallel-linear` | exact CPU scans |
+    /// | `kdforest` / `kmeans` / `lsh` | host-only approximate indexes |
+    pub fn builtin() -> Self {
+        let mut registry = Self::empty();
+        let specs: [(&str, BackendSpec); 11] = [
+            ("ap", BackendSpec::ap()),
+            ("ap-behavioral", BackendSpec::behavioral()),
+            ("ap-scheduler", BackendSpec::scheduler(4)),
+            (
+                "indexed-kdforest",
+                BackendSpec::Indexed(IndexKind::KdForest),
+            ),
+            ("indexed-kmeans", BackendSpec::Indexed(IndexKind::KMeans)),
+            ("indexed-lsh", BackendSpec::Indexed(IndexKind::Lsh)),
+            ("linear", BackendSpec::Baseline(BaselineKind::Linear)),
+            (
+                "parallel-linear",
+                BackendSpec::Baseline(BaselineKind::ParallelLinear { threads: 4 }),
+            ),
+            ("kdforest", BackendSpec::Baseline(BaselineKind::KdForest)),
+            ("kmeans", BackendSpec::Baseline(BaselineKind::KMeans)),
+            ("lsh", BackendSpec::Baseline(BaselineKind::Lsh)),
+        ];
+        for (name, spec) in specs {
+            registry.register(
+                name,
+                Box::new(move |data, metric| spec.instantiate(data, metric)),
+            );
+        }
+        registry
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(&mut self, name: impl Into<String>, factory: BackendFactory) {
+        let name = name.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = factory;
+        } else {
+            self.entries.push((name, factory));
+        }
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Instantiates the backend registered under `name` over `data`.
+    ///
+    /// # Errors
+    /// [`SearchError::Unsupported`] for unknown names (the message lists what
+    /// is available), plus whatever the factory itself reports.
+    pub fn build(
+        &self,
+        name: &str,
+        data: &BinaryDataset,
+        metric: Metric,
+    ) -> Result<Box<dyn SimilarityBackend>, SearchError> {
+        match self.entries.iter().find(|(n, _)| n == name) {
+            Some((_, factory)) => factory(data, metric),
+            None => Err(SearchError::Unsupported {
+                what: format!(
+                    "no backend named '{name}' (available: {})",
+                    self.names().join(", ")
+                ),
+            }),
+        }
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{LinearScan, SearchIndex};
+    use binvec::generate::{uniform_dataset, uniform_queries};
+    use binvec::QueryOptions;
+
+    #[test]
+    fn builtin_names_cover_every_backend_family() {
+        let registry = BackendRegistry::builtin();
+        for name in [
+            "ap",
+            "ap-behavioral",
+            "ap-scheduler",
+            "indexed-kdforest",
+            "indexed-kmeans",
+            "indexed-lsh",
+            "linear",
+            "parallel-linear",
+            "kdforest",
+            "kmeans",
+            "lsh",
+        ] {
+            assert!(registry.contains(name), "missing builtin '{name}'");
+        }
+    }
+
+    #[test]
+    fn built_backends_serve_queries() {
+        let registry = BackendRegistry::builtin();
+        let data = uniform_dataset(40, 16, 51);
+        let queries = uniform_queries(3, 16, 52);
+        let expected = LinearScan::new(data.clone()).search_batch(&queries, 3);
+        for name in ["ap-behavioral", "linear", "parallel-linear"] {
+            let backend = registry.build(name, &data, Metric::Hamming).unwrap();
+            let batch = backend
+                .try_serve_batch(&queries, &QueryOptions::top(3))
+                .unwrap();
+            assert_eq!(batch.results, expected, "backend '{name}'");
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_alternatives() {
+        let registry = BackendRegistry::builtin();
+        let data = uniform_dataset(4, 8, 53);
+        let err = registry
+            .build("quantum", &data, Metric::Hamming)
+            .err()
+            .unwrap();
+        let msg = err.to_string();
+        assert!(msg.contains("quantum") && msg.contains("linear"), "{msg}");
+    }
+
+    #[test]
+    fn register_replaces_existing_entries() {
+        let mut registry = BackendRegistry::empty();
+        registry.register(
+            "custom",
+            Box::new(|data, _| {
+                Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>)
+            }),
+        );
+        assert_eq!(registry.names(), vec!["custom"]);
+        registry.register(
+            "custom",
+            Box::new(|data, _| {
+                Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>)
+            }),
+        );
+        assert_eq!(registry.names().len(), 1, "re-register replaces");
+    }
+}

@@ -2,11 +2,11 @@
 //! results, and a statistics report.
 
 use crate::backend::SimilarityBackend;
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, MAX_CACHE_CAPACITY};
 use crate::queue::{AdmissionQueue, PendingQuery, QueryTicket};
 use crate::stats::ServiceStats;
 use ap_knn::multiplex::MAX_SLICES;
-use binvec::{BinaryVector, Neighbor};
+use binvec::{BinaryVector, Neighbor, SearchError};
 use std::time::Instant;
 
 /// Configuration for a [`SearchService`].
@@ -49,6 +49,36 @@ impl ServiceConfig {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Validates the configuration, returning it ready for
+    /// [`SearchService::try_new`]. Validation happens here — at construction —
+    /// so a bad configuration cannot reach dispatch time.
+    ///
+    /// # Errors
+    /// * [`SearchError::InvalidConfig`] — `batch_size` of 0, or a cache
+    ///   capacity beyond the [`MAX_CACHE_CAPACITY`] sanity limit;
+    /// * [`SearchError::ZeroK`] — `k` of 0.
+    pub fn build(self) -> Result<Self, SearchError> {
+        if self.batch_size == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.k == 0 {
+            return Err(SearchError::ZeroK);
+        }
+        if self.cache_capacity > MAX_CACHE_CAPACITY {
+            return Err(SearchError::InvalidConfig {
+                field: "cache_capacity",
+                reason: format!(
+                    "{} entries exceeds the sanity limit of {MAX_CACHE_CAPACITY}",
+                    self.cache_capacity
+                ),
+            });
+        }
+        Ok(self)
+    }
 }
 
 /// A finished query: the ticket issued at submission and its neighbors.
@@ -79,13 +109,16 @@ pub struct SearchService {
 }
 
 impl SearchService {
-    /// Creates a service over `backend`.
+    /// Creates a service over `backend`, validating the configuration first.
     ///
-    /// # Panics
-    /// Panics if `config.batch_size` or `config.k` is zero.
-    pub fn new(backend: Box<dyn SimilarityBackend>, config: ServiceConfig) -> Self {
-        assert!(config.k > 0, "k must be positive");
-        Self {
+    /// # Errors
+    /// Whatever [`ServiceConfig::build`] rejects.
+    pub fn try_new(
+        backend: Box<dyn SimilarityBackend>,
+        config: ServiceConfig,
+    ) -> Result<Self, SearchError> {
+        let config = config.build()?;
+        Ok(Self {
             backend,
             queue: AdmissionQueue::new(config.batch_size),
             cache: ResultCache::new(config.cache_capacity),
@@ -93,6 +126,19 @@ impl SearchService {
             stats: ServiceStats::default(),
             started: Instant::now(),
             config,
+        })
+    }
+
+    /// Creates a service over `backend`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation. Use [`Self::try_new`] to
+    /// handle the failure as a typed error.
+    #[deprecated(since = "0.2.0", note = "use `try_new` for typed configuration errors")]
+    pub fn new(backend: Box<dyn SimilarityBackend>, config: ServiceConfig) -> Self {
+        match Self::try_new(backend, config) {
+            Ok(service) => service,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -121,12 +167,20 @@ impl SearchService {
     /// A cache hit completes immediately; otherwise the query joins the
     /// admission queue, and every time a full batch accumulates it is
     /// dispatched to the backend synchronously.
-    pub fn submit(&mut self, query: BinaryVector) -> QueryTicket {
-        assert_eq!(
-            query.dims(),
-            self.backend.dims(),
-            "query dims must match the backend"
-        );
+    ///
+    /// # Errors
+    /// [`SearchError::DimMismatch`] if the query dimensionality differs from
+    /// the backend's, plus any execution error the backend reports when this
+    /// submission fills a batch and triggers a dispatch. A failed dispatch
+    /// re-queues its batch (this query included), so the work is retried by
+    /// the next dispatch and the tickets are delivered by a later drain.
+    pub fn try_submit(&mut self, query: BinaryVector) -> Result<QueryTicket, SearchError> {
+        if query.dims() != self.backend.dims() {
+            return Err(SearchError::DimMismatch {
+                expected: self.backend.dims(),
+                actual: query.dims(),
+            });
+        }
         self.stats.queries_submitted += 1;
 
         if let Some(neighbors) = self.cache.get(&query, self.config.k) {
@@ -137,24 +191,53 @@ impl SearchService {
                 query,
                 neighbors,
             });
-            return ticket;
+            return Ok(ticket);
         }
 
         let ticket = self.queue.submit(query);
         while let Some(batch) = self.queue.take_full_batch() {
-            self.dispatch(batch);
+            self.dispatch(batch)?;
         }
-        ticket
+        Ok(ticket)
+    }
+
+    /// Submits one query, panicking on a dimensionality mismatch or backend
+    /// failure. See [`Self::try_submit`] for the fallible form.
+    ///
+    /// # Panics
+    /// Panics if the query dimensionality differs from the backend's or a
+    /// dispatched batch fails.
+    pub fn submit(&mut self, query: BinaryVector) -> QueryTicket {
+        match self.try_submit(query) {
+            Ok(ticket) => ticket,
+            Err(e) => panic!("query dims must match the backend: {e}"),
+        }
     }
 
     /// Flushes any partially filled batch and returns all completed results in
     /// submission (ticket) order.
-    pub fn drain(&mut self) -> Vec<Completed> {
+    ///
+    /// # Errors
+    /// Any execution error the backend reports for the flushed batch.
+    pub fn try_drain(&mut self) -> Result<Vec<Completed>, SearchError> {
         while let Some(batch) = self.queue.take_partial_batch() {
-            self.dispatch(batch);
+            self.dispatch(batch)?;
         }
         self.completed.sort_by_key(|c| c.ticket);
-        std::mem::take(&mut self.completed)
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Flushes any partially filled batch and returns all completed results in
+    /// submission (ticket) order.
+    ///
+    /// # Panics
+    /// Panics if the backend fails executing the flushed batch. See
+    /// [`Self::try_drain`] for the fallible form.
+    pub fn drain(&mut self) -> Vec<Completed> {
+        match self.try_drain() {
+            Ok(completed) => completed,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// A snapshot of the service statistics.
@@ -167,17 +250,42 @@ impl SearchService {
         stats
     }
 
-    fn dispatch(&mut self, batch: Vec<PendingQuery>) {
+    fn dispatch(&mut self, batch: Vec<PendingQuery>) -> Result<(), SearchError> {
         let queries: Vec<BinaryVector> = batch.iter().map(|p| p.query.clone()).collect();
         let dispatch_start = Instant::now();
-        let result = self.backend.serve_batch(&queries, self.config.k);
+        // The fallible entry point: a backend execution failure (invalid
+        // partition network, capacity overflow) surfaces as a typed error
+        // through try_submit/try_drain instead of aborting mid-batch.
+        let result = self
+            .backend
+            .try_serve_batch(&queries, &binvec::QueryOptions::top(self.config.k));
         self.stats.busy_time += dispatch_start.elapsed();
-
-        assert_eq!(
-            result.results.len(),
-            batch.len(),
-            "backend must return one result per query"
-        );
+        // On any failure the batch goes back to the front of the queue so its
+        // tickets are retried by a later dispatch rather than silently lost.
+        let result = match result {
+            Ok(result) => {
+                // The default try_serve_batch guarantees the arity, but a
+                // custom override might not — and the zip below would then
+                // silently drop completions.
+                if result.results.len() != batch.len() {
+                    let error = SearchError::Backend {
+                        backend: self.backend.name(),
+                        reason: format!(
+                            "returned {} results for {} queries",
+                            result.results.len(),
+                            batch.len()
+                        ),
+                    };
+                    self.queue.requeue_front(batch);
+                    return Err(error);
+                }
+                result
+            }
+            Err(error) => {
+                self.queue.requeue_front(batch);
+                return Err(error);
+            }
+        };
 
         self.stats.batches_dispatched += 1;
         self.stats.batched_queries += batch.len() as u64;
@@ -204,6 +312,7 @@ impl SearchService {
                 neighbors,
             });
         }
+        Ok(())
     }
 }
 
@@ -218,7 +327,7 @@ mod tests {
 
     fn linear_service(n: usize, dims: usize, config: ServiceConfig) -> SearchService {
         let data = uniform_dataset(n, dims, 11);
-        SearchService::new(Box::new(LinearScan::new(data)), config)
+        SearchService::try_new(Box::new(LinearScan::new(data)), config).unwrap()
     }
 
     #[test]
@@ -249,7 +358,7 @@ mod tests {
         let data = uniform_dataset(64, 16, 13);
         let direct = LinearScan::new(data.clone());
         let config = ServiceConfig::default().with_batch_size(7).with_k(5);
-        let mut service = SearchService::new(Box::new(LinearScan::new(data)), config);
+        let mut service = SearchService::try_new(Box::new(LinearScan::new(data)), config).unwrap();
         let queries = uniform_queries(23, 16, 14);
         let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
         let completed = service.drain();
@@ -316,7 +425,7 @@ mod tests {
             )
         });
         let config = ServiceConfig::default().with_k(6);
-        let mut service = SearchService::new(Box::new(backend), config);
+        let mut service = SearchService::try_new(Box::new(backend), config).unwrap();
         for q in &queries {
             service.submit(q.clone());
         }
@@ -349,9 +458,126 @@ mod tests {
         let _ = service.submit(BinaryVector::zeros(8));
     }
 
+    /// A backend whose execution can be switched to fail, for exercising the
+    /// dispatch-error path.
+    struct FlakyBackend {
+        inner: LinearScan,
+        fail: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl crate::SimilarityBackend for FlakyBackend {
+        fn name(&self) -> String {
+            "flaky".to_string()
+        }
+        fn len(&self) -> usize {
+            SearchIndex::len(&self.inner)
+        }
+        fn dims(&self) -> usize {
+            SearchIndex::dims(&self.inner)
+        }
+        fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> crate::BackendBatch {
+            crate::BackendBatch::host_only(SearchIndex::search_batch(&self.inner, queries, k))
+        }
+        fn try_serve_batch(
+            &self,
+            queries: &[BinaryVector],
+            options: &binvec::QueryOptions,
+        ) -> Result<crate::BackendBatch, SearchError> {
+            if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(SearchError::Backend {
+                    backend: self.name(),
+                    reason: "injected failure".to_string(),
+                });
+            }
+            options.validate()?;
+            Ok(self.serve_batch(queries, options.k))
+        }
+    }
+
+    #[test]
+    fn failed_dispatch_requeues_the_batch_instead_of_losing_it() {
+        let data = uniform_dataset(30, 16, 11);
+        let direct = LinearScan::new(data.clone());
+        let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let backend = FlakyBackend {
+            inner: LinearScan::new(data),
+            fail: fail.clone(),
+        };
+        let config = ServiceConfig::default()
+            .with_batch_size(2)
+            .with_k(3)
+            .with_cache_capacity(0);
+        let mut service = SearchService::try_new(Box::new(backend), config).unwrap();
+
+        let queries = uniform_queries(2, 16, 12);
+        let first = service.try_submit(queries[0].clone()).unwrap();
+        // The second submission fills the batch; the dispatch fails.
+        let err = service.try_submit(queries[1].clone()).unwrap_err();
+        assert!(matches!(err, SearchError::Backend { .. }));
+        assert_eq!(service.pending(), 2, "failed batch must be re-queued");
+        assert_eq!(service.ready(), 0);
+        // Draining while the backend is down reports the error and keeps the
+        // queue intact.
+        assert!(service.try_drain().is_err());
+        assert_eq!(service.pending(), 2);
+
+        // Once the backend recovers, the retried batch completes in ticket
+        // order with the correct answers.
+        fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        let completed = service.try_drain().unwrap();
+        assert_eq!(completed.len(), 2);
+        assert_eq!(completed[0].ticket, first);
+        for (c, q) in completed.iter().zip(&queries) {
+            assert_eq!(c.neighbors, direct.search(q, 3));
+        }
+    }
+
+    #[test]
+    fn try_submit_reports_dim_mismatch_as_a_typed_error() {
+        let mut service = linear_service(10, 16, ServiceConfig::default());
+        assert_eq!(
+            service.try_submit(BinaryVector::zeros(8)).unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
+        assert!(service.try_submit(BinaryVector::zeros(16)).is_ok());
+    }
+
+    #[test]
+    fn config_build_rejects_bad_values_at_construction() {
+        assert_eq!(
+            ServiceConfig::default().with_k(0).build().unwrap_err(),
+            SearchError::ZeroK
+        );
+        assert!(matches!(
+            ServiceConfig::default().with_batch_size(0).build(),
+            Err(SearchError::InvalidConfig {
+                field: "batch_size",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServiceConfig::default()
+                .with_cache_capacity(MAX_CACHE_CAPACITY + 1)
+                .build(),
+            Err(SearchError::InvalidConfig {
+                field: "cache_capacity",
+                ..
+            })
+        ));
+        assert!(ServiceConfig::default().build().is_ok());
+    }
+
     #[test]
     #[should_panic(expected = "k must be positive")]
-    fn zero_k_panics() {
-        let _ = linear_service(10, 16, ServiceConfig::default().with_k(0));
+    fn deprecated_constructor_still_panics_on_zero_k() {
+        let data = uniform_dataset(10, 16, 11);
+        #[allow(deprecated)]
+        let _ = SearchService::new(
+            Box::new(LinearScan::new(data)),
+            ServiceConfig::default().with_k(0),
+        );
     }
 }

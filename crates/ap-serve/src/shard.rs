@@ -10,7 +10,7 @@
 //! bit-identical to a single-board scan of the whole corpus.
 
 use crate::backend::{BackendBatch, SimilarityBackend};
-use binvec::{BinaryDataset, BinaryVector, TopK};
+use binvec::{BinaryDataset, BinaryVector, QueryOptions, SearchError, TopK};
 
 /// A corpus partitioned into contiguous shards with a global → local id map.
 #[derive(Clone, Debug)]
@@ -121,6 +121,29 @@ impl<B: SimilarityBackend> ShardedBackend<B> {
         }
     }
 
+    /// Builds one backend per shard with a fallible factory, propagating the
+    /// first construction error. This is the path the pipeline builder uses,
+    /// so a mis-configured shard backend surfaces as a [`SearchError`] instead
+    /// of a panic mid-construction.
+    pub fn try_build(
+        sharding: &ShardedDataset,
+        factory: impl Fn(usize, &BinaryDataset) -> Result<B, SearchError>,
+    ) -> Result<Self, SearchError> {
+        let backends = sharding
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| factory(s, shard))
+            .collect::<Result<Vec<B>, SearchError>>()?;
+        Ok(Self {
+            backends,
+            bases: (0..sharding.shard_count())
+                .map(|s| sharding.base(s))
+                .collect(),
+            dims: sharding.dims(),
+        })
+    }
+
     /// Number of shards served.
     pub fn shard_count(&self) -> usize {
         self.backends.len()
@@ -151,27 +174,54 @@ impl<B: SimilarityBackend> SimilarityBackend for ShardedBackend<B> {
     }
 
     fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        match self.try_serve_batch(queries, &QueryOptions::top(k)) {
+            Ok(batch) => batch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        options.validate()?;
+        for q in queries {
+            if q.dims() != self.dims {
+                return Err(SearchError::DimMismatch {
+                    expected: self.dims,
+                    actual: q.dims(),
+                });
+            }
+        }
         if queries.is_empty() {
-            return BackendBatch::default();
+            return Ok(BackendBatch::default());
         }
 
         // Fan the batch out: one scoped thread per shard (each thread stands in
-        // for one board's host-side driver).
-        let shard_batches: Vec<BackendBatch> = std::thread::scope(|scope| {
+        // for one board's host-side driver). The full options travel to every
+        // shard, so per-shard engines honour the distance bound and execution
+        // preference, and a shard's typed failure propagates instead of
+        // panicking inside the fan-out.
+        let shard_batches: Vec<Result<BackendBatch, SearchError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .backends
                 .iter()
-                .map(|backend| scope.spawn(move || backend.serve_batch(queries, k)))
+                .map(|backend| scope.spawn(move || backend.try_serve_batch(queries, options)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
+        let shard_batches: Vec<BackendBatch> =
+            shard_batches.into_iter().collect::<Result<_, _>>()?;
 
         // Host-side top-k merge, identical to the engine's merge across
         // sequential reconfigurations — with the shard-local ids rebased first.
-        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        // Clipping per shard and again after the merge is equivalent to
+        // clipping once at the end: the bound removes a sorted suffix.
+        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(options.k)).collect();
         let mut ap_symbol_cycles = 0u64;
         let mut reconfigurations = 0u64;
         let mut shard_cycles = Vec::with_capacity(shard_batches.len());
@@ -188,12 +238,18 @@ impl<B: SimilarityBackend> SimilarityBackend for ShardedBackend<B> {
             shard_cycles.push(batch.ap_symbol_cycles);
         }
 
-        BackendBatch {
-            results: merged.into_iter().map(TopK::into_sorted).collect(),
+        let mut results: Vec<Vec<binvec::Neighbor>> =
+            merged.into_iter().map(TopK::into_sorted).collect();
+        for neighbors in &mut results {
+            options.clip(neighbors);
+        }
+        Ok(BackendBatch {
+            results,
             ap_symbol_cycles,
             reconfigurations,
             shard_cycles,
-        }
+            run_stats: None,
+        })
     }
 }
 
@@ -305,6 +361,48 @@ mod tests {
             assert_eq!(dist(one), dist(many));
             assert!(many.windows(2).all(|w| w[0] <= w[1]));
         }
+    }
+
+    #[test]
+    fn try_serve_batch_propagates_options_and_typed_errors() {
+        let dims = 16;
+        let data = uniform_dataset(40, dims, 33);
+        let queries = uniform_queries(4, dims, 34);
+        let sharding = ShardedDataset::split(&data, 3);
+        let sharded = ShardedBackend::try_build(&sharding, |_, shard| {
+            crate::ApEngineBackend::try_new(
+                ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral),
+                shard.clone(),
+            )
+        })
+        .unwrap();
+
+        // The distance bound travels through the fan-out and the merge.
+        let bound = 6u32;
+        let options = binvec::QueryOptions::top(data.len()).within(bound);
+        let batch = sharded.try_serve_batch(&queries, &options).unwrap();
+        for (q, neighbors) in queries.iter().zip(&batch.results) {
+            let expected: Vec<binvec::Neighbor> = LinearScan::new(data.clone())
+                .search(q, data.len())
+                .into_iter()
+                .filter(|n| n.distance < bound)
+                .collect();
+            assert_eq!(neighbors, &expected);
+        }
+
+        // Mis-sized queries come back as typed errors, not shard panics.
+        let narrow = [binvec::BinaryVector::zeros(8)];
+        assert!(matches!(
+            sharded.try_serve_batch(&narrow, &binvec::QueryOptions::top(2)),
+            Err(SearchError::DimMismatch {
+                expected: 16,
+                actual: 8
+            })
+        ));
+        assert!(matches!(
+            sharded.try_serve_batch(&queries, &binvec::QueryOptions::top(0)),
+            Err(SearchError::ZeroK)
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! * statistical-reduction parameters (p, k') — accuracy-free work reduction.
 
 use ap_knn::reduction::{reduced_candidates, ReductionConfig};
-use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign, QueryOptions};
 use binvec::topk::{full_sort, select_k};
 use binvec::Neighbor;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -21,7 +21,13 @@ fn bench_collector_fan_in(c: &mut Criterion) {
     for fan_in in [2usize, 8, 64] {
         let engine = ApKnnEngine::new(KnnDesign::new(dims).with_collector_fan_in(fan_in));
         group.bench_function(BenchmarkId::new("cycle_accurate_fan_in", fan_in), |b| {
-            b.iter(|| black_box(engine.search_batch(black_box(&data), black_box(&queries), 4)))
+            b.iter(|| {
+                black_box(engine.try_search_batch(
+                    black_box(&data),
+                    black_box(&queries),
+                    &QueryOptions::top(4),
+                ))
+            })
         });
     }
     group.finish();
@@ -80,7 +86,13 @@ fn bench_execution_modes(c: &mut Criterion) {
     ] {
         let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(mode);
         group.bench_function(BenchmarkId::new("engine", name), |b| {
-            b.iter(|| black_box(engine.search_batch(black_box(&data), black_box(&queries), 4)))
+            b.iter(|| {
+                black_box(engine.try_search_batch(
+                    black_box(&data),
+                    black_box(&queries),
+                    &QueryOptions::top(4),
+                ))
+            })
         });
     }
     group.finish();

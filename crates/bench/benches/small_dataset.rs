@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the small-dataset (single board configuration) regime:
 //! the engines that actually execute on this host, compared head to head.
 
-use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign, QueryOptions};
 use baselines::{FpgaAccelerator, FpgaConfig, LinearScan, ParallelLinearScan, SearchIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -35,12 +35,24 @@ fn bench_small_dataset(c: &mut Criterion) {
 
     let behavioral = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
     group.bench_function(BenchmarkId::new("ap_engine_behavioral", n), |b| {
-        b.iter(|| black_box(behavioral.search_batch(black_box(&data), black_box(&queries), k)))
+        b.iter(|| {
+            black_box(behavioral.try_search_batch(
+                black_box(&data),
+                black_box(&queries),
+                &QueryOptions::top(k),
+            ))
+        })
     });
 
     let cycle_accurate = ApKnnEngine::new(KnnDesign::new(dims));
     group.bench_function(BenchmarkId::new("ap_engine_cycle_accurate", n), |b| {
-        b.iter(|| black_box(cycle_accurate.search_batch(black_box(&data), black_box(&queries), k)))
+        b.iter(|| {
+            black_box(cycle_accurate.try_search_batch(
+                black_box(&data),
+                black_box(&queries),
+                &QueryOptions::top(k),
+            ))
+        })
     });
 
     group.finish();

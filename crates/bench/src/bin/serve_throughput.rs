@@ -37,7 +37,8 @@ fn run_sweep(
         .with_batch_size(batch_size)
         .with_k(K)
         .with_cache_capacity(0);
-    let mut service = SearchService::new(Box::new(backend), config);
+    let mut service =
+        SearchService::try_new(Box::new(backend), config).expect("valid sweep config");
     for q in queries {
         service.submit(q.clone());
     }

@@ -25,6 +25,9 @@
 //! * [`workload`] — the paper's Table II workload parameter presets.
 //! * [`metrics`] — recall / accuracy metrics used by the approximate-search and
 //!   statistical-reduction experiments.
+//! * [`query`] — the workspace-wide query vocabulary: [`QueryOptions`] (k, optional
+//!   distance bound, execution preference) and the fallible [`SearchError`] every
+//!   uniform query entry point returns.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +41,7 @@ pub mod itq;
 pub mod linalg;
 pub mod metrics;
 pub mod quantize;
+pub mod query;
 pub mod topk;
 pub mod workload;
 
@@ -45,5 +49,6 @@ pub use bits::BinaryVector;
 pub use dataset::BinaryDataset;
 pub use distance::{hamming, inverted_hamming, jaccard_similarity};
 pub use itq::{ItqConfig, ItqQuantizer};
+pub use query::{ExecutionPreference, QueryOptions, SearchError};
 pub use topk::{Neighbor, TopK};
 pub use workload::{Workload, WorkloadParams};

@@ -1,0 +1,266 @@
+//! The workspace-wide query vocabulary: [`QueryOptions`] and [`SearchError`].
+//!
+//! Every query entry point in the workspace — the AP engine's fallible
+//! `try_search_batch`, the serving pipeline's `query`/`query_batch`, the
+//! service front door — speaks the same two types defined here, so callers
+//! handle one error enum and one options struct no matter which backend
+//! answers the query.
+
+use crate::topk::Neighbor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the answering engine should execute, when the caller cares.
+///
+/// The single-board AP engine honours the preference by overriding its
+/// configured execution mode (`ap_knn::ExecutionMode`) per call, including
+/// behind sharded deployments. Engines that are inherently cycle-accurate
+/// (the multi-board scheduler, the Jaccard searcher) and host-only engines
+/// (the CPU baselines and approximate indexes) ignore it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionPreference {
+    /// Use whatever mode the engine was configured with (the default).
+    #[default]
+    Auto,
+    /// Force a cycle-accurate simulation of every partition network.
+    CycleAccurate,
+    /// Force the behavioural (analytical-accounting) path.
+    Behavioral,
+}
+
+/// Per-query options carried by every uniform query entry point.
+///
+/// `k` caps the number of neighbors returned. `within`, when set, additionally
+/// restricts results to neighbors whose distance key is *strictly below* the
+/// bound — the ε-bounded range queries of the paper's §VII, expressed in the
+/// answering backend's distance key (Hamming bits for the exact engines,
+/// quantized Jaccard dissimilarity for the Jaccard searcher). A bound of zero
+/// would exclude even exact matches and is rejected at validation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryOptions {
+    /// Maximum neighbors returned per query.
+    pub k: usize,
+    /// Optional exclusive distance bound (`distance < within`).
+    pub within: Option<u32>,
+    /// Execution preference forwarded to fabric-simulating engines.
+    pub execution: ExecutionPreference,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            within: None,
+            execution: ExecutionPreference::Auto,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options returning the `k` nearest neighbors with no distance bound.
+    pub fn top(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Restricts results to neighbors with `distance < bound`.
+    pub fn within(mut self, bound: u32) -> Self {
+        self.within = Some(bound);
+        self
+    }
+
+    /// Sets the execution preference.
+    pub fn execution(mut self, execution: ExecutionPreference) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Checks the options for internal consistency.
+    ///
+    /// # Errors
+    /// [`SearchError::ZeroK`] when `k` is zero and
+    /// [`SearchError::ZeroDistanceBound`] when the bound is `Some(0)` (a zero
+    /// bound excludes even exact matches, so it is always a caller mistake).
+    pub fn validate(&self) -> Result<(), SearchError> {
+        if self.k == 0 {
+            return Err(SearchError::ZeroK);
+        }
+        if self.within == Some(0) {
+            return Err(SearchError::ZeroDistanceBound);
+        }
+        Ok(())
+    }
+
+    /// A copy of the options with the distance bound removed.
+    ///
+    /// Caching layers store the unbounded top-`k` answer and re-apply the
+    /// bound per lookup, so a bounded and an unbounded query share one entry.
+    pub fn unbounded(mut self) -> Self {
+        self.within = None;
+        self
+    }
+
+    /// Applies the distance bound to a `(distance, id)`-sorted neighbor list,
+    /// truncating at the first neighbor at or beyond the bound.
+    pub fn clip(&self, neighbors: &mut Vec<Neighbor>) {
+        if let Some(bound) = self.within {
+            let cut = neighbors.partition_point(|n| n.distance < bound);
+            neighbors.truncate(cut);
+        }
+    }
+}
+
+/// The one error type every fallible query path in the workspace returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchError {
+    /// A dataset or query vector's dimensionality differs from the engine's.
+    DimMismatch {
+        /// Dimensionality the engine was built for.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        actual: usize,
+    },
+    /// `k` was zero.
+    ZeroK,
+    /// The design (or dataset) has zero dimensions, so no automaton can be built.
+    ZeroDims,
+    /// The distance bound was zero, which excludes even exact matches.
+    ZeroDistanceBound,
+    /// The request exceeds a hard capacity of the execution substrate.
+    CapacityExceeded {
+        /// Units the request needs (e.g. symbol-stream offsets).
+        needed: u64,
+        /// Units the substrate can address.
+        limit: u64,
+    },
+    /// A configuration field failed validation at build time.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The requested metric/backend/option combination is not servable.
+    Unsupported {
+        /// Human-readable description of the unsupported combination.
+        what: String,
+    },
+    /// The backend failed while executing (e.g. an invalid automata network).
+    Backend {
+        /// The backend's label.
+        backend: String,
+        /// The underlying failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimMismatch { expected, actual } => {
+                write!(f, "dims mismatch: expected {expected}, got {actual}")
+            }
+            Self::ZeroK => write!(f, "k must be positive"),
+            Self::ZeroDims => write!(f, "design must have at least one dimension"),
+            Self::ZeroDistanceBound => {
+                write!(
+                    f,
+                    "distance bound of 0 selects nothing (bound is exclusive)"
+                )
+            }
+            Self::CapacityExceeded { needed, limit } => {
+                write!(
+                    f,
+                    "capacity exceeded: need {needed}, substrate limit {limit}"
+                )
+            }
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            Self::Unsupported { what } => write!(f, "unsupported: {what}"),
+            Self::Backend { backend, reason } => {
+                write!(f, "backend '{backend}' failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_valid() {
+        let opts = QueryOptions::default();
+        assert_eq!(opts.k, 10);
+        assert_eq!(opts.within, None);
+        assert_eq!(opts.execution, ExecutionPreference::Auto);
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_k_and_zero_bound_are_rejected() {
+        assert_eq!(QueryOptions::top(0).validate(), Err(SearchError::ZeroK));
+        assert_eq!(
+            QueryOptions::top(3).within(0).validate(),
+            Err(SearchError::ZeroDistanceBound)
+        );
+        assert!(QueryOptions::top(3).within(1).validate().is_ok());
+    }
+
+    #[test]
+    fn clip_truncates_at_the_exclusive_bound() {
+        let mut neighbors = vec![
+            Neighbor::new(4, 0),
+            Neighbor::new(1, 2),
+            Neighbor::new(9, 2),
+            Neighbor::new(3, 5),
+        ];
+        QueryOptions::top(10).within(3).clip(&mut neighbors);
+        assert_eq!(
+            neighbors,
+            vec![
+                Neighbor::new(4, 0),
+                Neighbor::new(1, 2),
+                Neighbor::new(9, 2)
+            ]
+        );
+        let mut same = vec![Neighbor::new(0, 7)];
+        QueryOptions::top(10).clip(&mut same);
+        assert_eq!(same.len(), 1, "no bound leaves the list untouched");
+        QueryOptions::top(10).within(7).clip(&mut same);
+        assert!(same.is_empty(), "bound is exclusive");
+    }
+
+    #[test]
+    fn unbounded_strips_only_the_bound() {
+        let opts = QueryOptions::top(5)
+            .within(9)
+            .execution(ExecutionPreference::CycleAccurate);
+        let stripped = opts.unbounded();
+        assert_eq!(stripped.k, 5);
+        assert_eq!(stripped.within, None);
+        assert_eq!(stripped.execution, ExecutionPreference::CycleAccurate);
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = SearchError::DimMismatch {
+            expected: 64,
+            actual: 32,
+        };
+        assert!(e.to_string().contains("expected 64"));
+        assert!(SearchError::ZeroK
+            .to_string()
+            .contains("k must be positive"));
+        let e = SearchError::InvalidConfig {
+            field: "batch_size",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("batch_size"));
+    }
+}

@@ -367,7 +367,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Length specification for [`vec`]: a fixed size or a size range.
+        /// Length specification for [`vec()`]: a fixed size or a size range.
         #[derive(Clone, Copy, Debug)]
         pub struct SizeRange {
             min: usize,

@@ -9,8 +9,9 @@
 //!    quantize everything into 64-bit Hamming codes — exactly the offline step the
 //!    paper assumes before the AP ever sees the data;
 //! 3. stream every document's code as a query against the encoded corpus on the
-//!    cycle-accurate AP engine; any neighbor (other than the document itself) whose
-//!    Hamming distance falls under a threshold is flagged as a duplicate;
+//!    cycle-accurate AP engine through the uniform `SearchPipeline`, using a
+//!    `QueryOptions` **distance bound** (the §VII ε-bounded range query) so the
+//!    fabric itself answers "which documents are within the duplicate radius";
 //! 4. check the planted duplicates were recovered.
 //!
 //! Run with: `cargo run --release --example deduplication`
@@ -66,15 +67,27 @@ fn main() {
     }
 
     // 3. All-pairs near-duplicate search on the AP: every document is also a query.
-    let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
+    //    The distance bound makes this a range query — the response contains
+    //    exactly the neighbors at Hamming distance <= threshold, no post-filter.
+    let mut pipeline = SearchPipeline::over(dataset)
+        .metric(Metric::Hamming)
+        .backend(BackendSpec::ap())
+        .build()
+        .expect("valid pipeline configuration");
     let k = 3;
-    let (results, stats) = engine.search_batch(&dataset, &codes, k);
-
     let threshold = 3u32; // Hamming distance below which we call it a duplicate
+    let options = QueryOptions::top(k).within(threshold + 1); // bound is exclusive
+    let responses = pipeline
+        .query_batch(&codes, &options)
+        .expect("well-formed queries");
+    let stats = responses[0]
+        .ap_run
+        .expect("the AP engine reports full run statistics");
+
     let mut flagged: Vec<(usize, usize, u32)> = Vec::new();
-    for (doc, neighbors) in results.iter().enumerate() {
-        for n in neighbors {
-            if n.id != doc && n.distance <= threshold {
+    for (doc, response) in responses.iter().enumerate() {
+        for n in &response.neighbors {
+            if n.id != doc {
                 flagged.push((doc, n.id, n.distance));
             }
         }

@@ -61,9 +61,18 @@ fn main() {
         expected.push(source);
     }
 
-    // 4a. Exact search on the AP (cycle-accurate simulation).
-    let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
-    let (ap_results, stats) = engine.search_batch(&data, &queries, k);
+    // 4a. Exact search on the AP (cycle-accurate simulation) through the pipeline.
+    let mut pipeline = SearchPipeline::over(data.clone())
+        .backend(BackendSpec::ap())
+        .build()
+        .expect("valid pipeline configuration");
+    let responses = pipeline
+        .query_batch(&queries, &QueryOptions::top(k))
+        .expect("well-formed queries");
+    let ap_results: Vec<Vec<Neighbor>> = responses.iter().map(|r| r.neighbors.clone()).collect();
+    let stats = responses[0]
+        .ap_run
+        .expect("the AP engine reports full run statistics");
 
     // 4b. Exact CPU scan and an approximate kd-forest.
     let cpu = LinearScan::new(data.clone());

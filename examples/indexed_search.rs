@@ -91,6 +91,36 @@ fn main() {
     };
     report_index("multi-probe LSH", &lsh, &query_vectors, &truth, k, dims);
 
+    // The same index families are constructible through the uniform pipeline
+    // entry point — one builder call instead of hand-wiring index + engine.
+    println!();
+    println!("the same families through SearchPipeline::over(..).backend(Indexed(..)):");
+    for (name, kind) in [
+        ("randomized kd-trees", IndexKind::KdForest),
+        ("hierarchical k-means", IndexKind::KMeans),
+        ("multi-probe LSH", IndexKind::Lsh),
+    ] {
+        let mut pipeline = SearchPipeline::over(data.clone())
+            .backend(BackendSpec::Indexed(kind))
+            .build()
+            .expect("valid pipeline configuration");
+        let responses = pipeline
+            .query_batch(&query_vectors, &QueryOptions::top(k))
+            .expect("well-formed queries");
+        let recall: f64 = responses
+            .iter()
+            .zip(truth.iter())
+            .map(|(r, want)| recall_at_k(&r.neighbors, want))
+            .sum::<f64>()
+            / truth.len() as f64;
+        println!(
+            "  {:<22} recall@{k} {:>5.1}%   (backend: {})",
+            name,
+            recall * 100.0,
+            pipeline.backend_name()
+        );
+    }
+
     println!();
     println!("(recall is measured against the exact linear scan; Gen1/Gen2 estimates include");
     println!(" host index traversal, AP streaming, and any board reconfigurations)");

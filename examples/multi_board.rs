@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example multi_board`
 
 use ap_similarity::ap_knn::capacity::CapacityModel;
-use ap_similarity::ap_knn::{ParallelApScheduler, PipelineModel};
+use ap_similarity::ap_knn::PipelineModel;
 use ap_similarity::prelude::*;
 
 fn main() {
@@ -21,35 +21,54 @@ fn main() {
     let data = ap_similarity::binvec::generate::uniform_dataset(480, dims, 3);
     let queries = ap_similarity::binvec::generate::uniform_queries(8, dims, 4);
     let k = 5;
-    let design = KnnDesign::new(dims);
     // Small boards so the example exercises many partitions quickly.
     let capacity = BoardCapacity {
         vectors_per_board: 48,
         model: CapacityModel::PaperCalibrated,
     };
+    let options = QueryOptions::top(k);
 
-    // Reference: the sequential single-board engine.
-    let engine = ApKnnEngine::new(design).with_capacity(capacity);
-    let (reference, stats) = engine.search_batch(&data, &queries, k);
+    // Reference: the sequential single-board engine behind the pipeline.
+    let mut single = SearchPipeline::over(data.clone())
+        .backend(BackendSpec::Ap {
+            mode: ExecutionMode::CycleAccurate,
+            capacity: Some(capacity),
+        })
+        .build()
+        .expect("valid pipeline configuration");
+    let reference = single
+        .query_batch(&queries, &options)
+        .expect("well-formed queries");
+    let stats = reference[0]
+        .ap_run
+        .expect("the AP engine reports full run statistics");
     println!(
         "single board : {} partitions, {} reconfigurations, {} symbols streamed",
         stats.board_configurations, stats.reconfigurations, stats.symbols_streamed
     );
 
-    // Multi-board runs.
+    // Multi-board runs: the same builder, a different backend spec.
     for workers in [1usize, 2, 4] {
-        let scheduler = ParallelApScheduler::new(design)
-            .with_capacity(capacity)
-            .with_workers(workers);
-        let (results, sched) = scheduler.search_batch(&data, &queries, k);
-        assert_eq!(
-            results, reference,
-            "parallel schedule must not change results"
-        );
+        let mut multi = SearchPipeline::over(data.clone())
+            .backend(BackendSpec::Scheduler {
+                boards: workers,
+                capacity: Some(capacity),
+            })
+            .build()
+            .expect("valid pipeline configuration");
+        let responses = multi
+            .query_batch(&queries, &options)
+            .expect("well-formed queries");
+        for (got, want) in responses.iter().zip(&reference) {
+            assert_eq!(
+                got.neighbors, want.neighbors,
+                "parallel schedule must not change results"
+            );
+        }
         println!(
-            "{workers:>2} board(s) : critical path {:>7} symbols ({} partitions / board max), results identical ✔",
-            sched.critical_path_symbols(),
-            sched.partitions_per_worker.iter().max().unwrap()
+            "{workers:>2} board(s) : critical path {:>7} symbols ({} simulated boards), results identical ✔",
+            responses[0].provenance.ap_symbol_cycles,
+            responses[0].provenance.shard_cycles.len().max(1),
         );
     }
 

@@ -1,9 +1,9 @@
 //! Quickstart: exact kNN on the simulated Automata Processor vs. a CPU baseline.
 //!
 //! Builds a small binary dataset, runs the same query batch through (a) the exact
-//! CPU linear scan and (b) the AP engine (one NFA per dataset vector, cycle-accurate
-//! simulation, temporally encoded sort), verifies they agree, and prints the AP-side
-//! execution statistics.
+//! CPU linear scan and (b) the AP engine behind the uniform `SearchPipeline` (one
+//! NFA per dataset vector, cycle-accurate simulation, temporally encoded sort),
+//! verifies they agree, and prints the AP-side execution statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -30,13 +30,20 @@ fn main() {
     let cpu = LinearScan::new(data.clone());
     let cpu_results = cpu.search_batch(&queries, k);
 
-    // 3. The Automata Processor engine.
-    let design = KnnDesign::new(dims);
-    let engine = ApKnnEngine::new(design);
-    let (ap_results, stats) = engine.search_batch(&data, &queries, k);
+    // 3. The Automata Processor engine behind the one query API.
+    let mut pipeline = SearchPipeline::over(data.clone())
+        .metric(Metric::Hamming)
+        .backend(BackendSpec::ap())
+        .build()
+        .expect("valid pipeline configuration");
+    let responses = pipeline
+        .query_batch(&queries, &QueryOptions::top(k))
+        .expect("well-formed queries");
 
     // 4. The AP's temporally encoded sort returns exactly the same neighbors.
-    assert_eq!(ap_results, cpu_results);
+    for (response, cpu_neighbors) in responses.iter().zip(&cpu_results) {
+        assert_eq!(&response.neighbors, cpu_neighbors);
+    }
 
     println!(
         "AP kNN quickstart ({} vectors x {} dims, {} queries, k = {k})",
@@ -44,20 +51,22 @@ fn main() {
         dims,
         queries.len()
     );
+    println!("backend: {}", pipeline.backend_name());
     println!();
-    for (qi, neighbors) in ap_results.iter().enumerate().take(3) {
-        let formatted: Vec<String> = neighbors
+    for (qi, response) in responses.iter().enumerate().take(3) {
+        let formatted: Vec<String> = response
+            .neighbors
             .iter()
             .map(|n| format!("#{} (d={})", n.id, n.distance))
             .collect();
         println!("query {qi}: {}", formatted.join(", "));
     }
-    println!(
-        "  ... ({} more queries)",
-        ap_results.len().saturating_sub(3)
-    );
+    println!("  ... ({} more queries)", responses.len().saturating_sub(3));
     println!();
     println!("AP execution statistics");
+    let stats = responses[0]
+        .ap_run
+        .expect("the AP engine reports full run statistics");
     println!("  board configurations : {}", stats.board_configurations);
     println!("  reconfigurations     : {}", stats.reconfigurations);
     println!("  symbols streamed     : {}", stats.symbols_streamed);

@@ -32,17 +32,18 @@ fn main() {
         );
     }
 
-    // 2. One AP engine per shard behind the uniform backend interface.
-    let backend = ShardedBackend::build(&sharding, |_, shard| {
-        ApEngineBackend::new(
-            ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral),
-            shard.clone(),
-        )
-    });
-
-    // 3. The service: batches of 7 (the §VI-B multiplex width), LRU cache.
+    // 2+3. One AP engine per shard behind the uniform pipeline builder, handed
+    //      to the batching service front door: batches of 7 (the §VI-B
+    //      multiplex width), LRU cache. Both builders validate up front and
+    //      return typed SearchErrors instead of panicking at dispatch time.
     let config = ServiceConfig::default().with_k(k).with_cache_capacity(512);
-    let mut service = SearchService::new(Box::new(backend), config);
+    let mut service = SearchPipeline::over(data.clone())
+        .backend(BackendSpec::behavioral())
+        .sharded(shards)
+        .build()
+        .expect("valid pipeline configuration")
+        .into_service(config)
+        .expect("valid service configuration");
     println!("backend: {}", service.backend_name());
 
     // 4. Traffic: fresh queries mixed with re-queries of a small hot set, the

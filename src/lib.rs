@@ -18,6 +18,12 @@
 //!
 //! ## Quickstart
 //!
+//! Every backend family is constructed and queried through one fluent entry
+//! point, [`SearchPipeline`](ap_serve::SearchPipeline): pick a metric, pick a
+//! backend, optionally shard and cache, then issue fallible queries whose
+//! options carry `k`, an optional distance bound (the paper's §VII range-query
+//! scenario), and an execution preference.
+//!
 //! ```rust
 //! use ap_similarity::prelude::*;
 //!
@@ -29,16 +35,47 @@
 //! // Exact CPU baseline.
 //! let cpu = LinearScan::new(data.clone());
 //!
-//! // The AP engine: builds one NFA per dataset vector, streams the queries through
-//! // the cycle-accurate simulator, and decodes the temporally encoded sort.
-//! let engine = ApKnnEngine::new(KnnDesign::new(dims));
-//! let (ap_results, stats) = engine.search_batch(&data, &queries, 3);
+//! // The AP engine behind the uniform pipeline: one NFA per dataset vector,
+//! // queries streamed through the cycle-accurate simulator, the temporally
+//! // encoded sort decoded back into neighbor lists.
+//! let mut pipeline = SearchPipeline::over(data)
+//!     .metric(Metric::Hamming)
+//!     .backend(BackendSpec::ap())
+//!     .build()
+//!     .expect("valid pipeline configuration");
 //!
-//! for (q, ap) in queries.iter().zip(&ap_results) {
-//!     assert_eq!(ap, &cpu.search(q, 3));
+//! let responses = pipeline
+//!     .query_batch(&queries, &QueryOptions::top(3))
+//!     .expect("well-formed queries");
+//! for (q, response) in queries.iter().zip(&responses) {
+//!     assert_eq!(response.neighbors, cpu.search(q, 3));
 //! }
+//! let stats = responses[0].ap_run.expect("the AP engine reports run stats");
 //! assert_eq!(stats.board_configurations, 1);
+//!
+//! // Range query (§VII): only neighbors strictly within 10 bit flips.
+//! let bounded = pipeline
+//!     .query(&queries[0], &QueryOptions::top(16).within(10))
+//!     .expect("well-formed query");
+//! assert!(bounded.neighbors.iter().all(|n| n.distance < 10));
 //! ```
+//!
+//! ## Migrating from the pre-pipeline entry points
+//!
+//! | Old entry point | New builder call |
+//! |---|---|
+//! | `ApKnnEngine::new(design).search_batch(&data, &queries, k)` | `SearchPipeline::over(data).build()?.query_batch(&queries, &QueryOptions::top(k))?` |
+//! | `ApKnnEngine` + `ExecutionMode::Behavioral` | `.backend(BackendSpec::behavioral())` |
+//! | `ParallelApScheduler::new(design).with_workers(n).search_batch(..)` | `.backend(BackendSpec::scheduler(n))` |
+//! | `JaccardSearcher::new(design).search_batch(..)` | `.metric(Metric::Jaccard)` (AP backend) |
+//! | `IndexedApEngine::new(&backed_index, design).search_batch(..)` | `.backend(BackendSpec::Indexed(IndexKind::KdForest \| KMeans \| Lsh))` |
+//! | `LinearScan::new(data).search_batch(..)` (any [`baselines::SearchIndex`]) | `.backend(BackendSpec::Baseline(BaselineKind::...))` |
+//! | `ShardedBackend::build(&ShardedDataset::split(&data, n), ...)` | `.sharded(n)` |
+//! | `ResultCache::new(cap)` wired by hand | `.cached(cap)` |
+//! | `SearchService::new(backend, config)` (panicking) | `SearchService::try_new(backend, config.build()?)?` or `pipeline.into_service(config)?` |
+//!
+//! The legacy panicking methods remain as thin deprecated wrappers; every new
+//! call site reports typed [`binvec::SearchError`]s instead.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -57,7 +94,8 @@ pub mod prelude {
         StreamLayout,
     };
     pub use ap_serve::{
-        ApEngineBackend, ApSchedulerBackend, SearchService, ServiceConfig, ServiceStats,
+        ApEngineBackend, ApSchedulerBackend, BackendRegistry, BackendSpec, BaselineKind, IndexKind,
+        Metric, Provenance, Response, SearchPipeline, SearchService, ServiceConfig, ServiceStats,
         ShardedBackend, ShardedDataset, SimilarityBackend,
     };
     pub use ap_sim::{
@@ -70,6 +108,7 @@ pub mod prelude {
     pub use binvec::{
         BinaryDataset, BinaryVector, ItqConfig, ItqQuantizer, Neighbor, TopK, Workload,
     };
+    pub use binvec::{ExecutionPreference, QueryOptions, SearchError};
     pub use perf_model::{EnergyReport, KnnJob, Platform, RuntimeModel};
 }
 

@@ -18,7 +18,9 @@ fn ap_engine_agrees_with_every_exact_baseline() {
     let k = 5;
 
     let engine = ApKnnEngine::new(KnnDesign::new(dims));
-    let (ap, _) = engine.search_batch(&data, &queries, k);
+    let (ap, _) = engine
+        .try_search_batch(&data, &queries, &QueryOptions::top(k))
+        .unwrap();
 
     let cpu = LinearScan::new(data.clone());
     let parallel = ParallelLinearScan::new(data.clone(), 4);
@@ -40,7 +42,9 @@ fn ap_engine_handles_multiple_board_configurations() {
         vectors_per_board: 16,
         model: ap_knn::capacity::CapacityModel::PaperCalibrated,
     });
-    let (ap, stats) = engine.search_batch(&data, &queries, k);
+    let (ap, stats) = engine
+        .try_search_batch(&data, &queries, &QueryOptions::top(k))
+        .unwrap();
     assert_eq!(stats.board_configurations, 5);
     assert_eq!(stats.reconfigurations, 4);
     assert_eq!(ap, LinearScan::new(data).search_batch(&queries, k));
@@ -73,7 +77,9 @@ fn quantization_pipeline_preserves_nearest_neighbors() {
     for (i, real) in reals.iter().enumerate().take(20) {
         let perturbed: Vec<f64> = real.iter().map(|x| x + 0.01).collect();
         let query = quantizer.quantize(&perturbed);
-        let (results, _) = engine.search_batch(&data, std::slice::from_ref(&query), 1);
+        let (results, _) = engine
+            .try_search_batch(&data, std::slice::from_ref(&query), &QueryOptions::top(1))
+            .unwrap();
         if results[0][0].id == i {
             hits += 1;
         }

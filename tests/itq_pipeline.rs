@@ -66,7 +66,9 @@ fn ap_search_over_itq_codes_matches_cpu_search_exactly() {
     let dataset = to_dataset(&data_codes, code_dims);
 
     let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
-    let (ap, _) = engine.search_batch(&dataset, &query_codes, 5);
+    let (ap, _) = engine
+        .try_search_batch(&dataset, &query_codes, &QueryOptions::top(5))
+        .unwrap();
     let cpu = LinearScan::new(dataset.clone()).search_batch(&query_codes, 5);
     assert_eq!(
         ap, cpu,
@@ -87,7 +89,9 @@ fn itq_pipeline_recovers_planted_real_space_neighbors() {
     let query_codes: Vec<BinaryVector> = queries.iter().map(|v| itq.quantize(v)).collect();
 
     let engine = ApKnnEngine::new(KnnDesign::new(code_dims));
-    let (results, _) = engine.search_batch(&dataset, &query_codes, 5);
+    let (results, _) = engine
+        .try_search_batch(&dataset, &query_codes, &QueryOptions::top(5))
+        .unwrap();
 
     let mut recovered = 0usize;
     for ((neighbors, &truth), query_code) in results.iter().zip(&planted).zip(&query_codes) {
@@ -180,7 +184,9 @@ fn quantizer_trait_objects_are_interchangeable_in_the_pipeline() {
         let dataset = to_dataset(&data.iter().map(|v| q.quantize(v)).collect::<Vec<_>>(), 16);
         let query_codes: Vec<BinaryVector> = queries.iter().map(|v| q.quantize(v)).collect();
         let engine = ApKnnEngine::new(KnnDesign::new(16));
-        let (results, _) = engine.search_batch(&dataset, &query_codes, 2);
+        let (results, _) = engine
+            .try_search_batch(&dataset, &query_codes, &QueryOptions::top(2))
+            .unwrap();
         assert_eq!(results.len(), queries.len());
         assert!(results.iter().all(|r| r.len() == 2));
     }

@@ -66,7 +66,9 @@ fn jaccard_and_hamming_rankings_differ_when_set_sizes_differ() {
     assert_eq!(jaccard[2].id, 1);
 
     let engine = ApKnnEngine::new(KnnDesign::new(dims));
-    let (hamming, _) = engine.search_batch(&data, &[query], 3);
+    let (hamming, _) = engine
+        .try_search_batch(&data, &[query], &QueryOptions::top(3))
+        .unwrap();
     assert_eq!(hamming[0][0].id, 0);
     assert_eq!(hamming[0][1].id, 2, "Hamming: id 2 differs in 2 bits");
     assert_eq!(hamming[0][2].id, 1, "Hamming: id 1 differs in 8 bits");

@@ -22,7 +22,8 @@ fn scheduler_is_equivalent_to_engine_for_every_worker_count() {
     let design = KnnDesign::new(dims);
     let (expected, engine_stats) = ApKnnEngine::new(design)
         .with_capacity(capacity(12))
-        .search_batch(&data, &queries, 5);
+        .try_search_batch(&data, &queries, &QueryOptions::top(5))
+        .unwrap();
 
     for workers in 1..=6usize {
         let scheduler = ParallelApScheduler::new(design)
@@ -61,7 +62,8 @@ fn scheduler_handles_indexed_style_tiny_buckets() {
     let (results, stats) = scheduler.search_batch(&data, &queries, 2);
     let (expected, _) = ApKnnEngine::new(design)
         .with_capacity(capacity(1))
-        .search_batch(&data, &queries, 2);
+        .try_search_batch(&data, &queries, &QueryOptions::top(2))
+        .unwrap();
     assert_eq!(results, expected);
     assert_eq!(stats.partitions, 12);
     assert_eq!(stats.workers_used, 4);
@@ -114,7 +116,8 @@ proptest! {
         let design = KnnDesign::new(dims);
         let (expected, _) = ApKnnEngine::new(design)
             .with_capacity(capacity(chunk))
-            .search_batch(&data, &qs, 3);
+            .try_search_batch(&data, &qs, &QueryOptions::top(3))
+            .unwrap();
         let (got, _) = ParallelApScheduler::new(design)
             .with_capacity(capacity(chunk))
             .with_workers(workers)

@@ -36,7 +36,9 @@ proptest! {
         let dims = data.dims();
         let query = BinaryVector::from_bools(&query);
         let engine = ApKnnEngine::new(KnnDesign::new(dims));
-        let (ap, _) = engine.search_batch(&data, std::slice::from_ref(&query), k);
+        let (ap, _) = engine
+            .try_search_batch(&data, std::slice::from_ref(&query), &QueryOptions::top(k))
+            .unwrap();
         let cpu = LinearScan::new(data).search(&query, k);
         prop_assert_eq!(&ap[0], &cpu);
     }
@@ -56,8 +58,12 @@ proptest! {
         let split = ApKnnEngine::new(KnnDesign::new(dims))
             .with_mode(ExecutionMode::Behavioral)
             .with_capacity(BoardCapacity { vectors_per_board: board, model: ap_knn::capacity::CapacityModel::PaperCalibrated });
-        let (a, _) = whole.search_batch(&data, std::slice::from_ref(&query), k);
-        let (b, stats) = split.search_batch(&data, std::slice::from_ref(&query), k);
+        let (a, _) = whole
+            .try_search_batch(&data, std::slice::from_ref(&query), &QueryOptions::top(k))
+            .unwrap();
+        let (b, stats) = split
+            .try_search_batch(&data, std::slice::from_ref(&query), &QueryOptions::top(k))
+            .unwrap();
         prop_assert_eq!(a, b);
         prop_assert_eq!(stats.board_configurations, data.len().div_ceil(board));
     }

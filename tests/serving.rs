@@ -10,13 +10,14 @@ fn build_sharded_ap_service(
 ) -> SearchService {
     let dims = data.dims();
     let sharding = ShardedDataset::split(data, shards);
-    let backend = ShardedBackend::build(&sharding, |_, shard| {
-        ApEngineBackend::new(
+    let backend = ShardedBackend::try_build(&sharding, |_, shard| {
+        ApEngineBackend::try_new(
             ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral),
             shard.clone(),
         )
-    });
-    SearchService::new(Box::new(backend), config)
+    })
+    .unwrap();
+    SearchService::try_new(Box::new(backend), config).unwrap()
 }
 
 #[test]
@@ -121,7 +122,8 @@ fn scheduler_backend_behaves_like_sharded_backend() {
         })
         .with_workers(4);
     let backend = ApSchedulerBackend::new(scheduler, data);
-    let mut service = SearchService::new(Box::new(backend), ServiceConfig::default().with_k(k));
+    let mut service =
+        SearchService::try_new(Box::new(backend), ServiceConfig::default().with_k(k)).unwrap();
     for q in &queries {
         service.submit(q.clone());
     }
