@@ -8,7 +8,7 @@
 use crate::design::KnnDesign;
 use crate::macros::{append_vector_macro, VectorMacroHandles};
 use crate::stream::StreamLayout;
-use ap_sim::{ApResult, AutomataNetwork, PlacementReport, Placer};
+use ap_sim::{ApResult, AutomataNetwork, PlacementReport, Placer, Simulator};
 use binvec::dataset::DatasetPartition;
 use binvec::BinaryDataset;
 
@@ -60,6 +60,14 @@ impl PartitionNetwork {
     #[inline]
     pub fn global_index(&self, report_code: u32) -> usize {
         self.base_index + report_code as usize
+    }
+
+    /// Compiles the network into a ready-to-run cycle-accurate simulator (the
+    /// sparse-frontier compiled core). The compilation cost is paid once per board
+    /// configuration; the returned simulator is then streamed one or more query
+    /// batches via [`Simulator::run_into`].
+    pub fn simulator(&self) -> ApResult<Simulator<'_>> {
+        Simulator::new(&self.network)
     }
 
     /// Places the network on the design's device and returns the utilization report.

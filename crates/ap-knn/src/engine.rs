@@ -28,7 +28,8 @@ use crate::decode::merge_reports_into;
 use crate::design::KnnDesign;
 use crate::stream::StreamLayout;
 use ap_sim::reconfig::ExecutionEstimate;
-use ap_sim::{Simulator, TimingModel};
+use ap_sim::{ReportEvent, TimingModel};
+use binvec::dataset::DatasetPartition;
 use binvec::{
     BinaryDataset, BinaryVector, ExecutionPreference, Neighbor, QueryOptions, SearchError, TopK,
 };
@@ -89,11 +90,13 @@ pub struct ApKnnEngine {
     capacity: BoardCapacity,
     mode: ExecutionMode,
     throughput: ThroughputModel,
+    parallelism: usize,
 }
 
 impl ApKnnEngine {
     /// Creates an engine with paper-calibrated board capacity, cycle-accurate
-    /// execution and the paper's throughput model.
+    /// execution, the paper's throughput model, and one simulation worker per
+    /// available hardware thread.
     pub fn new(design: KnnDesign) -> Self {
         let capacity = BoardCapacity::paper_calibrated(design.dims);
         Self {
@@ -101,6 +104,7 @@ impl ApKnnEngine {
             capacity,
             mode: ExecutionMode::CycleAccurate,
             throughput: ThroughputModel::PaperPipelined,
+            parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
         }
     }
 
@@ -120,6 +124,24 @@ impl ApKnnEngine {
     pub fn with_throughput(mut self, throughput: ThroughputModel) -> Self {
         self.throughput = throughput;
         self
+    }
+
+    /// Overrides the number of worker threads used to simulate cycle-accurate
+    /// partitions in parallel. Partitions are independent board images, so the
+    /// results (and all run statistics) are identical to a serial run; only the
+    /// wall-clock time changes.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "engine needs at least one worker");
+        self.parallelism = workers;
+        self
+    }
+
+    /// The configured number of cycle-accurate simulation workers.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The design this engine drives.
@@ -195,35 +217,84 @@ impl ApKnnEngine {
 
         let mut accumulators: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
         let mut reports_total = 0u64;
-        // The symbol stream is identical for every partition; encode it once.
-        let stream = match mode {
-            ExecutionMode::CycleAccurate => Some(layout.encode_batch(queries)),
-            ExecutionMode::Behavioral => None,
-        };
-
-        for partition in &partitions {
-            match mode {
-                ExecutionMode::CycleAccurate => {
-                    let pn = PartitionNetwork::build(partition, &self.design);
-                    let mut sim =
-                        Simulator::new(&pn.network).map_err(|e| SearchError::Backend {
-                            backend: "ap-knn".to_string(),
-                            reason: e.to_string(),
-                        })?;
-                    let stream = stream.as_deref().expect("encoded for cycle-accurate mode");
-                    let reports = sim.run(stream);
-                    reports_total += reports.len() as u64;
-                    merge_reports_into(&layout, &reports, partition.base_index, &mut accumulators);
+        match mode {
+            ExecutionMode::CycleAccurate => {
+                // The symbol stream is identical for every partition; encode it once.
+                let stream = layout.encode_batch(queries);
+                let workers = self.parallelism.min(partitions.len()).max(1);
+                if workers <= 1 {
+                    let mut reports = Vec::new();
+                    for partition in &partitions {
+                        reports_total += run_partition(
+                            &self.design,
+                            &layout,
+                            &stream,
+                            partition,
+                            &mut accumulators,
+                            &mut reports,
+                        )?;
+                    }
+                } else {
+                    // Partitions are independent board images: fan them out over
+                    // scoped workers, each merging into its own per-query top-k
+                    // accumulators, then merge on the host exactly as across
+                    // sequential reconfigurations. Results and statistics are
+                    // identical to the serial schedule.
+                    let span = partitions.len().div_ceil(workers);
+                    let design = &self.design;
+                    let layout_ref = &layout;
+                    let stream_ref = &stream[..];
+                    let queries_len = queries.len();
+                    let outputs: Vec<Result<(Vec<TopK>, u64), SearchError>> =
+                        std::thread::scope(|scope| {
+                            let handles: Vec<_> = partitions
+                                .chunks(span.max(1))
+                                .map(|owned| {
+                                    scope.spawn(move || {
+                                        let mut local: Vec<TopK> =
+                                            (0..queries_len).map(|_| TopK::new(k)).collect();
+                                        let mut local_reports = 0u64;
+                                        let mut reports = Vec::new();
+                                        for partition in owned {
+                                            local_reports += run_partition(
+                                                design,
+                                                layout_ref,
+                                                stream_ref,
+                                                partition,
+                                                &mut local,
+                                                &mut reports,
+                                            )?;
+                                        }
+                                        Ok((local, local_reports))
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("engine worker panicked"))
+                                .collect()
+                        });
+                    for output in outputs {
+                        let (local, local_reports) = output?;
+                        for (global, partial) in accumulators.iter_mut().zip(&local) {
+                            global.merge(partial);
+                        }
+                        reports_total += local_reports;
+                    }
                 }
-                ExecutionMode::Behavioral => {
-                    // Behavioural equivalent: every encoded vector reports once per
-                    // query, at the offset encoding its Hamming distance.
+            }
+            ExecutionMode::Behavioral => {
+                // Behavioural equivalent: every encoded vector reports once per
+                // query, at the offset encoding its Hamming distance. One batched
+                // word-level distance kernel per (partition, query) pair.
+                let mut distances = Vec::new();
+                for partition in &partitions {
                     for (qi, q) in queries.iter().enumerate() {
-                        for local in 0..partition.data.len() {
-                            let dist = partition.data.hamming_to(local, q);
-                            reports_total += 1;
-                            accumulators[qi]
-                                .offer(Neighbor::new(partition.global_index(local), dist));
+                        partition.data.hamming_batch_into(q, &mut distances);
+                        reports_total += distances.len() as u64;
+                        let acc = &mut accumulators[qi];
+                        for (local, &dist) in distances.iter().enumerate() {
+                            acc.offer(Neighbor::new(partition.global_index(local), dist));
                         }
                     }
                 }
@@ -303,6 +374,33 @@ impl ApKnnEngine {
     }
 }
 
+/// Builds and compiles one board partition's network, streams the (shared) encoded
+/// query batch through the compiled simulator, and merges its reports into the
+/// per-query accumulators. The report sink is caller-owned so a single allocation
+/// is reused across every partition a worker owns. Returns the report-event count.
+///
+/// Shared by the engine's serial/parallel schedules and by
+/// [`crate::scheduler::ParallelApScheduler`], so the partition-execution recipe
+/// lives in exactly one place.
+pub(crate) fn run_partition(
+    design: &KnnDesign,
+    layout: &StreamLayout,
+    stream: &[u8],
+    partition: &DatasetPartition,
+    accumulators: &mut [TopK],
+    reports: &mut Vec<ReportEvent>,
+) -> Result<u64, SearchError> {
+    let pn = PartitionNetwork::build(partition, design);
+    let mut sim = pn.simulator().map_err(|e| SearchError::Backend {
+        backend: "ap-knn".to_string(),
+        reason: e.to_string(),
+    })?;
+    reports.clear();
+    sim.run_into(stream, reports);
+    merge_reports_into(layout, reports, partition.base_index, accumulators);
+    Ok(reports.len() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +477,43 @@ mod tests {
         assert_eq!(s1.symbols_streamed, s2.symbols_streamed);
         assert_eq!(s1.reports, s2.reports);
         assert_eq!(s1.board_configurations, s2.board_configurations);
+    }
+
+    #[test]
+    fn parallel_partition_execution_matches_serial() {
+        // Cycle-accurate partitions are independent board images; any worker count
+        // must produce identical neighbors and identical run statistics.
+        let dims = 12;
+        let data = uniform_dataset(45, dims, 31);
+        let queries = uniform_queries(4, dims, 32);
+        let cap = BoardCapacity {
+            vectors_per_board: 6,
+            model: crate::capacity::CapacityModel::PaperCalibrated,
+        };
+        let serial = ApKnnEngine::new(KnnDesign::new(dims))
+            .with_capacity(cap)
+            .with_parallelism(1);
+        let (expected, expected_stats) = serial
+            .try_search_batch(&data, &queries, &QueryOptions::top(5))
+            .unwrap();
+        assert_eq!(expected_stats.board_configurations, 8);
+        for workers in [2usize, 3, 16] {
+            let parallel = ApKnnEngine::new(KnnDesign::new(dims))
+                .with_capacity(cap)
+                .with_parallelism(workers);
+            assert_eq!(parallel.parallelism(), workers);
+            let (results, stats) = parallel
+                .try_search_batch(&data, &queries, &QueryOptions::top(5))
+                .unwrap();
+            assert_eq!(results, expected, "workers = {workers}");
+            assert_eq!(stats, expected_stats, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_parallelism_panics() {
+        let _ = ApKnnEngine::new(KnnDesign::new(8)).with_parallelism(0);
     }
 
     #[test]

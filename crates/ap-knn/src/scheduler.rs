@@ -20,12 +20,10 @@
 //!   (Table IV), overlapping buys little; on Gen-2 the two terms are comparable and
 //!   pipelining approaches a 2× improvement. The model quantifies both.
 
-use crate::builder::PartitionNetwork;
 use crate::capacity::BoardCapacity;
-use crate::decode::merge_reports_into;
 use crate::design::KnnDesign;
 use crate::stream::StreamLayout;
-use ap_sim::{Simulator, TimingModel};
+use ap_sim::TimingModel;
 use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
 use serde::{Deserialize, Serialize};
 
@@ -149,19 +147,20 @@ impl ParallelApScheduler {
                             (0..queries_len).map(|_| TopK::new(k)).collect();
                         let mut reports_total = 0u64;
                         let mut symbols = 0u64;
+                        // One compiled simulator per partition (built once), one
+                        // report allocation reused across the worker's partitions.
+                        let mut reports = Vec::new();
                         for partition in owned.iter() {
-                            let pn = PartitionNetwork::build(partition, design);
-                            let mut sim = Simulator::new(&pn.network)
-                                .expect("partition network must be valid");
-                            let reports = sim.run(stream);
-                            symbols += stream.len() as u64;
-                            reports_total += reports.len() as u64;
-                            merge_reports_into(
+                            reports_total += crate::engine::run_partition(
+                                design,
                                 layout,
-                                &reports,
-                                partition.base_index,
+                                stream,
+                                partition,
                                 &mut accumulators,
-                            );
+                                &mut reports,
+                            )
+                            .expect("partition network must be valid");
+                            symbols += stream.len() as u64;
                         }
                         (accumulators, reports_total, symbols)
                     })

@@ -158,6 +158,19 @@ impl BackendSpec {
         data: &BinaryDataset,
         metric: Metric,
     ) -> Result<Box<dyn SimilarityBackend>, SearchError> {
+        self.instantiate_with_engine_parallelism(data, metric, None)
+    }
+
+    /// Like [`Self::instantiate`], but with an override for the AP engine's
+    /// partition-simulation worker count. The sharded pipeline passes `Some(1)`
+    /// so shard-level and partition-level parallelism do not multiply into
+    /// oversubscription: the shard fan-out already owns the host's cores.
+    pub(crate) fn instantiate_with_engine_parallelism(
+        &self,
+        data: &BinaryDataset,
+        metric: Metric,
+        engine_parallelism: Option<usize>,
+    ) -> Result<Box<dyn SimilarityBackend>, SearchError> {
         let dims = data.dims();
         if dims == 0 {
             return Err(SearchError::ZeroDims);
@@ -207,6 +220,9 @@ impl BackendSpec {
                 let mut engine = ApKnnEngine::new(design).with_mode(mode);
                 if let Some(capacity) = capacity {
                     engine = engine.with_capacity(capacity);
+                }
+                if let Some(workers) = engine_parallelism {
+                    engine = engine.with_parallelism(workers);
                 }
                 Ok(Box::new(ApEngineBackend::try_new(engine, data.clone())?))
             }
@@ -395,24 +411,30 @@ impl SearchPipelineBuilder {
             });
         }
 
-        let instantiate =
-            |data: &BinaryDataset| -> Result<Box<dyn SimilarityBackend>, SearchError> {
-                match &self.backend {
-                    BackendChoice::Spec(spec) => spec.instantiate(data, self.metric),
-                    BackendChoice::Named(name) => match &self.registry {
-                        Some(registry) => registry.build(name, data, self.metric),
-                        None => BackendRegistry::builtin().build(name, data, self.metric),
-                    },
+        let instantiate = |data: &BinaryDataset,
+                           engine_parallelism: Option<usize>|
+         -> Result<Box<dyn SimilarityBackend>, SearchError> {
+            match &self.backend {
+                BackendChoice::Spec(spec) => {
+                    spec.instantiate_with_engine_parallelism(data, self.metric, engine_parallelism)
                 }
-            };
+                BackendChoice::Named(name) => match &self.registry {
+                    Some(registry) => registry.build(name, data, self.metric),
+                    None => BackendRegistry::builtin().build(name, data, self.metric),
+                },
+            }
+        };
 
         let (backend, shards): (Box<dyn SimilarityBackend>, usize) = if self.shards == 1 {
-            (instantiate(&self.data)?, 1)
+            (instantiate(&self.data, None)?, 1)
         } else {
             let sharding = ShardedDataset::split(&self.data, self.shards);
             let shard_count = sharding.shard_count();
+            // Shard workers already fan out across the host's cores; per-shard
+            // engines simulate their board partitions serially so the two levels
+            // of parallelism do not multiply.
             let sharded: ShardedBackend<Box<dyn SimilarityBackend>> =
-                ShardedBackend::try_build(&sharding, |_, shard| instantiate(shard))?;
+                ShardedBackend::try_build(&sharding, |_, shard| instantiate(shard, Some(1)))?;
             (Box::new(sharded), shard_count)
         };
 

@@ -1,0 +1,648 @@
+//! Compiled sparse-frontier execution core.
+//!
+//! [`CompiledNetwork`] lowers an [`AutomataNetwork`] into a flat, cache-friendly
+//! form **once**, so that each subsequent symbol cycle costs time proportional to
+//! the *active frontier* instead of the fabric size:
+//!
+//! * elements are split into struct-of-arrays by kind — STE symbol masks, counter
+//!   thresholds/modes/increment caps, boolean functions — indexed by dense slots;
+//! * a 256-entry symbol → candidate-STE index lists, per input symbol, exactly the
+//!   always-eligible (`StartKind::AllInput`) STEs whose symbol class contains that
+//!   symbol, so start states are activated without scanning the fabric;
+//! * successor adjacency is flattened into CSR form (`u32` offsets plus packed
+//!   `(element, port)` entries, two tag bits per edge), and only the edges that can
+//!   matter at run time are kept: activation edges into STEs and enable/reset edges
+//!   into counter slots. Activation edges into boolean gates are dropped because
+//!   gates *pull* their inputs during the combinational pass;
+//! * activations are tracked in `u64` bitset frontiers paired with dense active
+//!   lists; a cycle propagates only from elements active on the previous cycle and
+//!   clears only the bits it set, never touching the rest of the fabric;
+//! * reports are emitted into a caller-owned, reusable sink
+//!   ([`CompiledNetwork::run_into`]) instead of allocating a fresh `Vec` per step.
+//!
+//! The core is behaviourally bit-identical to the naive reference stepper
+//! ([`crate::reference::ReferenceSimulator`]): same activation semantics, same
+//! counter sampling, the same bounded Gauss–Seidel sweep for boolean fix-points,
+//! and reports sorted by element id within each cycle. The workspace proptest
+//! sweep (`tests/compiled_equivalence.rs`) enforces this equivalence on random
+//! networks and streams.
+
+use crate::element::{BooleanFunction, CounterMode, ElementId, ElementKind, StartKind};
+use crate::error::{ApError, ApResult};
+use crate::network::{AutomataNetwork, ConnectPort};
+use crate::simulate::ReportEvent;
+
+/// Edge tag: activate an STE (payload = target element index).
+const TAG_ACTIVATE_STE: u32 = 0;
+/// Edge tag: increment a counter (payload = counter slot).
+const TAG_COUNT_ENABLE: u32 = 1;
+/// Edge tag: reset a counter (payload = counter slot).
+const TAG_COUNT_RESET: u32 = 2;
+
+/// Sentinel for "element does not report".
+const NO_REPORT: u64 = u64::MAX;
+/// Sentinel for "element has no slot of this kind".
+const NO_SLOT: u32 = u32::MAX;
+
+#[inline]
+fn bit_is_set(bits: &[u64], index: usize) -> bool {
+    (bits[index >> 6] >> (index & 63)) & 1 == 1
+}
+
+/// An [`AutomataNetwork`] compiled for sparse-frontier execution.
+///
+/// The compiled form is immutable and holds no per-run state; pair it with a
+/// [`CompiledState`] (one per concurrent stream) to execute. [`crate::Simulator`]
+/// wraps the two behind the familiar `step`/`run` API.
+#[derive(Clone, Debug)]
+pub struct CompiledNetwork {
+    /// Number of elements in the source network.
+    n: usize,
+    /// Per-element 256-bit symbol masks (all-zero for non-STEs).
+    masks: Vec<[u64; 4]>,
+    /// Per-element report code, or [`NO_REPORT`].
+    report_of: Vec<u64>,
+    /// Per-element counter slot, or [`NO_SLOT`] for non-counters.
+    counter_slot_of: Vec<u32>,
+    /// CSR offsets into [`Self::sym_candidates`], one per symbol value (257 entries).
+    sym_off: Vec<u32>,
+    /// `AllInput` STE element indices, grouped by matching symbol.
+    sym_candidates: Vec<u32>,
+    /// `StartOfData` STE element indices (symbol mask checked on cycle 0).
+    start_of_data: Vec<u32>,
+    /// CSR offsets into [`Self::succ`], one per element (`n + 1` entries).
+    succ_off: Vec<u32>,
+    /// Packed successor edges: `(payload << 2) | tag`.
+    succ: Vec<u32>,
+    /// Counter slot → element index (ascending element order).
+    cnt_elem: Vec<u32>,
+    /// Counter slot → threshold.
+    cnt_threshold: Vec<u32>,
+    /// Counter slot → per-cycle increment cap.
+    cnt_max_inc: Vec<u32>,
+    /// Counter slot → `true` for [`CounterMode::Latch`].
+    cnt_latch: Vec<bool>,
+    /// Boolean slot → element index (ascending element order, the fix-point sweep
+    /// order of the reference stepper).
+    bool_elem: Vec<u32>,
+    /// Boolean slot → logic function.
+    bool_fn: Vec<BooleanFunction>,
+    /// CSR offsets into [`Self::bool_preds`].
+    bool_pred_off: Vec<u32>,
+    /// Activation-port predecessors of each boolean gate, in connection order.
+    bool_preds: Vec<u32>,
+    /// Number of reporting elements.
+    reporting: usize,
+}
+
+/// Mutable execution state for one symbol stream over a [`CompiledNetwork`].
+#[derive(Clone, Debug)]
+pub struct CompiledState {
+    /// Bitset of elements active on the previous cycle.
+    prev_bits: Vec<u64>,
+    /// Dense list of the set bits in `prev_bits` (no duplicates).
+    prev_list: Vec<u32>,
+    /// Scratch bitset for the cycle being computed (clear between cycles).
+    cur_bits: Vec<u64>,
+    /// Dense list of the set bits in `cur_bits`.
+    cur_list: Vec<u32>,
+    /// Counter internal counts, by counter slot.
+    counts: Vec<u32>,
+    /// Pulse-mode "already fired since last reset" flags, by counter slot.
+    fired: Vec<bool>,
+    /// Latch-mode "currently at or past threshold" flags, by counter slot.
+    latched: Vec<bool>,
+    /// Slots with `latched == true` (pruned lazily each cycle).
+    latched_list: Vec<u32>,
+    /// Per-cycle enable pulse counts, by counter slot (zeroed after each cycle).
+    enables: Vec<u32>,
+    /// Per-cycle reset flags, by counter slot (cleared after each cycle).
+    resets: Vec<bool>,
+    /// Counter slots touched this cycle (so scratch clearing is sparse).
+    touched: Vec<u32>,
+    /// Reusable input buffer for boolean-gate evaluation.
+    bool_inputs: Vec<bool>,
+    /// Cycles executed so far.
+    cycle: u64,
+}
+
+impl CompiledState {
+    fn new(n: usize, counters: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        Self {
+            prev_bits: vec![0; words],
+            prev_list: Vec::new(),
+            cur_bits: vec![0; words],
+            cur_list: Vec::new(),
+            counts: vec![0; counters],
+            fired: vec![false; counters],
+            latched: vec![false; counters],
+            latched_list: Vec::new(),
+            enables: vec![0; counters],
+            resets: vec![false; counters],
+            touched: Vec::new(),
+            bool_inputs: Vec::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Clears all run state (activations, counters, cycle count).
+    ///
+    /// Frontier bits are cleared sparsely through the active lists; only the small
+    /// per-counter vectors are bulk-filled. Nothing is re-validated or re-derived —
+    /// the compiled structure is immutable.
+    pub fn reset(&mut self) {
+        for &e in &self.prev_list {
+            self.prev_bits[(e >> 6) as usize] &= !(1u64 << (e & 63));
+        }
+        self.prev_list.clear();
+        for &e in &self.cur_list {
+            self.cur_bits[(e >> 6) as usize] &= !(1u64 << (e & 63));
+        }
+        self.cur_list.clear();
+        self.counts.fill(0);
+        self.fired.fill(false);
+        self.latched.fill(false);
+        self.latched_list.clear();
+        self.enables.fill(0);
+        self.resets.fill(false);
+        self.touched.clear();
+        self.cycle = 0;
+    }
+
+    /// Whether element `index` was active on the most recently executed cycle.
+    #[inline]
+    pub fn is_active(&self, index: usize) -> bool {
+        self.prev_bits
+            .get(index >> 6)
+            .is_some_and(|w| (w >> (index & 63)) & 1 == 1)
+    }
+
+    /// Cycles executed so far (also the offset of the next symbol).
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+impl CompiledNetwork {
+    /// Compiles `net`, validating it first.
+    pub fn compile(net: &AutomataNetwork) -> ApResult<Self> {
+        net.validate()?;
+        let n = net.len();
+        if n >= (1 << 30) {
+            return Err(ApError::Simulation {
+                reason: format!("network with {n} elements exceeds the compiled-core limit"),
+            });
+        }
+
+        let mut masks = vec![[0u64; 4]; n];
+        let mut report_of = vec![NO_REPORT; n];
+        let mut counter_slot_of = vec![NO_SLOT; n];
+        let mut start_of_data = Vec::new();
+        let mut per_symbol: Vec<Vec<u32>> = vec![Vec::new(); 256];
+        let mut cnt_elem = Vec::new();
+        let mut cnt_threshold = Vec::new();
+        let mut cnt_max_inc = Vec::new();
+        let mut cnt_latch = Vec::new();
+        let mut bool_elem = Vec::new();
+        let mut bool_fn = Vec::new();
+        let mut bool_pred_off = vec![0u32];
+        let mut bool_preds = Vec::new();
+        let mut reporting = 0usize;
+
+        for e in net.elements() {
+            let idx = e.id.index();
+            if let Some(code) = e.report_code() {
+                report_of[idx] = u64::from(code);
+                reporting += 1;
+            }
+            match &e.kind {
+                ElementKind::Ste { symbols, start, .. } => {
+                    masks[idx] = symbols.to_words();
+                    match start {
+                        StartKind::AllInput => {
+                            for s in 0..=255u8 {
+                                if symbols.matches(s) {
+                                    per_symbol[s as usize].push(idx as u32);
+                                }
+                            }
+                        }
+                        StartKind::StartOfData => start_of_data.push(idx as u32),
+                        StartKind::None => {}
+                    }
+                }
+                ElementKind::Counter {
+                    threshold,
+                    mode,
+                    max_increment_per_cycle,
+                    ..
+                } => {
+                    counter_slot_of[idx] = cnt_elem.len() as u32;
+                    cnt_elem.push(idx as u32);
+                    cnt_threshold.push(*threshold);
+                    cnt_max_inc.push(*max_increment_per_cycle);
+                    cnt_latch.push(*mode == CounterMode::Latch);
+                }
+                ElementKind::Boolean { function, .. } => {
+                    bool_elem.push(idx as u32);
+                    bool_fn.push(*function);
+                    for (p, port) in net.predecessors(e.id) {
+                        if *port == ConnectPort::Activation {
+                            bool_preds.push(p.index() as u32);
+                        }
+                    }
+                    bool_pred_off.push(bool_preds.len() as u32);
+                }
+            }
+        }
+
+        // 256-entry symbol index, CSR-flattened.
+        let mut sym_off = Vec::with_capacity(257);
+        sym_off.push(0u32);
+        let mut sym_candidates = Vec::new();
+        for bucket in &per_symbol {
+            sym_candidates.extend_from_slice(bucket);
+            sym_off.push(sym_candidates.len() as u32);
+        }
+
+        // Successor CSR, keeping only run-time-relevant edges.
+        let mut succ_off = Vec::with_capacity(n + 1);
+        succ_off.push(0u32);
+        let mut succ = Vec::new();
+        for e in net.elements() {
+            for (t, port) in net.successors(e.id) {
+                let target = t.index();
+                match port {
+                    ConnectPort::Activation => {
+                        // Boolean gates pull their inputs during the combinational
+                        // pass; only STE targets need push activation.
+                        if net.elements()[target].is_ste() {
+                            succ.push(((target as u32) << 2) | TAG_ACTIVATE_STE);
+                        }
+                    }
+                    ConnectPort::CountEnable => {
+                        succ.push((counter_slot_of[target] << 2) | TAG_COUNT_ENABLE);
+                    }
+                    ConnectPort::CountReset => {
+                        succ.push((counter_slot_of[target] << 2) | TAG_COUNT_RESET);
+                    }
+                }
+            }
+            succ_off.push(succ.len() as u32);
+        }
+
+        Ok(Self {
+            n,
+            masks,
+            report_of,
+            counter_slot_of,
+            sym_off,
+            sym_candidates,
+            start_of_data,
+            succ_off,
+            succ,
+            cnt_elem,
+            cnt_threshold,
+            cnt_max_inc,
+            cnt_latch,
+            bool_elem,
+            bool_fn,
+            bool_pred_off,
+            bool_preds,
+            reporting,
+        })
+    }
+
+    /// Number of elements in the compiled network.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the compiled network has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of reporting elements (a pre-sizing hint for report sinks).
+    pub fn reporting_count(&self) -> usize {
+        self.reporting
+    }
+
+    /// Creates a fresh execution state for this network.
+    pub fn new_state(&self) -> CompiledState {
+        CompiledState::new(self.n, self.cnt_elem.len())
+    }
+
+    /// Internal count of the counter at `element`, if that element is a counter.
+    pub fn counter_count(&self, state: &CompiledState, element: usize) -> Option<u32> {
+        let slot = *self.counter_slot_of.get(element)?;
+        if slot == NO_SLOT {
+            None
+        } else {
+            Some(state.counts[slot as usize])
+        }
+    }
+
+    #[inline]
+    fn ste_matches(&self, element: usize, symbol: u8) -> bool {
+        (self.masks[element][(symbol >> 6) as usize] >> (symbol & 63)) & 1 == 1
+    }
+
+    /// Executes one cycle with input `symbol`, appending any report events to `out`.
+    ///
+    /// Reports for a cycle are emitted in ascending element-id order, matching the
+    /// reference stepper's full-fabric scan.
+    pub fn step_into(&self, st: &mut CompiledState, symbol: u8, out: &mut Vec<ReportEvent>) {
+        let offset = st.cycle;
+        let report_start = out.len();
+        let sym = symbol as usize;
+
+        macro_rules! activate {
+            ($e:expr) => {{
+                let e = $e as usize;
+                let w = e >> 6;
+                let b = 1u64 << (e & 63);
+                if st.cur_bits[w] & b == 0 {
+                    st.cur_bits[w] |= b;
+                    st.cur_list.push(e as u32);
+                }
+            }};
+        }
+
+        // Phase 1a: always-eligible start STEs via the symbol index.
+        for &e in &self.sym_candidates[self.sym_off[sym] as usize..self.sym_off[sym + 1] as usize] {
+            activate!(e);
+        }
+        // Phase 1b: start-of-data STEs are eligible only on the first symbol.
+        if st.cycle == 0 {
+            for &e in &self.start_of_data {
+                if self.ste_matches(e as usize, symbol) {
+                    activate!(e);
+                }
+            }
+        }
+
+        // Phase 2: sparse propagation from the previous cycle's frontier. STE
+        // targets activate if their symbol class matches; counter ports accumulate
+        // enable/reset pulses into slot-indexed scratch.
+        let prev_list = std::mem::take(&mut st.prev_list);
+        for &e in &prev_list {
+            let lo = self.succ_off[e as usize] as usize;
+            let hi = self.succ_off[e as usize + 1] as usize;
+            for &packed in &self.succ[lo..hi] {
+                let payload = (packed >> 2) as usize;
+                match packed & 3 {
+                    TAG_ACTIVATE_STE => {
+                        if self.ste_matches(payload, symbol) {
+                            activate!(payload);
+                        }
+                    }
+                    TAG_COUNT_ENABLE => {
+                        if st.enables[payload] == 0 && !st.resets[payload] {
+                            st.touched.push(payload as u32);
+                        }
+                        st.enables[payload] += 1;
+                    }
+                    _ => {
+                        if st.enables[payload] == 0 && !st.resets[payload] {
+                            st.touched.push(payload as u32);
+                        }
+                        st.resets[payload] = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 3: counters whose ports saw a pulse this cycle.
+        let touched = std::mem::take(&mut st.touched);
+        for &c in &touched {
+            let c = c as usize;
+            let enables = st.enables[c];
+            let reset = st.resets[c];
+            st.enables[c] = 0;
+            st.resets[c] = false;
+            if reset {
+                st.counts[c] = 0;
+                st.fired[c] = false;
+                st.latched[c] = false;
+            } else {
+                let inc = enables.min(self.cnt_max_inc[c]);
+                st.counts[c] = st.counts[c].saturating_add(inc);
+            }
+            let reached = st.counts[c] >= self.cnt_threshold[c];
+            if self.cnt_latch[c] {
+                if reached {
+                    activate!(self.cnt_elem[c]);
+                    if !st.latched[c] {
+                        st.latched[c] = true;
+                        st.latched_list.push(c as u32);
+                    }
+                }
+            } else if reached && !st.fired[c] {
+                st.fired[c] = true;
+                activate!(self.cnt_elem[c]);
+            }
+        }
+        let mut touched = touched;
+        touched.clear();
+        st.touched = touched;
+
+        // Latch-mode counters stay active without new pulses until reset.
+        if !st.latched_list.is_empty() {
+            let mut latched_list = std::mem::take(&mut st.latched_list);
+            latched_list.retain(|&c| st.latched[c as usize]);
+            for &c in &latched_list {
+                activate!(self.cnt_elem[c as usize]);
+            }
+            st.latched_list = latched_list;
+        }
+
+        // Phase 4: boolean gates — the same bounded Gauss–Seidel sweep (element-id
+        // order, in-place updates, at most one pass per gate) as the reference
+        // stepper, so cyclic gate networks settle identically.
+        if !self.bool_elem.is_empty() {
+            for _pass in 0..self.bool_elem.len() {
+                let mut changed = false;
+                for bi in 0..self.bool_elem.len() {
+                    let lo = self.bool_pred_off[bi] as usize;
+                    let hi = self.bool_pred_off[bi + 1] as usize;
+                    st.bool_inputs.clear();
+                    for &p in &self.bool_preds[lo..hi] {
+                        st.bool_inputs.push(bit_is_set(&st.cur_bits, p as usize));
+                    }
+                    let value = self.bool_fn[bi].evaluate(&st.bool_inputs);
+                    let e = self.bool_elem[bi] as usize;
+                    let w = e >> 6;
+                    let b = 1u64 << (e & 63);
+                    if (st.cur_bits[w] & b != 0) != value {
+                        st.cur_bits[w] ^= b;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // Gates were toggled bit-only during the fix-point; record the ones
+            // that settled active so frontier clearing stays sparse.
+            for &e in &self.bool_elem {
+                if bit_is_set(&st.cur_bits, e as usize) {
+                    st.cur_list.push(e);
+                }
+            }
+        }
+
+        // Phase 5: reports, in element-id order within the cycle.
+        for &e in &st.cur_list {
+            let code = self.report_of[e as usize];
+            if code != NO_REPORT {
+                out.push(ReportEvent {
+                    element: ElementId(e as usize),
+                    code: code as u32,
+                    offset,
+                });
+            }
+        }
+        if out.len() > report_start + 1 {
+            out[report_start..].sort_unstable_by_key(|r| r.element);
+        }
+
+        // Phase 6: the current frontier becomes the previous one; the old previous
+        // frontier is cleared sparsely and recycled as next cycle's scratch.
+        for &e in &prev_list {
+            st.prev_bits[(e >> 6) as usize] &= !(1u64 << (e & 63));
+        }
+        let mut recycled = prev_list;
+        recycled.clear();
+        std::mem::swap(&mut st.prev_bits, &mut st.cur_bits);
+        st.prev_list = std::mem::take(&mut st.cur_list);
+        st.cur_list = recycled;
+        st.cycle += 1;
+    }
+
+    /// Runs an entire symbol stream, appending every report event to `out`.
+    ///
+    /// The sink is caller-owned so repeated runs (e.g. one per board partition) can
+    /// reuse a single allocation.
+    pub fn run_into(&self, st: &mut CompiledState, stream: &[u8], out: &mut Vec<ReportEvent>) {
+        for &s in stream {
+            self.step_into(st, s, out);
+        }
+    }
+
+    /// Snapshots `st` into the reference stepper's element-indexed layout:
+    /// `(prev_active, counts, fired)`, each of length [`Self::len`].
+    pub(crate) fn export_state(&self, st: &CompiledState) -> (Vec<bool>, Vec<u32>, Vec<bool>) {
+        let mut prev = vec![false; self.n];
+        for &e in &st.prev_list {
+            prev[e as usize] = true;
+        }
+        let mut counts = vec![0u32; self.n];
+        let mut fired = vec![false; self.n];
+        for (slot, &e) in self.cnt_elem.iter().enumerate() {
+            counts[e as usize] = st.counts[slot];
+            fired[e as usize] = st.fired[slot];
+        }
+        (prev, counts, fired)
+    }
+
+    /// Restores `st` from the reference stepper's element-indexed layout.
+    pub(crate) fn import_state(
+        &self,
+        st: &mut CompiledState,
+        prev_active: &[bool],
+        counts: &[u32],
+        fired: &[bool],
+        cycle: u64,
+    ) {
+        st.reset();
+        for (e, &active) in prev_active.iter().enumerate() {
+            if active {
+                st.prev_bits[e >> 6] |= 1u64 << (e & 63);
+                st.prev_list.push(e as u32);
+            }
+        }
+        for (slot, &e) in self.cnt_elem.iter().enumerate() {
+            st.counts[slot] = counts[e as usize];
+            st.fired[slot] = fired[e as usize];
+            if self.cnt_latch[slot] && st.counts[slot] >= self.cnt_threshold[slot] {
+                st.latched[slot] = true;
+                st.latched_list.push(slot as u32);
+            }
+        }
+        st.cycle = cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolClass;
+
+    #[test]
+    fn compile_rejects_invalid_networks() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("orphan", SymbolClass::any(), StartKind::None, None);
+        assert!(CompiledNetwork::compile(&net).is_err());
+    }
+
+    #[test]
+    fn symbol_index_contains_only_matching_start_states() {
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::single(b'a'), StartKind::AllInput, None);
+        net.add_ste("z", SymbolClass::single(b'z'), StartKind::AllInput, None);
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        let lo = compiled.sym_off[b'a' as usize] as usize;
+        let hi = compiled.sym_off[b'a' as usize + 1] as usize;
+        assert_eq!(&compiled.sym_candidates[lo..hi], &[a.index() as u32]);
+        let lo = compiled.sym_off[b'q' as usize] as usize;
+        let hi = compiled.sym_off[b'q' as usize + 1] as usize;
+        assert_eq!(hi - lo, 0);
+    }
+
+    #[test]
+    fn run_into_appends_and_state_resets_sparsely() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("x", SymbolClass::single(b'x'), StartKind::AllInput, Some(1));
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        assert_eq!(compiled.len(), 1);
+        assert!(!compiled.is_empty());
+        assert_eq!(compiled.reporting_count(), 1);
+        let mut state = compiled.new_state();
+        let mut sink = Vec::new();
+        compiled.run_into(&mut state, b"xyx", &mut sink);
+        assert_eq!(sink.len(), 2);
+        compiled.run_into(&mut state, b"x", &mut sink);
+        assert_eq!(sink.len(), 3, "run_into must append, not clear");
+        assert_eq!(state.cycle(), 4);
+        state.reset();
+        assert_eq!(state.cycle(), 0);
+        assert!(!state.is_active(0));
+    }
+
+    #[test]
+    fn export_import_round_trips_counters() {
+        let mut net = AutomataNetwork::new();
+        let drv = net.add_ste("d", SymbolClass::any(), StartKind::AllInput, None);
+        let cnt = net.add_counter("c", 2, CounterMode::Latch, Some(7));
+        net.connect_port(drv, cnt, ConnectPort::CountEnable)
+            .unwrap();
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        let mut state = compiled.new_state();
+        let mut sink = Vec::new();
+        compiled.run_into(&mut state, &[0, 0, 0, 0], &mut sink);
+        let (prev, counts, fired) = compiled.export_state(&state);
+        let mut restored = compiled.new_state();
+        compiled.import_state(&mut restored, &prev, &counts, &fired, state.cycle());
+        assert_eq!(
+            compiled.counter_count(&restored, cnt.index()),
+            compiled.counter_count(&state, cnt.index())
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        compiled.step_into(&mut state, 0, &mut a);
+        compiled.step_into(&mut restored, 0, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -16,7 +16,10 @@
 //! * a **cycle-accurate simulator** ([`simulate`]) that consumes one symbol per clock
 //!   and produces reporting-state activation events `(element, report code, cycle
 //!   offset)`, exactly the information a host application receives from the PCIe
-//!   interface;
+//!   interface. It runs on a **compiled sparse-frontier core** ([`compiled`]) —
+//!   struct-of-arrays element storage, a 256-entry symbol→start-STE index, CSR
+//!   adjacency and bitset frontiers — with the naive full-fabric stepper retained
+//!   as a behavioural oracle ([`mod@reference`]);
 //! * a **device resource model** ([`device`], [`place`]) with the published capacity
 //!   figures (256 STEs / 4 counters / 12 booleans / 32 reporting STEs per block,
 //!   96 blocks per half-core, 2 half-cores per chip, 8 chips per rank, 4 ranks per
@@ -38,6 +41,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod anml;
+pub mod compiled;
 pub mod device;
 pub mod dot;
 pub mod element;
@@ -46,9 +50,11 @@ pub mod network;
 pub mod pcre;
 pub mod place;
 pub mod reconfig;
+pub mod reference;
 pub mod simulate;
 pub mod symbol;
 
+pub use compiled::{CompiledNetwork, CompiledState};
 pub use device::{ApGeneration, DeviceConfig};
 pub use element::{BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind};
 pub use error::{ApError, ApResult};
@@ -56,5 +62,6 @@ pub use network::{AutomataNetwork, ConnectPort, NetworkStats};
 pub use pcre::{CompiledPcre, PcreMatch, PcreOptions, PcreSet};
 pub use place::{ComponentDemand, PlacementReport, Placer};
 pub use reconfig::TimingModel;
+pub use reference::ReferenceSimulator;
 pub use simulate::{ReportEvent, SimulationTrace, Simulator};
 pub use symbol::SymbolClass;

@@ -1,0 +1,304 @@
+//! The naive full-fabric reference stepper.
+//!
+//! [`ReferenceSimulator`] is the original cycle-accurate stepper: every cycle it
+//! scans **all** elements, walks the network's adjacency lists and allocates fresh
+//! report vectors. It is deliberately simple — the activation semantics are written
+//! exactly as the timing model in [`crate::simulate`] describes them — and serves
+//! as the behavioural oracle for the compiled sparse-frontier core
+//! ([`crate::compiled::CompiledNetwork`]): the equivalence proptest sweep compares
+//! the two report-event streams bit for bit, and [`crate::Simulator::run_traced`]
+//! runs on this path so traces keep their long-standing semantics.
+//!
+//! Use [`crate::Simulator`] for anything performance-sensitive.
+
+use crate::element::{CounterMode, ElementId, ElementKind, StartKind};
+use crate::error::{ApError, ApResult};
+use crate::network::{AutomataNetwork, ConnectPort};
+use crate::simulate::{ReportEvent, SimulationTrace};
+
+/// Naive cycle-accurate simulator for one [`AutomataNetwork`].
+#[derive(Clone, Debug)]
+pub struct ReferenceSimulator<'a> {
+    net: &'a AutomataNetwork,
+    /// Activation of every element on the previous cycle.
+    prev_active: Vec<bool>,
+    /// Scratch buffer for the current cycle.
+    cur_active: Vec<bool>,
+    /// Counter internal counts, indexed by element id (0 for non-counters).
+    counts: Vec<u32>,
+    /// Whether a pulse-mode counter has already fired since its last reset.
+    fired: Vec<bool>,
+    /// Cycles executed so far (also the offset of the next symbol).
+    cycle: u64,
+    /// Element evaluation order for boolean fixpoint resolution.
+    boolean_ids: Vec<usize>,
+}
+
+fn boolean_ids_of(net: &AutomataNetwork) -> Vec<usize> {
+    net.elements()
+        .iter()
+        .filter(|e| e.is_boolean())
+        .map(|e| e.id.index())
+        .collect()
+}
+
+impl<'a> ReferenceSimulator<'a> {
+    /// Creates a reference simulator for `net`, validating the network first.
+    pub fn new(net: &'a AutomataNetwork) -> ApResult<Self> {
+        net.validate()?;
+        let n = net.len();
+        Ok(Self {
+            net,
+            prev_active: vec![false; n],
+            cur_active: vec![false; n],
+            counts: vec![0; n],
+            fired: vec![false; n],
+            cycle: 0,
+            boolean_ids: boolean_ids_of(net),
+        })
+    }
+
+    /// Rebuilds a reference simulator from exported state. Skips validation — the
+    /// caller (the compiled-core `Simulator`) has already validated `net`.
+    pub(crate) fn from_parts(
+        net: &'a AutomataNetwork,
+        prev_active: Vec<bool>,
+        counts: Vec<u32>,
+        fired: Vec<bool>,
+        cycle: u64,
+    ) -> Self {
+        let n = net.len();
+        debug_assert_eq!(prev_active.len(), n);
+        debug_assert_eq!(counts.len(), n);
+        debug_assert_eq!(fired.len(), n);
+        Self {
+            net,
+            prev_active,
+            cur_active: vec![false; n],
+            counts,
+            fired,
+            cycle,
+            boolean_ids: boolean_ids_of(net),
+        }
+    }
+
+    /// Decomposes the simulator into `(prev_active, counts, fired, cycle)`.
+    pub(crate) fn into_parts(self) -> (Vec<bool>, Vec<u32>, Vec<bool>, u64) {
+        (self.prev_active, self.counts, self.fired, self.cycle)
+    }
+
+    /// Number of cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether element `id` was active on the most recently executed cycle.
+    pub fn is_active(&self, id: ElementId) -> bool {
+        self.prev_active.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Internal count of counter `id` after the most recently executed cycle.
+    pub fn counter_value(&self, id: ElementId) -> ApResult<u32> {
+        let e = self.net.element(id)?;
+        if !e.is_counter() {
+            return Err(ApError::Simulation {
+                reason: format!("element {} is not a counter", id.index()),
+            });
+        }
+        Ok(self.counts[id.index()])
+    }
+
+    /// Resets all simulation state (activations, counters, cycle count).
+    pub fn reset(&mut self) {
+        self.prev_active.fill(false);
+        self.cur_active.fill(false);
+        self.counts.fill(0);
+        self.fired.fill(false);
+        self.cycle = 0;
+    }
+
+    /// Executes one cycle with the given input symbol, returning any report events.
+    pub fn step(&mut self, symbol: u8) -> Vec<ReportEvent> {
+        let offset = self.cycle;
+        let first_cycle = self.cycle == 0;
+        self.cur_active.fill(false);
+
+        // Phase 1: STEs (depend on symbol + previous-cycle activations).
+        for e in self.net.elements() {
+            if let ElementKind::Ste { symbols, start, .. } = &e.kind {
+                if !symbols.matches(symbol) {
+                    continue;
+                }
+                let enabled = match start {
+                    StartKind::AllInput => true,
+                    StartKind::StartOfData => first_cycle,
+                    StartKind::None => false,
+                } || self.net.predecessors(e.id).iter().any(|(p, port)| {
+                    *port == ConnectPort::Activation && self.prev_active[p.index()]
+                });
+                if enabled {
+                    self.cur_active[e.id.index()] = true;
+                }
+            }
+        }
+
+        // Phase 2: counters (sample ports from the previous cycle).
+        for e in self.net.elements() {
+            if let ElementKind::Counter {
+                threshold,
+                mode,
+                max_increment_per_cycle,
+                ..
+            } = &e.kind
+            {
+                let idx = e.id.index();
+                let mut enables = 0u32;
+                let mut reset = false;
+                for (p, port) in self.net.predecessors(e.id) {
+                    if self.prev_active[p.index()] {
+                        match port {
+                            ConnectPort::CountEnable => enables += 1,
+                            ConnectPort::CountReset => reset = true,
+                            ConnectPort::Activation => {}
+                        }
+                    }
+                }
+                if reset {
+                    self.counts[idx] = 0;
+                    self.fired[idx] = false;
+                } else if enables > 0 {
+                    let inc = enables.min(*max_increment_per_cycle);
+                    self.counts[idx] = self.counts[idx].saturating_add(inc);
+                }
+                let reached = self.counts[idx] >= *threshold;
+                let active = match mode {
+                    CounterMode::Pulse => {
+                        if reached && !self.fired[idx] {
+                            self.fired[idx] = true;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    CounterMode::Latch => reached,
+                };
+                if active {
+                    self.cur_active[idx] = true;
+                }
+            }
+        }
+
+        // Phase 3: boolean gates — combinational fixpoint over current activations.
+        // At most `booleans` passes are needed for acyclic gate chains.
+        for _pass in 0..self.boolean_ids.len() {
+            let mut changed = false;
+            for &idx in &self.boolean_ids {
+                let e = &self.net.elements()[idx];
+                if let ElementKind::Boolean { function, .. } = &e.kind {
+                    let inputs: Vec<bool> = self
+                        .net
+                        .predecessors(e.id)
+                        .iter()
+                        .filter(|(_, port)| *port == ConnectPort::Activation)
+                        .map(|(p, _)| self.cur_active[p.index()])
+                        .collect();
+                    let value = function.evaluate(&inputs);
+                    if self.cur_active[idx] != value {
+                        self.cur_active[idx] = value;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 4: collect reports.
+        let mut reports = Vec::new();
+        for e in self.net.elements() {
+            if self.cur_active[e.id.index()] {
+                if let Some(code) = e.report_code() {
+                    reports.push(ReportEvent {
+                        element: e.id,
+                        code,
+                        offset,
+                    });
+                }
+            }
+        }
+
+        std::mem::swap(&mut self.prev_active, &mut self.cur_active);
+        self.cycle += 1;
+        reports
+    }
+
+    /// Runs the simulator over an entire symbol stream, returning every report event.
+    pub fn run(&mut self, stream: &[u8]) -> Vec<ReportEvent> {
+        let mut all = Vec::new();
+        for &s in stream {
+            all.extend(self.step(s));
+        }
+        all
+    }
+
+    /// Runs the simulator over a stream while recording a full activation trace.
+    pub fn run_traced(&mut self, stream: &[u8]) -> SimulationTrace {
+        let mut trace = SimulationTrace::default();
+        for &s in stream {
+            let reports = self.step(s);
+            let active: Vec<ElementId> = self
+                .net
+                .elements()
+                .iter()
+                .filter(|e| self.prev_active[e.id.index()])
+                .map(|e| e.id)
+                .collect();
+            let counters: Vec<(ElementId, u32)> = self
+                .net
+                .elements()
+                .iter()
+                .filter(|e| e.is_counter())
+                .map(|e| (e.id, self.counts[e.id.index()]))
+                .collect();
+            trace.activations.push(active);
+            trace.counter_values.push(counters);
+            trace.reports.extend(reports);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolClass;
+
+    #[test]
+    fn reference_stepper_matches_figure3_alignment() {
+        // start(SOF=0xFF) -> a('a') -> b('b', report 1): the calibrated one-cycle
+        // propagation delay the whole workspace is built on.
+        let mut net = AutomataNetwork::new();
+        let start = net.add_ste("sof", SymbolClass::single(0xFF), StartKind::AllInput, None);
+        let a = net.add_ste("a", SymbolClass::single(b'a'), StartKind::None, None);
+        let b = net.add_ste("b", SymbolClass::single(b'b'), StartKind::None, Some(1));
+        net.connect(start, a).unwrap();
+        net.connect(a, b).unwrap();
+        let mut sim = ReferenceSimulator::new(&net).unwrap();
+        let reports = sim.run(&[0xFF, b'a', b'b']);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].offset, 2);
+        assert_eq!(sim.cycle(), 3);
+        assert!(sim.is_active(b));
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert!(sim.run(b"ab").is_empty());
+    }
+
+    #[test]
+    fn invalid_network_is_rejected() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("orphan", SymbolClass::any(), StartKind::None, None);
+        assert!(ReferenceSimulator::new(&net).is_err());
+    }
+}

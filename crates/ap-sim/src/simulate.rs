@@ -22,10 +22,29 @@
 //! * A **reporting element** that is active on cycle *t* emits a
 //!   [`ReportEvent`] carrying its report code and the 0-based stream offset *t* —
 //!   exactly the `(id, offset)` pair the host receives over PCIe.
+//!
+//! # Execution cores
+//!
+//! Two implementations share these semantics:
+//!
+//! * [`Simulator`] (this module) runs on the **compiled sparse-frontier core**
+//!   ([`crate::compiled::CompiledNetwork`]): the network is lowered once into
+//!   struct-of-arrays + CSR form and each cycle touches only the symbol-matched
+//!   start states and the successors of the previous cycle's active frontier.
+//!   This is the core every performance path (the kNN engine, the scheduler, the
+//!   PCRE matcher) runs on.
+//! * [`crate::reference::ReferenceSimulator`] is the naive full-fabric stepper,
+//!   kept as the behavioural oracle for the equivalence proptest sweep and as the
+//!   backing implementation of [`Simulator::run_traced`].
+//!
+//! [`CounterMode::Pulse`]: crate::element::CounterMode::Pulse
+//! [`CounterMode::Latch`]: crate::element::CounterMode::Latch
 
-use crate::element::{CounterMode, ElementId, ElementKind, StartKind};
+use crate::compiled::{CompiledNetwork, CompiledState};
+use crate::element::ElementId;
 use crate::error::{ApError, ApResult};
-use crate::network::{AutomataNetwork, ConnectPort};
+use crate::network::AutomataNetwork;
+use crate::reference::ReferenceSimulator;
 use serde::{Deserialize, Serialize};
 
 /// A reporting-element activation observed by the host.
@@ -52,54 +71,43 @@ pub struct SimulationTrace {
     pub reports: Vec<ReportEvent>,
 }
 
-/// Cycle-accurate simulator for one [`AutomataNetwork`].
+/// Cycle-accurate simulator for one [`AutomataNetwork`], backed by the compiled
+/// sparse-frontier core.
+///
+/// Construction compiles (and validates) the network exactly once; [`Self::reset`]
+/// only clears run state and never re-validates or re-derives anything.
 #[derive(Clone, Debug)]
 pub struct Simulator<'a> {
     net: &'a AutomataNetwork,
-    /// Activation of every element on the previous cycle.
-    prev_active: Vec<bool>,
-    /// Scratch buffer for the current cycle.
-    cur_active: Vec<bool>,
-    /// Counter internal counts, indexed by element id (0 for non-counters).
-    counts: Vec<u32>,
-    /// Whether a pulse-mode counter has already fired since its last reset.
-    fired: Vec<bool>,
-    /// Cycles executed so far (also the offset of the next symbol).
-    cycle: u64,
-    /// Element evaluation order for boolean fixpoint resolution.
-    boolean_ids: Vec<usize>,
+    compiled: CompiledNetwork,
+    state: CompiledState,
 }
 
 impl<'a> Simulator<'a> {
-    /// Creates a simulator for `net`, validating the network first.
+    /// Creates a simulator for `net`, validating and compiling the network first.
     pub fn new(net: &'a AutomataNetwork) -> ApResult<Self> {
-        net.validate()?;
-        let n = net.len();
-        let boolean_ids = net
-            .elements()
-            .iter()
-            .filter(|e| e.is_boolean())
-            .map(|e| e.id.index())
-            .collect();
+        let compiled = CompiledNetwork::compile(net)?;
+        let state = compiled.new_state();
         Ok(Self {
             net,
-            prev_active: vec![false; n],
-            cur_active: vec![false; n],
-            counts: vec![0; n],
-            fired: vec![false; n],
-            cycle: 0,
-            boolean_ids,
+            compiled,
+            state,
         })
     }
 
     /// Number of cycles executed so far.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.state.cycle()
+    }
+
+    /// The compiled form of the network this simulator runs on.
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
     }
 
     /// Whether element `id` was active on the most recently executed cycle.
     pub fn is_active(&self, id: ElementId) -> bool {
-        self.prev_active.get(id.index()).copied().unwrap_or(false)
+        self.state.is_active(id.index())
     }
 
     /// Internal count of counter `id` after the most recently executed cycle.
@@ -110,166 +118,62 @@ impl<'a> Simulator<'a> {
                 reason: format!("element {} is not a counter", id.index()),
             });
         }
-        Ok(self.counts[id.index()])
+        Ok(self
+            .compiled
+            .counter_count(&self.state, id.index())
+            .expect("counter element has a counter slot"))
     }
 
     /// Resets all simulation state (activations, counters, cycle count).
     pub fn reset(&mut self) {
-        self.prev_active.fill(false);
-        self.cur_active.fill(false);
-        self.counts.fill(0);
-        self.fired.fill(false);
-        self.cycle = 0;
+        self.state.reset();
     }
 
     /// Executes one cycle with the given input symbol, returning any report events.
     pub fn step(&mut self, symbol: u8) -> Vec<ReportEvent> {
-        let offset = self.cycle;
-        let first_cycle = self.cycle == 0;
-        self.cur_active.fill(false);
-
-        // Phase 1: STEs (depend on symbol + previous-cycle activations).
-        for e in self.net.elements() {
-            if let ElementKind::Ste { symbols, start, .. } = &e.kind {
-                if !symbols.matches(symbol) {
-                    continue;
-                }
-                let enabled = match start {
-                    StartKind::AllInput => true,
-                    StartKind::StartOfData => first_cycle,
-                    StartKind::None => false,
-                } || self.net.predecessors(e.id).iter().any(|(p, port)| {
-                    *port == ConnectPort::Activation && self.prev_active[p.index()]
-                });
-                if enabled {
-                    self.cur_active[e.id.index()] = true;
-                }
-            }
-        }
-
-        // Phase 2: counters (sample ports from the previous cycle).
-        for e in self.net.elements() {
-            if let ElementKind::Counter {
-                threshold,
-                mode,
-                max_increment_per_cycle,
-                ..
-            } = &e.kind
-            {
-                let idx = e.id.index();
-                let mut enables = 0u32;
-                let mut reset = false;
-                for (p, port) in self.net.predecessors(e.id) {
-                    if self.prev_active[p.index()] {
-                        match port {
-                            ConnectPort::CountEnable => enables += 1,
-                            ConnectPort::CountReset => reset = true,
-                            ConnectPort::Activation => {}
-                        }
-                    }
-                }
-                if reset {
-                    self.counts[idx] = 0;
-                    self.fired[idx] = false;
-                } else if enables > 0 {
-                    let inc = enables.min(*max_increment_per_cycle);
-                    self.counts[idx] = self.counts[idx].saturating_add(inc);
-                }
-                let reached = self.counts[idx] >= *threshold;
-                let active = match mode {
-                    CounterMode::Pulse => {
-                        if reached && !self.fired[idx] {
-                            self.fired[idx] = true;
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                    CounterMode::Latch => reached,
-                };
-                if active {
-                    self.cur_active[idx] = true;
-                }
-            }
-        }
-
-        // Phase 3: boolean gates — combinational fixpoint over current activations.
-        // At most `booleans` passes are needed for acyclic gate chains.
-        for _pass in 0..self.boolean_ids.len() {
-            let mut changed = false;
-            for &idx in &self.boolean_ids {
-                let e = &self.net.elements()[idx];
-                if let ElementKind::Boolean { function, .. } = &e.kind {
-                    let inputs: Vec<bool> = self
-                        .net
-                        .predecessors(e.id)
-                        .iter()
-                        .filter(|(_, port)| *port == ConnectPort::Activation)
-                        .map(|(p, _)| self.cur_active[p.index()])
-                        .collect();
-                    let value = function.evaluate(&inputs);
-                    if self.cur_active[idx] != value {
-                        self.cur_active[idx] = value;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-
-        // Phase 4: collect reports.
         let mut reports = Vec::new();
-        for e in self.net.elements() {
-            if self.cur_active[e.id.index()] {
-                if let Some(code) = e.report_code() {
-                    reports.push(ReportEvent {
-                        element: e.id,
-                        code,
-                        offset,
-                    });
-                }
-            }
-        }
-
-        std::mem::swap(&mut self.prev_active, &mut self.cur_active);
-        self.cycle += 1;
+        self.compiled
+            .step_into(&mut self.state, symbol, &mut reports);
         reports
     }
 
     /// Runs the simulator over an entire symbol stream, returning every report event.
+    ///
+    /// The report vector is pre-sized to the network's reporting-element count (the
+    /// exact per-window report volume of the kNN design). Callers that stream many
+    /// windows or partitions should prefer [`Self::run_into`] and reuse one sink.
     pub fn run(&mut self, stream: &[u8]) -> Vec<ReportEvent> {
-        let mut all = Vec::new();
-        for &s in stream {
-            all.extend(self.step(s));
-        }
+        let mut all = Vec::with_capacity(self.compiled.reporting_count());
+        self.compiled.run_into(&mut self.state, stream, &mut all);
         all
     }
 
+    /// Runs the simulator over a stream, appending every report event to `reports`.
+    ///
+    /// The sink is caller-owned and is **not** cleared, so one allocation can be
+    /// reused across many runs (the engine reuses one per board partition).
+    pub fn run_into(&mut self, stream: &[u8], reports: &mut Vec<ReportEvent>) {
+        self.compiled.run_into(&mut self.state, stream, reports);
+    }
+
     /// Runs the simulator over a stream while recording a full activation trace.
+    ///
+    /// Tracing runs on the naive reference stepper (which observes every element
+    /// every cycle); the simulator's state is carried across the boundary in both
+    /// directions, so traced and untraced cycles can be freely interleaved.
     pub fn run_traced(&mut self, stream: &[u8]) -> SimulationTrace {
-        let mut trace = SimulationTrace::default();
-        for &s in stream {
-            let reports = self.step(s);
-            let active: Vec<ElementId> = self
-                .net
-                .elements()
-                .iter()
-                .filter(|e| self.prev_active[e.id.index()])
-                .map(|e| e.id)
-                .collect();
-            let counters: Vec<(ElementId, u32)> = self
-                .net
-                .elements()
-                .iter()
-                .filter(|e| e.is_counter())
-                .map(|e| (e.id, self.counts[e.id.index()]))
-                .collect();
-            trace.activations.push(active);
-            trace.counter_values.push(counters);
-            trace.reports.extend(reports);
-        }
+        let (prev_active, counts, fired) = self.compiled.export_state(&self.state);
+        let mut reference = ReferenceSimulator::from_parts(
+            self.net,
+            prev_active,
+            counts,
+            fired,
+            self.state.cycle(),
+        );
+        let trace = reference.run_traced(stream);
+        let (prev_active, counts, fired, cycle) = reference.into_parts();
+        self.compiled
+            .import_state(&mut self.state, &prev_active, &counts, &fired, cycle);
         trace
     }
 }
@@ -277,7 +181,8 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::element::BooleanFunction;
+    use crate::element::{BooleanFunction, CounterMode, StartKind};
+    use crate::network::ConnectPort;
     use crate::symbol::SymbolClass;
 
     /// start(SOF=0xFF) -> a('a') -> b('b', report 1)
@@ -478,6 +383,22 @@ mod tests {
     }
 
     #[test]
+    fn traced_and_untraced_cycles_interleave() {
+        // State must survive the compiled <-> reference round trip in both
+        // directions: step, trace, then step again.
+        let net = sequence_net();
+        let mut sim = Simulator::new(&net).unwrap();
+        assert!(sim.step(0xFF).is_empty());
+        let trace = sim.run_traced(b"a");
+        assert_eq!(trace.activations.len(), 1);
+        assert_eq!(sim.cycle(), 2);
+        // 'b' completes the chain started before the traced cycle.
+        let reports = sim.step(b'b');
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].offset, 2);
+    }
+
+    #[test]
     fn invalid_network_is_rejected_at_construction() {
         let mut net = AutomataNetwork::new();
         net.add_ste("orphan", SymbolClass::any(), StartKind::None, None);
@@ -558,5 +479,19 @@ mod tests {
         // Active at 1, 2, 3 via the self-loop; broken by 'x'; the trailing 'h' has no
         // active predecessor so it does not reactivate.
         assert_eq!(offsets, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reports_within_a_cycle_are_in_element_id_order() {
+        // Two reporters firing on the same cycle must come back in id order, the
+        // order the reference stepper's full scan produces.
+        let mut net = AutomataNetwork::new();
+        net.add_ste("r0", SymbolClass::any(), StartKind::AllInput, Some(10));
+        net.add_ste("r1", SymbolClass::any(), StartKind::AllInput, Some(11));
+        net.add_ste("r2", SymbolClass::any(), StartKind::AllInput, Some(12));
+        let mut sim = Simulator::new(&net).unwrap();
+        let reports = sim.run(&[0]);
+        let codes: Vec<u32> = reports.iter().map(|r| r.code).collect();
+        assert_eq!(codes, vec![10, 11, 12]);
     }
 }

@@ -113,6 +113,14 @@ impl SymbolClass {
         (self.mask[(symbol / 64) as usize] >> (symbol % 64)) & 1 == 1
     }
 
+    /// The raw 256-bit membership mask as four `u64` words: bit `s % 64` of word
+    /// `s / 64` is set iff the class matches symbol `s`. Used by the compiled
+    /// execution core to test membership without going through `self`.
+    #[inline]
+    pub const fn to_words(&self) -> [u64; 4] {
+        self.mask
+    }
+
     /// Number of symbols in the class.
     pub fn cardinality(&self) -> u32 {
         self.mask.iter().map(|w| w.count_ones()).sum()

@@ -56,9 +56,13 @@ impl SearchIndex for LinearScan {
     }
 
     fn search(&self, query: &BinaryVector, k: usize) -> Vec<Neighbor> {
+        // One batched distance kernel over the packed storage (single dims assert,
+        // word-level popcount), then bounded selection over the dense result.
+        let mut distances = Vec::new();
+        self.data.hamming_batch_into(query, &mut distances);
         let mut topk = TopK::new(k);
-        for i in 0..self.data.len() {
-            topk.offer(Neighbor::new(i, self.data.hamming_to(i, query)));
+        for (i, &dist) in distances.iter().enumerate() {
+            topk.offer(Neighbor::new(i, dist));
         }
         topk.into_sorted()
     }

@@ -1,0 +1,192 @@
+//! Simulator throughput tracking: naive reference stepper vs the compiled
+//! sparse-frontier core, and serial vs parallel partition execution.
+//!
+//! Emits `BENCH_sim.json` (a JSON array of experiment records) so the performance
+//! trajectory of the execution core is tracked from PR to PR, and prints a
+//! human-readable table. Pass `--quick` for the CI smoke configuration (smaller
+//! shapes, single repetition) and `--json` to additionally print the records as
+//! JSON lines.
+
+use ap_knn::capacity::CapacityModel;
+use ap_knn::{ApKnnEngine, BoardCapacity, KnnDesign, PartitionNetwork, StreamLayout};
+use ap_sim::ReferenceSimulator;
+use bench::{maybe_emit_json, ExperimentRecord};
+use binvec::generate::{uniform_dataset, uniform_queries};
+use binvec::QueryOptions;
+use std::io::Write;
+use std::time::Instant;
+
+/// One benchmark shape: a dataset/query geometry plus its per-board capacity.
+struct Shape {
+    name: &'static str,
+    vectors: usize,
+    dims: usize,
+    queries: usize,
+    vectors_per_board: usize,
+}
+
+fn shapes(quick: bool) -> Vec<Shape> {
+    if quick {
+        vec![
+            Shape {
+                name: "tiny",
+                vectors: 48,
+                dims: 16,
+                queries: 4,
+                vectors_per_board: 12,
+            },
+            Shape {
+                name: "small",
+                vectors: 96,
+                dims: 32,
+                queries: 4,
+                vectors_per_board: 24,
+            },
+            Shape {
+                name: "wide",
+                vectors: 64,
+                dims: 64,
+                queries: 2,
+                vectors_per_board: 16,
+            },
+        ]
+    } else {
+        vec![
+            Shape {
+                name: "tiny",
+                vectors: 128,
+                dims: 16,
+                queries: 16,
+                vectors_per_board: 32,
+            },
+            Shape {
+                name: "small-dataset",
+                vectors: 512,
+                dims: 64,
+                queries: 8,
+                vectors_per_board: 128,
+            },
+            Shape {
+                name: "wide",
+                vectors: 512,
+                dims: 128,
+                queries: 4,
+                vectors_per_board: 128,
+            },
+        ]
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let parallel_workers = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let mut records = Vec::new();
+
+    println!(
+        "simulator throughput (symbols/sec), {} mode",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<16} {:>14} {:>14} {:>8} {:>12} {:>12} {:>8}",
+        "shape", "naive", "compiled", "x", "serial_ms", "parallel_ms", "x"
+    );
+
+    for shape in shapes(quick) {
+        let data = uniform_dataset(shape.vectors, shape.dims, 7);
+        let queries = uniform_queries(shape.queries, shape.dims, 11);
+        let design = KnnDesign::new(shape.dims);
+        let layout = StreamLayout::for_design(&design);
+        let stream = layout.encode_batch(&queries);
+        let partitions = data.partition(shape.vectors_per_board);
+        let total_symbols = (stream.len() * partitions.len()) as f64;
+
+        // Naive reference stepper, serial over partitions.
+        let started = Instant::now();
+        let mut naive_reports = 0usize;
+        for partition in &partitions {
+            let pn = PartitionNetwork::build(partition, &design);
+            let mut sim = ReferenceSimulator::new(&pn.network).expect("valid partition network");
+            naive_reports += sim.run(&stream).len();
+        }
+        let naive_sps = total_symbols / started.elapsed().as_secs_f64();
+
+        // Compiled sparse-frontier core, serial over partitions, reusable sink.
+        let started = Instant::now();
+        let mut compiled_reports = 0usize;
+        let mut sink = Vec::new();
+        for partition in &partitions {
+            let pn = PartitionNetwork::build(partition, &design);
+            let mut sim = pn.simulator().expect("valid partition network");
+            sink.clear();
+            sim.run_into(&stream, &mut sink);
+            compiled_reports += sink.len();
+        }
+        let compiled_sps = total_symbols / started.elapsed().as_secs_f64();
+        assert_eq!(
+            naive_reports, compiled_reports,
+            "the two cores must agree before their timings mean anything"
+        );
+
+        // Full engine, serial vs parallel partition execution.
+        let capacity = BoardCapacity {
+            vectors_per_board: shape.vectors_per_board,
+            model: CapacityModel::PaperCalibrated,
+        };
+        let options = QueryOptions::top(4.min(shape.vectors));
+        let serial_engine = ApKnnEngine::new(design)
+            .with_capacity(capacity)
+            .with_parallelism(1);
+        let started = Instant::now();
+        let (serial_results, _) = serial_engine
+            .try_search_batch(&data, &queries, &options)
+            .expect("serial engine run");
+        let serial_s = started.elapsed().as_secs_f64();
+
+        let parallel_engine = ApKnnEngine::new(design)
+            .with_capacity(capacity)
+            .with_parallelism(parallel_workers);
+        let started = Instant::now();
+        let (parallel_results, _) = parallel_engine
+            .try_search_batch(&data, &queries, &options)
+            .expect("parallel engine run");
+        let parallel_s = started.elapsed().as_secs_f64();
+        assert_eq!(serial_results, parallel_results);
+
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>7.1}x {:>12.2} {:>12.2} {:>7.1}x",
+            shape.name,
+            naive_sps,
+            compiled_sps,
+            compiled_sps / naive_sps,
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            serial_s / parallel_s
+        );
+
+        for (metric, value) in [
+            ("naive_symbols_per_sec", naive_sps),
+            ("compiled_symbols_per_sec", compiled_sps),
+            ("compiled_speedup", compiled_sps / naive_sps),
+            ("engine_serial_ms", serial_s * 1e3),
+            ("engine_parallel_ms", parallel_s * 1e3),
+            ("parallel_speedup", serial_s / parallel_s),
+        ] {
+            records.push(ExperimentRecord::new(
+                "sim_throughput",
+                shape.name,
+                metric,
+                value,
+                None,
+            ));
+        }
+    }
+
+    let mut file = std::fs::File::create("BENCH_sim.json").expect("create BENCH_sim.json");
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    writeln!(file, "[\n{}\n]", body.join(",\n")).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json ({} records)", records.len());
+    maybe_emit_json(&records);
+}

@@ -121,6 +121,40 @@ impl BinaryDataset {
             .sum()
     }
 
+    /// Hamming distances from `query` to every vector in the dataset, written into
+    /// a caller-owned buffer (cleared first, then filled in vector order).
+    ///
+    /// One dimensionality check covers the whole batch and the kernel runs straight
+    /// over the packed word storage, so per-pair assert and iterator-zip overhead
+    /// disappears from the hot loops of the behavioural AP engine and the
+    /// linear-scan baseline.
+    ///
+    /// # Panics
+    /// Panics if the query's dimensionality differs from the dataset's.
+    pub fn hamming_batch_into(&self, query: &BinaryVector, out: &mut Vec<u32>) {
+        assert_eq!(
+            query.dims(),
+            self.dims,
+            "query dims {} != dataset dims {}",
+            query.dims(),
+            self.dims
+        );
+        out.clear();
+        out.reserve(self.len);
+        if self.words_per_vec == 0 {
+            out.extend(std::iter::repeat_n(0u32, self.len));
+            return;
+        }
+        let qw = query.words();
+        for chunk in self.words.chunks_exact(self.words_per_vec) {
+            let mut dist = 0u32;
+            for (a, b) in chunk.iter().zip(qw) {
+                dist += (a ^ b).count_ones();
+            }
+            out.push(dist);
+        }
+    }
+
     /// Iterates over all vectors as owned [`BinaryVector`]s.
     pub fn iter(&self) -> impl Iterator<Item = BinaryVector> + '_ {
         (0..self.len).map(move |i| self.vector(i))
@@ -212,6 +246,28 @@ mod tests {
         for i in 0..ds.len() {
             assert_eq!(ds.hamming_to(i, &q), ds.vector(i).hamming(&q));
         }
+    }
+
+    #[test]
+    fn hamming_batch_matches_per_pair_kernel() {
+        let ds = small_dataset();
+        let q = BinaryVector::from_bits(&[1, 0, 0, 1]);
+        let mut batch = vec![99; 2]; // stale contents must be cleared
+        ds.hamming_batch_into(&q, &mut batch);
+        let expected: Vec<u32> = (0..ds.len()).map(|i| ds.hamming_to(i, &q)).collect();
+        assert_eq!(batch, expected);
+        // Reuse the same buffer against an empty dataset.
+        let empty = BinaryDataset::new(4);
+        empty.hamming_batch_into(&q, &mut batch);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dims")]
+    fn hamming_batch_rejects_wrong_dims() {
+        let ds = small_dataset();
+        let mut out = Vec::new();
+        ds.hamming_batch_into(&BinaryVector::zeros(5), &mut out);
     }
 
     #[test]
