@@ -22,17 +22,14 @@
 //! query per configuration — the figure that reproduces Tables III/IV) and the
 //! unpipelined model (the full `2d + D + 3` window per query).
 
-use crate::builder::PartitionNetwork;
 use crate::capacity::BoardCapacity;
-use crate::decode::merge_reports_into;
 use crate::design::KnnDesign;
+use crate::plan::{AutoPlanner, ExecutionPlanner};
+use crate::prepared::PreparedEngine;
 use crate::stream::StreamLayout;
 use ap_sim::reconfig::ExecutionEstimate;
-use ap_sim::{ReportEvent, TimingModel};
-use binvec::dataset::DatasetPartition;
-use binvec::{
-    BinaryDataset, BinaryVector, ExecutionPreference, Neighbor, QueryOptions, SearchError, TopK,
-};
+use ap_sim::TimingModel;
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError};
 use serde::{Deserialize, Serialize};
 
 /// How the engine produces results.
@@ -88,7 +85,7 @@ impl ApRunStats {
 pub struct ApKnnEngine {
     design: KnnDesign,
     capacity: BoardCapacity,
-    mode: ExecutionMode,
+    planner: ExecutionPlanner,
     throughput: ThroughputModel,
     parallelism: usize,
 }
@@ -102,7 +99,7 @@ impl ApKnnEngine {
         Self {
             design,
             capacity,
-            mode: ExecutionMode::CycleAccurate,
+            planner: ExecutionPlanner::Fixed(ExecutionMode::CycleAccurate),
             throughput: ThroughputModel::PaperPipelined,
             parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
         }
@@ -114,10 +111,30 @@ impl ApKnnEngine {
         self
     }
 
-    /// Overrides the execution mode.
+    /// Pins the execution mode: every run with
+    /// [`binvec::ExecutionPreference::Auto`] uses `mode`.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
-        self.mode = mode;
+        self.planner = ExecutionPlanner::Fixed(mode);
         self
+    }
+
+    /// Lets the engine pick behavioural vs cycle-accurate per run from fabric
+    /// size × stream length, using the measured-crossover [`AutoPlanner`].
+    /// Results and statistics are bit-identical either way; only the wall
+    /// clock changes.
+    pub fn with_auto_execution(self) -> Self {
+        self.with_planner(ExecutionPlanner::Auto(AutoPlanner::measured()))
+    }
+
+    /// Overrides how [`binvec::ExecutionPreference::Auto`] resolves.
+    pub fn with_planner(mut self, planner: ExecutionPlanner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// How this engine resolves [`binvec::ExecutionPreference::Auto`].
+    pub fn planner(&self) -> &ExecutionPlanner {
+        &self.planner
     }
 
     /// Overrides the throughput model.
@@ -154,6 +171,20 @@ impl ApKnnEngine {
         &self.capacity
     }
 
+    /// Binds this engine configuration to `data`, partitioning it into board
+    /// images exactly once. The returned [`PreparedEngine`] caches the
+    /// partitioning and (lazily, on the first cycle-accurate batch) the built
+    /// and compiled partition networks, so repeated batches pay only for
+    /// encoding and streaming — the reuse-across-streams regime a serving
+    /// pipeline needs.
+    ///
+    /// # Errors
+    /// [`SearchError::ZeroDims`] for a zero-dimension design and
+    /// [`SearchError::DimMismatch`] when the dataset disagrees with it.
+    pub fn prepare(&self, data: &BinaryDataset) -> Result<PreparedEngine, SearchError> {
+        PreparedEngine::new(self.clone(), data)
+    }
+
     /// Searches `queries` against `data`, returning per-query sorted neighbors and
     /// run statistics.
     ///
@@ -161,7 +192,13 @@ impl ApKnnEngine {
     /// typed [`SearchError`]s instead of panics, `options.within` restricts results
     /// to neighbors strictly inside the distance bound (the §VII range-query
     /// scenario), and `options.execution` can override the engine's configured
-    /// [`ExecutionMode`] per call.
+    /// [`ExecutionMode`] per call ([`binvec::ExecutionPreference::Auto`] resolves
+    /// through the engine's [`ExecutionPlanner`]).
+    ///
+    /// Each call is a *transient preparation*: the dataset is re-partitioned and
+    /// every board image rebuilt. Callers issuing repeated batches against the
+    /// same dataset should [`Self::prepare`] once and search the
+    /// [`PreparedEngine`] instead.
     ///
     /// # Errors
     /// * [`SearchError::ZeroDims`] — the design has no dimensions;
@@ -176,138 +213,7 @@ impl ApKnnEngine {
         queries: &[BinaryVector],
         options: &QueryOptions,
     ) -> Result<(Vec<Vec<Neighbor>>, ApRunStats), SearchError> {
-        options.validate()?;
-        if self.design.dims == 0 {
-            return Err(SearchError::ZeroDims);
-        }
-        if data.dims() != self.design.dims {
-            return Err(SearchError::DimMismatch {
-                expected: self.design.dims,
-                actual: data.dims(),
-            });
-        }
-        for q in queries {
-            if q.dims() != self.design.dims {
-                return Err(SearchError::DimMismatch {
-                    expected: self.design.dims,
-                    actual: q.dims(),
-                });
-            }
-        }
-
-        let layout = StreamLayout::for_design(&self.design);
-        // Reports address their window by a 32-bit stream offset; a batch whose
-        // stream is longer than that cannot be decoded unambiguously.
-        let stream_len = layout.stream_len(queries.len());
-        if stream_len > u64::from(u32::MAX) {
-            return Err(SearchError::CapacityExceeded {
-                needed: stream_len,
-                limit: u64::from(u32::MAX),
-            });
-        }
-
-        let mode = match options.execution {
-            ExecutionPreference::Auto => self.mode,
-            ExecutionPreference::CycleAccurate => ExecutionMode::CycleAccurate,
-            ExecutionPreference::Behavioral => ExecutionMode::Behavioral,
-        };
-        let k = options.k;
-        let partitions = data.partition(self.capacity.vectors_per_board.max(1));
-        let configs = partitions.len().max(1);
-
-        let mut accumulators: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
-        let mut reports_total = 0u64;
-        match mode {
-            ExecutionMode::CycleAccurate => {
-                // The symbol stream is identical for every partition; encode it once.
-                let stream = layout.encode_batch(queries);
-                let workers = self.parallelism.min(partitions.len()).max(1);
-                if workers <= 1 {
-                    let mut reports = Vec::new();
-                    for partition in &partitions {
-                        reports_total += run_partition(
-                            &self.design,
-                            &layout,
-                            &stream,
-                            partition,
-                            &mut accumulators,
-                            &mut reports,
-                        )?;
-                    }
-                } else {
-                    // Partitions are independent board images: fan them out over
-                    // scoped workers, each merging into its own per-query top-k
-                    // accumulators, then merge on the host exactly as across
-                    // sequential reconfigurations. Results and statistics are
-                    // identical to the serial schedule.
-                    let span = partitions.len().div_ceil(workers);
-                    let design = &self.design;
-                    let layout_ref = &layout;
-                    let stream_ref = &stream[..];
-                    let queries_len = queries.len();
-                    let outputs: Vec<Result<(Vec<TopK>, u64), SearchError>> =
-                        std::thread::scope(|scope| {
-                            let handles: Vec<_> = partitions
-                                .chunks(span.max(1))
-                                .map(|owned| {
-                                    scope.spawn(move || {
-                                        let mut local: Vec<TopK> =
-                                            (0..queries_len).map(|_| TopK::new(k)).collect();
-                                        let mut local_reports = 0u64;
-                                        let mut reports = Vec::new();
-                                        for partition in owned {
-                                            local_reports += run_partition(
-                                                design,
-                                                layout_ref,
-                                                stream_ref,
-                                                partition,
-                                                &mut local,
-                                                &mut reports,
-                                            )?;
-                                        }
-                                        Ok((local, local_reports))
-                                    })
-                                })
-                                .collect();
-                            handles
-                                .into_iter()
-                                .map(|h| h.join().expect("engine worker panicked"))
-                                .collect()
-                        });
-                    for output in outputs {
-                        let (local, local_reports) = output?;
-                        for (global, partial) in accumulators.iter_mut().zip(&local) {
-                            global.merge(partial);
-                        }
-                        reports_total += local_reports;
-                    }
-                }
-            }
-            ExecutionMode::Behavioral => {
-                // Behavioural equivalent: every encoded vector reports once per
-                // query, at the offset encoding its Hamming distance. One batched
-                // word-level distance kernel per (partition, query) pair.
-                let mut distances = Vec::new();
-                for partition in &partitions {
-                    for (qi, q) in queries.iter().enumerate() {
-                        partition.data.hamming_batch_into(q, &mut distances);
-                        reports_total += distances.len() as u64;
-                        let acc = &mut accumulators[qi];
-                        for (local, &dist) in distances.iter().enumerate() {
-                            acc.offer(Neighbor::new(partition.global_index(local), dist));
-                        }
-                    }
-                }
-            }
-        }
-
-        let stats = self.accounting(data.len(), queries.len(), configs, reports_total, &layout);
-        let mut results: Vec<Vec<Neighbor>> =
-            accumulators.into_iter().map(TopK::into_sorted).collect();
-        for neighbors in &mut results {
-            options.clip(neighbors);
-        }
-        Ok((results, stats))
+        self.prepare(data)?.try_search_batch(queries, options)
     }
 
     /// Searches `queries` against `data`, returning per-query sorted neighbors and
@@ -339,7 +245,7 @@ impl ApKnnEngine {
         self.accounting(n_vectors, queries, configs, reports, &layout)
     }
 
-    fn accounting(
+    pub(crate) fn accounting(
         &self,
         n_vectors: usize,
         queries: usize,
@@ -374,39 +280,13 @@ impl ApKnnEngine {
     }
 }
 
-/// Builds and compiles one board partition's network, streams the (shared) encoded
-/// query batch through the compiled simulator, and merges its reports into the
-/// per-query accumulators. The report sink is caller-owned so a single allocation
-/// is reused across every partition a worker owns. Returns the report-event count.
-///
-/// Shared by the engine's serial/parallel schedules and by
-/// [`crate::scheduler::ParallelApScheduler`], so the partition-execution recipe
-/// lives in exactly one place.
-pub(crate) fn run_partition(
-    design: &KnnDesign,
-    layout: &StreamLayout,
-    stream: &[u8],
-    partition: &DatasetPartition,
-    accumulators: &mut [TopK],
-    reports: &mut Vec<ReportEvent>,
-) -> Result<u64, SearchError> {
-    let pn = PartitionNetwork::build(partition, design);
-    let mut sim = pn.simulator().map_err(|e| SearchError::Backend {
-        backend: "ap-knn".to_string(),
-        reason: e.to_string(),
-    })?;
-    reports.clear();
-    sim.run_into(stream, reports);
-    merge_reports_into(layout, reports, partition.base_index, accumulators);
-    Ok(reports.len() as u64)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ap_sim::DeviceConfig;
     use baselines::{LinearScan, SearchIndex};
     use binvec::generate::{uniform_dataset, uniform_queries};
+    use binvec::ExecutionPreference;
 
     fn exact_results(
         data: &BinaryDataset,
@@ -656,6 +536,34 @@ mod tests {
                 expected: 8,
                 actual: 4
             }
+        );
+    }
+
+    #[test]
+    fn auto_planned_engine_matches_fixed_modes() {
+        // Whatever core the planner picks, neighbors and statistics must be
+        // bit-identical to both pinned modes.
+        let dims = 16;
+        let data = uniform_dataset(50, dims, 27);
+        let queries = uniform_queries(4, dims, 28);
+        let design = KnnDesign::new(dims);
+        let options = QueryOptions::top(4);
+        let fixed = ApKnnEngine::new(design)
+            .try_search_batch(&data, &queries, &options)
+            .unwrap();
+        let auto = ApKnnEngine::new(design).with_auto_execution();
+        assert!(matches!(auto.planner(), ExecutionPlanner::Auto(_)));
+        assert_eq!(
+            auto.try_search_batch(&data, &queries, &options).unwrap(),
+            fixed
+        );
+        // A strict budget forces the behavioural fallback; results still match.
+        let strict = ApKnnEngine::new(design).with_planner(ExecutionPlanner::Auto(
+            AutoPlanner::measured().with_budget_s(1e-9),
+        ));
+        assert_eq!(
+            strict.try_search_batch(&data, &queries, &options).unwrap(),
+            fixed
         );
     }
 

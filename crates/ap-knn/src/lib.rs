@@ -36,7 +36,11 @@
 //! * [`jaccard`] — the Jaccard-similarity variant of the macro (§II-C), reusing the
 //!   temporal sort to rank by intersection size;
 //! * [`scheduler`] — host-side scheduling: multi-board parallel execution and the
-//!   pipelined (double-buffered) reconfiguration model.
+//!   pipelined (double-buffered) reconfiguration model;
+//! * [`prepared`] — the amortized prepare/run lifecycle: partition once, build and
+//!   compile every board image once, stream many query batches;
+//! * [`plan`] — the frontier-aware auto execution planner (cycle-accurate vs
+//!   behavioural from fabric size × stream length, calibrated on `BENCH_sim.json`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -52,6 +56,8 @@ pub mod jaccard;
 pub mod macros;
 pub mod multiplex;
 pub mod packing;
+pub mod plan;
+pub mod prepared;
 pub mod reduction;
 pub mod scheduler;
 pub mod stream;
@@ -63,5 +69,7 @@ pub use decode::decode_reports;
 pub use design::{KnnDesign, SymbolAlphabet};
 pub use engine::{ApKnnEngine, ApRunStats, ExecutionMode};
 pub use jaccard::{JaccardNeighbor, JaccardSearcher};
-pub use scheduler::{ParallelApScheduler, PipelineModel, ScheduleStats};
+pub use plan::{AutoPlanner, ExecutionPlanner};
+pub use prepared::PreparedEngine;
+pub use scheduler::{ParallelApScheduler, PipelineModel, PreparedSchedule, ScheduleStats};
 pub use stream::StreamLayout;

@@ -22,9 +22,9 @@
 
 use crate::capacity::BoardCapacity;
 use crate::design::KnnDesign;
-use crate::stream::StreamLayout;
+use crate::prepared::PreparedBoards;
 use ap_sim::TimingModel;
-use binvec::{BinaryDataset, BinaryVector, Neighbor, TopK};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError, TopK};
 use serde::{Deserialize, Serialize};
 
 /// Statistics from one parallel scheduled run.
@@ -101,12 +101,29 @@ impl ParallelApScheduler {
         self.workers
     }
 
+    /// Binds this schedule to `data`, partitioning it into board images once.
+    /// The returned [`PreparedSchedule`] caches the partitioning and (on first
+    /// use) the compiled board images, so repeated batches stream without
+    /// rebuilding any network.
+    ///
+    /// # Errors
+    /// [`SearchError::ZeroDims`] for a zero-dimension design and
+    /// [`SearchError::DimMismatch`] when the dataset disagrees with it.
+    pub fn prepare(&self, data: &BinaryDataset) -> Result<PreparedSchedule, SearchError> {
+        Ok(PreparedSchedule {
+            boards: PreparedBoards::new(self.design, data, self.capacity.vectors_per_board)?,
+            scheduler: self.clone(),
+        })
+    }
+
     /// Searches `queries` against `data` with every partition simulated cycle-
     /// accurately, distributing partitions over the worker threads and merging the
     /// per-query top-k results on the host.
     ///
     /// The results are identical to [`crate::engine::ApKnnEngine::search_batch`] in
-    /// cycle-accurate mode; only the execution schedule differs.
+    /// cycle-accurate mode; only the execution schedule differs. Each call is a
+    /// transient preparation (the board images are rebuilt); use [`Self::prepare`]
+    /// to amortize that across batches.
     ///
     /// # Panics
     /// Panics if dataset or query dimensionality differs from the design, or `k` is 0.
@@ -116,86 +133,146 @@ impl ParallelApScheduler {
         queries: &[BinaryVector],
         k: usize,
     ) -> (Vec<Vec<Neighbor>>, ScheduleStats) {
-        assert_eq!(data.dims(), self.design.dims, "dataset dims mismatch");
-        for q in queries {
-            assert_eq!(q.dims(), self.design.dims, "query dims mismatch");
+        let run = self
+            .prepare(data)
+            .and_then(|prepared| prepared.try_search_batch(queries, &QueryOptions::top(k)));
+        match run {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
         }
-        assert!(k > 0, "k must be positive");
+    }
+}
 
-        let layout = StreamLayout::for_design(&self.design);
-        let stream = layout.encode_batch(queries);
-        let partitions = data.partition(self.capacity.vectors_per_board.max(1));
+/// A [`ParallelApScheduler`] bound to a dataset with its board images cached —
+/// created by [`ParallelApScheduler::prepare`].
+#[derive(Clone, Debug)]
+pub struct PreparedSchedule {
+    scheduler: ParallelApScheduler,
+    boards: PreparedBoards,
+}
 
-        // Contiguous assignment: worker w owns partitions [w·span, (w+1)·span).
-        let span = partitions
-            .len()
-            .div_ceil(self.workers.min(partitions.len()).max(1));
-        let assignments: Vec<&[binvec::dataset::DatasetPartition]> =
-            partitions.chunks(span.max(1)).collect();
-        let workers_used = assignments.len().max(1);
+impl PreparedSchedule {
+    /// The scheduler configuration this preparation was made with.
+    pub fn scheduler(&self) -> &ParallelApScheduler {
+        &self.scheduler
+    }
 
-        let design = &self.design;
-        let queries_len = queries.len();
-        let worker_outputs: Vec<(Vec<TopK>, u64, u64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = assignments
-                .iter()
-                .map(|owned| {
-                    let stream = &stream;
-                    let layout = &layout;
-                    scope.spawn(move || {
-                        let mut accumulators: Vec<TopK> =
-                            (0..queries_len).map(|_| TopK::new(k)).collect();
-                        let mut reports_total = 0u64;
-                        let mut symbols = 0u64;
-                        // One compiled simulator per partition (built once), one
-                        // report allocation reused across the worker's partitions.
-                        let mut reports = Vec::new();
-                        for partition in owned.iter() {
-                            reports_total += crate::engine::run_partition(
-                                design,
-                                layout,
-                                stream,
-                                partition,
-                                &mut accumulators,
-                                &mut reports,
-                            )
-                            .expect("partition network must be valid");
-                            symbols += stream.len() as u64;
-                        }
-                        (accumulators, reports_total, symbols)
-                    })
-                })
+    /// Vectors served.
+    pub fn len(&self) -> usize {
+        self.boards.dataset_len()
+    }
+
+    /// Whether the prepared dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boards.dataset_len() == 0
+    }
+
+    /// Dimensionality of the served vectors.
+    pub fn dims(&self) -> usize {
+        self.boards.design().dims
+    }
+
+    /// Whether the board images have been built and compiled yet (they are
+    /// compiled by the first non-empty batch).
+    pub fn is_compiled(&self) -> bool {
+        self.boards.is_compiled()
+    }
+
+    /// Searches `queries` across the cached board images, distributing them
+    /// over the configured workers and merging per-query top-k on the host.
+    /// Semantics (results and [`ScheduleStats`]) are identical to
+    /// [`ParallelApScheduler::search_batch`]; only the per-call board-image
+    /// construction cost is gone. The distance bound and `k` of `options`
+    /// apply; the execution preference is ignored (the schedule is inherently
+    /// cycle-accurate).
+    ///
+    /// # Errors
+    /// [`SearchError::ZeroK`] / [`SearchError::ZeroDistanceBound`] for invalid
+    /// options, [`SearchError::DimMismatch`] for mis-sized queries, and
+    /// [`SearchError::Backend`] if a partition network fails validation.
+    pub fn try_search_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<(Vec<Vec<Neighbor>>, ScheduleStats), SearchError> {
+        options.validate()?;
+        let dims = self.boards.design().dims;
+        for q in queries {
+            if q.dims() != dims {
+                return Err(SearchError::DimMismatch {
+                    expected: dims,
+                    actual: q.dims(),
+                });
+            }
+        }
+        let k = options.k;
+        let layout = self.boards.layout();
+        // Reports address their window by a 32-bit stream offset; a batch whose
+        // stream is longer than that cannot be decoded unambiguously.
+        let stream_len = layout.stream_len(queries.len());
+        if stream_len > u64::from(u32::MAX) {
+            return Err(SearchError::CapacityExceeded {
+                needed: stream_len,
+                limit: u64::from(u32::MAX),
+            });
+        }
+        // An empty batch streams nothing: answer without compiling any board
+        // image, with the same schedule shape a zero-symbol run would report.
+        if queries.is_empty() {
+            let partitions = self.boards.partitions().len();
+            let span = partitions
+                .div_ceil(self.scheduler.workers.min(partitions).max(1))
+                .max(1);
+            let chunks = partitions.div_ceil(span);
+            let partitions_per_worker: Vec<usize> = (0..chunks)
+                .map(|w| span.min(partitions - w * span))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scheduler worker panicked"))
-                .collect()
-        });
+            return Ok((
+                Vec::new(),
+                ScheduleStats {
+                    partitions,
+                    workers_used: chunks.max(1),
+                    partitions_per_worker,
+                    reports: 0,
+                    symbols_per_worker: vec![0; chunks],
+                },
+            ));
+        }
+        let stream = layout.encode_batch(queries);
+        // The shared partition-execution recipe: one scoped worker per
+        // contiguous image chunk, each standing in for one board.
+        let worker_outputs =
+            self.boards
+                .fan_out(&stream, k, queries.len(), self.scheduler.workers)?;
+        let workers_used = worker_outputs.len().max(1);
 
         // Host-side merge, identical to the merge across sequential reconfigurations.
         let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
         let mut reports = 0u64;
         let mut partitions_per_worker = Vec::with_capacity(worker_outputs.len());
         let mut symbols_per_worker = Vec::with_capacity(worker_outputs.len());
-        for (assignment, (accumulators, worker_reports, symbols)) in
-            assignments.iter().zip(worker_outputs)
-        {
-            for (global, local) in merged.iter_mut().zip(&accumulators) {
+        for output in worker_outputs {
+            for (global, local) in merged.iter_mut().zip(&output.accumulators) {
                 global.merge(local);
             }
-            reports += worker_reports;
-            partitions_per_worker.push(assignment.len());
-            symbols_per_worker.push(symbols);
+            reports += output.reports;
+            partitions_per_worker.push(output.images_run);
+            // Each worker streams the full query batch once per image it owns.
+            symbols_per_worker.push(output.images_run as u64 * stream.len() as u64);
         }
 
         let stats = ScheduleStats {
-            partitions: partitions.len(),
+            partitions: self.boards.partitions().len(),
             workers_used,
             partitions_per_worker,
             reports,
             symbols_per_worker,
         };
-        (merged.into_iter().map(TopK::into_sorted).collect(), stats)
+        let mut results: Vec<Vec<Neighbor>> = merged.into_iter().map(TopK::into_sorted).collect();
+        for neighbors in &mut results {
+            options.clip(neighbors);
+        }
+        Ok((results, stats))
     }
 }
 
@@ -333,6 +410,84 @@ mod tests {
         assert_eq!(s1.total_symbols(), s4.total_symbols());
         assert!(s4.critical_path_symbols() < s1.critical_path_symbols());
         assert_eq!(s4.critical_path_symbols() * 4, s1.critical_path_symbols());
+    }
+
+    #[test]
+    fn prepared_schedule_matches_transient_runs_across_batches() {
+        let dims = 12;
+        let data = uniform_dataset(40, dims, 23);
+        let scheduler = ParallelApScheduler::new(KnnDesign::new(dims))
+            .with_capacity(tiny_capacity(7))
+            .with_workers(3);
+        let prepared = scheduler.prepare(&data).unwrap();
+        assert_eq!(prepared.len(), 40);
+        assert_eq!(prepared.dims(), dims);
+        for round in 0..3 {
+            let queries = uniform_queries(3, dims, 24 + round);
+            let expected = scheduler.search_batch(&data, &queries, 4);
+            let got = prepared
+                .try_search_batch(&queries, &binvec::QueryOptions::top(4))
+                .unwrap();
+            assert_eq!(got, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn prepared_schedule_empty_batch_builds_nothing() {
+        let dims = 8;
+        let data = uniform_dataset(20, dims, 29);
+        let scheduler = ParallelApScheduler::new(KnnDesign::new(dims))
+            .with_capacity(tiny_capacity(6))
+            .with_workers(2);
+        let prepared = scheduler.prepare(&data).unwrap();
+        let (results, stats) = prepared
+            .try_search_batch(&[], &binvec::QueryOptions::top(3))
+            .unwrap();
+        assert!(results.is_empty());
+        assert!(
+            !prepared.is_compiled(),
+            "empty batch must not compile images"
+        );
+        assert_eq!(stats.reports, 0);
+        assert!(stats.symbols_per_worker.iter().all(|&s| s == 0));
+        // The schedule shape matches what a streamed run reports.
+        let queries = uniform_queries(1, dims, 30);
+        let (_, streamed) = scheduler.search_batch(&data, &queries, 3);
+        assert_eq!(stats.partitions, streamed.partitions);
+        assert_eq!(stats.workers_used, streamed.workers_used);
+        assert_eq!(stats.partitions_per_worker, streamed.partitions_per_worker);
+        assert_eq!(
+            stats.symbols_per_worker.len(),
+            streamed.symbols_per_worker.len()
+        );
+    }
+
+    #[test]
+    fn prepared_schedule_reports_typed_errors() {
+        let scheduler = ParallelApScheduler::new(KnnDesign::new(8));
+        let data = uniform_dataset(6, 8, 25);
+        let prepared = scheduler.prepare(&data).unwrap();
+        let narrow = uniform_queries(1, 4, 26);
+        assert_eq!(
+            prepared
+                .try_search_batch(&narrow, &binvec::QueryOptions::top(2))
+                .unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
+        assert_eq!(
+            prepared
+                .try_search_batch(&[], &binvec::QueryOptions::top(0))
+                .unwrap_err(),
+            SearchError::ZeroK
+        );
+        let wide = uniform_dataset(4, 16, 27);
+        assert!(matches!(
+            scheduler.prepare(&wide),
+            Err(SearchError::DimMismatch { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use ap_knn::engine::ApRunStats;
 use ap_knn::indexed::{IndexedApEngine, IndexedDataAccess};
 use ap_knn::jaccard::JaccardSearcher;
-use ap_knn::{ApKnnEngine, KnnDesign, ParallelApScheduler};
+use ap_knn::{ApKnnEngine, KnnDesign, ParallelApScheduler, PreparedEngine, PreparedSchedule};
 use baselines::{BucketIndex, SearchIndex};
 use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError};
 
@@ -170,30 +170,25 @@ fn short_type_name<T: ?Sized>() -> String {
         .join("<")
 }
 
-/// The paper's AP kNN engine bound to its dataset.
+/// The paper's AP kNN engine bound to its dataset — as a [`PreparedEngine`],
+/// so the dataset is partitioned once and every board image is built and
+/// compiled once; each dispatched batch only encodes its symbol stream and
+/// runs the cached sparse-frontier cores.
 #[derive(Clone, Debug)]
 pub struct ApEngineBackend {
-    engine: ApKnnEngine,
-    data: BinaryDataset,
+    prepared: PreparedEngine,
 }
 
 impl ApEngineBackend {
-    /// Binds `engine` to `data`.
+    /// Binds `engine` to `data`, preparing the board-image set.
     ///
     /// # Errors
     /// [`SearchError::DimMismatch`] if the dataset dimensionality differs from
     /// the engine design's, [`SearchError::ZeroDims`] for a zero-dim design.
     pub fn try_new(engine: ApKnnEngine, data: BinaryDataset) -> Result<Self, SearchError> {
-        if engine.design().dims == 0 {
-            return Err(SearchError::ZeroDims);
-        }
-        if data.dims() != engine.design().dims {
-            return Err(SearchError::DimMismatch {
-                expected: engine.design().dims,
-                actual: data.dims(),
-            });
-        }
-        Ok(Self { engine, data })
+        Ok(Self {
+            prepared: engine.prepare(&data)?,
+        })
     }
 
     /// Binds `engine` to `data`.
@@ -208,14 +203,21 @@ impl ApEngineBackend {
         }
     }
 
-    /// The wrapped engine.
+    /// The engine configuration behind the preparation.
     pub fn engine(&self) -> &ApKnnEngine {
-        &self.engine
+        self.prepared.engine()
+    }
+
+    /// The prepared board-image set answering this backend's batches.
+    pub fn prepared(&self) -> &PreparedEngine {
+        &self.prepared
     }
 
     /// Statistics from the most recent accounting model, without executing.
     pub fn estimate_run(&self, queries: usize) -> ApRunStats {
-        self.engine.estimate_run(self.data.len(), queries)
+        self.prepared
+            .engine()
+            .estimate_run(self.prepared.len(), queries)
     }
 }
 
@@ -225,11 +227,11 @@ impl SimilarityBackend for ApEngineBackend {
     }
 
     fn len(&self) -> usize {
-        self.data.len()
+        self.prepared.len()
     }
 
     fn dims(&self) -> usize {
-        self.data.dims()
+        self.prepared.dims()
     }
 
     fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
@@ -246,7 +248,8 @@ impl SimilarityBackend for ApEngineBackend {
     ) -> Result<BackendBatch, SearchError> {
         // Push the whole options struct into the engine so the distance bound
         // and execution preference apply inside the run, not as a post-pass.
-        let (results, stats) = self.engine.try_search_batch(&self.data, queries, options)?;
+        // The prepared engine reuses the compiled board images across batches.
+        let (results, stats) = self.prepared.try_search_batch(queries, options)?;
         Ok(BackendBatch {
             results,
             ap_symbol_cycles: stats.charged_cycles,
@@ -259,15 +262,15 @@ impl SimilarityBackend for ApEngineBackend {
 
 /// Multi-board parallel execution via [`ParallelApScheduler`]: each worker
 /// stands in for one board, and the scheduler's per-worker symbol counts feed
-/// the service's per-shard utilization report.
+/// the service's per-shard utilization report. Held as a [`PreparedSchedule`]
+/// so the per-board images are built and compiled once, not per batch.
 #[derive(Clone, Debug)]
 pub struct ApSchedulerBackend {
-    scheduler: ParallelApScheduler,
-    data: BinaryDataset,
+    prepared: PreparedSchedule,
 }
 
 impl ApSchedulerBackend {
-    /// Binds `scheduler` to `data`.
+    /// Binds `scheduler` to `data`, preparing the board-image set.
     ///
     /// # Errors
     /// [`SearchError::DimMismatch`] if the dataset dimensionality differs from
@@ -276,13 +279,9 @@ impl ApSchedulerBackend {
         scheduler: ParallelApScheduler,
         data: BinaryDataset,
     ) -> Result<Self, SearchError> {
-        if data.dims() != scheduler.design().dims {
-            return Err(SearchError::DimMismatch {
-                expected: scheduler.design().dims,
-                actual: data.dims(),
-            });
-        }
-        Ok(Self { scheduler, data })
+        Ok(Self {
+            prepared: scheduler.prepare(&data)?,
+        })
     }
 
     /// Binds `scheduler` to `data`.
@@ -297,28 +296,44 @@ impl ApSchedulerBackend {
         }
     }
 
-    /// The wrapped scheduler.
+    /// The wrapped scheduler configuration.
     pub fn scheduler(&self) -> &ParallelApScheduler {
-        &self.scheduler
+        self.prepared.scheduler()
+    }
+
+    /// The prepared board-image set answering this backend's batches.
+    pub fn prepared(&self) -> &PreparedSchedule {
+        &self.prepared
     }
 }
 
 impl SimilarityBackend for ApSchedulerBackend {
     fn name(&self) -> String {
-        format!("ap-scheduler x{}", self.scheduler.workers())
+        format!("ap-scheduler x{}", self.scheduler().workers())
     }
 
     fn len(&self) -> usize {
-        self.data.len()
+        self.prepared.len()
     }
 
     fn dims(&self) -> usize {
-        self.data.dims()
+        self.prepared.dims()
     }
 
     fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
-        let (results, stats) = self.scheduler.search_batch(&self.data, queries, k);
-        BackendBatch {
+        match self.try_serve_batch(queries, &QueryOptions::top(k)) {
+            Ok(batch) => batch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        let (results, stats) = self.prepared.try_search_batch(queries, options)?;
+        Ok(BackendBatch {
             results,
             ap_symbol_cycles: stats.critical_path_symbols(),
             // Every worker after the first loads its image concurrently with the
@@ -331,7 +346,7 @@ impl SimilarityBackend for ApSchedulerBackend {
                 .sum(),
             shard_cycles: stats.symbols_per_worker.clone(),
             run_stats: None,
-        }
+        })
     }
 }
 

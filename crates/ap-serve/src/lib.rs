@@ -84,6 +84,6 @@ pub use pipeline::{
 };
 pub use queue::{AdmissionQueue, QueryTicket};
 pub use registry::{BackendFactory, BackendRegistry};
-pub use service::{Completed, SearchService, ServiceConfig};
+pub use service::{Completed, FailedQuery, SearchService, ServiceConfig};
 pub use shard::{ShardedBackend, ShardedDataset};
 pub use stats::ServiceStats;

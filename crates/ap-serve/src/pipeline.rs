@@ -96,8 +96,10 @@ pub enum BaselineKind {
 pub enum BackendSpec {
     /// The paper's single-board AP engine.
     Ap {
-        /// Cycle-accurate simulation or the behavioural fast path.
-        mode: ExecutionMode,
+        /// Cycle-accurate simulation or the behavioural fast path; `None`
+        /// lets the engine's measured-crossover planner pick per run
+        /// ([`ap_knn::AutoPlanner`]).
+        mode: Option<ExecutionMode>,
         /// Board capacity override (`None` = paper-calibrated for the dims).
         capacity: Option<BoardCapacity>,
     },
@@ -124,7 +126,7 @@ impl BackendSpec {
     /// The cycle-accurate AP engine with paper-calibrated capacity.
     pub fn ap() -> Self {
         Self::Ap {
-            mode: ExecutionMode::CycleAccurate,
+            mode: Some(ExecutionMode::CycleAccurate),
             capacity: None,
         }
     }
@@ -132,7 +134,18 @@ impl BackendSpec {
     /// The behavioural AP engine (identical results, no network instantiation).
     pub fn behavioral() -> Self {
         Self::Ap {
-            mode: ExecutionMode::Behavioral,
+            mode: Some(ExecutionMode::Behavioral),
+            capacity: None,
+        }
+    }
+
+    /// The AP engine with the frontier-aware auto planner: cycle-accurate vs
+    /// behavioural is picked per run from fabric size × stream length using
+    /// the measured `BENCH_sim.json` crossover. Results are bit-identical
+    /// either way.
+    pub fn auto() -> Self {
+        Self::Ap {
+            mode: None,
             capacity: None,
         }
     }
@@ -197,7 +210,7 @@ impl BackendSpec {
         if metric == Metric::Jaccard {
             return match *self {
                 Self::Ap { mode, capacity } => {
-                    if mode == ExecutionMode::Behavioral {
+                    if mode == Some(ExecutionMode::Behavioral) {
                         return Err(SearchError::Unsupported {
                             what: "Jaccard search runs cycle-accurately; there is no behavioral \
                                    Jaccard engine"
@@ -217,7 +230,10 @@ impl BackendSpec {
         }
         match *self {
             Self::Ap { mode, capacity } => {
-                let mut engine = ApKnnEngine::new(design).with_mode(mode);
+                let mut engine = match mode {
+                    Some(mode) => ApKnnEngine::new(design).with_mode(mode),
+                    None => ApKnnEngine::new(design).with_auto_execution(),
+                };
                 if let Some(capacity) = capacity {
                     engine = engine.with_capacity(capacity);
                 }

@@ -102,15 +102,6 @@ impl AdmissionQueue {
     fn take(&mut self, count: usize) -> Vec<PendingQuery> {
         self.pending.drain(..count).collect()
     }
-
-    /// Puts a taken batch back at the front of the queue, preserving ticket
-    /// order — used when a dispatch fails so the batch's queries are retried
-    /// by a later dispatch instead of being silently lost.
-    pub fn requeue_front(&mut self, batch: Vec<PendingQuery>) {
-        for pending in batch.into_iter().rev() {
-            self.pending.push_front(pending);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -35,15 +35,17 @@ impl BackendRegistry {
     /// |---|---|
     /// | `ap` | cycle-accurate single-board AP engine |
     /// | `ap-behavioral` | behavioural AP engine |
+    /// | `ap-auto` | AP engine with the frontier-aware auto planner |
     /// | `ap-scheduler` | four-board [`ap_knn::ParallelApScheduler`] |
     /// | `indexed-kdforest` / `indexed-kmeans` / `indexed-lsh` | §III-D host-index / AP-bucket-scan |
     /// | `linear` / `parallel-linear` | exact CPU scans |
     /// | `kdforest` / `kmeans` / `lsh` | host-only approximate indexes |
     pub fn builtin() -> Self {
         let mut registry = Self::empty();
-        let specs: [(&str, BackendSpec); 11] = [
+        let specs: [(&str, BackendSpec); 12] = [
             ("ap", BackendSpec::ap()),
             ("ap-behavioral", BackendSpec::behavioral()),
+            ("ap-auto", BackendSpec::auto()),
             ("ap-scheduler", BackendSpec::scheduler(4)),
             (
                 "indexed-kdforest",
@@ -131,6 +133,7 @@ mod tests {
         for name in [
             "ap",
             "ap-behavioral",
+            "ap-auto",
             "ap-scheduler",
             "indexed-kdforest",
             "indexed-kmeans",
@@ -151,7 +154,7 @@ mod tests {
         let data = uniform_dataset(40, 16, 51);
         let queries = uniform_queries(3, 16, 52);
         let expected = LinearScan::new(data.clone()).search_batch(&queries, 3);
-        for name in ["ap-behavioral", "linear", "parallel-linear"] {
+        for name in ["ap-behavioral", "ap-auto", "linear", "parallel-linear"] {
             let backend = registry.build(name, &data, Metric::Hamming).unwrap();
             let batch = backend
                 .try_serve_batch(&queries, &QueryOptions::top(3))

@@ -6,7 +6,7 @@ use crate::cache::{ResultCache, MAX_CACHE_CAPACITY};
 use crate::queue::{AdmissionQueue, PendingQuery, QueryTicket};
 use crate::stats::ServiceStats;
 use ap_knn::multiplex::MAX_SLICES;
-use binvec::{BinaryVector, Neighbor, SearchError};
+use binvec::{BinaryVector, Neighbor, QueryOptions, SearchError};
 use std::time::Instant;
 
 /// Configuration for a [`SearchService`].
@@ -15,8 +15,12 @@ pub struct ServiceConfig {
     /// Queries per dispatched batch. Defaults to the engine's symbol-stream
     /// multiplexing width (§VI-B): seven queries share one streamed window.
     pub batch_size: usize,
-    /// Neighbors returned per query.
-    pub k: usize,
+    /// The query options every dispatched batch carries: `k`, the optional
+    /// §VII distance bound, and the execution preference. The whole struct
+    /// travels to the backend, so a bounded or mode-pinned service
+    /// configuration behaves exactly like the same options passed to
+    /// [`crate::SearchPipeline::query_batch`].
+    pub options: QueryOptions,
     /// Result-cache entries (0 disables caching).
     pub cache_capacity: usize,
 }
@@ -25,7 +29,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
             batch_size: MAX_SLICES,
-            k: 10,
+            options: QueryOptions::top(10),
             cache_capacity: 1024,
         }
     }
@@ -40,7 +44,13 @@ impl ServiceConfig {
 
     /// Overrides the neighbors returned per query.
     pub fn with_k(mut self, k: usize) -> Self {
-        self.k = k;
+        self.options.k = k;
+        self
+    }
+
+    /// Overrides the full query options dispatched with every batch.
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
         self
     }
 
@@ -50,6 +60,11 @@ impl ServiceConfig {
         self
     }
 
+    /// Neighbors returned per query.
+    pub fn k(&self) -> usize {
+        self.options.k
+    }
+
     /// Validates the configuration, returning it ready for
     /// [`SearchService::try_new`]. Validation happens here — at construction —
     /// so a bad configuration cannot reach dispatch time.
@@ -57,7 +72,8 @@ impl ServiceConfig {
     /// # Errors
     /// * [`SearchError::InvalidConfig`] — `batch_size` of 0, or a cache
     ///   capacity beyond the [`MAX_CACHE_CAPACITY`] sanity limit;
-    /// * [`SearchError::ZeroK`] — `k` of 0.
+    /// * [`SearchError::ZeroK`] / [`SearchError::ZeroDistanceBound`] —
+    ///   whatever [`QueryOptions::validate`] rejects.
     pub fn build(self) -> Result<Self, SearchError> {
         if self.batch_size == 0 {
             return Err(SearchError::InvalidConfig {
@@ -65,9 +81,7 @@ impl ServiceConfig {
                 reason: "must be at least 1".to_string(),
             });
         }
-        if self.k == 0 {
-            return Err(SearchError::ZeroK);
-        }
+        self.options.validate()?;
         if self.cache_capacity > MAX_CACHE_CAPACITY {
             return Err(SearchError::InvalidConfig {
                 field: "cache_capacity",
@@ -92,18 +106,44 @@ pub struct Completed {
     pub neighbors: Vec<Neighbor>,
 }
 
+/// A query whose batch failed at dispatch: the ticket is delivered with the
+/// backend's error instead of neighbors, so one bad batch can never wedge the
+/// admission queue (see [`SearchService::drain_failed`]).
+#[derive(Clone, Debug)]
+pub struct FailedQuery {
+    /// The ticket `submit` returned for this query.
+    pub ticket: QueryTicket,
+    /// The submitted query.
+    pub query: BinaryVector,
+    /// The error the backend reported for this query's batch.
+    pub error: SearchError,
+}
+
 /// A synchronous query-serving layer over any [`SimilarityBackend`].
 ///
 /// `submit` accepts one query at a time; the service answers from the LRU
 /// cache when it can and otherwise coalesces queries into engine-sized batches
 /// (dispatching whenever a batch fills). `drain` flushes the remaining partial
 /// batch and returns everything completed so far in submission order.
+///
+/// # Failure model
+///
+/// Malformed queries are rejected *at admission*: [`Self::try_submit`]
+/// validates against the backend's dimensionality before a ticket is minted,
+/// so a poison query never enters the queue. If a dispatched batch still
+/// fails (backend execution error, capacity overflow), the batch's tickets
+/// complete with a per-ticket [`FailedQuery`] — retrievable through
+/// [`Self::drain_failed`] — and the queue moves on to the next batch. A
+/// failing batch therefore delays nothing behind it; earlier revisions
+/// re-queued the failed batch at the queue front, which let a single bad
+/// batch livelock every subsequent drain.
 pub struct SearchService {
     backend: Box<dyn SimilarityBackend>,
     config: ServiceConfig,
     queue: AdmissionQueue,
     cache: ResultCache,
     completed: Vec<Completed>,
+    failed: Vec<FailedQuery>,
     stats: ServiceStats,
     started: Instant,
 }
@@ -123,6 +163,7 @@ impl SearchService {
             queue: AdmissionQueue::new(config.batch_size),
             cache: ResultCache::new(config.cache_capacity),
             completed: Vec::new(),
+            failed: Vec::new(),
             stats: ServiceStats::default(),
             started: Instant::now(),
             config,
@@ -162,6 +203,12 @@ impl SearchService {
         self.completed.len()
     }
 
+    /// Queries whose batch failed at dispatch, not yet collected with
+    /// [`Self::drain_failed`].
+    pub fn failed(&self) -> usize {
+        self.failed.len()
+    }
+
     /// Submits one query; returns a ticket to correlate with [`Self::drain`].
     ///
     /// A cache hit completes immediately; otherwise the query joins the
@@ -170,11 +217,16 @@ impl SearchService {
     ///
     /// # Errors
     /// [`SearchError::DimMismatch`] if the query dimensionality differs from
-    /// the backend's, plus any execution error the backend reports when this
-    /// submission fills a batch and triggers a dispatch. A failed dispatch
-    /// re-queues its batch (this query included), so the work is retried by
-    /// the next dispatch and the tickets are delivered by a later drain.
+    /// the backend's (or [`SearchError::ZeroDims`] for a zero-dimension
+    /// query); the query is rejected *before* a ticket is minted, so a
+    /// malformed submission never occupies the queue. Execution failures of a
+    /// dispatched batch are not returned here — they complete the batch's
+    /// tickets as [`FailedQuery`]s (see [`Self::drain_failed`]) and never
+    /// block later submissions.
     pub fn try_submit(&mut self, query: BinaryVector) -> Result<QueryTicket, SearchError> {
+        if query.dims() == 0 {
+            return Err(SearchError::ZeroDims);
+        }
         if query.dims() != self.backend.dims() {
             return Err(SearchError::DimMismatch {
                 expected: self.backend.dims(),
@@ -183,7 +235,7 @@ impl SearchService {
         }
         self.stats.queries_submitted += 1;
 
-        if let Some(neighbors) = self.cache.get(&query, self.config.k) {
+        if let Some(neighbors) = self.cache.get(&query, self.config.options.k) {
             let ticket = self.queue.mint_ticket();
             self.stats.queries_served += 1;
             self.completed.push(Completed {
@@ -196,17 +248,16 @@ impl SearchService {
 
         let ticket = self.queue.submit(query);
         while let Some(batch) = self.queue.take_full_batch() {
-            self.dispatch(batch)?;
+            self.dispatch(batch);
         }
         Ok(ticket)
     }
 
-    /// Submits one query, panicking on a dimensionality mismatch or backend
-    /// failure. See [`Self::try_submit`] for the fallible form.
+    /// Submits one query, panicking on a dimensionality mismatch. See
+    /// [`Self::try_submit`] for the fallible form.
     ///
     /// # Panics
-    /// Panics if the query dimensionality differs from the backend's or a
-    /// dispatched batch fails.
+    /// Panics if the query dimensionality differs from the backend's.
     pub fn submit(&mut self, query: BinaryVector) -> QueryTicket {
         match self.try_submit(query) {
             Ok(ticket) => ticket,
@@ -217,27 +268,37 @@ impl SearchService {
     /// Flushes any partially filled batch and returns all completed results in
     /// submission (ticket) order.
     ///
+    /// Queries whose batch failed at dispatch are *not* in this list — collect
+    /// them (with their per-ticket errors) through [`Self::drain_failed`]. A
+    /// failing batch never stops the drain: every queued batch is dispatched.
+    ///
     /// # Errors
-    /// Any execution error the backend reports for the flushed batch.
+    /// None currently; the fallible signature is kept so admission-layer
+    /// errors can surface here without an API break.
     pub fn try_drain(&mut self) -> Result<Vec<Completed>, SearchError> {
         while let Some(batch) = self.queue.take_partial_batch() {
-            self.dispatch(batch)?;
+            self.dispatch(batch);
         }
         self.completed.sort_by_key(|c| c.ticket);
         Ok(std::mem::take(&mut self.completed))
     }
 
     /// Flushes any partially filled batch and returns all completed results in
-    /// submission (ticket) order.
-    ///
-    /// # Panics
-    /// Panics if the backend fails executing the flushed batch. See
-    /// [`Self::try_drain`] for the fallible form.
+    /// submission (ticket) order. See [`Self::try_drain`] for the fallible
+    /// form.
     pub fn drain(&mut self) -> Vec<Completed> {
         match self.try_drain() {
             Ok(completed) => completed,
             Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Returns every query whose batch failed at dispatch — ticket, query, and
+    /// the backend error — in submission (ticket) order, clearing the failure
+    /// buffer.
+    pub fn drain_failed(&mut self) -> Vec<FailedQuery> {
+        self.failed.sort_by_key(|f| f.ticket);
+        std::mem::take(&mut self.failed)
     }
 
     /// A snapshot of the service statistics.
@@ -250,43 +311,54 @@ impl SearchService {
         stats
     }
 
-    fn dispatch(&mut self, batch: Vec<PendingQuery>) -> Result<(), SearchError> {
+    fn dispatch(&mut self, batch: Vec<PendingQuery>) {
         let queries: Vec<BinaryVector> = batch.iter().map(|p| p.query.clone()).collect();
         let dispatch_start = Instant::now();
         // The fallible entry point: a backend execution failure (invalid
         // partition network, capacity overflow) surfaces as a typed error
-        // through try_submit/try_drain instead of aborting mid-batch.
-        let result = self
-            .backend
-            .try_serve_batch(&queries, &binvec::QueryOptions::top(self.config.k));
-        self.stats.busy_time += dispatch_start.elapsed();
-        // On any failure the batch goes back to the front of the queue so its
-        // tickets are retried by a later dispatch rather than silently lost.
-        let result = match result {
-            Ok(result) => {
-                // The default try_serve_batch guarantees the arity, but a
-                // custom override might not — and the zip below would then
-                // silently drop completions.
-                if result.results.len() != batch.len() {
-                    let error = SearchError::Backend {
-                        backend: self.backend.name(),
-                        reason: format!(
-                            "returned {} results for {} queries",
-                            result.results.len(),
-                            batch.len()
-                        ),
-                    };
-                    self.queue.requeue_front(batch);
-                    return Err(error);
-                }
-                result
+        // instead of aborting mid-batch. The service's configured options —
+        // k, distance bound, execution preference — travel with every batch.
+        let result = self.backend.try_serve_batch(&queries, &self.config.options);
+        let elapsed = dispatch_start.elapsed();
+        // The default try_serve_batch guarantees the arity, but a custom
+        // override might not — and the zip below would then silently drop
+        // completions.
+        let result = result.and_then(|result| {
+            if result.results.len() == batch.len() {
+                Ok(result)
+            } else {
+                Err(SearchError::Backend {
+                    backend: self.backend.name(),
+                    reason: format!(
+                        "returned {} results for {} queries",
+                        result.results.len(),
+                        batch.len()
+                    ),
+                })
             }
+        });
+        let result = match result {
+            Ok(result) => result,
             Err(error) => {
-                self.queue.requeue_front(batch);
-                return Err(error);
+                // Fail the batch's tickets with a per-ticket error and move on:
+                // re-queueing would retry the same failure forever and block
+                // every query submitted after it. Failed dispatch time is
+                // tracked separately so the backend-qps figure stays honest.
+                self.stats.failed_time += elapsed;
+                self.stats.failed_batches += 1;
+                self.stats.failed_queries += batch.len() as u64;
+                for pending in batch {
+                    self.failed.push(FailedQuery {
+                        ticket: pending.ticket,
+                        query: pending.query,
+                        error: error.clone(),
+                    });
+                }
+                return;
             }
         };
 
+        self.stats.busy_time += elapsed;
         self.stats.batches_dispatched += 1;
         self.stats.batched_queries += batch.len() as u64;
         if batch.len() == self.config.batch_size {
@@ -304,7 +376,8 @@ impl SearchService {
         // The `queries` vec built for the dispatch provides the cache keys, so
         // each query is cloned exactly once per dispatch.
         for ((pending, neighbors), query) in batch.into_iter().zip(result.results).zip(queries) {
-            self.cache.insert(query, self.config.k, neighbors.clone());
+            self.cache
+                .insert(query, self.config.options.k, neighbors.clone());
             self.stats.queries_served += 1;
             self.completed.push(Completed {
                 ticket: pending.ticket,
@@ -312,7 +385,6 @@ impl SearchService {
                 neighbors,
             });
         }
-        Ok(())
     }
 }
 
@@ -495,7 +567,11 @@ mod tests {
     }
 
     #[test]
-    fn failed_dispatch_requeues_the_batch_instead_of_losing_it() {
+    fn failed_dispatch_fails_its_tickets_and_never_blocks_the_queue() {
+        // The poison-batch regression: a batch whose dispatch fails must
+        // complete with per-ticket errors — never be re-queued at the front,
+        // where it would be retried (and fail) forever, livelocking every
+        // subsequent drain.
         let data = uniform_dataset(30, 16, 11);
         let direct = LinearScan::new(data.clone());
         let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
@@ -509,26 +585,132 @@ mod tests {
             .with_cache_capacity(0);
         let mut service = SearchService::try_new(Box::new(backend), config).unwrap();
 
-        let queries = uniform_queries(2, 16, 12);
-        let first = service.try_submit(queries[0].clone()).unwrap();
-        // The second submission fills the batch; the dispatch fails.
-        let err = service.try_submit(queries[1].clone()).unwrap_err();
-        assert!(matches!(err, SearchError::Backend { .. }));
-        assert_eq!(service.pending(), 2, "failed batch must be re-queued");
+        let queries = uniform_queries(4, 16, 12);
+        let poisoned_a = service.try_submit(queries[0].clone()).unwrap();
+        // The second submission fills the batch; the dispatch fails, the
+        // tickets are failed, and the queue is empty again.
+        let poisoned_b = service.try_submit(queries[1].clone()).unwrap();
+        assert_eq!(service.pending(), 0, "failed batch must not be re-queued");
         assert_eq!(service.ready(), 0);
-        // Draining while the backend is down reports the error and keeps the
-        // queue intact.
-        assert!(service.try_drain().is_err());
-        assert_eq!(service.pending(), 2);
+        assert_eq!(service.failed(), 2);
 
-        // Once the backend recovers, the retried batch completes in ticket
-        // order with the correct answers.
+        // Later well-formed traffic is served even though the earlier batch
+        // failed — with the backend recovered, nothing is stuck in front.
         fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        for q in &queries[2..] {
+            service.try_submit(q.clone()).unwrap();
+        }
         let completed = service.try_drain().unwrap();
         assert_eq!(completed.len(), 2);
-        assert_eq!(completed[0].ticket, first);
-        for (c, q) in completed.iter().zip(&queries) {
+        for (c, q) in completed.iter().zip(&queries[2..]) {
             assert_eq!(c.neighbors, direct.search(q, 3));
+        }
+
+        let failed = service.drain_failed();
+        assert_eq!(failed.len(), 2);
+        assert_eq!(failed[0].ticket, poisoned_a);
+        assert_eq!(failed[1].ticket, poisoned_b);
+        for f in &failed {
+            assert!(matches!(f.error, SearchError::Backend { .. }));
+        }
+        assert_eq!(service.failed(), 0);
+
+        let stats = service.stats();
+        assert_eq!(stats.failed_batches, 1);
+        assert_eq!(stats.failed_queries, 2);
+        assert_eq!(stats.batches_dispatched, 1);
+        assert!(
+            stats.failed_time > std::time::Duration::ZERO,
+            "failed dispatch time is tracked separately"
+        );
+    }
+
+    #[test]
+    fn permanently_failing_backend_cannot_livelock_the_service() {
+        // Even when every dispatch fails, each drain terminates and delivers
+        // per-ticket errors; earlier revisions looped the same front batch.
+        let data = uniform_dataset(20, 16, 13);
+        let backend = FlakyBackend {
+            inner: LinearScan::new(data),
+            fail: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true)),
+        };
+        let config = ServiceConfig::default()
+            .with_batch_size(3)
+            .with_k(2)
+            .with_cache_capacity(0);
+        let mut service = SearchService::try_new(Box::new(backend), config).unwrap();
+        for q in uniform_queries(8, 16, 14) {
+            service.try_submit(q).unwrap();
+        }
+        let completed = service.try_drain().unwrap();
+        assert!(completed.is_empty());
+        assert_eq!(service.pending(), 0, "every batch was dispatched once");
+        assert_eq!(service.drain_failed().len(), 8);
+        assert_eq!(service.stats().failed_batches, 3);
+    }
+
+    #[test]
+    fn poison_query_cannot_block_later_well_formed_queries() {
+        // The headline regression: one malformed submission (dim mismatch)
+        // must be rejected at admission and leave the service fully live.
+        let config = ServiceConfig::default()
+            .with_batch_size(3)
+            .with_k(4)
+            .with_cache_capacity(0);
+        let data = uniform_dataset(40, 16, 15);
+        let direct = LinearScan::new(data.clone());
+        let mut service = SearchService::try_new(Box::new(LinearScan::new(data)), config).unwrap();
+
+        assert_eq!(
+            service.try_submit(BinaryVector::zeros(8)).unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
+        assert_eq!(
+            service.try_submit(BinaryVector::zeros(0)).unwrap_err(),
+            SearchError::ZeroDims
+        );
+        assert_eq!(service.pending(), 0, "poison queries never enter the queue");
+
+        let queries = uniform_queries(5, 16, 16);
+        for q in &queries {
+            service.try_submit(q.clone()).unwrap();
+        }
+        let completed = service.try_drain().unwrap();
+        assert_eq!(completed.len(), queries.len());
+        for (c, q) in completed.iter().zip(&queries) {
+            assert_eq!(c.neighbors, direct.search(q, 4));
+        }
+        assert!(service.drain_failed().is_empty());
+        assert_eq!(service.stats().failed_batches, 0);
+    }
+
+    #[test]
+    fn configured_options_thread_through_dispatch() {
+        // A distance bound set on the service configuration must reach the
+        // backend, not be silently replaced by a bare top-k.
+        let data = uniform_dataset(36, 16, 17);
+        let direct = LinearScan::new(data.clone());
+        let bound = 5u32;
+        let config = ServiceConfig::default()
+            .with_batch_size(2)
+            .with_options(binvec::QueryOptions::top(36).within(bound))
+            .with_cache_capacity(0);
+        let mut service = SearchService::try_new(Box::new(LinearScan::new(data)), config).unwrap();
+        assert_eq!(service.config().k(), 36);
+        let queries = uniform_queries(6, 16, 18);
+        for q in &queries {
+            service.submit(q.clone());
+        }
+        for (c, q) in service.drain().iter().zip(&queries) {
+            let expected: Vec<Neighbor> = direct
+                .search(q, 36)
+                .into_iter()
+                .filter(|n| n.distance < bound)
+                .collect();
+            assert_eq!(c.neighbors, expected);
         }
     }
 
@@ -567,6 +749,13 @@ mod tests {
                 ..
             })
         ));
+        assert_eq!(
+            ServiceConfig::default()
+                .with_options(binvec::QueryOptions::top(3).within(0))
+                .build()
+                .unwrap_err(),
+            SearchError::ZeroDistanceBound
+        );
         assert!(ServiceConfig::default().build().is_ok());
     }
 

@@ -24,6 +24,11 @@ pub struct ServiceStats {
     pub full_batches: u64,
     /// Queries carried by dispatched batches.
     pub batched_queries: u64,
+    /// Batches whose dispatch failed (their queries complete with per-ticket
+    /// errors instead of neighbors).
+    pub failed_batches: u64,
+    /// Queries carried by failed batches.
+    pub failed_queries: u64,
     /// AP symbol cycles charged across all dispatched batches (critical-path
     /// cycles for sharded backends).
     pub ap_symbol_cycles: u64,
@@ -32,8 +37,13 @@ pub struct ServiceStats {
     /// Per-shard symbol cycles, summed over batches (empty for unsharded
     /// backends).
     pub shard_cycles: Vec<u64>,
-    /// Wall-clock time spent inside backend dispatches.
+    /// Wall-clock time spent inside *successful* backend dispatches. Failed
+    /// dispatches accrue [`Self::failed_time`] instead, so
+    /// [`Self::busy_throughput_qps`] is not inflated by work that produced no
+    /// results.
     pub busy_time: Duration,
+    /// Wall-clock time spent inside failed backend dispatches.
+    pub failed_time: Duration,
     /// Wall-clock time since the service was created.
     pub uptime: Duration,
 }
@@ -108,10 +118,18 @@ impl ServiceStats {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
+        let failures = if self.failed_batches == 0 {
+            String::new()
+        } else {
+            format!(
+                " | {} failed batches ({} queries)",
+                self.failed_batches, self.failed_queries
+            )
+        };
         format!(
             "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
              {} AP cycles, {} reconfigs | shard load [{utilization}] | \
-             {:.0} q/s wall, {:.0} q/s busy",
+             {:.0} q/s wall, {:.0} q/s busy{failures}",
             self.queries_served,
             self.queries_submitted,
             self.batches_dispatched,

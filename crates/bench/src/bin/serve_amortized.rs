@@ -1,0 +1,187 @@
+//! Serving amortization: first-batch vs steady-state batch cost with the
+//! prepared-engine layer.
+//!
+//! The one-shot engine path re-partitions the dataset and rebuilds + compiles
+//! every board image per `try_search_batch` call. `ApKnnEngine::prepare`
+//! constructs the board-image set once; the first cycle-accurate batch pays the
+//! (lazy) build + compile, and every later batch pays only encode + stream.
+//! This bench measures all three figures per shape and batch size —
+//!
+//! * `fresh_batch_ms` — mean per-batch cost of the rebuild-every-call path;
+//! * `first_batch_ms` — the prepared engine's first batch (build + compile + run);
+//! * `steady_batch_ms` — mean cost of prepared batches 2..N (streaming only);
+//!
+//! — plus the derived ratios `amortization_x` (first / steady) and
+//! `prepared_vs_fresh_x` (fresh / steady), and emits `BENCH_serve.json`.
+//! Pass `--quick` for the CI smoke configuration and `--json` for JSON lines.
+
+use ap_knn::capacity::CapacityModel;
+use ap_knn::{ApKnnEngine, BoardCapacity, KnnDesign};
+use bench::{maybe_emit_json, ExperimentRecord};
+use binvec::generate::{uniform_dataset, uniform_queries};
+use binvec::{BinaryVector, QueryOptions};
+use std::io::Write;
+use std::time::Instant;
+
+/// One benchmark shape: corpus geometry, board capacity, and dispatch size.
+struct Shape {
+    name: &'static str,
+    vectors: usize,
+    dims: usize,
+    vectors_per_board: usize,
+    batch: usize,
+    batches: usize,
+}
+
+fn shapes(quick: bool) -> Vec<Shape> {
+    if quick {
+        vec![
+            Shape {
+                name: "quick-batch1",
+                vectors: 96,
+                dims: 32,
+                vectors_per_board: 24,
+                batch: 1,
+                batches: 6,
+            },
+            Shape {
+                name: "quick-batch7",
+                vectors: 96,
+                dims: 32,
+                vectors_per_board: 24,
+                batch: 7,
+                batches: 4,
+            },
+        ]
+    } else {
+        // The paper-shaped 512 x 64 corpus (the "small-dataset" sim_throughput
+        // shape): 4 board images of 128 vectors each.
+        vec![
+            Shape {
+                name: "512x64-batch1",
+                vectors: 512,
+                dims: 64,
+                vectors_per_board: 128,
+                batch: 1,
+                batches: 8,
+            },
+            Shape {
+                name: "512x64-batch7",
+                vectors: 512,
+                dims: 64,
+                vectors_per_board: 128,
+                batch: 7,
+                batches: 8,
+            },
+        ]
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut records = Vec::new();
+
+    println!(
+        "serving amortization (cycle-accurate engine), {} mode",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "shape", "fresh_ms", "first_ms", "steady_ms", "amortize", "vs_fresh"
+    );
+
+    for shape in shapes(quick) {
+        let data = uniform_dataset(shape.vectors, shape.dims, 19);
+        let engine = ApKnnEngine::new(KnnDesign::new(shape.dims)).with_capacity(BoardCapacity {
+            vectors_per_board: shape.vectors_per_board,
+            model: CapacityModel::PaperCalibrated,
+        });
+        let options = QueryOptions::top(10.min(shape.vectors));
+        let query_batches: Vec<Vec<BinaryVector>> = (0..shape.batches)
+            .map(|b| uniform_queries(shape.batch, shape.dims, 23 + b as u64))
+            .collect();
+
+        // The rebuild-every-call path: every batch pays partitioning + board
+        // image construction + compilation.
+        let mut fresh_results = Vec::new();
+        let started = Instant::now();
+        for queries in &query_batches {
+            fresh_results.push(
+                engine
+                    .try_search_batch(&data, queries, &options)
+                    .expect("fresh engine run"),
+            );
+        }
+        let fresh_batch_ms = started.elapsed().as_secs_f64() * 1e3 / shape.batches as f64;
+
+        // The prepared path: partition once; the first batch compiles the
+        // board images lazily, every later batch only encodes and streams.
+        let prepared = engine.prepare(&data).expect("prepared engine");
+        let started = Instant::now();
+        let first = prepared
+            .try_search_batch(&query_batches[0], &options)
+            .expect("first prepared batch");
+        let first_batch_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        let mut steady_results = Vec::new();
+        for queries in &query_batches[1..] {
+            steady_results.push(
+                prepared
+                    .try_search_batch(queries, &options)
+                    .expect("steady prepared batch"),
+            );
+        }
+        let steady_batch_ms = started.elapsed().as_secs_f64() * 1e3 / (shape.batches - 1) as f64;
+
+        // Prepared answers must be bit-identical to the fresh path (the
+        // workspace proptest enforces this in depth; the bench spot-checks it
+        // before reporting any timing).
+        assert_eq!(first, fresh_results[0], "first prepared batch diverged");
+        for (steady, fresh) in steady_results.iter().zip(&fresh_results[1..]) {
+            assert_eq!(steady, fresh, "steady prepared batch diverged");
+        }
+
+        let amortization = first_batch_ms / steady_batch_ms;
+        let vs_fresh = fresh_batch_ms / steady_batch_ms;
+        // Only the full shapes carry enough compile work for a robust timing
+        // assertion; the --quick CI smoke records the figures without gating
+        // on wall-clock ordering (shared runners are noisy).
+        if !quick {
+            assert!(
+                steady_batch_ms < first_batch_ms,
+                "steady-state batches must be cheaper than the compile-carrying first batch"
+            );
+        }
+
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>11.1}x {:>13.1}x",
+            shape.name, fresh_batch_ms, first_batch_ms, steady_batch_ms, amortization, vs_fresh
+        );
+
+        for (metric, value) in [
+            ("fresh_batch_ms", fresh_batch_ms),
+            ("first_batch_ms", first_batch_ms),
+            ("steady_batch_ms", steady_batch_ms),
+            ("amortization_x", amortization),
+            ("prepared_vs_fresh_x", vs_fresh),
+        ] {
+            records.push(ExperimentRecord::new(
+                "serve_amortized",
+                shape.name,
+                metric,
+                value,
+                None,
+            ));
+        }
+    }
+
+    let mut file = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    writeln!(file, "[\n{}\n]", body.join(",\n")).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({} records)", records.len());
+    maybe_emit_json(&records);
+}

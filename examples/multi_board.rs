@@ -31,7 +31,7 @@ fn main() {
     // Reference: the sequential single-board engine behind the pipeline.
     let mut single = SearchPipeline::over(data.clone())
         .backend(BackendSpec::Ap {
-            mode: ExecutionMode::CycleAccurate,
+            mode: Some(ExecutionMode::CycleAccurate),
             capacity: Some(capacity),
         })
         .build()

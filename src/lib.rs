@@ -90,13 +90,13 @@ pub use perf_model;
 /// Convenient re-exports of the most frequently used types across the workspace.
 pub mod prelude {
     pub use ap_knn::{
-        ApKnnEngine, BoardCapacity, ExecutionMode, JaccardSearcher, KnnDesign, ParallelApScheduler,
-        StreamLayout,
+        ApKnnEngine, AutoPlanner, BoardCapacity, ExecutionMode, ExecutionPlanner, JaccardSearcher,
+        KnnDesign, ParallelApScheduler, PreparedEngine, PreparedSchedule, StreamLayout,
     };
     pub use ap_serve::{
-        ApEngineBackend, ApSchedulerBackend, BackendRegistry, BackendSpec, BaselineKind, IndexKind,
-        Metric, Provenance, Response, SearchPipeline, SearchService, ServiceConfig, ServiceStats,
-        ShardedBackend, ShardedDataset, SimilarityBackend,
+        ApEngineBackend, ApSchedulerBackend, BackendRegistry, BackendSpec, BaselineKind,
+        FailedQuery, IndexKind, Metric, Provenance, Response, SearchPipeline, SearchService,
+        ServiceConfig, ServiceStats, ShardedBackend, ShardedDataset, SimilarityBackend,
     };
     pub use ap_sim::{
         ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator, TimingModel,

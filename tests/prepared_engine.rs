@@ -1,0 +1,217 @@
+//! Prepared-engine equivalence: an engine prepared once (board images built
+//! and compiled once, reused across batches) must be bit-identical — neighbors
+//! *and* `ApRunStats` — to a fresh one-shot engine on every batch, across
+//! repeated batches, forced reconfigurations, both execution modes, and the
+//! auto planner; plus the empty-dataset / empty-batch edge cases and the
+//! serving-layer amortization contract.
+
+use ap_knn::capacity::CapacityModel;
+use ap_knn::BoardCapacity;
+use ap_similarity::prelude::*;
+use proptest::prelude::*;
+
+fn capacity(vectors_per_board: usize) -> BoardCapacity {
+    BoardCapacity {
+        vectors_per_board,
+        model: CapacityModel::PaperCalibrated,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prepared and fresh engines agree bit-for-bit on neighbors and run
+    /// statistics, batch after batch, for every execution mode and board
+    /// capacity (small capacities force multi-image reconfiguration).
+    #[test]
+    fn prepared_matches_fresh_across_batches_modes_and_reconfigurations(
+        n in 1usize..48,
+        dims in 4usize..20,
+        k in 1usize..6,
+        vectors_per_board in 1usize..16,
+        mode_choice in 0usize..3,
+        workers in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let data = binvec::generate::uniform_dataset(n, dims, seed);
+        let mut engine = ApKnnEngine::new(KnnDesign::new(dims))
+            .with_capacity(capacity(vectors_per_board))
+            .with_parallelism(workers);
+        engine = match mode_choice {
+            0 => engine.with_mode(ExecutionMode::CycleAccurate),
+            1 => engine.with_mode(ExecutionMode::Behavioral),
+            _ => engine.with_auto_execution(),
+        };
+        let prepared = engine.prepare(&data).unwrap();
+        prop_assert_eq!(prepared.len(), n);
+        prop_assert_eq!(prepared.board_count(), n.div_ceil(vectors_per_board));
+
+        // Several batches through the same prepared engine: each must equal a
+        // fresh one-shot run, and the distance bound must compose.
+        for round in 0u64..3 {
+            let queries =
+                binvec::generate::uniform_queries(2, dims, seed.wrapping_add(round + 1));
+            let options = if round == 2 {
+                QueryOptions::top(k).within(1 + (seed % 7) as u32)
+            } else {
+                QueryOptions::top(k)
+            };
+            let fresh = engine.try_search_batch(&data, &queries, &options).unwrap();
+            let reused = prepared.try_search_batch(&queries, &options).unwrap();
+            prop_assert_eq!(&reused.0, &fresh.0, "neighbors, round {}", round);
+            prop_assert_eq!(reused.1, fresh.1, "stats, round {}", round);
+        }
+    }
+
+    /// The execution preference carried by `QueryOptions` overrides the
+    /// prepared engine's configured mode, and both forced modes agree with
+    /// each other on results and statistics.
+    #[test]
+    fn forced_execution_preferences_agree_on_prepared_engines(
+        n in 1usize..32,
+        dims in 4usize..16,
+        vectors_per_board in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let data = binvec::generate::uniform_dataset(n, dims, seed);
+        let queries = binvec::generate::uniform_queries(2, dims, seed.wrapping_add(9));
+        let prepared = ApKnnEngine::new(KnnDesign::new(dims))
+            .with_capacity(capacity(vectors_per_board))
+            .prepare(&data)
+            .unwrap();
+        let cycle = prepared
+            .try_search_batch(
+                &queries,
+                &QueryOptions::top(3).execution(ExecutionPreference::CycleAccurate),
+            )
+            .unwrap();
+        let behavioral = prepared
+            .try_search_batch(
+                &queries,
+                &QueryOptions::top(3).execution(ExecutionPreference::Behavioral),
+            )
+            .unwrap();
+        prop_assert_eq!(&cycle.0, &behavioral.0);
+        prop_assert_eq!(cycle.1, behavioral.1);
+    }
+}
+
+#[test]
+fn empty_dataset_and_empty_batch_edge_cases() {
+    let dims = 12;
+    let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_capacity(capacity(4));
+
+    // Empty dataset: every query answers with no neighbors, accounting charges
+    // the single (empty) configuration, and fresh == prepared.
+    let empty = BinaryDataset::new(dims);
+    let queries = binvec::generate::uniform_queries(3, dims, 81);
+    let prepared = engine.prepare(&empty).unwrap();
+    let fresh = engine
+        .try_search_batch(&empty, &queries, &QueryOptions::top(4))
+        .unwrap();
+    let reused = prepared
+        .try_search_batch(&queries, &QueryOptions::top(4))
+        .unwrap();
+    assert_eq!(fresh, reused);
+    assert!(reused.0.iter().all(Vec::is_empty));
+    assert_eq!(reused.1.board_configurations, 1);
+    assert_eq!(reused.1.reports, 0);
+
+    // Empty query batch: no results, no streamed symbols, and the prepared
+    // engine never compiles a board image for it.
+    let data = binvec::generate::uniform_dataset(20, dims, 82);
+    let prepared = engine.prepare(&data).unwrap();
+    let fresh = engine
+        .try_search_batch(&data, &[], &QueryOptions::top(4))
+        .unwrap();
+    let reused = prepared
+        .try_search_batch(&[], &QueryOptions::top(4))
+        .unwrap();
+    assert_eq!(fresh, reused);
+    assert!(reused.0.is_empty());
+    assert_eq!(reused.1.symbols_streamed, 0);
+    assert!(!prepared.is_compiled());
+}
+
+#[test]
+fn serving_layer_reuses_one_prepared_engine_across_dispatches() {
+    // The amortization contract end to end: a service over the cycle-accurate
+    // AP backend answers many batches from one board-image set, and the
+    // results match the exact scan every time.
+    let dims = 16;
+    let k = 4;
+    let data = binvec::generate::uniform_dataset(60, dims, 83);
+    let ground_truth = LinearScan::new(data.clone());
+    let backend = ApEngineBackend::try_new(
+        ApKnnEngine::new(KnnDesign::new(dims)).with_capacity(capacity(16)),
+        data,
+    )
+    .unwrap();
+    assert!(!backend.prepared().is_compiled());
+    let config = ServiceConfig::default()
+        .with_batch_size(3)
+        .with_k(k)
+        .with_cache_capacity(0);
+    let mut service = SearchService::try_new(Box::new(backend), config).unwrap();
+    let queries = binvec::generate::uniform_queries(12, dims, 84);
+    for q in &queries {
+        service.submit(q.clone());
+    }
+    let completed = service.drain();
+    assert_eq!(completed.len(), queries.len());
+    for (c, q) in completed.iter().zip(&queries) {
+        assert_eq!(c.neighbors, ground_truth.search(q, k));
+    }
+    assert_eq!(service.stats().batches_dispatched, 4);
+}
+
+#[test]
+fn sharded_pipeline_pins_one_prepared_engine_per_shard() {
+    // Sharded deployments bind one prepared engine to each shard slice; the
+    // merged answers equal the exact scan across repeated batches.
+    let dims = 16;
+    let data = binvec::generate::uniform_dataset(72, dims, 85);
+    let ground_truth = LinearScan::new(data.clone());
+    let mut pipeline = SearchPipeline::over(data)
+        .backend(BackendSpec::ap())
+        .sharded(3)
+        .build()
+        .unwrap();
+    for round in 0..3u64 {
+        let queries = binvec::generate::uniform_queries(4, dims, 86 + round);
+        let responses = pipeline
+            .query_batch(&queries, &QueryOptions::top(5))
+            .unwrap();
+        for (r, q) in responses.iter().zip(&queries) {
+            assert_eq!(r.neighbors, ground_truth.search(q, 5), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn auto_backend_serves_identically_to_pinned_modes() {
+    let dims = 16;
+    let data = binvec::generate::uniform_dataset(48, dims, 87);
+    let queries = binvec::generate::uniform_queries(5, dims, 88);
+    let mut expected: Option<Vec<Vec<Neighbor>>> = None;
+    for spec in [
+        BackendSpec::ap(),
+        BackendSpec::behavioral(),
+        BackendSpec::auto(),
+    ] {
+        let mut pipeline = SearchPipeline::over(data.clone())
+            .backend(spec)
+            .build()
+            .unwrap();
+        let got: Vec<Vec<Neighbor>> = pipeline
+            .query_batch(&queries, &QueryOptions::top(4))
+            .unwrap()
+            .into_iter()
+            .map(|r| r.neighbors)
+            .collect();
+        match &expected {
+            None => expected = Some(got),
+            Some(want) => assert_eq!(&got, want, "spec {spec:?}"),
+        }
+    }
+}
