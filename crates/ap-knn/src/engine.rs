@@ -216,25 +216,6 @@ impl ApKnnEngine {
         self.prepare(data)?.try_search_batch(queries, options)
     }
 
-    /// Searches `queries` against `data`, returning per-query sorted neighbors and
-    /// run statistics.
-    ///
-    /// # Panics
-    /// Panics if dataset or query dimensionality differs from the design or `k`
-    /// is zero. Use [`Self::try_search_batch`] to handle these as typed errors.
-    #[deprecated(since = "0.2.0", note = "use `try_search_batch` with `QueryOptions`")]
-    pub fn search_batch(
-        &self,
-        data: &BinaryDataset,
-        queries: &[BinaryVector],
-        k: usize,
-    ) -> (Vec<Vec<Neighbor>>, ApRunStats) {
-        match self.try_search_batch(data, queries, &QueryOptions::top(k)) {
-            Ok(out) => out,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Produces run statistics without executing a search (used by the large-dataset
     /// table regeneration, where only the accounting is needed).
     pub fn estimate_run(&self, n_vectors: usize, queries: usize) -> ApRunStats {
@@ -568,20 +549,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be positive")]
-    fn deprecated_wrapper_still_panics_on_zero_k() {
+    fn zero_k_is_a_typed_error_not_a_panic() {
+        // Formerly a #[should_panic] test against the deprecated panicking
+        // `search_batch` wrapper (removed in this revision): the same bad
+        // input now comes back as a typed error from the one entry point.
         let data = uniform_dataset(4, 8, 0);
         let queries = uniform_queries(1, 8, 1);
-        #[allow(deprecated)]
-        let _ = ApKnnEngine::new(KnnDesign::new(8)).search_batch(&data, &queries, 0);
+        assert_eq!(
+            ApKnnEngine::new(KnnDesign::new(8))
+                .try_search_batch(&data, &queries, &QueryOptions::top(0))
+                .unwrap_err(),
+            SearchError::ZeroK
+        );
     }
 
     #[test]
-    #[should_panic(expected = "dims mismatch")]
-    fn deprecated_wrapper_still_panics_on_dims_mismatch() {
+    fn dims_mismatch_is_a_typed_error_not_a_panic() {
+        // Formerly a #[should_panic] test against the deprecated panicking
+        // `search_batch` wrapper (removed in this revision).
         let data = uniform_dataset(4, 16, 0);
         let queries = uniform_queries(1, 8, 1);
-        #[allow(deprecated)]
-        let _ = ApKnnEngine::new(KnnDesign::new(8)).search_batch(&data, &queries, 1);
+        assert_eq!(
+            ApKnnEngine::new(KnnDesign::new(8))
+                .try_search_batch(&data, &queries, &QueryOptions::top(1))
+                .unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 8,
+                actual: 16
+            }
+        );
     }
 }

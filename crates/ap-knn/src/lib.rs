@@ -70,6 +70,6 @@ pub use design::{KnnDesign, SymbolAlphabet};
 pub use engine::{ApKnnEngine, ApRunStats, ExecutionMode};
 pub use jaccard::{JaccardNeighbor, JaccardSearcher};
 pub use plan::{AutoPlanner, ExecutionPlanner};
-pub use prepared::PreparedEngine;
+pub use prepared::{PoolStats, PreparedEngine};
 pub use scheduler::{ParallelApScheduler, PipelineModel, PreparedSchedule, ScheduleStats};
 pub use stream::StreamLayout;

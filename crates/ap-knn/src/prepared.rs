@@ -19,12 +19,13 @@ use crate::decode::merge_reports_into;
 use crate::design::KnnDesign;
 use crate::engine::{ApKnnEngine, ApRunStats, ExecutionMode};
 use crate::stream::StreamLayout;
-use ap_sim::{CompiledNetwork, ReportEvent};
+use ap_sim::{CompiledNetwork, CompiledState, ReportEvent};
 use binvec::dataset::DatasetPartition;
 use binvec::{
     BinaryDataset, BinaryVector, ExecutionPreference, Neighbor, QueryOptions, SearchError, TopK,
 };
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One cached board configuration: the compiled sparse-frontier core plus the
 /// base index that rebases its report codes into global dataset ids.
@@ -34,33 +35,117 @@ pub(crate) struct BoardImage {
     pub(crate) compiled: CompiledNetwork,
 }
 
-impl BoardImage {
-    /// Streams `stream` through this board image and merges its reports into
-    /// the per-query accumulators. The report sink is caller-owned so one
-    /// allocation serves every image a worker drives. Returns the report count.
-    pub(crate) fn run(
-        &self,
-        layout: &StreamLayout,
-        stream: &[u8],
-        accumulators: &mut [TopK],
-        reports: &mut Vec<ReportEvent>,
-    ) -> u64 {
-        // Run state is tiny (bitset words + counter slots) next to the compiled
-        // structure; a fresh one per run keeps `&self` execution thread-safe.
-        let mut state = self.compiled.new_state();
-        reports.clear();
-        self.compiled.run_into(&mut state, stream, reports);
-        merge_reports_into(layout, reports, self.base_index, accumulators);
-        reports.len() as u64
+/// Reusable execution scratch for one batch role (the host merge side of a
+/// batch, or one fan-out worker): compiled-core run state, report sink,
+/// per-query top-k accumulators, the behavioural distance buffer, the encoded
+/// symbol stream, and the per-worker chunk sizes. Everything is recycled
+/// through the [`ScratchPool`], so a steady-state batch touches no allocator.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Compiled-core run state, adapted per board image via
+    /// [`CompiledNetwork::recycle_state`]. Created on the first cycle-accurate
+    /// run this scratch serves.
+    pub(crate) state: Option<CompiledState>,
+    /// Report sink reused across the images a worker drives.
+    pub(crate) reports: Vec<ReportEvent>,
+    /// Per-query top-k accumulators, re-armed per batch.
+    pub(crate) accumulators: Vec<TopK>,
+    /// Behavioural-mode per-partition distance buffer.
+    pub(crate) distances: Vec<u32>,
+    /// Encoded symbol stream for the batch.
+    pub(crate) stream: Vec<u8>,
+    /// Images run per fan-out worker for the most recent batch.
+    pub(crate) chunks: Vec<usize>,
+}
+
+/// Occupancy statistics of a prepared engine's execution-scratch pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Scratch checkouts served (one host checkout per batch plus one per
+    /// cycle-accurate fan-out worker).
+    pub checkouts: u64,
+    /// Checkouts that created a fresh scratch because the pool was empty.
+    /// In steady state this stops growing: every batch runs entirely on
+    /// recycled scratch — the zero-allocation hot path.
+    pub fresh: u64,
+}
+
+impl PoolStats {
+    /// Checkouts served from recycled scratch.
+    pub fn hits(&self) -> u64 {
+        self.checkouts - self.fresh
     }
 }
 
-/// One worker's share of a fanned-out batch: its merged top-k accumulators,
-/// report count, and how many board images it ran.
-pub(crate) struct WorkerOutput {
-    pub(crate) accumulators: Vec<TopK>,
-    pub(crate) reports: u64,
-    pub(crate) images_run: usize,
+/// A lock-guarded free list of [`BatchScratch`] shared by every batch (and
+/// every fan-out worker) of one prepared engine or schedule. Clones of a
+/// prepared engine share the pool through its `Arc`.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    idle: Mutex<Vec<BatchScratch>>,
+    checkouts: AtomicU64,
+    fresh: AtomicU64,
+}
+
+impl ScratchPool {
+    /// Takes a scratch from the pool, creating one only when it is empty.
+    pub(crate) fn checkout(&self) -> BatchScratch {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        match self.idle.lock().expect("scratch pool poisoned").pop() {
+            Some(scratch) => scratch,
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                BatchScratch::default()
+            }
+        }
+    }
+
+    /// Returns a scratch (with all its warmed allocations) to the pool.
+    pub(crate) fn give_back(&self, scratch: BatchScratch) {
+        self.idle
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+
+    /// Checkout/fresh counters.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Chunk length of the contiguous worker assignment for `count` items over up
+/// to `workers` workers: worker `w` owns items `[w·span, (w+1)·span)`. This is
+/// the *one* definition of the fan-out shape — the execution path chunks by it
+/// and the empty-batch stats path reports it (via [`contiguous_assignment`]),
+/// so the two can never drift. Allocation-free for the pooled hot path.
+pub(crate) fn assignment_span(count: usize, workers: usize) -> usize {
+    let workers = workers.min(count).max(1);
+    count.div_ceil(workers).max(1)
+}
+
+/// The per-worker item counts of the contiguous assignment (see
+/// [`assignment_span`]).
+pub(crate) fn contiguous_assignment(count: usize, workers: usize) -> Vec<usize> {
+    let span = assignment_span(count, workers);
+    (0..count.div_ceil(span))
+        .map(|w| span.min(count - w * span))
+        .collect()
+}
+
+/// Re-arms `acc` as `queries` fresh top-`k` accumulators, reusing both the
+/// outer vector and every selector's heap allocation.
+pub(crate) fn arm_accumulators(acc: &mut Vec<TopK>, queries: usize, k: usize) {
+    acc.truncate(queries);
+    for a in acc.iter_mut() {
+        a.reset(k);
+    }
+    while acc.len() < queries {
+        acc.push(TopK::new(k));
+    }
 }
 
 /// The shared partition + board-image cache behind [`PreparedEngine`] and
@@ -73,6 +158,8 @@ pub(crate) struct PreparedBoards {
     dataset_len: usize,
     /// Compiled board images, built on the first cycle-accurate run.
     images: OnceLock<Result<Vec<BoardImage>, SearchError>>,
+    /// Shared execution-scratch pool; clones of a preparation share it.
+    pool: Arc<ScratchPool>,
 }
 
 impl PreparedBoards {
@@ -101,7 +188,13 @@ impl PreparedBoards {
             partitions: data.partition(vectors_per_board.max(1)),
             dataset_len: data.len(),
             images: OnceLock::new(),
+            pool: Arc::new(ScratchPool::default()),
         })
+    }
+
+    /// The shared execution-scratch pool.
+    pub(crate) fn pool(&self) -> &ScratchPool {
+        &self.pool
     }
 
     pub(crate) fn design(&self) -> &KnnDesign {
@@ -135,53 +228,102 @@ impl PreparedBoards {
 
     /// Streams the (shared) encoded query batch through every cached board
     /// image, fanning the images out over up to `workers` scoped threads —
-    /// each standing in for one board — with per-worker top-k accumulators.
-    /// This is the one partition-execution recipe behind both the engine's
-    /// serial/parallel schedules and [`crate::scheduler::PreparedSchedule`],
-    /// so the two stay bit-identical by construction. Returns one
-    /// [`WorkerOutput`] per contiguous image chunk, in assignment order.
-    pub(crate) fn fan_out(
+    /// each standing in for one board — and merging each worker's per-query
+    /// accumulators into `global` (which must hold `queries_len` armed
+    /// selectors). This is the one partition-execution recipe behind both the
+    /// engine's serial/parallel schedules and
+    /// [`crate::scheduler::PreparedSchedule`], so the two stay bit-identical
+    /// by construction.
+    ///
+    /// Every worker checks its scratch (run state, report sink, accumulators)
+    /// out of the shared [`ScratchPool`] and returns it afterwards, so a
+    /// steady-state batch performs no execution-side allocation. `chunks_out`
+    /// receives the number of images each worker ran, in assignment order.
+    /// Returns the total report count.
+    pub(crate) fn fan_out_into(
         &self,
         stream: &[u8],
         k: usize,
         queries_len: usize,
         workers: usize,
-    ) -> Result<Vec<WorkerOutput>, SearchError> {
+        global: &mut [TopK],
+        chunks_out: &mut Vec<usize>,
+    ) -> Result<u64, SearchError> {
         let images = self.images()?;
         let layout = &self.layout;
-        // Contiguous assignment: worker w owns images [w·span, (w+1)·span).
+        chunks_out.clear();
+        if images.is_empty() {
+            return Ok(0);
+        }
+        let span = assignment_span(images.len(), workers);
         let workers = workers.min(images.len()).max(1);
-        let span = images.len().div_ceil(workers).max(1);
+        let pool: &ScratchPool = &self.pool;
 
-        let run_chunk = |owned: &[BoardImage]| {
-            let mut accumulators: Vec<TopK> = (0..queries_len).map(|_| TopK::new(k)).collect();
+        let run_chunk = |owned: &[BoardImage], scratch: &mut BatchScratch| -> u64 {
+            arm_accumulators(&mut scratch.accumulators, queries_len, k);
             let mut reports_total = 0u64;
-            // One cached compiled core per image, one report allocation
-            // reused across the worker's images.
-            let mut reports = Vec::new();
             for image in owned {
-                reports_total += image.run(layout, stream, &mut accumulators, &mut reports);
+                // One pooled run state serves every image this worker drives
+                // (images differ in geometry; recycling adapts in place).
+                if let Some(state) = scratch.state.as_mut() {
+                    image.compiled.recycle_state(state);
+                } else {
+                    scratch.state = Some(image.compiled.new_state());
+                }
+                let state = scratch.state.as_mut().expect("state just ensured");
+                scratch.reports.clear();
+                image.compiled.run_into(state, stream, &mut scratch.reports);
+                merge_reports_into(
+                    layout,
+                    &scratch.reports,
+                    image.base_index,
+                    &mut scratch.accumulators,
+                );
+                reports_total += scratch.reports.len() as u64;
             }
-            WorkerOutput {
-                accumulators,
-                reports: reports_total,
-                images_run: owned.len(),
-            }
+            reports_total
         };
 
         if workers <= 1 {
-            return Ok(images.chunks(span).map(run_chunk).collect());
+            let mut scratch = pool.checkout();
+            let reports = run_chunk(images, &mut scratch);
+            for (g, partial) in global.iter_mut().zip(&scratch.accumulators) {
+                g.merge(partial);
+            }
+            chunks_out.push(images.len());
+            pool.give_back(scratch);
+            return Ok(reports);
         }
-        Ok(std::thread::scope(|scope| {
+
+        let run_chunk = &run_chunk;
+        let outputs: Vec<(BatchScratch, u64, usize)> = std::thread::scope(|scope| {
             let handles: Vec<_> = images
                 .chunks(span)
-                .map(|owned| scope.spawn(move || run_chunk(owned)))
+                .map(|owned| {
+                    scope.spawn(move || {
+                        let mut scratch = pool.checkout();
+                        let reports = run_chunk(owned, &mut scratch);
+                        (scratch, reports, owned.len())
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("board-image worker panicked"))
                 .collect()
-        }))
+        });
+        // The host merge across workers is exactly the merge across sequential
+        // reconfigurations, in assignment order.
+        let mut reports_total = 0u64;
+        for (scratch, reports, images_run) in outputs {
+            for (g, partial) in global.iter_mut().zip(&scratch.accumulators) {
+                g.merge(partial);
+            }
+            chunks_out.push(images_run);
+            pool.give_back(scratch);
+            reports_total += reports;
+        }
+        Ok(reports_total)
     }
 
     /// The compiled board images, building every [`PartitionNetwork`] and
@@ -271,18 +413,31 @@ impl PreparedEngine {
         self.boards.images().map(|_| ())
     }
 
-    /// Searches `queries` against the prepared dataset. Semantics are identical
-    /// to [`ApKnnEngine::try_search_batch`]; only the per-call board-image
-    /// construction cost is gone.
+    /// Statistics of the shared execution-scratch pool. Once traffic reaches a
+    /// steady state [`PoolStats::fresh`] stops growing: every batch (encode →
+    /// simulate → decode) runs entirely on recycled scratch.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.boards.pool().stats()
+    }
+
+    /// Searches `queries` against the prepared dataset, writing the per-query
+    /// sorted neighbors into the caller-owned `results` (resized to the batch;
+    /// inner vectors are reused). Passing the same `results` every batch keeps
+    /// even the result delivery off the allocator — combined with the scratch
+    /// pool, a warmed steady-state batch performs zero heap allocation.
+    ///
+    /// Semantics are identical to [`ApKnnEngine::try_search_batch`]; only the
+    /// per-call board-image construction cost is gone.
     ///
     /// # Errors
     /// Exactly the errors of [`ApKnnEngine::try_search_batch`], minus the
     /// dataset-shape errors already reported by [`ApKnnEngine::prepare`].
-    pub fn try_search_batch(
+    pub fn try_search_batch_into(
         &self,
         queries: &[BinaryVector],
         options: &QueryOptions,
-    ) -> Result<(Vec<Vec<Neighbor>>, ApRunStats), SearchError> {
+        results: &mut Vec<Vec<Neighbor>>,
+    ) -> Result<ApRunStats, SearchError> {
         options.validate()?;
         let dims = self.boards.design().dims;
         for q in queries {
@@ -323,7 +478,10 @@ impl PreparedEngine {
         };
 
         let k = options.k;
-        let mut accumulators: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        // The host-side scratch: global accumulators, encoded stream, and the
+        // behavioural distance buffer all come from (and return to) the pool.
+        let mut host = self.boards.pool().checkout();
+        arm_accumulators(&mut host.accumulators, queries.len(), k);
         let mut reports_total = 0u64;
         // An empty batch streams nothing and an empty dataset has no boards:
         // skip execution entirely (and never compile images for it).
@@ -331,22 +489,25 @@ impl PreparedEngine {
             match mode {
                 ExecutionMode::CycleAccurate => {
                     // The symbol stream is identical for every board image;
-                    // encode it once, then fan the independent images out over
-                    // the engine's workers. The host merge across workers is
-                    // exactly the merge across sequential reconfigurations, so
-                    // results and statistics are identical at any worker count.
-                    let stream = layout.encode_batch(queries);
-                    let outputs = self.boards.fan_out(
-                        &stream,
+                    // encode it once (into the pooled buffer), then fan the
+                    // independent images out over the engine's workers. The
+                    // host merge across workers is exactly the merge across
+                    // sequential reconfigurations, so results and statistics
+                    // are identical at any worker count.
+                    layout.encode_batch_into(queries, &mut host.stream);
+                    match self.boards.fan_out_into(
+                        &host.stream,
                         k,
                         queries.len(),
                         self.engine.parallelism(),
-                    )?;
-                    for output in outputs {
-                        for (global, partial) in accumulators.iter_mut().zip(&output.accumulators) {
-                            global.merge(partial);
+                        &mut host.accumulators,
+                        &mut host.chunks,
+                    ) {
+                        Ok(reports) => reports_total = reports,
+                        Err(e) => {
+                            self.boards.pool().give_back(host);
+                            return Err(e);
                         }
-                        reports_total += output.reports;
                     }
                 }
                 ExecutionMode::Behavioral => {
@@ -354,13 +515,12 @@ impl PreparedEngine {
                     // per query, at the offset encoding its Hamming distance.
                     // One batched word-level distance kernel per
                     // (partition, query) pair.
-                    let mut distances = Vec::new();
                     for partition in partitions {
                         for (qi, q) in queries.iter().enumerate() {
-                            partition.data.hamming_batch_into(q, &mut distances);
-                            reports_total += distances.len() as u64;
-                            let acc = &mut accumulators[qi];
-                            for (local, &dist) in distances.iter().enumerate() {
+                            partition.data.hamming_batch_into(q, &mut host.distances);
+                            reports_total += host.distances.len() as u64;
+                            let acc = &mut host.accumulators[qi];
+                            for (local, &dist) in host.distances.iter().enumerate() {
                                 acc.offer(Neighbor::new(partition.global_index(local), dist));
                             }
                         }
@@ -376,11 +536,34 @@ impl PreparedEngine {
             reports_total,
             layout,
         );
-        let mut results: Vec<Vec<Neighbor>> =
-            accumulators.into_iter().map(TopK::into_sorted).collect();
-        for neighbors in &mut results {
+        // Decode into the caller-owned results, reusing inner allocations.
+        results.truncate(queries.len());
+        while results.len() < queries.len() {
+            results.push(Vec::new());
+        }
+        for (acc, neighbors) in host.accumulators.iter_mut().zip(results.iter_mut()) {
+            acc.drain_sorted_into(neighbors);
             options.clip(neighbors);
         }
+        self.boards.pool().give_back(host);
+        Ok(stats)
+    }
+
+    /// Searches `queries` against the prepared dataset. Semantics are identical
+    /// to [`ApKnnEngine::try_search_batch`]; only the per-call board-image
+    /// construction cost is gone. See [`Self::try_search_batch_into`] for the
+    /// allocation-free steady-state form.
+    ///
+    /// # Errors
+    /// Exactly the errors of [`ApKnnEngine::try_search_batch`], minus the
+    /// dataset-shape errors already reported by [`ApKnnEngine::prepare`].
+    pub fn try_search_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<(Vec<Vec<Neighbor>>, ApRunStats), SearchError> {
+        let mut results = Vec::new();
+        let stats = self.try_search_batch_into(queries, options, &mut results)?;
         Ok((results, stats))
     }
 }

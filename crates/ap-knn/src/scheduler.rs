@@ -22,9 +22,9 @@
 
 use crate::capacity::BoardCapacity;
 use crate::design::KnnDesign;
-use crate::prepared::PreparedBoards;
+use crate::prepared::{arm_accumulators, contiguous_assignment, PoolStats, PreparedBoards};
 use ap_sim::TimingModel;
-use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError, TopK};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError};
 use serde::{Deserialize, Serialize};
 
 /// Statistics from one parallel scheduled run.
@@ -120,8 +120,8 @@ impl ParallelApScheduler {
     /// accurately, distributing partitions over the worker threads and merging the
     /// per-query top-k results on the host.
     ///
-    /// The results are identical to [`crate::engine::ApKnnEngine::search_batch`] in
-    /// cycle-accurate mode; only the execution schedule differs. Each call is a
+    /// The results are identical to [`crate::engine::ApKnnEngine::try_search_batch`]
+    /// in cycle-accurate mode; only the execution schedule differs. Each call is a
     /// transient preparation (the board images are rebuilt); use [`Self::prepare`]
     /// to amortize that across batches.
     ///
@@ -217,16 +217,12 @@ impl PreparedSchedule {
             });
         }
         // An empty batch streams nothing: answer without compiling any board
-        // image, with the same schedule shape a zero-symbol run would report.
+        // image, with the same schedule shape a zero-symbol run would report
+        // (the shared `contiguous_assignment` is what the fan-out executes).
         if queries.is_empty() {
             let partitions = self.boards.partitions().len();
-            let span = partitions
-                .div_ceil(self.scheduler.workers.min(partitions).max(1))
-                .max(1);
-            let chunks = partitions.div_ceil(span);
-            let partitions_per_worker: Vec<usize> = (0..chunks)
-                .map(|w| span.min(partitions - w * span))
-                .collect();
+            let partitions_per_worker = contiguous_assignment(partitions, self.scheduler.workers);
+            let chunks = partitions_per_worker.len();
             return Ok((
                 Vec::new(),
                 ScheduleStats {
@@ -238,28 +234,37 @@ impl PreparedSchedule {
                 },
             ));
         }
-        let stream = layout.encode_batch(queries);
-        // The shared partition-execution recipe: one scoped worker per
-        // contiguous image chunk, each standing in for one board.
-        let worker_outputs =
-            self.boards
-                .fan_out(&stream, k, queries.len(), self.scheduler.workers)?;
-        let workers_used = worker_outputs.len().max(1);
-
-        // Host-side merge, identical to the merge across sequential reconfigurations.
-        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
-        let mut reports = 0u64;
-        let mut partitions_per_worker = Vec::with_capacity(worker_outputs.len());
-        let mut symbols_per_worker = Vec::with_capacity(worker_outputs.len());
-        for output in worker_outputs {
-            for (global, local) in merged.iter_mut().zip(&output.accumulators) {
-                global.merge(local);
+        // The shared pooled partition-execution recipe: encode into pooled
+        // scratch, one scoped worker per contiguous image chunk (each standing
+        // in for one board), per-worker scratch from the same pool, and a
+        // host-side merge identical to the merge across sequential
+        // reconfigurations.
+        let mut host = self.boards.pool().checkout();
+        layout.encode_batch_into(queries, &mut host.stream);
+        arm_accumulators(&mut host.accumulators, queries.len(), k);
+        let reports = match self.boards.fan_out_into(
+            &host.stream,
+            k,
+            queries.len(),
+            self.scheduler.workers,
+            &mut host.accumulators,
+            &mut host.chunks,
+        ) {
+            Ok(reports) => reports,
+            Err(e) => {
+                self.boards.pool().give_back(host);
+                return Err(e);
             }
-            reports += output.reports;
-            partitions_per_worker.push(output.images_run);
-            // Each worker streams the full query batch once per image it owns.
-            symbols_per_worker.push(output.images_run as u64 * stream.len() as u64);
-        }
+        };
+
+        let workers_used = host.chunks.len().max(1);
+        let partitions_per_worker = host.chunks.clone();
+        // Each worker streams the full query batch once per image it owns.
+        let symbols_per_worker: Vec<u64> = host
+            .chunks
+            .iter()
+            .map(|&images| images as u64 * host.stream.len() as u64)
+            .collect();
 
         let stats = ScheduleStats {
             partitions: self.boards.partitions().len(),
@@ -268,11 +273,21 @@ impl PreparedSchedule {
             reports,
             symbols_per_worker,
         };
-        let mut results: Vec<Vec<Neighbor>> = merged.into_iter().map(TopK::into_sorted).collect();
-        for neighbors in &mut results {
-            options.clip(neighbors);
+        let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
+        for acc in host.accumulators.iter_mut().take(queries.len()) {
+            let mut neighbors = Vec::new();
+            acc.drain_sorted_into(&mut neighbors);
+            options.clip(&mut neighbors);
+            results.push(neighbors);
         }
+        self.boards.pool().give_back(host);
         Ok((results, stats))
+    }
+
+    /// Statistics of the shared execution-scratch pool (see
+    /// [`crate::PreparedEngine::pool_stats`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.boards.pool().stats()
     }
 }
 

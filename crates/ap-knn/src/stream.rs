@@ -88,11 +88,12 @@ impl StreamLayout {
         )
     }
 
-    /// Encodes a single query vector into one window of symbols.
+    /// Encodes a single query vector into one window of symbols, *appending*
+    /// to a caller-owned buffer (so a batch encode reuses one allocation).
     ///
     /// # Panics
     /// Panics if the query's dimensionality differs from the layout's.
-    pub fn encode_query(&self, query: &BinaryVector) -> Vec<u8> {
+    pub fn encode_query_into(&self, query: &BinaryVector, out: &mut Vec<u8>) {
         assert_eq!(
             query.dims(),
             self.dims,
@@ -100,23 +101,42 @@ impl StreamLayout {
             query.dims(),
             self.dims
         );
-        let mut out = Vec::with_capacity(self.window_len());
+        let start = out.len();
+        out.reserve(self.window_len());
         out.push(self.sof);
         for i in 0..self.dims {
             out.push(u8::from(query.get(i)));
         }
         out.extend(std::iter::repeat_n(self.filler, self.filler_count()));
         out.push(self.eof);
-        debug_assert_eq!(out.len(), self.window_len());
+        debug_assert_eq!(out.len() - start, self.window_len());
+    }
+
+    /// Encodes a single query vector into one window of symbols.
+    ///
+    /// # Panics
+    /// Panics if the query's dimensionality differs from the layout's.
+    pub fn encode_query(&self, query: &BinaryVector) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.window_len());
+        self.encode_query_into(query, &mut out);
         out
+    }
+
+    /// Encodes a batch of queries back-to-back into a caller-owned buffer
+    /// (cleared first). Steady-state serving reuses one pooled buffer per
+    /// batch, so encoding allocates nothing once the buffer has warmed up.
+    pub fn encode_batch_into(&self, queries: &[BinaryVector], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.window_len() * queries.len());
+        for q in queries {
+            self.encode_query_into(q, out);
+        }
     }
 
     /// Encodes a batch of queries back-to-back.
     pub fn encode_batch(&self, queries: &[BinaryVector]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.window_len() * queries.len());
-        for q in queries {
-            out.extend(self.encode_query(q));
-        }
+        let mut out = Vec::new();
+        self.encode_batch_into(queries, &mut out);
         out
     }
 
@@ -197,6 +217,28 @@ mod tests {
         assert_eq!(stream[l.window_len()], l.sof);
         let (q, w) = l.split_offset(l.window_len() as u64 + 3);
         assert_eq!((q, w), (1, 3));
+    }
+
+    #[test]
+    fn into_variants_reuse_the_buffer_and_match_the_allocating_forms() {
+        let l = layout(8);
+        let queries = vec![
+            BinaryVector::from_bits(&[1, 0, 1, 0, 1, 0, 1, 0]),
+            BinaryVector::from_bits(&[0, 1, 1, 0, 0, 1, 1, 0]),
+        ];
+        let mut buf = Vec::new();
+        l.encode_batch_into(&queries, &mut buf);
+        assert_eq!(buf, l.encode_batch(&queries));
+        let capacity = buf.capacity();
+        // Re-encoding into the warmed buffer must not grow it.
+        l.encode_batch_into(&queries, &mut buf);
+        assert_eq!(buf.capacity(), capacity);
+        assert_eq!(buf, l.encode_batch(&queries));
+        // The single-query form appends.
+        let len = buf.len();
+        l.encode_query_into(&queries[0], &mut buf);
+        assert_eq!(buf.len(), len + l.window_len());
+        assert_eq!(&buf[len..], l.encode_query(&queries[0]).as_slice());
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! LRU result cache keyed by `(query, k)`.
+//! LRU result cache keyed by `(query, result-affecting options)`.
 //!
 //! Production similarity-search traffic is heavily skewed — the same image,
 //! document, or tag query recurs — and a cached answer costs nanoseconds where
 //! a fabric dispatch costs a full streamed window per board. The cache is an
 //! intrusive doubly-linked LRU list over a slab, with a `HashMap` from key to
 //! slab slot: `get`, `insert`, and eviction are all O(1).
+//!
+//! The key folds in the *full* [`binvec::ResultKey`] — `k`, the optional §VII
+//! distance bound, and the execution preference — not just `k`. An earlier
+//! revision keyed by `(query, k)` alone, so a hit could return neighbors
+//! computed under a *different* distance bound than the caller asked for; the
+//! scheduling fields (priority, deadline) stay out of the key because they
+//! never change what a query returns.
 
-use binvec::{BinaryVector, Neighbor};
+use binvec::{BinaryVector, Neighbor, QueryOptions, ResultKey};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 
@@ -18,26 +25,27 @@ const NIL: usize = usize::MAX;
 pub const MAX_CACHE_CAPACITY: usize = 1 << 22;
 
 struct Slot {
-    /// Precomputed hash of `(query, k)`, so eviction can find the bucket.
+    /// Precomputed hash of `(query, key)`, so eviction can find the bucket.
     hash: u64,
     query: BinaryVector,
-    k: usize,
+    key: ResultKey,
     value: Vec<Neighbor>,
     prev: usize,
     next: usize,
 }
 
-fn key_hash(query: &BinaryVector, k: usize) -> u64 {
+fn key_hash(query: &BinaryVector, key: &ResultKey) -> u64 {
     let mut hasher = DefaultHasher::new();
     query.hash(&mut hasher);
-    k.hash(&mut hasher);
+    key.hash(&mut hasher);
     hasher.finish()
 }
 
 /// A fixed-capacity least-recently-used cache of query results.
 ///
-/// The map is keyed by the hash of `(query, k)` with exact key comparison
-/// inside each (rarely populated) bucket, so lookups never clone the query.
+/// The map is keyed by the hash of `(query, ResultKey)` with exact key
+/// comparison inside each (rarely populated) bucket, so lookups never clone
+/// the query.
 pub struct ResultCache {
     capacity: usize,
     buckets: HashMap<u64, Vec<usize>>,
@@ -94,16 +102,17 @@ impl ResultCache {
         self.misses
     }
 
-    /// Returns the cached neighbors for `(query, k)`, marking the entry most
-    /// recently used. The query is only hashed and compared, never cloned.
+    /// Returns the cached neighbors for `query` under the result-affecting
+    /// fields of `options`, marking the entry most recently used. The query is
+    /// only hashed and compared, never cloned.
     ///
     /// A disabled cache (capacity 0) returns `None` without counting a miss,
     /// so hit-rate statistics stay `None` rather than reading as a cold cache.
-    pub fn get(&mut self, query: &BinaryVector, k: usize) -> Option<Vec<Neighbor>> {
+    pub fn get(&mut self, query: &BinaryVector, options: &QueryOptions) -> Option<Vec<Neighbor>> {
         if self.capacity == 0 {
             return None;
         }
-        match self.find(query, k) {
+        match self.find(query, &options.result_key()) {
             Some(slot) => {
                 self.hits += 1;
                 self.detach(slot);
@@ -117,25 +126,27 @@ impl ResultCache {
         }
     }
 
-    /// Inserts (or refreshes) the result for `(query, k)`, evicting the least
-    /// recently used entry when full.
-    pub fn insert(&mut self, query: BinaryVector, k: usize, value: Vec<Neighbor>) {
+    /// Inserts (or refreshes) the result for `query` under the
+    /// result-affecting fields of `options`, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, query: BinaryVector, options: &QueryOptions, value: Vec<Neighbor>) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(slot) = self.find(&query, k) {
+        let key = options.result_key();
+        if let Some(slot) = self.find(&query, &key) {
             self.slots[slot].value = value;
             self.detach(slot);
             self.attach_front(slot);
             return;
         }
-        let hash = key_hash(&query, k);
+        let hash = key_hash(&query, &key);
         let slot = if self.slots.len() < self.capacity {
             let slot = self.slots.len();
             self.slots.push(Slot {
                 hash,
                 query,
-                k,
+                key,
                 value,
                 prev: NIL,
                 next: NIL,
@@ -149,7 +160,7 @@ impl ResultCache {
             let entry = &mut self.slots[slot];
             entry.hash = hash;
             entry.query = query;
-            entry.k = k;
+            entry.key = key;
             entry.value = value;
             slot
         };
@@ -157,12 +168,12 @@ impl ResultCache {
         self.attach_front(slot);
     }
 
-    fn find(&self, query: &BinaryVector, k: usize) -> Option<usize> {
-        let bucket = self.buckets.get(&key_hash(query, k))?;
+    fn find(&self, query: &BinaryVector, key: &ResultKey) -> Option<usize> {
+        let bucket = self.buckets.get(&key_hash(query, key))?;
         bucket
             .iter()
             .copied()
-            .find(|&slot| self.slots[slot].k == k && self.slots[slot].query == *query)
+            .find(|&slot| self.slots[slot].key == *key && self.slots[slot].query == *query)
     }
 
     fn remove_from_bucket(&mut self, slot: usize) {
@@ -207,6 +218,8 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use binvec::{Deadline, ExecutionPreference, Priority};
+    use std::time::Duration;
 
     fn query(bit: usize) -> BinaryVector {
         let mut v = BinaryVector::zeros(64);
@@ -218,56 +231,109 @@ mod tests {
         vec![Neighbor::new(id, 1)]
     }
 
+    fn top(k: usize) -> QueryOptions {
+        QueryOptions::top(k)
+    }
+
     #[test]
     fn hit_after_insert_miss_before() {
         let mut cache = ResultCache::new(4);
-        assert!(cache.get(&query(0), 3).is_none());
-        cache.insert(query(0), 3, result(9));
-        assert_eq!(cache.get(&query(0), 3), Some(result(9)));
+        assert!(cache.get(&query(0), &top(3)).is_none());
+        cache.insert(query(0), &top(3), result(9));
+        assert_eq!(cache.get(&query(0), &top(3)), Some(result(9)));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]
     fn k_is_part_of_the_key() {
         let mut cache = ResultCache::new(4);
-        cache.insert(query(0), 3, result(1));
-        assert!(cache.get(&query(0), 5).is_none());
-        assert!(cache.get(&query(0), 3).is_some());
+        cache.insert(query(0), &top(3), result(1));
+        assert!(cache.get(&query(0), &top(5)).is_none());
+        assert!(cache.get(&query(0), &top(3)).is_some());
+    }
+
+    #[test]
+    fn distance_bound_is_part_of_the_key() {
+        // The regression: same query, k = 5, bound 3 vs unbounded. An entry
+        // keyed by (query, k) alone would serve the bounded answer to the
+        // unbounded caller (and vice versa).
+        let mut cache = ResultCache::new(4);
+        let bounded = vec![Neighbor::new(1, 1), Neighbor::new(2, 2)];
+        let unbounded = vec![
+            Neighbor::new(1, 1),
+            Neighbor::new(2, 2),
+            Neighbor::new(3, 7),
+        ];
+        cache.insert(query(0), &top(5).within(3), bounded.clone());
+        assert_eq!(
+            cache.get(&query(0), &top(5)),
+            None,
+            "an unbounded lookup must not see the bounded entry"
+        );
+        cache.insert(query(0), &top(5), unbounded.clone());
+        assert_eq!(cache.get(&query(0), &top(5).within(3)), Some(bounded));
+        assert_eq!(cache.get(&query(0), &top(5)), Some(unbounded));
+        assert_eq!(
+            cache.get(&query(0), &top(5).within(4)),
+            None,
+            "a different bound is a different key"
+        );
+    }
+
+    #[test]
+    fn execution_preference_is_part_of_the_key_but_scheduling_fields_are_not() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(query(0), &top(3), result(1));
+        assert!(cache
+            .get(
+                &query(0),
+                &top(3).execution(ExecutionPreference::CycleAccurate)
+            )
+            .is_none());
+        // Priority and deadline steer scheduling, not results: same entry.
+        assert!(cache
+            .get(
+                &query(0),
+                &top(3)
+                    .prioritized(Priority::High)
+                    .by(Deadline::after(Duration::from_secs(60)))
+            )
+            .is_some());
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut cache = ResultCache::new(2);
-        cache.insert(query(0), 1, result(0));
-        cache.insert(query(1), 1, result(1));
+        cache.insert(query(0), &top(1), result(0));
+        cache.insert(query(1), &top(1), result(1));
         // Touch 0 so 1 becomes LRU.
-        assert!(cache.get(&query(0), 1).is_some());
-        cache.insert(query(2), 1, result(2));
+        assert!(cache.get(&query(0), &top(1)).is_some());
+        cache.insert(query(2), &top(1), result(2));
         assert_eq!(cache.len(), 2);
         assert!(
-            cache.get(&query(1), 1).is_none(),
+            cache.get(&query(1), &top(1)).is_none(),
             "LRU entry should be gone"
         );
-        assert!(cache.get(&query(0), 1).is_some());
-        assert!(cache.get(&query(2), 1).is_some());
+        assert!(cache.get(&query(0), &top(1)).is_some());
+        assert!(cache.get(&query(2), &top(1)).is_some());
     }
 
     #[test]
     fn reinsert_refreshes_value_and_recency() {
         let mut cache = ResultCache::new(2);
-        cache.insert(query(0), 1, result(0));
-        cache.insert(query(1), 1, result(1));
-        cache.insert(query(0), 1, result(7));
-        cache.insert(query(2), 1, result(2));
-        assert_eq!(cache.get(&query(0), 1), Some(result(7)));
-        assert!(cache.get(&query(1), 1).is_none());
+        cache.insert(query(0), &top(1), result(0));
+        cache.insert(query(1), &top(1), result(1));
+        cache.insert(query(0), &top(1), result(7));
+        cache.insert(query(2), &top(1), result(2));
+        assert_eq!(cache.get(&query(0), &top(1)), Some(result(7)));
+        assert!(cache.get(&query(1), &top(1)).is_none());
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = ResultCache::new(0);
-        cache.insert(query(0), 1, result(0));
-        assert!(cache.get(&query(0), 1).is_none());
+        cache.insert(query(0), &top(1), result(0));
+        assert!(cache.get(&query(0), &top(1)).is_none());
         assert!(cache.is_empty());
     }
 
@@ -276,13 +342,13 @@ mod tests {
         let mut cache = ResultCache::new(8);
         for round in 0..50 {
             for bit in 0..16 {
-                cache.insert(query(bit), 1, result(round * 16 + bit));
+                cache.insert(query(bit), &top(1), result(round * 16 + bit));
                 assert!(cache.len() <= 8);
             }
         }
         // The last 8 inserted keys are resident.
         for bit in 8..16 {
-            assert!(cache.get(&query(bit), 1).is_some(), "bit {bit}");
+            assert!(cache.get(&query(bit), &top(1)).is_some(), "bit {bit}");
         }
     }
 }

@@ -1,0 +1,111 @@
+//! The one batch-execution recipe shared by every serving front end.
+//!
+//! Both the synchronous [`crate::SearchService`] and each worker of the
+//! concurrent [`crate::ServiceRuntime`] dispatch a batch the same way: time
+//! the backend call, verify the result arity (a custom backend returning the
+//! wrong number of results would otherwise silently drop completions), and
+//! fold the outcome into [`ServiceStats`]. Keeping that recipe here means the
+//! two front ends cannot drift apart in accounting or failure semantics.
+
+use crate::backend::{BackendBatch, SimilarityBackend};
+use crate::stats::ServiceStats;
+use binvec::{BinaryVector, QueryOptions, SearchError};
+use std::time::{Duration, Instant};
+
+/// The timed outcome of one backend dispatch.
+pub(crate) struct Dispatched {
+    /// The backend's (arity-checked) batch, or its typed failure.
+    pub(crate) outcome: Result<BackendBatch, SearchError>,
+    /// Wall-clock time spent inside the backend call.
+    pub(crate) elapsed: Duration,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Executes one batch against `backend`, timing it and verifying that the
+/// backend produced exactly one result list per query. A *panicking* backend
+/// is contained here and reported as a typed [`SearchError::Backend`] — a
+/// runtime worker must survive it (its thread dying would strand every queued
+/// ticket), and the synchronous service gets the same per-ticket failure
+/// semantics for free.
+pub(crate) fn execute_batch(
+    backend: &dyn SimilarityBackend,
+    queries: &[BinaryVector],
+    options: &QueryOptions,
+) -> Dispatched {
+    let started = Instant::now();
+    // The fallible entry point: a backend execution failure (invalid
+    // partition network, capacity overflow) surfaces as a typed error
+    // instead of aborting mid-batch. The full options — k, distance bound,
+    // execution preference — travel with every batch.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        backend.try_serve_batch(queries, options)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SearchError::Backend {
+            backend: backend.name(),
+            reason: format!("panicked during dispatch: {}", panic_message(&*payload)),
+        })
+    });
+    let elapsed = started.elapsed();
+    // The default try_serve_batch guarantees the arity, but a custom
+    // override might not.
+    let outcome = result.and_then(|batch| {
+        if batch.results.len() == queries.len() {
+            Ok(batch)
+        } else {
+            Err(SearchError::Backend {
+                backend: backend.name(),
+                reason: format!(
+                    "returned {} results for {} queries",
+                    batch.results.len(),
+                    queries.len()
+                ),
+            })
+        }
+    });
+    Dispatched { outcome, elapsed }
+}
+
+/// Folds a dispatch outcome into the service counters. Success accrues the
+/// batching/AP figures and `busy_time`; failure accrues the `failed_*`
+/// counters instead, so the backend-qps figure stays honest.
+pub(crate) fn record_dispatch(
+    stats: &mut ServiceStats,
+    dispatched: &Dispatched,
+    batch_len: usize,
+    configured_batch_size: usize,
+) {
+    match &dispatched.outcome {
+        Ok(batch) => {
+            stats.busy_time += dispatched.elapsed;
+            stats.batches_dispatched += 1;
+            stats.batched_queries += batch_len as u64;
+            if batch_len == configured_batch_size {
+                stats.full_batches += 1;
+            }
+            stats.ap_symbol_cycles += batch.ap_symbol_cycles;
+            stats.reconfigurations += batch.reconfigurations;
+            if stats.shard_cycles.len() < batch.shard_cycles.len() {
+                stats.shard_cycles.resize(batch.shard_cycles.len(), 0);
+            }
+            for (total, &cycles) in stats.shard_cycles.iter_mut().zip(&batch.shard_cycles) {
+                *total += cycles;
+            }
+        }
+        Err(_) => {
+            stats.failed_time += dispatched.elapsed;
+            stats.failed_batches += 1;
+            stats.failed_queries += batch_len as u64;
+        }
+    }
+}

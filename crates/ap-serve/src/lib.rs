@@ -24,9 +24,16 @@
 //!   engine already performs across sequential reconfigurations.
 //! * [`ResultCache`] — an LRU cache keyed by `(query, k)`, so repeated queries
 //!   are answered without touching the fabric.
-//! * [`SearchService`] — the front door: `submit` single queries, `drain`
-//!   completed results, read a [`ServiceStats`] report (throughput, batch-fill
-//!   ratio, cache hit rate, per-shard utilization).
+//! * [`ServiceRuntime`] — **the concurrent front door**: N worker threads,
+//!   each owning its own backend (worker-owned prepared engines), fed by a
+//!   bounded priority/deadline-aware admission queue with backpressure
+//!   ([`binvec::SearchError::QueueFull`]) and deadline shedding
+//!   ([`binvec::SearchError::DeadlineExceeded`]); every ticket resolves
+//!   through its own completion channel.
+//! * [`SearchService`] — the synchronous single-worker front door: `submit`
+//!   single queries, `drain` completed results, read a [`ServiceStats`]
+//!   report (throughput, batch-fill ratio, cache hit rate, per-shard
+//!   utilization). It shares the batch-execution core with the runtime.
 //! * [`SearchPipeline`] — **the one query API**: a fluent builder
 //!   (`over → metric → backend → sharded → cached → build`) that constructs any
 //!   backend family behind one fallible `query`/`query_batch` interface, with
@@ -65,9 +72,11 @@
 
 pub mod backend;
 pub mod cache;
+mod dispatch;
 pub mod pipeline;
 pub mod queue;
 pub mod registry;
+pub mod runtime;
 pub mod service;
 pub mod shard;
 pub mod stats;
@@ -76,7 +85,7 @@ pub use backend::{
     ApEngineBackend, ApSchedulerBackend, BackendBatch, IndexedApBackend, JaccardBackend,
     SimilarityBackend,
 };
-pub use binvec::{ExecutionPreference, QueryOptions, SearchError};
+pub use binvec::{Deadline, ExecutionPreference, Priority, QueryOptions, ResultKey, SearchError};
 pub use cache::{ResultCache, MAX_CACHE_CAPACITY};
 pub use pipeline::{
     BackendSpec, BaselineKind, IndexKind, Metric, Provenance, Query, Response, SearchPipeline,
@@ -84,6 +93,7 @@ pub use pipeline::{
 };
 pub use queue::{AdmissionQueue, QueryTicket};
 pub use registry::{BackendFactory, BackendRegistry};
+pub use runtime::{RuntimeConfig, ServiceRuntime, TicketHandle};
 pub use service::{Completed, FailedQuery, SearchService, ServiceConfig};
 pub use shard::{ShardedBackend, ShardedDataset};
 pub use stats::ServiceStats;

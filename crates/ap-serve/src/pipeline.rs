@@ -561,7 +561,9 @@ impl SearchPipeline {
         let caching = self.cache.capacity() > 0;
         // With the cache in play the stored entry must be the unbounded top-k;
         // without it the bound travels into the backend (the AP engine applies
-        // it inside the run).
+        // it inside the run). The *unbounded* options are also the cache key —
+        // bounded and unbounded lookups share one entry by construction, and
+        // the key still folds in k and the execution preference.
         let dispatch_options = if caching {
             options.unbounded()
         } else {
@@ -571,7 +573,7 @@ impl SearchPipeline {
         let mut responses: Vec<Option<Response>> = Vec::with_capacity(queries.len());
         let mut missed: Vec<usize> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
-            match self.cache.get(q, options.k) {
+            match self.cache.get(q, &dispatch_options) {
                 Some(mut neighbors) => {
                     options.clip(&mut neighbors);
                     responses.push(Some(Response {
@@ -616,7 +618,7 @@ impl SearchPipeline {
             for (&i, mut neighbors) in missed.iter().zip(batch.results) {
                 if caching {
                     self.cache
-                        .insert(queries[i].clone(), options.k, neighbors.clone());
+                        .insert(queries[i].clone(), &dispatch_options, neighbors.clone());
                     options.clip(&mut neighbors);
                 }
                 responses[i] = Some(Response {

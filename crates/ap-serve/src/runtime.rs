@@ -1,0 +1,865 @@
+//! The concurrent serving runtime: worker-owned backends fed by a bounded,
+//! deadline/priority-aware admission queue, with per-ticket completion
+//! channels.
+//!
+//! The synchronous [`crate::SearchService`] is a pull loop over `&mut self`:
+//! one caller, one backend, no overlap between encoding, streaming, and
+//! decoding. The paper's throughput story (§VI: query multiplexing fills the
+//! symbol stream, batches dispatch at the multiplex width) assumes a server
+//! that is *continuously fed* — which takes concurrency:
+//!
+//! ```text
+//!  callers ──try_submit──▶ ScheduledQueue ──pop_batch──▶ worker 0 ─┐
+//!  (any thread;            (bounded; priority ▸          owns its  │ per-ticket
+//!   QueueFull = shed)       deadline ▸ FIFO;             backend / ├─▶ channels
+//!                           expired entries fail         prepared  │ (callers
+//!                           *without* dispatch)          engine)   │  block on
+//!                                                       worker N ─┘  their result)
+//! ```
+//!
+//! * **Admission** — [`ServiceRuntime::try_submit`] validates the query,
+//!   answers cache hits instantly, fails already-expired deadlines with
+//!   [`SearchError::DeadlineExceeded`] (never dispatched), and otherwise
+//!   enqueues. A full queue refuses with [`SearchError::QueueFull`] instead of
+//!   blocking the caller or growing without bound — that is the backpressure
+//!   contract.
+//! * **Scheduling** — the queue orders by [`binvec::Priority`], then deadline
+//!   (earliest first), then submission order. Workers pop up to one batch of
+//!   entries whose result-affecting options ([`binvec::ResultKey`]) match, so
+//!   a dispatch always carries queries that can share one backend call.
+//! * **Execution** — each worker owns its backend (typically a
+//!   [`crate::ApEngineBackend`] holding a [`ap_knn::PreparedEngine`], whose
+//!   pooled scratch makes the steady-state batch allocation-free). Workers
+//!   never share execution state; only the queue, cache, and stats are shared.
+//! * **Completion** — every ticket carries its own channel. Callers block on
+//!   *their* [`TicketHandle`], not on a global drain, so a slow batch never
+//!   delays the delivery of an unrelated finished one.
+//!
+//! Every admitted query resolves exactly once — as a [`Completed`] or a
+//! [`FailedQuery`] — and the [`ServiceStats`] conservation invariant
+//! `submitted == served + failed + deadline_expired` holds once all tickets
+//! have resolved.
+
+use crate::backend::SimilarityBackend;
+use crate::cache::{ResultCache, MAX_CACHE_CAPACITY};
+use crate::dispatch;
+use crate::queue::{PushRefused, QueryTicket, Scheduled, ScheduledQueue};
+use crate::service::{Completed, FailedQuery};
+use crate::stats::ServiceStats;
+use ap_knn::multiplex::MAX_SLICES;
+use binvec::{BinaryVector, QueryOptions, SearchError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`ServiceRuntime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads, each owning one backend instance.
+    pub workers: usize,
+    /// Maximum queries pending in the admission queue before `try_submit`
+    /// refuses with [`SearchError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Queries per dispatched batch (defaults to the §VI-B multiplex width).
+    pub batch_size: usize,
+    /// Default per-query options for [`ServiceRuntime::try_submit`];
+    /// [`ServiceRuntime::try_submit_with`] overrides them per query.
+    pub options: QueryOptions,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            queue_capacity: 1024,
+            batch_size: MAX_SLICES,
+            options: QueryOptions::top(10),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the admission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the default query options.
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`SearchError::InvalidConfig`] for a zero worker count, queue capacity,
+    /// or batch size (or an absurd cache capacity), plus whatever
+    /// [`QueryOptions::validate`] rejects.
+    pub fn build(self) -> Result<Self, SearchError> {
+        if self.workers == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "workers",
+                reason: "need at least one worker".to_string(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "queue_capacity",
+                reason: "need room for at least one pending query".to_string(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.cache_capacity > MAX_CACHE_CAPACITY {
+            return Err(SearchError::InvalidConfig {
+                field: "cache_capacity",
+                reason: format!(
+                    "{} entries exceeds the sanity limit of {MAX_CACHE_CAPACITY}",
+                    self.cache_capacity
+                ),
+            });
+        }
+        self.options.validate()?;
+        Ok(self)
+    }
+}
+
+/// What a worker (or the admission path) delivers through a ticket's channel.
+type TicketResult = Result<Completed, FailedQuery>;
+
+/// The caller's side of one submitted query: block on [`Self::wait`] for
+/// *this* query's result — no global drain, no ordering coupling to other
+/// callers' tickets.
+#[derive(Debug)]
+pub struct TicketHandle {
+    ticket: QueryTicket,
+    rx: mpsc::Receiver<TicketResult>,
+}
+
+impl TicketHandle {
+    /// The ticket identifying this submission.
+    pub fn ticket(&self) -> QueryTicket {
+        self.ticket
+    }
+
+    /// The failure delivered when the completion channel disconnected without
+    /// a result — the runtime was torn down before this ticket was served.
+    fn disconnected(&self) -> FailedQuery {
+        FailedQuery {
+            ticket: self.ticket,
+            query: BinaryVector::zeros(0),
+            error: SearchError::Backend {
+                backend: "runtime".to_string(),
+                reason: "completion channel disconnected".to_string(),
+            },
+        }
+    }
+
+    /// Blocks until the query resolves.
+    ///
+    /// # Errors
+    /// The per-ticket [`FailedQuery`] if the batch failed at dispatch, the
+    /// deadline expired, or the runtime shut down before delivering.
+    pub fn wait(self) -> Result<Completed, FailedQuery> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(self.disconnected()),
+        }
+    }
+
+    /// Returns the result if it is already available, without blocking.
+    /// `None` strictly means "still pending": a ticket whose channel has
+    /// disconnected (the runtime died before delivering) resolves as the
+    /// disconnection [`FailedQuery`] rather than reading as pending forever.
+    pub fn try_wait(&self) -> Option<TicketResult> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(self.disconnected())),
+        }
+    }
+
+    /// Blocks up to `timeout` for the result. `None` strictly means the
+    /// timeout elapsed with the query still pending; a disconnected channel
+    /// resolves as the disconnection [`FailedQuery`] (see [`Self::try_wait`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<TicketResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(self.disconnected())),
+        }
+    }
+}
+
+/// A worker-side view of one shared backend: delegates every call through the
+/// `Arc`, so [`ServiceRuntime::try_shared`] can hand a single prepared
+/// backend to every worker without the workers owning copies.
+struct SharedBackend(Arc<dyn SimilarityBackend>);
+
+impl SimilarityBackend for SharedBackend {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.0.dims()
+    }
+
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> crate::backend::BackendBatch {
+        self.0.serve_batch(queries, k)
+    }
+
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<crate::backend::BackendBatch, SearchError> {
+        self.0.try_serve_batch(queries, options)
+    }
+}
+
+/// One queued query: everything a worker needs to dispatch and deliver it.
+struct Pending {
+    query: BinaryVector,
+    options: QueryOptions,
+    tx: mpsc::Sender<TicketResult>,
+}
+
+/// State shared between the submission front and the workers.
+struct Shared {
+    queue: ScheduledQueue<Pending>,
+    cache: Mutex<ResultCache>,
+    stats: Mutex<ServiceStats>,
+}
+
+/// A concurrent query-serving runtime over worker-owned
+/// [`SimilarityBackend`]s. See the module docs for the architecture.
+pub struct ServiceRuntime {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    config: RuntimeConfig,
+    backend_name: String,
+    dims: usize,
+    next_ticket: AtomicU64,
+    started: Instant,
+}
+
+impl ServiceRuntime {
+    /// Creates a runtime whose `config.workers` workers each own the backend
+    /// `factory(worker_index)` builds for them — the worker-owned form:
+    /// nothing about execution (prepared board images, scratch pools) is
+    /// shared between workers.
+    ///
+    /// # Errors
+    /// Whatever [`RuntimeConfig::build`] or the factory rejects, plus
+    /// [`SearchError::InvalidConfig`] if the per-worker backends disagree on
+    /// dimensionality.
+    pub fn try_new<F>(config: RuntimeConfig, mut factory: F) -> Result<Self, SearchError>
+    where
+        F: FnMut(usize) -> Result<Box<dyn SimilarityBackend>, SearchError>,
+    {
+        let config = config.build()?;
+        let backends: Vec<Box<dyn SimilarityBackend>> = (0..config.workers)
+            .map(&mut factory)
+            .collect::<Result<_, _>>()?;
+        let dims = backends[0].dims();
+        let backend_name = backends[0].name();
+        if let Some(other) = backends.iter().find(|b| b.dims() != dims) {
+            return Err(SearchError::InvalidConfig {
+                field: "workers",
+                reason: format!(
+                    "worker backends disagree on dimensionality ({} vs {})",
+                    dims,
+                    other.dims()
+                ),
+            });
+        }
+
+        let shared = Arc::new(Shared {
+            queue: ScheduledQueue::new(config.queue_capacity),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            stats: Mutex::new(ServiceStats::default()),
+        });
+        let handles = backends
+            .into_iter()
+            .enumerate()
+            .map(|(index, backend)| {
+                let shared = Arc::clone(&shared);
+                let batch_size = config.batch_size;
+                std::thread::Builder::new()
+                    .name(format!("ap-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, backend, batch_size))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+
+        Ok(Self {
+            shared,
+            handles,
+            config,
+            backend_name,
+            dims,
+            next_ticket: AtomicU64::new(0),
+            started: Instant::now(),
+        })
+    }
+
+    /// Creates a runtime whose workers all serve the *same* backend through an
+    /// [`Arc`] — the shared form: one prepared board-image set (and one
+    /// execution-scratch pool) serves every worker. Backends are `Sync`, so
+    /// this is safe; prefer [`Self::try_new`] when per-worker isolation (own
+    /// images, own pool) matters more than memory.
+    ///
+    /// # Errors
+    /// Whatever [`RuntimeConfig::build`] rejects.
+    pub fn try_shared(
+        config: RuntimeConfig,
+        backend: Arc<dyn SimilarityBackend>,
+    ) -> Result<Self, SearchError> {
+        Self::try_new(config, |_| {
+            Ok(Box::new(SharedBackend(Arc::clone(&backend))) as Box<dyn SimilarityBackend>)
+        })
+    }
+
+    /// The backend's label.
+    pub fn backend_name(&self) -> String {
+        self.backend_name.clone()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Dimensionality of the served vectors.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Worker threads serving dispatches.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queries admitted but not yet popped by a worker.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Submits one query under the runtime's configured default options.
+    ///
+    /// # Errors
+    /// See [`Self::try_submit_with`].
+    pub fn try_submit(&self, query: BinaryVector) -> Result<TicketHandle, SearchError> {
+        let options = self.config.options;
+        self.try_submit_with(query, &options)
+    }
+
+    /// Submits one query with per-query options. The scheduling fields
+    /// (`priority`, `deadline`) steer the queue; the result-affecting fields
+    /// (`k`, `within`, `execution`) travel to the backend, and workers only
+    /// batch queries whose result-affecting fields match.
+    ///
+    /// A cache hit or an already-expired deadline resolves the ticket
+    /// immediately (as [`Completed`] / [`FailedQuery`] with
+    /// [`SearchError::DeadlineExceeded`]) without entering the queue.
+    ///
+    /// # Errors
+    /// * [`SearchError::ZeroDims`] / [`SearchError::DimMismatch`] — malformed
+    ///   query, rejected before a ticket is minted;
+    /// * [`SearchError::ZeroK`] / [`SearchError::ZeroDistanceBound`] — invalid
+    ///   options;
+    /// * [`SearchError::QueueFull`] — the bounded queue is at capacity
+    ///   (backpressure; no ticket was minted, retry or shed);
+    /// * [`SearchError::Backend`] — the runtime has been shut down.
+    pub fn try_submit_with(
+        &self,
+        query: BinaryVector,
+        options: &QueryOptions,
+    ) -> Result<TicketHandle, SearchError> {
+        options.validate()?;
+        if query.dims() == 0 {
+            return Err(SearchError::ZeroDims);
+        }
+        if query.dims() != self.dims {
+            return Err(SearchError::DimMismatch {
+                expected: self.dims,
+                actual: query.dims(),
+            });
+        }
+
+        let (tx, rx) = mpsc::channel();
+
+        // An already-expired deadline is failed at admission — typed, ticketed,
+        // and never dispatched.
+        if options.deadline.is_some_and(|d| d.is_expired()) {
+            let ticket = self.mint_ticket();
+            {
+                let mut stats = self.lock_stats();
+                stats.queries_submitted += 1;
+                stats.deadline_expired += 1;
+            }
+            let _ = tx.send(Err(FailedQuery {
+                ticket,
+                query,
+                error: SearchError::DeadlineExceeded,
+            }));
+            return Ok(TicketHandle { ticket, rx });
+        }
+
+        // Cache hits complete instantly without occupying the queue.
+        let cached = self
+            .shared
+            .cache
+            .lock()
+            .expect("runtime cache poisoned")
+            .get(&query, options);
+        if let Some(neighbors) = cached {
+            let ticket = self.mint_ticket();
+            {
+                let mut stats = self.lock_stats();
+                stats.queries_submitted += 1;
+                stats.queries_served += 1;
+            }
+            let _ = tx.send(Ok(Completed {
+                ticket,
+                query,
+                neighbors,
+            }));
+            return Ok(TicketHandle { ticket, rx });
+        }
+
+        let ticket = self.mint_ticket();
+        let entry = Scheduled {
+            ticket,
+            priority: options.priority,
+            deadline: options.deadline,
+            payload: Pending {
+                query,
+                options: *options,
+                tx,
+            },
+        };
+        match self.shared.queue.try_push(entry) {
+            Ok(()) => {
+                self.lock_stats().queries_submitted += 1;
+                Ok(TicketHandle { ticket, rx })
+            }
+            Err(PushRefused::Full(_)) => {
+                self.lock_stats().queue_full_rejections += 1;
+                Err(SearchError::QueueFull {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushRefused::Closed(_)) => Err(SearchError::Backend {
+                backend: self.backend_name.clone(),
+                reason: "runtime has been shut down".to_string(),
+            }),
+        }
+    }
+
+    /// A snapshot of the service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.lock_stats().clone();
+        stats.batch_size = self.config.batch_size;
+        stats.workers = self.handles.len();
+        {
+            let cache = self.shared.cache.lock().expect("runtime cache poisoned");
+            stats.cache_hits = cache.hits();
+            stats.cache_misses = cache.misses();
+        }
+        stats.uptime = self.started.elapsed();
+        stats
+    }
+
+    /// Closes the admission queue, lets the workers drain every pending query
+    /// (each ticket still resolves exactly once), joins them, and returns the
+    /// final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn mint_ticket(&self) -> QueryTicket {
+        QueryTicket(self.next_ticket.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, ServiceStats> {
+        self.shared.stats.lock().expect("runtime stats poisoned")
+    }
+}
+
+impl Drop for ServiceRuntime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// One worker: pop a deadline-checked, schedule-compatible batch; dispatch it
+/// on the worker's own backend; deliver per-ticket results; repeat until the
+/// queue is closed and drained.
+fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size: usize) {
+    let mut batch: Vec<Scheduled<Pending>> = Vec::with_capacity(batch_size);
+    let mut expired: Vec<Scheduled<Pending>> = Vec::new();
+    let mut queries: Vec<BinaryVector> = Vec::with_capacity(batch_size);
+    loop {
+        let open = shared
+            .queue
+            .pop_batch(batch_size, &mut batch, &mut expired, |a, b| {
+                a.options.result_key() == b.options.result_key()
+            });
+
+        // Expired entries fail without dispatch — the fabric never sees them.
+        if !expired.is_empty() {
+            shared
+                .stats
+                .lock()
+                .expect("runtime stats poisoned")
+                .deadline_expired += expired.len() as u64;
+            for entry in expired.drain(..) {
+                let _ = entry.payload.tx.send(Err(FailedQuery {
+                    ticket: entry.ticket,
+                    query: entry.payload.query,
+                    error: SearchError::DeadlineExceeded,
+                }));
+            }
+        }
+
+        if batch.is_empty() {
+            if !open {
+                return;
+            }
+            continue;
+        }
+
+        // All entries in the batch share one ResultKey by construction.
+        let options = batch[0].payload.options;
+        queries.clear();
+        queries.extend(batch.iter().map(|e| e.payload.query.clone()));
+        let dispatched = dispatch::execute_batch(backend.as_ref(), &queries, &options);
+        {
+            let mut stats = shared.stats.lock().expect("runtime stats poisoned");
+            dispatch::record_dispatch(&mut stats, &dispatched, batch.len(), batch_size);
+        }
+
+        match dispatched.outcome {
+            Ok(result) => {
+                {
+                    // The dispatch vec provides the cache keys, so each query
+                    // is cloned exactly once per dispatch (the entry's own
+                    // copy travels back in the Completed).
+                    let mut cache = shared.cache.lock().expect("runtime cache poisoned");
+                    for (query, neighbors) in queries.drain(..).zip(&result.results) {
+                        cache.insert(query, &options, neighbors.clone());
+                    }
+                }
+                shared
+                    .stats
+                    .lock()
+                    .expect("runtime stats poisoned")
+                    .queries_served += batch.len() as u64;
+                for (entry, neighbors) in batch.drain(..).zip(result.results) {
+                    let _ = entry.payload.tx.send(Ok(Completed {
+                        ticket: entry.ticket,
+                        query: entry.payload.query,
+                        neighbors,
+                    }));
+                }
+            }
+            Err(error) => {
+                // Fail the batch's tickets individually and move on: the next
+                // batch is independent, so one poison batch delays nothing.
+                for entry in batch.drain(..) {
+                    let _ = entry.payload.tx.send(Err(FailedQuery {
+                        ticket: entry.ticket,
+                        query: entry.payload.query,
+                        error: error.clone(),
+                    }));
+                }
+            }
+        }
+
+        if !open && shared.queue.len() == 0 {
+            // Closed and drained: one final pop_batch would also return false,
+            // but exiting here saves a wakeup.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ApEngineBackend;
+    use ap_knn::{ApKnnEngine, ExecutionMode, KnnDesign};
+    use baselines::{LinearScan, SearchIndex};
+    use binvec::generate::{uniform_dataset, uniform_queries};
+    use binvec::Deadline;
+
+    fn linear_runtime(n: usize, dims: usize, config: RuntimeConfig) -> ServiceRuntime {
+        let data = uniform_dataset(n, dims, 31);
+        ServiceRuntime::try_new(config, move |_| {
+            Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn results_match_direct_search_and_tickets_resolve() {
+        let dims = 16;
+        let data = uniform_dataset(60, dims, 31);
+        let direct = LinearScan::new(data.clone());
+        let config = RuntimeConfig::default()
+            .with_workers(2)
+            .with_batch_size(3)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(4));
+        let runtime = ServiceRuntime::try_new(config, move |_| {
+            Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>)
+        })
+        .unwrap();
+        assert_eq!(runtime.worker_count(), 2);
+
+        let queries = uniform_queries(20, dims, 32);
+        let handles: Vec<TicketHandle> = queries
+            .iter()
+            .map(|q| runtime.try_submit(q.clone()).unwrap())
+            .collect();
+        for (handle, query) in handles.into_iter().zip(&queries) {
+            let completed = handle.wait().expect("runtime dispatch");
+            assert_eq!(&completed.query, query);
+            assert_eq!(completed.neighbors, direct.search(query, 4));
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.queries_submitted, 20);
+        assert_eq!(stats.queries_served, 20);
+        assert_eq!(stats.failed_queries + stats.deadline_expired, 0);
+    }
+
+    #[test]
+    fn ap_prepared_backend_serves_through_the_runtime() {
+        let dims = 16;
+        let data = uniform_dataset(48, dims, 41);
+        let direct = LinearScan::new(data.clone());
+        let config = RuntimeConfig::default()
+            .with_workers(2)
+            .with_batch_size(4)
+            .with_options(QueryOptions::top(5));
+        // The worker-owned form: each worker prepares its own board images.
+        let runtime = ServiceRuntime::try_new(config, move |_| {
+            let engine =
+                ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::CycleAccurate);
+            Ok(Box::new(ApEngineBackend::try_new(engine, data.clone())?)
+                as Box<dyn SimilarityBackend>)
+        })
+        .unwrap();
+        let queries = uniform_queries(9, dims, 42);
+        let handles: Vec<TicketHandle> = queries
+            .iter()
+            .map(|q| runtime.try_submit(q.clone()).unwrap())
+            .collect();
+        for (handle, query) in handles.into_iter().zip(&queries) {
+            assert_eq!(handle.wait().unwrap().neighbors, direct.search(query, 5));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_at_admission_without_dispatch() {
+        let runtime = linear_runtime(
+            20,
+            16,
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0),
+        );
+        let query = uniform_queries(1, 16, 33).pop().unwrap();
+        let handle = runtime
+            .try_submit_with(
+                query,
+                &QueryOptions::top(3).by(Deadline::at(Instant::now() - Duration::from_millis(1))),
+            )
+            .unwrap();
+        let failed = handle.wait().unwrap_err();
+        assert_eq!(failed.error, SearchError::DeadlineExceeded);
+        let stats = runtime.shutdown();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.batches_dispatched, 0, "never dispatched");
+        assert_eq!(
+            stats.queries_submitted,
+            stats.queries_served + stats.failed_queries + stats.deadline_expired
+        );
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected_before_a_ticket_is_minted() {
+        let runtime = linear_runtime(10, 16, RuntimeConfig::default().with_workers(1));
+        assert_eq!(
+            runtime.try_submit(BinaryVector::zeros(8)).unwrap_err(),
+            SearchError::DimMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
+        assert_eq!(
+            runtime.try_submit(BinaryVector::zeros(0)).unwrap_err(),
+            SearchError::ZeroDims
+        );
+        assert_eq!(runtime.stats().queries_submitted, 0);
+    }
+
+    #[test]
+    fn cache_hits_resolve_instantly_and_respect_the_options_key() {
+        let dims = 16;
+        let data = uniform_dataset(30, dims, 35);
+        let direct = LinearScan::new(data.clone());
+        let config = RuntimeConfig::default()
+            .with_workers(1)
+            .with_batch_size(1)
+            .with_cache_capacity(64)
+            .with_options(QueryOptions::top(5));
+        let runtime = ServiceRuntime::try_new(config, move |_| {
+            Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>)
+        })
+        .unwrap();
+        let query = uniform_queries(1, dims, 36).pop().unwrap();
+        let first = runtime.try_submit(query.clone()).unwrap().wait().unwrap();
+        // Same options: a hit. Different bound: a miss that dispatches anew
+        // (the cache-key regression — bound is part of the key).
+        let hit = runtime.try_submit(query.clone()).unwrap().wait().unwrap();
+        assert_eq!(first.neighbors, hit.neighbors);
+        let bounded = runtime
+            .try_submit_with(query.clone(), &QueryOptions::top(5).within(3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected: Vec<_> = direct
+            .search(&query, 5)
+            .into_iter()
+            .filter(|n| n.distance < 3)
+            .collect();
+        assert_eq!(bounded.neighbors, expected);
+        let stats = runtime.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.batches_dispatched, 2);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let dims = 16;
+        let runtime = linear_runtime(
+            40,
+            dims,
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_batch_size(4)
+                .with_cache_capacity(0),
+        );
+        let queries = uniform_queries(11, dims, 37);
+        let handles: Vec<TicketHandle> = queries
+            .iter()
+            .map(|q| runtime.try_submit(q.clone()).unwrap())
+            .collect();
+        let stats = runtime.shutdown();
+        for handle in handles {
+            assert!(handle.wait().is_ok(), "drained ticket must resolve Ok");
+        }
+        assert_eq!(stats.queries_served, 11);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        assert!(matches!(
+            RuntimeConfig::default().with_workers(0).build(),
+            Err(SearchError::InvalidConfig {
+                field: "workers",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RuntimeConfig::default().with_queue_capacity(0).build(),
+            Err(SearchError::InvalidConfig {
+                field: "queue_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RuntimeConfig::default().with_batch_size(0).build(),
+            Err(SearchError::InvalidConfig {
+                field: "batch_size",
+                ..
+            })
+        ));
+        assert_eq!(
+            RuntimeConfig::default()
+                .with_options(QueryOptions::top(0))
+                .build()
+                .unwrap_err(),
+            SearchError::ZeroK
+        );
+        assert!(RuntimeConfig::default().build().is_ok());
+    }
+
+    #[test]
+    fn shared_backend_form_serves_all_workers_from_one_arc() {
+        let dims = 16;
+        let data = uniform_dataset(30, dims, 39);
+        let direct = LinearScan::new(data.clone());
+        let backend: Arc<dyn SimilarityBackend> = Arc::new(LinearScan::new(data));
+        let runtime = ServiceRuntime::try_shared(
+            RuntimeConfig::default()
+                .with_workers(3)
+                .with_batch_size(2)
+                .with_cache_capacity(0)
+                .with_options(QueryOptions::top(3)),
+            backend,
+        )
+        .unwrap();
+        let queries = uniform_queries(10, dims, 40);
+        let handles: Vec<TicketHandle> = queries
+            .iter()
+            .map(|q| runtime.try_submit(q.clone()).unwrap())
+            .collect();
+        for (handle, query) in handles.into_iter().zip(&queries) {
+            assert_eq!(handle.wait().unwrap().neighbors, direct.search(query, 3));
+        }
+    }
+}

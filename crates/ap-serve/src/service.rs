@@ -3,6 +3,7 @@
 
 use crate::backend::SimilarityBackend;
 use crate::cache::{ResultCache, MAX_CACHE_CAPACITY};
+use crate::dispatch;
 use crate::queue::{AdmissionQueue, PendingQuery, QueryTicket};
 use crate::stats::ServiceStats;
 use ap_knn::multiplex::MAX_SLICES;
@@ -119,12 +120,18 @@ pub struct FailedQuery {
     pub error: SearchError,
 }
 
-/// A synchronous query-serving layer over any [`SimilarityBackend`].
+/// A synchronous query-serving layer over any [`SimilarityBackend`] — the
+/// single-caller, single-worker sibling of [`crate::ServiceRuntime`]. Both
+/// front ends share one batch-execution core (timing, arity checking, and
+/// statistics accounting), so they cannot drift apart; this one trades
+/// concurrency for determinism, which the tests and examples rely on.
 ///
 /// `submit` accepts one query at a time; the service answers from the LRU
 /// cache when it can and otherwise coalesces queries into engine-sized batches
 /// (dispatching whenever a batch fills). `drain` flushes the remaining partial
-/// batch and returns everything completed so far in submission order.
+/// batch and returns everything completed so far in submission order. For
+/// concurrent callers, deadline/priority scheduling, backpressure, and
+/// per-ticket completion channels, use [`crate::ServiceRuntime`].
 ///
 /// # Failure model
 ///
@@ -235,7 +242,7 @@ impl SearchService {
         }
         self.stats.queries_submitted += 1;
 
-        if let Some(neighbors) = self.cache.get(&query, self.config.options.k) {
+        if let Some(neighbors) = self.cache.get(&query, &self.config.options) {
             let ticket = self.queue.mint_ticket();
             self.stats.queries_served += 1;
             self.completed.push(Completed {
@@ -305,6 +312,7 @@ impl SearchService {
     pub fn stats(&self) -> ServiceStats {
         let mut stats = self.stats.clone();
         stats.batch_size = self.config.batch_size;
+        stats.workers = 1;
         stats.cache_hits = self.cache.hits();
         stats.cache_misses = self.cache.misses();
         stats.uptime = self.started.elapsed();
@@ -313,40 +321,23 @@ impl SearchService {
 
     fn dispatch(&mut self, batch: Vec<PendingQuery>) {
         let queries: Vec<BinaryVector> = batch.iter().map(|p| p.query.clone()).collect();
-        let dispatch_start = Instant::now();
-        // The fallible entry point: a backend execution failure (invalid
-        // partition network, capacity overflow) surfaces as a typed error
-        // instead of aborting mid-batch. The service's configured options —
-        // k, distance bound, execution preference — travel with every batch.
-        let result = self.backend.try_serve_batch(&queries, &self.config.options);
-        let elapsed = dispatch_start.elapsed();
-        // The default try_serve_batch guarantees the arity, but a custom
-        // override might not — and the zip below would then silently drop
-        // completions.
-        let result = result.and_then(|result| {
-            if result.results.len() == batch.len() {
-                Ok(result)
-            } else {
-                Err(SearchError::Backend {
-                    backend: self.backend.name(),
-                    reason: format!(
-                        "returned {} results for {} queries",
-                        result.results.len(),
-                        batch.len()
-                    ),
-                })
-            }
-        });
-        let result = match result {
+        // The shared batch-execution core: timed fallible dispatch with the
+        // full configured options, arity checking, and stats accounting —
+        // identical to what every `ServiceRuntime` worker runs.
+        let dispatched =
+            dispatch::execute_batch(self.backend.as_ref(), &queries, &self.config.options);
+        dispatch::record_dispatch(
+            &mut self.stats,
+            &dispatched,
+            batch.len(),
+            self.config.batch_size,
+        );
+        let result = match dispatched.outcome {
             Ok(result) => result,
             Err(error) => {
                 // Fail the batch's tickets with a per-ticket error and move on:
                 // re-queueing would retry the same failure forever and block
-                // every query submitted after it. Failed dispatch time is
-                // tracked separately so the backend-qps figure stays honest.
-                self.stats.failed_time += elapsed;
-                self.stats.failed_batches += 1;
-                self.stats.failed_queries += batch.len() as u64;
+                // every query submitted after it.
                 for pending in batch {
                     self.failed.push(FailedQuery {
                         ticket: pending.ticket,
@@ -358,26 +349,11 @@ impl SearchService {
             }
         };
 
-        self.stats.busy_time += elapsed;
-        self.stats.batches_dispatched += 1;
-        self.stats.batched_queries += batch.len() as u64;
-        if batch.len() == self.config.batch_size {
-            self.stats.full_batches += 1;
-        }
-        self.stats.ap_symbol_cycles += result.ap_symbol_cycles;
-        self.stats.reconfigurations += result.reconfigurations;
-        if self.stats.shard_cycles.len() < result.shard_cycles.len() {
-            self.stats.shard_cycles.resize(result.shard_cycles.len(), 0);
-        }
-        for (total, &cycles) in self.stats.shard_cycles.iter_mut().zip(&result.shard_cycles) {
-            *total += cycles;
-        }
-
         // The `queries` vec built for the dispatch provides the cache keys, so
         // each query is cloned exactly once per dispatch.
         for ((pending, neighbors), query) in batch.into_iter().zip(result.results).zip(queries) {
             self.cache
-                .insert(query, self.config.options.k, neighbors.clone());
+                .insert(query, &self.config.options, neighbors.clone());
             self.stats.queries_served += 1;
             self.completed.push(Completed {
                 ticket: pending.ticket,

@@ -3,13 +3,20 @@
 
 use std::time::Duration;
 
-/// Cumulative statistics for one [`crate::SearchService`].
+/// Cumulative statistics for one [`crate::SearchService`] or
+/// [`crate::ServiceRuntime`].
+///
+/// Conservation invariant: every admitted query (one minted ticket) resolves
+/// exactly once, so after all tickets complete
+/// `queries_submitted == queries_served + failed_queries + deadline_expired`.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceStats {
     /// The service's configured batch size (recorded into the snapshot so the
     /// fill ratio can't be computed against the wrong denominator).
     pub batch_size: usize,
-    /// Queries accepted by `submit`.
+    /// Worker threads serving dispatches (1 for the synchronous service).
+    pub workers: usize,
+    /// Queries accepted by `submit` (a ticket was minted).
     pub queries_submitted: u64,
     /// Queries whose results have been produced (served from the engine or the
     /// cache).
@@ -29,6 +36,12 @@ pub struct ServiceStats {
     pub failed_batches: u64,
     /// Queries carried by failed batches.
     pub failed_queries: u64,
+    /// Queries failed with [`binvec::SearchError::DeadlineExceeded`] — at
+    /// admission or at scheduling — without ever being dispatched.
+    pub deadline_expired: u64,
+    /// Submissions rejected with [`binvec::SearchError::QueueFull`] before a
+    /// ticket was minted (not part of [`Self::queries_submitted`]).
+    pub queue_full_rejections: u64,
     /// AP symbol cycles charged across all dispatched batches (critical-path
     /// cycles for sharded backends).
     pub ap_symbol_cycles: u64,
@@ -126,10 +139,18 @@ impl ServiceStats {
                 self.failed_batches, self.failed_queries
             )
         };
+        let shedding = if self.deadline_expired == 0 && self.queue_full_rejections == 0 {
+            String::new()
+        } else {
+            format!(
+                " | shed {} expired, {} queue-full",
+                self.deadline_expired, self.queue_full_rejections
+            )
+        };
         format!(
             "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
              {} AP cycles, {} reconfigs | shard load [{utilization}] | \
-             {:.0} q/s wall, {:.0} q/s busy{failures}",
+             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}",
             self.queries_served,
             self.queries_submitted,
             self.batches_dispatched,

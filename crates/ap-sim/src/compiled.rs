@@ -44,6 +44,12 @@ const NO_REPORT: u64 = u64::MAX;
 /// Sentinel for "element has no slot of this kind".
 const NO_SLOT: u32 = u32::MAX;
 
+/// Minimum candidates before a symbol's start-STE set is stored as a dense
+/// bitset. Below this (or when candidates are sparser than one per frontier
+/// word) the CSR list wins: the dense path has to scan every frontier word,
+/// the list only its members.
+const DENSE_SYMBOL_MIN: usize = 8;
+
 #[inline]
 fn bit_is_set(bits: &[u64], index: usize) -> bool {
     (bits[index >> 6] >> (index & 63)) & 1 == 1
@@ -66,8 +72,17 @@ pub struct CompiledNetwork {
     counter_slot_of: Vec<u32>,
     /// CSR offsets into [`Self::sym_candidates`], one per symbol value (257 entries).
     sym_off: Vec<u32>,
-    /// `AllInput` STE element indices, grouped by matching symbol.
+    /// `AllInput` STE element indices, grouped by matching symbol (sparse
+    /// symbols only; dense symbols use [`Self::sym_dense`] instead).
     sym_candidates: Vec<u32>,
+    /// Word offset into [`Self::sym_dense`] for symbols whose candidate set is
+    /// dense, or [`NO_SLOT`] for symbols served from the CSR list.
+    sym_dense_off: Vec<u32>,
+    /// Concatenated frontier-sized (`words`-word) candidate bitsets for dense
+    /// symbols, ORed into the frontier word-by-word instead of per element.
+    sym_dense: Vec<u64>,
+    /// Frontier bitset length in `u64` words.
+    words: usize,
     /// `StartOfData` STE element indices (symbol mask checked on cycle 0).
     start_of_data: Vec<u32>,
     /// CSR offsets into [`Self::succ`], one per element (`n + 1` entries).
@@ -222,9 +237,15 @@ impl CompiledNetwork {
                     masks[idx] = symbols.to_words();
                     match start {
                         StartKind::AllInput => {
-                            for s in 0..=255u8 {
-                                if symbols.matches(s) {
-                                    per_symbol[s as usize].push(idx as u32);
+                            // Word-level fill: walk the set bits of the 256-bit
+                            // symbol mask with trailing_zeros instead of probing
+                            // all 256 symbol values one by one.
+                            for (wi, &word) in masks[idx].iter().enumerate() {
+                                let mut bits = word;
+                                while bits != 0 {
+                                    let s = (wi << 6) | bits.trailing_zeros() as usize;
+                                    per_symbol[s].push(idx as u32);
+                                    bits &= bits - 1;
                                 }
                             }
                         }
@@ -257,12 +278,26 @@ impl CompiledNetwork {
             }
         }
 
-        // 256-entry symbol index, CSR-flattened.
+        // 256-entry symbol index. Symbols with many always-eligible start STEs
+        // are lowered to a frontier-sized bitset (activated with word-level
+        // `u64` mask ops); sparse symbols stay CSR lists.
+        let words = n.div_ceil(64).max(1);
         let mut sym_off = Vec::with_capacity(257);
         sym_off.push(0u32);
         let mut sym_candidates = Vec::new();
-        for bucket in &per_symbol {
-            sym_candidates.extend_from_slice(bucket);
+        let mut sym_dense_off = vec![NO_SLOT; 256];
+        let mut sym_dense = Vec::new();
+        for (s, bucket) in per_symbol.iter().enumerate() {
+            if bucket.len() >= DENSE_SYMBOL_MIN && bucket.len() >= words {
+                let base = sym_dense.len();
+                sym_dense_off[s] = base as u32;
+                sym_dense.resize(base + words, 0u64);
+                for &e in bucket {
+                    sym_dense[base + (e as usize >> 6)] |= 1u64 << (e & 63);
+                }
+            } else {
+                sym_candidates.extend_from_slice(bucket);
+            }
             sym_off.push(sym_candidates.len() as u32);
         }
 
@@ -299,6 +334,9 @@ impl CompiledNetwork {
             counter_slot_of,
             sym_off,
             sym_candidates,
+            sym_dense_off,
+            sym_dense,
+            words,
             start_of_data,
             succ_off,
             succ,
@@ -332,6 +370,33 @@ impl CompiledNetwork {
     /// Creates a fresh execution state for this network.
     pub fn new_state(&self) -> CompiledState {
         CompiledState::new(self.n, self.cnt_elem.len())
+    }
+
+    /// Adapts `st` — possibly created by, or last used with, a *different*
+    /// compiled network — to this network's geometry and clears it, reusing
+    /// the existing allocations wherever they are large enough.
+    ///
+    /// This is the pooled-serving entry point: a worker keeps one
+    /// [`CompiledState`] and recycles it across every board image it drives,
+    /// batch after batch, so steady-state execution allocates no run state.
+    pub fn recycle_state(&self, st: &mut CompiledState) {
+        st.reset();
+        let words = self.n.div_ceil(64).max(1);
+        st.prev_bits.clear();
+        st.prev_bits.resize(words, 0);
+        st.cur_bits.clear();
+        st.cur_bits.resize(words, 0);
+        let counters = self.cnt_elem.len();
+        st.counts.clear();
+        st.counts.resize(counters, 0);
+        st.fired.clear();
+        st.fired.resize(counters, false);
+        st.latched.clear();
+        st.latched.resize(counters, false);
+        st.enables.clear();
+        st.enables.resize(counters, 0);
+        st.resets.clear();
+        st.resets.resize(counters, false);
     }
 
     /// Internal count of the counter at `element`, if that element is a counter.
@@ -370,9 +435,29 @@ impl CompiledNetwork {
             }};
         }
 
-        // Phase 1a: always-eligible start STEs via the symbol index.
-        for &e in &self.sym_candidates[self.sym_off[sym] as usize..self.sym_off[sym + 1] as usize] {
-            activate!(e);
+        // Phase 1a: always-eligible start STEs via the symbol index. Dense
+        // symbols OR their candidate bitset into the frontier word-by-word —
+        // one `u64` mask op covers 64 elements, and only words that actually
+        // gain bits are walked (trailing_zeros) to maintain the active list.
+        let dense = self.sym_dense_off[sym];
+        if dense != NO_SLOT {
+            let base = dense as usize;
+            for w in 0..self.words {
+                let mut new = self.sym_dense[base + w] & !st.cur_bits[w];
+                if new != 0 {
+                    st.cur_bits[w] |= new;
+                    while new != 0 {
+                        st.cur_list.push(((w << 6) as u32) | new.trailing_zeros());
+                        new &= new - 1;
+                    }
+                }
+            }
+        } else {
+            for &e in
+                &self.sym_candidates[self.sym_off[sym] as usize..self.sym_off[sym + 1] as usize]
+            {
+                activate!(e);
+            }
         }
         // Phase 1b: start-of-data STEs are eligible only on the first symbol.
         if st.cycle == 0 {
@@ -619,6 +704,84 @@ mod tests {
         state.reset();
         assert_eq!(state.cycle(), 0);
         assert!(!state.is_active(0));
+    }
+
+    #[test]
+    fn dense_symbol_buckets_use_word_level_activation() {
+        // 12 always-eligible STEs matching 'a' put symbol 'a' over the dense
+        // threshold for a 1-word frontier; 'z' has one candidate and stays CSR.
+        let mut net = AutomataNetwork::new();
+        for i in 0..12 {
+            net.add_ste(
+                format!("a{i}"),
+                SymbolClass::single(b'a'),
+                StartKind::AllInput,
+                Some(i as u32),
+            );
+        }
+        net.add_ste(
+            "z",
+            SymbolClass::single(b'z'),
+            StartKind::AllInput,
+            Some(99),
+        );
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        assert_ne!(compiled.sym_dense_off[b'a' as usize], NO_SLOT);
+        assert_eq!(compiled.sym_dense_off[b'z' as usize], NO_SLOT);
+
+        let mut state = compiled.new_state();
+        let mut sink = Vec::new();
+        compiled.run_into(&mut state, b"az", &mut sink);
+        let codes: Vec<u32> = sink.iter().map(|r| r.code).collect();
+        // Cycle 0: all twelve 'a' STEs report in element order; cycle 1: 'z'.
+        assert_eq!(codes, (0..12).chain([99]).collect::<Vec<u32>>());
+        assert_eq!(sink[12].offset, 1);
+    }
+
+    #[test]
+    fn recycle_state_adapts_across_network_geometries() {
+        let mut small = AutomataNetwork::new();
+        small.add_ste("s", SymbolClass::single(b's'), StartKind::AllInput, Some(1));
+        let small = CompiledNetwork::compile(&small).unwrap();
+
+        let mut big = AutomataNetwork::new();
+        let drv = big.add_ste("d", SymbolClass::any(), StartKind::AllInput, None);
+        let cnt = big.add_counter("c", 3, CounterMode::Pulse, Some(7));
+        big.connect_port(drv, cnt, ConnectPort::CountEnable)
+            .unwrap();
+        for i in 0..80 {
+            big.add_ste(
+                format!("p{i}"),
+                SymbolClass::single(b'p'),
+                StartKind::AllInput,
+                None,
+            );
+        }
+        let big = CompiledNetwork::compile(&big).unwrap();
+
+        // Dirty a state on the big network, recycle it for the small one, and
+        // check it behaves exactly like a freshly created state — both ways.
+        let mut pooled = big.new_state();
+        let mut sink = Vec::new();
+        big.run_into(&mut pooled, b"ppppp", &mut sink);
+        small.recycle_state(&mut pooled);
+        let mut fresh = small.new_state();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        small.run_into(&mut pooled, b"ss", &mut a);
+        small.run_into(&mut fresh, b"ss", &mut b);
+        assert_eq!(a, b);
+        assert_eq!(pooled.cycle(), fresh.cycle());
+
+        big.recycle_state(&mut pooled);
+        let mut fresh = big.new_state();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        big.run_into(&mut pooled, b"dddd", &mut a);
+        big.run_into(&mut fresh, b"dddd", &mut b);
+        assert_eq!(a, b);
+        assert_eq!(
+            big.counter_count(&pooled, cnt.index()),
+            big.counter_count(&fresh, cnt.index())
+        );
     }
 
     #[test]

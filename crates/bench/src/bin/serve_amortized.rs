@@ -17,10 +17,9 @@
 
 use ap_knn::capacity::CapacityModel;
 use ap_knn::{ApKnnEngine, BoardCapacity, KnnDesign};
-use bench::{maybe_emit_json, ExperimentRecord};
+use bench::{maybe_emit_json, merge_records_into_file, ExperimentRecord};
 use binvec::generate::{uniform_dataset, uniform_queries};
 use binvec::{BinaryVector, QueryOptions};
-use std::io::Write;
 use std::time::Instant;
 
 /// One benchmark shape: corpus geometry, board capacity, and dispatch size.
@@ -176,12 +175,9 @@ fn main() {
         }
     }
 
-    let mut file = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
-    let body: Vec<String> = records
-        .iter()
-        .map(|r| format!("  {}", r.to_json()))
-        .collect();
-    writeln!(file, "[\n{}\n]", body.join(",\n")).expect("write BENCH_serve.json");
+    // Merge rather than overwrite: serve_concurrent maintains its own section
+    // of the same file.
+    merge_records_into_file("BENCH_serve.json", &records).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json ({} records)", records.len());
     maybe_emit_json(&records);
 }

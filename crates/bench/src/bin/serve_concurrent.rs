@@ -1,0 +1,221 @@
+//! Concurrent serving: latency percentiles and throughput vs worker count.
+//!
+//! M closed-loop producer threads submit bursts against a [`ServiceRuntime`]
+//! whose workers each own a pre-compiled [`ap_serve::ApEngineBackend`]
+//! (cycle-accurate prepared engine, pooled scratch). Per-query latency is
+//! measured submit→completion through the ticket's own channel; the runtime
+//! is rebuilt per worker count so each point of the scaling curve starts from
+//! the same cold queue.
+//!
+//! Emits per-worker-count `throughput_qps` / `p50_ms` / `p95_ms` / `p99_ms`
+//! records into the `serve_concurrent` section of `BENCH_serve.json`
+//! (preserving `serve_amortized`'s section). Pass `--quick` for the CI smoke
+//! configuration — the multi-core CI runner is where the scaling curve is
+//! actually visible; the 1-core dev container records a flat one.
+
+use ap_knn::capacity::CapacityModel;
+use ap_knn::{ApKnnEngine, BoardCapacity, ExecutionMode, KnnDesign};
+use ap_serve::{ApEngineBackend, RuntimeConfig, ServiceRuntime, SimilarityBackend, TicketHandle};
+use baselines::{LinearScan, SearchIndex};
+use bench::{maybe_emit_json, merge_records_into_file, ExperimentRecord};
+use binvec::generate::{uniform_dataset, uniform_queries};
+use binvec::QueryOptions;
+use std::time::{Duration, Instant};
+
+struct Load {
+    vectors: usize,
+    dims: usize,
+    vectors_per_board: usize,
+    producers: usize,
+    queries_per_producer: usize,
+    burst: usize,
+}
+
+fn load(quick: bool) -> Load {
+    if quick {
+        Load {
+            vectors: 96,
+            dims: 32,
+            vectors_per_board: 24,
+            producers: 4,
+            queries_per_producer: 30,
+            burst: 3,
+        }
+    } else {
+        Load {
+            vectors: 256,
+            dims: 32,
+            vectors_per_board: 64,
+            producers: 8,
+            queries_per_producer: 120,
+            burst: 4,
+        }
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let load = load(quick);
+    let data = uniform_dataset(load.vectors, load.dims, 47);
+    let queries = uniform_queries(load.producers * load.queries_per_producer, load.dims, 48);
+    let direct = LinearScan::new(data.clone());
+    let options = QueryOptions::top(10);
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut worker_counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        worker_counts.push(cores.min(8));
+    }
+    worker_counts.dedup();
+
+    println!(
+        "concurrent serving (cycle-accurate prepared engines), {} mode, {} cores, \
+         {} producers x {} queries (bursts of {})",
+        if quick { "quick" } else { "full" },
+        cores,
+        load.producers,
+        load.queries_per_producer,
+        load.burst,
+    );
+    println!(
+        "{:>8} {:>14} {:>10} {:>10} {:>10}",
+        "workers", "throughput", "p50_ms", "p95_ms", "p99_ms"
+    );
+
+    let mut records = Vec::new();
+    for &workers in &worker_counts {
+        let config = RuntimeConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(4096)
+            .with_cache_capacity(0)
+            .with_options(options);
+        let dims = load.dims;
+        let vectors_per_board = load.vectors_per_board;
+        let worker_data = data.clone();
+        // The worker-owned form: each worker prepares and pre-compiles its own
+        // board-image set, so the measured window is pure serving.
+        let runtime = ServiceRuntime::try_new(config, move |_| {
+            let engine = ApKnnEngine::new(KnnDesign::new(dims))
+                .with_mode(ExecutionMode::CycleAccurate)
+                .with_parallelism(1)
+                .with_capacity(BoardCapacity {
+                    vectors_per_board,
+                    model: CapacityModel::PaperCalibrated,
+                });
+            let backend = ApEngineBackend::try_new(engine, worker_data.clone())?;
+            backend.prepared().compile()?;
+            Ok(Box::new(backend) as Box<dyn SimilarityBackend>)
+        })
+        .expect("constructible runtime");
+
+        // Warm-up: prime every worker's scratch pool before the clock starts.
+        let warmup: Vec<TicketHandle> = queries
+            .iter()
+            .take(load.producers * load.burst)
+            .map(|q| runtime.try_submit(q.clone()).expect("warmup submit"))
+            .collect();
+        for handle in warmup {
+            handle.wait().expect("warmup query");
+        }
+
+        let started = Instant::now();
+        let latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..load.producers)
+                .map(|p| {
+                    let runtime = &runtime;
+                    let slice = &queries
+                        [p * load.queries_per_producer..(p + 1) * load.queries_per_producer];
+                    scope.spawn(move || {
+                        let mut latencies = Vec::with_capacity(slice.len());
+                        for burst in slice.chunks(load.burst) {
+                            let inflight: Vec<(Instant, TicketHandle)> = burst
+                                .iter()
+                                .map(|q| {
+                                    // Closed-loop with small bursts: QueueFull
+                                    // cannot trigger at this queue depth, but
+                                    // retry anyway so the bench never sheds.
+                                    let submitted = Instant::now();
+                                    loop {
+                                        match runtime.try_submit(q.clone()) {
+                                            Ok(handle) => break (submitted, handle),
+                                            Err(_) => std::thread::yield_now(),
+                                        }
+                                    }
+                                })
+                                .collect();
+                            for (submitted, handle) in inflight {
+                                handle.wait().expect("bench query");
+                                latencies.push(submitted.elapsed());
+                            }
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("producer thread"))
+                .collect()
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let runtime_stats = runtime.stats();
+
+        // Spot-check correctness (the integration tests enforce it in depth).
+        let sample = &queries[0];
+        let sampled = runtime
+            .try_submit(sample.clone())
+            .expect("sample submit")
+            .wait()
+            .expect("sample query");
+        assert_eq!(
+            sampled.neighbors,
+            direct.search(sample, options.k),
+            "runtime results must match the linear scan"
+        );
+        drop(runtime);
+
+        let mut sorted = latencies.clone();
+        sorted.sort_unstable();
+        let throughput = latencies.len() as f64 / wall;
+        let p50 = percentile(&sorted, 0.50);
+        let p95 = percentile(&sorted, 0.95);
+        let p99 = percentile(&sorted, 0.99);
+        println!(
+            "{:>8} {:>11.0} q/s {:>10.3} {:>10.3} {:>10.3}   (fill {:.2})",
+            workers,
+            throughput,
+            p50,
+            p95,
+            p99,
+            runtime_stats.batch_fill_ratio().unwrap_or(0.0),
+        );
+
+        let label = format!("workers={workers}");
+        for (metric, value) in [
+            ("throughput_qps", throughput),
+            ("p50_ms", p50),
+            ("p95_ms", p95),
+            ("p99_ms", p99),
+        ] {
+            records.push(ExperimentRecord::new(
+                "serve_concurrent",
+                label.clone(),
+                metric,
+                value,
+                None,
+            ));
+        }
+    }
+
+    merge_records_into_file("BENCH_serve.json", &records).expect("write BENCH_serve.json");
+    println!("merged {} records into BENCH_serve.json", records.len());
+    maybe_emit_json(&records);
+}

@@ -49,6 +49,6 @@ pub use bits::BinaryVector;
 pub use dataset::BinaryDataset;
 pub use distance::{hamming, inverted_hamming, jaccard_similarity};
 pub use itq::{ItqConfig, ItqQuantizer};
-pub use query::{ExecutionPreference, QueryOptions, SearchError};
+pub use query::{Deadline, ExecutionPreference, Priority, QueryOptions, ResultKey, SearchError};
 pub use topk::{Neighbor, TopK};
 pub use workload::{Workload, WorkloadParams};

@@ -9,6 +9,7 @@
 use crate::topk::Neighbor;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How the answering engine should execute, when the caller cares.
 ///
@@ -17,7 +18,7 @@ use std::fmt;
 /// behind sharded deployments. Engines that are inherently cycle-accurate
 /// (the multi-board scheduler, the Jaccard searcher) and host-only engines
 /// (the CPU baselines and approximate indexes) ignore it.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionPreference {
     /// Use whatever mode the engine was configured with (the default).
     #[default]
@@ -26,6 +27,79 @@ pub enum ExecutionPreference {
     CycleAccurate,
     /// Force the behavioural (analytical-accounting) path.
     Behavioral,
+}
+
+/// Scheduling priority of a query inside a concurrent serving runtime.
+///
+/// Higher-priority queries are dispatched first; within one priority class the
+/// scheduler orders by deadline (earliest first), then by submission order.
+/// The priority never changes *what* a query returns — only *when* it runs —
+/// so it is excluded from result caching keys ([`QueryOptions::result_key`]).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Scheduled after all `Normal` and `High` traffic.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Scheduled before all `Normal` and `Low` traffic.
+    High,
+}
+
+/// A wall-clock deadline for a submitted query.
+///
+/// A runtime with deadline-aware admission fails queries whose deadline has
+/// passed with [`SearchError::DeadlineExceeded`] *without dispatching them*,
+/// so a backlogged queue sheds work nobody is waiting for instead of burning
+/// fabric time on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Self(instant)
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self(Instant::now() + budget)
+    }
+
+    /// The absolute instant of the deadline.
+    pub fn instant(&self) -> Instant {
+        self.0
+    }
+
+    /// Whether the deadline has already passed.
+    pub fn is_expired(&self) -> bool {
+        Instant::now() >= self.0
+    }
+
+    /// Time left until the deadline (zero if it has passed).
+    pub fn remaining(&self) -> Duration {
+        self.0.saturating_duration_since(Instant::now())
+    }
+}
+
+/// The result-affecting slice of [`QueryOptions`]: everything that changes
+/// *what* a query returns, and nothing that merely changes *when* it runs.
+///
+/// Result caches key their entries by `(query, ResultKey)` — folding in the
+/// distance bound and execution preference, not just `k`, so a bounded query
+/// can never be answered from an entry computed under a different bound — and
+/// batch schedulers group only queries with equal keys into one dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Maximum neighbors returned per query.
+    pub k: usize,
+    /// Optional exclusive distance bound.
+    pub within: Option<u32>,
+    /// Execution preference (results are bit-identical across preferences,
+    /// but the key keeps the cache conservative and auditable).
+    pub execution: ExecutionPreference,
 }
 
 /// Per-query options carried by every uniform query entry point.
@@ -44,6 +118,17 @@ pub struct QueryOptions {
     pub within: Option<u32>,
     /// Execution preference forwarded to fabric-simulating engines.
     pub execution: ExecutionPreference,
+    /// Scheduling priority inside a concurrent serving runtime. Ignored by
+    /// direct (synchronous) query paths.
+    pub priority: Priority,
+    /// Optional completion deadline. A deadline-aware runtime fails the query
+    /// with [`SearchError::DeadlineExceeded`] instead of dispatching it once
+    /// the deadline passes. Ignored by direct (synchronous) query paths.
+    /// Skipped by serialization: a deadline is an in-process wall-clock
+    /// instant ([`std::time::Instant`] has no stable epoch), so a
+    /// deserialized `QueryOptions` carries no deadline.
+    #[serde(skip)]
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for QueryOptions {
@@ -52,6 +137,8 @@ impl Default for QueryOptions {
             k: 10,
             within: None,
             execution: ExecutionPreference::Auto,
+            priority: Priority::Normal,
+            deadline: None,
         }
     }
 }
@@ -75,6 +162,29 @@ impl QueryOptions {
     pub fn execution(mut self, execution: ExecutionPreference) -> Self {
         self.execution = execution;
         self
+    }
+
+    /// Sets the scheduling priority (runtime submission paths only).
+    pub fn prioritized(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the completion deadline (runtime submission paths only).
+    pub fn by(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The result-affecting fields, as one hashable/compareable key. The
+    /// scheduling fields (`priority`, `deadline`) are deliberately excluded:
+    /// they steer *when* a query runs, never *what* it returns.
+    pub fn result_key(&self) -> ResultKey {
+        ResultKey {
+            k: self.k,
+            within: self.within,
+            execution: self.execution,
+        }
     }
 
     /// Checks the options for internal consistency.
@@ -154,6 +264,15 @@ pub enum SearchError {
         /// The underlying failure.
         reason: String,
     },
+    /// The query's deadline passed before it could be dispatched; the query
+    /// was failed without touching the backend.
+    DeadlineExceeded,
+    /// The bounded admission queue is at capacity; the submission was rejected
+    /// instead of blocking the caller or growing the queue without bound.
+    QueueFull {
+        /// The queue's configured capacity (pending queries).
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -182,6 +301,12 @@ impl fmt::Display for SearchError {
             Self::Unsupported { what } => write!(f, "unsupported: {what}"),
             Self::Backend { backend, reason } => {
                 write!(f, "backend '{backend}' failed: {reason}")
+            }
+            Self::DeadlineExceeded => {
+                write!(f, "deadline passed before the query could be dispatched")
+            }
+            Self::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} pending queries)")
             }
         }
     }
@@ -248,6 +373,52 @@ mod tests {
     }
 
     #[test]
+    fn scheduling_fields_default_inert_and_stay_out_of_the_result_key() {
+        let opts = QueryOptions::default();
+        assert_eq!(opts.priority, Priority::Normal);
+        assert_eq!(opts.deadline, None);
+
+        let scheduled = QueryOptions::top(5)
+            .within(3)
+            .prioritized(Priority::High)
+            .by(Deadline::after(std::time::Duration::from_secs(60)));
+        assert_eq!(scheduled.priority, Priority::High);
+        assert!(scheduled.deadline.is_some());
+        assert!(!scheduled.deadline.unwrap().is_expired());
+        // The result key folds in k, bound, and execution — and nothing else.
+        assert_eq!(
+            scheduled.result_key(),
+            QueryOptions::top(5).within(3).result_key()
+        );
+        assert_ne!(
+            scheduled.result_key(),
+            QueryOptions::top(5).result_key(),
+            "a distance bound must change the result key"
+        );
+        assert_ne!(
+            QueryOptions::top(5).result_key(),
+            QueryOptions::top(6).result_key()
+        );
+    }
+
+    #[test]
+    fn priorities_order_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+    }
+
+    #[test]
+    fn deadlines_expire_and_report_remaining_time() {
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.is_expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+        let future = Deadline::after(Duration::from_secs(3600));
+        assert!(!future.is_expired());
+        assert!(future.remaining() > Duration::from_secs(3000));
+        assert!(past < future);
+    }
+
+    #[test]
     fn errors_render_their_context() {
         let e = SearchError::DimMismatch {
             expected: 64,
@@ -262,5 +433,11 @@ mod tests {
             reason: "must be at least 1".into(),
         };
         assert!(e.to_string().contains("batch_size"));
+        assert!(SearchError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(SearchError::QueueFull { capacity: 64 }
+            .to_string()
+            .contains("64"));
     }
 }

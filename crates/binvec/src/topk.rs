@@ -124,6 +124,29 @@ impl TopK {
         }
     }
 
+    /// Clears the selector and re-arms it for `k` neighbors, keeping the heap
+    /// allocation — the pooled serving hot path resets accumulators between
+    /// batches instead of re-allocating them.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.heap.clear();
+        // No-op once the heap has ever been sized for this k.
+        self.heap.reserve(k + 1);
+    }
+
+    /// Drains the retained neighbors, sorted by (distance, id) ascending, into
+    /// `out` (cleared first). Both the heap's and `out`'s allocations survive,
+    /// so repeated batches reuse them.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        out.clear();
+        out.extend(self.heap.drain());
+        out.sort_unstable();
+    }
+
     /// Consumes the selector and returns the retained neighbors sorted by
     /// (distance, id) ascending.
     pub fn into_sorted(self) -> Vec<Neighbor> {
@@ -257,6 +280,26 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn reset_and_drain_reuse_matches_fresh_selection() {
+        let candidates: Vec<Neighbor> = (0..40)
+            .map(|i| Neighbor::new(i, (i * 13 % 17) as u32))
+            .collect();
+        let mut pooled = TopK::new(3);
+        let mut out = Vec::new();
+        for k in [3usize, 5, 2, 5] {
+            pooled.reset(k);
+            assert_eq!(pooled.k(), k);
+            assert!(pooled.is_empty(), "reset must clear retained candidates");
+            for &c in &candidates {
+                pooled.offer(c);
+            }
+            pooled.drain_sorted_into(&mut out);
+            assert_eq!(out, select_k(k, candidates.iter().copied()), "k = {k}");
+            assert!(pooled.is_empty(), "drain must empty the selector");
+        }
     }
 }
 

@@ -9,14 +9,17 @@
 
 use proc_macro::TokenStream;
 
-/// Accepts `#[derive(Serialize)]` and expands to nothing.
-#[proc_macro_derive(Serialize)]
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` field/container
+/// attributes, e.g. the `#[serde(skip)]` on non-serializable fields like
+/// wall-clock deadlines) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing.
-#[proc_macro_derive(Deserialize)]
+/// Accepts `#[derive(Deserialize)]` and its `#[serde(...)]` attributes, and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

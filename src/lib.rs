@@ -64,7 +64,7 @@
 //!
 //! | Old entry point | New builder call |
 //! |---|---|
-//! | `ApKnnEngine::new(design).search_batch(&data, &queries, k)` | `SearchPipeline::over(data).build()?.query_batch(&queries, &QueryOptions::top(k))?` |
+//! | `ApKnnEngine::new(design).search_batch(&data, &queries, k)` (removed) | `SearchPipeline::over(data).build()?.query_batch(&queries, &QueryOptions::top(k))?` |
 //! | `ApKnnEngine` + `ExecutionMode::Behavioral` | `.backend(BackendSpec::behavioral())` |
 //! | `ParallelApScheduler::new(design).with_workers(n).search_batch(..)` | `.backend(BackendSpec::scheduler(n))` |
 //! | `JaccardSearcher::new(design).search_batch(..)` | `.metric(Metric::Jaccard)` (AP backend) |
@@ -74,8 +74,10 @@
 //! | `ResultCache::new(cap)` wired by hand | `.cached(cap)` |
 //! | `SearchService::new(backend, config)` (panicking) | `SearchService::try_new(backend, config.build()?)?` or `pipeline.into_service(config)?` |
 //!
-//! The legacy panicking methods remain as thin deprecated wrappers; every new
-//! call site reports typed [`binvec::SearchError`]s instead.
+//! The deprecated panicking `ApKnnEngine::search_batch` wrapper has been
+//! removed; every call site reports typed [`binvec::SearchError`]s instead.
+//! For concurrent serving (multiple caller threads, deadline/priority
+//! scheduling, backpressure), see [`ap_serve::ServiceRuntime`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -95,8 +97,9 @@ pub mod prelude {
     };
     pub use ap_serve::{
         ApEngineBackend, ApSchedulerBackend, BackendRegistry, BackendSpec, BaselineKind,
-        FailedQuery, IndexKind, Metric, Provenance, Response, SearchPipeline, SearchService,
-        ServiceConfig, ServiceStats, ShardedBackend, ShardedDataset, SimilarityBackend,
+        FailedQuery, IndexKind, Metric, Provenance, Response, RuntimeConfig, SearchPipeline,
+        SearchService, ServiceConfig, ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset,
+        SimilarityBackend, TicketHandle,
     };
     pub use ap_sim::{
         ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator, TimingModel,
@@ -108,7 +111,7 @@ pub mod prelude {
     pub use binvec::{
         BinaryDataset, BinaryVector, ItqConfig, ItqQuantizer, Neighbor, TopK, Workload,
     };
-    pub use binvec::{ExecutionPreference, QueryOptions, SearchError};
+    pub use binvec::{Deadline, ExecutionPreference, Priority, QueryOptions, SearchError};
     pub use perf_model::{EnergyReport, KnnJob, Platform, RuntimeModel};
 }
 

@@ -38,10 +38,11 @@ fn every_backend_family_matches_its_legacy_entry_point() {
             .collect()
     };
 
-    // 1. The paper's AP engine (cycle-accurate), vs its legacy panicking call.
-    #[allow(deprecated)]
-    let (legacy_ap, _) = ApKnnEngine::new(design).search_batch(&data, &queries, k);
-    assert_eq!(run(BackendSpec::ap()), legacy_ap, "AP engine");
+    // 1. The paper's AP engine (cycle-accurate), vs the direct engine call.
+    let (direct_ap, _) = ApKnnEngine::new(design)
+        .try_search_batch(&data, &queries, &options)
+        .expect("well-formed direct engine run");
+    assert_eq!(run(BackendSpec::ap()), direct_ap, "AP engine");
 
     // 2. The multi-board scheduler.
     let (legacy_sched, _) = ParallelApScheduler::new(design)

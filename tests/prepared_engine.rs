@@ -134,6 +134,55 @@ fn empty_dataset_and_empty_batch_edge_cases() {
 }
 
 #[test]
+fn steady_state_batches_run_entirely_from_the_scratch_pool() {
+    // The pooling contract behind the zero-allocation hot path: after the
+    // warm-up batches have populated the scratch pool, later batches check
+    // scratch out and back in without ever creating a fresh one — and stay
+    // bit-identical to the unpooled (fresh-engine) path the whole time.
+    let dims = 16;
+    let data = binvec::generate::uniform_dataset(48, dims, 91);
+    for workers in [1usize, 3] {
+        let engine = ApKnnEngine::new(KnnDesign::new(dims))
+            .with_capacity(capacity(12))
+            .with_mode(ExecutionMode::CycleAccurate)
+            .with_parallelism(workers);
+        let prepared = engine.prepare(&data).unwrap();
+        let options = QueryOptions::top(5);
+
+        // Two warm-up batches: the first compiles the images and fills the
+        // pool, the second settles any capacity growth.
+        for round in 0..2u64 {
+            let queries = binvec::generate::uniform_queries(4, dims, 92 + round);
+            prepared.try_search_batch(&queries, &options).unwrap();
+        }
+        let warm = prepared.pool_stats();
+        assert!(warm.fresh > 0, "warm-up must have created scratch");
+
+        let mut results = Vec::new();
+        for round in 0..5u64 {
+            let queries = binvec::generate::uniform_queries(4, dims, 95 + round);
+            let stats = prepared
+                .try_search_batch_into(&queries, &options, &mut results)
+                .unwrap();
+            // Pooled answers must equal the unpooled fresh-engine run.
+            let (fresh_results, fresh_stats) =
+                engine.try_search_batch(&data, &queries, &options).unwrap();
+            assert_eq!(results, fresh_results, "workers {workers}, round {round}");
+            assert_eq!(stats, fresh_stats, "workers {workers}, round {round}");
+        }
+        let steady = prepared.pool_stats();
+        assert_eq!(
+            steady.fresh, warm.fresh,
+            "steady state must create no fresh scratch (workers {workers})"
+        );
+        assert!(
+            steady.checkouts > warm.checkouts,
+            "steady-state batches still check scratch out of the pool"
+        );
+    }
+}
+
+#[test]
 fn serving_layer_reuses_one_prepared_engine_across_dispatches() {
     // The amortization contract end to end: a service over the cycle-accurate
     // AP backend answers many batches from one board-image set, and the

@@ -1,0 +1,555 @@
+//! Concurrent-load integration tests for the [`ServiceRuntime`]: producer
+//! fleets, poison queries in flight, deadline shedding, backpressure, and the
+//! scheduling order — plus the stats conservation invariant
+//! `submitted == served + failed + deadline_expired`.
+
+use ap_serve::{
+    BackendBatch, Deadline, Priority, QueryOptions, RuntimeConfig, SearchError, ServiceRuntime,
+    SimilarityBackend, TicketHandle,
+};
+use baselines::{LinearScan, SearchIndex};
+use binvec::generate::{uniform_dataset, uniform_queries};
+use binvec::BinaryVector;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Generous bound for any single ticket to resolve; the suite never sleeps
+/// this long unless something is genuinely wedged.
+const RESOLVE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A backend that fails any batch containing the poison query, exercising the
+/// dispatch-failure path under concurrent load.
+struct PoisonSensitive {
+    inner: LinearScan,
+    poison: BinaryVector,
+}
+
+impl SimilarityBackend for PoisonSensitive {
+    fn name(&self) -> String {
+        "poison-sensitive".to_string()
+    }
+    fn len(&self) -> usize {
+        SearchIndex::len(&self.inner)
+    }
+    fn dims(&self) -> usize {
+        SearchIndex::dims(&self.inner)
+    }
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        BackendBatch::host_only(SearchIndex::search_batch(&self.inner, queries, k))
+    }
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        if queries.contains(&self.poison) {
+            return Err(SearchError::Backend {
+                backend: self.name(),
+                reason: "poison query in batch".to_string(),
+            });
+        }
+        options.validate()?;
+        let mut batch = self.serve_batch(queries, options.k);
+        for neighbors in &mut batch.results {
+            options.clip(neighbors);
+        }
+        Ok(batch)
+    }
+}
+
+/// A manually opened gate: dispatches block until the test releases them, so
+/// queue contents at dispatch time are deterministic.
+struct Gate {
+    open: Mutex<bool>,
+    released: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            open: Mutex::new(false),
+            released: Condvar::new(),
+        })
+    }
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.released.notify_all();
+    }
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.released.wait(open).unwrap();
+        }
+    }
+}
+
+/// A gated backend that logs every dispatched batch's queries in order.
+struct GatedRecording {
+    inner: LinearScan,
+    gate: Arc<Gate>,
+    log: Arc<Mutex<Vec<Vec<BinaryVector>>>>,
+}
+
+impl SimilarityBackend for GatedRecording {
+    fn name(&self) -> String {
+        "gated-recording".to_string()
+    }
+    fn len(&self) -> usize {
+        SearchIndex::len(&self.inner)
+    }
+    fn dims(&self) -> usize {
+        SearchIndex::dims(&self.inner)
+    }
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        BackendBatch::host_only(SearchIndex::search_batch(&self.inner, queries, k))
+    }
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        self.log.lock().unwrap().push(queries.to_vec());
+        self.gate.wait();
+        options.validate()?;
+        let mut batch = self.serve_batch(queries, options.k);
+        for neighbors in &mut batch.results {
+            options.clip(neighbors);
+        }
+        Ok(batch)
+    }
+}
+
+fn resolve(handle: TicketHandle) -> Result<ap_serve::Completed, ap_serve::FailedQuery> {
+    handle
+        .wait_timeout(RESOLVE_TIMEOUT)
+        .expect("ticket must resolve within the timeout")
+}
+
+#[test]
+fn producer_fleet_with_poison_queries_in_flight_resolves_every_ticket_exactly_once() {
+    let dims = 16;
+    let producers = 6usize;
+    let per_producer = 40usize;
+    let data = uniform_dataset(80, dims, 61);
+    let direct = LinearScan::new(data.clone());
+    let poison = BinaryVector::ones(dims);
+
+    let backend_data = data.clone();
+    let backend_poison = poison.clone();
+    let runtime = ServiceRuntime::try_new(
+        RuntimeConfig::default()
+            .with_workers(3)
+            .with_batch_size(5)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(4)),
+        move |_| {
+            Ok(Box::new(PoisonSensitive {
+                inner: LinearScan::new(backend_data.clone()),
+                poison: backend_poison.clone(),
+            }) as Box<dyn SimilarityBackend>)
+        },
+    )
+    .unwrap();
+
+    // M producers submit concurrently; producer 0 keeps poison queries in
+    // flight the whole time (every 8th submission is poison).
+    let outcomes: Vec<(
+        BinaryVector,
+        Result<ap_serve::Completed, ap_serve::FailedQuery>,
+    )> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let runtime = &runtime;
+                let poison = &poison;
+                scope.spawn(move || {
+                    let queries = uniform_queries(per_producer, dims, 62 + p as u64);
+                    let mut outcomes = Vec::with_capacity(per_producer);
+                    for (i, q) in queries.into_iter().enumerate() {
+                        let q = if p == 0 && i % 8 == 0 {
+                            poison.clone()
+                        } else {
+                            q
+                        };
+                        let handle = runtime.try_submit(q.clone()).expect("well-formed query");
+                        outcomes.push((q, resolve(handle)));
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("producer thread"))
+            .collect()
+    });
+
+    // Every ticket resolved exactly once (resolve() enforces the timeout);
+    // successes match the oracle, failures are the backend's typed error.
+    let total = producers * per_producer;
+    assert_eq!(outcomes.len(), total);
+    let mut served = 0u64;
+    let mut failed = 0u64;
+    let mut tickets: Vec<u64> = Vec::with_capacity(total);
+    for (query, outcome) in outcomes {
+        match outcome {
+            Ok(completed) => {
+                served += 1;
+                tickets.push(completed.ticket.sequence());
+                assert_eq!(completed.query, query);
+                assert_eq!(completed.neighbors, direct.search(&query, 4));
+                assert_ne!(query, poison, "a poison query can never succeed");
+            }
+            Err(failure) => {
+                failed += 1;
+                tickets.push(failure.ticket.sequence());
+                assert!(
+                    matches!(failure.error, SearchError::Backend { .. }),
+                    "unexpected failure: {}",
+                    failure.error
+                );
+            }
+        }
+    }
+    assert!(
+        failed >= (per_producer / 8) as u64,
+        "every poison batch fails"
+    );
+    tickets.sort_unstable();
+    tickets.dedup();
+    assert_eq!(tickets.len(), total, "no ticket resolved twice");
+
+    // No livelock, and the counters account for every admitted query.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.queries_submitted, total as u64);
+    assert_eq!(stats.queries_served, served);
+    assert_eq!(stats.failed_queries, failed);
+    assert_eq!(stats.deadline_expired, 0);
+    assert_eq!(
+        stats.queries_submitted,
+        stats.queries_served + stats.failed_queries + stats.deadline_expired,
+        "conservation invariant"
+    );
+}
+
+#[test]
+fn full_queue_refuses_with_queue_full_instead_of_blocking() {
+    let dims = 16;
+    let data = uniform_dataset(30, dims, 63);
+    let gate = Gate::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let backend_gate = Arc::clone(&gate);
+    let backend_log = Arc::clone(&log);
+    let runtime = ServiceRuntime::try_new(
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_batch_size(1)
+            .with_queue_capacity(2)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(3)),
+        move |_| {
+            Ok(Box::new(GatedRecording {
+                inner: LinearScan::new(data.clone()),
+                gate: Arc::clone(&backend_gate),
+                log: Arc::clone(&backend_log),
+            }) as Box<dyn SimilarityBackend>)
+        },
+    )
+    .unwrap();
+
+    let queries = uniform_queries(4, dims, 64);
+    // The worker pops the first query and blocks inside the gated dispatch.
+    let blocker = runtime.try_submit(queries[0].clone()).unwrap();
+    let deadline = Instant::now() + RESOLVE_TIMEOUT;
+    while runtime.pending() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the blocker"
+        );
+        std::thread::yield_now();
+    }
+    // Capacity 2: two more are admitted, the third is refused — and the call
+    // returns immediately instead of blocking or growing the queue.
+    let q2 = runtime.try_submit(queries[1].clone()).unwrap();
+    let q3 = runtime.try_submit(queries[2].clone()).unwrap();
+    let before = Instant::now();
+    let refused = runtime.try_submit(queries[3].clone()).unwrap_err();
+    assert!(
+        before.elapsed() < Duration::from_secs(1),
+        "refusal must not block"
+    );
+    assert_eq!(refused, SearchError::QueueFull { capacity: 2 });
+    assert_eq!(runtime.pending(), 2, "the refused query was not enqueued");
+
+    gate.open();
+    for handle in [blocker, q2, q3] {
+        assert!(resolve(handle).is_ok());
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.queue_full_rejections, 1);
+    assert_eq!(
+        stats.queries_submitted, 3,
+        "no ticket for the refused query"
+    );
+    assert_eq!(
+        stats.queries_submitted,
+        stats.queries_served + stats.failed_queries + stats.deadline_expired
+    );
+}
+
+#[test]
+fn scheduler_orders_by_priority_then_deadline_then_fifo() {
+    let dims = 16;
+    let data = uniform_dataset(30, dims, 65);
+    let gate = Gate::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let backend_gate = Arc::clone(&gate);
+    let backend_log = Arc::clone(&log);
+    let runtime = ServiceRuntime::try_new(
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_batch_size(1)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(3)),
+        move |_| {
+            Ok(Box::new(GatedRecording {
+                inner: LinearScan::new(data.clone()),
+                gate: Arc::clone(&backend_gate),
+                log: Arc::clone(&backend_log),
+            }) as Box<dyn SimilarityBackend>)
+        },
+    )
+    .unwrap();
+
+    let queries = uniform_queries(5, dims, 66);
+    // Occupy the single worker, then build up a deterministic queue.
+    let blocker = runtime.try_submit(queries[0].clone()).unwrap();
+    let deadline = Instant::now() + RESOLVE_TIMEOUT;
+    while runtime.pending() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the blocker"
+        );
+        std::thread::yield_now();
+    }
+    let low = runtime
+        .try_submit_with(
+            queries[1].clone(),
+            &QueryOptions::top(3).prioritized(Priority::Low),
+        )
+        .unwrap();
+    let normal = runtime.try_submit(queries[2].clone()).unwrap();
+    let high = runtime
+        .try_submit_with(
+            queries[3].clone(),
+            &QueryOptions::top(3).prioritized(Priority::High),
+        )
+        .unwrap();
+    let dated = runtime
+        .try_submit_with(
+            queries[4].clone(),
+            &QueryOptions::top(3).by(Deadline::after(Duration::from_secs(600))),
+        )
+        .unwrap();
+
+    gate.open();
+    for handle in [blocker, low, normal, high, dated] {
+        assert!(resolve(handle).is_ok());
+    }
+    let dispatched: Vec<Vec<BinaryVector>> = log.lock().unwrap().clone();
+    let order: Vec<&BinaryVector> = dispatched.iter().map(|batch| &batch[0]).collect();
+    // Blocker first; then High, then Normal-with-deadline (a deadline beats no
+    // deadline inside a class), then Normal FIFO, then Low.
+    assert_eq!(
+        order,
+        vec![
+            &queries[0],
+            &queries[3],
+            &queries[4],
+            &queries[2],
+            &queries[1]
+        ]
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn queued_queries_whose_deadline_expires_are_shed_without_dispatch() {
+    let dims = 16;
+    let data = uniform_dataset(30, dims, 67);
+    let gate = Gate::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let backend_gate = Arc::clone(&gate);
+    let backend_log = Arc::clone(&log);
+    let runtime = ServiceRuntime::try_new(
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_batch_size(2)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(3)),
+        move |_| {
+            Ok(Box::new(GatedRecording {
+                inner: LinearScan::new(data.clone()),
+                gate: Arc::clone(&backend_gate),
+                log: Arc::clone(&backend_log),
+            }) as Box<dyn SimilarityBackend>)
+        },
+    )
+    .unwrap();
+
+    let queries = uniform_queries(2, dims, 68);
+    let blocker = runtime.try_submit(queries[0].clone()).unwrap();
+    let deadline = Instant::now() + RESOLVE_TIMEOUT;
+    while runtime.pending() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the blocker"
+        );
+        std::thread::yield_now();
+    }
+    // Queued with a 50 ms deadline while the only worker is wedged.
+    let doomed = runtime
+        .try_submit_with(
+            queries[1].clone(),
+            &QueryOptions::top(3).by(Deadline::after(Duration::from_millis(50))),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    gate.open();
+
+    assert!(resolve(blocker).is_ok());
+    let failure = resolve(doomed).unwrap_err();
+    assert_eq!(failure.error, SearchError::DeadlineExceeded);
+    assert_eq!(failure.query, queries[1]);
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    // The expired query never reached the backend.
+    let dispatched = log.lock().unwrap();
+    assert_eq!(dispatched.len(), 1);
+    assert_eq!(dispatched[0], vec![queries[0].clone()]);
+    assert_eq!(
+        stats.queries_submitted,
+        stats.queries_served + stats.failed_queries + stats.deadline_expired
+    );
+}
+
+/// A backend that *panics* (not errors) on the poison query — the worst-case
+/// misbehaving custom backend.
+struct PanicSensitive {
+    inner: LinearScan,
+    poison: BinaryVector,
+}
+
+impl SimilarityBackend for PanicSensitive {
+    fn name(&self) -> String {
+        "panic-sensitive".to_string()
+    }
+    fn len(&self) -> usize {
+        SearchIndex::len(&self.inner)
+    }
+    fn dims(&self) -> usize {
+        SearchIndex::dims(&self.inner)
+    }
+    fn serve_batch(&self, queries: &[BinaryVector], k: usize) -> BackendBatch {
+        BackendBatch::host_only(SearchIndex::search_batch(&self.inner, queries, k))
+    }
+    fn try_serve_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<BackendBatch, SearchError> {
+        assert!(
+            !queries.contains(&self.poison),
+            "injected backend panic during dispatch"
+        );
+        options.validate()?;
+        Ok(self.serve_batch(queries, options.k))
+    }
+}
+
+#[test]
+fn a_panicking_backend_fails_its_tickets_and_the_worker_survives() {
+    let dims = 16;
+    let data = uniform_dataset(40, dims, 71);
+    let direct = LinearScan::new(data.clone());
+    let poison = BinaryVector::ones(dims);
+    let backend_data = data.clone();
+    let backend_poison = poison.clone();
+    let runtime = ServiceRuntime::try_new(
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_batch_size(1)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(3)),
+        move |_| {
+            Ok(Box::new(PanicSensitive {
+                inner: LinearScan::new(backend_data.clone()),
+                poison: backend_poison.clone(),
+            }) as Box<dyn SimilarityBackend>)
+        },
+    )
+    .unwrap();
+
+    // The panic is contained as a typed per-ticket failure...
+    let doomed = runtime.try_submit(poison).unwrap();
+    let failure = resolve(doomed).unwrap_err();
+    match &failure.error {
+        SearchError::Backend { reason, .. } => {
+            assert!(reason.contains("panicked"), "reason: {reason}")
+        }
+        other => panic!("expected a Backend error, got {other}"),
+    }
+
+    // ...and the single worker is still alive to serve later traffic.
+    let queries = uniform_queries(5, dims, 72);
+    for q in &queries {
+        let completed = resolve(runtime.try_submit(q.clone()).unwrap()).unwrap();
+        assert_eq!(completed.neighbors, direct.search(q, 3));
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed_queries, 1);
+    assert_eq!(
+        stats.queries_submitted,
+        stats.queries_served + stats.failed_queries + stats.deadline_expired
+    );
+}
+
+#[test]
+fn mixed_per_query_bounds_batch_separately_and_each_respects_its_own() {
+    let dims = 16;
+    let data = uniform_dataset(60, dims, 69);
+    let direct = LinearScan::new(data.clone());
+    let backend_data = data.clone();
+    let runtime = ServiceRuntime::try_new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_batch_size(4)
+            .with_cache_capacity(0)
+            .with_options(QueryOptions::top(6)),
+        move |_| Ok(Box::new(LinearScan::new(backend_data.clone())) as Box<dyn SimilarityBackend>),
+    )
+    .unwrap();
+
+    let queries = uniform_queries(24, dims, 70);
+    let handles: Vec<(usize, TicketHandle)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let options = if i % 2 == 0 {
+                QueryOptions::top(6)
+            } else {
+                QueryOptions::top(6).within(4)
+            };
+            (i, runtime.try_submit_with(q.clone(), &options).unwrap())
+        })
+        .collect();
+    for (i, handle) in handles {
+        let completed = resolve(handle).expect("well-formed query");
+        let mut expected = direct.search(&queries[i], 6);
+        if i % 2 == 1 {
+            expected.retain(|n| n.distance < 4);
+        }
+        assert_eq!(completed.neighbors, expected, "query {i}");
+    }
+    runtime.shutdown();
+}
