@@ -30,6 +30,13 @@
 //!   ([`binvec::SearchError::QueueFull`]) and deadline shedding
 //!   ([`binvec::SearchError::DeadlineExceeded`]); every ticket resolves
 //!   through its own completion channel.
+//! * [`net`] — **the network front door**: a length-prefixed binary wire
+//!   protocol ([`Frame`]/[`FrameBuffer`]), a TCP server ([`ApServer`]) that
+//!   decodes frames and feeds the [`ServiceRuntime`] (one reader thread per
+//!   connection, responses multiplexed back by correlation id), a blocking
+//!   client ([`ApClient`]), and a waker-driven [`CompletionSet`] so one
+//!   thread multiplexes thousands of in-flight tickets without per-ticket
+//!   `wait()` calls.
 //! * [`SearchService`] — the synchronous single-worker front door: `submit`
 //!   single queries, `drain` completed results, read a [`ServiceStats`]
 //!   report (throughput, batch-fill ratio, cache hit rate, per-shard
@@ -73,6 +80,7 @@
 pub mod backend;
 pub mod cache;
 mod dispatch;
+pub mod net;
 pub mod pipeline;
 pub mod queue;
 pub mod registry;
@@ -87,13 +95,14 @@ pub use backend::{
 };
 pub use binvec::{Deadline, ExecutionPreference, Priority, QueryOptions, ResultKey, SearchError};
 pub use cache::{ResultCache, MAX_CACHE_CAPACITY};
+pub use net::{ApClient, ApServer, CompletionSet, Frame, FrameBuffer, NetError, StatsFrame};
 pub use pipeline::{
     BackendSpec, BaselineKind, IndexKind, Metric, Provenance, Query, Response, SearchPipeline,
     SearchPipelineBuilder,
 };
 pub use queue::{AdmissionQueue, QueryTicket};
 pub use registry::{BackendFactory, BackendRegistry};
-pub use runtime::{RuntimeConfig, ServiceRuntime, TicketHandle};
+pub use runtime::{RuntimeConfig, ServiceRuntime, TicketHandle, TicketResult};
 pub use service::{Completed, FailedQuery, SearchService, ServiceConfig};
 pub use shard::{ShardedBackend, ShardedDataset};
 pub use stats::ServiceStats;

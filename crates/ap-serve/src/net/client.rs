@@ -1,0 +1,216 @@
+//! The blocking client side of the wire protocol.
+
+use super::frame::{Frame, FrameBuffer, StatsFrame};
+use super::NetError;
+use binvec::{BinaryVector, Neighbor, QueryOptions, SearchError};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Read chunk size for the client's socket reads.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A blocking TCP client for [`super::ApServer`].
+///
+/// Two usage shapes:
+///
+/// * **One-shot**: [`Self::search`] submits a query and blocks until *its*
+///   answer arrives (out-of-order completions for other in-flight queries are
+///   stashed and served later).
+/// * **Pipelined**: call [`Self::submit`] repeatedly to put many queries in
+///   flight on one connection, then collect answers in completion order with
+///   [`Self::recv_completion`] — this is how the `serve_network` bench keeps
+///   the server's queue full from a single socket.
+pub struct ApClient {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    chunk: Vec<u8>,
+    scratch: Vec<u8>,
+    /// Frames that arrived while waiting for a different correlation id.
+    inbox: VecDeque<(u64, Frame)>,
+    next_correlation: u64,
+}
+
+impl ApClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Whatever the TCP connect returns.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            frames: FrameBuffer::new(),
+            chunk: vec![0u8; READ_CHUNK],
+            scratch: Vec::with_capacity(4096),
+            inbox: VecDeque::new(),
+            next_correlation: 1, // 0 is the server's connection-fault farewell
+        })
+    }
+
+    /// Submits a query without waiting for its answer; returns the
+    /// correlation id its eventual `Completed`/`Failed` frame will carry.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] if the socket write fails.
+    pub fn submit(&mut self, query: BinaryVector, options: QueryOptions) -> Result<u64, NetError> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        self.send(correlation, &Frame::Submit { options, query })?;
+        Ok(correlation)
+    }
+
+    /// Blocks for the next query completion (in server completion order, not
+    /// submission order) and returns its correlation id alongside the typed
+    /// per-query outcome.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] / [`NetError::Wire`] on transport faults,
+    /// [`NetError::Protocol`] if the server hangs up or sends a non-completion
+    /// frame.
+    pub fn recv_completion(
+        &mut self,
+    ) -> Result<(u64, Result<Vec<Neighbor>, SearchError>), NetError> {
+        let (correlation, frame) = match self.inbox.pop_front() {
+            Some(entry) => entry,
+            None => self.next_frame_blocking()?,
+        };
+        match frame {
+            Frame::Completed { neighbors } => Ok((correlation, Ok(neighbors))),
+            Frame::Failed { error } if correlation == 0 => {
+                // Correlation 0 is the server's farewell for a faulted
+                // connection, not a per-query outcome.
+                Err(NetError::Protocol(format!(
+                    "server failed the connection: {error}"
+                )))
+            }
+            Frame::Failed { error } => Ok((correlation, Err(error))),
+            other => Err(NetError::Protocol(format!(
+                "expected a completion frame, got {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// Submits one query and blocks until its answer arrives. Completions for
+    /// other in-flight queries observed while waiting are stashed for later
+    /// [`Self::recv_completion`] calls.
+    ///
+    /// # Errors
+    /// Transport faults as [`NetError::Io`]/[`NetError::Wire`]/
+    /// [`NetError::Protocol`]; a typed per-query failure as
+    /// [`NetError::Query`].
+    pub fn search(
+        &mut self,
+        query: BinaryVector,
+        options: QueryOptions,
+    ) -> Result<Vec<Neighbor>, NetError> {
+        let want = self.submit(query, options)?;
+        let (correlation, frame) = self.wait_for(want)?;
+        debug_assert_eq!(correlation, want);
+        match frame {
+            Frame::Completed { neighbors } => Ok(neighbors),
+            Frame::Failed { error } => Err(NetError::Query(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected a completion frame, got {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// Round-trips a `Ping` and returns the measured latency.
+    ///
+    /// # Errors
+    /// Transport faults; [`NetError::Protocol`] if the reply is not `Pong`.
+    pub fn ping(&mut self) -> Result<Duration, NetError> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        let started = Instant::now();
+        self.send(correlation, &Frame::Ping)?;
+        let (_, frame) = self.wait_for(correlation)?;
+        match frame {
+            Frame::Pong => Ok(started.elapsed()),
+            other => Err(NetError::Protocol(format!(
+                "expected Pong, got {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// Fetches the server's runtime configuration + statistics snapshot.
+    ///
+    /// # Errors
+    /// Transport faults; [`NetError::Protocol`] if the reply is not `Stats`.
+    pub fn stats(&mut self) -> Result<StatsFrame, NetError> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        self.send(correlation, &Frame::StatsRequest)?;
+        let (_, frame) = self.wait_for(correlation)?;
+        match frame {
+            Frame::Stats(snapshot) => Ok(snapshot),
+            other => Err(NetError::Protocol(format!(
+                "expected Stats, got {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    fn send(&mut self, correlation: u64, frame: &Frame) -> Result<(), NetError> {
+        self.scratch.clear();
+        frame.encode(correlation, &mut self.scratch);
+        self.stream.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    /// Blocks until the frame with `want` arrives, stashing every other frame
+    /// in the inbox in arrival order.
+    fn wait_for(&mut self, want: u64) -> Result<(u64, Frame), NetError> {
+        if let Some(at) = self.inbox.iter().position(|(c, _)| *c == want) {
+            return Ok(self.inbox.remove(at).expect("indexed inbox entry"));
+        }
+        loop {
+            let (correlation, frame) = self.next_frame_blocking()?;
+            if correlation == want {
+                return Ok((correlation, frame));
+            }
+            if correlation == 0 {
+                if let Frame::Failed { error } = frame {
+                    return Err(NetError::Protocol(format!(
+                        "server failed the connection: {error}"
+                    )));
+                }
+            }
+            self.inbox.push_back((correlation, frame));
+        }
+    }
+
+    /// Reads from the socket until one whole frame decodes.
+    fn next_frame_blocking(&mut self) -> Result<(u64, Frame), NetError> {
+        loop {
+            if let Some((correlation, frame)) = self.frames.next_frame()? {
+                return Ok((correlation, frame));
+            }
+            let n = self.stream.read(&mut self.chunk)?;
+            if n == 0 {
+                return Err(NetError::Protocol(
+                    "server closed the connection mid-stream".to_string(),
+                ));
+            }
+            self.frames.feed(&self.chunk[..n]);
+        }
+    }
+}
+
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Ping => "Ping",
+        Frame::Pong => "Pong",
+        Frame::Submit { .. } => "Submit",
+        Frame::Completed { .. } => "Completed",
+        Frame::Failed { .. } => "Failed",
+        Frame::StatsRequest => "StatsRequest",
+        Frame::Stats(_) => "Stats",
+    }
+}

@@ -1,0 +1,232 @@
+//! A poll/ready-queue multiplexer over per-ticket completion channels.
+//!
+//! A connection thread serving thousands of in-flight queries cannot afford a
+//! blocked `wait()` per ticket — that is thread-per-query with extra steps.
+//! [`CompletionSet`] turns the runtime's per-ticket channels into a single
+//! readiness surface: each registered [`TicketHandle`] installs a completion
+//! waker ([`TicketHandle::on_complete`]) that pushes its token onto a shared
+//! ready list, so the consumer wakes only when *some* ticket has resolved and
+//! then collects exactly the resolved ones — no per-ticket polling, no
+//! per-ticket thread, O(ready) work per drain regardless of how many tickets
+//! are in flight.
+
+use crate::runtime::{TicketHandle, TicketResult};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The shared ready list completion wakers push into.
+struct ReadyList {
+    queue: Mutex<VecDeque<u64>>,
+    wakeup: Condvar,
+}
+
+impl ReadyList {
+    fn push(&self, token: u64) {
+        self.queue
+            .lock()
+            .expect("completion ready list poisoned")
+            .push_back(token);
+        self.wakeup.notify_all();
+    }
+}
+
+/// A non-blocking completion surface multiplexing any number of in-flight
+/// [`TicketHandle`]s for one consumer thread.
+///
+/// Each ticket registers with a caller-chosen tag `T` (a wire correlation id,
+/// an index, …) returned alongside its result. Results are collected with
+/// [`Self::drain_ready`] (non-blocking) or [`Self::wait_ready`] (blocks until
+/// at least one ticket resolves or the timeout passes).
+///
+/// Tickets whose runtime dies before serving them still resolve — the
+/// runtime-side teardown fires the waker after the channel disconnects, and
+/// the set reports the disconnection failure the handle's `try_wait` yields.
+pub struct CompletionSet<T> {
+    pending: HashMap<u64, (TicketHandle, T)>,
+    ready: Arc<ReadyList>,
+    next_token: u64,
+}
+
+impl<T> Default for CompletionSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CompletionSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self {
+            pending: HashMap::new(),
+            ready: Arc::new(ReadyList {
+                queue: Mutex::new(VecDeque::new()),
+                wakeup: Condvar::new(),
+            }),
+            next_token: 0,
+        }
+    }
+
+    /// Tickets registered and not yet drained.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no tickets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Registers a ticket. Safe to call for a ticket that has already
+    /// resolved (e.g. a cache hit completed at admission): its waker fires
+    /// immediately and the next drain returns it.
+    pub fn register(&mut self, handle: TicketHandle, tag: T) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let ready = Arc::clone(&self.ready);
+        handle.on_complete(move || ready.push(token));
+        self.pending.insert(token, (handle, tag));
+    }
+
+    /// Collects every resolved ticket without blocking.
+    pub fn drain_ready(&mut self) -> Vec<(T, TicketResult)> {
+        let tokens: Vec<u64> = {
+            let mut queue = self
+                .ready
+                .queue
+                .lock()
+                .expect("completion ready list poisoned");
+            queue.drain(..).collect()
+        };
+        let mut resolved = Vec::with_capacity(tokens.len());
+        for token in tokens {
+            // A waker only fires after its result is observable, so try_wait
+            // is Some here; a torn-down runtime yields the disconnection
+            // failure rather than None.
+            let Some((handle, tag)) = self.pending.remove(&token) else {
+                continue;
+            };
+            match handle.try_wait() {
+                Some(result) => resolved.push((tag, result)),
+                None => {
+                    // Defensive: never lose a ticket even if a waker fired
+                    // early. Re-queue it; a later drain will observe it.
+                    self.pending.insert(token, (handle, tag));
+                    self.ready.push(token);
+                }
+            }
+        }
+        resolved
+    }
+
+    /// Blocks until at least one registered ticket resolves (returning all
+    /// tickets resolved by then) or `timeout` passes (returning an empty
+    /// vec). Returns immediately when nothing is in flight.
+    pub fn wait_ready(&mut self, timeout: Duration) -> Vec<(T, TicketResult)> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let ready = self.drain_ready();
+            if !ready.is_empty() {
+                return ready;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Vec::new();
+            }
+            let queue = self
+                .ready
+                .queue
+                .lock()
+                .expect("completion ready list poisoned");
+            if queue.is_empty() {
+                // Condvar wait releases the lock; a waker's push + notify
+                // wakes us. Spurious wakeups just loop.
+                let (_guard, _timeout) = self
+                    .ready
+                    .wakeup
+                    .wait_timeout(queue, remaining)
+                    .expect("completion ready list poisoned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimilarityBackend;
+    use crate::runtime::{RuntimeConfig, ServiceRuntime};
+    use baselines::LinearScan;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+    use binvec::QueryOptions;
+
+    fn runtime(workers: usize, queue: usize) -> ServiceRuntime {
+        let data = uniform_dataset(40, 16, 71);
+        ServiceRuntime::try_new(
+            RuntimeConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(queue)
+                .with_cache_capacity(0)
+                .with_options(QueryOptions::top(3)),
+            move |_| Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_thread_collects_many_inflight_tickets() {
+        let runtime = runtime(2, 512);
+        let queries = uniform_queries(100, 16, 72);
+        let mut set = CompletionSet::new();
+        for (i, query) in queries.iter().enumerate() {
+            set.register(runtime.try_submit(query.clone()).unwrap(), i);
+        }
+        assert_eq!(set.len(), 100);
+        let mut seen = vec![false; queries.len()];
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !set.is_empty() {
+            assert!(Instant::now() < deadline, "completion set wedged");
+            for (tag, result) in set.wait_ready(Duration::from_millis(100)) {
+                assert!(!seen[tag], "ticket {tag} resolved twice");
+                seen[tag] = true;
+                assert!(result.is_ok());
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every ticket resolves");
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn already_resolved_tickets_are_drained_on_registration() {
+        let runtime = runtime(1, 16);
+        let query = uniform_queries(1, 16, 74).pop().unwrap();
+        let handle = runtime.try_submit(query).unwrap();
+        // Let the ticket resolve *before* registration, observing resolution
+        // through a side channel so the result itself stays unconsumed.
+        let (tx, rx) = std::sync::mpsc::channel();
+        handle.on_complete(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(30)).unwrap();
+
+        let mut set = CompletionSet::new();
+        set.register(handle, "late");
+        let ready = set.wait_ready(Duration::from_secs(30));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].0, "late");
+        assert!(ready[0].1.is_ok());
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn wait_ready_times_out_cleanly_and_empty_set_returns_immediately() {
+        let mut set: CompletionSet<u32> = CompletionSet::new();
+        let started = Instant::now();
+        assert!(set.wait_ready(Duration::from_secs(10)).is_empty());
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "empty set must not block"
+        );
+    }
+}

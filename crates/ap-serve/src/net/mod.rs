@@ -1,0 +1,99 @@
+//! The network front door: TCP serving over a length-prefixed binary
+//! protocol.
+//!
+//! The paper positions the AP as a shared datacenter accelerator that a front
+//! end streams similarity queries into (§VI); everything below this module
+//! ends at the in-process [`crate::ServiceRuntime`]. This module is the
+//! missing entry point:
+//!
+//! ```text
+//!               TCP (loopback or the datacenter fabric)
+//!  ApClient ──Submit{corr, options, query}──▶ ApServer ──try_submit──▶ ServiceRuntime
+//!     ▲                                      reader thread               (workers,
+//!     │                                          │ TicketHandle           queue,
+//!     └──Completed{corr, neighbors} ◀── writer thread ◀─ CompletionSet ◀── tickets)
+//!        Failed{corr, typed error}        (one per conn)   (waker-driven
+//!                                                           ready list)
+//! ```
+//!
+//! * [`Frame`] / [`FrameBuffer`] — the wire codec: magic + version +
+//!   length-prefixed frames carrying full [`binvec::QueryOptions`] per query
+//!   (priority, deadline budget, bound, execution preference all travel),
+//!   decoding into typed [`binvec::WireError`]s — never a panic, never an
+//!   allocation sized by a hostile declared length.
+//! * [`CompletionSet`] — the non-blocking completion surface: one connection
+//!   thread multiplexes thousands of in-flight tickets through a
+//!   waker-driven ready list instead of a blocked `wait()` per ticket.
+//! * [`ApServer`] — accepts connections, decodes frames, feeds the runtime;
+//!   one reader thread per connection, responses multiplexed back by
+//!   correlation id by a writer thread. Graceful shutdown stops reading new
+//!   frames but drains every in-flight ticket before closing sockets.
+//! * [`ApClient`] — the blocking client: pipelined `submit`/`recv_completion`
+//!   or one-shot `search`, plus `ping` and a remote [`StatsFrame`] snapshot.
+
+mod client;
+mod completion;
+mod frame;
+mod server;
+
+pub use client::ApClient;
+pub use completion::CompletionSet;
+pub use frame::{Frame, FrameBuffer, StatsFrame, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+pub use server::ApServer;
+
+use binvec::{SearchError, WireError};
+use std::fmt;
+
+/// Everything that can go wrong on the client side of a connection.
+#[derive(Debug)]
+pub enum NetError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The peer sent bytes that are not valid protocol.
+    Wire(WireError),
+    /// The query itself failed — the server answered with a typed
+    /// [`SearchError`] instead of neighbors.
+    Query(SearchError),
+    /// The peer violated the protocol state machine (e.g. closed mid-query).
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Wire(e) => write!(f, "wire protocol error: {e}"),
+            Self::Query(e) => write!(f, "query failed: {e}"),
+            Self::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Wire(e) => Some(e),
+            Self::Query(e) => Some(e),
+            Self::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<SearchError> for NetError {
+    fn from(e: SearchError) -> Self {
+        Self::Query(e)
+    }
+}

@@ -153,21 +153,125 @@ impl RuntimeConfig {
 }
 
 /// What a worker (or the admission path) delivers through a ticket's channel.
-type TicketResult = Result<Completed, FailedQuery>;
+pub type TicketResult = Result<Completed, FailedQuery>;
+
+/// A completion callback registered through [`TicketHandle::on_complete`]:
+/// invoked exactly once, after the ticket's result becomes observable.
+type CompletionWaker = Box<dyn FnOnce() + Send>;
+
+/// Waker registration state shared between a [`TicketHandle`] and the
+/// runtime-side [`Completion`] that will resolve it.
+#[derive(Default)]
+struct WakeState {
+    /// Set (under the lock) strictly *after* the result is observable on the
+    /// ticket's channel, so a waker firing implies `try_wait` succeeds.
+    resolved: bool,
+    waker: Option<CompletionWaker>,
+}
+
+/// The runtime's side of one ticket: the channel sender plus the waker slot.
+/// Delivery and teardown both fire the waker exactly once, and only after the
+/// outcome (a result, or the channel's disconnection) is observable.
+struct Completion {
+    /// `None` only transiently during [`Drop`], where the sender is released
+    /// *before* the waker fires so a woken consumer observes the
+    /// disconnection instead of an empty, still-connected channel.
+    tx: Option<mpsc::Sender<TicketResult>>,
+    wake: Arc<Mutex<WakeState>>,
+    delivered: bool,
+}
+
+impl Completion {
+    /// Creates the linked completion/handle pair for one ticket.
+    fn channel(ticket: QueryTicket) -> (Self, TicketHandle) {
+        let (tx, rx) = mpsc::channel();
+        let wake = Arc::new(Mutex::new(WakeState::default()));
+        (
+            Self {
+                tx: Some(tx),
+                wake: Arc::clone(&wake),
+                delivered: false,
+            },
+            TicketHandle { ticket, rx, wake },
+        )
+    }
+
+    /// Sends the result and fires any registered waker. The send happens
+    /// first, so by the time a waker (or any later registration) observes
+    /// `resolved`, `try_wait` is guaranteed to return the result.
+    fn deliver(&mut self, result: TicketResult) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(result);
+        }
+        self.delivered = true;
+        self.fire();
+    }
+
+    fn fire(&self) {
+        let waker = {
+            let mut state = self.wake.lock().expect("waker state poisoned");
+            state.resolved = true;
+            state.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker();
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if !self.delivered {
+            // Torn down without a result (the runtime died): release the
+            // sender first so the receiver reads as disconnected, then wake —
+            // the consumer resolves the ticket as the disconnection failure
+            // instead of waiting forever.
+            self.tx = None;
+            self.fire();
+        }
+    }
+}
 
 /// The caller's side of one submitted query: block on [`Self::wait`] for
 /// *this* query's result — no global drain, no ordering coupling to other
-/// callers' tickets.
-#[derive(Debug)]
+/// callers' tickets — or register a completion waker via
+/// [`Self::on_complete`] so a multiplexer (e.g. [`crate::net::CompletionSet`])
+/// can track thousands of in-flight tickets without polling any of them.
 pub struct TicketHandle {
     ticket: QueryTicket,
     rx: mpsc::Receiver<TicketResult>,
+    wake: Arc<Mutex<WakeState>>,
+}
+
+impl std::fmt::Debug for TicketHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TicketHandle")
+            .field("ticket", &self.ticket)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TicketHandle {
     /// The ticket identifying this submission.
     pub fn ticket(&self) -> QueryTicket {
         self.ticket
+    }
+
+    /// Registers a callback fired exactly once when this ticket resolves —
+    /// the non-blocking completion surface. If the ticket has already
+    /// resolved (including a cache hit delivered at admission, or a runtime
+    /// torn down before serving it), the callback runs immediately on the
+    /// registering thread; otherwise it runs on the thread that resolves the
+    /// ticket. Either way, by the time it runs [`Self::try_wait`] returns
+    /// `Some`. Registering again replaces an unfired callback.
+    pub fn on_complete(&self, waker: impl FnOnce() + Send + 'static) {
+        let mut state = self.wake.lock().expect("waker state poisoned");
+        if state.resolved {
+            drop(state);
+            waker();
+        } else {
+            state.waker = Some(Box::new(waker));
+        }
     }
 
     /// The failure delivered when the completion channel disconnected without
@@ -254,7 +358,10 @@ impl SimilarityBackend for SharedBackend {
 struct Pending {
     query: BinaryVector,
     options: QueryOptions,
-    tx: mpsc::Sender<TicketResult>,
+    completion: Completion,
+    /// When the query was admitted — dispatch time minus this is the queue
+    /// wait recorded into [`ServiceStats::queue_wait`].
+    submitted_at: Instant,
 }
 
 /// State shared between the submission front and the workers.
@@ -420,8 +527,6 @@ impl ServiceRuntime {
             });
         }
 
-        let (tx, rx) = mpsc::channel();
-
         // An already-expired deadline is failed at admission — typed, ticketed,
         // and never dispatched.
         if options.deadline.is_some_and(|d| d.is_expired()) {
@@ -431,12 +536,13 @@ impl ServiceRuntime {
                 stats.queries_submitted += 1;
                 stats.deadline_expired += 1;
             }
-            let _ = tx.send(Err(FailedQuery {
+            let (mut completion, handle) = Completion::channel(ticket);
+            completion.deliver(Err(FailedQuery {
                 ticket,
                 query,
                 error: SearchError::DeadlineExceeded,
             }));
-            return Ok(TicketHandle { ticket, rx });
+            return Ok(handle);
         }
 
         // Cache hits complete instantly without occupying the queue.
@@ -453,15 +559,17 @@ impl ServiceRuntime {
                 stats.queries_submitted += 1;
                 stats.queries_served += 1;
             }
-            let _ = tx.send(Ok(Completed {
+            let (mut completion, handle) = Completion::channel(ticket);
+            completion.deliver(Ok(Completed {
                 ticket,
                 query,
                 neighbors,
             }));
-            return Ok(TicketHandle { ticket, rx });
+            return Ok(handle);
         }
 
         let ticket = self.mint_ticket();
+        let (completion, handle) = Completion::channel(ticket);
         let entry = Scheduled {
             ticket,
             priority: options.priority,
@@ -469,13 +577,14 @@ impl ServiceRuntime {
             payload: Pending {
                 query,
                 options: *options,
-                tx,
+                completion,
+                submitted_at: Instant::now(),
             },
         };
         match self.shared.queue.try_push(entry) {
             Ok(()) => {
                 self.lock_stats().queries_submitted += 1;
-                Ok(TicketHandle { ticket, rx })
+                Ok(handle)
             }
             Err(PushRefused::Full(_)) => {
                 self.lock_stats().queue_full_rejections += 1;
@@ -556,9 +665,14 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
                 .expect("runtime stats poisoned")
                 .deadline_expired += expired.len() as u64;
             for entry in expired.drain(..) {
-                let _ = entry.payload.tx.send(Err(FailedQuery {
+                let Pending {
+                    query,
+                    mut completion,
+                    ..
+                } = entry.payload;
+                completion.deliver(Err(FailedQuery {
                     ticket: entry.ticket,
-                    query: entry.payload.query,
+                    query,
                     error: SearchError::DeadlineExceeded,
                 }));
             }
@@ -572,6 +686,7 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
         }
 
         // All entries in the batch share one ResultKey by construction.
+        let dispatch_started = Instant::now();
         let options = batch[0].payload.options;
         queries.clear();
         queries.extend(batch.iter().map(|e| e.payload.query.clone()));
@@ -579,6 +694,11 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
         {
             let mut stats = shared.stats.lock().expect("runtime stats poisoned");
             dispatch::record_dispatch(&mut stats, &dispatched, batch.len(), batch_size);
+            for entry in &batch {
+                stats
+                    .queue_wait
+                    .record(dispatch_started.saturating_duration_since(entry.payload.submitted_at));
+            }
         }
 
         match dispatched.outcome {
@@ -598,9 +718,14 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
                     .expect("runtime stats poisoned")
                     .queries_served += batch.len() as u64;
                 for (entry, neighbors) in batch.drain(..).zip(result.results) {
-                    let _ = entry.payload.tx.send(Ok(Completed {
+                    let Pending {
+                        query,
+                        mut completion,
+                        ..
+                    } = entry.payload;
+                    completion.deliver(Ok(Completed {
                         ticket: entry.ticket,
-                        query: entry.payload.query,
+                        query,
                         neighbors,
                     }));
                 }
@@ -609,9 +734,14 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
                 // Fail the batch's tickets individually and move on: the next
                 // batch is independent, so one poison batch delays nothing.
                 for entry in batch.drain(..) {
-                    let _ = entry.payload.tx.send(Err(FailedQuery {
+                    let Pending {
+                        query,
+                        mut completion,
+                        ..
+                    } = entry.payload;
+                    completion.deliver(Err(FailedQuery {
                         ticket: entry.ticket,
-                        query: entry.payload.query,
+                        query,
                         error: error.clone(),
                     }));
                 }
@@ -836,6 +966,75 @@ mod tests {
             SearchError::ZeroK
         );
         assert!(RuntimeConfig::default().build().is_ok());
+    }
+
+    #[test]
+    fn on_complete_wakes_after_resolution_and_immediately_for_resolved_tickets() {
+        let dims = 16;
+        let runtime = linear_runtime(
+            30,
+            dims,
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_batch_size(1)
+                .with_cache_capacity(0)
+                .with_options(QueryOptions::top(3)),
+        );
+        let query = uniform_queries(1, dims, 51).pop().unwrap();
+
+        // Registered before resolution: fires when the worker delivers, and by
+        // then try_wait is guaranteed to observe the result.
+        let handle = runtime.try_submit(query.clone()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        handle.on_complete(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(30)).expect("waker");
+        assert!(handle.try_wait().expect("resolved after wake").is_ok());
+
+        // Registered after resolution (an admission-path completion): fires
+        // immediately on the registering thread.
+        let expired = runtime
+            .try_submit_with(
+                query,
+                &QueryOptions::top(3).by(Deadline::at(Instant::now() - Duration::from_millis(1))),
+            )
+            .unwrap();
+        let fired = std::sync::Arc::new(AtomicU64::new(0));
+        let observer = std::sync::Arc::clone(&fired);
+        expired.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "immediate fire");
+        assert_eq!(
+            expired.wait().unwrap_err().error,
+            SearchError::DeadlineExceeded
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn runtime_teardown_wakes_undelivered_tickets_as_disconnections() {
+        // A runtime dropped mid-flight must still fire every registered waker,
+        // and the woken handle must resolve (as the disconnection failure)
+        // rather than read as pending. Gate the backend so the ticket cannot
+        // be delivered before the drop.
+        let dims = 16;
+        let data = uniform_dataset(10, dims, 52);
+        let runtime = ServiceRuntime::try_new(
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_batch_size(1)
+                .with_cache_capacity(0)
+                .with_options(QueryOptions::top(2)),
+            move |_| Ok(Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>),
+        )
+        .unwrap();
+        let query = uniform_queries(1, dims, 53).pop().unwrap();
+        let handle = runtime.try_submit(query).unwrap();
+        let (tx, rx) = mpsc::channel();
+        handle.on_complete(move || tx.send(()).unwrap());
+        drop(runtime); // shutdown drains: the ticket is delivered, waker fires
+        rx.recv_timeout(Duration::from_secs(30)).expect("waker");
+        assert!(handle.try_wait().is_some(), "woken handle must resolve");
     }
 
     #[test]

@@ -3,6 +3,99 @@
 
 use std::time::Duration;
 
+/// Geometric growth factor between adjacent latency-histogram buckets (~11
+/// buckets per decade, so any reported percentile is within +50% of the true
+/// value — plenty for the decomposition the histogram exists for).
+const BUCKET_GROWTH: f64 = 1.5;
+
+/// Bucket count: `1.5^80` µs is far beyond any latency this service can see.
+const BUCKETS: usize = 80;
+
+/// A fixed-footprint log-bucketed latency histogram.
+///
+/// Recording is O(1) and allocation-free after construction, so the runtime
+/// can record one sample per dispatched query under its stats lock without
+/// widening the critical section. Bucket `i` holds samples in
+/// `(1.5^(i-1), 1.5^i]` microseconds; a percentile reads back the upper bound
+/// of the bucket the rank lands in.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Upper bound of bucket `i`, in microseconds.
+    fn bucket_bound_micros(i: usize) -> f64 {
+        BUCKET_GROWTH.powi(i as i32)
+    }
+
+    /// The bucket a sample of `micros` microseconds lands in.
+    fn bucket_for(micros: u64) -> usize {
+        if micros <= 1 {
+            return 0;
+        }
+        let idx = (micros as f64).ln() / BUCKET_GROWTH.ln();
+        (idx.ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let micros = sample.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket_for(micros)] += 1;
+        self.total += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-th percentile (0 < p <= 1) in milliseconds, `None` before the
+    /// first sample. Reported as the upper bound of the rank's bucket, capped
+    /// at the largest sample actually observed.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((self.total as f64 * p).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let bound = Self::bucket_bound_micros(i).min(self.max_micros as f64);
+                return Some(bound / 1e3);
+            }
+        }
+        Some(self.max_micros as f64 / 1e3)
+    }
+
+    /// Mean sample in milliseconds, `None` before the first sample.
+    pub fn mean_ms(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum_micros as f64 / self.total as f64 / 1e3)
+    }
+
+    /// The largest sample in milliseconds, `None` before the first sample.
+    pub fn max_ms(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.max_micros as f64 / 1e3)
+    }
+}
+
 /// Cumulative statistics for one [`crate::SearchService`] or
 /// [`crate::ServiceRuntime`].
 ///
@@ -59,6 +152,11 @@ pub struct ServiceStats {
     pub failed_time: Duration,
     /// Wall-clock time since the service was created.
     pub uptime: Duration,
+    /// Submit→dispatch latency of every dispatched query (time spent waiting
+    /// in the admission queue) — the queue's share of network-visible latency.
+    /// Queries resolved without a dispatch (cache hits, shed deadlines) record
+    /// nothing here.
+    pub queue_wait: LatencyHistogram,
 }
 
 impl ServiceStats {
@@ -114,6 +212,16 @@ impl ServiceStats {
             .collect()
     }
 
+    /// Submit→dispatch queue-wait percentiles `(p50, p95, p99)` in
+    /// milliseconds; `None` before the first dispatched query.
+    pub fn queue_wait_percentiles_ms(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.queue_wait.percentile_ms(0.50)?,
+            self.queue_wait.percentile_ms(0.95)?,
+            self.queue_wait.percentile_ms(0.99)?,
+        ))
+    }
+
     /// Renders a compact human-readable report.
     pub fn report(&self) -> String {
         let fill = self
@@ -147,10 +255,15 @@ impl ServiceStats {
                 self.deadline_expired, self.queue_full_rejections
             )
         };
+        let queue_wait = self
+            .queue_wait_percentiles_ms()
+            .map_or(String::new(), |(p50, p95, p99)| {
+                format!(" | queue wait p50/p95/p99 {p50:.2}/{p95:.2}/{p99:.2} ms")
+            });
         format!(
             "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
              {} AP cycles, {} reconfigs | shard load [{utilization}] | \
-             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}",
+             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}",
             self.queries_served,
             self.queries_submitted,
             self.batches_dispatched,
@@ -191,5 +304,53 @@ mod tests {
         let report = stats.report();
         assert!(report.contains("served 13/0"));
         assert!(report.contains("2 batches"));
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bracket_the_samples() {
+        let mut hist = LatencyHistogram::default();
+        assert_eq!(hist.percentile_ms(0.5), None);
+        assert_eq!(hist.mean_ms(), None);
+
+        // 99 samples at ~1 ms, one at ~100 ms.
+        for _ in 0..99 {
+            hist.record(Duration::from_millis(1));
+        }
+        hist.record(Duration::from_millis(100));
+        assert_eq!(hist.count(), 100);
+
+        let p50 = hist.percentile_ms(0.50).unwrap();
+        assert!((0.9..2.0).contains(&p50), "p50 {p50} should bracket 1 ms");
+        let p99 = hist.percentile_ms(0.99).unwrap();
+        assert!((0.9..2.0).contains(&p99), "p99 {p99} rank lands on 1 ms");
+        let p100 = hist.percentile_ms(1.0).unwrap();
+        assert!(
+            (90.0..150.0).contains(&p100),
+            "p100 {p100} should bracket 100 ms"
+        );
+        assert_eq!(hist.max_ms(), Some(100.0));
+        let mean = hist.mean_ms().unwrap();
+        assert!((1.5..2.5).contains(&mean), "mean {mean} ≈ 1.99 ms");
+    }
+
+    #[test]
+    fn zero_and_tiny_samples_land_in_the_first_bucket() {
+        let mut hist = LatencyHistogram::default();
+        hist.record(Duration::ZERO);
+        hist.record(Duration::from_nanos(1));
+        assert_eq!(hist.count(), 2);
+        let p100 = hist.percentile_ms(1.0).unwrap();
+        assert!(p100 <= 0.001, "sub-microsecond samples stay tiny: {p100}");
+    }
+
+    #[test]
+    fn queue_wait_percentiles_surface_in_the_report() {
+        let mut stats = ServiceStats::default();
+        assert_eq!(stats.queue_wait_percentiles_ms(), None);
+        assert!(!stats.report().contains("queue wait"));
+        stats.queue_wait.record(Duration::from_millis(3));
+        let (p50, p95, p99) = stats.queue_wait_percentiles_ms().unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(stats.report().contains("queue wait"));
     }
 }

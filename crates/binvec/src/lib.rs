@@ -28,6 +28,9 @@
 //! * [`query`] — the workspace-wide query vocabulary: [`QueryOptions`] (k, optional
 //!   distance bound, execution preference) and the fallible [`SearchError`] every
 //!   uniform query entry point returns.
+//! * [`wire`] — byte-level wire serialization of the query vocabulary
+//!   ([`QueryOptions`], [`SearchError`], [`Neighbor`], [`BinaryVector`]) for the
+//!   length-prefixed network protocol served by `ap-serve`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,6 +46,7 @@ pub mod metrics;
 pub mod quantize;
 pub mod query;
 pub mod topk;
+pub mod wire;
 pub mod workload;
 
 pub use bits::BinaryVector;
@@ -51,4 +55,5 @@ pub use distance::{hamming, inverted_hamming, jaccard_similarity};
 pub use itq::{ItqConfig, ItqQuantizer};
 pub use query::{Deadline, ExecutionPreference, Priority, QueryOptions, ResultKey, SearchError};
 pub use topk::{Neighbor, TopK};
+pub use wire::{WireError, WireReader};
 pub use workload::{Workload, WorkloadParams};

@@ -1,0 +1,606 @@
+//! Byte-level wire serialization for the query vocabulary.
+//!
+//! The network serving layer (`ap-serve`'s `net` module) speaks a
+//! length-prefixed binary protocol; the payload encodings of the types that
+//! travel per query — [`QueryOptions`], [`SearchError`], [`Neighbor`],
+//! [`BinaryVector`] — live here, next to the types themselves, so the wire
+//! format and the in-memory types cannot drift apart.
+//!
+//! Conventions:
+//!
+//! * every multi-byte integer is **little-endian**;
+//! * optionals are a one-byte presence tag (`0` = absent, `1` = present)
+//!   followed by the value;
+//! * strings are a `u32` byte length followed by UTF-8 bytes;
+//! * encoders append to a caller-owned `Vec<u8>` (so a connection can reuse
+//!   one scratch buffer across frames — no allocation per encode once the
+//!   buffer has grown to the working size);
+//! * decoders read from a [`WireReader`] cursor over a caller-owned byte
+//!   slice and return typed [`WireError`]s, never panicking and never
+//!   trusting a declared length beyond the slice they were handed.
+//!
+//! A [`Deadline`] is an in-process [`std::time::Instant`] with no stable
+//! epoch, so it travels as the *remaining budget* in microseconds: the decoder
+//! re-anchors it against its own clock ([`Deadline::after`]). Queue time on
+//! the serving side therefore counts against the client's budget, which is
+//! exactly the semantics a remote caller wants from a deadline.
+
+use crate::bits::BinaryVector;
+use crate::query::{Deadline, ExecutionPreference, Priority, QueryOptions, SearchError};
+use crate::topk::Neighbor;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a wire decode failed. Every variant is a protocol-level fault of the
+/// *bytes*, not of the query they carry — a well-formed frame carrying an
+/// invalid query decodes fine and fails later with a [`SearchError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A frame did not start with the protocol magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame's protocol version is not supported.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The frame type byte names no known frame.
+    UnknownFrameType {
+        /// The type byte found.
+        found: u8,
+    },
+    /// A declared length exceeds the protocol's hard limit — refused before
+    /// any allocation is sized from it.
+    Oversized {
+        /// The declared length.
+        declared: u64,
+        /// The protocol limit.
+        limit: u64,
+    },
+    /// A tag or field value is outside its valid range.
+    Malformed {
+        /// Which value was malformed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated: needed {needed} bytes, had {available}")
+            }
+            Self::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            Self::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found}")
+            }
+            Self::UnknownFrameType { found } => write!(f, "unknown frame type {found}"),
+            Self::Oversized { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            Self::Malformed { what } => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked forward cursor over a byte slice.
+#[derive(Clone, Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole slice.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64` (IEEE-754 bits).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string, refusing declared lengths beyond
+    /// the remaining buffer (so a hostile length can never size an
+    /// allocation).
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed {
+            what: "utf-8 string",
+        })
+    }
+
+    /// Reads a presence tag.
+    pub fn presence(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed {
+                what: "presence tag",
+            }),
+        }
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `f64` (IEEE-754 bits).
+pub fn put_f64(out: &mut Vec<u8>, value: f64) {
+    put_u64(out, value.to_bits());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, value: &str) {
+    put_u32(out, value.len() as u32);
+    out.extend_from_slice(value.as_bytes());
+}
+
+impl ExecutionPreference {
+    /// Encodes the preference as its wire tag.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Self::Auto => 0,
+            Self::CycleAccurate => 1,
+            Self::Behavioral => 2,
+        });
+    }
+
+    /// Decodes a preference from its wire tag.
+    ///
+    /// # Errors
+    /// [`WireError::Malformed`] on an unknown tag.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match reader.u8()? {
+            0 => Ok(Self::Auto),
+            1 => Ok(Self::CycleAccurate),
+            2 => Ok(Self::Behavioral),
+            _ => Err(WireError::Malformed {
+                what: "execution preference",
+            }),
+        }
+    }
+}
+
+impl Priority {
+    /// Encodes the priority as its wire tag.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Self::Low => 0,
+            Self::Normal => 1,
+            Self::High => 2,
+        });
+    }
+
+    /// Decodes a priority from its wire tag.
+    ///
+    /// # Errors
+    /// [`WireError::Malformed`] on an unknown tag.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match reader.u8()? {
+            0 => Ok(Self::Low),
+            1 => Ok(Self::Normal),
+            2 => Ok(Self::High),
+            _ => Err(WireError::Malformed { what: "priority" }),
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Encodes the full options — result-affecting fields *and* scheduling
+    /// fields — so priority, deadline, bound, and execution preference all
+    /// travel per query. The deadline is encoded as its remaining budget in
+    /// microseconds (see the module docs).
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.k as u64);
+        match self.within {
+            None => out.push(0),
+            Some(bound) => {
+                out.push(1);
+                put_u32(out, bound);
+            }
+        }
+        self.execution.encode_wire(out);
+        self.priority.encode_wire(out);
+        match self.deadline {
+            None => out.push(0),
+            Some(deadline) => {
+                out.push(1);
+                put_u64(out, deadline.remaining().as_micros() as u64);
+            }
+        }
+    }
+
+    /// Decodes options encoded by [`Self::encode_wire`], re-anchoring any
+    /// deadline budget against the local clock.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncated or malformed bytes. Semantic validity (k >
+    /// 0, nonzero bound) is *not* checked here — callers run
+    /// [`QueryOptions::validate`] so a well-formed frame carrying `k = 0`
+    /// fails as a [`SearchError`], not a protocol error.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let k = reader.u64()? as usize;
+        let within = reader.presence()?.then(|| reader.u32()).transpose()?;
+        let execution = ExecutionPreference::decode_wire(reader)?;
+        let priority = Priority::decode_wire(reader)?;
+        let deadline = reader
+            .presence()?
+            .then(|| reader.u64())
+            .transpose()?
+            .map(|micros| Deadline::after(Duration::from_micros(micros)));
+        Ok(Self {
+            k,
+            within,
+            execution,
+            priority,
+            deadline,
+        })
+    }
+}
+
+impl Neighbor {
+    /// Encodes the neighbor as `(id: u64, distance: u32)`.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.id as u64);
+        put_u32(out, self.distance);
+    }
+
+    /// Decodes a neighbor encoded by [`Self::encode_wire`].
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] when the buffer ends early.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = reader.u64()? as usize;
+        let distance = reader.u32()?;
+        Ok(Self { id, distance })
+    }
+}
+
+impl BinaryVector {
+    /// Encodes the vector as `dims: u32` followed by its packed little-endian
+    /// `u64` words.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.dims() as u32);
+        for &word in self.words() {
+            put_u64(out, word);
+        }
+    }
+
+    /// Decodes a vector encoded by [`Self::encode_wire`], masking any stray
+    /// bits beyond `dims` in the last word (a hostile peer cannot break the
+    /// tail-word invariant the Hamming kernels rely on).
+    ///
+    /// # Errors
+    /// [`WireError::Oversized`] when the declared dimensionality exceeds
+    /// [`MAX_WIRE_DIMS`]; [`WireError::Truncated`] when the words are short.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let dims = reader.u32()? as usize;
+        if dims > MAX_WIRE_DIMS {
+            return Err(WireError::Oversized {
+                declared: dims as u64,
+                limit: MAX_WIRE_DIMS as u64,
+            });
+        }
+        let words = dims.div_ceil(64);
+        let mut packed = Vec::with_capacity(words);
+        for _ in 0..words {
+            packed.push(reader.u64()?);
+        }
+        Ok(Self::from_words(dims, packed))
+    }
+}
+
+/// Hard cap on the dimensionality a wire-decoded vector may declare. Large
+/// enough for any corpus this workspace models (the paper's widest workload is
+/// 256-bit), small enough that a hostile declared length cannot size an
+/// attacker-controlled allocation.
+pub const MAX_WIRE_DIMS: usize = 1 << 20;
+
+/// Wire tags for [`SearchError`] variants.
+mod error_tag {
+    pub const DIM_MISMATCH: u8 = 0;
+    pub const ZERO_K: u8 = 1;
+    pub const ZERO_DIMS: u8 = 2;
+    pub const ZERO_DISTANCE_BOUND: u8 = 3;
+    pub const CAPACITY_EXCEEDED: u8 = 4;
+    pub const INVALID_CONFIG: u8 = 5;
+    pub const UNSUPPORTED: u8 = 6;
+    pub const BACKEND: u8 = 7;
+    pub const DEADLINE_EXCEEDED: u8 = 8;
+    pub const QUEUE_FULL: u8 = 9;
+}
+
+impl SearchError {
+    /// Encodes the error as a tag byte plus its fields.
+    ///
+    /// `InvalidConfig` carries a `&'static str` field name; on the wire it
+    /// travels as a string and decodes into the `Backend`-style leaked form —
+    /// see [`Self::decode_wire`].
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::DimMismatch { expected, actual } => {
+                out.push(error_tag::DIM_MISMATCH);
+                put_u64(out, *expected as u64);
+                put_u64(out, *actual as u64);
+            }
+            Self::ZeroK => out.push(error_tag::ZERO_K),
+            Self::ZeroDims => out.push(error_tag::ZERO_DIMS),
+            Self::ZeroDistanceBound => out.push(error_tag::ZERO_DISTANCE_BOUND),
+            Self::CapacityExceeded { needed, limit } => {
+                out.push(error_tag::CAPACITY_EXCEEDED);
+                put_u64(out, *needed);
+                put_u64(out, *limit);
+            }
+            Self::InvalidConfig { field, reason } => {
+                out.push(error_tag::INVALID_CONFIG);
+                put_string(out, field);
+                put_string(out, reason);
+            }
+            Self::Unsupported { what } => {
+                out.push(error_tag::UNSUPPORTED);
+                put_string(out, what);
+            }
+            Self::Backend { backend, reason } => {
+                out.push(error_tag::BACKEND);
+                put_string(out, backend);
+                put_string(out, reason);
+            }
+            Self::DeadlineExceeded => out.push(error_tag::DEADLINE_EXCEEDED),
+            Self::QueueFull { capacity } => {
+                out.push(error_tag::QUEUE_FULL);
+                put_u64(out, *capacity as u64);
+            }
+        }
+    }
+
+    /// Decodes an error encoded by [`Self::encode_wire`].
+    ///
+    /// `InvalidConfig::field` is `&'static str` in memory; a decoded field
+    /// name is re-expressed as `Backend { backend: "config", reason }` with
+    /// the field folded into the reason, so decoding never leaks memory to
+    /// fabricate a `'static` string.
+    ///
+    /// # Errors
+    /// [`WireError`] on an unknown tag or truncated fields.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match reader.u8()? {
+            error_tag::DIM_MISMATCH => Ok(Self::DimMismatch {
+                expected: reader.u64()? as usize,
+                actual: reader.u64()? as usize,
+            }),
+            error_tag::ZERO_K => Ok(Self::ZeroK),
+            error_tag::ZERO_DIMS => Ok(Self::ZeroDims),
+            error_tag::ZERO_DISTANCE_BOUND => Ok(Self::ZeroDistanceBound),
+            error_tag::CAPACITY_EXCEEDED => Ok(Self::CapacityExceeded {
+                needed: reader.u64()?,
+                limit: reader.u64()?,
+            }),
+            error_tag::INVALID_CONFIG => {
+                let field = reader.string()?;
+                let reason = reader.string()?;
+                Ok(Self::Backend {
+                    backend: "config".to_string(),
+                    reason: format!("{field}: {reason}"),
+                })
+            }
+            error_tag::UNSUPPORTED => Ok(Self::Unsupported {
+                what: reader.string()?,
+            }),
+            error_tag::BACKEND => Ok(Self::Backend {
+                backend: reader.string()?,
+                reason: reader.string()?,
+            }),
+            error_tag::DEADLINE_EXCEEDED => Ok(Self::DeadlineExceeded),
+            error_tag::QUEUE_FULL => Ok(Self::QueueFull {
+                capacity: reader.u64()? as usize,
+            }),
+            _ => Err(WireError::Malformed {
+                what: "search error tag",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(error: SearchError) -> SearchError {
+        let mut buf = Vec::new();
+        error.encode_wire(&mut buf);
+        let mut reader = WireReader::new(&buf);
+        let decoded = SearchError::decode_wire(&mut reader).expect("decodes");
+        assert!(reader.is_empty(), "decode must consume the whole encoding");
+        decoded
+    }
+
+    #[test]
+    fn errors_roundtrip() {
+        for error in [
+            SearchError::DimMismatch {
+                expected: 64,
+                actual: 32,
+            },
+            SearchError::ZeroK,
+            SearchError::ZeroDims,
+            SearchError::ZeroDistanceBound,
+            SearchError::CapacityExceeded {
+                needed: u64::MAX,
+                limit: 7,
+            },
+            SearchError::Unsupported {
+                what: "jaccard on gpu".to_string(),
+            },
+            SearchError::Backend {
+                backend: "ap-engine".to_string(),
+                reason: "invalid network".to_string(),
+            },
+            SearchError::DeadlineExceeded,
+            SearchError::QueueFull { capacity: 1024 },
+        ] {
+            assert_eq!(roundtrip_error(error.clone()), error);
+        }
+    }
+
+    #[test]
+    fn invalid_config_survives_as_a_typed_error_with_both_fields() {
+        let decoded = roundtrip_error(SearchError::InvalidConfig {
+            field: "batch_size",
+            reason: "must be at least 1".to_string(),
+        });
+        match decoded {
+            SearchError::Backend { backend, reason } => {
+                assert_eq!(backend, "config");
+                assert!(reason.contains("batch_size"));
+                assert!(reason.contains("must be at least 1"));
+            }
+            other => panic!("expected Backend form, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn options_roundtrip_with_and_without_optionals() {
+        let plain = QueryOptions::top(7);
+        let mut buf = Vec::new();
+        plain.encode_wire(&mut buf);
+        let decoded = QueryOptions::decode_wire(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(decoded.k, 7);
+        assert_eq!(decoded.within, None);
+        assert_eq!(decoded.deadline, None);
+        assert_eq!(decoded.result_key(), plain.result_key());
+
+        let fancy = QueryOptions::top(3)
+            .within(9)
+            .execution(ExecutionPreference::CycleAccurate)
+            .prioritized(Priority::High)
+            .by(Deadline::after(Duration::from_secs(60)));
+        buf.clear();
+        fancy.encode_wire(&mut buf);
+        let decoded = QueryOptions::decode_wire(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(decoded.result_key(), fancy.result_key());
+        assert_eq!(decoded.priority, Priority::High);
+        let deadline = decoded.deadline.expect("deadline travels");
+        assert!(!deadline.is_expired());
+        assert!(deadline.remaining() <= Duration::from_secs(60));
+        assert!(deadline.remaining() > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn vectors_roundtrip_and_mask_hostile_tail_bits() {
+        let mut v = BinaryVector::zeros(70);
+        v.set(0, true);
+        v.set(69, true);
+        let mut buf = Vec::new();
+        v.encode_wire(&mut buf);
+        let decoded = BinaryVector::decode_wire(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(decoded, v);
+
+        // Corrupt the tail word beyond dims: the decode must mask it.
+        let mut hostile = buf.clone();
+        let last = hostile.len() - 1;
+        hostile[last] = 0xff;
+        let decoded = BinaryVector::decode_wire(&mut WireReader::new(&hostile)).unwrap();
+        assert_eq!(decoded.count_ones(), v.count_ones());
+    }
+
+    #[test]
+    fn hostile_declared_dims_refused_before_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert_eq!(
+            BinaryVector::decode_wire(&mut WireReader::new(&buf)),
+            Err(WireError::Oversized {
+                declared: u32::MAX as u64,
+                limit: MAX_WIRE_DIMS as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut buf = Vec::new();
+        QueryOptions::top(5).within(3).encode_wire(&mut buf);
+        for cut in 0..buf.len() {
+            let result = QueryOptions::decode_wire(&mut WireReader::new(&buf[..cut]));
+            assert!(result.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn reader_reports_exact_shortfall() {
+        let mut reader = WireReader::new(&[1, 2, 3]);
+        assert_eq!(reader.u8(), Ok(1));
+        assert_eq!(
+            reader.u32(),
+            Err(WireError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        );
+        assert!(WireError::BadMagic { found: *b"HTTP" }
+            .to_string()
+            .contains("magic"));
+    }
+}

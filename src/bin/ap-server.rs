@@ -1,0 +1,196 @@
+//! `ap-server` — stand the AP similarity-search service up on a TCP port.
+//!
+//! Builds a [`ServiceRuntime`] over a generated Hamming-space corpus, binds
+//! the [`ApServer`] network front door, prints the listening address, and
+//! serves until stdin closes (or a `quit` line arrives) — at which point it
+//! drains in-flight queries, shuts down gracefully, and prints the final
+//! statistics report.
+//!
+//! ```text
+//! cargo run --release --bin ap-server -- --addr 127.0.0.1:7001 \
+//!     --workers 4 --vectors 4096 --dims 64 --backend behavioral
+//! ```
+//!
+//! Talk to it with [`ApClient`] (see `examples/network_serving.rs`) or the
+//! `serve_network` bench.
+
+use ap_similarity::prelude::*;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    vectors: usize,
+    dims: usize,
+    seed: u64,
+    queue: usize,
+    cache: usize,
+    k: usize,
+    backend: BackendKind,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BackendKind {
+    /// Behavioral AP engine — fast, result-exact.
+    Behavioral,
+    /// Cycle-accurate prepared AP engine — the paper's timing model.
+    CycleAccurate,
+    /// Plain CPU linear scan, for comparison.
+    Linear,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7001".to_string(),
+            workers: 4,
+            vectors: 4096,
+            dims: 64,
+            seed: 42,
+            queue: 4096,
+            cache: 1024,
+            k: 10,
+            backend: BackendKind::Behavioral,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = parse(&value("--workers")?)?,
+            "--vectors" => args.vectors = parse(&value("--vectors")?)?,
+            "--dims" => args.dims = parse(&value("--dims")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--queue" => args.queue = parse(&value("--queue")?)?,
+            "--cache" => args.cache = parse(&value("--cache")?)?,
+            "--k" => args.k = parse(&value("--k")?)?,
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "behavioral" => BackendKind::Behavioral,
+                    "cycle" | "cycle-accurate" => BackendKind::CycleAccurate,
+                    "linear" => BackendKind::Linear,
+                    other => return Err(format!("unknown backend '{other}'")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "ap-server: TCP front door for the AP similarity-search service\n\n\
+                     \t--addr HOST:PORT   listen address (default 127.0.0.1:7001; port 0 = ephemeral)\n\
+                     \t--workers N        runtime worker threads (default 4)\n\
+                     \t--vectors N        corpus size (default 4096)\n\
+                     \t--dims N           vector width in bits (default 64)\n\
+                     \t--seed N           corpus RNG seed (default 42)\n\
+                     \t--queue N          admission queue capacity (default 4096)\n\
+                     \t--cache N          result cache capacity, 0 disables (default 1024)\n\
+                     \t--k N              default neighbors per query (default 10)\n\
+                     \t--backend KIND     behavioral | cycle | linear (default behavioral)\n\n\
+                     The server runs until stdin closes or a 'quit' line arrives."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number '{s}'"))
+}
+
+fn build_runtime(args: &Args) -> Result<ServiceRuntime, SearchError> {
+    let data = binvec::generate::uniform_dataset(args.vectors, args.dims, args.seed);
+    let config = RuntimeConfig::default()
+        .with_workers(args.workers)
+        .with_queue_capacity(args.queue)
+        .with_cache_capacity(args.cache)
+        .with_options(QueryOptions::top(args.k));
+    let dims = args.dims;
+    let backend = args.backend;
+    ServiceRuntime::try_new(config, move |_| {
+        Ok(match backend {
+            BackendKind::Linear => {
+                Box::new(LinearScan::new(data.clone())) as Box<dyn SimilarityBackend>
+            }
+            BackendKind::Behavioral => {
+                let engine = ApKnnEngine::new(KnnDesign::new(dims))
+                    .with_mode(ExecutionMode::Behavioral)
+                    .with_parallelism(1);
+                Box::new(ApEngineBackend::try_new(engine, data.clone())?)
+            }
+            BackendKind::CycleAccurate => {
+                let engine = ApKnnEngine::new(KnnDesign::new(dims))
+                    .with_mode(ExecutionMode::CycleAccurate)
+                    .with_parallelism(1);
+                let backend = ApEngineBackend::try_new(engine, data.clone())?;
+                backend.prepared().compile()?;
+                Box::new(backend)
+            }
+        })
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("ap-server: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let runtime = match build_runtime(&args) {
+        Ok(runtime) => std::sync::Arc::new(runtime),
+        Err(error) => {
+            eprintln!("ap-server: failed to build the runtime: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "backend '{}': {} x {}-bit vectors, {} workers, queue {}, cache {}",
+        runtime.backend_name(),
+        args.vectors,
+        args.dims,
+        runtime.worker_count(),
+        args.queue,
+        args.cache,
+    );
+
+    let server = match ApServer::bind(args.addr.as_str(), std::sync::Arc::clone(&runtime)) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("ap-server: failed to bind {}: {error}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    println!("serving until stdin closes (type 'quit' to stop)");
+
+    // Serve until the operator hangs up: stdin EOF or a 'quit' line. Running
+    // under a pipe/daemon manager, closing the pipe is the stop signal.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    println!(
+        "shutting down ({} connections served) — draining in-flight queries",
+        server.connections_accepted()
+    );
+    let stats = server.shutdown();
+    println!("{}", stats.report());
+    // The runtime outlives the front door by design; stop it too on exit.
+    if let Ok(runtime) = std::sync::Arc::try_unwrap(runtime) {
+        runtime.shutdown();
+    }
+}

@@ -96,10 +96,11 @@ pub mod prelude {
         KnnDesign, ParallelApScheduler, PreparedEngine, PreparedSchedule, StreamLayout,
     };
     pub use ap_serve::{
-        ApEngineBackend, ApSchedulerBackend, BackendRegistry, BackendSpec, BaselineKind,
-        FailedQuery, IndexKind, Metric, Provenance, Response, RuntimeConfig, SearchPipeline,
-        SearchService, ServiceConfig, ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset,
-        SimilarityBackend, TicketHandle,
+        ApClient, ApEngineBackend, ApSchedulerBackend, ApServer, BackendRegistry, BackendSpec,
+        BaselineKind, CompletionSet, FailedQuery, Frame, FrameBuffer, IndexKind, Metric, NetError,
+        Provenance, Response, RuntimeConfig, SearchPipeline, SearchService, ServiceConfig,
+        ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset, SimilarityBackend,
+        StatsFrame, TicketHandle, TicketResult,
     };
     pub use ap_sim::{
         ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator, TimingModel,
