@@ -39,6 +39,9 @@
 //!   pipelined (double-buffered) reconfiguration model;
 //! * [`prepared`] — the amortized prepare/run lifecycle: partition once, build and
 //!   compile every board image once, stream many query batches;
+//! * [`live`] — mutable corpora over the prepared lifecycle: an immutable
+//!   compiled base plus append-only delta partitions, tombstone filtering at
+//!   the top-k merge, epoch/generation snapshots, and background compaction;
 //! * [`plan`] — the frontier-aware auto execution planner (cycle-accurate vs
 //!   behavioural from fabric size × stream length, calibrated on `BENCH_sim.json`).
 
@@ -53,6 +56,7 @@ pub mod engine;
 pub mod extensions;
 pub mod indexed;
 pub mod jaccard;
+pub mod live;
 pub mod macros;
 pub mod multiplex;
 pub mod packing;
@@ -69,6 +73,7 @@ pub use decode::decode_reports;
 pub use design::{KnnDesign, SymbolAlphabet};
 pub use engine::{ApKnnEngine, ApRunStats, ExecutionMode};
 pub use jaccard::{JaccardNeighbor, JaccardSearcher};
+pub use live::{LiveConfig, LiveEngine, LiveStatus};
 pub use plan::{AutoPlanner, ExecutionPlanner};
 pub use prepared::{PoolStats, PreparedEngine};
 pub use scheduler::{ParallelApScheduler, PipelineModel, PreparedSchedule, ScheduleStats};

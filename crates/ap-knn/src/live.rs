@@ -1,0 +1,975 @@
+//! Live (mutable) corpora: epoch-snapshot engines with delta partitions,
+//! tombstones, and background compaction.
+//!
+//! The paper's AP workflow assumes a corpus frozen at configuration time —
+//! partial-reconfiguration cost (§III-C) is exactly why [`PreparedEngine`]
+//! caches the dataset partitioning and the compiled board images. Production
+//! corpora churn, and a full re-`prepare()` per insert throws away every
+//! cached image. A [`LiveEngine`] keeps the expensive compiled base immutable
+//! and absorbs churn in cheap structures around it:
+//!
+//! * **Delta partitions** — inserts append to small, immutable delta segments
+//!   (at most [`LiveConfig::delta_chunk`] vectors each), re-prepared
+//!   incrementally per insert. Each segment is its own [`PreparedEngine`], so
+//!   the base's board images are never rebuilt on insert.
+//! * **Tombstones** — deletes never touch compiled state; the deleted stable
+//!   id joins a sorted tombstone set that is filtered out at the top-k merge.
+//!   Per-segment searches over-fetch by the number of tombstones that target
+//!   the segment, so the merged top-k is *exact*, not approximate.
+//! * **Epoch snapshots** — the whole engine state (base, deltas, tombstones,
+//!   generation) lives behind one `Arc`, swapped atomically per mutation.
+//!   In-flight query batches keep reading the snapshot they started with;
+//!   queries observe every mutation acknowledged before they were submitted.
+//! * **Compaction** — once the deltas or the tombstone set exceed
+//!   [`LiveConfig::compact_threshold`], a (optionally background) compaction
+//!   folds every delta and drops every tombstoned vector into a fresh
+//!   prepared base. The fold runs outside the writer lock — mutations land
+//!   concurrently — and splices against the then-current snapshot using the
+//!   stable-id watermark, so nothing acknowledged is ever lost.
+//!
+//! Every vector has a **stable id** assigned at insert (the initial corpus
+//! occupies ids `0..n` in dataset order) and keeps it across compactions, so
+//! neighbor ids stay meaningful across the corpus's whole history. Queries on
+//! an *unmutated* epoch (no deltas, no tombstones, identity id map) take the
+//! exact zero-allocation [`PreparedEngine::try_search_batch_into`] hot path.
+//!
+//! Equivalence contract (proptest-enforced in `tests/live_engine.rs`): after
+//! any insert/delete sequence, a query returns *bit-identically* the neighbors
+//! of a fresh [`ApKnnEngine::prepare`] over the equivalent corpus — the live
+//! vectors in stable-id order — with positional ids mapped through that order.
+
+use crate::engine::{ApKnnEngine, ApRunStats};
+use crate::prepared::PreparedEngine;
+use binvec::{BinaryDataset, BinaryVector, MutAck, Mutation, MutationOp};
+use binvec::{Neighbor, QueryOptions, SearchError, TopK};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Construction parameters of a [`LiveEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// Maximum vectors per delta segment. Inserts rebuild the open (tail)
+    /// segment until it reaches this size, then seal it and open a new one —
+    /// so the per-insert re-prepare cost is bounded by this many vectors.
+    pub delta_chunk: usize,
+    /// Compaction trigger: once the total delta vectors *or* the tombstone
+    /// count reach this threshold, the deltas are folded into a new base.
+    pub compact_threshold: usize,
+    /// Run compactions on a dedicated background thread (woken by mutations)
+    /// instead of only on explicit [`LiveEngine::compact_now`] calls.
+    pub background: bool,
+    /// Compile each new delta segment's board images at insert time instead
+    /// of lazily on its first cycle-accurate batch, so serving traffic never
+    /// pays a compile. (Behavioral-only deployments should leave this off:
+    /// their batches never touch compiled images at all.)
+    pub compile_deltas: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            delta_chunk: 64,
+            compact_threshold: 256,
+            background: true,
+            compile_deltas: false,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Sets the delta-segment capacity.
+    pub fn with_delta_chunk(mut self, vectors: usize) -> Self {
+        self.delta_chunk = vectors;
+        self
+    }
+
+    /// Sets the compaction trigger threshold.
+    pub fn with_compact_threshold(mut self, vectors: usize) -> Self {
+        self.compact_threshold = vectors;
+        self
+    }
+
+    /// Enables or disables the background compaction thread.
+    pub fn with_background(mut self, background: bool) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Enables or disables eager compilation of new delta segments.
+    pub fn with_compile_deltas(mut self, compile: bool) -> Self {
+        self.compile_deltas = compile;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SearchError> {
+        if self.delta_chunk == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "delta_chunk",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.compact_threshold == 0 {
+            return Err(SearchError::InvalidConfig {
+                field: "compact_threshold",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time gauge of a live engine's internal shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveStatus {
+    /// Corpus generation: bumped by every applied mutation and compaction.
+    pub generation: u64,
+    /// Live (queryable) vectors: inserts minus deletes.
+    pub live_len: usize,
+    /// Vectors held by the compiled base.
+    pub base_len: usize,
+    /// Vectors held across all delta segments.
+    pub delta_vectors: usize,
+    /// Delta segments currently stacked on the base.
+    pub delta_segments: usize,
+    /// Tombstoned (deleted but not yet compacted-away) stable ids.
+    pub tombstones: usize,
+    /// The configured compaction trigger, echoed so [`Self::fill`] needs no
+    /// out-of-band knowledge of the engine's configuration.
+    pub compact_threshold: usize,
+    /// Compactions completed over the engine's lifetime.
+    pub compactions: u64,
+    /// The next stable id an insert would be assigned.
+    pub next_id: usize,
+}
+
+impl LiveStatus {
+    /// Delta fill fraction relative to `threshold` (1.0 = compaction due).
+    pub fn delta_fill(&self, threshold: usize) -> f64 {
+        if threshold == 0 {
+            return 0.0;
+        }
+        self.delta_vectors.max(self.tombstones) as f64 / threshold as f64
+    }
+
+    /// Delta fill fraction relative to the engine's own configured
+    /// [`LiveConfig::compact_threshold`].
+    pub fn fill(&self) -> f64 {
+        self.delta_fill(self.compact_threshold)
+    }
+}
+
+/// The immutable compiled base of one epoch: a prepared dataset plus the map
+/// from its positional ids back to stable ids.
+#[derive(Debug)]
+struct BaseSegment {
+    data: BinaryDataset,
+    prepared: PreparedEngine,
+    /// Stable id of each base position, strictly ascending. `None` means the
+    /// identity map (position `i` *is* stable id `i`) — the pristine shape
+    /// the zero-allocation fast path requires.
+    ids: Option<Vec<usize>>,
+}
+
+impl BaseSegment {
+    fn stable_id(&self, position: usize) -> usize {
+        match &self.ids {
+            None => position,
+            Some(ids) => ids[position],
+        }
+    }
+
+    /// Whether stable id `id` is physically present in the base.
+    fn contains(&self, id: usize) -> bool {
+        match &self.ids {
+            None => id < self.data.len(),
+            Some(ids) => ids.binary_search(&id).is_ok(),
+        }
+    }
+}
+
+/// One immutable delta segment covering the contiguous stable-id range
+/// `[first_id, first_id + data.len())`.
+#[derive(Debug)]
+struct DeltaSegment {
+    first_id: usize,
+    data: BinaryDataset,
+    prepared: PreparedEngine,
+}
+
+impl DeltaSegment {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn end_id(&self) -> usize {
+        self.first_id + self.data.len()
+    }
+}
+
+/// One epoch: a consistent, immutable view of the whole corpus. Readers clone
+/// the `Arc` under a read lock and then run lock-free against it; mutations
+/// and compactions install a successor with `generation + 1`.
+#[derive(Debug)]
+struct Snapshot {
+    generation: u64,
+    base: Arc<BaseSegment>,
+    /// Stable-id watermark: every id below it is the base's territory (live
+    /// in the base, or compacted away); every id in `[folded_through,
+    /// next_id)` lives in exactly one delta segment.
+    folded_through: usize,
+    deltas: Vec<Arc<DeltaSegment>>,
+    /// Deleted stable ids, sorted ascending. Filtered at the top-k merge;
+    /// physically dropped by the next compaction.
+    tombstones: Arc<Vec<usize>>,
+    next_id: usize,
+    live_len: usize,
+}
+
+impl Snapshot {
+    fn tombstoned(&self, id: usize) -> bool {
+        self.tombstones.binary_search(&id).is_ok()
+    }
+
+    /// Tombstones with stable id in `[lo, hi)`.
+    fn tombstones_in(&self, lo: usize, hi: usize) -> usize {
+        let from = self.tombstones.partition_point(|&t| t < lo);
+        let to = self.tombstones.partition_point(|&t| t < hi);
+        to - from
+    }
+
+    fn delta_vectors(&self) -> usize {
+        self.deltas.iter().map(|d| d.len()).sum()
+    }
+
+    fn is_live(&self, id: usize) -> bool {
+        if id >= self.next_id || self.tombstoned(id) {
+            return false;
+        }
+        if id >= self.folded_through {
+            return true; // every un-tombstoned delta id is live
+        }
+        self.base.contains(id)
+    }
+
+    /// Whether this epoch can serve the unmutated zero-allocation fast path.
+    fn is_pristine(&self) -> bool {
+        self.deltas.is_empty() && self.tombstones.is_empty() && self.base.ids.is_none()
+    }
+}
+
+/// Wake-up state shared with the background compaction thread.
+#[derive(Default)]
+struct CompactorState {
+    pending: bool,
+    shutdown: bool,
+}
+
+struct LiveInner {
+    engine: ApKnnEngine,
+    config: LiveConfig,
+    /// The current epoch. Readers take the read lock only long enough to
+    /// clone the `Arc`; writers swap in a successor snapshot.
+    state: RwLock<Arc<Snapshot>>,
+    /// Serializes mutations (and the splice step of a compaction) so stable
+    /// ids are assigned once and snapshots never race each other.
+    writer: Mutex<()>,
+    /// Serializes compactions; held across the whole fold + splice so the
+    /// tombstone set only grows between fold-start and splice.
+    compact: Mutex<()>,
+    signal: Mutex<CompactorState>,
+    wake: Condvar,
+    compactions: AtomicU64,
+}
+
+impl LiveInner {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.state.read().expect("live state lock poisoned"))
+    }
+
+    fn install(&self, next: Snapshot) {
+        *self.state.write().expect("live state lock poisoned") = Arc::new(next);
+    }
+
+    fn prepare_segment(&self, data: &BinaryDataset) -> Result<PreparedEngine, SearchError> {
+        let prepared = self.engine.prepare(data)?;
+        if self.config.compile_deltas {
+            prepared.compile()?;
+        }
+        Ok(prepared)
+    }
+
+    /// Applies one mutation under the writer lock and returns its ack.
+    fn apply(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
+        let _writer = self.writer.lock().expect("live writer lock poisoned");
+        let current = self.snapshot();
+        let ack = match mutation {
+            Mutation::Insert { vector } => {
+                if vector.dims() != self.engine.design().dims {
+                    return Err(SearchError::DimMismatch {
+                        expected: self.engine.design().dims,
+                        actual: vector.dims(),
+                    });
+                }
+                let id = current.next_id;
+                let mut deltas = current.deltas.clone();
+                // Grow the open (tail) segment until it reaches delta_chunk;
+                // segments are immutable, so growing means re-preparing a
+                // copy with the new vector appended — bounded by delta_chunk.
+                let open = deltas
+                    .last()
+                    .filter(|d| d.end_id() == id && d.len() < self.config.delta_chunk)
+                    .cloned();
+                match open {
+                    Some(open) => {
+                        let mut data = open.data.clone();
+                        data.push(vector);
+                        let prepared = self.prepare_segment(&data)?;
+                        *deltas.last_mut().expect("open tail segment") = Arc::new(DeltaSegment {
+                            first_id: open.first_id,
+                            data,
+                            prepared,
+                        });
+                    }
+                    None => {
+                        let mut data = BinaryDataset::with_capacity(vector.dims(), 1);
+                        data.push(vector);
+                        let prepared = self.prepare_segment(&data)?;
+                        deltas.push(Arc::new(DeltaSegment {
+                            first_id: id,
+                            data,
+                            prepared,
+                        }));
+                    }
+                }
+                let generation = current.generation + 1;
+                self.install(Snapshot {
+                    generation,
+                    base: Arc::clone(&current.base),
+                    folded_through: current.folded_through,
+                    deltas,
+                    tombstones: Arc::clone(&current.tombstones),
+                    next_id: id + 1,
+                    live_len: current.live_len + 1,
+                });
+                MutAck {
+                    op: MutationOp::Insert,
+                    id,
+                    generation,
+                }
+            }
+            Mutation::Delete { id } => {
+                if !current.is_live(*id) {
+                    return Err(SearchError::Backend {
+                        backend: "live".to_string(),
+                        reason: format!("delete of unknown or already-deleted id {id}"),
+                    });
+                }
+                let mut tombstones = current.tombstones.as_ref().clone();
+                let at = tombstones.partition_point(|&t| t < *id);
+                tombstones.insert(at, *id);
+                let generation = current.generation + 1;
+                self.install(Snapshot {
+                    generation,
+                    base: Arc::clone(&current.base),
+                    folded_through: current.folded_through,
+                    deltas: current.deltas.clone(),
+                    tombstones: Arc::new(tombstones),
+                    next_id: current.next_id,
+                    live_len: current.live_len - 1,
+                });
+                MutAck {
+                    op: MutationOp::Delete,
+                    id: *id,
+                    generation,
+                }
+            }
+        };
+        Ok(ack)
+    }
+
+    /// Whether the delta/tombstone load has reached the compaction trigger.
+    fn compaction_due(&self) -> bool {
+        let snap = self.snapshot();
+        snap.delta_vectors() >= self.config.compact_threshold
+            || snap.tombstones.len() >= self.config.compact_threshold
+    }
+
+    fn nudge_compactor(&self) {
+        if !self.config.background || !self.compaction_due() {
+            return;
+        }
+        let mut state = self.signal.lock().expect("compactor signal poisoned");
+        state.pending = true;
+        self.wake.notify_one();
+    }
+
+    /// Folds the current deltas and tombstones into a fresh prepared base.
+    ///
+    /// The fold runs against a pinned snapshot `S` *outside* the writer lock,
+    /// so mutations keep landing while the new base is prepared. The splice
+    /// then runs under the writer lock against the then-current snapshot `C`:
+    /// delta segments fully below `S.next_id` were folded and are dropped, a
+    /// straddling open segment is sliced at the watermark, and the tombstones
+    /// folded away (`S`'s) are removed — everything newer survives verbatim.
+    /// Compactions are serialized by `self.compact`, so `S.tombstones ⊆
+    /// C.tombstones` always holds at splice time.
+    fn compact_now(&self) -> Result<bool, SearchError> {
+        let _compact = self.compact.lock().expect("live compact lock poisoned");
+        let pinned = self.snapshot();
+        if pinned.deltas.is_empty() && pinned.tombstones.is_empty() {
+            return Ok(false);
+        }
+        let dims = self.engine.design().dims;
+
+        // Fold: every live vector at the pinned snapshot, in stable-id order.
+        let mut folded = BinaryDataset::with_capacity(dims, pinned.live_len);
+        let mut ids = Vec::with_capacity(pinned.live_len);
+        for position in 0..pinned.base.data.len() {
+            let id = pinned.base.stable_id(position);
+            if !pinned.tombstoned(id) {
+                folded.push(&pinned.base.data.vector(position));
+                ids.push(id);
+            }
+        }
+        for delta in &pinned.deltas {
+            for local in 0..delta.len() {
+                let id = delta.first_id + local;
+                if !pinned.tombstoned(id) {
+                    folded.push(&delta.data.vector(local));
+                    ids.push(id);
+                }
+            }
+        }
+        let prepared = self.engine.prepare(&folded)?;
+        if self.config.compile_deltas || pinned.base.prepared.is_compiled() {
+            prepared.compile()?;
+        }
+        // The identity map is the fast-path shape; keep it whenever the fold
+        // happens to preserve it (no deletions over the corpus's lifetime).
+        let ids = if ids.iter().copied().eq(0..folded.len()) {
+            None
+        } else {
+            Some(ids)
+        };
+        let base = Arc::new(BaseSegment {
+            data: folded,
+            prepared,
+            ids,
+        });
+
+        // Splice under the writer lock against the then-current snapshot.
+        let _writer = self.writer.lock().expect("live writer lock poisoned");
+        let current = self.snapshot();
+        let mut deltas = Vec::new();
+        for delta in &current.deltas {
+            if delta.first_id >= pinned.next_id {
+                deltas.push(Arc::clone(delta));
+            } else if delta.end_id() > pinned.next_id {
+                // The open segment grew past the watermark during the fold:
+                // keep only the unfolded tail `[pinned.next_id, end)`.
+                let mut data = BinaryDataset::with_capacity(dims, delta.end_id() - pinned.next_id);
+                for local in (pinned.next_id - delta.first_id)..delta.len() {
+                    data.push(&delta.data.vector(local));
+                }
+                let prepared = self.prepare_segment(&data)?;
+                deltas.push(Arc::new(DeltaSegment {
+                    first_id: pinned.next_id,
+                    data,
+                    prepared,
+                }));
+            }
+        }
+        let tombstones: Vec<usize> = current
+            .tombstones
+            .iter()
+            .copied()
+            .filter(|&t| !pinned.tombstoned(t))
+            .collect();
+        self.install(Snapshot {
+            generation: current.generation + 1,
+            base,
+            folded_through: pinned.next_id,
+            deltas,
+            tombstones: Arc::new(tombstones),
+            next_id: current.next_id,
+            live_len: current.live_len,
+        });
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    fn status(&self) -> LiveStatus {
+        let snap = self.snapshot();
+        LiveStatus {
+            generation: snap.generation,
+            live_len: snap.live_len,
+            base_len: snap.base.data.len(),
+            delta_vectors: snap.delta_vectors(),
+            delta_segments: snap.deltas.len(),
+            tombstones: snap.tombstones.len(),
+            compact_threshold: self.config.compact_threshold,
+            compactions: self.compactions.load(Ordering::Relaxed),
+            next_id: snap.next_id,
+        }
+    }
+}
+
+fn zero_stats() -> ApRunStats {
+    ApRunStats {
+        board_configurations: 0,
+        reconfigurations: 0,
+        symbols_streamed: 0,
+        charged_cycles: 0,
+        reports: 0,
+        report_bits: 0,
+        estimate: Default::default(),
+    }
+}
+
+fn accumulate(total: &mut ApRunStats, part: &ApRunStats) {
+    total.board_configurations += part.board_configurations;
+    total.reconfigurations += part.reconfigurations;
+    total.symbols_streamed += part.symbols_streamed;
+    total.charged_cycles += part.charged_cycles;
+    total.reports += part.reports;
+    total.report_bits += part.report_bits;
+    total.estimate.streaming_s += part.estimate.streaming_s;
+    total.estimate.reconfiguration_s += part.estimate.reconfiguration_s;
+    total.estimate.symbols += part.estimate.symbols;
+    total.estimate.reconfigurations += part.estimate.reconfigurations;
+}
+
+/// An [`ApKnnEngine`] over a *mutable* corpus: an immutable compiled base plus
+/// append-only delta partitions, tombstone filtering at the top-k merge, and
+/// epoch/generation snapshots. See the module docs for the design.
+pub struct LiveEngine {
+    inner: Arc<LiveInner>,
+    compactor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LiveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveEngine")
+            .field("status", &self.status())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LiveEngine {
+    /// Builds a live engine over `data` (which becomes stable ids `0..len`).
+    ///
+    /// # Errors
+    /// Configuration errors as [`SearchError::InvalidConfig`]; dataset-shape
+    /// errors exactly as [`ApKnnEngine::prepare`].
+    pub fn new(
+        engine: ApKnnEngine,
+        data: &BinaryDataset,
+        config: LiveConfig,
+    ) -> Result<Self, SearchError> {
+        config.validate()?;
+        let prepared = engine.prepare(data)?;
+        let next_id = data.len();
+        let inner = Arc::new(LiveInner {
+            engine,
+            config,
+            state: RwLock::new(Arc::new(Snapshot {
+                generation: 0,
+                base: Arc::new(BaseSegment {
+                    data: data.clone(),
+                    prepared,
+                    ids: None,
+                }),
+                folded_through: next_id,
+                deltas: Vec::new(),
+                tombstones: Arc::new(Vec::new()),
+                next_id,
+                live_len: next_id,
+            })),
+            writer: Mutex::new(()),
+            compact: Mutex::new(()),
+            signal: Mutex::new(CompactorState::default()),
+            wake: Condvar::new(),
+            compactions: AtomicU64::new(0),
+        });
+        let compactor = config.background.then(|| {
+            let worker = Arc::clone(&inner);
+            std::thread::spawn(move || loop {
+                let mut state = worker.signal.lock().expect("compactor signal poisoned");
+                while !state.pending && !state.shutdown {
+                    state = worker.wake.wait(state).expect("compactor signal poisoned");
+                }
+                if state.shutdown {
+                    return;
+                }
+                state.pending = false;
+                drop(state);
+                // A failed fold (e.g. a capacity limit) leaves the current
+                // snapshot serving; the next mutation re-arms the trigger.
+                let _ = worker.compact_now();
+            })
+        });
+        Ok(Self { inner, compactor })
+    }
+
+    /// The engine configuration queries and segment preparations use.
+    pub fn engine(&self) -> &ApKnnEngine {
+        &self.inner.engine
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &LiveConfig {
+        &self.inner.config
+    }
+
+    /// Dimensionality of the served vectors.
+    pub fn dims(&self) -> usize {
+        self.inner.engine.design().dims
+    }
+
+    /// Live (queryable) vectors.
+    pub fn len(&self) -> usize {
+        self.inner.snapshot().live_len
+    }
+
+    /// Whether no live vectors remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current corpus generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.snapshot().generation
+    }
+
+    /// A point-in-time gauge of the engine's internal shape.
+    pub fn status(&self) -> LiveStatus {
+        self.inner.status()
+    }
+
+    /// Applies one mutation and returns the ack carrying the generation at
+    /// which it became visible. May wake the background compactor.
+    ///
+    /// # Errors
+    /// [`SearchError::DimMismatch`] for an insert of the wrong width;
+    /// [`SearchError::Backend`] for a delete of an unknown or already-deleted
+    /// id; segment-preparation errors as from [`ApKnnEngine::prepare`].
+    pub fn apply(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
+        let ack = self.inner.apply(mutation)?;
+        self.inner.nudge_compactor();
+        Ok(ack)
+    }
+
+    /// Inserts `vector`, returning the ack with its assigned stable id.
+    ///
+    /// # Errors
+    /// As [`Self::apply`].
+    pub fn insert(&self, vector: &BinaryVector) -> Result<MutAck, SearchError> {
+        self.apply(&Mutation::Insert {
+            vector: vector.clone(),
+        })
+    }
+
+    /// Deletes the vector with stable id `id`.
+    ///
+    /// # Errors
+    /// As [`Self::apply`].
+    pub fn delete(&self, id: usize) -> Result<MutAck, SearchError> {
+        self.apply(&Mutation::Delete { id })
+    }
+
+    /// Folds the current deltas and tombstones into a fresh prepared base
+    /// now, on the calling thread. Returns whether a compaction ran (`false`
+    /// when the epoch was already fully folded).
+    ///
+    /// # Errors
+    /// Preparation errors as from [`ApKnnEngine::prepare`]; on error the
+    /// current snapshot keeps serving unchanged.
+    pub fn compact_now(&self) -> Result<bool, SearchError> {
+        self.inner.compact_now()
+    }
+
+    /// Searches `queries` against the current epoch, writing per-query sorted
+    /// neighbors (by **stable id**) into the caller-owned `results`.
+    ///
+    /// An unmutated epoch — no deltas, no tombstones, identity id map —
+    /// delegates straight to the base's zero-allocation
+    /// [`PreparedEngine::try_search_batch_into`] hot path. A mutated epoch
+    /// searches the base and every delta segment (over-fetching each by the
+    /// tombstones that target it), filters tombstoned ids, and merges into an
+    /// exact global top-k; the returned [`ApRunStats`] sums all segments.
+    ///
+    /// # Errors
+    /// Exactly the errors of [`PreparedEngine::try_search_batch_into`].
+    pub fn try_search_batch_into(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+        results: &mut Vec<Vec<Neighbor>>,
+    ) -> Result<ApRunStats, SearchError> {
+        let snap = self.inner.snapshot();
+        if snap.is_pristine() {
+            return snap
+                .base
+                .prepared
+                .try_search_batch_into(queries, options, results);
+        }
+        options.validate()?;
+
+        let k = options.k;
+        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        let mut stats = zero_stats();
+        let mut segment_results: Vec<Vec<Neighbor>> = Vec::new();
+
+        // Base segment: over-fetch by the tombstones below the watermark
+        // (every one of them targets a base vector), then rewrite positional
+        // ids to stable ids and drop the tombstoned.
+        {
+            let overfetch = snap.tombstones_in(0, snap.folded_through);
+            let mut seg_options = *options;
+            seg_options.k = k + overfetch;
+            let part = snap.base.prepared.try_search_batch_into(
+                queries,
+                &seg_options,
+                &mut segment_results,
+            )?;
+            accumulate(&mut stats, &part);
+            for (acc, neighbors) in merged.iter_mut().zip(&segment_results) {
+                for n in neighbors {
+                    let id = snap.base.stable_id(n.id);
+                    if !snap.tombstoned(id) {
+                        acc.offer(Neighbor::new(id, n.distance));
+                    }
+                }
+            }
+        }
+
+        for delta in &snap.deltas {
+            let overfetch = snap.tombstones_in(delta.first_id, delta.end_id());
+            let mut seg_options = *options;
+            seg_options.k = k + overfetch;
+            let part = delta.prepared.try_search_batch_into(
+                queries,
+                &seg_options,
+                &mut segment_results,
+            )?;
+            accumulate(&mut stats, &part);
+            for (acc, neighbors) in merged.iter_mut().zip(&segment_results) {
+                for n in neighbors {
+                    let id = delta.first_id + n.id;
+                    if !snap.tombstoned(id) {
+                        acc.offer(Neighbor::new(id, n.distance));
+                    }
+                }
+            }
+        }
+
+        results.truncate(queries.len());
+        while results.len() < queries.len() {
+            results.push(Vec::new());
+        }
+        for (acc, neighbors) in merged.iter_mut().zip(results.iter_mut()) {
+            acc.drain_sorted_into(neighbors);
+            options.clip(neighbors);
+        }
+        Ok(stats)
+    }
+
+    /// Searches `queries` against the current epoch. See
+    /// [`Self::try_search_batch_into`] for the allocation-conscious form and
+    /// the id/merge semantics.
+    ///
+    /// # Errors
+    /// Exactly the errors of [`Self::try_search_batch_into`].
+    pub fn try_search_batch(
+        &self,
+        queries: &[BinaryVector],
+        options: &QueryOptions,
+    ) -> Result<(Vec<Vec<Neighbor>>, ApRunStats), SearchError> {
+        let mut results = Vec::new();
+        let stats = self.try_search_batch_into(queries, options, &mut results)?;
+        Ok((results, stats))
+    }
+}
+
+impl Drop for LiveEngine {
+    fn drop(&mut self) {
+        if let Some(handle) = self.compactor.take() {
+            {
+                let mut state = self.inner.signal.lock().expect("compactor signal poisoned");
+                state.shutdown = true;
+                self.inner.wake.notify_one();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::{BoardCapacity, CapacityModel};
+    use crate::design::KnnDesign;
+    use crate::engine::ExecutionMode;
+    use binvec::generate::{uniform_dataset, uniform_queries};
+
+    fn engine(dims: usize, per_board: usize) -> ApKnnEngine {
+        ApKnnEngine::new(KnnDesign::new(dims))
+            .with_mode(ExecutionMode::Behavioral)
+            .with_capacity(BoardCapacity {
+                vectors_per_board: per_board,
+                model: CapacityModel::PaperCalibrated,
+            })
+    }
+
+    fn foreground() -> LiveConfig {
+        LiveConfig::default()
+            .with_background(false)
+            .with_delta_chunk(4)
+            .with_compact_threshold(8)
+    }
+
+    #[test]
+    fn pristine_engine_matches_prepared_and_stays_generation_zero() {
+        let dims = 16;
+        let data = uniform_dataset(40, dims, 90);
+        let engine = engine(dims, 10);
+        let live = LiveEngine::new(engine.clone(), &data, foreground()).unwrap();
+        let prepared = engine.prepare(&data).unwrap();
+        let queries = uniform_queries(3, dims, 91);
+        let options = QueryOptions::top(5);
+        assert_eq!(
+            live.try_search_batch(&queries, &options).unwrap(),
+            prepared.try_search_batch(&queries, &options).unwrap(),
+        );
+        assert_eq!(live.generation(), 0);
+        assert_eq!(live.len(), 40);
+    }
+
+    #[test]
+    fn inserts_become_visible_with_fresh_stable_ids() {
+        let dims = 16;
+        let data = uniform_dataset(10, dims, 92);
+        let live = LiveEngine::new(engine(dims, 8), &data, foreground()).unwrap();
+        let extra = uniform_queries(3, dims, 93);
+        for (i, v) in extra.iter().enumerate() {
+            let ack = live.insert(v).unwrap();
+            assert_eq!(ack.id, 10 + i);
+            assert_eq!(ack.op, MutationOp::Insert);
+            assert_eq!(ack.generation, (i + 1) as u64);
+        }
+        assert_eq!(live.len(), 13);
+        // Query *for* an inserted vector: it must come back at distance 0.
+        let (results, _) = live
+            .try_search_batch(&extra[..1], &QueryOptions::top(1))
+            .unwrap();
+        assert_eq!(results[0][0], Neighbor::new(10, 0));
+    }
+
+    #[test]
+    fn deletes_tombstone_and_never_reappear() {
+        let dims = 16;
+        let data = uniform_dataset(12, dims, 94);
+        let live = LiveEngine::new(engine(dims, 6), &data, foreground()).unwrap();
+        // Delete the nearest neighbor of query 0 and re-ask: the old second
+        // place must be promoted, and the deleted id must never appear.
+        let queries = uniform_queries(1, dims, 95);
+        let (before, _) = live
+            .try_search_batch(&queries, &QueryOptions::top(12))
+            .unwrap();
+        let victim = before[0][0].id;
+        live.delete(victim).unwrap();
+        let (after, _) = live
+            .try_search_batch(&queries, &QueryOptions::top(12))
+            .unwrap();
+        assert_eq!(after[0].len(), 11);
+        assert!(after[0].iter().all(|n| n.id != victim));
+        assert_eq!(after[0].as_slice(), &before[0][1..]);
+        // Double delete is a typed error.
+        assert!(matches!(
+            live.delete(victim),
+            Err(SearchError::Backend { .. })
+        ));
+        assert!(matches!(live.delete(999), Err(SearchError::Backend { .. })));
+    }
+
+    #[test]
+    fn compaction_folds_deltas_and_preserves_results() {
+        let dims = 16;
+        let data = uniform_dataset(9, dims, 96);
+        let live = LiveEngine::new(engine(dims, 5), &data, foreground()).unwrap();
+        let extra = uniform_queries(10, dims, 97);
+        for v in &extra {
+            live.insert(v).unwrap();
+        }
+        live.delete(3).unwrap();
+        live.delete(13).unwrap();
+        let queries = uniform_queries(4, dims, 98);
+        let options = QueryOptions::top(6);
+        let (before, _) = live.try_search_batch(&queries, &options).unwrap();
+        assert!(live.compact_now().unwrap());
+        let status = live.status();
+        assert_eq!(status.delta_vectors, 0);
+        assert_eq!(status.tombstones, 0);
+        assert_eq!(status.base_len, 17);
+        assert_eq!(status.live_len, 17);
+        assert_eq!(status.compactions, 1);
+        let (after, _) = live.try_search_batch(&queries, &options).unwrap();
+        assert_eq!(before, after, "compaction must not change any result");
+        // A second compaction with nothing to fold is a no-op.
+        assert!(!live.compact_now().unwrap());
+    }
+
+    #[test]
+    fn threshold_triggers_background_compaction() {
+        let dims = 16;
+        let data = uniform_dataset(6, dims, 99);
+        let config = LiveConfig::default()
+            .with_delta_chunk(2)
+            .with_compact_threshold(4)
+            .with_background(true);
+        let live = LiveEngine::new(engine(dims, 6), &data, config).unwrap();
+        for v in &uniform_queries(5, dims, 100) {
+            live.insert(v).unwrap();
+        }
+        // The background thread owns the fold; wait for it to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while live.status().compactions == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(live.status().compactions >= 1, "compactor never ran");
+        assert_eq!(live.len(), 11);
+    }
+
+    #[test]
+    fn zero_sized_config_fields_are_rejected() {
+        let dims = 8;
+        let data = uniform_dataset(4, dims, 101);
+        for config in [
+            LiveConfig::default().with_delta_chunk(0),
+            LiveConfig::default().with_compact_threshold(0),
+        ] {
+            assert!(matches!(
+                LiveEngine::new(engine(dims, 4), &data, config),
+                Err(SearchError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_initial_corpus_grows_from_nothing() {
+        let dims = 16;
+        let live =
+            LiveEngine::new(engine(dims, 4), &BinaryDataset::new(dims), foreground()).unwrap();
+        assert!(live.is_empty());
+        let vectors = uniform_queries(3, dims, 102);
+        for v in &vectors {
+            live.insert(v).unwrap();
+        }
+        let (results, _) = live
+            .try_search_batch(&vectors[..1], &QueryOptions::top(3))
+            .unwrap();
+        assert_eq!(results[0].len(), 3);
+        assert_eq!(results[0][0], Neighbor::new(0, 0));
+    }
+}

@@ -9,9 +9,10 @@
 use ap_knn::engine::ApRunStats;
 use ap_knn::indexed::{IndexedApEngine, IndexedDataAccess};
 use ap_knn::jaccard::JaccardSearcher;
+use ap_knn::live::LiveStatus;
 use ap_knn::{ApKnnEngine, KnnDesign, ParallelApScheduler, PreparedEngine, PreparedSchedule};
 use baselines::{BucketIndex, SearchIndex};
-use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions, SearchError};
+use binvec::{BinaryDataset, BinaryVector, MutAck, Mutation, Neighbor, QueryOptions, SearchError};
 
 /// Results and accounting from one dispatched batch.
 #[derive(Clone, Debug, Default)]
@@ -103,6 +104,31 @@ pub trait SimilarityBackend: Send + Sync {
         }
         Ok(batch)
     }
+
+    /// Applies one corpus mutation (insert or delete), returning the ack that
+    /// carries the generation at which the mutation became visible.
+    ///
+    /// Only mutable backends (the [`crate::LiveBackend`] over an
+    /// [`ap_knn::LiveEngine`]) support this; the default refuses with a typed
+    /// error so frozen-corpus deployments fail mutation submissions cleanly at
+    /// dispatch instead of panicking.
+    ///
+    /// # Errors
+    /// [`SearchError::Unsupported`] from the default implementation; mutable
+    /// backends surface their own engine errors (e.g. a delete of an unknown
+    /// id).
+    fn apply_mutation(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
+        let _ = mutation;
+        Err(SearchError::Unsupported {
+            what: format!("mutations on the frozen-corpus backend {}", self.name()),
+        })
+    }
+
+    /// A live-corpus status snapshot (generation, delta fill, tombstones), or
+    /// `None` for frozen-corpus backends.
+    fn live_status(&self) -> Option<LiveStatus> {
+        None
+    }
 }
 
 /// Boxed trait objects serve exactly like the backend they wrap, so sharded
@@ -130,6 +156,14 @@ impl SimilarityBackend for Box<dyn SimilarityBackend> {
         options: &QueryOptions,
     ) -> Result<BackendBatch, SearchError> {
         self.as_ref().try_serve_batch(queries, options)
+    }
+
+    fn apply_mutation(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
+        self.as_ref().apply_mutation(mutation)
+    }
+
+    fn live_status(&self) -> Option<LiveStatus> {
+        self.as_ref().live_status()
     }
 }
 

@@ -54,6 +54,12 @@ pub struct ResultCache {
     head: usize,
     /// Least recently used slot (list tail), or `NIL` when empty.
     tail: usize,
+    /// The corpus generation every resident entry was computed at. Mutable
+    /// corpora advance this on every epoch swap ([`Self::advance_generation`]
+    /// flushes), and in-flight dispatches that straddled a swap are refused by
+    /// [`Self::insert_at`] — so a cached answer always reflects the current
+    /// corpus. Frozen corpora stay at generation 0 forever.
+    generation: u64,
     hits: u64,
     misses: u64,
 }
@@ -70,6 +76,7 @@ impl ResultCache {
             slots: Vec::new(),
             head: NIL,
             tail: NIL,
+            generation: 0,
             hits: 0,
             misses: 0,
         }
@@ -102,6 +109,32 @@ impl ResultCache {
         self.misses
     }
 
+    /// The corpus generation the resident entries were computed at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Moves the cache to `generation`, flushing every resident entry if the
+    /// generation actually changed. Called by the serving layer after a
+    /// mutation lands and *before* the mutation's ack is delivered, so once a
+    /// caller observes the ack no stale pre-mutation neighbors can be served.
+    /// Hit/miss counters survive the flush.
+    pub fn advance_generation(&mut self, generation: u64) {
+        if generation == self.generation {
+            return;
+        }
+        self.generation = generation;
+        self.flush();
+    }
+
+    /// Drops every resident entry (capacity and hit/miss counters survive).
+    pub fn flush(&mut self) {
+        self.buckets.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Returns the cached neighbors for `query` under the result-affecting
     /// fields of `options`, marking the entry most recently used. The query is
     /// only hashed and compared, never cloned.
@@ -124,6 +157,25 @@ impl ResultCache {
                 None
             }
         }
+    }
+
+    /// Inserts the result for `query` only if it was computed at `generation`
+    /// and the cache is still *at* that generation — the guard that keeps a
+    /// dispatch which straddled an epoch swap (computed against the old
+    /// corpus, finishing after the flush) from re-poisoning the cache with
+    /// stale neighbors. The caller reads the backend's generation before and
+    /// after the dispatch and only offers the result when both agree.
+    pub fn insert_at(
+        &mut self,
+        generation: u64,
+        query: BinaryVector,
+        options: &QueryOptions,
+        value: Vec<Neighbor>,
+    ) {
+        if generation != self.generation {
+            return;
+        }
+        self.insert(query, options, value);
     }
 
     /// Inserts (or refreshes) the result for `query` under the
@@ -335,6 +387,42 @@ mod tests {
         cache.insert(query(0), &top(1), result(0));
         assert!(cache.get(&query(0), &top(1)).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn generation_advance_flushes_resident_entries() {
+        // The stale-neighbor regression: after a mutation, pre-mutation
+        // results must not survive in the cache.
+        let mut cache = ResultCache::new(4);
+        cache.insert(query(0), &top(3), result(1));
+        cache.insert(query(1), &top(3), result(2));
+        assert_eq!(cache.generation(), 0);
+
+        cache.advance_generation(1);
+        assert!(cache.is_empty(), "epoch swap must flush the cache");
+        assert!(cache.get(&query(0), &top(3)).is_none());
+        assert_eq!(cache.generation(), 1);
+
+        // Re-advancing to the same generation is a no-op, not a flush.
+        cache.insert(query(0), &top(3), result(9));
+        cache.advance_generation(1);
+        assert_eq!(cache.get(&query(0), &top(3)), Some(result(9)));
+    }
+
+    #[test]
+    fn insert_at_refuses_results_from_a_different_generation() {
+        // A dispatch that started before an epoch swap and finished after it
+        // carries pre-swap neighbors; offering them at the old generation must
+        // be a no-op.
+        let mut cache = ResultCache::new(4);
+        cache.advance_generation(2);
+        cache.insert_at(1, query(0), &top(3), result(1));
+        assert!(
+            cache.get(&query(0), &top(3)).is_none(),
+            "stale-generation insert must be dropped"
+        );
+        cache.insert_at(2, query(0), &top(3), result(5));
+        assert_eq!(cache.get(&query(0), &top(3)), Some(result(5)));
     }
 
     #[test]

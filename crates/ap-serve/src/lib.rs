@@ -15,6 +15,9 @@
 //!   [`baselines::SearchIndex`] (linear scans and the approximate indexes) via
 //!   a blanket impl, and [`IndexedApBackend`] (host-traverses-index /
 //!   AP-scans-bucket, §III-D).
+//! * [`LiveBackend`] — the mutable-corpus backend over an
+//!   [`ap_knn::LiveEngine`]: epoch-snapshot queries plus insert/delete
+//!   mutations applied through the same admission queue as queries.
 //! * [`AdmissionQueue`] — coalesces submitted queries into batches sized to
 //!   the engine's multiplexing width ([`ap_knn::multiplex::MAX_SLICES`] by
 //!   default), tracking how full the dispatched batches are.
@@ -80,6 +83,7 @@
 pub mod backend;
 pub mod cache;
 mod dispatch;
+pub mod live;
 pub mod net;
 pub mod pipeline;
 pub mod queue;
@@ -93,8 +97,12 @@ pub use backend::{
     ApEngineBackend, ApSchedulerBackend, BackendBatch, IndexedApBackend, JaccardBackend,
     SimilarityBackend,
 };
-pub use binvec::{Deadline, ExecutionPreference, Priority, QueryOptions, ResultKey, SearchError};
+pub use binvec::{
+    Deadline, ExecutionPreference, MutAck, Mutation, MutationOp, Priority, QueryOptions, ResultKey,
+    SearchError,
+};
 pub use cache::{ResultCache, MAX_CACHE_CAPACITY};
+pub use live::LiveBackend;
 pub use net::{ApClient, ApServer, CompletionSet, Frame, FrameBuffer, NetError, StatsFrame};
 pub use pipeline::{
     BackendSpec, BaselineKind, IndexKind, Metric, Provenance, Query, Response, SearchPipeline,

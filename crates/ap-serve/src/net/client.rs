@@ -2,7 +2,7 @@
 
 use super::frame::{Frame, FrameBuffer, StatsFrame};
 use super::NetError;
-use binvec::{BinaryVector, Neighbor, QueryOptions, SearchError};
+use binvec::{BinaryVector, MutAck, Neighbor, QueryOptions, SearchError};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -10,6 +10,12 @@ use std::time::{Duration, Instant};
 
 /// Read chunk size for the client's socket reads.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// Default bound on any single blocking socket read or write. Generous enough
+/// for a saturated server draining a deep queue, but finite: a stalled server
+/// surfaces as a typed [`NetError::Timeout`] instead of a read that never
+/// returns.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A blocking TCP client for [`super::ApServer`].
 ///
@@ -30,16 +36,32 @@ pub struct ApClient {
     /// Frames that arrived while waiting for a different correlation id.
     inbox: VecDeque<(u64, Frame)>,
     next_correlation: u64,
+    io_timeout: Option<Duration>,
 }
 
 impl ApClient {
-    /// Connects to a server.
+    /// Connects to a server with the [`DEFAULT_IO_TIMEOUT`] on every blocking
+    /// read and write.
     ///
     /// # Errors
-    /// Whatever the TCP connect returns.
+    /// Whatever the TCP connect or socket configuration returns.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects with an explicit I/O timeout; `None` restores the historical
+    /// unbounded blocking reads (a stalled server then hangs the caller).
+    ///
+    /// # Errors
+    /// Whatever the TCP connect or socket configuration returns.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         Ok(Self {
             stream,
             frames: FrameBuffer::new(),
@@ -47,7 +69,37 @@ impl ApClient {
             scratch: Vec::with_capacity(4096),
             inbox: VecDeque::new(),
             next_correlation: 1, // 0 is the server's connection-fault farewell
+            io_timeout,
         })
+    }
+
+    /// Rebounds every subsequent blocking read and write by `io_timeout`
+    /// (`None` for unbounded).
+    ///
+    /// # Errors
+    /// Whatever the socket configuration returns.
+    pub fn set_io_timeout(&mut self, io_timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(io_timeout)?;
+        self.stream.set_write_timeout(io_timeout)?;
+        self.io_timeout = io_timeout;
+        Ok(())
+    }
+
+    /// The currently configured I/O timeout (`None` = unbounded).
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
+    }
+
+    /// Maps a socket error to the typed timeout when the configured bound is
+    /// what fired. A timed-out blocking socket reports `WouldBlock` or
+    /// `TimedOut` depending on the platform; both mean the deadline elapsed.
+    fn io_error(&self, e: std::io::Error) -> NetError {
+        match (self.io_timeout, e.kind()) {
+            (Some(after), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                NetError::Timeout { after }
+            }
+            _ => NetError::Io(e),
+        }
     }
 
     /// Submits a query without waiting for its answer; returns the
@@ -157,10 +209,85 @@ impl ApClient {
         }
     }
 
+    /// Appends a vector to the server's live corpus and blocks for its ack.
+    ///
+    /// # Errors
+    /// Transport faults; [`NetError::Query`] if the server refused the
+    /// mutation (e.g. a frozen-corpus backend answers
+    /// [`SearchError::Unsupported`]).
+    pub fn insert(
+        &mut self,
+        vector: BinaryVector,
+        options: QueryOptions,
+    ) -> Result<MutAck, NetError> {
+        let correlation = self.submit_insert(vector, options)?;
+        self.wait_ack(correlation)
+    }
+
+    /// Tombstones a stable id out of the server's live corpus and blocks for
+    /// its ack.
+    ///
+    /// # Errors
+    /// Transport faults; [`NetError::Query`] on a typed refusal.
+    pub fn delete(&mut self, id: u64, options: QueryOptions) -> Result<MutAck, NetError> {
+        let correlation = self.submit_delete(id, options)?;
+        self.wait_ack(correlation)
+    }
+
+    /// Submits an insert without waiting for its ack; returns the correlation
+    /// id its eventual `MutAck`/`Failed` frame will carry.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] / [`NetError::Timeout`] if the socket write fails.
+    pub fn submit_insert(
+        &mut self,
+        vector: BinaryVector,
+        options: QueryOptions,
+    ) -> Result<u64, NetError> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        self.send(correlation, &Frame::Insert { options, vector })?;
+        Ok(correlation)
+    }
+
+    /// Submits a delete without waiting for its ack; returns the correlation
+    /// id its eventual `MutAck`/`Failed` frame will carry.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] / [`NetError::Timeout`] if the socket write fails.
+    pub fn submit_delete(&mut self, id: u64, options: QueryOptions) -> Result<u64, NetError> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        self.send(correlation, &Frame::Delete { options, id })?;
+        Ok(correlation)
+    }
+
+    /// Blocks until the mutation submitted under `correlation` resolves.
+    /// Completions for other in-flight work observed while waiting are
+    /// stashed, so acks and query completions interleave freely on one
+    /// connection.
+    ///
+    /// # Errors
+    /// Transport faults; [`NetError::Query`] on a typed refusal;
+    /// [`NetError::Protocol`] if the reply is not a mutation outcome.
+    pub fn wait_ack(&mut self, correlation: u64) -> Result<MutAck, NetError> {
+        let (_, frame) = self.wait_for(correlation)?;
+        match frame {
+            Frame::MutAck(ack) => Ok(ack),
+            Frame::Failed { error } => Err(NetError::Query(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected a mutation ack, got {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
     fn send(&mut self, correlation: u64, frame: &Frame) -> Result<(), NetError> {
         self.scratch.clear();
         frame.encode(correlation, &mut self.scratch);
-        self.stream.write_all(&self.scratch)?;
+        self.stream
+            .write_all(&self.scratch)
+            .map_err(|e| self.io_error(e))?;
         Ok(())
     }
 
@@ -192,7 +319,10 @@ impl ApClient {
             if let Some((correlation, frame)) = self.frames.next_frame()? {
                 return Ok((correlation, frame));
             }
-            let n = self.stream.read(&mut self.chunk)?;
+            let n = self
+                .stream
+                .read(&mut self.chunk)
+                .map_err(|e| self.io_error(e))?;
             if n == 0 {
                 return Err(NetError::Protocol(
                     "server closed the connection mid-stream".to_string(),
@@ -212,5 +342,8 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::Failed { .. } => "Failed",
         Frame::StatsRequest => "StatsRequest",
         Frame::Stats(_) => "Stats",
+        Frame::Insert { .. } => "Insert",
+        Frame::Delete { .. } => "Delete",
+        Frame::MutAck(_) => "MutAck",
     }
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "APWF"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (currently 2)
 //! 5       1     frame type tag
 //! 6       2     reserved (must be zero)
 //! 8       4     payload length (u32, little-endian; hard cap 16 MiB)
@@ -22,13 +22,15 @@
 
 use crate::stats::ServiceStats;
 use binvec::wire::{put_f64, put_string, put_u32, put_u64, WireError, WireReader};
-use binvec::{BinaryVector, Neighbor, QueryOptions, SearchError};
+use binvec::{BinaryVector, MutAck, Neighbor, QueryOptions, SearchError};
 
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"APWF";
 
-/// The protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// The protocol version this build speaks. Version 2 added the live-corpus
+/// frames (`Insert`, `Delete`, `MutAck`) and the mutation block of
+/// [`StatsFrame`]; version-1 peers are refused at decode.
+pub const VERSION: u8 = 2;
 
 /// Bytes of frame header before the payload.
 pub const HEADER_LEN: usize = 20;
@@ -48,6 +50,9 @@ mod tag {
     pub const FAILED: u8 = 4;
     pub const STATS_REQUEST: u8 = 5;
     pub const STATS: u8 = 6;
+    pub const INSERT: u8 = 7;
+    pub const DELETE: u8 = 8;
+    pub const MUT_ACK: u8 = 9;
 }
 
 /// A point-in-time view of a serving runtime, as carried by [`Frame::Stats`]:
@@ -83,11 +88,26 @@ pub struct StatsFrame {
     pub cache_misses: u64,
     /// AP symbol cycles charged across all dispatches.
     pub ap_symbol_cycles: u64,
+    /// The backend's corpus generation (0 for a frozen corpus).
+    pub generation: u64,
+    /// Mutations admitted (tickets minted).
+    pub mutations_submitted: u64,
+    /// Mutations applied and acknowledged.
+    pub mutations_applied: u64,
+    /// Mutations refused, failed, or shed past their deadline.
+    pub mutations_failed: u64,
+    /// Vectors resident in uncompacted delta partitions.
+    pub delta_vectors: u64,
+    /// Tombstoned ids not yet folded away by compaction.
+    pub tombstones: u64,
     /// Wall-clock uptime in milliseconds.
     pub uptime_ms: f64,
     /// Submit→dispatch queue-wait percentiles `(p50, p95, p99)` in
     /// milliseconds, absent before the first dispatched query.
     pub queue_wait_ms: Option<(f64, f64, f64)>,
+    /// Mutation submit→visible staleness percentiles `(p50, p95, p99)` in
+    /// milliseconds, absent before the first applied mutation.
+    pub mutation_staleness_ms: Option<(f64, f64, f64)>,
 }
 
 impl StatsFrame {
@@ -108,8 +128,15 @@ impl StatsFrame {
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
             ap_symbol_cycles: stats.ap_symbol_cycles,
+            generation: stats.generation,
+            mutations_submitted: stats.mutations_submitted,
+            mutations_applied: stats.mutations_applied,
+            mutations_failed: stats.mutations_failed,
+            delta_vectors: stats.delta_vectors,
+            tombstones: stats.tombstones,
             uptime_ms: stats.uptime.as_secs_f64() * 1e3,
             queue_wait_ms: stats.queue_wait_percentiles_ms(),
+            mutation_staleness_ms: stats.mutation_staleness_percentiles_ms(),
         }
     }
 
@@ -129,24 +156,32 @@ impl StatsFrame {
             self.cache_hits,
             self.cache_misses,
             self.ap_symbol_cycles,
+            self.generation,
+            self.mutations_submitted,
+            self.mutations_applied,
+            self.mutations_failed,
+            self.delta_vectors,
+            self.tombstones,
         ] {
             put_u64(out, value);
         }
         put_f64(out, self.uptime_ms);
-        match self.queue_wait_ms {
-            None => out.push(0),
-            Some((p50, p95, p99)) => {
-                out.push(1);
-                put_f64(out, p50);
-                put_f64(out, p95);
-                put_f64(out, p99);
+        for triple in [self.queue_wait_ms, self.mutation_staleness_ms] {
+            match triple {
+                None => out.push(0),
+                Some((p50, p95, p99)) => {
+                    out.push(1);
+                    put_f64(out, p50);
+                    put_f64(out, p95);
+                    put_f64(out, p99);
+                }
             }
         }
     }
 
     fn decode_payload(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
         let backend = reader.string()?;
-        let mut counters = [0u64; 13];
+        let mut counters = [0u64; 19];
         for slot in &mut counters {
             *slot = reader.u64()?;
         }
@@ -156,7 +191,12 @@ impl StatsFrame {
         } else {
             None
         };
-        let [workers, queue_capacity, batch_size, cache_capacity, queries_submitted, queries_served, failed_queries, deadline_expired, queue_full_rejections, batches_dispatched, cache_hits, cache_misses, ap_symbol_cycles] =
+        let mutation_staleness_ms = if reader.presence()? {
+            Some((reader.f64()?, reader.f64()?, reader.f64()?))
+        } else {
+            None
+        };
+        let [workers, queue_capacity, batch_size, cache_capacity, queries_submitted, queries_served, failed_queries, deadline_expired, queue_full_rejections, batches_dispatched, cache_hits, cache_misses, ap_symbol_cycles, generation, mutations_submitted, mutations_applied, mutations_failed, delta_vectors, tombstones] =
             counters;
         Ok(Self {
             backend,
@@ -173,15 +213,23 @@ impl StatsFrame {
             cache_hits,
             cache_misses,
             ap_symbol_cycles,
+            generation,
+            mutations_submitted,
+            mutations_applied,
+            mutations_failed,
+            delta_vectors,
+            tombstones,
             uptime_ms,
             queue_wait_ms,
+            mutation_staleness_ms,
         })
     }
 }
 
 /// One protocol message. Request frames travel client→server (`Ping`,
-/// `Submit`, `StatsRequest`); response frames travel server→client (`Pong`,
-/// `Completed`, `Failed`, `Stats`), echoing the request's correlation id.
+/// `Submit`, `Insert`, `Delete`, `StatsRequest`); response frames travel
+/// server→client (`Pong`, `Completed`, `Failed`, `MutAck`, `Stats`), echoing
+/// the request's correlation id.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Liveness probe; answered with [`Frame::Pong`].
@@ -210,6 +258,25 @@ pub enum Frame {
     StatsRequest,
     /// A runtime statistics snapshot.
     Stats(StatsFrame),
+    /// Append a vector to a live corpus; answered with [`Frame::MutAck`].
+    /// The options carry the mutation's priority and deadline budget.
+    Insert {
+        /// Scheduling options for the mutation ticket.
+        options: QueryOptions,
+        /// The vector to append.
+        vector: BinaryVector,
+    },
+    /// Tombstone a stable id out of a live corpus; answered with
+    /// [`Frame::MutAck`].
+    Delete {
+        /// Scheduling options for the mutation ticket.
+        options: QueryOptions,
+        /// The stable id to delete.
+        id: u64,
+    },
+    /// A mutation acknowledgement: op, assigned/echoed id, and the corpus
+    /// generation at which the mutation became visible.
+    MutAck(MutAck),
 }
 
 impl Frame {
@@ -222,6 +289,9 @@ impl Frame {
             Self::Failed { .. } => tag::FAILED,
             Self::StatsRequest => tag::STATS_REQUEST,
             Self::Stats(_) => tag::STATS,
+            Self::Insert { .. } => tag::INSERT,
+            Self::Delete { .. } => tag::DELETE,
+            Self::MutAck(_) => tag::MUT_ACK,
         }
     }
 
@@ -251,6 +321,15 @@ impl Frame {
             }
             Self::Failed { error } => error.encode_wire(out),
             Self::Stats(stats) => stats.encode_payload(out),
+            Self::Insert { options, vector } => {
+                options.encode_wire(out);
+                vector.encode_wire(out);
+            }
+            Self::Delete { options, id } => {
+                options.encode_wire(out);
+                put_u64(out, *id);
+            }
+            Self::MutAck(ack) => ack.encode_wire(out),
         }
         let payload_len = (out.len() - payload_at) as u32;
         out[header_at + 8..header_at + 12].copy_from_slice(&payload_len.to_le_bytes());
@@ -279,7 +358,7 @@ impl Frame {
         if bytes.len() >= 5 && bytes[4] != VERSION {
             return Err(WireError::UnsupportedVersion { found: bytes[4] });
         }
-        if bytes.len() >= 6 && bytes[5] > tag::STATS {
+        if bytes.len() >= 6 && bytes[5] > tag::MUT_ACK {
             return Err(WireError::UnknownFrameType { found: bytes[5] });
         }
         if bytes.len() < HEADER_LEN {
@@ -325,6 +404,15 @@ impl Frame {
             },
             tag::STATS_REQUEST => Self::StatsRequest,
             tag::STATS => Self::Stats(StatsFrame::decode_payload(&mut reader)?),
+            tag::INSERT => Self::Insert {
+                options: QueryOptions::decode_wire(&mut reader)?,
+                vector: BinaryVector::decode_wire(&mut reader)?,
+            },
+            tag::DELETE => Self::Delete {
+                options: QueryOptions::decode_wire(&mut reader)?,
+                id: reader.u64()?,
+            },
+            tag::MUT_ACK => Self::MutAck(MutAck::decode_wire(&mut reader)?),
             found => return Err(WireError::UnknownFrameType { found }),
         };
         if !reader.is_empty() {
@@ -433,6 +521,23 @@ mod tests {
             error: SearchError::QueueFull { capacity: 64 },
         };
         assert_eq!(roundtrip(failed.clone(), 9), failed);
+
+        let insert = Frame::Insert {
+            options: QueryOptions::top(1),
+            vector: query,
+        };
+        assert_eq!(roundtrip(insert.clone(), 77), insert);
+        let delete = Frame::Delete {
+            options: QueryOptions::top(1),
+            id: u64::MAX,
+        };
+        assert_eq!(roundtrip(delete.clone(), 78), delete);
+        let ack = Frame::MutAck(MutAck {
+            op: binvec::MutationOp::Insert,
+            id: 4096,
+            generation: 17,
+        });
+        assert_eq!(roundtrip(ack.clone(), 79), ack);
     }
 
     #[test]
@@ -452,12 +557,29 @@ mod tests {
             cache_hits: 30,
             cache_misses: 970,
             ap_symbol_cycles: 123_456,
+            generation: 42,
+            mutations_submitted: 25,
+            mutations_applied: 21,
+            mutations_failed: 4,
+            delta_vectors: 19,
+            tombstones: 2,
             uptime_ms: 1234.5,
             queue_wait_ms: Some((0.2, 1.5, 3.0)),
+            mutation_staleness_ms: Some((0.4, 2.0, 5.5)),
         };
         assert_eq!(
             roundtrip(Frame::Stats(stats.clone()), 3),
-            Frame::Stats(stats)
+            Frame::Stats(stats.clone())
+        );
+        // A frozen-corpus runtime: no mutation percentiles on the wire.
+        let frozen = StatsFrame {
+            mutation_staleness_ms: None,
+            queue_wait_ms: None,
+            ..stats
+        };
+        assert_eq!(
+            roundtrip(Frame::Stats(frozen.clone()), 4),
+            Frame::Stats(frozen)
         );
     }
 

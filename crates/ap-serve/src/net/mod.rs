@@ -29,26 +29,38 @@
 //!   correlation id by a writer thread. Graceful shutdown stops reading new
 //!   frames but drains every in-flight ticket before closing sockets.
 //! * [`ApClient`] — the blocking client: pipelined `submit`/`recv_completion`
-//!   or one-shot `search`, plus `ping` and a remote [`StatsFrame`] snapshot.
+//!   or one-shot `search`, live-corpus mutations (`insert`/`delete` one-shots
+//!   and their pipelined forms), `ping`, and a remote [`StatsFrame`]
+//!   snapshot. Every blocking read and write is bounded by a configurable
+//!   I/O timeout that surfaces as the typed [`NetError::Timeout`] instead of
+//!   hanging on a stalled server.
 
 mod client;
 mod completion;
 mod frame;
 mod server;
 
-pub use client::ApClient;
+pub use client::{ApClient, DEFAULT_IO_TIMEOUT};
 pub use completion::CompletionSet;
 pub use frame::{Frame, FrameBuffer, StatsFrame, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
 pub use server::ApServer;
 
 use binvec::{SearchError, WireError};
 use std::fmt;
+use std::time::Duration;
 
 /// Everything that can go wrong on the client side of a connection.
 #[derive(Debug)]
 pub enum NetError {
     /// The socket failed.
     Io(std::io::Error),
+    /// A blocking read or write exceeded the client's configured I/O
+    /// timeout — the server stalled (or the network did) without closing the
+    /// connection, which a plain blocking read would wait on forever.
+    Timeout {
+        /// The configured timeout that elapsed.
+        after: Duration,
+    },
     /// The peer sent bytes that are not valid protocol.
     Wire(WireError),
     /// The query itself failed — the server answered with a typed
@@ -62,6 +74,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Timeout { after } => write!(f, "timed out after {after:?}"),
             Self::Wire(e) => write!(f, "wire protocol error: {e}"),
             Self::Query(e) => write!(f, "query failed: {e}"),
             Self::Protocol(reason) => write!(f, "protocol violation: {reason}"),
@@ -75,7 +88,7 @@ impl std::error::Error for NetError {
             Self::Io(e) => Some(e),
             Self::Wire(e) => Some(e),
             Self::Query(e) => Some(e),
-            Self::Protocol(_) => None,
+            Self::Timeout { .. } | Self::Protocol(_) => None,
         }
     }
 }

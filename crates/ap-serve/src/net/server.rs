@@ -5,7 +5,7 @@ use super::completion::CompletionSet;
 use super::frame::{Frame, FrameBuffer, StatsFrame};
 use crate::runtime::{ServiceRuntime, TicketHandle, TicketResult};
 use crate::stats::ServiceStats;
-use binvec::SearchError;
+use binvec::{Mutation, SearchError};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -321,9 +321,37 @@ fn handle_frame(
             }
             true
         }
+        // Mutations ride the same admission path as queries: a ticket whose
+        // resolution the writer turns into a `MutAck` (or typed `Failed`).
+        Frame::Insert { options, vector } => {
+            submit_mutation(
+                correlation,
+                Mutation::Insert { vector },
+                &options,
+                runtime,
+                sink,
+                register_tx,
+            );
+            true
+        }
+        Frame::Delete { options, id } => {
+            submit_mutation(
+                correlation,
+                Mutation::Delete { id: id as usize },
+                &options,
+                runtime,
+                sink,
+                register_tx,
+            );
+            true
+        }
         // Response frames arriving at the server are a protocol violation by
         // the peer: answer typed, then fail the connection.
-        Frame::Pong | Frame::Completed { .. } | Frame::Failed { .. } | Frame::Stats(_) => {
+        Frame::Pong
+        | Frame::Completed { .. }
+        | Frame::Failed { .. }
+        | Frame::Stats(_)
+        | Frame::MutAck(_) => {
             sink.send(
                 correlation,
                 &Frame::Failed {
@@ -376,10 +404,35 @@ fn writer_loop(sink: &FrameSink, register_rx: mpsc::Receiver<Registration>) {
     }
 }
 
+/// Admits one mutation; a refusal answers with the typed failure inline.
+fn submit_mutation(
+    correlation: u64,
+    mutation: Mutation,
+    options: &binvec::QueryOptions,
+    runtime: &Arc<ServiceRuntime>,
+    sink: &FrameSink,
+    register_tx: &mpsc::Sender<Registration>,
+) {
+    match runtime.try_submit_mutation(mutation, options) {
+        Ok(handle) => {
+            let _ = register_tx.send(Registration {
+                correlation,
+                handle,
+            });
+        }
+        Err(error) => sink.send(correlation, &Frame::Failed { error }),
+    }
+}
+
 fn write_result(sink: &FrameSink, correlation: u64, result: TicketResult) {
     let frame = match result {
-        Ok(completed) => Frame::Completed {
-            neighbors: completed.neighbors,
+        // A mutation ticket resolves with its ack; a query ticket with its
+        // neighbors.
+        Ok(completed) => match completed.mutation {
+            Some(ack) => Frame::MutAck(ack),
+            None => Frame::Completed {
+                neighbors: completed.neighbors,
+            },
         },
         Err(failed) => Frame::Failed {
             error: failed.error,

@@ -47,7 +47,7 @@ use crate::queue::{PushRefused, QueryTicket, Scheduled, ScheduledQueue};
 use crate::service::{Completed, FailedQuery};
 use crate::stats::ServiceStats;
 use ap_knn::multiplex::MAX_SLICES;
-use binvec::{BinaryVector, QueryOptions, SearchError};
+use binvec::{BinaryVector, MutAck, Mutation, QueryOptions, SearchError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -352,15 +352,45 @@ impl SimilarityBackend for SharedBackend {
     ) -> Result<crate::backend::BackendBatch, SearchError> {
         self.0.try_serve_batch(queries, options)
     }
+
+    fn apply_mutation(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
+        self.0.apply_mutation(mutation)
+    }
+
+    fn live_status(&self) -> Option<ap_knn::live::LiveStatus> {
+        self.0.live_status()
+    }
 }
 
-/// One queued query: everything a worker needs to dispatch and deliver it.
+/// What one admitted ticket asks a worker to do: dispatch a query, or apply
+/// a corpus mutation. Both flavors ride the same priority ▸ deadline ▸ FIFO
+/// queue; workers never batch the two kinds together.
+enum Work {
+    Query(BinaryVector),
+    Mutation(Mutation),
+}
+
+impl Work {
+    /// The vector delivered back in the ticket's result: the query itself,
+    /// an insert's vector, or an empty placeholder for a delete.
+    fn into_vector(self) -> BinaryVector {
+        match self {
+            Self::Query(query) => query,
+            Self::Mutation(Mutation::Insert { vector }) => vector,
+            Self::Mutation(Mutation::Delete { .. }) => BinaryVector::zeros(0),
+        }
+    }
+}
+
+/// One queued ticket: everything a worker needs to execute and deliver it.
 struct Pending {
-    query: BinaryVector,
+    work: Work,
     options: QueryOptions,
     completion: Completion,
-    /// When the query was admitted — dispatch time minus this is the queue
-    /// wait recorded into [`ServiceStats::queue_wait`].
+    /// When the ticket was admitted — dispatch time minus this is the queue
+    /// wait recorded into [`ServiceStats::queue_wait`] (for queries) or the
+    /// submit→visible staleness recorded into
+    /// [`ServiceStats::mutation_staleness`] (for mutations).
     submitted_at: Instant,
 }
 
@@ -564,6 +594,7 @@ impl ServiceRuntime {
                 ticket,
                 query,
                 neighbors,
+                mutation: None,
             }));
             return Ok(handle);
         }
@@ -575,7 +606,7 @@ impl ServiceRuntime {
             priority: options.priority,
             deadline: options.deadline,
             payload: Pending {
-                query,
+                work: Work::Query(query),
                 options: *options,
                 completion,
                 submitted_at: Instant::now(),
@@ -584,6 +615,91 @@ impl ServiceRuntime {
         match self.shared.queue.try_push(entry) {
             Ok(()) => {
                 self.lock_stats().queries_submitted += 1;
+                Ok(handle)
+            }
+            Err(PushRefused::Full(_)) => {
+                self.lock_stats().queue_full_rejections += 1;
+                Err(SearchError::QueueFull {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushRefused::Closed(_)) => Err(SearchError::Backend {
+                backend: self.backend_name.clone(),
+                reason: "runtime has been shut down".to_string(),
+            }),
+        }
+    }
+
+    /// Submits one corpus mutation (insert or delete) as a ticket riding the
+    /// same priority ▸ deadline ▸ FIFO queue as queries. The worker that pops
+    /// it applies the mutation on its backend, advances the result cache to
+    /// the new corpus generation (flushing pre-mutation entries), records the
+    /// submit→visible staleness, and only then resolves the ticket as a
+    /// [`Completed`] whose [`Completed::mutation`] carries the [`MutAck`] —
+    /// so once the caller sees the ack, no stale neighbors can be served.
+    ///
+    /// Only the scheduling fields of `options` (`priority`, `deadline`)
+    /// matter for a mutation; the result-affecting fields are ignored. An
+    /// already-expired deadline resolves the ticket immediately as a
+    /// [`FailedQuery`] with [`SearchError::DeadlineExceeded`]. Frozen-corpus
+    /// backends fail the ticket at application time with
+    /// [`SearchError::Unsupported`].
+    ///
+    /// # Errors
+    /// * [`SearchError::ZeroDims`] / [`SearchError::DimMismatch`] — a
+    ///   malformed insert vector, rejected before a ticket is minted;
+    /// * [`SearchError::QueueFull`] — backpressure, no ticket minted;
+    /// * [`SearchError::Backend`] — the runtime has been shut down.
+    pub fn try_submit_mutation(
+        &self,
+        mutation: Mutation,
+        options: &QueryOptions,
+    ) -> Result<TicketHandle, SearchError> {
+        options.validate()?;
+        if let Mutation::Insert { vector } = &mutation {
+            if vector.dims() == 0 {
+                return Err(SearchError::ZeroDims);
+            }
+            if vector.dims() != self.dims {
+                return Err(SearchError::DimMismatch {
+                    expected: self.dims,
+                    actual: vector.dims(),
+                });
+            }
+        }
+
+        if options.deadline.is_some_and(|d| d.is_expired()) {
+            let ticket = self.mint_ticket();
+            {
+                let mut stats = self.lock_stats();
+                stats.mutations_submitted += 1;
+                stats.mutations_failed += 1;
+            }
+            let (mut completion, handle) = Completion::channel(ticket);
+            completion.deliver(Err(FailedQuery {
+                ticket,
+                query: Work::Mutation(mutation).into_vector(),
+                error: SearchError::DeadlineExceeded,
+            }));
+            return Ok(handle);
+        }
+
+        let ticket = self.mint_ticket();
+        let (completion, handle) = Completion::channel(ticket);
+        let entry = Scheduled {
+            ticket,
+            priority: options.priority,
+            deadline: options.deadline,
+            payload: Pending {
+                work: Work::Mutation(mutation),
+                options: *options,
+                completion,
+                submitted_at: Instant::now(),
+            },
+        };
+        match self.shared.queue.try_push(entry) {
+            Ok(()) => {
+                self.lock_stats().mutations_submitted += 1;
                 Ok(handle)
             }
             Err(PushRefused::Full(_)) => {
@@ -644,8 +760,8 @@ impl Drop for ServiceRuntime {
 }
 
 /// One worker: pop a deadline-checked, schedule-compatible batch; dispatch it
-/// on the worker's own backend; deliver per-ticket results; repeat until the
-/// queue is closed and drained.
+/// (queries) or apply it (mutations) on the worker's own backend; deliver
+/// per-ticket results; repeat until the queue is closed and drained.
 fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size: usize) {
     let mut batch: Vec<Scheduled<Pending>> = Vec::with_capacity(batch_size);
     let mut expired: Vec<Scheduled<Pending>> = Vec::new();
@@ -654,25 +770,38 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
         let open = shared
             .queue
             .pop_batch(batch_size, &mut batch, &mut expired, |a, b| {
-                a.options.result_key() == b.options.result_key()
+                // Queries batch with queries sharing one ResultKey (they can
+                // share a backend call); mutations batch only with mutations
+                // (they are applied sequentially, never dispatched).
+                match (&a.work, &b.work) {
+                    (Work::Query(_), Work::Query(_)) => {
+                        a.options.result_key() == b.options.result_key()
+                    }
+                    (Work::Mutation(_), Work::Mutation(_)) => true,
+                    _ => false,
+                }
             });
 
         // Expired entries fail without dispatch — the fabric never sees them.
         if !expired.is_empty() {
-            shared
-                .stats
-                .lock()
-                .expect("runtime stats poisoned")
-                .deadline_expired += expired.len() as u64;
+            {
+                let mut stats = shared.stats.lock().expect("runtime stats poisoned");
+                for entry in &expired {
+                    match entry.payload.work {
+                        Work::Query(_) => stats.deadline_expired += 1,
+                        Work::Mutation(_) => stats.mutations_failed += 1,
+                    }
+                }
+            }
             for entry in expired.drain(..) {
                 let Pending {
-                    query,
+                    work,
                     mut completion,
                     ..
                 } = entry.payload;
                 completion.deliver(Err(FailedQuery {
                     ticket: entry.ticket,
-                    query,
+                    query: work.into_vector(),
                     error: SearchError::DeadlineExceeded,
                 }));
             }
@@ -685,11 +814,27 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
             continue;
         }
 
+        // Mutation batches take their own path: applied, never dispatched.
+        if matches!(batch[0].payload.work, Work::Mutation(_)) {
+            apply_mutations(shared, backend.as_ref(), &mut batch);
+            if !open && shared.queue.len() == 0 {
+                return;
+            }
+            continue;
+        }
+
         // All entries in the batch share one ResultKey by construction.
         let dispatch_started = Instant::now();
         let options = batch[0].payload.options;
         queries.clear();
-        queries.extend(batch.iter().map(|e| e.payload.query.clone()));
+        queries.extend(batch.iter().filter_map(|e| match &e.payload.work {
+            Work::Query(query) => Some(query.clone()),
+            Work::Mutation(_) => None,
+        }));
+        // The corpus generation bracketing the dispatch: results are only
+        // offered to the cache when it did not move, so a mutation landing
+        // mid-dispatch cannot re-poison the cache with pre-swap neighbors.
+        let generation_before = backend.live_status().map_or(0, |s| s.generation);
         let dispatched = dispatch::execute_batch(backend.as_ref(), &queries, &options);
         {
             let mut stats = shared.stats.lock().expect("runtime stats poisoned");
@@ -703,13 +848,16 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
 
         match dispatched.outcome {
             Ok(result) => {
-                {
+                let generation_after = backend.live_status().map_or(0, |s| s.generation);
+                if generation_before == generation_after {
                     // The dispatch vec provides the cache keys, so each query
                     // is cloned exactly once per dispatch (the entry's own
-                    // copy travels back in the Completed).
+                    // copy travels back in the Completed). `insert_at` drops
+                    // the offer if the cache has already moved past this
+                    // generation.
                     let mut cache = shared.cache.lock().expect("runtime cache poisoned");
                     for (query, neighbors) in queries.drain(..).zip(&result.results) {
-                        cache.insert(query, &options, neighbors.clone());
+                        cache.insert_at(generation_after, query, &options, neighbors.clone());
                     }
                 }
                 shared
@@ -719,14 +867,15 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
                     .queries_served += batch.len() as u64;
                 for (entry, neighbors) in batch.drain(..).zip(result.results) {
                     let Pending {
-                        query,
+                        work,
                         mut completion,
                         ..
                     } = entry.payload;
                     completion.deliver(Ok(Completed {
                         ticket: entry.ticket,
-                        query,
+                        query: work.into_vector(),
                         neighbors,
+                        mutation: None,
                     }));
                 }
             }
@@ -735,13 +884,13 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
                 // batch is independent, so one poison batch delays nothing.
                 for entry in batch.drain(..) {
                     let Pending {
-                        query,
+                        work,
                         mut completion,
                         ..
                     } = entry.payload;
                     completion.deliver(Err(FailedQuery {
                         ticket: entry.ticket,
-                        query,
+                        query: work.into_vector(),
                         error: error.clone(),
                     }));
                 }
@@ -752,6 +901,90 @@ fn worker_loop(shared: &Shared, backend: Box<dyn SimilarityBackend>, batch_size:
             // Closed and drained: one final pop_batch would also return false,
             // but exiting here saves a wakeup.
             return;
+        }
+    }
+}
+
+/// Applies one popped batch of mutations in scheduling order, then advances
+/// the cache and gauges, and only then delivers the acks.
+///
+/// The ordering is the serving layer's linearization contract: by the time a
+/// caller observes a [`MutAck`], the result cache has been flushed past every
+/// pre-mutation entry, so no subsequent lookup can serve neighbors computed
+/// before the mutation.
+fn apply_mutations(
+    shared: &Shared,
+    backend: &dyn SimilarityBackend,
+    batch: &mut Vec<Scheduled<Pending>>,
+) {
+    let mut outcomes: Vec<Result<MutAck, SearchError>> = Vec::with_capacity(batch.len());
+    for entry in batch.iter() {
+        outcomes.push(match &entry.payload.work {
+            Work::Mutation(mutation) => backend.apply_mutation(mutation),
+            // Unreachable by batch construction (kinds never mix); kept typed
+            // rather than panicking a worker.
+            Work::Query(_) => Err(SearchError::Backend {
+                backend: backend.name(),
+                reason: "query entry in a mutation batch".to_string(),
+            }),
+        });
+    }
+
+    if outcomes.iter().any(|o| o.is_ok()) {
+        match backend.live_status() {
+            Some(status) => {
+                shared
+                    .cache
+                    .lock()
+                    .expect("runtime cache poisoned")
+                    .advance_generation(status.generation);
+                let mut stats = shared.stats.lock().expect("runtime stats poisoned");
+                stats.generation = status.generation;
+                stats.delta_vectors = status.delta_vectors as u64;
+                stats.tombstones = status.tombstones as u64;
+                stats.delta_fill = status.fill();
+            }
+            // A backend that applied a mutation but exposes no live status:
+            // flush unconditionally — correctness over hit rate.
+            None => shared.cache.lock().expect("runtime cache poisoned").flush(),
+        }
+    }
+
+    let visible_at = Instant::now();
+    {
+        let mut stats = shared.stats.lock().expect("runtime stats poisoned");
+        for (entry, outcome) in batch.iter().zip(&outcomes) {
+            match outcome {
+                Ok(_) => {
+                    stats.mutations_applied += 1;
+                    stats
+                        .mutation_staleness
+                        .record(visible_at.saturating_duration_since(entry.payload.submitted_at));
+                }
+                Err(_) => stats.mutations_failed += 1,
+            }
+        }
+    }
+
+    for (entry, outcome) in batch.drain(..).zip(outcomes) {
+        let Pending {
+            work,
+            mut completion,
+            ..
+        } = entry.payload;
+        let vector = work.into_vector();
+        match outcome {
+            Ok(ack) => completion.deliver(Ok(Completed {
+                ticket: entry.ticket,
+                query: vector,
+                neighbors: Vec::new(),
+                mutation: Some(ack),
+            })),
+            Err(error) => completion.deliver(Err(FailedQuery {
+                ticket: entry.ticket,
+                query: vector,
+                error,
+            })),
         }
     }
 }
@@ -1035,6 +1268,136 @@ mod tests {
         drop(runtime); // shutdown drains: the ticket is delivered, waker fires
         rx.recv_timeout(Duration::from_secs(30)).expect("waker");
         assert!(handle.try_wait().is_some(), "woken handle must resolve");
+    }
+
+    fn live_runtime(n: usize, dims: usize, config: RuntimeConfig) -> ServiceRuntime {
+        let data = uniform_dataset(n, dims, 61);
+        let engine = ApKnnEngine::new(KnnDesign::new(dims));
+        let backend: Arc<dyn SimilarityBackend> = Arc::new(
+            crate::live::LiveBackend::try_new(engine, &data, ap_knn::live::LiveConfig::default())
+                .unwrap(),
+        );
+        ServiceRuntime::try_shared(config, backend).unwrap()
+    }
+
+    #[test]
+    fn mutation_tickets_resolve_with_acks_and_conservation_holds() {
+        let dims = 16;
+        let runtime = live_runtime(
+            20,
+            dims,
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_batch_size(4)
+                .with_options(QueryOptions::top(3)),
+        );
+        let options = QueryOptions::top(3);
+        let vectors = uniform_queries(3, dims, 62);
+        let mut acks = Vec::new();
+        for vector in &vectors {
+            let handle = runtime
+                .try_submit_mutation(
+                    binvec::Mutation::Insert {
+                        vector: vector.clone(),
+                    },
+                    &options,
+                )
+                .unwrap();
+            let completed = handle.wait().expect("insert must apply");
+            acks.push(completed.mutation.expect("mutation ticket carries an ack"));
+        }
+        // Ids are assigned in submission order, past the base corpus.
+        assert_eq!(
+            acks.iter().map(|a| a.id).collect::<Vec<_>>(),
+            vec![20, 21, 22]
+        );
+        assert!(acks.windows(2).all(|w| w[0].generation < w[1].generation));
+
+        let deleted = runtime
+            .try_submit_mutation(binvec::Mutation::Delete { id: 21 }, &options)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .mutation
+            .unwrap();
+        assert_eq!(deleted.op, binvec::MutationOp::Delete);
+
+        // A mutation with an already-expired deadline sheds as a mutation
+        // failure, never touching the query conservation invariant.
+        let shed = runtime
+            .try_submit_mutation(
+                binvec::Mutation::Delete { id: 20 },
+                &QueryOptions::top(3).by(Deadline::at(Instant::now() - Duration::from_millis(1))),
+            )
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert_eq!(shed.error, SearchError::DeadlineExceeded);
+
+        let stats = runtime.shutdown();
+        assert_eq!(stats.mutations_submitted, 5);
+        assert_eq!(stats.mutations_applied, 4);
+        assert_eq!(stats.mutations_failed, 1);
+        assert_eq!(
+            stats.mutations_submitted,
+            stats.mutations_applied + stats.mutations_failed
+        );
+        assert_eq!(stats.deadline_expired, 0, "queries untouched by the shed");
+        assert_eq!(stats.generation, 4);
+        assert_eq!(stats.delta_vectors, 3);
+        assert_eq!(stats.tombstones, 1);
+        assert!(stats.mutation_staleness_percentiles_ms().is_some());
+    }
+
+    #[test]
+    fn cache_serves_fresh_results_after_a_mutation() {
+        // The regression: a cached result must not outlive the corpus epoch
+        // that produced it. Query, mutate, re-query — the second answer must
+        // see the mutation even though the first was cached.
+        let dims = 16;
+        let runtime = live_runtime(
+            20,
+            dims,
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_batch_size(1)
+                .with_cache_capacity(64)
+                .with_options(QueryOptions::top(2)),
+        );
+        let query = uniform_queries(1, dims, 63).pop().unwrap();
+        let before = runtime.try_submit(query.clone()).unwrap().wait().unwrap();
+        assert_ne!(before.neighbors[0].distance, 0, "query not in base corpus");
+
+        // Insert the query itself: an exact match at distance 0 with id 20.
+        // By MutAck delivery the cache is already flushed.
+        let ack = runtime
+            .try_submit_mutation(
+                binvec::Mutation::Insert {
+                    vector: query.clone(),
+                },
+                &QueryOptions::top(2),
+            )
+            .unwrap()
+            .wait()
+            .unwrap()
+            .mutation
+            .unwrap();
+        assert_eq!(ack.id, 20);
+
+        let after = runtime.try_submit(query.clone()).unwrap().wait().unwrap();
+        assert_eq!(after.neighbors[0].id, 20, "fresh result, not the stale hit");
+        assert_eq!(after.neighbors[0].distance, 0);
+
+        // The post-mutation result is cached at the new generation: a third
+        // submission is a pure cache hit.
+        let hit = runtime.try_submit(query).unwrap().wait().unwrap();
+        assert_eq!(hit.neighbors, after.neighbors);
+        let stats = runtime.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(
+            stats.batches_dispatched, 2,
+            "two query dispatches; mutations are applied, not dispatched"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::dispatch;
 use crate::queue::{AdmissionQueue, PendingQuery, QueryTicket};
 use crate::stats::ServiceStats;
 use ap_knn::multiplex::MAX_SLICES;
-use binvec::{BinaryVector, Neighbor, QueryOptions, SearchError};
+use binvec::{BinaryVector, MutAck, Neighbor, QueryOptions, SearchError};
 use std::time::Instant;
 
 /// Configuration for a [`SearchService`].
@@ -101,10 +101,17 @@ impl ServiceConfig {
 pub struct Completed {
     /// The ticket `submit` returned for this query.
     pub ticket: QueryTicket,
-    /// The submitted query.
+    /// The submitted query. For a mutation ticket this is the inserted vector
+    /// (or an empty placeholder for a delete).
     pub query: BinaryVector,
-    /// The k nearest neighbors, sorted by (distance, id).
+    /// The k nearest neighbors, sorted by (distance, id). Empty for mutation
+    /// tickets — their payload is [`Self::mutation`].
     pub neighbors: Vec<Neighbor>,
+    /// Set when this ticket was a mutation submitted through
+    /// [`crate::ServiceRuntime::try_submit_mutation`]: the ack carrying the
+    /// stable id and the generation at which the mutation became visible.
+    /// `None` for query tickets.
+    pub mutation: Option<MutAck>,
 }
 
 /// A query whose batch failed at dispatch: the ticket is delivered with the
@@ -249,6 +256,7 @@ impl SearchService {
                 ticket,
                 query,
                 neighbors,
+                mutation: None,
             });
             return Ok(ticket);
         }
@@ -359,6 +367,7 @@ impl SearchService {
                 ticket: pending.ticket,
                 query: pending.query,
                 neighbors,
+                mutation: None,
             });
         }
     }

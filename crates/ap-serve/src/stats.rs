@@ -157,6 +157,34 @@ pub struct ServiceStats {
     /// Queries resolved without a dispatch (cache hits, shed deadlines) record
     /// nothing here.
     pub queue_wait: LatencyHistogram,
+    /// Corpus generation after the most recently applied mutation (stays 0
+    /// for frozen-corpus backends, which never mutate).
+    pub generation: u64,
+    /// Mutations accepted by `try_submit_mutation` (a ticket was minted).
+    /// Mutations satisfy their own conservation invariant:
+    /// `mutations_submitted == mutations_applied + mutations_failed` once all
+    /// mutation tickets resolve.
+    pub mutations_submitted: u64,
+    /// Mutations applied and acknowledged by the backend.
+    pub mutations_applied: u64,
+    /// Mutations that failed — refused by the backend (e.g. a delete of an
+    /// unknown id, or any mutation on a frozen backend) or shed because their
+    /// deadline passed before a worker reached them.
+    pub mutations_failed: u64,
+    /// Vectors held in the live backend's delta segments after the most
+    /// recent applied mutation.
+    pub delta_vectors: u64,
+    /// Tombstoned (deleted but not yet compacted-away) vectors after the most
+    /// recent applied mutation.
+    pub tombstones: u64,
+    /// Delta/tombstone load as a fraction of the live backend's compaction
+    /// threshold (1.0 = compaction due), after the most recent applied
+    /// mutation.
+    pub delta_fill: f64,
+    /// Submit→visible staleness of every applied mutation: the time from
+    /// `try_submit_mutation` to the epoch swap that made the mutation
+    /// observable by queries (the ack is delivered after this is recorded).
+    pub mutation_staleness: LatencyHistogram,
 }
 
 impl ServiceStats {
@@ -222,6 +250,16 @@ impl ServiceStats {
         ))
     }
 
+    /// Submit→visible mutation-staleness percentiles `(p50, p95, p99)` in
+    /// milliseconds; `None` before the first applied mutation.
+    pub fn mutation_staleness_percentiles_ms(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.mutation_staleness.percentile_ms(0.50)?,
+            self.mutation_staleness.percentile_ms(0.95)?,
+            self.mutation_staleness.percentile_ms(0.99)?,
+        ))
+    }
+
     /// Renders a compact human-readable report.
     pub fn report(&self) -> String {
         let fill = self
@@ -260,10 +298,28 @@ impl ServiceStats {
             .map_or(String::new(), |(p50, p95, p99)| {
                 format!(" | queue wait p50/p95/p99 {p50:.2}/{p95:.2}/{p99:.2} ms")
             });
+        let mutations = if self.mutations_submitted == 0 {
+            String::new()
+        } else {
+            let staleness = self
+                .mutation_staleness_percentiles_ms()
+                .map_or(String::new(), |(p50, p95, p99)| {
+                    format!(", staleness p50/p95/p99 {p50:.2}/{p95:.2}/{p99:.2} ms")
+                });
+            format!(
+                " | {} mutations applied/{} (gen {}, {} delta, {} tombstoned, fill {:.0}%{staleness})",
+                self.mutations_applied,
+                self.mutations_submitted,
+                self.generation,
+                self.delta_vectors,
+                self.tombstones,
+                self.delta_fill * 100.0,
+            )
+        };
         format!(
             "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
              {} AP cycles, {} reconfigs | shard load [{utilization}] | \
-             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}",
+             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}{mutations}",
             self.queries_served,
             self.queries_submitted,
             self.batches_dispatched,
@@ -341,6 +397,28 @@ mod tests {
         assert_eq!(hist.count(), 2);
         let p100 = hist.percentile_ms(1.0).unwrap();
         assert!(p100 <= 0.001, "sub-microsecond samples stay tiny: {p100}");
+    }
+
+    #[test]
+    fn mutation_staleness_and_gauges_surface_in_the_report() {
+        let mut stats = ServiceStats::default();
+        assert_eq!(stats.mutation_staleness_percentiles_ms(), None);
+        assert!(!stats.report().contains("mutations"));
+
+        stats.mutations_submitted = 5;
+        stats.mutations_applied = 4;
+        stats.mutations_failed = 1;
+        stats.generation = 7;
+        stats.delta_vectors = 3;
+        stats.tombstones = 1;
+        stats.delta_fill = 0.375;
+        stats.mutation_staleness.record(Duration::from_millis(2));
+        let (p50, p95, p99) = stats.mutation_staleness_percentiles_ms().unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        let report = stats.report();
+        assert!(report.contains("4 mutations applied/5"));
+        assert!(report.contains("gen 7"));
+        assert!(report.contains("staleness"));
     }
 
     #[test]

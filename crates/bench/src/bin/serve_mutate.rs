@@ -1,0 +1,290 @@
+//! Live-corpus serving under churn: mutation throughput, query throughput
+//! during concurrent mutations, and insert-to-visible staleness percentiles.
+//!
+//! Stands up an [`ap_serve::ApServer`] over a [`ap_serve::LiveBackend`]
+//! (epoch-snapshot mutable corpus with delta partitions, tombstones, and
+//! compaction), then drives it the way a live deployment would:
+//!
+//! * **mutator** — one client streams inserts (with a sprinkling of deletes)
+//!   as one-shot `insert`/`delete` calls; per-mutation ack latency is
+//!   submit → MutAck measured at the caller.
+//! * **query fleet** — M closed-loop clients issue one-shot `search` calls
+//!   for the whole churn window, measuring what corpus mutation costs the
+//!   read path.
+//!
+//! The server-side staleness histogram (mutation submitted → visible to
+//! queries) travels back in the stats frame and is recorded alongside the
+//! client-observed numbers. Emits into the `serve_mutate` section of
+//! `BENCH_serve.json` (preserving the other serving sections). Pass
+//! `--quick` for the CI smoke configuration.
+
+use ap_knn::capacity::CapacityModel;
+use ap_knn::live::LiveConfig;
+use ap_knn::{ApKnnEngine, BoardCapacity, KnnDesign};
+use ap_serve::{ApClient, ApServer, LiveBackend, RuntimeConfig, ServiceRuntime};
+use bench::{maybe_emit_json, merge_records_into_file, ExperimentRecord};
+use binvec::generate::{uniform_dataset, uniform_queries};
+use binvec::QueryOptions;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Load {
+    vectors: usize,
+    dims: usize,
+    vectors_per_board: usize,
+    workers: usize,
+    query_clients: usize,
+    mutations: usize,
+    delete_every: usize,
+    compact_threshold: usize,
+}
+
+fn load(quick: bool) -> Load {
+    if quick {
+        Load {
+            vectors: 96,
+            dims: 32,
+            vectors_per_board: 24,
+            workers: 2,
+            query_clients: 2,
+            mutations: 60,
+            delete_every: 4,
+            compact_threshold: 32,
+        }
+    } else {
+        Load {
+            vectors: 256,
+            dims: 32,
+            vectors_per_board: 64,
+            workers: 4,
+            query_clients: 4,
+            mutations: 400,
+            delete_every: 4,
+            compact_threshold: 64,
+        }
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let load = load(quick);
+    let options = QueryOptions::top(10);
+    let data = uniform_dataset(load.vectors, load.dims, 61);
+
+    let engine = ApKnnEngine::new(KnnDesign::new(load.dims)).with_capacity(BoardCapacity {
+        vectors_per_board: load.vectors_per_board,
+        model: CapacityModel::PaperCalibrated,
+    });
+    let backend = LiveBackend::try_new(
+        engine,
+        &data,
+        LiveConfig::default().with_compact_threshold(load.compact_threshold),
+    )
+    .expect("live backend");
+    let runtime = Arc::new(
+        ServiceRuntime::try_shared(
+            RuntimeConfig::default()
+                .with_workers(load.workers)
+                .with_queue_capacity(4096)
+                .with_cache_capacity(256)
+                .with_options(options),
+            Arc::new(backend),
+        )
+        .expect("constructible runtime"),
+    );
+    let server = ApServer::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind loopback");
+    let addr = server.local_addr();
+
+    println!(
+        "live serving under churn over loopback {addr}, {} mode: {} workers, \
+         {} query clients, {} mutations (1 delete per {} inserts), \
+         compaction threshold {}",
+        if quick { "quick" } else { "full" },
+        load.workers,
+        load.query_clients,
+        load.mutations,
+        load.delete_every,
+        load.compact_threshold,
+    );
+
+    // Warm up the wire path and the worker pools.
+    {
+        let mut client = ApClient::connect(addr).expect("warmup connect");
+        client.ping().expect("warmup ping");
+        for q in uniform_queries(load.workers * 2, load.dims, 62) {
+            client.search(q, options).expect("warmup query");
+        }
+    }
+
+    let churning = Arc::new(AtomicBool::new(true));
+    let inserts = uniform_queries(load.mutations, load.dims, 63);
+    let query_pool = uniform_queries(256, load.dims, 64);
+
+    // The query fleet runs for the whole churn window; the mutator stops it
+    // when the last ack lands, so throughput is measured *during* mutation.
+    let (ack_latencies, query_latencies) = std::thread::scope(|scope| {
+        let fleet: Vec<_> = (0..load.query_clients)
+            .map(|c| {
+                let churning = Arc::clone(&churning);
+                let query_pool = &query_pool;
+                scope.spawn(move || {
+                    let mut client = ApClient::connect(addr).expect("query connect");
+                    let mut latencies = Vec::new();
+                    let mut i = c; // stagger the per-client query sequences
+                    while churning.load(Ordering::Relaxed) {
+                        let q = query_pool[i % query_pool.len()].clone();
+                        i += load.query_clients;
+                        let submitted = Instant::now();
+                        client.search(q, options).expect("churn query");
+                        latencies.push(submitted.elapsed());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+
+        let mut mutator = ApClient::connect(addr).expect("mutator connect");
+        let mut acks = Vec::with_capacity(load.mutations);
+        let mut inserted_ids: Vec<u64> = Vec::new();
+        for (i, vector) in inserts.iter().enumerate() {
+            let submitted = Instant::now();
+            if i % load.delete_every == load.delete_every - 1 && !inserted_ids.is_empty() {
+                let victim = inserted_ids.remove(0);
+                mutator.delete(victim, options).expect("delete ack");
+            } else {
+                let ack = mutator.insert(vector.clone(), options).expect("insert ack");
+                inserted_ids.push(ack.id as u64);
+            }
+            acks.push(submitted.elapsed());
+        }
+        churning.store(false, Ordering::Relaxed);
+        let query_latencies: Vec<Duration> = fleet
+            .into_iter()
+            .flat_map(|h| h.join().expect("query client"))
+            .collect();
+        (acks, query_latencies)
+    });
+
+    let mut records = Vec::new();
+
+    let mut sorted_acks = ack_latencies.clone();
+    sorted_acks.sort_unstable();
+    let churn_wall: Duration = ack_latencies.iter().sum();
+    let mutation_rate = ack_latencies.len() as f64 / churn_wall.as_secs_f64();
+    println!(
+        "{:>12} {:>11.0} mut/s p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms",
+        "mutations",
+        mutation_rate,
+        percentile(&sorted_acks, 0.50),
+        percentile(&sorted_acks, 0.95),
+        percentile(&sorted_acks, 0.99),
+    );
+    let label = format!("churn mutations={}", load.mutations);
+    for (metric, value) in [
+        ("mutation_rate_per_s", mutation_rate),
+        ("ack_p50_ms", percentile(&sorted_acks, 0.50)),
+        ("ack_p95_ms", percentile(&sorted_acks, 0.95)),
+        ("ack_p99_ms", percentile(&sorted_acks, 0.99)),
+    ] {
+        records.push(ExperimentRecord::new(
+            "serve_mutate",
+            label.clone(),
+            metric,
+            value,
+            None,
+        ));
+    }
+
+    let mut sorted_queries = query_latencies.clone();
+    sorted_queries.sort_unstable();
+    let query_throughput = query_latencies.len() as f64 / churn_wall.as_secs_f64();
+    println!(
+        "{:>12} {:>11.0} q/s   p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms",
+        "queries",
+        query_throughput,
+        percentile(&sorted_queries, 0.50),
+        percentile(&sorted_queries, 0.95),
+        percentile(&sorted_queries, 0.99),
+    );
+    let label = format!("queries_during_churn clients={}", load.query_clients);
+    for (metric, value) in [
+        ("throughput_qps", query_throughput),
+        ("p50_ms", percentile(&sorted_queries, 0.50)),
+        ("p95_ms", percentile(&sorted_queries, 0.95)),
+        ("p99_ms", percentile(&sorted_queries, 0.99)),
+    ] {
+        records.push(ExperimentRecord::new(
+            "serve_mutate",
+            label.clone(),
+            metric,
+            value,
+            None,
+        ));
+    }
+
+    // The server's own view: generation, delta fill, and the submit→visible
+    // staleness histogram (queue wait + apply + epoch swap, not just the
+    // client-observed round trip).
+    let mut client = ApClient::connect(addr).expect("stats connect");
+    let stats = client.stats().expect("stats over the wire");
+    println!(
+        "server: generation {}, {} applied / {} submitted, {} delta vectors, \
+         {} tombstones",
+        stats.generation,
+        stats.mutations_applied,
+        stats.mutations_submitted,
+        stats.delta_vectors,
+        stats.tombstones,
+    );
+    let label = "server".to_string();
+    records.push(ExperimentRecord::new(
+        "serve_mutate",
+        label.clone(),
+        "generation",
+        stats.generation as f64,
+        None,
+    ));
+    records.push(ExperimentRecord::new(
+        "serve_mutate",
+        label.clone(),
+        "tombstones",
+        stats.tombstones as f64,
+        None,
+    ));
+    if let Some((p50, p95, p99)) = stats.mutation_staleness_ms {
+        println!("server staleness: p50 {p50:.3} ms, p95 {p95:.3} ms, p99 {p99:.3} ms");
+        for (metric, value) in [
+            ("staleness_p50_ms", p50),
+            ("staleness_p95_ms", p95),
+            ("staleness_p99_ms", p99),
+        ] {
+            records.push(ExperimentRecord::new(
+                "serve_mutate",
+                label.clone(),
+                metric,
+                value,
+                None,
+            ));
+        }
+    }
+    assert_eq!(
+        stats.mutations_applied, load.mutations as u64,
+        "every mutation must have applied"
+    );
+
+    drop(client);
+    server.shutdown();
+
+    merge_records_into_file("BENCH_serve.json", &records).expect("write BENCH_serve.json");
+    println!("merged {} records into BENCH_serve.json", records.len());
+    maybe_emit_json(&records);
+}

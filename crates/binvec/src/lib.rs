@@ -28,6 +28,9 @@
 //! * [`query`] — the workspace-wide query vocabulary: [`QueryOptions`] (k, optional
 //!   distance bound, execution preference) and the fallible [`SearchError`] every
 //!   uniform query entry point returns.
+//! * [`mutation`] — the mutation vocabulary for live (mutable) corpora:
+//!   [`Mutation`] submissions and the [`MutAck`] acknowledgements carrying the
+//!   generation at which a mutation became visible.
 //! * [`wire`] — byte-level wire serialization of the query vocabulary
 //!   ([`QueryOptions`], [`SearchError`], [`Neighbor`], [`BinaryVector`]) for the
 //!   length-prefixed network protocol served by `ap-serve`.
@@ -43,6 +46,7 @@ pub mod io;
 pub mod itq;
 pub mod linalg;
 pub mod metrics;
+pub mod mutation;
 pub mod quantize;
 pub mod query;
 pub mod topk;
@@ -53,6 +57,7 @@ pub use bits::BinaryVector;
 pub use dataset::BinaryDataset;
 pub use distance::{hamming, inverted_hamming, jaccard_similarity};
 pub use itq::{ItqConfig, ItqQuantizer};
+pub use mutation::{MutAck, Mutation, MutationOp};
 pub use query::{Deadline, ExecutionPreference, Priority, QueryOptions, ResultKey, SearchError};
 pub use topk::{Neighbor, TopK};
 pub use wire::{WireError, WireReader};

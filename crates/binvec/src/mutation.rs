@@ -1,0 +1,156 @@
+//! The mutation vocabulary for live (mutable) corpora.
+//!
+//! A frozen corpus is the paper's operating assumption — board images are
+//! compiled for a dataset fixed at configuration time. The live-corpus
+//! subsystem (`ap_knn::live`) relaxes that with append-only delta partitions
+//! and tombstones; this module defines the workspace-wide vocabulary those
+//! paths speak: a [`Mutation`] submitted by a caller and the [`MutAck`] the
+//! engine answers with once the mutation is visible to queries.
+//!
+//! Like the query vocabulary in [`crate::query`], the wire encodings live
+//! next to the types (see [`crate::wire`] for the conventions) so the network
+//! protocol and the in-memory types cannot drift apart.
+
+use crate::bits::BinaryVector;
+use crate::wire::{put_u64, WireError, WireReader};
+
+/// Which kind of mutation an acknowledgement answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// A vector was appended to the corpus.
+    Insert,
+    /// A vector was tombstoned out of the corpus.
+    Delete,
+}
+
+/// A corpus mutation submitted to a live engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Append `vector` to the corpus; the engine assigns the next stable id.
+    Insert {
+        /// The vector to insert.
+        vector: BinaryVector,
+    },
+    /// Remove the vector with stable id `id` from the corpus.
+    Delete {
+        /// The stable id to delete (as returned by a prior insert's ack).
+        id: usize,
+    },
+}
+
+impl Mutation {
+    /// The operation kind this mutation performs.
+    pub fn op(&self) -> MutationOp {
+        match self {
+            Self::Insert { .. } => MutationOp::Insert,
+            Self::Delete { .. } => MutationOp::Delete,
+        }
+    }
+}
+
+/// Acknowledgement that a mutation has been applied and is visible to queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutAck {
+    /// The operation that was applied.
+    pub op: MutationOp,
+    /// The stable id the mutation targeted: assigned by the engine for an
+    /// insert, echoed back for a delete.
+    pub id: usize,
+    /// The corpus generation at which the mutation became visible. Any query
+    /// answered at this generation or later observes the mutation.
+    pub generation: u64,
+}
+
+impl MutationOp {
+    /// Encodes the operation as its wire tag.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Self::Insert => 0,
+            Self::Delete => 1,
+        });
+    }
+
+    /// Decodes an operation from its wire tag.
+    ///
+    /// # Errors
+    /// [`WireError::Malformed`] on an unknown tag.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match reader.u8()? {
+            0 => Ok(Self::Insert),
+            1 => Ok(Self::Delete),
+            _ => Err(WireError::Malformed {
+                what: "mutation op",
+            }),
+        }
+    }
+}
+
+impl MutAck {
+    /// Encodes the ack as `op · id: u64 · generation: u64`.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        self.op.encode_wire(out);
+        put_u64(out, self.id as u64);
+        put_u64(out, self.generation);
+    }
+
+    /// Decodes an ack encoded by [`Self::encode_wire`].
+    ///
+    /// # Errors
+    /// [`WireError`] on truncated or malformed bytes.
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let op = MutationOp::decode_wire(reader)?;
+        let id = reader.u64()? as usize;
+        let generation = reader.u64()?;
+        Ok(Self { op, id, generation })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acks_roundtrip() {
+        for ack in [
+            MutAck {
+                op: MutationOp::Insert,
+                id: 0,
+                generation: 1,
+            },
+            MutAck {
+                op: MutationOp::Delete,
+                id: usize::MAX,
+                generation: u64::MAX,
+            },
+        ] {
+            let mut buf = Vec::new();
+            ack.encode_wire(&mut buf);
+            let mut reader = WireReader::new(&buf);
+            assert_eq!(MutAck::decode_wire(&mut reader), Ok(ack));
+            assert!(reader.is_empty(), "decode must consume the whole encoding");
+        }
+    }
+
+    #[test]
+    fn hostile_op_tag_is_typed_not_a_panic() {
+        let mut reader = WireReader::new(&[9, 0, 0]);
+        assert_eq!(
+            MutationOp::decode_wire(&mut reader),
+            Err(WireError::Malformed {
+                what: "mutation op"
+            })
+        );
+    }
+
+    #[test]
+    fn mutations_report_their_op() {
+        assert_eq!(
+            Mutation::Insert {
+                vector: BinaryVector::zeros(8)
+            }
+            .op(),
+            MutationOp::Insert
+        );
+        assert_eq!(Mutation::Delete { id: 3 }.op(), MutationOp::Delete);
+    }
+}

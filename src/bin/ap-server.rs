@@ -36,6 +36,9 @@ enum BackendKind {
     CycleAccurate,
     /// Plain CPU linear scan, for comparison.
     Linear,
+    /// Live mutable corpus: behavioral AP engine behind a [`LiveBackend`],
+    /// accepting `Insert`/`Delete` frames alongside queries.
+    Live,
 }
 
 impl Default for Args {
@@ -73,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                     "behavioral" => BackendKind::Behavioral,
                     "cycle" | "cycle-accurate" => BackendKind::CycleAccurate,
                     "linear" => BackendKind::Linear,
+                    "live" => BackendKind::Live,
                     other => return Err(format!("unknown backend '{other}'")),
                 }
             }
@@ -87,7 +91,8 @@ fn parse_args() -> Result<Args, String> {
                      \t--queue N          admission queue capacity (default 4096)\n\
                      \t--cache N          result cache capacity, 0 disables (default 1024)\n\
                      \t--k N              default neighbors per query (default 10)\n\
-                     \t--backend KIND     behavioral | cycle | linear (default behavioral)\n\n\
+                     \t--backend KIND     behavioral | cycle | linear | live (default behavioral)\n\
+                     \t                   'live' serves a mutable corpus: clients may Insert/Delete\n\n\
                      The server runs until stdin closes or a 'quit' line arrives."
                 );
                 std::process::exit(0);
@@ -111,6 +116,13 @@ fn build_runtime(args: &Args) -> Result<ServiceRuntime, SearchError> {
         .with_options(QueryOptions::top(args.k));
     let dims = args.dims;
     let backend = args.backend;
+    if backend == BackendKind::Live {
+        // One shared engine for all workers: mutations must be visible to
+        // every dispatch, so the workers cannot each own a private corpus.
+        let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
+        let live = LiveBackend::try_new(engine, &data, LiveConfig::default())?;
+        return ServiceRuntime::try_shared(config, std::sync::Arc::new(live));
+    }
     ServiceRuntime::try_new(config, move |_| {
         Ok(match backend {
             BackendKind::Linear => {
@@ -130,6 +142,7 @@ fn build_runtime(args: &Args) -> Result<ServiceRuntime, SearchError> {
                 backend.prepared().compile()?;
                 Box::new(backend)
             }
+            BackendKind::Live => unreachable!("handled by the shared-backend path above"),
         })
     })
 }

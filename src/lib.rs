@@ -12,8 +12,8 @@
 //! | [`ap_sim`] | Cycle-accurate Automata Processor simulator, PCRE front end, device resource model |
 //! | [`binvec`] | Bit-packed binary vectors, Hamming distance, ITQ quantization, corpus I/O, workloads |
 //! | [`baselines`] | CPU linear scan, kd-tree / k-means / LSH indexes, FPGA and GPU simulators |
-//! | [`ap_knn`] | The paper's contribution: kNN automata, temporal sort, optimizations, extensions, Jaccard, scheduler |
-//! | [`ap_serve`] | Query-serving subsystem: admission batching, dataset sharding, result caching, service stats |
+//! | [`ap_knn`] | The paper's contribution: kNN automata, temporal sort, optimizations, extensions, Jaccard, scheduler, live mutable corpora |
+//! | [`ap_serve`] | Query-serving subsystem: admission batching, dataset sharding, result caching, live mutations, wire protocol, service stats |
 //! | [`perf_model`] | Table I platforms, run-time and energy models for table regeneration |
 //!
 //! ## Quickstart
@@ -93,14 +93,15 @@ pub use perf_model;
 pub mod prelude {
     pub use ap_knn::{
         ApKnnEngine, AutoPlanner, BoardCapacity, ExecutionMode, ExecutionPlanner, JaccardSearcher,
-        KnnDesign, ParallelApScheduler, PreparedEngine, PreparedSchedule, StreamLayout,
+        KnnDesign, LiveConfig, LiveEngine, LiveStatus, ParallelApScheduler, PreparedEngine,
+        PreparedSchedule, StreamLayout,
     };
     pub use ap_serve::{
         ApClient, ApEngineBackend, ApSchedulerBackend, ApServer, BackendRegistry, BackendSpec,
-        BaselineKind, CompletionSet, FailedQuery, Frame, FrameBuffer, IndexKind, Metric, NetError,
-        Provenance, Response, RuntimeConfig, SearchPipeline, SearchService, ServiceConfig,
-        ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset, SimilarityBackend,
-        StatsFrame, TicketHandle, TicketResult,
+        BaselineKind, CompletionSet, FailedQuery, Frame, FrameBuffer, IndexKind, LiveBackend,
+        Metric, NetError, Provenance, Response, RuntimeConfig, SearchPipeline, SearchService,
+        ServiceConfig, ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset,
+        SimilarityBackend, StatsFrame, TicketHandle, TicketResult,
     };
     pub use ap_sim::{
         ApGeneration, AutomataNetwork, CompiledPcre, DeviceConfig, PcreSet, Simulator, TimingModel,
@@ -112,7 +113,10 @@ pub mod prelude {
     pub use binvec::{
         BinaryDataset, BinaryVector, ItqConfig, ItqQuantizer, Neighbor, TopK, Workload,
     };
-    pub use binvec::{Deadline, ExecutionPreference, Priority, QueryOptions, SearchError};
+    pub use binvec::{
+        Deadline, ExecutionPreference, MutAck, Mutation, MutationOp, Priority, QueryOptions,
+        SearchError,
+    };
     pub use perf_model::{EnergyReport, KnnJob, Platform, RuntimeModel};
 }
 

@@ -1,0 +1,145 @@
+//! Bit-identity sweep for the live-corpus engine: after any sequence of
+//! inserts and deletes, a [`LiveEngine`] must answer every query exactly like
+//! a fresh `prepare()` over the equivalent corpus — same distances, same
+//! stable ids, same order — in both behavioral and cycle-accurate modes.
+//!
+//! The equivalence is stated under the monotone id bijection between the live
+//! engine's stable insertion-order ids and the fresh engine's dense
+//! `0..survivors` ids: surviving vectors keep their relative order, so the
+//! `j`-th vector of the re-prepared corpus is the survivor with the `j`-th
+//! smallest stable id. The bijection is strictly increasing, which also
+//! preserves the `(distance, id)` tie-break order the engines sort by.
+
+use ap_knn::live::{LiveConfig, LiveEngine};
+use ap_knn::{ApKnnEngine, BoardCapacity, ExecutionMode, KnnDesign};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions};
+use proptest::prelude::*;
+
+/// One scripted mutation: insert a vector derived from a seed, or delete the
+/// live id at `pick % live_count` (skipped when nothing is left to delete).
+#[derive(Clone, Debug)]
+enum Step {
+    Insert { seed: u64 },
+    Delete { pick: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Inserts listed three times: a 3:1 insert/delete mix keeps the corpus
+    // growing so delta partitions and compaction both get exercised.
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|seed| Step::Insert { seed }),
+        (0u64..1_000_000).prop_map(|seed| Step::Insert { seed }),
+        (0u64..1_000_000).prop_map(|seed| Step::Insert { seed }),
+        (0usize..64).prop_map(|pick| Step::Delete { pick }),
+    ]
+}
+
+fn engine(dims: usize, mode: ExecutionMode) -> ApKnnEngine {
+    ApKnnEngine::new(KnnDesign::new(dims))
+        .with_mode(mode)
+        .with_capacity(BoardCapacity {
+            vectors_per_board: 7,
+            model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+        })
+}
+
+/// Replays `steps` against a live engine and, in parallel, against a plain
+/// `Vec<(stable_id, vector)>` model; returns the live engine plus the model's
+/// surviving corpus in stable-id order.
+fn churn(
+    live: &LiveEngine,
+    steps: &[Step],
+    dims: usize,
+    base: &BinaryDataset,
+) -> Vec<(usize, BinaryVector)> {
+    let mut survivors: Vec<(usize, BinaryVector)> = base.iter().enumerate().collect();
+    let mut next_id = base.len();
+    for step in steps {
+        match step {
+            Step::Insert { seed } => {
+                let vector = binvec::generate::uniform_queries(1, dims, 7_000 + seed)
+                    .pop()
+                    .unwrap();
+                let ack = live.insert(&vector).unwrap();
+                assert_eq!(ack.id, next_id, "stable ids are insertion-ordered");
+                survivors.push((next_id, vector));
+                next_id += 1;
+            }
+            Step::Delete { pick } => {
+                if survivors.is_empty() {
+                    continue;
+                }
+                let (id, _) = survivors.remove(pick % survivors.len());
+                let ack = live.delete(id).unwrap();
+                assert_eq!(ack.id, id);
+            }
+        }
+    }
+    survivors
+}
+
+/// The core check: live results must be bit-identical to a fresh prepare over
+/// the surviving corpus, with fresh ids mapped back through the bijection.
+fn assert_bit_identity(mode: ExecutionMode, steps: &[Step], compact_threshold: usize) {
+    let dims = 16;
+    let base = binvec::generate::uniform_dataset(12, dims, 400);
+    let config = LiveConfig::default()
+        .with_background(false)
+        .with_delta_chunk(3)
+        .with_compact_threshold(compact_threshold);
+    let live = LiveEngine::new(engine(dims, mode), &base, config).unwrap();
+    let survivors = churn(&live, steps, dims, &base);
+    assert_eq!(live.len(), survivors.len());
+
+    let queries = binvec::generate::uniform_queries(4, dims, 401);
+    let options = QueryOptions::top(5);
+    let (live_results, _) = live.try_search_batch(&queries, &options).unwrap();
+
+    if survivors.is_empty() {
+        assert!(live_results.iter().all(Vec::is_empty));
+        return;
+    }
+    let fresh_corpus = BinaryDataset::from_vectors(dims, survivors.iter().map(|(_, v)| v.clone()));
+    let fresh = engine(dims, mode).prepare(&fresh_corpus).unwrap();
+    let (fresh_results, _) = fresh.try_search_batch(&queries, &options).unwrap();
+
+    for (live_neighbors, fresh_neighbors) in live_results.iter().zip(&fresh_results) {
+        let mapped: Vec<Neighbor> = fresh_neighbors
+            .iter()
+            .map(|n| Neighbor::new(survivors[n.id].0, n.distance))
+            .collect();
+        assert_eq!(live_neighbors, &mapped, "mode {mode:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Behavioral mode, with a compaction threshold low enough that most
+    /// sequences fold mid-churn: results must never depend on whether a
+    /// vector lives in the base segment or a delta partition.
+    #[test]
+    fn behavioral_live_engine_matches_fresh_prepare(
+        steps in prop::collection::vec(step_strategy(), 0..24)
+    ) {
+        assert_bit_identity(ExecutionMode::Behavioral, &steps, 6);
+    }
+
+    /// Cycle-accurate mode: the same contract holds when every segment search
+    /// runs through the simulator.
+    #[test]
+    fn cycle_accurate_live_engine_matches_fresh_prepare(
+        steps in prop::collection::vec(step_strategy(), 0..10)
+    ) {
+        assert_bit_identity(ExecutionMode::CycleAccurate, &steps, 4);
+    }
+}
+
+/// A directed worst case the random sweep may miss: delete everything, then
+/// grow back from an empty live set.
+#[test]
+fn delete_everything_then_reinsert_matches_fresh_prepare() {
+    let mut steps: Vec<Step> = (0..12).map(|_| Step::Delete { pick: 0 }).collect();
+    steps.extend((0..5).map(|seed| Step::Insert { seed }));
+    assert_bit_identity(ExecutionMode::Behavioral, &steps, 6);
+}

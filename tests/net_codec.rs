@@ -9,7 +9,10 @@
 
 use ap_serve::net::{Frame, FrameBuffer, StatsFrame, HEADER_LEN, MAX_PAYLOAD};
 use binvec::wire::WireError;
-use binvec::{Deadline, ExecutionPreference, Neighbor, Priority, QueryOptions, SearchError};
+use binvec::{
+    Deadline, ExecutionPreference, MutAck, MutationOp, Neighbor, Priority, QueryOptions,
+    SearchError,
+};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -19,7 +22,7 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
     let mix = seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(kind as u64);
-    match kind % 7 {
+    match kind % 10 {
         0 => Frame::Ping,
         1 => Frame::Pong,
         2 => Frame::StatsRequest,
@@ -73,6 +76,25 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
                 error: errors[(mix % errors.len() as u64) as usize].clone(),
             }
         }
+        6 => Frame::Insert {
+            options: QueryOptions::top(1 + (mix % 9) as usize),
+            vector: binvec::generate::uniform_queries(1, 1 + (mix % 200) as usize, mix)
+                .pop()
+                .unwrap(),
+        },
+        7 => Frame::Delete {
+            options: QueryOptions::top(1).prioritized(Priority::High),
+            id: mix,
+        },
+        8 => Frame::MutAck(MutAck {
+            op: if mix.is_multiple_of(2) {
+                MutationOp::Insert
+            } else {
+                MutationOp::Delete
+            },
+            id: (mix % 1_000_000) as usize,
+            generation: mix / 3,
+        }),
         _ => Frame::Stats(StatsFrame {
             backend: format!("engine-{}", mix % 5),
             workers: mix % 64,
@@ -88,9 +110,20 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
             cache_hits: mix % 1000,
             cache_misses: mix % 999,
             ap_symbol_cycles: mix.wrapping_mul(3),
+            generation: mix % 500,
+            mutations_submitted: mix % 700,
+            mutations_applied: mix % 600,
+            mutations_failed: mix % 11,
+            delta_vectors: mix % 257,
+            tombstones: mix % 31,
             uptime_ms: (mix % 1_000_000) as f64 / 7.0,
             queue_wait_ms: if mix.is_multiple_of(2) {
                 Some(((mix % 10) as f64, (mix % 100) as f64, (mix % 1000) as f64))
+            } else {
+                None
+            },
+            mutation_staleness_ms: if mix.is_multiple_of(3) {
+                Some(((mix % 8) as f64, (mix % 80) as f64, (mix % 800) as f64))
             } else {
                 None
             },
@@ -141,7 +174,7 @@ proptest! {
     /// Every frame kind round-trips through encode → decode, whole and under
     /// arbitrary stream fragmentation, for random contents.
     #[test]
-    fn random_frames_roundtrip(seed in 0u64..1_000_000, kind in 0usize..7) {
+    fn random_frames_roundtrip(seed in 0u64..1_000_000, kind in 0usize..10) {
         let frame = sample_frame(seed, kind);
         let correlation = seed.wrapping_mul(31);
 
@@ -172,7 +205,7 @@ proptest! {
     /// byte was don't-care for structure, e.g. inside the query bits or the
     /// correlation id) or fails with a typed error — never a panic.
     #[test]
-    fn single_byte_corruption_never_panics(seed in 0u64..100_000, kind in 0usize..7) {
+    fn single_byte_corruption_never_panics(seed in 0u64..100_000, kind in 0usize..10) {
         let frame = sample_frame(seed, kind);
         let mut buf = Vec::new();
         frame.encode(seed, &mut buf);
@@ -206,7 +239,7 @@ proptest! {
 
 #[test]
 fn truncation_reports_incomplete_for_every_prefix_of_every_kind() {
-    for kind in 0..7 {
+    for kind in 0..10 {
         let frame = sample_frame(99, kind);
         let mut buf = Vec::new();
         frame.encode(7, &mut buf);
@@ -289,8 +322,8 @@ fn hostile_counts_inside_payloads_are_refused_before_allocation() {
 
 #[test]
 fn a_stream_of_many_frames_survives_pathological_fragmentation() {
-    let frames: Vec<Frame> = (0..21)
-        .map(|i| sample_frame(i as u64 * 7 + 1, i % 7))
+    let frames: Vec<Frame> = (0..30)
+        .map(|i| sample_frame(i as u64 * 7 + 1, i % 10))
         .collect();
     let mut stream = Vec::new();
     for (i, frame) in frames.iter().enumerate() {
