@@ -42,6 +42,9 @@
 //! * [`live`] — mutable corpora over the prepared lifecycle: an immutable
 //!   compiled base plus append-only delta partitions, tombstone filtering at
 //!   the top-k merge, epoch/generation snapshots, and background compaction;
+//! * [`wal`] — durability for live corpora: a CRC-checksummed group-commit
+//!   write-ahead log, checkpoint images, crash recovery with torn-tail
+//!   truncation, and a deterministic crash-fault-injection harness;
 //! * [`plan`] — the frontier-aware auto execution planner (cycle-accurate vs
 //!   behavioural from fabric size × stream length, calibrated on `BENCH_sim.json`).
 
@@ -65,6 +68,7 @@ pub mod prepared;
 pub mod reduction;
 pub mod scheduler;
 pub mod stream;
+pub mod wal;
 
 pub use binvec::{ExecutionPreference, QueryOptions, SearchError};
 pub use builder::PartitionNetwork;
@@ -78,3 +82,4 @@ pub use plan::{AutoPlanner, ExecutionPlanner};
 pub use prepared::{PoolStats, PreparedEngine};
 pub use scheduler::{ParallelApScheduler, PipelineModel, PreparedSchedule, ScheduleStats};
 pub use stream::StreamLayout;
+pub use wal::{FaultPlan, RestoreReport, WalConfig, WalError, WalGauges};

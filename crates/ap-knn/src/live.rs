@@ -40,10 +40,12 @@
 
 use crate::engine::{ApKnnEngine, ApRunStats};
 use crate::prepared::PreparedEngine;
+use crate::wal::{self, CheckpointImage, RestoreReport, Wal, WalConfig, WalGauges, WalRecord};
 use binvec::{BinaryDataset, BinaryVector, MutAck, Mutation, MutationOp};
 use binvec::{Neighbor, QueryOptions, SearchError, TopK};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 
 /// Construction parameters of a [`LiveEngine`].
@@ -59,11 +61,19 @@ pub struct LiveConfig {
     /// Run compactions on a dedicated background thread (woken by mutations)
     /// instead of only on explicit [`LiveEngine::compact_now`] calls.
     pub background: bool,
-    /// Compile each new delta segment's board images at insert time instead
-    /// of lazily on its first cycle-accurate batch, so serving traffic never
-    /// pays a compile. (Behavioral-only deployments should leave this off:
-    /// their batches never touch compiled images at all.)
+    /// Compile each new delta segment's board images when the segment is
+    /// built (by the compile pool, or inline when `compile_pool` is 0)
+    /// instead of lazily on its first cycle-accurate batch, so serving
+    /// traffic never pays a compile. (Behavioral-only deployments should
+    /// leave this off: their batches never touch compiled images at all.)
     pub compile_deltas: bool,
+    /// Background compile-pool threads that prepare (and, with
+    /// [`Self::compile_deltas`], compile) new delta segments off the
+    /// mutating thread, so a mutation ack never includes a segment
+    /// `prepare()`. `0` prepares inline on the mutating thread (the
+    /// pre-pool behavior; segment preparation errors then surface at the
+    /// mutation instead of at the first query that touches the segment).
+    pub compile_pool: usize,
 }
 
 impl Default for LiveConfig {
@@ -73,6 +83,7 @@ impl Default for LiveConfig {
             compact_threshold: 256,
             background: true,
             compile_deltas: false,
+            compile_pool: 1,
         }
     }
 }
@@ -99,6 +110,12 @@ impl LiveConfig {
     /// Enables or disables eager compilation of new delta segments.
     pub fn with_compile_deltas(mut self, compile: bool) -> Self {
         self.compile_deltas = compile;
+        self
+    }
+
+    /// Sets the background compile-pool size (0 = prepare inline).
+    pub fn with_compile_pool(mut self, threads: usize) -> Self {
+        self.compile_pool = threads;
         self
     }
 
@@ -141,6 +158,11 @@ pub struct LiveStatus {
     pub compactions: u64,
     /// The next stable id an insert would be assigned.
     pub next_id: usize,
+    /// Delta segments handed to the compile pool but not yet prepared
+    /// (queries touching one fall back to preparing it themselves).
+    pub compile_backlog: u64,
+    /// Write-ahead-log gauges; `None` for a purely in-memory engine.
+    pub wal: Option<WalGauges>,
 }
 
 impl LiveStatus {
@@ -190,20 +212,56 @@ impl BaseSegment {
 
 /// One immutable delta segment covering the contiguous stable-id range
 /// `[first_id, first_id + data.len())`.
+///
+/// Preparation (partitioning + board images) is deferred: the mutating
+/// thread only copies the raw vectors, and the segment's [`PreparedEngine`]
+/// is built exactly once — by the compile pool in the background, or by the
+/// first query that reaches the segment before the pool does. Whoever loses
+/// the `OnceLock` race simply reuses the winner's result, so queries are
+/// bit-identical either way.
 #[derive(Debug)]
 struct DeltaSegment {
     first_id: usize,
     data: BinaryDataset,
-    prepared: PreparedEngine,
+    prep: OnceLock<Result<PreparedEngine, SearchError>>,
 }
 
 impl DeltaSegment {
+    fn new(first_id: usize, data: BinaryDataset) -> Self {
+        Self {
+            first_id,
+            data,
+            prep: OnceLock::new(),
+        }
+    }
+
     fn len(&self) -> usize {
         self.data.len()
     }
 
     fn end_id(&self) -> usize {
         self.first_id + self.data.len()
+    }
+
+    /// The segment's prepared engine, building (and optionally compiling) it
+    /// on first use. A preparation error is sticky: it is stored and
+    /// re-surfaced to every caller, exactly as an inline prepare would have
+    /// failed the originating insert.
+    fn prepared(
+        &self,
+        engine: &ApKnnEngine,
+        compile: bool,
+    ) -> Result<&PreparedEngine, SearchError> {
+        self.prep
+            .get_or_init(|| {
+                let prepared = engine.prepare(&self.data)?;
+                if compile {
+                    prepared.compile()?;
+                }
+                Ok(prepared)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
     }
 }
 
@@ -280,6 +338,14 @@ struct LiveInner {
     signal: Mutex<CompactorState>,
     wake: Condvar,
     compactions: AtomicU64,
+    /// The write-ahead log; `None` for a purely in-memory engine. Appended
+    /// under the writer lock (record order = snapshot order), synced outside
+    /// it (group commit across acking threads).
+    durability: Option<Wal>,
+    /// Hand-off to the compile-pool workers; `None` when the pool is off.
+    compile_tx: Mutex<Option<mpsc::Sender<Arc<DeltaSegment>>>>,
+    compiles_scheduled: AtomicU64,
+    compiles_completed: Arc<AtomicU64>,
 }
 
 impl LiveInner {
@@ -291,19 +357,33 @@ impl LiveInner {
         *self.state.write().expect("live state lock poisoned") = Arc::new(next);
     }
 
-    fn prepare_segment(&self, data: &BinaryDataset) -> Result<PreparedEngine, SearchError> {
-        let prepared = self.engine.prepare(data)?;
-        if self.config.compile_deltas {
-            prepared.compile()?;
+    /// Finishes a freshly built delta segment: hands it to the compile pool
+    /// (preparation happens in the background; a query racing ahead of the
+    /// pool prepares it itself), or — with the pool off — prepares it here
+    /// on the mutating thread, surfacing errors at the mutation.
+    fn finish_segment(&self, segment: &Arc<DeltaSegment>) -> Result<(), SearchError> {
+        if self.config.compile_pool == 0 {
+            segment.prepared(&self.engine, self.config.compile_deltas)?;
+            return Ok(());
         }
-        Ok(prepared)
+        let tx = self.compile_tx.lock().expect("compile tx poisoned");
+        if let Some(tx) = tx.as_ref() {
+            if tx.send(Arc::clone(segment)).is_ok() {
+                self.compiles_scheduled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
     }
 
-    /// Applies one mutation under the writer lock and returns its ack.
-    fn apply(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
+    /// Applies one mutation under the writer lock and returns its ack plus
+    /// the WAL commit sequence the caller must [`Wal::sync_through`] before
+    /// releasing the ack (`None` for an in-memory engine). The WAL record is
+    /// appended *before* the snapshot installs, both under the writer lock,
+    /// so log order always equals snapshot order.
+    fn apply_logged(&self, mutation: &Mutation) -> Result<(MutAck, Option<u64>), SearchError> {
         let _writer = self.writer.lock().expect("live writer lock poisoned");
         let current = self.snapshot();
-        let ack = match mutation {
+        let (ack, seq) = match mutation {
             Mutation::Insert { vector } => {
                 if vector.dims() != self.engine.design().dims {
                     return Err(SearchError::DimMismatch {
@@ -314,34 +394,34 @@ impl LiveInner {
                 let id = current.next_id;
                 let mut deltas = current.deltas.clone();
                 // Grow the open (tail) segment until it reaches delta_chunk;
-                // segments are immutable, so growing means re-preparing a
-                // copy with the new vector appended — bounded by delta_chunk.
+                // segments are immutable, so growing means copying it with
+                // the new vector appended — bounded by delta_chunk.
                 let open = deltas
                     .last()
                     .filter(|d| d.end_id() == id && d.len() < self.config.delta_chunk)
                     .cloned();
-                match open {
+                let segment = match open {
                     Some(open) => {
                         let mut data = open.data.clone();
                         data.push(vector);
-                        let prepared = self.prepare_segment(&data)?;
-                        *deltas.last_mut().expect("open tail segment") = Arc::new(DeltaSegment {
-                            first_id: open.first_id,
-                            data,
-                            prepared,
-                        });
+                        Arc::new(DeltaSegment::new(open.first_id, data))
                     }
                     None => {
                         let mut data = BinaryDataset::with_capacity(vector.dims(), 1);
                         data.push(vector);
-                        let prepared = self.prepare_segment(&data)?;
-                        deltas.push(Arc::new(DeltaSegment {
-                            first_id: id,
-                            data,
-                            prepared,
-                        }));
+                        Arc::new(DeltaSegment::new(id, data))
                     }
+                };
+                self.finish_segment(&segment)?;
+                let replacing = deltas
+                    .last()
+                    .is_some_and(|d| d.first_id == segment.first_id);
+                if replacing {
+                    *deltas.last_mut().expect("open tail segment") = segment;
+                } else {
+                    deltas.push(segment);
                 }
+                let seq = self.log(&WalRecord::from_mutation(mutation, id as u64))?;
                 let generation = current.generation + 1;
                 self.install(Snapshot {
                     generation,
@@ -352,11 +432,14 @@ impl LiveInner {
                     next_id: id + 1,
                     live_len: current.live_len + 1,
                 });
-                MutAck {
-                    op: MutationOp::Insert,
-                    id,
-                    generation,
-                }
+                (
+                    MutAck {
+                        op: MutationOp::Insert,
+                        id,
+                        generation,
+                    },
+                    seq,
+                )
             }
             Mutation::Delete { id } => {
                 if !current.is_live(*id) {
@@ -368,6 +451,7 @@ impl LiveInner {
                 let mut tombstones = current.tombstones.as_ref().clone();
                 let at = tombstones.partition_point(|&t| t < *id);
                 tombstones.insert(at, *id);
+                let seq = self.log(&WalRecord::from_mutation(mutation, *id as u64))?;
                 let generation = current.generation + 1;
                 self.install(Snapshot {
                     generation,
@@ -378,14 +462,24 @@ impl LiveInner {
                     next_id: current.next_id,
                     live_len: current.live_len - 1,
                 });
-                MutAck {
-                    op: MutationOp::Delete,
-                    id: *id,
-                    generation,
-                }
+                (
+                    MutAck {
+                        op: MutationOp::Delete,
+                        id: *id,
+                        generation,
+                    },
+                    seq,
+                )
             }
         };
-        Ok(ack)
+        Ok((ack, seq))
+    }
+
+    fn log(&self, record: &WalRecord) -> Result<Option<u64>, SearchError> {
+        match &self.durability {
+            None => Ok(None),
+            Some(wal) => Ok(Some(wal.append(record)?)),
+        }
     }
 
     /// Whether the delta/tombstone load has reached the compaction trigger.
@@ -472,12 +566,9 @@ impl LiveInner {
                 for local in (pinned.next_id - delta.first_id)..delta.len() {
                     data.push(&delta.data.vector(local));
                 }
-                let prepared = self.prepare_segment(&data)?;
-                deltas.push(Arc::new(DeltaSegment {
-                    first_id: pinned.next_id,
-                    data,
-                    prepared,
-                }));
+                let segment = Arc::new(DeltaSegment::new(pinned.next_id, data));
+                self.finish_segment(&segment)?;
+                deltas.push(segment);
             }
         }
         let tombstones: Vec<usize> = current
@@ -501,6 +592,8 @@ impl LiveInner {
 
     fn status(&self) -> LiveStatus {
         let snap = self.snapshot();
+        let scheduled = self.compiles_scheduled.load(Ordering::Relaxed);
+        let completed = self.compiles_completed.load(Ordering::Relaxed);
         LiveStatus {
             generation: snap.generation,
             live_len: snap.live_len,
@@ -511,6 +604,36 @@ impl LiveInner {
             compact_threshold: self.config.compact_threshold,
             compactions: self.compactions.load(Ordering::Relaxed),
             next_id: snap.next_id,
+            compile_backlog: scheduled.saturating_sub(completed),
+            wal: self.durability.as_ref().map(Wal::gauges),
+        }
+    }
+
+    /// Serializes every live vector of `snap` — the base minus tombstones,
+    /// plus every un-tombstoned delta id — in stable-id order: the compacted
+    /// image a checkpoint persists. This is the same stable-id-watermark fold
+    /// [`Self::compact_now`] performs, without touching the in-memory engine.
+    fn fold_image(&self, snap: &Snapshot) -> CheckpointImage {
+        let mut vectors = Vec::with_capacity(snap.live_len);
+        for position in 0..snap.base.data.len() {
+            let id = snap.base.stable_id(position);
+            if !snap.tombstoned(id) {
+                vectors.push((id as u64, snap.base.data.vector(position)));
+            }
+        }
+        for delta in &snap.deltas {
+            for local in 0..delta.len() {
+                let id = delta.first_id + local;
+                if !snap.tombstoned(id) {
+                    vectors.push((id as u64, delta.data.vector(local)));
+                }
+            }
+        }
+        CheckpointImage {
+            generation: snap.generation,
+            next_id: snap.next_id as u64,
+            dims: self.engine.design().dims,
+            vectors,
         }
     }
 }
@@ -546,6 +669,7 @@ fn accumulate(total: &mut ApRunStats, part: &ApRunStats) {
 pub struct LiveEngine {
     inner: Arc<LiveInner>,
     compactor: Option<JoinHandle<()>>,
+    compilers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for LiveEngine {
@@ -567,30 +691,149 @@ impl LiveEngine {
         data: &BinaryDataset,
         config: LiveConfig,
     ) -> Result<Self, SearchError> {
-        config.validate()?;
-        let prepared = engine.prepare(data)?;
         let next_id = data.len();
+        Self::build(engine, config, data.clone(), None, next_id, 0, None)
+    }
+
+    /// Builds a *durable* live engine: a fresh WAL directory is created in
+    /// `dir` (checkpoint 0 = `data`, an empty log extending it) and every
+    /// subsequent mutation is logged and group-commit-fsynced before its ack
+    /// returns. Refuses to clobber an existing durable corpus — use
+    /// [`Self::restore`] for that.
+    ///
+    /// # Errors
+    /// Configuration errors as [`SearchError::InvalidConfig`]; a pre-existing
+    /// log or filesystem failures as [`SearchError::Backend`] (`wal`);
+    /// dataset-shape errors exactly as [`ApKnnEngine::prepare`].
+    pub fn durable(
+        engine: ApKnnEngine,
+        data: &BinaryDataset,
+        config: LiveConfig,
+        wal_config: WalConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, SearchError> {
+        config.validate()?;
+        wal_config.validate()?;
+        let dims = engine.design().dims;
+        if !data.is_empty() && data.dims() != dims {
+            return Err(SearchError::DimMismatch {
+                expected: dims,
+                actual: data.dims(),
+            });
+        }
+        let image = CheckpointImage {
+            generation: 0,
+            next_id: data.len() as u64,
+            dims,
+            vectors: data
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i as u64, v))
+                .collect(),
+        };
+        let durability = Wal::create(dir.as_ref(), wal_config, &image)?;
+        let next_id = data.len();
+        Self::build(
+            engine,
+            config,
+            data.clone(),
+            None,
+            next_id,
+            0,
+            Some(durability),
+        )
+    }
+
+    /// Restores the durable corpus in `dir`: loads the checkpoint the log
+    /// names, replays the log tail (truncating a torn final record), and
+    /// serves the recovered corpus — bit-identical to a fresh
+    /// [`ApKnnEngine::prepare`] over the surviving vectors, with their
+    /// original stable ids. The log is reopened for appending, so mutations
+    /// continue where the pre-crash engine stopped.
+    ///
+    /// # Errors
+    /// [`SearchError::Backend`] (`wal`) for a missing or corrupt log/
+    /// checkpoint; [`SearchError::DimMismatch`] when the recovered corpus
+    /// does not match the engine design's dimensionality.
+    pub fn restore(
+        engine: ApKnnEngine,
+        config: LiveConfig,
+        wal_config: WalConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, RestoreReport), SearchError> {
+        config.validate()?;
+        wal_config.validate()?;
+        let (image, durability, report) = wal::recover(dir.as_ref(), wal_config)?;
+        if image.dims != engine.design().dims {
+            return Err(SearchError::DimMismatch {
+                expected: engine.design().dims,
+                actual: image.dims,
+            });
+        }
+        let mut data = BinaryDataset::with_capacity(image.dims, image.vectors.len());
+        let mut ids = Vec::with_capacity(image.vectors.len());
+        for (id, vector) in &image.vectors {
+            data.push(vector);
+            ids.push(*id as usize);
+        }
+        // Keep the identity map (the zero-allocation fast-path shape)
+        // whenever the surviving ids happen to be dense from zero.
+        let len = data.len();
+        let ids = (!ids.iter().copied().eq(0..len)).then_some(ids);
+        let live = Self::build(
+            engine,
+            config,
+            data,
+            ids,
+            image.next_id as usize,
+            image.generation,
+            Some(durability),
+        )?;
+        Ok((live, report))
+    }
+
+    /// Whether `dir` holds a durable corpus a [`Self::restore`] would load.
+    pub fn durable_exists(dir: impl AsRef<Path>) -> bool {
+        wal::exists(dir.as_ref())
+    }
+
+    fn build(
+        engine: ApKnnEngine,
+        config: LiveConfig,
+        base_data: BinaryDataset,
+        base_ids: Option<Vec<usize>>,
+        next_id: usize,
+        generation: u64,
+        durability: Option<Wal>,
+    ) -> Result<Self, SearchError> {
+        config.validate()?;
+        let prepared = engine.prepare(&base_data)?;
+        let live_len = base_data.len();
         let inner = Arc::new(LiveInner {
             engine,
             config,
             state: RwLock::new(Arc::new(Snapshot {
-                generation: 0,
+                generation,
                 base: Arc::new(BaseSegment {
-                    data: data.clone(),
+                    data: base_data,
                     prepared,
-                    ids: None,
+                    ids: base_ids,
                 }),
                 folded_through: next_id,
                 deltas: Vec::new(),
                 tombstones: Arc::new(Vec::new()),
                 next_id,
-                live_len: next_id,
+                live_len,
             })),
             writer: Mutex::new(()),
             compact: Mutex::new(()),
             signal: Mutex::new(CompactorState::default()),
             wake: Condvar::new(),
             compactions: AtomicU64::new(0),
+            durability,
+            compile_tx: Mutex::new(None),
+            compiles_scheduled: AtomicU64::new(0),
+            compiles_completed: Arc::new(AtomicU64::new(0)),
         });
         let compactor = config.background.then(|| {
             let worker = Arc::clone(&inner);
@@ -609,7 +852,41 @@ impl LiveEngine {
                 let _ = worker.compact_now();
             })
         });
-        Ok(Self { inner, compactor })
+        // The compile pool holds only the engine handle and the completion
+        // counter — not the inner Arc — so dropping the engine (which closes
+        // the channel) is all it takes for the workers to exit.
+        let mut compilers = Vec::with_capacity(config.compile_pool);
+        if config.compile_pool > 0 {
+            let (tx, rx) = mpsc::channel::<Arc<DeltaSegment>>();
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..config.compile_pool {
+                let rx = Arc::clone(&rx);
+                let engine = inner.engine.clone();
+                let compile = config.compile_deltas;
+                let completed = Arc::clone(&inner.compiles_completed);
+                compilers.push(std::thread::spawn(move || loop {
+                    let segment = {
+                        let rx = rx.lock().expect("compile rx poisoned");
+                        rx.recv()
+                    };
+                    match segment {
+                        // Preparation errors are sticky in the segment and
+                        // re-surface at the first query that touches it.
+                        Ok(segment) => {
+                            let _ = segment.prepared(&engine, compile);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                }));
+            }
+            *inner.compile_tx.lock().expect("compile tx poisoned") = Some(tx);
+        }
+        Ok(Self {
+            inner,
+            compactor,
+            compilers,
+        })
     }
 
     /// The engine configuration queries and segment preparations use.
@@ -648,16 +925,105 @@ impl LiveEngine {
     }
 
     /// Applies one mutation and returns the ack carrying the generation at
-    /// which it became visible. May wake the background compactor.
+    /// which it became visible. On a durable engine the ack only returns
+    /// once the mutation's WAL record is fsynced (group commit: concurrent
+    /// ackers share one fsync). May wake the background compactor.
     ///
     /// # Errors
     /// [`SearchError::DimMismatch`] for an insert of the wrong width;
     /// [`SearchError::Backend`] for a delete of an unknown or already-deleted
-    /// id; segment-preparation errors as from [`ApKnnEngine::prepare`].
+    /// id, or for a WAL failure (the mutation is then **not** durable and
+    /// must be treated as failed, even though the crashed process may still
+    /// serve it until it exits); segment-preparation errors as from
+    /// [`ApKnnEngine::prepare`] when the compile pool is disabled.
     pub fn apply(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
-        let ack = self.inner.apply(mutation)?;
+        self.apply_batch(&[mutation])
+            .pop()
+            .expect("one outcome per mutation")
+    }
+
+    /// Applies a batch of mutations, one outcome each, in order. On a
+    /// durable engine the whole batch is covered by a single
+    /// [`Wal::sync_through`] — the group-commit fast path the serving
+    /// runtime uses — and if that sync fails, *every* ack in the batch is
+    /// converted to an error: an un-synced mutation is never acked, even if
+    /// an overlapping group commit from another thread happened to persist
+    /// its record.
+    pub fn apply_batch(&self, mutations: &[&Mutation]) -> Vec<Result<MutAck, SearchError>> {
+        let mut outcomes = Vec::with_capacity(mutations.len());
+        let mut last_seq = None;
+        for mutation in mutations {
+            match self.inner.apply_logged(mutation) {
+                Ok((ack, seq)) => {
+                    if seq.is_some() {
+                        last_seq = seq;
+                    }
+                    outcomes.push(Ok(ack));
+                }
+                Err(e) => outcomes.push(Err(e)),
+            }
+        }
+        if let (Some(wal), Some(seq)) = (self.inner.durability.as_ref(), last_seq) {
+            match wal.sync_through(seq) {
+                Ok(()) => self.maybe_auto_checkpoint(),
+                Err(e) => {
+                    let err = SearchError::from(e);
+                    for outcome in &mut outcomes {
+                        if outcome.is_ok() {
+                            *outcome = Err(err.clone());
+                        }
+                    }
+                }
+            }
+        }
         self.inner.nudge_compactor();
-        Ok(ack)
+        outcomes
+    }
+
+    /// Serializes the current live corpus as a checkpoint, rotates the WAL
+    /// to extend it, and deletes the previous checkpoint — bounding crash
+    /// replay to the mutations after this call. Returns `false` (and does
+    /// nothing) on an in-memory engine.
+    ///
+    /// Runs under both the compaction and writer locks: mutations block for
+    /// the duration, in-flight acks are drained first.
+    ///
+    /// # Errors
+    /// WAL and filesystem failures as [`SearchError::Backend`] (`wal`).
+    pub fn checkpoint_now(&self) -> Result<bool, SearchError> {
+        let Some(wal) = self.inner.durability.as_ref() else {
+            return Ok(false);
+        };
+        let _compact = self
+            .inner
+            .compact
+            .lock()
+            .expect("live compact lock poisoned");
+        let _writer = self.inner.writer.lock().expect("live writer lock poisoned");
+        let snap = self.inner.snapshot();
+        let image = self.inner.fold_image(&snap);
+        wal.checkpoint(&image)?;
+        Ok(true)
+    }
+
+    fn maybe_auto_checkpoint(&self) {
+        let Some(wal) = self.inner.durability.as_ref() else {
+            return;
+        };
+        let Some(every) = wal.config().checkpoint_every else {
+            return;
+        };
+        if wal.records_since_checkpoint() >= every {
+            // Best-effort: a failed auto-checkpoint leaves the log longer
+            // than intended (or poisoned, in which case the next mutation
+            // fails loudly); the acked prefix stays durable either way.
+            let _ = self.checkpoint_now();
+        }
+    }
+
+    /// The WAL gauges of a durable engine (`None` on an in-memory one).
+    pub fn wal_gauges(&self) -> Option<WalGauges> {
+        self.inner.durability.as_ref().map(Wal::gauges)
     }
 
     /// Inserts `vector`, returning the ack with its assigned stable id.
@@ -748,11 +1114,9 @@ impl LiveEngine {
             let overfetch = snap.tombstones_in(delta.first_id, delta.end_id());
             let mut seg_options = *options;
             seg_options.k = k + overfetch;
-            let part = delta.prepared.try_search_batch_into(
-                queries,
-                &seg_options,
-                &mut segment_results,
-            )?;
+            let part = delta
+                .prepared(&self.inner.engine, self.inner.config.compile_deltas)?
+                .try_search_batch_into(queries, &seg_options, &mut segment_results)?;
             accumulate(&mut stats, &part);
             for (acc, neighbors) in merged.iter_mut().zip(&segment_results) {
                 for n in neighbors {
@@ -800,6 +1164,15 @@ impl Drop for LiveEngine {
                 state.shutdown = true;
                 self.inner.wake.notify_one();
             }
+            let _ = handle.join();
+        }
+        // Closing the channel is the compile pool's shutdown signal.
+        self.inner
+            .compile_tx
+            .lock()
+            .expect("compile tx poisoned")
+            .take();
+        for handle in self.compilers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -954,6 +1327,164 @@ mod tests {
                 Err(SearchError::InvalidConfig { .. })
             ));
         }
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicUsize;
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ap-live-unit-{}-{}-{}",
+            std::process::id(),
+            tag,
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_engine_restores_bit_identically_after_churn() {
+        let dims = 16;
+        let dir = scratch("restore");
+        let data = uniform_dataset(10, dims, 110);
+        let queries = uniform_queries(3, dims, 111);
+        let options = QueryOptions::top(4);
+        let before = {
+            let live = LiveEngine::durable(
+                engine(dims, 6),
+                &data,
+                foreground(),
+                WalConfig::default(),
+                &dir,
+            )
+            .unwrap();
+            for v in &uniform_queries(5, dims, 112) {
+                live.insert(v).unwrap();
+            }
+            live.delete(2).unwrap();
+            live.delete(12).unwrap();
+            assert!(live.wal_gauges().unwrap().records >= 7);
+            live.try_search_batch(&queries, &options).unwrap().0
+            // Dropped without a checkpoint: restore must replay the log.
+        };
+        let (restored, report) =
+            LiveEngine::restore(engine(dims, 6), foreground(), WalConfig::default(), &dir).unwrap();
+        assert_eq!(report.replayed, 7);
+        assert!(!report.torn);
+        assert_eq!(restored.len(), 13);
+        let after = restored.try_search_batch(&queries, &options).unwrap().0;
+        assert_eq!(before, after, "restore must be bit-identical");
+
+        // Mutations continue from the recovered watermark.
+        let v = uniform_queries(1, dims, 113).pop().unwrap();
+        let ack = restored.insert(&v).unwrap();
+        assert_eq!(ack.id, 15);
+        drop(restored);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_preserves_results() {
+        let dims = 16;
+        let dir = scratch("ckpt");
+        let data = uniform_dataset(8, dims, 120);
+        let live = LiveEngine::durable(
+            engine(dims, 6),
+            &data,
+            foreground(),
+            WalConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        for v in &uniform_queries(4, dims, 121) {
+            live.insert(v).unwrap();
+        }
+        live.delete(1).unwrap();
+        assert!(live.checkpoint_now().unwrap());
+        assert_eq!(live.wal_gauges().unwrap().records_since_checkpoint, 0);
+        live.insert(&uniform_queries(1, dims, 122).pop().unwrap())
+            .unwrap();
+        let queries = uniform_queries(2, dims, 123);
+        let options = QueryOptions::top(5);
+        let before = live.try_search_batch(&queries, &options).unwrap().0;
+        drop(live);
+
+        let (restored, report) =
+            LiveEngine::restore(engine(dims, 6), foreground(), WalConfig::default(), &dir).unwrap();
+        assert_eq!(report.checkpoint_seq, 1);
+        assert_eq!(
+            report.replayed, 1,
+            "only the post-checkpoint insert replays"
+        );
+        let after = restored.try_search_batch(&queries, &options).unwrap().0;
+        assert_eq!(before, after);
+        drop(restored);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_refuses_existing_dir_and_restore_requires_one() {
+        let dims = 8;
+        let dir = scratch("exists");
+        let data = uniform_dataset(3, dims, 130);
+        let live = LiveEngine::durable(
+            engine(dims, 4),
+            &data,
+            foreground(),
+            WalConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        assert!(LiveEngine::durable_exists(&dir));
+        assert!(matches!(
+            LiveEngine::durable(
+                engine(dims, 4),
+                &data,
+                foreground(),
+                WalConfig::default(),
+                &dir
+            ),
+            Err(SearchError::Backend { .. })
+        ));
+        drop(live);
+        let missing = scratch("missing");
+        assert!(!LiveEngine::durable_exists(&missing));
+        assert!(matches!(
+            LiveEngine::restore(
+                engine(dims, 4),
+                foreground(),
+                WalConfig::default(),
+                &missing
+            ),
+            Err(SearchError::Backend { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compile_pool_drains_its_backlog() {
+        let dims = 16;
+        let data = uniform_dataset(4, dims, 140);
+        let config = LiveConfig::default()
+            .with_background(false)
+            .with_delta_chunk(3)
+            .with_compact_threshold(64)
+            .with_compile_pool(2);
+        let live = LiveEngine::new(engine(dims, 8), &data, config).unwrap();
+        for v in &uniform_queries(6, dims, 141) {
+            live.insert(v).unwrap();
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while live.status().compile_backlog > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(live.status().compile_backlog, 0, "pool never caught up");
+        // And the prepared segments answer identically to a fresh prepare.
+        let queries = uniform_queries(2, dims, 142);
+        let (results, _) = live
+            .try_search_batch(&queries, &QueryOptions::top(3))
+            .unwrap();
+        assert!(results.iter().all(|r| r.len() == 3));
     }
 
     #[test]

@@ -124,6 +124,16 @@ pub trait SimilarityBackend: Send + Sync {
         })
     }
 
+    /// Applies a batch of mutations in order, one outcome each.
+    ///
+    /// The default loops over [`Self::apply_mutation`]. Durable backends
+    /// override it to cover the whole batch with one group-committed fsync
+    /// (see [`ap_knn::LiveEngine::apply_batch`]), so the per-mutation
+    /// durability cost is amortized across the batch the scheduler popped.
+    fn apply_mutations(&self, mutations: &[&Mutation]) -> Vec<Result<MutAck, SearchError>> {
+        mutations.iter().map(|m| self.apply_mutation(m)).collect()
+    }
+
     /// A live-corpus status snapshot (generation, delta fill, tombstones), or
     /// `None` for frozen-corpus backends.
     fn live_status(&self) -> Option<LiveStatus> {
@@ -160,6 +170,10 @@ impl SimilarityBackend for Box<dyn SimilarityBackend> {
 
     fn apply_mutation(&self, mutation: &Mutation) -> Result<MutAck, SearchError> {
         self.as_ref().apply_mutation(mutation)
+    }
+
+    fn apply_mutations(&self, mutations: &[&Mutation]) -> Vec<Result<MutAck, SearchError>> {
+        self.as_ref().apply_mutations(mutations)
     }
 
     fn live_status(&self) -> Option<LiveStatus> {

@@ -103,7 +103,9 @@ pub use binvec::{
 };
 pub use cache::{ResultCache, MAX_CACHE_CAPACITY};
 pub use live::LiveBackend;
-pub use net::{ApClient, ApServer, CompletionSet, Frame, FrameBuffer, NetError, StatsFrame};
+pub use net::{
+    ApClient, ApServer, CompletionSet, Frame, FrameBuffer, NetError, RetryPolicy, StatsFrame,
+};
 pub use pipeline::{
     BackendSpec, BaselineKind, IndexKind, Metric, Provenance, Query, Response, SearchPipeline,
     SearchPipelineBuilder,

@@ -92,6 +92,12 @@ impl SimilarityBackend for LiveBackend {
         self.engine.apply(mutation)
     }
 
+    fn apply_mutations(&self, mutations: &[&Mutation]) -> Vec<Result<MutAck, SearchError>> {
+        // One group-committed fsync covers the whole batch on a durable
+        // engine — this is where the runtime's batch pop pays for itself.
+        self.engine.apply_batch(mutations)
+    }
+
     fn live_status(&self) -> Option<LiveStatus> {
         Some(self.engine.status())
     }

@@ -5,11 +5,70 @@ use super::NetError;
 use binvec::{BinaryVector, MutAck, Neighbor, QueryOptions, SearchError};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Read chunk size for the client's socket reads.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// Bounded exponential backoff for transparently reconnecting and retrying
+/// *idempotent* client operations ([`ApClient::ping`], [`ApClient::stats`],
+/// [`ApClient::search`]) after a transient transport fault — a timed-out
+/// read, a connection reset, or a server that hung up mid-stream.
+///
+/// Retrying is strictly opt-in via [`ApClient::set_retry`]: mutations
+/// (`insert`/`delete`) are never retried, because a lost ack does not mean a
+/// lost mutation — resubmitting could apply it twice. A retried search is
+/// resubmitted under a fresh correlation id on the new connection, so a stale
+/// completion from the dead connection can never be confused for the answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff slept before the first reconnect.
+    pub initial_backoff: Duration,
+    /// Backoff cap: doubling stops here.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Overrides the total attempt budget (including the first attempt).
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts;
+        self
+    }
+
+    /// Overrides the backoff before the first reconnect.
+    pub fn with_initial_backoff(mut self, backoff: Duration) -> Self {
+        self.initial_backoff = backoff;
+        self
+    }
+
+    /// Overrides the backoff cap.
+    pub fn with_max_backoff(mut self, backoff: Duration) -> Self {
+        self.max_backoff = backoff;
+        self
+    }
+
+    /// The backoff slept before reconnect attempt `attempt` (1-based):
+    /// `initial_backoff · 2^(attempt−1)`, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        self.initial_backoff
+            .saturating_mul(1 << doublings)
+            .min(self.max_backoff)
+    }
+}
 
 /// Default bound on any single blocking socket read or write. Generous enough
 /// for a saturated server draining a deep queue, but finite: a stalled server
@@ -37,6 +96,9 @@ pub struct ApClient {
     inbox: VecDeque<(u64, Frame)>,
     next_correlation: u64,
     io_timeout: Option<Duration>,
+    /// The resolved peer address, kept so [`Self::reconnect`] can redial.
+    peer: SocketAddr,
+    retry: Option<RetryPolicy>,
 }
 
 impl ApClient {
@@ -62,6 +124,7 @@ impl ApClient {
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(io_timeout)?;
         stream.set_write_timeout(io_timeout)?;
+        let peer = stream.peer_addr()?;
         Ok(Self {
             stream,
             frames: FrameBuffer::new(),
@@ -70,7 +133,86 @@ impl ApClient {
             inbox: VecDeque::new(),
             next_correlation: 1, // 0 is the server's connection-fault farewell
             io_timeout,
+            peer,
+            retry: None,
         })
+    }
+
+    /// Enables (`Some`) or disables (`None`, the default) transparent
+    /// reconnect-and-retry of the idempotent operations — see [`RetryPolicy`].
+    pub fn set_retry(&mut self, retry: Option<RetryPolicy>) {
+        self.retry = retry;
+    }
+
+    /// The configured retry policy (`None` = retries disabled).
+    pub fn retry(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// Drops the current connection and dials the same peer again, resetting
+    /// the frame reassembly buffer and discarding stashed completions (their
+    /// correlations died with the old connection). In-flight pipelined work
+    /// is lost; correlation ids keep counting up, so ids from the old
+    /// connection are never reused on the new one.
+    ///
+    /// # Errors
+    /// Whatever the TCP connect or socket configuration returns.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        self.stream = stream;
+        self.frames = FrameBuffer::new();
+        self.inbox.clear();
+        Ok(())
+    }
+
+    /// Whether `error` is a transient transport fault a reconnect can cure:
+    /// a timeout, a reset/aborted/refused connection, or a server that
+    /// closed the stream mid-frame. Typed query failures and protocol
+    /// violations are not — the server answered, just not with neighbors.
+    fn retryable(error: &NetError) -> bool {
+        match error {
+            NetError::Timeout { .. } => true,
+            NetError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::UnexpectedEof
+            ),
+            NetError::Protocol(reason) => reason.contains("closed the connection"),
+            NetError::Wire(_) | NetError::Query(_) => false,
+        }
+    }
+
+    /// Runs `op`, reconnecting and re-running on retryable faults per the
+    /// configured policy. With no policy this is just `op` once.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let Some(policy) = self.retry else {
+            return op(self);
+        };
+        let mut outcome = op(self);
+        for attempt in 1..policy.attempts.max(1) {
+            match &outcome {
+                Err(error) if Self::retryable(error) => {}
+                _ => break,
+            }
+            std::thread::sleep(policy.backoff(attempt));
+            outcome = match self.reconnect() {
+                // A failed redial is itself retryable (ConnectionRefused):
+                // the next attempt backs off further and tries again.
+                Err(e) => Err(NetError::Io(e)),
+                Ok(()) => op(self),
+            };
+        }
+        outcome
     }
 
     /// Rebounds every subsequent blocking read and write by `io_timeout`
@@ -150,11 +292,24 @@ impl ApClient {
     /// other in-flight queries observed while waiting are stashed for later
     /// [`Self::recv_completion`] calls.
     ///
+    /// With a [`RetryPolicy`] configured, a transient transport fault
+    /// reconnects and resubmits the query under a fresh correlation id —
+    /// queries are idempotent, so a resubmission at worst answers twice and
+    /// the stale answer died with the old connection.
+    ///
     /// # Errors
     /// Transport faults as [`NetError::Io`]/[`NetError::Wire`]/
     /// [`NetError::Protocol`]; a typed per-query failure as
     /// [`NetError::Query`].
     pub fn search(
+        &mut self,
+        query: BinaryVector,
+        options: QueryOptions,
+    ) -> Result<Vec<Neighbor>, NetError> {
+        self.with_retries(|client| client.search_once(query.clone(), options))
+    }
+
+    fn search_once(
         &mut self,
         query: BinaryVector,
         options: QueryOptions,
@@ -172,11 +327,16 @@ impl ApClient {
         }
     }
 
-    /// Round-trips a `Ping` and returns the measured latency.
+    /// Round-trips a `Ping` and returns the measured latency. Reconnects and
+    /// retries transient transport faults when a [`RetryPolicy`] is set.
     ///
     /// # Errors
     /// Transport faults; [`NetError::Protocol`] if the reply is not `Pong`.
     pub fn ping(&mut self) -> Result<Duration, NetError> {
+        self.with_retries(Self::ping_once)
+    }
+
+    fn ping_once(&mut self) -> Result<Duration, NetError> {
         let correlation = self.next_correlation;
         self.next_correlation += 1;
         let started = Instant::now();
@@ -192,16 +352,22 @@ impl ApClient {
     }
 
     /// Fetches the server's runtime configuration + statistics snapshot.
+    /// Reconnects and retries transient transport faults when a
+    /// [`RetryPolicy`] is set.
     ///
     /// # Errors
     /// Transport faults; [`NetError::Protocol`] if the reply is not `Stats`.
     pub fn stats(&mut self) -> Result<StatsFrame, NetError> {
+        self.with_retries(Self::stats_once)
+    }
+
+    fn stats_once(&mut self) -> Result<StatsFrame, NetError> {
         let correlation = self.next_correlation;
         self.next_correlation += 1;
         self.send(correlation, &Frame::StatsRequest)?;
         let (_, frame) = self.wait_for(correlation)?;
         match frame {
-            Frame::Stats(snapshot) => Ok(snapshot),
+            Frame::Stats(snapshot) => Ok(*snapshot),
             other => Err(NetError::Protocol(format!(
                 "expected Stats, got {}",
                 frame_name(&other)

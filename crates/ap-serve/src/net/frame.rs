@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "APWF"
-//! 4       1     protocol version (currently 2)
+//! 4       1     protocol version (currently 3)
 //! 5       1     frame type tag
 //! 6       2     reserved (must be zero)
 //! 8       4     payload length (u32, little-endian; hard cap 16 MiB)
@@ -29,8 +29,9 @@ pub const MAGIC: [u8; 4] = *b"APWF";
 
 /// The protocol version this build speaks. Version 2 added the live-corpus
 /// frames (`Insert`, `Delete`, `MutAck`) and the mutation block of
-/// [`StatsFrame`]; version-1 peers are refused at decode.
-pub const VERSION: u8 = 2;
+/// [`StatsFrame`]; version 3 added the write-ahead-log gauge block of
+/// [`StatsFrame`]. Older-version peers are refused at decode.
+pub const VERSION: u8 = 3;
 
 /// Bytes of frame header before the payload.
 pub const HEADER_LEN: usize = 20;
@@ -100,8 +101,24 @@ pub struct StatsFrame {
     pub delta_vectors: u64,
     /// Tombstoned ids not yet folded away by compaction.
     pub tombstones: u64,
+    /// WAL records appended (0 when serving without a write-ahead log).
+    pub wal_records: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// fsyncs issued by the WAL (group commit makes this ≤ `wal_records`).
+    pub wal_fsyncs: u64,
+    /// Largest commit group (records covered by one fsync).
+    pub wal_group_max: u64,
+    /// Checkpoints taken.
+    pub wal_checkpoints: u64,
+    /// Records replayed from the log tail at the most recent restore.
+    pub wal_replayed: u64,
+    /// Bytes truncated off a torn log tail at the most recent restore.
+    pub wal_truncated_bytes: u64,
     /// Wall-clock uptime in milliseconds.
     pub uptime_ms: f64,
+    /// Mean records per fsync (0.0 before the first fsync).
+    pub wal_group_mean: f64,
     /// Submit→dispatch queue-wait percentiles `(p50, p95, p99)` in
     /// milliseconds, absent before the first dispatched query.
     pub queue_wait_ms: Option<(f64, f64, f64)>,
@@ -134,7 +151,15 @@ impl StatsFrame {
             mutations_failed: stats.mutations_failed,
             delta_vectors: stats.delta_vectors,
             tombstones: stats.tombstones,
+            wal_records: stats.wal_records,
+            wal_bytes: stats.wal_bytes,
+            wal_fsyncs: stats.wal_fsyncs,
+            wal_group_max: stats.wal_group_max,
+            wal_checkpoints: stats.wal_checkpoints,
+            wal_replayed: stats.wal_replayed,
+            wal_truncated_bytes: stats.wal_truncated_bytes,
             uptime_ms: stats.uptime.as_secs_f64() * 1e3,
+            wal_group_mean: stats.wal_group_mean,
             queue_wait_ms: stats.queue_wait_percentiles_ms(),
             mutation_staleness_ms: stats.mutation_staleness_percentiles_ms(),
         }
@@ -162,10 +187,18 @@ impl StatsFrame {
             self.mutations_failed,
             self.delta_vectors,
             self.tombstones,
+            self.wal_records,
+            self.wal_bytes,
+            self.wal_fsyncs,
+            self.wal_group_max,
+            self.wal_checkpoints,
+            self.wal_replayed,
+            self.wal_truncated_bytes,
         ] {
             put_u64(out, value);
         }
         put_f64(out, self.uptime_ms);
+        put_f64(out, self.wal_group_mean);
         for triple in [self.queue_wait_ms, self.mutation_staleness_ms] {
             match triple {
                 None => out.push(0),
@@ -181,11 +214,12 @@ impl StatsFrame {
 
     fn decode_payload(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
         let backend = reader.string()?;
-        let mut counters = [0u64; 19];
+        let mut counters = [0u64; 26];
         for slot in &mut counters {
             *slot = reader.u64()?;
         }
         let uptime_ms = reader.f64()?;
+        let wal_group_mean = reader.f64()?;
         let queue_wait_ms = if reader.presence()? {
             Some((reader.f64()?, reader.f64()?, reader.f64()?))
         } else {
@@ -196,7 +230,7 @@ impl StatsFrame {
         } else {
             None
         };
-        let [workers, queue_capacity, batch_size, cache_capacity, queries_submitted, queries_served, failed_queries, deadline_expired, queue_full_rejections, batches_dispatched, cache_hits, cache_misses, ap_symbol_cycles, generation, mutations_submitted, mutations_applied, mutations_failed, delta_vectors, tombstones] =
+        let [workers, queue_capacity, batch_size, cache_capacity, queries_submitted, queries_served, failed_queries, deadline_expired, queue_full_rejections, batches_dispatched, cache_hits, cache_misses, ap_symbol_cycles, generation, mutations_submitted, mutations_applied, mutations_failed, delta_vectors, tombstones, wal_records, wal_bytes, wal_fsyncs, wal_group_max, wal_checkpoints, wal_replayed, wal_truncated_bytes] =
             counters;
         Ok(Self {
             backend,
@@ -219,7 +253,15 @@ impl StatsFrame {
             mutations_failed,
             delta_vectors,
             tombstones,
+            wal_records,
+            wal_bytes,
+            wal_fsyncs,
+            wal_group_max,
+            wal_checkpoints,
+            wal_replayed,
+            wal_truncated_bytes,
             uptime_ms,
+            wal_group_mean,
             queue_wait_ms,
             mutation_staleness_ms,
         })
@@ -257,7 +299,7 @@ pub enum Frame {
     /// Request for a [`Frame::Stats`] snapshot.
     StatsRequest,
     /// A runtime statistics snapshot.
-    Stats(StatsFrame),
+    Stats(Box<StatsFrame>),
     /// Append a vector to a live corpus; answered with [`Frame::MutAck`].
     /// The options carry the mutation's priority and deadline budget.
     Insert {
@@ -403,7 +445,7 @@ impl Frame {
                 error: SearchError::decode_wire(&mut reader)?,
             },
             tag::STATS_REQUEST => Self::StatsRequest,
-            tag::STATS => Self::Stats(StatsFrame::decode_payload(&mut reader)?),
+            tag::STATS => Self::Stats(Box::new(StatsFrame::decode_payload(&mut reader)?)),
             tag::INSERT => Self::Insert {
                 options: QueryOptions::decode_wire(&mut reader)?,
                 vector: BinaryVector::decode_wire(&mut reader)?,
@@ -563,13 +605,21 @@ mod tests {
             mutations_failed: 4,
             delta_vectors: 19,
             tombstones: 2,
+            wal_records: 21,
+            wal_bytes: 840,
+            wal_fsyncs: 7,
+            wal_group_max: 5,
+            wal_checkpoints: 1,
+            wal_replayed: 4,
+            wal_truncated_bytes: 13,
             uptime_ms: 1234.5,
+            wal_group_mean: 3.0,
             queue_wait_ms: Some((0.2, 1.5, 3.0)),
             mutation_staleness_ms: Some((0.4, 2.0, 5.5)),
         };
         assert_eq!(
-            roundtrip(Frame::Stats(stats.clone()), 3),
-            Frame::Stats(stats.clone())
+            roundtrip(Frame::Stats(Box::new(stats.clone())), 3),
+            Frame::Stats(Box::new(stats.clone()))
         );
         // A frozen-corpus runtime: no mutation percentiles on the wire.
         let frozen = StatsFrame {
@@ -578,8 +628,8 @@ mod tests {
             ..stats
         };
         assert_eq!(
-            roundtrip(Frame::Stats(frozen.clone()), 4),
-            Frame::Stats(frozen)
+            roundtrip(Frame::Stats(Box::new(frozen.clone())), 4),
+            Frame::Stats(Box::new(frozen))
         );
     }
 

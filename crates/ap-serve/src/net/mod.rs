@@ -40,7 +40,7 @@ mod completion;
 mod frame;
 mod server;
 
-pub use client::{ApClient, DEFAULT_IO_TIMEOUT};
+pub use client::{ApClient, RetryPolicy, DEFAULT_IO_TIMEOUT};
 pub use completion::CompletionSet;
 pub use frame::{Frame, FrameBuffer, StatsFrame, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
 pub use server::ApServer;

@@ -300,7 +300,7 @@ fn handle_frame(
         Frame::StatsRequest => {
             let stats = runtime.stats();
             let snapshot = StatsFrame::snapshot(&runtime.backend_name(), runtime.config(), &stats);
-            sink.send(correlation, &Frame::Stats(snapshot));
+            sink.send(correlation, &Frame::Stats(Box::new(snapshot)));
             true
         }
         Frame::Submit { options, query } => {

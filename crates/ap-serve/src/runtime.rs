@@ -357,6 +357,10 @@ impl SimilarityBackend for SharedBackend {
         self.0.apply_mutation(mutation)
     }
 
+    fn apply_mutations(&self, mutations: &[&Mutation]) -> Vec<Result<MutAck, SearchError>> {
+        self.0.apply_mutations(mutations)
+    }
+
     fn live_status(&self) -> Option<ap_knn::live::LiveStatus> {
         self.0.live_status()
     }
@@ -917,18 +921,32 @@ fn apply_mutations(
     backend: &dyn SimilarityBackend,
     batch: &mut Vec<Scheduled<Pending>>,
 ) {
-    let mut outcomes: Vec<Result<MutAck, SearchError>> = Vec::with_capacity(batch.len());
-    for entry in batch.iter() {
-        outcomes.push(match &entry.payload.work {
-            Work::Mutation(mutation) => backend.apply_mutation(mutation),
-            // Unreachable by batch construction (kinds never mix); kept typed
-            // rather than panicking a worker.
-            Work::Query(_) => Err(SearchError::Backend {
-                backend: backend.name(),
-                reason: "query entry in a mutation batch".to_string(),
-            }),
-        });
-    }
+    let mutations: Vec<&Mutation> = batch
+        .iter()
+        .filter_map(|entry| match &entry.payload.work {
+            Work::Mutation(mutation) => Some(mutation),
+            Work::Query(_) => None,
+        })
+        .collect();
+    // The batch call lets a durable backend cover every mutation with one
+    // group-committed fsync instead of one per record — the acked-means-
+    // durable contract still holds per outcome.
+    let outcomes: Vec<Result<MutAck, SearchError>> = if mutations.len() == batch.len() {
+        backend.apply_mutations(&mutations)
+    } else {
+        // Unreachable by batch construction (kinds never mix); kept typed
+        // rather than panicking a worker.
+        batch
+            .iter()
+            .map(|entry| match &entry.payload.work {
+                Work::Mutation(mutation) => backend.apply_mutation(mutation),
+                Work::Query(_) => Err(SearchError::Backend {
+                    backend: backend.name(),
+                    reason: "query entry in a mutation batch".to_string(),
+                }),
+            })
+            .collect()
+    };
 
     if outcomes.iter().any(|o| o.is_ok()) {
         match backend.live_status() {
@@ -943,6 +961,16 @@ fn apply_mutations(
                 stats.delta_vectors = status.delta_vectors as u64;
                 stats.tombstones = status.tombstones as u64;
                 stats.delta_fill = status.fill();
+                if let Some(wal) = status.wal {
+                    stats.wal_records = wal.records;
+                    stats.wal_bytes = wal.bytes;
+                    stats.wal_fsyncs = wal.fsyncs;
+                    stats.wal_group_max = wal.group_max;
+                    stats.wal_group_mean = wal.group_mean();
+                    stats.wal_checkpoints = wal.checkpoints;
+                    stats.wal_replayed = wal.replayed;
+                    stats.wal_truncated_bytes = wal.truncated_bytes;
+                }
             }
             // A backend that applied a mutation but exposes no live status:
             // flush unconditionally — correctness over hit rate.

@@ -185,6 +185,29 @@ pub struct ServiceStats {
     /// `try_submit_mutation` to the epoch swap that made the mutation
     /// observable by queries (the ack is delivered after this is recorded).
     pub mutation_staleness: LatencyHistogram,
+    /// WAL records appended since the log was opened (0 when the backend
+    /// serves without a write-ahead log). Refreshed after each applied
+    /// mutation batch, like the other live-corpus gauges.
+    pub wal_records: u64,
+    /// WAL payload bytes appended (headers and checksums included).
+    pub wal_bytes: u64,
+    /// fsync calls issued by the WAL — with group commit this is less than
+    /// [`Self::wal_records`] under concurrent mutation load.
+    pub wal_fsyncs: u64,
+    /// Largest number of records covered by a single fsync (the biggest
+    /// commit group observed).
+    pub wal_group_max: u64,
+    /// Mean records per fsync (1.0 = no grouping; higher means group commit
+    /// is amortizing durability over concurrent ackers).
+    pub wal_group_mean: f64,
+    /// Checkpoints taken since the log was opened.
+    pub wal_checkpoints: u64,
+    /// Records replayed from the WAL tail at the most recent restore (0 for
+    /// a log opened fresh).
+    pub wal_replayed: u64,
+    /// Bytes truncated off the log tail at the most recent restore — a torn
+    /// final record from a crash mid-append.
+    pub wal_truncated_bytes: u64,
 }
 
 impl ServiceStats {
@@ -316,10 +339,29 @@ impl ServiceStats {
                 self.delta_fill * 100.0,
             )
         };
+        let wal = if self.wal_records == 0 && self.wal_fsyncs == 0 && self.wal_replayed == 0 {
+            String::new()
+        } else {
+            let truncated = if self.wal_truncated_bytes == 0 {
+                String::new()
+            } else {
+                format!(", truncated {} B", self.wal_truncated_bytes)
+            };
+            format!(
+                " | wal {} recs/{} B, {} fsyncs (group mean {:.1}, max {}), {} ckpts, replayed {}{truncated}",
+                self.wal_records,
+                self.wal_bytes,
+                self.wal_fsyncs,
+                self.wal_group_mean,
+                self.wal_group_max,
+                self.wal_checkpoints,
+                self.wal_replayed,
+            )
+        };
         format!(
             "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
              {} AP cycles, {} reconfigs | shard load [{utilization}] | \
-             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}{mutations}",
+             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}{mutations}{wal}",
             self.queries_served,
             self.queries_submitted,
             self.batches_dispatched,
@@ -419,6 +461,31 @@ mod tests {
         assert!(report.contains("4 mutations applied/5"));
         assert!(report.contains("gen 7"));
         assert!(report.contains("staleness"));
+    }
+
+    #[test]
+    fn wal_gauges_surface_in_the_report_only_when_durable() {
+        let mut stats = ServiceStats::default();
+        assert!(
+            !stats.report().contains("| wal"),
+            "no wal segment without a WAL"
+        );
+
+        stats.wal_records = 12;
+        stats.wal_bytes = 480;
+        stats.wal_fsyncs = 3;
+        stats.wal_group_mean = 4.0;
+        stats.wal_group_max = 6;
+        stats.wal_checkpoints = 1;
+        stats.wal_replayed = 5;
+        let report = stats.report();
+        assert!(report.contains("wal 12 recs/480 B"));
+        assert!(report.contains("3 fsyncs"));
+        assert!(report.contains("replayed 5"));
+        assert!(!report.contains("truncated"), "no torn tail, no mention");
+
+        stats.wal_truncated_bytes = 7;
+        assert!(stats.report().contains("truncated 7 B"));
     }
 
     #[test]

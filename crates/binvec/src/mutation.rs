@@ -48,6 +48,33 @@ impl Mutation {
     }
 }
 
+impl Mutation {
+    /// Encodes the mutation as `op · (vector | id: u64)`.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        self.op().encode_wire(out);
+        match self {
+            Self::Insert { vector } => vector.encode_wire(out),
+            Self::Delete { id } => put_u64(out, *id as u64),
+        }
+    }
+
+    /// Decodes a mutation encoded by [`Self::encode_wire`].
+    ///
+    /// # Errors
+    /// [`WireError`] on truncated or malformed bytes, including hostile
+    /// vector dimension counts (see [`BinaryVector::decode_wire`]).
+    pub fn decode_wire(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match MutationOp::decode_wire(reader)? {
+            MutationOp::Insert => Self::Insert {
+                vector: BinaryVector::decode_wire(reader)?,
+            },
+            MutationOp::Delete => Self::Delete {
+                id: reader.u64()? as usize,
+            },
+        })
+    }
+}
+
 /// Acknowledgement that a mutation has been applied and is visible to queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MutAck {
@@ -140,6 +167,35 @@ mod tests {
                 what: "mutation op"
             })
         );
+    }
+
+    #[test]
+    fn mutations_roundtrip() {
+        for mutation in [
+            Mutation::Insert {
+                vector: BinaryVector::zeros(33),
+            },
+            Mutation::Delete { id: 1_234_567 },
+        ] {
+            let mut buf = Vec::new();
+            mutation.encode_wire(&mut buf);
+            let mut reader = WireReader::new(&buf);
+            assert_eq!(Mutation::decode_wire(&mut reader), Ok(mutation));
+            assert!(reader.is_empty(), "decode must consume the whole encoding");
+        }
+    }
+
+    #[test]
+    fn truncated_mutation_is_typed_not_a_panic() {
+        let mut buf = Vec::new();
+        Mutation::Insert {
+            vector: BinaryVector::zeros(64),
+        }
+        .encode_wire(&mut buf);
+        for cut in 0..buf.len() {
+            let mut reader = WireReader::new(&buf[..cut]);
+            assert!(Mutation::decode_wire(&mut reader).is_err());
+        }
     }
 
     #[test]

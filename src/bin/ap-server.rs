@@ -26,6 +26,12 @@ struct Args {
     cache: usize,
     k: usize,
     backend: BackendKind,
+    /// Durability directory for the live backend: restore from it when it
+    /// already holds a WAL, create a fresh durable corpus there otherwise.
+    data_dir: Option<std::path::PathBuf>,
+    flush_batch: usize,
+    flush_interval_us: u64,
+    checkpoint_every: u64,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -53,6 +59,10 @@ impl Default for Args {
             cache: 1024,
             k: 10,
             backend: BackendKind::Behavioral,
+            data_dir: None,
+            flush_batch: 64,
+            flush_interval_us: 0,
+            checkpoint_every: 4096,
         }
     }
 }
@@ -64,6 +74,12 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
+            "--flush-batch" => args.flush_batch = parse(&value("--flush-batch")?)?,
+            "--flush-interval-us" => {
+                args.flush_interval_us = parse(&value("--flush-interval-us")?)?
+            }
+            "--checkpoint-every" => args.checkpoint_every = parse(&value("--checkpoint-every")?)?,
             "--workers" => args.workers = parse(&value("--workers")?)?,
             "--vectors" => args.vectors = parse(&value("--vectors")?)?,
             "--dims" => args.dims = parse(&value("--dims")?)?,
@@ -92,13 +108,22 @@ fn parse_args() -> Result<Args, String> {
                      \t--cache N          result cache capacity, 0 disables (default 1024)\n\
                      \t--k N              default neighbors per query (default 10)\n\
                      \t--backend KIND     behavioral | cycle | linear | live (default behavioral)\n\
-                     \t                   'live' serves a mutable corpus: clients may Insert/Delete\n\n\
+                     \t                   'live' serves a mutable corpus: clients may Insert/Delete\n\
+                     \t--data-dir PATH    durability directory (live backend only): restore the\n\
+                     \t                   corpus from PATH when a WAL exists there, otherwise\n\
+                     \t                   create one; acks then imply the mutation is fsynced\n\
+                     \t--flush-batch N    WAL group-commit batch: records one fsync may cover (default 64)\n\
+                     \t--flush-interval-us N  WAL group-commit window in microseconds (default 0)\n\
+                     \t--checkpoint-every N   checkpoint after N WAL records, 0 disables (default 4096)\n\n\
                      The server runs until stdin closes or a 'quit' line arrives."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
+    }
+    if args.data_dir.is_some() && args.backend != BackendKind::Live {
+        return Err("--data-dir requires --backend live".to_string());
     }
     Ok(args)
 }
@@ -120,7 +145,39 @@ fn build_runtime(args: &Args) -> Result<ServiceRuntime, SearchError> {
         // One shared engine for all workers: mutations must be visible to
         // every dispatch, so the workers cannot each own a private corpus.
         let engine = ApKnnEngine::new(KnnDesign::new(dims)).with_mode(ExecutionMode::Behavioral);
-        let live = LiveBackend::try_new(engine, &data, LiveConfig::default())?;
+        let live = match &args.data_dir {
+            None => LiveBackend::try_new(engine, &data, LiveConfig::default())?,
+            Some(dir) => {
+                let wal_config = WalConfig::default()
+                    .with_flush_batch(args.flush_batch)
+                    .with_flush_interval(std::time::Duration::from_micros(args.flush_interval_us))
+                    .with_checkpoint_every(
+                        (args.checkpoint_every > 0).then_some(args.checkpoint_every),
+                    );
+                let live = if LiveEngine::durable_exists(dir) {
+                    let (live, report) =
+                        LiveEngine::restore(engine, LiveConfig::default(), wal_config, dir)?;
+                    println!(
+                        "restored corpus from {}: checkpoint seq {} ({} vectors), \
+                         replayed {} WAL records{}",
+                        dir.display(),
+                        report.checkpoint_seq,
+                        report.checkpoint_vectors,
+                        report.replayed,
+                        if report.torn {
+                            format!(" (truncated {} torn bytes)", report.truncated_bytes)
+                        } else {
+                            String::new()
+                        },
+                    );
+                    live
+                } else {
+                    println!("creating durable corpus at {}", dir.display());
+                    LiveEngine::durable(engine, &data, LiveConfig::default(), wal_config, dir)?
+                };
+                LiveBackend::from_engine(std::sync::Arc::new(live))
+            }
+        };
         return ServiceRuntime::try_shared(config, std::sync::Arc::new(live));
     }
     ServiceRuntime::try_new(config, move |_| {

@@ -92,15 +92,16 @@ pub use perf_model;
 /// Convenient re-exports of the most frequently used types across the workspace.
 pub mod prelude {
     pub use ap_knn::{
-        ApKnnEngine, AutoPlanner, BoardCapacity, ExecutionMode, ExecutionPlanner, JaccardSearcher,
-        KnnDesign, LiveConfig, LiveEngine, LiveStatus, ParallelApScheduler, PreparedEngine,
-        PreparedSchedule, StreamLayout,
+        ApKnnEngine, AutoPlanner, BoardCapacity, ExecutionMode, ExecutionPlanner, FaultPlan,
+        JaccardSearcher, KnnDesign, LiveConfig, LiveEngine, LiveStatus, ParallelApScheduler,
+        PreparedEngine, PreparedSchedule, RestoreReport, StreamLayout, WalConfig, WalError,
+        WalGauges,
     };
     pub use ap_serve::{
         ApClient, ApEngineBackend, ApSchedulerBackend, ApServer, BackendRegistry, BackendSpec,
         BaselineKind, CompletionSet, FailedQuery, Frame, FrameBuffer, IndexKind, LiveBackend,
-        Metric, NetError, Provenance, Response, RuntimeConfig, SearchPipeline, SearchService,
-        ServiceConfig, ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset,
+        Metric, NetError, Provenance, Response, RetryPolicy, RuntimeConfig, SearchPipeline,
+        SearchService, ServiceConfig, ServiceRuntime, ServiceStats, ShardedBackend, ShardedDataset,
         SimilarityBackend, StatsFrame, TicketHandle, TicketResult,
     };
     pub use ap_sim::{

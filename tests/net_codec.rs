@@ -95,7 +95,7 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
             id: (mix % 1_000_000) as usize,
             generation: mix / 3,
         }),
-        _ => Frame::Stats(StatsFrame {
+        _ => Frame::Stats(Box::new(StatsFrame {
             backend: format!("engine-{}", mix % 5),
             workers: mix % 64,
             queue_capacity: mix % 10_000,
@@ -116,7 +116,15 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
             mutations_failed: mix % 11,
             delta_vectors: mix % 257,
             tombstones: mix % 31,
+            wal_records: mix % 4097,
+            wal_bytes: mix.wrapping_mul(37) % 100_000,
+            wal_fsyncs: mix % 1025,
+            wal_group_max: mix % 65,
+            wal_checkpoints: mix % 17,
+            wal_replayed: mix % 513,
+            wal_truncated_bytes: mix % 47,
             uptime_ms: (mix % 1_000_000) as f64 / 7.0,
+            wal_group_mean: (mix % 64) as f64 / 4.0,
             queue_wait_ms: if mix.is_multiple_of(2) {
                 Some(((mix % 10) as f64, (mix % 100) as f64, (mix % 1000) as f64))
             } else {
@@ -127,7 +135,7 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
             } else {
                 None
             },
-        }),
+        })),
     }
 }
 

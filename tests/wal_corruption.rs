@@ -1,0 +1,281 @@
+//! Hostile-input sweep over the durable corpus's on-disk state, in the style
+//! of `tests/net_codec.rs`: random bit flips, truncations, and garbage tails
+//! over the write-ahead log and the checkpoint image must never panic.
+//! Every outcome is a typed [`WalError`] or a successful recovery of the
+//! longest valid record prefix — never an abort, never an allocation sized
+//! by hostile bytes, never a silently wrong corpus.
+//!
+//! Every byte of both files is load-bearing, so the sweep asserts sharp
+//! outcomes where the format guarantees them:
+//!
+//! * the checkpoint image is CRC-covered end to end — any flipped bit is a
+//!   typed [`WalError`], full stop;
+//! * a flipped bit in the log header refuses recovery (typed error); a flip
+//!   past the header truncates — recovery keeps at most the records before
+//!   the flip and never invents one (the script is insert-only, so the
+//!   recovered corpus size states exactly how many records survived);
+//! * truncating the log keeps only fully-contained records; garbage appended
+//!   after the last record is detected, reported, and cut off.
+
+use ap_knn::live::{LiveConfig, LiveEngine};
+use ap_knn::wal::{self, WalConfig, WalError};
+use ap_knn::{ApKnnEngine, BoardCapacity, ExecutionMode, KnnDesign};
+use binvec::QueryOptions;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DIMS: usize = 16;
+const BASE_LEN: usize = 6;
+/// Insert-only mutations logged after the initial checkpoint.
+const LOGGED: usize = 5;
+/// `wal.log` header: magic + version + checkpoint seq.
+const HEADER_LEN: usize = 16;
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ap-wal-hostile-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine() -> ApKnnEngine {
+    ApKnnEngine::new(KnnDesign::new(DIMS))
+        .with_mode(ExecutionMode::Behavioral)
+        .with_capacity(BoardCapacity {
+            vectors_per_board: 7,
+            model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+        })
+}
+
+fn live_config() -> LiveConfig {
+    LiveConfig::default().with_background(false)
+}
+
+fn wal_config() -> WalConfig {
+    WalConfig::default()
+        .with_flush_batch(1)
+        .with_checkpoint_every(None)
+}
+
+/// Builds a healthy durable corpus — checkpoint 0 holding [`BASE_LEN`]
+/// vectors, a log of [`LOGGED`] insert records — and returns its directory.
+fn healthy_dir(tag: &str) -> PathBuf {
+    let dir = scratch(tag);
+    let base = binvec::generate::uniform_dataset(BASE_LEN, DIMS, 700);
+    let live = LiveEngine::durable(engine(), &base, live_config(), wal_config(), &dir).unwrap();
+    for seed in 0..LOGGED as u64 {
+        let vector = binvec::generate::uniform_queries(1, DIMS, 7_700 + seed)
+            .pop()
+            .unwrap();
+        live.insert(&vector).unwrap();
+    }
+    drop(live);
+    dir
+}
+
+fn log_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint-0.ckpt")
+}
+
+/// One way to damage the on-disk state.
+#[derive(Clone, Debug)]
+enum Hostility {
+    /// Flip one bit of `wal.log` (position wraps to the file length).
+    FlipLog { pos: usize, bit: u8 },
+    /// Flip one bit of the checkpoint image.
+    FlipCheckpoint { pos: usize, bit: u8 },
+    /// Truncate `wal.log` to `keep` bytes (wraps to the file length).
+    TruncateLog { keep: usize },
+    /// Append raw junk after the last valid record.
+    GarbageTail { junk: Vec<u8> },
+}
+
+fn hostility_strategy() -> impl Strategy<Value = Hostility> {
+    prop_oneof![
+        (0usize..4096, 0u8..8).prop_map(|(pos, bit)| Hostility::FlipLog { pos, bit }),
+        (0usize..4096, 0u8..8).prop_map(|(pos, bit)| Hostility::FlipCheckpoint { pos, bit }),
+        (0usize..4096).prop_map(|keep| Hostility::TruncateLog { keep }),
+        prop::collection::vec(0u8..=255, 1..64).prop_map(|junk| Hostility::GarbageTail { junk }),
+    ]
+}
+
+/// Applies the damage, returning where it landed (for outcome assertions).
+fn inflict(dir: &Path, hostility: &Hostility) -> Damage {
+    match hostility {
+        Hostility::FlipLog { pos, bit } => {
+            let path = log_path(dir);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+            Damage::LogFlip { pos }
+        }
+        Hostility::FlipCheckpoint { pos, bit } => {
+            let path = checkpoint_path(dir);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+            Damage::CheckpointFlip
+        }
+        Hostility::TruncateLog { keep } => {
+            let path = log_path(dir);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let keep = keep % (bytes.len() + 1);
+            bytes.truncate(keep);
+            std::fs::write(&path, &bytes).unwrap();
+            Damage::Truncated { keep }
+        }
+        Hostility::GarbageTail { junk } => {
+            let path = log_path(dir);
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes.extend_from_slice(junk);
+            std::fs::write(&path, &bytes).unwrap();
+            Damage::Garbage { junk: junk.len() }
+        }
+    }
+}
+
+enum Damage {
+    LogFlip { pos: usize },
+    CheckpointFlip,
+    Truncated { keep: usize },
+    Garbage { junk: usize },
+}
+
+/// The sweep body: damage a healthy directory, recover, assert the typed
+/// outcome, and — when recovery succeeds — serve a query from the restored
+/// engine to prove the surviving prefix is actually usable.
+fn check_recovery_survives(hostility: &Hostility) {
+    let dir = healthy_dir("case");
+    let damage = inflict(&dir, hostility);
+
+    // Stage 1: the raw recovery entry point, for typed-error sharpness.
+    let recovered = wal::recover(&dir, wal_config());
+    match &recovered {
+        Err(WalError::Corrupt { .. } | WalError::Missing { .. } | WalError::Io(_)) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+        Ok((image, _wal, report)) => {
+            // Never more records than were ever written; insert-only, so the
+            // corpus size accounts for every surviving record.
+            assert!(report.replayed <= LOGGED as u64, "invented records");
+            assert_eq!(image.vectors.len(), BASE_LEN + report.replayed as usize);
+            assert_eq!(image.next_id, (BASE_LEN + report.replayed as usize) as u64);
+        }
+    }
+
+    // Damage-specific sharpness.
+    match damage {
+        Damage::CheckpointFlip => {
+            // Every checkpoint byte is covered by magic/version/CRC checks.
+            assert!(recovered.is_err(), "a checkpoint flip must never pass");
+        }
+        Damage::LogFlip { pos } if pos < HEADER_LEN => {
+            assert!(recovered.is_err(), "a header flip must refuse recovery");
+        }
+        Damage::LogFlip { .. } => {
+            // A body flip truncates at (or before) the damaged record: both
+            // the length/CRC framing and the payload are covered.
+            if let Ok((_, _, report)) = &recovered {
+                assert!(
+                    report.replayed < LOGGED as u64,
+                    "a body flip cannot leave every record intact"
+                );
+                assert!(report.torn, "the cut tail must be reported");
+            }
+        }
+        Damage::Truncated { keep } => {
+            if keep < HEADER_LEN {
+                assert!(recovered.is_err(), "a headerless log must refuse recovery");
+            } else {
+                let (_, _, report) = recovered.as_ref().expect("truncation only shortens");
+                assert!(report.replayed <= LOGGED as u64);
+            }
+        }
+        Damage::Garbage { junk } => {
+            let (_, _, report) = recovered.as_ref().expect("garbage after the log is cut");
+            assert_eq!(
+                report.replayed, LOGGED as u64,
+                "no valid record may be lost"
+            );
+            assert!(report.torn);
+            assert_eq!(report.truncated_bytes, junk as u64);
+        }
+    }
+    drop(recovered);
+
+    // Stage 2: the engine-level entry point over the same (possibly now
+    // repaired) directory — when it restores, it must serve without panicking.
+    match LiveEngine::restore(engine(), live_config(), wal_config(), &dir) {
+        Err(_) => {} // typed SearchError::Backend("wal"); nothing to serve
+        Ok((restored, report)) => {
+            assert!(restored.len() <= BASE_LEN + LOGGED);
+            assert_eq!(restored.len(), BASE_LEN + report.replayed as usize);
+            let queries = binvec::generate::uniform_queries(2, DIMS, 701);
+            let (results, _) = restored
+                .try_search_batch(&queries, &QueryOptions::top(3))
+                .unwrap();
+            assert!(results.iter().all(|n| n.len() <= 3));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance sweep: arbitrary damage, typed outcomes, no panics.
+    #[test]
+    fn damaged_durable_state_never_panics(hostility in hostility_strategy()) {
+        check_recovery_survives(&hostility);
+    }
+}
+
+/// Directed worst cases the random sweep might under-sample.
+#[test]
+fn directed_hostile_states_are_survived() {
+    // Every single-bit flip of the 16-byte log header.
+    for pos in 0..HEADER_LEN {
+        for bit in 0..8 {
+            check_recovery_survives(&Hostility::FlipLog { pos, bit });
+        }
+    }
+    // Every truncation point of the header region, including the empty file.
+    for keep in 0..=HEADER_LEN {
+        check_recovery_survives(&Hostility::TruncateLog { keep });
+    }
+    // A deleted checkpoint file is a typed Missing, not a panic.
+    let dir = healthy_dir("missing-ckpt");
+    std::fs::remove_file(checkpoint_path(&dir)).unwrap();
+    match wal::recover(&dir, wal_config()) {
+        Err(WalError::Missing { path }) => {
+            assert!(path.ends_with("checkpoint-0.ckpt"), "{}", path.display());
+        }
+        Err(other) => panic!("expected Missing, got {other}"),
+        Ok(_) => panic!("expected Missing, got a recovery"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A deleted log is a typed Missing too — and durable_exists says no.
+    let dir = healthy_dir("missing-log");
+    std::fs::remove_file(log_path(&dir)).unwrap();
+    assert!(!LiveEngine::durable_exists(&dir));
+    match wal::recover(&dir, wal_config()) {
+        Err(WalError::Missing { path }) => {
+            assert!(path.ends_with("wal.log"), "{}", path.display());
+        }
+        Err(other) => panic!("expected Missing, got {other}"),
+        Ok(_) => panic!("expected Missing, got a recovery"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

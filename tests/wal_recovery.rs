@@ -1,0 +1,347 @@
+//! Kill-at-every-fault-point recovery sweep for the durable live corpus.
+//!
+//! With `flush_batch = 1` and serial applies, every mutation costs exactly two
+//! IO operations — one append, one fsync — so the [`FaultPlan`] op index
+//! enumerates every possible crash instant: `crash_at = 2i` dies writing
+//! record `i`, `crash_at = 2i + 1` dies syncing it. For each instant the test
+//! crashes a durable [`LiveEngine`], restores the directory, and checks the
+//! acked-means-durable contract exactly:
+//!
+//! * **No acked op lost** — every mutation whose `apply` returned `Ok` is
+//!   replayed (`acked <= replayed`).
+//! * **No unacked op resurrected without accounting** — at most the one
+//!   mutation in flight at the crash may additionally survive (a record whose
+//!   append hit the platter before its fsync failed), and then only with
+//!   `replayed = acked + 1` reported; a torn append is truncated instead.
+//! * **Bit-identical serving** — the restored engine answers every query
+//!   exactly like a fresh `prepare()` over the surviving corpus, under the
+//!   same monotone stable-id bijection `tests/live_engine.rs` states.
+//! * **The corpus continues** — the next insert after restore is assigned the
+//!   pre-crash `next_id` watermark, so stable ids never collide.
+
+use ap_knn::live::{LiveConfig, LiveEngine};
+use ap_knn::wal::{FaultPlan, WalConfig};
+use ap_knn::{ApKnnEngine, BoardCapacity, ExecutionMode, KnnDesign};
+use binvec::{BinaryDataset, BinaryVector, Neighbor, QueryOptions};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DIMS: usize = 16;
+const BASE_LEN: usize = 10;
+const TORN_BYTES: usize = 5;
+
+/// One scripted mutation, as generated: insert a seed-derived vector or
+/// delete the live vector at `pick % live_count` (skipped when empty).
+#[derive(Clone, Debug)]
+enum Step {
+    Insert { seed: u64 },
+    Delete { pick: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // 3:1 insert/delete mix, as in tests/live_engine.rs: the corpus keeps
+    // growing, so the log carries a healthy blend of both record kinds.
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|seed| Step::Insert { seed }),
+        (0u64..1_000_000).prop_map(|seed| Step::Insert { seed }),
+        (0u64..1_000_000).prop_map(|seed| Step::Insert { seed }),
+        (0usize..64).prop_map(|pick| Step::Delete { pick }),
+    ]
+}
+
+/// A concrete mutation with its target resolved against the model state, so
+/// the same op sequence can be replayed against any crash point.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { vector: BinaryVector },
+    Delete { id: usize },
+}
+
+/// The model corpus after a prefix of ops: surviving `(stable id, vector)`
+/// pairs in stable-id order, plus the insert watermark.
+#[derive(Clone, Debug)]
+struct ModelState {
+    survivors: Vec<(usize, BinaryVector)>,
+    next_id: usize,
+}
+
+/// Resolves the generated script into concrete ops and the model state after
+/// every prefix: `states[i]` is the corpus once the first `i` ops applied.
+fn resolve(steps: &[Step], base: &BinaryDataset) -> (Vec<Op>, Vec<ModelState>) {
+    let mut state = ModelState {
+        survivors: base.iter().enumerate().collect(),
+        next_id: base.len(),
+    };
+    let mut ops = Vec::new();
+    let mut states = vec![state.clone()];
+    for step in steps {
+        match step {
+            Step::Insert { seed } => {
+                let vector = binvec::generate::uniform_queries(1, DIMS, 7_000 + seed)
+                    .pop()
+                    .unwrap();
+                state.survivors.push((state.next_id, vector.clone()));
+                state.next_id += 1;
+                ops.push(Op::Insert { vector });
+            }
+            Step::Delete { pick } => {
+                if state.survivors.is_empty() {
+                    continue;
+                }
+                let (id, _) = state.survivors.remove(pick % state.survivors.len());
+                ops.push(Op::Delete { id });
+            }
+        }
+        states.push(state.clone());
+    }
+    (ops, states)
+}
+
+fn engine() -> ApKnnEngine {
+    ApKnnEngine::new(KnnDesign::new(DIMS))
+        .with_mode(ExecutionMode::Behavioral)
+        .with_capacity(BoardCapacity {
+            vectors_per_board: 7,
+            model: ap_knn::capacity::CapacityModel::PaperCalibrated,
+        })
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ap-wal-recovery-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn live_config() -> LiveConfig {
+    LiveConfig::default()
+        .with_background(false)
+        .with_delta_chunk(3)
+}
+
+/// `flush_batch = 1`, auto-checkpoint off: one append + one fsync per apply,
+/// so IO op indices map 1:1 onto crash instants.
+fn serial_wal_config() -> WalConfig {
+    WalConfig::default()
+        .with_flush_batch(1)
+        .with_checkpoint_every(None)
+}
+
+/// The bit-identity check from `tests/live_engine.rs`: the restored engine
+/// must answer like a fresh `prepare()` over `expected.survivors`, fresh
+/// dense ids mapped back through the monotone bijection.
+fn assert_serves_exactly(restored: &LiveEngine, expected: &ModelState, context: &str) {
+    assert_eq!(restored.len(), expected.survivors.len(), "{context}");
+    let queries = binvec::generate::uniform_queries(3, DIMS, 401);
+    let options = QueryOptions::top(5);
+    let (live_results, _) = restored.try_search_batch(&queries, &options).unwrap();
+    if expected.survivors.is_empty() {
+        assert!(live_results.iter().all(Vec::is_empty), "{context}");
+        return;
+    }
+    let corpus =
+        BinaryDataset::from_vectors(DIMS, expected.survivors.iter().map(|(_, v)| v.clone()));
+    let fresh = engine().prepare(&corpus).unwrap();
+    let (fresh_results, _) = fresh.try_search_batch(&queries, &options).unwrap();
+    for (live_neighbors, fresh_neighbors) in live_results.iter().zip(&fresh_results) {
+        let mapped: Vec<Neighbor> = fresh_neighbors
+            .iter()
+            .map(|n| Neighbor::new(expected.survivors[n.id].0, n.distance))
+            .collect();
+        assert_eq!(live_neighbors, &mapped, "{context}");
+    }
+}
+
+/// Crashes a durable engine at IO op `crash_at` while it applies `ops`, then
+/// restores the directory and checks the durability contract against the
+/// model `states`.
+fn crash_restore_check(ops: &[Op], states: &[ModelState], crash_at: u64, torn: usize) {
+    let base =
+        BinaryDataset::from_vectors(DIMS, states[0].survivors.iter().map(|(_, v)| v.clone()));
+    let dir = scratch("kill");
+    let wal_config =
+        serial_wal_config().with_fault_plan(FaultPlan::crash_at(crash_at).with_torn_bytes(torn));
+    let live = LiveEngine::durable(engine(), &base, live_config(), wal_config, &dir).unwrap();
+
+    let mut acked = 0usize;
+    for op in ops {
+        let outcome = match op {
+            Op::Insert { vector } => live.insert(vector),
+            Op::Delete { id } => live.delete(*id),
+        };
+        match outcome {
+            Ok(ack) => {
+                let expected_id = match op {
+                    Op::Insert { .. } => states[acked].next_id,
+                    Op::Delete { id } => *id,
+                };
+                assert_eq!(ack.id, expected_id, "acks name the mutated stable id");
+                acked += 1;
+            }
+            // The injected crash: the process stops here, mid-script.
+            Err(_) => break,
+        }
+    }
+    drop(live);
+
+    let context = format!(
+        "crash_at {crash_at}, torn {torn}, acked {acked}/{}",
+        ops.len()
+    );
+    assert!(LiveEngine::durable_exists(&dir), "{context}");
+    let (restored, report) =
+        LiveEngine::restore(engine(), live_config(), serial_wal_config(), &dir)
+            .unwrap_or_else(|e| panic!("restore failed ({context}): {e}"));
+
+    // The crash instant determines the replay count exactly. Op 2i is the
+    // append of record i, op 2i + 1 its fsync:
+    //   * crash during append, clean  -> record i never hit the disk;
+    //   * crash during append, torn   -> a partial record, truncated away;
+    //   * crash during fsync          -> record i is on disk but unacked:
+    //     it *may* resurrect, and the report must account for it.
+    let total_ops = ops.len() as u64;
+    let (expected_replayed, expected_torn) = if crash_at >= 2 * total_ops {
+        (total_ops, false) // the plan never fired
+    } else if crash_at.is_multiple_of(2) {
+        (crash_at / 2, torn > 0)
+    } else {
+        (crash_at / 2 + 1, false)
+    };
+    assert_eq!(report.checkpoint_seq, 0, "{context}");
+    assert_eq!(report.checkpoint_vectors, BASE_LEN, "{context}");
+    assert_eq!(report.replayed, expected_replayed, "{context}");
+    assert_eq!(report.torn, expected_torn, "{context}");
+    assert_eq!(
+        report.truncated_bytes,
+        if expected_torn { torn as u64 } else { 0 },
+        "{context}"
+    );
+    assert_eq!(report.skipped, 0, "{context}");
+
+    // No acked op lost; at most the one in-flight record resurrected.
+    let replayed = report.replayed as usize;
+    assert!(acked <= replayed, "acked op lost ({context})");
+    assert!(
+        replayed <= acked + 1,
+        "unaccounted resurrection ({context})"
+    );
+
+    // The restored corpus is exactly the replayed prefix, bit-identically.
+    let expected = &states[replayed];
+    assert_serves_exactly(&restored, expected, &context);
+
+    // And it keeps going: the next insert continues the id watermark.
+    let probe = binvec::generate::uniform_queries(1, DIMS, 999_999)
+        .pop()
+        .unwrap();
+    let ack = restored.insert(&probe).unwrap();
+    assert_eq!(ack.id, expected.next_id, "{context}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sweeps every crash instant for one script: all `2 * ops + 2` IO op
+/// indices (the last one past the end, so the plan never fires), alternating
+/// clean and torn appends.
+fn sweep_every_crash_point(steps: &[Step]) {
+    let base = binvec::generate::uniform_dataset(BASE_LEN, DIMS, 400);
+    let (ops, states) = resolve(steps, &base);
+    for crash_at in 0..=(2 * ops.len() as u64 + 1) {
+        // Even indices are appends: exercise the torn-write path on every
+        // other one so both truncation and clean loss are swept.
+        let torn = if crash_at.is_multiple_of(4) {
+            TORN_BYTES
+        } else {
+            0
+        };
+        crash_restore_check(&ops, &states, crash_at, torn);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance sweep: for every injected crash offset of every
+    /// generated script, restore recovers exactly the acked prefix (modulo
+    /// the reported at-most-one in-flight record) and serves bit-identically.
+    #[test]
+    fn every_crash_point_restores_the_acked_prefix(
+        steps in prop::collection::vec(step_strategy(), 1..12)
+    ) {
+        sweep_every_crash_point(&steps);
+    }
+}
+
+/// A directed script the random sweep may miss: delete down to an empty
+/// corpus, grow back, and crash on both sides of the refill boundary.
+#[test]
+fn crash_around_an_emptied_corpus_restores_exactly() {
+    let mut steps: Vec<Step> = (0..BASE_LEN).map(|_| Step::Delete { pick: 0 }).collect();
+    steps.extend((0..3).map(|seed| Step::Insert { seed }));
+    sweep_every_crash_point(&steps);
+}
+
+/// Checkpoints rotate the log; a crash-free shutdown after one must restore
+/// from the new checkpoint with only the post-checkpoint tail replayed.
+#[test]
+fn restore_after_a_checkpoint_replays_only_the_tail() {
+    let base = binvec::generate::uniform_dataset(BASE_LEN, DIMS, 500);
+    let steps: Vec<Step> = (0..8).map(|seed| Step::Insert { seed }).collect();
+    let (ops, states) = resolve(&steps, &base);
+    let dir = scratch("ckpt");
+    let live =
+        LiveEngine::durable(engine(), &base, live_config(), serial_wal_config(), &dir).unwrap();
+    for op in &ops[..5] {
+        match op {
+            Op::Insert { vector } => live.insert(vector).unwrap(),
+            Op::Delete { id } => live.delete(*id).unwrap(),
+        };
+    }
+    assert!(
+        live.checkpoint_now().unwrap(),
+        "an explicit checkpoint runs"
+    );
+    for op in &ops[5..] {
+        match op {
+            Op::Insert { vector } => live.insert(vector).unwrap(),
+            Op::Delete { id } => live.delete(*id).unwrap(),
+        };
+    }
+    drop(live);
+
+    let (restored, report) =
+        LiveEngine::restore(engine(), live_config(), serial_wal_config(), &dir).unwrap();
+    assert_eq!(
+        report.checkpoint_seq, 1,
+        "the log extends the new checkpoint"
+    );
+    assert_eq!(report.checkpoint_vectors, states[5].survivors.len());
+    assert_eq!(report.replayed, (ops.len() - 5) as u64);
+    assert!(!report.torn);
+    assert_serves_exactly(&restored, states.last().unwrap(), "post-checkpoint restore");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `durable` refuses to clobber an existing corpus — recovery is explicit.
+#[test]
+fn durable_refuses_to_overwrite_an_existing_corpus() {
+    let base = binvec::generate::uniform_dataset(4, DIMS, 600);
+    let dir = scratch("exists");
+    let first =
+        LiveEngine::durable(engine(), &base, live_config(), serial_wal_config(), &dir).unwrap();
+    drop(first);
+    assert!(LiveEngine::durable_exists(&dir));
+    let error = LiveEngine::durable(engine(), &base, live_config(), serial_wal_config(), &dir)
+        .expect_err("a second durable() over the same dir must refuse");
+    assert!(
+        error.to_string().contains("refusing to overwrite"),
+        "typed refusal, got: {error}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
