@@ -1,0 +1,210 @@
+//! Typed diagnostics: findings, severities and the JSON report envelope.
+//!
+//! The JSON is hand-rolled (the workspace's offline `serde` shim does not
+//! serialize), mirroring the idiom of the `bench` crate's record writers.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The construction is wrong: it would be rejected by
+    /// `AutomataNetwork::validate`, or the compiled image disagrees with its
+    /// source network. CI gates on a zero-`Error` budget.
+    Error,
+    /// Structurally wasteful or almost certainly unintended (dead elements,
+    /// unreachable fabric, unachievable counter targets).
+    Warn,
+    /// Measurement or observation; no action implied.
+    Info,
+}
+
+impl Severity {
+    /// Stable lowercase name used in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic produced by an analysis pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced it: `reach`, `translation`, `resource` or
+    /// `redundancy`.
+    pub pass: &'static str,
+    /// Stable machine-readable code, e.g. `dead-element`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Element ids the finding is about (may be empty for whole-network
+    /// findings).
+    pub elements: Vec<usize>,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders this finding as a JSON object.
+    pub fn to_json(&self) -> String {
+        let ids: Vec<String> = self.elements.iter().map(usize::to_string).collect();
+        format!(
+            "{{\"pass\":{},\"code\":{},\"severity\":{},\"elements\":[{}],\"message\":{}}}",
+            json_string(self.pass),
+            json_string(self.code),
+            json_string(self.severity.as_str()),
+            ids.join(","),
+            json_string(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}/{}: {}",
+            self.severity, self.pass, self.code, self.message
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` for JSON: finite, shortest-ish fixed representation.
+pub fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v:.4}");
+    // Trim trailing zeros but keep at least one decimal digit ("1.0").
+    let trimmed = s.trim_end_matches('0');
+    if trimmed.ends_with('.') {
+        format!("{trimmed}0")
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// Per-code cap applied by [`FindingSink`] so a degenerate network cannot
+/// produce a megabyte report.
+pub(crate) const MAX_PER_CODE: usize = 32;
+
+/// Collects findings with a per-code cap, appending one summary finding per
+/// truncated code when finished.
+pub(crate) struct FindingSink {
+    pass: &'static str,
+    findings: Vec<Finding>,
+    truncated: Vec<(&'static str, Severity, usize)>,
+}
+
+impl FindingSink {
+    pub(crate) fn new(pass: &'static str) -> Self {
+        Self {
+            pass,
+            findings: Vec::new(),
+            truncated: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        elements: Vec<usize>,
+        message: String,
+    ) {
+        let emitted = self.findings.iter().filter(|f| f.code == code).count();
+        if emitted >= MAX_PER_CODE {
+            match self.truncated.iter_mut().find(|(c, ..)| *c == code) {
+                Some((_, _, n)) => *n += 1,
+                None => self.truncated.push((code, severity, 1)),
+            }
+            return;
+        }
+        self.findings.push(Finding {
+            pass: self.pass,
+            code,
+            severity,
+            elements,
+            message,
+        });
+    }
+
+    pub(crate) fn finish(mut self) -> Vec<Finding> {
+        for (code, severity, n) in std::mem::take(&mut self.truncated) {
+            self.findings.push(Finding {
+                pass: self.pass,
+                code,
+                severity,
+                elements: Vec::new(),
+                message: format!("... and {n} more `{code}` findings (capped at {MAX_PER_CODE})"),
+            });
+        }
+        self.findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_names() {
+        assert!(Severity::Error < Severity::Warn);
+        assert!(Severity::Warn < Severity::Info);
+        assert_eq!(Severity::Error.as_str(), "error");
+        assert_eq!(Severity::Warn.to_string(), "warn");
+    }
+
+    #[test]
+    fn finding_serializes_to_json() {
+        let f = Finding {
+            pass: "reach",
+            code: "dead-element",
+            severity: Severity::Warn,
+            elements: vec![3, 9],
+            message: "say \"hi\"\n".to_string(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"pass\":\"reach\",\"code\":\"dead-element\",\"severity\":\"warn\",\
+             \"elements\":[3,9],\"message\":\"say \\\"hi\\\"\\n\"}"
+        );
+        assert!(f.to_string().contains("reach/dead-element"));
+    }
+
+    #[test]
+    fn json_f64_trims() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.125), "0.125");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(33.3333333), "33.3333");
+    }
+}

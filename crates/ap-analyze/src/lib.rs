@@ -1,0 +1,259 @@
+//! Static analysis over automata networks.
+//!
+//! Four passes, each emitting typed [`Finding`] diagnostics plus two
+//! machine-readable summaries, wrapped in an [`AnalysisReport`] with a
+//! hand-rolled JSON serializer:
+//!
+//! 1. **Reachability / liveness** ([`reach`]) — unreachable elements,
+//!    elements that can never fire, empty symbol classes, counters whose
+//!    thresholds exceed any achievable pulse count, dangling boolean inputs,
+//!    and the individually-removable dead elements the workspace soundness
+//!    proptest deletes.
+//! 2. **Translation validation** ([`transval`]) — every table of a
+//!    [`CompiledNetwork`] image cross-checked element-by-element and
+//!    edge-by-edge against its source [`AutomataNetwork`].
+//! 3. **Resource / capacity** ([`resource`]) — element counts, fan-in/out
+//!    histograms, Gen-1 placement and utilization, reconciled against the
+//!    kNN capacity calculator via an injected [`CapacityContext`].
+//! 4. **Redundancy profiling** ([`redundancy`]) — duplicate-macro content
+//!    hashing and shared prefix/suffix chains, quantifying the
+//!    vectors-per-board headroom a sharing optimization could claim.
+//!
+//! The severity contract: [`Severity::Error`] findings mean the artifact is
+//! *wrong* (invalid network or corrupted compiled image) — CI and the
+//! engines' strict mode gate on a zero-`Error` budget via
+//! [`verify_compilation`]; `Warn` and `Info` are advisory.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod finding;
+pub mod reach;
+pub mod redundancy;
+pub mod resource;
+pub mod transval;
+
+pub use finding::{json_f64, json_string, Finding, Severity};
+pub use reach::reach_pass;
+pub use redundancy::{redundancy_pass, RedundancySummary};
+pub use resource::{resource_pass, CapacityContext, ResourceSummary};
+pub use transval::transval_pass;
+
+use ap_sim::{ApError, AutomataNetwork, CompiledNetwork, DeviceConfig};
+
+/// Everything the analyzer learned about one network.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Caller-supplied name for the analyzed network (appears in the JSON).
+    pub name: String,
+    /// All findings from every pass that ran, sorted most severe first.
+    pub findings: Vec<Finding>,
+    /// Resource profile.
+    pub resource: ResourceSummary,
+    /// Redundancy profile.
+    pub redundancy: RedundancySummary,
+}
+
+impl AnalysisReport {
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether the report contains no [`Severity::Error`] findings.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Renders the full report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(Finding::to_json).collect();
+        format!(
+            "{{\"name\":{},\"errors\":{},\"warnings\":{},\"infos\":{},\"findings\":[{}],\
+             \"resource\":{},\"redundancy\":{}}}",
+            json_string(&self.name),
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+            findings.join(","),
+            self.resource.to_json(),
+            self.redundancy.to_json(),
+        )
+    }
+}
+
+/// The analyzer: a device target plus optional design-side expectations.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    device: Option<DeviceConfig>,
+    capacity: Option<CapacityContext>,
+}
+
+impl Analyzer {
+    /// Creates an analyzer targeting the Gen-1 device with no capacity
+    /// context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the device the resource pass places onto.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Supplies capacity-calculator expectations for reconciliation.
+    pub fn with_capacity_context(mut self, ctx: CapacityContext) -> Self {
+        self.capacity = Some(ctx);
+        self
+    }
+
+    /// Runs the network-level passes (reach, resource, redundancy) over
+    /// `net`.
+    pub fn analyze_network(
+        &self,
+        name: impl Into<String>,
+        net: &AutomataNetwork,
+    ) -> AnalysisReport {
+        self.analyze_inner(name.into(), net, None)
+    }
+
+    /// Runs every pass, including translation validation of `compiled`
+    /// against `net`.
+    pub fn analyze_compiled(
+        &self,
+        name: impl Into<String>,
+        net: &AutomataNetwork,
+        compiled: &CompiledNetwork,
+    ) -> AnalysisReport {
+        self.analyze_inner(name.into(), net, Some(compiled))
+    }
+
+    fn analyze_inner(
+        &self,
+        name: String,
+        net: &AutomataNetwork,
+        compiled: Option<&CompiledNetwork>,
+    ) -> AnalysisReport {
+        let device = self.device.unwrap_or_else(DeviceConfig::gen1);
+        let mut findings = reach_pass(net);
+        if let Some(compiled) = compiled {
+            findings.extend(transval_pass(net, compiled));
+        }
+        let (resource, fs) = resource_pass(net, &device, self.capacity.as_ref());
+        findings.extend(fs);
+        let (redundancy, fs) = redundancy_pass(net, self.capacity.as_ref());
+        findings.extend(fs);
+        findings.sort_by(|a, b| a.severity.cmp(&b.severity).then(a.pass.cmp(b.pass)));
+        AnalysisReport {
+            name,
+            findings,
+            resource,
+            redundancy,
+        }
+    }
+}
+
+/// Strict-mode gate: cross-checks `compiled` against `net` and returns a
+/// one-line description of the first defect, if any.
+///
+/// This is what the kNN engines call (behind their `strict_analysis` flag)
+/// after compiling each board image, turning a silent mis-translation into a
+/// hard error before any stream is served. Only translation-validation
+/// findings gate here — liveness warnings about the *source* network are
+/// advisory and never block serving.
+pub fn verify_compilation(net: &AutomataNetwork, compiled: &CompiledNetwork) -> Result<(), String> {
+    let findings = transval_pass(net, compiled);
+    match findings.iter().find(|f| f.severity == Severity::Error) {
+        None => Ok(()),
+        Some(first) => {
+            let errors = findings
+                .iter()
+                .filter(|f| f.severity == Severity::Error)
+                .count();
+            Err(format!(
+                "compiled image disagrees with its source network ({errors} error{}): {first}",
+                if errors == 1 { "" } else { "s" }
+            ))
+        }
+    }
+}
+
+/// Convenience: compiles `net` (validating it) and runs every pass.
+///
+/// Validation failures surface as the underlying [`ApError`]; use
+/// [`Analyzer::analyze_network`] to analyze a network the compiler would
+/// reject (the reach pass mirrors the validator's liveness rules as `Error`
+/// findings instead of returning early).
+pub fn analyze(name: impl Into<String>, net: &AutomataNetwork) -> Result<AnalysisReport, ApError> {
+    let compiled = CompiledNetwork::compile(net)?;
+    Ok(Analyzer::new().analyze_compiled(name, net, &compiled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::{CompiledEdge, StartKind, SymbolClass};
+
+    fn dictionary() -> AutomataNetwork {
+        let mut net = AutomataNetwork::new();
+        for (word, code) in [(b"cat".as_slice(), 1u32), (b"cap", 2), (b"cat", 3)] {
+            let mut prev = net.add_ste(
+                format!("{code}-0"),
+                SymbolClass::single(word[0]),
+                StartKind::AllInput,
+                None,
+            );
+            for (i, &s) in word.iter().enumerate().skip(1) {
+                let n = net.add_ste(
+                    format!("{code}-{i}"),
+                    SymbolClass::single(s),
+                    StartKind::None,
+                    (i == word.len() - 1).then_some(code),
+                );
+                net.connect(prev, n).unwrap();
+                prev = n;
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn analyze_produces_a_clean_report_with_summaries() {
+        let net = dictionary();
+        let report = analyze("dictionary", &net).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.count(Severity::Error), 0);
+        assert_eq!(report.resource.components, 3);
+        assert_eq!(report.redundancy.duplicate_components, 1);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"name\":\"dictionary\""));
+        assert!(json.contains("\"resource\":{"));
+        assert!(json.contains("\"redundancy\":{"));
+    }
+
+    #[test]
+    fn verify_compilation_accepts_clean_and_rejects_corrupted_images() {
+        let net = dictionary();
+        let mut compiled = CompiledNetwork::compile(&net).unwrap();
+        assert!(verify_compilation(&net, &compiled).is_ok());
+        compiled
+            .inject_successor_fault(0, 0, CompiledEdge::ActivateSte { target: 0 })
+            .unwrap();
+        let err = verify_compilation(&net, &compiled).unwrap_err();
+        assert!(err.contains("successor-edge-mismatch"), "{err}");
+    }
+
+    #[test]
+    fn findings_sort_errors_first() {
+        let mut net = dictionary();
+        // A dead STE (fringe, removable) and an empty-class STE.
+        net.add_ste("hollow", SymbolClass::empty(), StartKind::AllInput, None);
+        let report = Analyzer::new().analyze_network("dirty", &net);
+        assert!(!report.is_clean());
+        assert_eq!(report.findings[0].severity, Severity::Error);
+    }
+}

@@ -1,0 +1,368 @@
+//! Pass 1 — reachability / liveness.
+//!
+//! Emits, per network:
+//!
+//! * `Error`-class mirrors of the liveness checks `AutomataNetwork::validate`
+//!   enforces (empty symbol class, counter with only dead enable drivers,
+//!   boolean inputs dangling from dead drivers) — these appear only when the
+//!   pass is run on a network that bypassed validation;
+//! * `Warn` for counters whose threshold provably exceeds the total number of
+//!   enable pulses any input stream can deliver (the bound-refined analysis
+//!   of [`ap_sim::liveness`]);
+//! * `Warn` **`dead-element`** for elements that can never fire *and* whose
+//!   removal is individually safe — deleting any one of them leaves the
+//!   report stream of every input bit-identical and the network valid (this
+//!   is the contract the workspace soundness proptest enforces);
+//! * `Warn` for reporting elements that can never fire, `Info` for other
+//!   dead or start-unreachable fabric.
+
+#[cfg(test)]
+use crate::finding::MAX_PER_CODE;
+use crate::finding::{Finding, FindingSink, Severity};
+use ap_sim::liveness::{Bound, LivenessAnalysis};
+use ap_sim::network::ConnectPort;
+use ap_sim::{AutomataNetwork, BooleanFunction, ElementId, ElementKind};
+
+/// Runs the reachability/liveness pass over `net`.
+pub fn reach_pass(net: &AutomataNetwork) -> Vec<Finding> {
+    let analysis = LivenessAnalysis::of(net);
+    let mut out = FindingSink::new("reach");
+
+    for e in net.elements() {
+        let id = e.id;
+        match &e.kind {
+            ElementKind::Ste { symbols, .. } => {
+                if symbols.cardinality() == 0 {
+                    out.push(
+                        "empty-symbol-class",
+                        Severity::Error,
+                        vec![id.index()],
+                        format!(
+                            "STE {} ('{}') has an empty symbol class and can never match",
+                            id.index(),
+                            e.label
+                        ),
+                    );
+                }
+            }
+            ElementKind::Counter { threshold, .. } => {
+                if !analysis.structurally_live(id) {
+                    out.push(
+                        "counter-target-unreachable",
+                        Severity::Error,
+                        vec![id.index()],
+                        format!(
+                            "counter {} ('{}'): every CountEnable driver is structurally dead",
+                            id.index(),
+                            e.label
+                        ),
+                    );
+                } else if !analysis.can_fire(id) {
+                    let achievable = match analysis.counter_increment_bound(id) {
+                        Bound::AtMost(v) => v.to_string(),
+                        Bound::Unbounded => "unbounded".to_string(),
+                    };
+                    out.push(
+                        "counter-target-unreachable",
+                        Severity::Warn,
+                        vec![id.index()],
+                        format!(
+                            "counter {} ('{}'): threshold {} exceeds the at most {} enable \
+                             pulses any stream can deliver",
+                            id.index(),
+                            e.label,
+                            threshold,
+                            achievable
+                        ),
+                    );
+                }
+            }
+            ElementKind::Boolean { .. } => {
+                for (p, _) in net.predecessors(id) {
+                    let from = &net.elements()[p.index()];
+                    if (from.is_ste() || from.is_counter()) && !analysis.structurally_live(*p) {
+                        out.push(
+                            "dangling-boolean-input",
+                            Severity::Error,
+                            vec![id.index(), p.index()],
+                            format!(
+                                "boolean gate {} ('{}') input from structurally dead {} ('{}')",
+                                id.index(),
+                                e.label,
+                                p.index(),
+                                from.label
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        if !analysis.can_fire(id) {
+            if analysis.structurally_live(id) {
+                // Bound-refined deadness (counters covered above; this is
+                // their downstream cone).
+                if !e.is_counter() {
+                    out.push(
+                        "never-fires",
+                        Severity::Info,
+                        vec![id.index()],
+                        format!(
+                            "element {} ('{}') can never fire: it sits behind a counter \
+                             whose threshold is unachievable",
+                            id.index(),
+                            e.label
+                        ),
+                    );
+                }
+            } else if individually_removable(net, &analysis, id) {
+                out.push(
+                    "dead-element",
+                    Severity::Warn,
+                    vec![id.index()],
+                    format!(
+                        "element {} ('{}') can never fire and can be deleted without \
+                         changing any report stream{}",
+                        id.index(),
+                        e.label,
+                        if e.is_reporting() {
+                            " (it is a reporting element that never reports)"
+                        } else {
+                            ""
+                        }
+                    ),
+                );
+            } else if !e.is_counter() && symbol_nonempty(e) {
+                let code = if e.is_reporting() {
+                    "dead-reporter"
+                } else {
+                    "never-fires"
+                };
+                let sev = if e.is_reporting() {
+                    Severity::Warn
+                } else {
+                    Severity::Info
+                };
+                out.push(
+                    code,
+                    sev,
+                    vec![id.index()],
+                    format!(
+                        "element {} ('{}') can never fire (no start state reaches it)",
+                        id.index(),
+                        e.label
+                    ),
+                );
+            }
+        } else if !analysis.reachable_from_start(id) && !e.is_start() {
+            out.push(
+                "unreachable",
+                Severity::Info,
+                vec![id.index()],
+                format!(
+                    "element {} ('{}') is not reachable from any start state (it can \
+                     still fire: negating gates activate on absent inputs)",
+                    id.index(),
+                    e.label
+                ),
+            );
+        }
+    }
+
+    out.finish()
+}
+
+/// True unless the element is an STE with an empty symbol class (those get
+/// their own `Error` finding and would be noise to double-report).
+fn symbol_nonempty(e: &ap_sim::Element) -> bool {
+    match &e.kind {
+        ElementKind::Ste { symbols, .. } => symbols.cardinality() > 0,
+        _ => true,
+    }
+}
+
+/// Whether deleting dead element `e` *alone* keeps the network valid and the
+/// semantics of every surviving element unchanged.
+///
+/// `e` must be structurally dead (never fires), so its outgoing edges never
+/// carry an activation; deletion only has to preserve:
+///
+/// * validation arity — every successor keeps at least one other driver on
+///   the port that requires one (`Not` gates lose their single input, so any
+///   `Not` successor blocks removal);
+/// * gate truth tables — a constant-false input is absorbed by `Or`/`Xor`/
+///   `Nor` but changes `And`/`Nand` (which read an absent input differently);
+/// * liveness verdicts — `e` is structurally dead, so it contributes nothing
+///   to any other element's structural liveness and the rebuilt network's
+///   `validate()` liveness checks are unchanged.
+fn individually_removable(
+    net: &AutomataNetwork,
+    analysis: &LivenessAnalysis,
+    e: ElementId,
+) -> bool {
+    debug_assert!(!analysis.structurally_live(e));
+    for (s, port) in net.successors(e) {
+        let target = &net.elements()[s.index()];
+        let preds = net.predecessors(*s);
+        match (&target.kind, port) {
+            (ElementKind::Ste { .. }, _) => {
+                if !target.is_start()
+                    && !preds
+                        .iter()
+                        .any(|(p, pp)| *pp == ConnectPort::Activation && *p != e)
+                {
+                    return false;
+                }
+            }
+            (ElementKind::Counter { .. }, ConnectPort::CountEnable) => {
+                if !preds
+                    .iter()
+                    .any(|(p, pp)| *pp == ConnectPort::CountEnable && *p != e)
+                {
+                    return false;
+                }
+            }
+            (ElementKind::Counter { .. }, _) => {}
+            (ElementKind::Boolean { function, .. }, _) => {
+                let absorbs_false = matches!(
+                    function,
+                    BooleanFunction::Or | BooleanFunction::Xor | BooleanFunction::Nor
+                );
+                if !absorbs_false || !preds.iter().any(|(p, _)| *p != e) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::{CounterMode, StartKind, SymbolClass};
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn clean_chain_has_no_findings() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::AllInput, None);
+        let m = net.add_ste("m", SymbolClass::any(), StartKind::None, Some(1));
+        net.connect(s, m).unwrap();
+        assert!(reach_pass(&net).is_empty());
+    }
+
+    #[test]
+    fn empty_mask_is_an_error() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("hollow", SymbolClass::empty(), StartKind::AllInput, None);
+        let fs = reach_pass(&net);
+        assert!(codes(&fs).contains(&"empty-symbol-class"));
+        assert_eq!(fs[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dead_fringe_is_removable_but_cycle_members_are_not() {
+        // Dead cycle a<->b plus fringe x driven by both; x has no successors.
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, None);
+        let b = net.add_ste("b", SymbolClass::any(), StartKind::None, None);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        let x = net.add_ste("x", SymbolClass::any(), StartKind::None, None);
+        net.connect(a, x).unwrap();
+        net.connect(b, x).unwrap();
+        let fs = reach_pass(&net);
+        let dead: Vec<usize> = fs
+            .iter()
+            .filter(|f| f.code == "dead-element")
+            .flat_map(|f| f.elements.clone())
+            .collect();
+        assert_eq!(dead, vec![x.index()], "only the fringe is removable alone");
+        // a and b are still reported, just not as removable.
+        let never: Vec<usize> = fs
+            .iter()
+            .filter(|f| f.code == "never-fires")
+            .flat_map(|f| f.elements.clone())
+            .collect();
+        assert!(never.contains(&a.index()) && never.contains(&b.index()));
+    }
+
+    #[test]
+    fn unachievable_counter_threshold_warns() {
+        let mut net = AutomataNetwork::new();
+        let sod = net.add_ste("sod", SymbolClass::any(), StartKind::StartOfData, None);
+        let c = net.add_counter("c", 5, CounterMode::Pulse, None);
+        net.connect_port(sod, c, ConnectPort::CountEnable).unwrap();
+        let tail = net.add_ste("tail", SymbolClass::any(), StartKind::None, Some(9));
+        net.connect(c, tail).unwrap();
+        let fs = reach_pass(&net);
+        let cf = fs
+            .iter()
+            .find(|f| f.code == "counter-target-unreachable")
+            .expect("counter finding");
+        assert_eq!(cf.severity, Severity::Warn);
+        assert!(cf.message.contains("threshold 5"));
+        assert!(cf.message.contains("at most 1"));
+        // The reporting tail behind it is flagged as never firing.
+        assert!(codes(&fs).contains(&"never-fires"));
+        // This network still validates and compiles (the weak checks pass).
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn dead_reporter_is_a_warning() {
+        // Reporting element inside a dead cycle (not individually removable
+        // because each drives the other).
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, Some(3));
+        let b = net.add_ste("b", SymbolClass::any(), StartKind::None, None);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        let fs = reach_pass(&net);
+        let dr = fs.iter().find(|f| f.code == "dead-reporter").expect("warn");
+        assert_eq!(dr.severity, Severity::Warn);
+        assert_eq!(dr.elements, vec![a.index()]);
+    }
+
+    #[test]
+    fn unreachable_negating_gate_is_info() {
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, None);
+        let b = net.add_ste("b", SymbolClass::any(), StartKind::None, None);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        let g = net.add_boolean("nor", BooleanFunction::Nor, None);
+        net.connect(a, g).unwrap();
+        let fs = reach_pass(&net);
+        let un = fs
+            .iter()
+            .find(|f| f.code == "unreachable" && f.elements == vec![g.index()])
+            .expect("info finding for the live but unreachable gate");
+        assert_eq!(un.severity, Severity::Info);
+        // The gate's dead STE input is an Error mirror of validate's check.
+        assert!(codes(&fs).contains(&"dangling-boolean-input"));
+    }
+
+    #[test]
+    fn finding_cap_truncates_with_summary() {
+        let mut net = AutomataNetwork::new();
+        // A long dead chain: every element is dead; the chain tail is
+        // removable, the rest are not (single-driver chain), so `never-fires`
+        // exceeds the cap.
+        let mut prev = net.add_ste("d0", SymbolClass::any(), StartKind::None, None);
+        net.connect(prev, prev).unwrap();
+        for i in 1..40 {
+            let n = net.add_ste(format!("d{i}"), SymbolClass::any(), StartKind::None, None);
+            net.connect(prev, n).unwrap();
+            prev = n;
+        }
+        let fs = reach_pass(&net);
+        let never = fs.iter().filter(|f| f.code == "never-fires").count();
+        assert_eq!(never, MAX_PER_CODE + 1, "cap plus one summary finding");
+        assert!(fs.iter().any(|f| f.message.contains("more `never-fires`")));
+    }
+}

@@ -1,0 +1,438 @@
+//! Pass 4 — redundancy profiling.
+//!
+//! Measures how much of the fabric is structurally repeated, which is the
+//! measurement half of the roadmap's "raise vectors-per-board" item: before
+//! building a sharing optimization, quantify what sharing is available.
+//!
+//! Two mechanisms are profiled:
+//!
+//! * **Duplicate macros** — connected components are canonicalized (element
+//!   ids relabelled to component-local indices, report *codes* abstracted to
+//!   a has-report bit, edges sorted) and content-hashed; components equal
+//!   under canonicalization are duplicates. Two vector macros encoding the
+//!   same binary vector differ only in their report code, so they hash
+//!   together — exactly the copies a dedup optimization could share.
+//! * **Shared prefix/suffix chains** — each *distinct* component is
+//!   linearized into a deterministic spine (DFS from its start elements in
+//!   id order) of per-element descriptors, and the spines are folded into a
+//!   trie. Elements beyond the trie's node count are prefix-shareable: the
+//!   classic dictionary-automaton trie merge. The same computation over
+//!   reversed spines measures suffix sharing.
+//!
+//! The headline number, [`RedundancySummary::headroom_factor`], is the
+//! multiplier on fabric capacity if duplicates were shared and common
+//! prefixes merged; with a [`CapacityContext`] it is also projected onto
+//! vectors-per-board.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::finding::{json_f64, Finding, FindingSink, Severity};
+use crate::resource::CapacityContext;
+use ap_sim::network::ConnectPort;
+use ap_sim::{AutomataNetwork, BooleanFunction, CounterMode, ElementId, ElementKind, StartKind};
+
+/// Measured redundancy profile of one network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RedundancySummary {
+    /// Connected components (macros) in the network.
+    pub components: usize,
+    /// Components remaining after collapsing canonical duplicates.
+    pub distinct_components: usize,
+    /// Components that are duplicates of an earlier one.
+    pub duplicate_components: usize,
+    /// `duplicate_components / components`, as a percentage.
+    pub duplicate_macro_pct: f64,
+    /// Elements inside duplicate copies (freed entirely if copies shared).
+    pub duplicate_element_savings: usize,
+    /// Elements shareable by merging common spine prefixes across the
+    /// distinct components.
+    pub prefix_shared_elements: usize,
+    /// Elements shareable by merging common spine suffixes.
+    pub suffix_shared_elements: usize,
+    /// Total elements in the network.
+    pub total_elements: usize,
+    /// `total / (total - duplicate_savings - prefix_shared)`: the capacity
+    /// multiplier available to a sharing optimization (≥ 1.0).
+    pub headroom_factor: f64,
+    /// Capacity-calculator vectors per board, when a context was supplied.
+    pub vectors_per_board: Option<usize>,
+    /// `vectors_per_board × headroom_factor`, rounded down.
+    pub projected_vectors_per_board: Option<usize>,
+}
+
+impl RedundancySummary {
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
+        format!(
+            "{{\"components\":{},\"distinct_components\":{},\"duplicate_components\":{},\
+             \"duplicate_macro_pct\":{},\"duplicate_element_savings\":{},\
+             \"prefix_shared_elements\":{},\"suffix_shared_elements\":{},\
+             \"total_elements\":{},\"headroom_factor\":{},\"vectors_per_board\":{},\
+             \"projected_vectors_per_board\":{}}}",
+            self.components,
+            self.distinct_components,
+            self.duplicate_components,
+            json_f64(self.duplicate_macro_pct),
+            self.duplicate_element_savings,
+            self.prefix_shared_elements,
+            self.suffix_shared_elements,
+            self.total_elements,
+            json_f64(self.headroom_factor),
+            opt(self.vectors_per_board),
+            opt(self.projected_vectors_per_board),
+        )
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a word stream.
+fn fnv(words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &w in words {
+        for byte in w.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Canonical per-element descriptor words: kind, parameters, has-report.
+/// Report *codes* are deliberately abstracted away — macros that differ only
+/// in which code they report are share-candidates.
+fn element_words(net: &AutomataNetwork, id: ElementId, out: &mut Vec<u64>) {
+    let e = &net.elements()[id.index()];
+    out.push(u64::from(e.is_reporting()));
+    match &e.kind {
+        ElementKind::Ste { symbols, start, .. } => {
+            out.push(1);
+            out.push(match start {
+                StartKind::None => 0,
+                StartKind::StartOfData => 1,
+                StartKind::AllInput => 2,
+            });
+            out.extend_from_slice(&symbols.to_words());
+        }
+        ElementKind::Counter {
+            threshold,
+            mode,
+            max_increment_per_cycle,
+            ..
+        } => {
+            out.push(2);
+            out.push(u64::from(*threshold));
+            out.push(u64::from(*mode == CounterMode::Latch));
+            out.push(u64::from(*max_increment_per_cycle));
+        }
+        ElementKind::Boolean { function, .. } => {
+            out.push(3);
+            out.push(match function {
+                BooleanFunction::And => 0,
+                BooleanFunction::Or => 1,
+                BooleanFunction::Nand => 2,
+                BooleanFunction::Nor => 3,
+                BooleanFunction::Xor => 4,
+                BooleanFunction::Not => 5,
+            });
+        }
+    }
+}
+
+/// Canonical serialized form of one component: element descriptors in local
+/// order followed by the sorted local edge list.
+fn component_words(net: &AutomataNetwork, comp: &[ElementId]) -> Vec<u64> {
+    let local: HashMap<usize, u64> = comp
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.index(), i as u64))
+        .collect();
+    let mut words = Vec::with_capacity(comp.len() * 8);
+    words.push(comp.len() as u64);
+    for &id in comp {
+        element_words(net, id, &mut words);
+    }
+    let mut edges: Vec<(u64, u64, u64)> = Vec::new();
+    for &id in comp {
+        for (t, port) in net.successors(id) {
+            let p = match port {
+                ConnectPort::Activation => 0,
+                ConnectPort::CountEnable => 1,
+                ConnectPort::CountReset => 2,
+            };
+            edges.push((local[&id.index()], local[&t.index()], p));
+        }
+    }
+    edges.sort_unstable();
+    for (f, t, p) in edges {
+        words.push(f);
+        words.push(t);
+        words.push(p);
+    }
+    words
+}
+
+/// Deterministic linearization of a component: DFS from its start elements
+/// (falling back to driver-less then lowest-id elements) following successors
+/// in the stored connection order, each element once. Returns one descriptor
+/// hash per element, in visit order.
+fn spine(net: &AutomataNetwork, comp: &[ElementId]) -> Vec<u64> {
+    let in_comp: HashSet<usize> = comp.iter().map(|id| id.index()).collect();
+    let mut visited: HashSet<usize> = HashSet::new();
+    let mut order = Vec::with_capacity(comp.len());
+    let mut stack: Vec<ElementId> = Vec::new();
+
+    let mut roots: Vec<ElementId> = comp
+        .iter()
+        .copied()
+        .filter(|&id| net.elements()[id.index()].is_start())
+        .collect();
+    if roots.is_empty() {
+        roots = comp
+            .iter()
+            .copied()
+            .filter(|&id| net.predecessors(id).is_empty())
+            .collect();
+    }
+    // Remaining elements (cycles, boolean pull-ins) seed the DFS afterwards
+    // in id order, so every element lands in the spine exactly once.
+    for seed in roots.into_iter().chain(comp.iter().copied()) {
+        if !visited.insert(seed.index()) {
+            continue;
+        }
+        stack.push(seed);
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            for (t, _) in net.successors(id).iter().rev() {
+                if in_comp.contains(&t.index()) && visited.insert(t.index()) {
+                    stack.push(*t);
+                }
+            }
+        }
+    }
+
+    let mut scratch = Vec::new();
+    order
+        .iter()
+        .map(|&id| {
+            scratch.clear();
+            element_words(net, id, &mut scratch);
+            fnv(&scratch)
+        })
+        .collect()
+}
+
+/// Folds descriptor sequences into a trie and returns the number of elements
+/// saved by sharing: `sum(len) - nodes`.
+fn trie_savings(spines: &[&[u64]]) -> usize {
+    let mut next: HashMap<(u32, u64), u32> = HashMap::new();
+    let mut nodes = 0u32;
+    let mut total = 0usize;
+    for s in spines {
+        total += s.len();
+        let mut at = u32::MAX; // root
+        for &d in *s {
+            at = *next.entry((at, d)).or_insert_with(|| {
+                nodes += 1;
+                nodes - 1
+            });
+        }
+    }
+    total - nodes as usize
+}
+
+/// Runs the redundancy pass over `net`.
+pub fn redundancy_pass(
+    net: &AutomataNetwork,
+    ctx: Option<&CapacityContext>,
+) -> (RedundancySummary, Vec<Finding>) {
+    let mut out = FindingSink::new("redundancy");
+    let comps = net.connected_components();
+    let components = comps.len();
+    let total_elements = net.len();
+
+    // Group components by canonical content (hash bucket + full compare).
+    let mut groups: HashMap<u64, Vec<(usize, Vec<u64>)>> = HashMap::new();
+    let mut duplicate_components = 0usize;
+    let mut duplicate_element_savings = 0usize;
+    let mut representatives: Vec<usize> = Vec::new();
+    for (ci, comp) in comps.iter().enumerate() {
+        let words = component_words(net, comp);
+        let h = fnv(&words);
+        let bucket = groups.entry(h).or_default();
+        if bucket.iter().any(|(_, w)| *w == words) {
+            duplicate_components += 1;
+            duplicate_element_savings += comp.len();
+        } else {
+            representatives.push(ci);
+            bucket.push((ci, words));
+        }
+    }
+    let distinct_components = components - duplicate_components;
+
+    // Prefix/suffix sharing across the distinct representatives.
+    let spines: Vec<Vec<u64>> = representatives
+        .iter()
+        .map(|&ci| spine(net, &comps[ci]))
+        .collect();
+    let forward: Vec<&[u64]> = spines.iter().map(Vec::as_slice).collect();
+    let prefix_shared_elements = trie_savings(&forward);
+    let reversed: Vec<Vec<u64>> = spines
+        .iter()
+        .map(|s| s.iter().rev().copied().collect())
+        .collect();
+    let backward: Vec<&[u64]> = reversed.iter().map(Vec::as_slice).collect();
+    let suffix_shared_elements = trie_savings(&backward);
+
+    let duplicate_macro_pct = if components == 0 {
+        0.0
+    } else {
+        duplicate_components as f64 / components as f64 * 100.0
+    };
+    let kept = total_elements
+        .saturating_sub(duplicate_element_savings)
+        .saturating_sub(prefix_shared_elements)
+        .max(1);
+    let headroom_factor = if total_elements == 0 {
+        1.0
+    } else {
+        total_elements as f64 / kept as f64
+    };
+
+    let vectors_per_board = ctx.map(|c| c.vectors_per_board);
+    let projected_vectors_per_board =
+        vectors_per_board.map(|v| (v as f64 * headroom_factor) as usize);
+
+    if duplicate_components > 0 {
+        out.push(
+            "duplicate-macros",
+            Severity::Info,
+            Vec::new(),
+            format!(
+                "{duplicate_components} of {components} macros ({duplicate_macro_pct:.1}%) are \
+                 canonical duplicates; sharing them frees {duplicate_element_savings} elements"
+            ),
+        );
+    }
+    if prefix_shared_elements > 0 {
+        out.push(
+            "shared-prefix",
+            Severity::Info,
+            Vec::new(),
+            format!(
+                "merging common prefixes across {distinct_components} distinct macros would \
+                 share {prefix_shared_elements} elements (headroom factor {headroom_factor:.2})"
+            ),
+        );
+    }
+
+    let summary = RedundancySummary {
+        components,
+        distinct_components,
+        duplicate_components,
+        duplicate_macro_pct,
+        duplicate_element_savings,
+        prefix_shared_elements,
+        suffix_shared_elements,
+        total_elements,
+        headroom_factor,
+        vectors_per_board,
+        projected_vectors_per_board,
+    };
+    (summary, out.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::{AutomataNetwork, StartKind, SymbolClass};
+
+    fn chain(net: &mut AutomataNetwork, tag: &str, symbols: &[u8], code: u32) {
+        let mut prev = net.add_ste(
+            format!("{tag}0"),
+            SymbolClass::single(symbols[0]),
+            StartKind::AllInput,
+            None,
+        );
+        for (i, &s) in symbols.iter().enumerate().skip(1) {
+            let n = net.add_ste(
+                format!("{tag}{i}"),
+                SymbolClass::single(s),
+                StartKind::None,
+                (i == symbols.len() - 1).then_some(code),
+            );
+            net.connect(prev, n).unwrap();
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn identical_macros_with_different_report_codes_are_duplicates() {
+        let mut net = AutomataNetwork::new();
+        chain(&mut net, "a", b"cat", 1);
+        chain(&mut net, "b", b"cat", 2);
+        chain(&mut net, "c", b"dog", 3);
+        let (summary, findings) = redundancy_pass(&net, None);
+        assert_eq!(summary.components, 3);
+        assert_eq!(summary.distinct_components, 2);
+        assert_eq!(summary.duplicate_components, 1);
+        assert_eq!(summary.duplicate_element_savings, 3);
+        assert!((summary.duplicate_macro_pct - 100.0 / 3.0).abs() < 1e-6);
+        assert!(summary.headroom_factor > 1.0);
+        assert!(findings.iter().any(|f| f.code == "duplicate-macros"));
+    }
+
+    #[test]
+    fn shared_prefixes_are_measured_across_distinct_macros() {
+        let mut net = AutomataNetwork::new();
+        chain(&mut net, "a", b"cart", 1);
+        chain(&mut net, "b", b"carp", 2);
+        let (summary, findings) = redundancy_pass(&net, None);
+        assert_eq!(summary.duplicate_components, 0);
+        // "car" differs only at the report bit on the last element: the
+        // shared spine prefix is c-a-r = 3 elements.
+        assert_eq!(summary.prefix_shared_elements, 3);
+        assert!(findings.iter().any(|f| f.code == "shared-prefix"));
+        let json = summary.to_json();
+        assert!(json.contains("\"prefix_shared_elements\":3"));
+        assert!(json.contains("\"vectors_per_board\":null"));
+    }
+
+    #[test]
+    fn suffixes_share_under_reversal() {
+        let mut net = AutomataNetwork::new();
+        chain(&mut net, "a", b"stung", 1);
+        chain(&mut net, "b", b"flung", 1);
+        let (summary, _) = redundancy_pass(&net, None);
+        // Reporting tails match: u-n-g plus the report element descriptor
+        // boundary — "ung" = 3 shared elements.
+        assert_eq!(summary.suffix_shared_elements, 3);
+        assert_eq!(summary.prefix_shared_elements, 0);
+    }
+
+    #[test]
+    fn capacity_context_projects_vectors_per_board() {
+        let mut net = AutomataNetwork::new();
+        chain(&mut net, "a", b"zip", 1);
+        chain(&mut net, "b", b"zip", 2);
+        let ctx = CapacityContext {
+            stes_per_macro: 3,
+            vectors_per_board: 100,
+        };
+        let (summary, _) = redundancy_pass(&net, Some(&ctx));
+        assert_eq!(summary.vectors_per_board, Some(100));
+        let projected = summary.projected_vectors_per_board.unwrap();
+        assert!(projected >= 150, "projected = {projected}");
+    }
+
+    #[test]
+    fn empty_network_is_harmless() {
+        let net = AutomataNetwork::new();
+        let (summary, findings) = redundancy_pass(&net, None);
+        assert_eq!(summary.components, 0);
+        assert_eq!(summary.headroom_factor, 1.0);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Pass 3 — resource and capacity profiling.
+//!
+//! Summarizes what the network costs on a Gen-1 board: element counts by
+//! kind, connected components, power-of-two fan-in/fan-out histograms, and a
+//! [`Placer`] placement (block/STE utilization, routing pressure). When the
+//! caller supplies a [`CapacityContext`] — the design-side expectations from
+//! the kNN capacity calculator — the pass reconciles the observed network
+//! against them and flags disagreements.
+
+use crate::finding::{json_f64, Finding, FindingSink, Severity};
+use ap_sim::{AutomataNetwork, DeviceConfig, PlacementReport, Placer};
+
+/// Design-side expectations to reconcile the observed network against.
+///
+/// `ap-analyze` cannot depend on `ap-knn` (the engine depends on the
+/// analyzer for its strict-mode gate), so callers inject the calculator's
+/// numbers instead of the analyzer reading them itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityContext {
+    /// STEs one vector macro is designed to occupy.
+    pub stes_per_macro: usize,
+    /// Vector macros the capacity calculator says fit on one board.
+    pub vectors_per_board: usize,
+}
+
+/// Measured resource profile of one network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceSummary {
+    /// STE count.
+    pub stes: usize,
+    /// Counter count.
+    pub counters: usize,
+    /// Boolean gate count.
+    pub booleans: usize,
+    /// Reporting element count.
+    pub reporting: usize,
+    /// Connected components (independent NFAs).
+    pub components: usize,
+    /// Largest fan-in of any element.
+    pub max_fan_in: usize,
+    /// Largest fan-out of any element.
+    pub max_fan_out: usize,
+    /// Power-of-two fan-in histogram: bucket 0 counts fan-in 0, bucket `k`
+    /// counts fan-in in `[2^(k-1), 2^k)`.
+    pub fan_in_hist: Vec<u64>,
+    /// Power-of-two fan-out histogram, same bucketing.
+    pub fan_out_hist: Vec<u64>,
+    /// The most common component STE size (the macro footprint in practice).
+    pub modal_component_stes: usize,
+    /// Placement on the target device, if the design fits.
+    pub placement: Option<PlacementReport>,
+}
+
+impl ResourceSummary {
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let hist = |h: &[u64]| {
+            let xs: Vec<String> = h.iter().map(u64::to_string).collect();
+            format!("[{}]", xs.join(","))
+        };
+        let placement = match &self.placement {
+            Some(p) => format!(
+                "{{\"blocks_used\":{},\"half_cores_used\":{},\"block_utilization\":{},\
+                 \"ste_utilization\":{},\"routing_pressure\":{}}}",
+                p.blocks_used,
+                p.half_cores_used,
+                json_f64(p.block_utilization),
+                json_f64(p.ste_utilization),
+                json_f64(p.routing_pressure),
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"stes\":{},\"counters\":{},\"booleans\":{},\"reporting\":{},\
+             \"components\":{},\"max_fan_in\":{},\"max_fan_out\":{},\
+             \"modal_component_stes\":{},\"fan_in_hist\":{},\"fan_out_hist\":{},\
+             \"placement\":{}}}",
+            self.stes,
+            self.counters,
+            self.booleans,
+            self.reporting,
+            self.components,
+            self.max_fan_in,
+            self.max_fan_out,
+            self.modal_component_stes,
+            hist(&self.fan_in_hist),
+            hist(&self.fan_out_hist),
+            placement,
+        )
+    }
+}
+
+/// Bucket index for a power-of-two histogram: 0 → 0, and `k` for values in
+/// `[2^(k-1), 2^k)`.
+fn bucket(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        usize::BITS as usize - n.leading_zeros() as usize
+    }
+}
+
+/// Runs the resource pass over `net` for `device`.
+pub fn resource_pass(
+    net: &AutomataNetwork,
+    device: &DeviceConfig,
+    ctx: Option<&CapacityContext>,
+) -> (ResourceSummary, Vec<Finding>) {
+    let mut out = FindingSink::new("resource");
+    let stats = net.stats();
+
+    let mut fan_in_hist = Vec::new();
+    let mut fan_out_hist = Vec::new();
+    for e in net.elements() {
+        let bi = bucket(net.predecessors(e.id).len());
+        let bo = bucket(net.successors(e.id).len());
+        if fan_in_hist.len() <= bi {
+            fan_in_hist.resize(bi + 1, 0);
+        }
+        if fan_out_hist.len() <= bo {
+            fan_out_hist.resize(bo + 1, 0);
+        }
+        fan_in_hist[bi] += 1;
+        fan_out_hist[bo] += 1;
+    }
+
+    let placer = Placer::new(*device);
+    let demands = placer.component_demands(net);
+    let components = demands.len();
+
+    // Modal component STE size: the macro footprint as actually constructed.
+    let mut sizes: Vec<usize> = demands.iter().map(|d| d.stes).collect();
+    sizes.sort_unstable();
+    let modal_component_stes = {
+        let mut best = (0usize, 0usize);
+        let mut i = 0;
+        while i < sizes.len() {
+            let j = sizes[i..].iter().take_while(|&&s| s == sizes[i]).count();
+            if j > best.1 {
+                best = (sizes[i], j);
+            }
+            i += j;
+        }
+        best.0
+    };
+
+    let placement = match placer.place(net) {
+        Ok(p) => {
+            if p.routing_pressure >= 1.0 {
+                out.push(
+                    "routing-pressure",
+                    Severity::Warn,
+                    Vec::new(),
+                    format!(
+                        "routing-pressure heuristic saturated (max fan-in {}, fan-out {}): \
+                         the Gen-1 toolchain would likely place but not fully route this design",
+                        stats.max_fan_in, stats.max_fan_out
+                    ),
+                );
+            }
+            Some(p)
+        }
+        Err(e) => {
+            out.push(
+                "placement-failed",
+                Severity::Warn,
+                Vec::new(),
+                format!("design does not place on the target device: {e}"),
+            );
+            None
+        }
+    };
+
+    if let Some(ctx) = ctx {
+        if modal_component_stes > ctx.stes_per_macro {
+            out.push(
+                "macro-size-mismatch",
+                Severity::Warn,
+                Vec::new(),
+                format!(
+                    "modal component uses {} STEs but the design calculator budgets {} per \
+                     vector macro",
+                    modal_component_stes, ctx.stes_per_macro
+                ),
+            );
+        }
+        if components > ctx.vectors_per_board {
+            out.push(
+                "board-overcommit",
+                Severity::Warn,
+                Vec::new(),
+                format!(
+                    "network holds {} components but the capacity calculator allows {} \
+                     vectors per board",
+                    components, ctx.vectors_per_board
+                ),
+            );
+        }
+    }
+
+    let summary = ResourceSummary {
+        stes: stats.stes,
+        counters: stats.counters,
+        booleans: stats.booleans,
+        reporting: stats.reporting,
+        components,
+        max_fan_in: stats.max_fan_in,
+        max_fan_out: stats.max_fan_out,
+        fan_in_hist,
+        fan_out_hist,
+        modal_component_stes,
+        placement,
+    };
+    (summary, out.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::{StartKind, SymbolClass};
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(7), 3);
+        assert_eq!(bucket(8), 4);
+    }
+
+    fn chain(net: &mut AutomataNetwork, tag: &str, len: usize, code: u32) {
+        let mut prev = net.add_ste(
+            format!("{tag}0"),
+            SymbolClass::any(),
+            StartKind::AllInput,
+            None,
+        );
+        for i in 1..len {
+            let n = net.add_ste(
+                format!("{tag}{i}"),
+                SymbolClass::any(),
+                StartKind::None,
+                if i == len - 1 { Some(code) } else { None },
+            );
+            net.connect(prev, n).unwrap();
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_places() {
+        let mut net = AutomataNetwork::new();
+        chain(&mut net, "a", 4, 1);
+        chain(&mut net, "b", 4, 2);
+        chain(&mut net, "c", 6, 3);
+        let (summary, findings) = resource_pass(&net, &DeviceConfig::gen1(), None);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+        assert_eq!(summary.stes, 14);
+        assert_eq!(summary.components, 3);
+        assert_eq!(summary.modal_component_stes, 4);
+        let p = summary.placement.as_ref().expect("fits easily");
+        assert!(p.fits());
+        // Histograms cover every element: 3 heads with fan-in 0, 11 with 1.
+        assert_eq!(summary.fan_in_hist[0], 3);
+        assert_eq!(summary.fan_in_hist[1], 11);
+        let json = summary.to_json();
+        assert!(json.contains("\"components\":3"));
+        assert!(json.contains("\"placement\":{"));
+    }
+
+    #[test]
+    fn capacity_context_flags_overcommit_and_macro_size() {
+        let mut net = AutomataNetwork::new();
+        chain(&mut net, "a", 5, 1);
+        chain(&mut net, "b", 5, 2);
+        chain(&mut net, "c", 5, 3);
+        let ctx = CapacityContext {
+            stes_per_macro: 4,
+            vectors_per_board: 2,
+        };
+        let (_, findings) = resource_pass(&net, &DeviceConfig::gen1(), Some(&ctx));
+        assert!(findings.iter().any(|f| f.code == "macro-size-mismatch"));
+        assert!(findings.iter().any(|f| f.code == "board-overcommit"));
+        assert!(findings.iter().all(|f| f.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn saturated_fan_in_warns_about_routing() {
+        let mut net = AutomataNetwork::new();
+        let col = net.add_ste("col", SymbolClass::any(), StartKind::AllInput, Some(0));
+        for i in 0..100 {
+            let s = net.add_ste(
+                format!("s{i}"),
+                SymbolClass::any(),
+                StartKind::AllInput,
+                None,
+            );
+            net.connect(s, col).unwrap();
+        }
+        let (summary, findings) = resource_pass(&net, &DeviceConfig::gen1(), None);
+        assert!(findings.iter().any(|f| f.code == "routing-pressure"));
+        assert_eq!(summary.max_fan_in, 100);
+    }
+}

@@ -1,0 +1,435 @@
+//! Pass 2 — translation validation.
+//!
+//! Cross-checks a [`CompiledNetwork`] image against its source
+//! [`AutomataNetwork`], element by element and edge by edge, without
+//! executing either. The expected side is rebuilt here from the network
+//! definition alone (the documented lowering rules of
+//! [`ap_sim::compiled`]), so the check is independent of the compiler's
+//! own bookkeeping:
+//!
+//! * element count and reporting count;
+//! * per-element symbol masks (all-zero for non-STEs) and report codes;
+//! * the counter slot table — ascending element order, thresholds, per-cycle
+//!   increment caps, latch flags, and the element → slot back-map;
+//! * the boolean slot table — ascending element order, functions, and
+//!   activation-port predecessors in connection order;
+//! * the 256-entry symbol index (dense bitsets decoded back to lists) against
+//!   the `AllInput` STEs whose mask contains each symbol, plus the
+//!   `StartOfData` list;
+//! * the CSR successor edges of every element, in connection order, after
+//!   applying the compiler's drop rule (activation edges into boolean gates
+//!   are elided because gates pull their inputs).
+//!
+//! Every mismatch is a [`Severity::Error`] finding: a compiled image that
+//! disagrees with its source network would silently corrupt search results.
+
+use crate::finding::{Finding, FindingSink, Severity};
+use ap_sim::network::ConnectPort;
+use ap_sim::{AutomataNetwork, CompiledEdge, CompiledNetwork, CounterMode, ElementKind, StartKind};
+
+/// Runs translation validation of `compiled` against `net`.
+pub fn transval_pass(net: &AutomataNetwork, compiled: &CompiledNetwork) -> Vec<Finding> {
+    let mut out = FindingSink::new("translation");
+    let view = compiled.view();
+
+    if view.len() != net.len() {
+        out.push(
+            "element-count-mismatch",
+            Severity::Error,
+            Vec::new(),
+            format!(
+                "compiled image has {} elements, source network has {}",
+                view.len(),
+                net.len()
+            ),
+        );
+        // Nothing else is meaningfully comparable.
+        return out.finish();
+    }
+
+    let expected_reporting = net.elements().iter().filter(|e| e.is_reporting()).count();
+    if view.reporting_count() != expected_reporting {
+        out.push(
+            "reporting-count-mismatch",
+            Severity::Error,
+            Vec::new(),
+            format!(
+                "compiled image records {} reporting elements, source has {}",
+                view.reporting_count(),
+                expected_reporting
+            ),
+        );
+    }
+
+    // Expected slot tables, rebuilt in the compiler's documented order
+    // (ascending element id).
+    let mut expected_counters: Vec<usize> = Vec::new();
+    let mut expected_booleans: Vec<usize> = Vec::new();
+    let mut expected_sod: Vec<u32> = Vec::new();
+    let mut per_symbol: Vec<Vec<u32>> = vec![Vec::new(); 256];
+
+    for e in net.elements() {
+        let idx = e.id.index();
+
+        // Per-element symbol mask and report code.
+        let expected_mask = match &e.kind {
+            ElementKind::Ste { symbols, .. } => symbols.to_words(),
+            _ => [0u64; 4],
+        };
+        if view.symbol_mask(idx) != expected_mask {
+            out.push(
+                "symbol-mask-mismatch",
+                Severity::Error,
+                vec![idx],
+                format!(
+                    "element {} ('{}'): compiled symbol mask differs from the source class",
+                    idx, e.label
+                ),
+            );
+        }
+        if view.report_code(idx) != e.report_code() {
+            out.push(
+                "report-code-mismatch",
+                Severity::Error,
+                vec![idx],
+                format!(
+                    "element {} ('{}'): compiled report code {:?}, source {:?}",
+                    idx,
+                    e.label,
+                    view.report_code(idx),
+                    e.report_code()
+                ),
+            );
+        }
+
+        match &e.kind {
+            ElementKind::Ste { symbols, start, .. } => {
+                match start {
+                    StartKind::AllInput => {
+                        let words = symbols.to_words();
+                        for (wi, &word) in words.iter().enumerate() {
+                            let mut bits = word;
+                            while bits != 0 {
+                                let s = (wi << 6) | bits.trailing_zeros() as usize;
+                                per_symbol[s].push(idx as u32);
+                                bits &= bits - 1;
+                            }
+                        }
+                    }
+                    StartKind::StartOfData => expected_sod.push(idx as u32),
+                    StartKind::None => {}
+                }
+                if view.counter_slot(idx).is_some() {
+                    out.push(
+                        "slot-kind-mismatch",
+                        Severity::Error,
+                        vec![idx],
+                        format!(
+                            "STE {} ('{}') has a counter slot in the image",
+                            idx, e.label
+                        ),
+                    );
+                }
+            }
+            ElementKind::Counter { .. } => {
+                let expected_slot = expected_counters.len() as u32;
+                expected_counters.push(idx);
+                if view.counter_slot(idx) != Some(expected_slot) {
+                    out.push(
+                        "counter-slot-mismatch",
+                        Severity::Error,
+                        vec![idx],
+                        format!(
+                            "counter {} ('{}'): image maps it to slot {:?}, expected {}",
+                            idx,
+                            e.label,
+                            view.counter_slot(idx),
+                            expected_slot
+                        ),
+                    );
+                }
+            }
+            ElementKind::Boolean { .. } => {
+                expected_booleans.push(idx);
+                if view.counter_slot(idx).is_some() {
+                    out.push(
+                        "slot-kind-mismatch",
+                        Severity::Error,
+                        vec![idx],
+                        format!(
+                            "boolean gate {} ('{}') has a counter slot in the image",
+                            idx, e.label
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Counter slot table.
+    if view.counter_count() != expected_counters.len() {
+        out.push(
+            "counter-table-mismatch",
+            Severity::Error,
+            Vec::new(),
+            format!(
+                "image has {} counter slots, source has {} counters",
+                view.counter_count(),
+                expected_counters.len()
+            ),
+        );
+    }
+    for (slot, &idx) in expected_counters
+        .iter()
+        .enumerate()
+        .take(view.counter_count())
+    {
+        let info = view.counter(slot);
+        let e = &net.elements()[idx];
+        if let ElementKind::Counter {
+            threshold,
+            mode,
+            max_increment_per_cycle,
+            ..
+        } = &e.kind
+        {
+            let expected_latch = *mode == CounterMode::Latch;
+            if info.element != idx as u32
+                || info.threshold != *threshold
+                || info.max_increment_per_cycle != *max_increment_per_cycle
+                || info.latch != expected_latch
+            {
+                out.push(
+                    "counter-table-mismatch",
+                    Severity::Error,
+                    vec![idx],
+                    format!(
+                        "counter slot {slot}: image (element {}, threshold {}, max_inc {}, \
+                         latch {}) vs source (element {}, threshold {}, max_inc {}, latch {})",
+                        info.element,
+                        info.threshold,
+                        info.max_increment_per_cycle,
+                        info.latch,
+                        idx,
+                        threshold,
+                        max_increment_per_cycle,
+                        expected_latch
+                    ),
+                );
+            }
+        }
+    }
+
+    // Boolean slot table: ascending element order, functions, activation-port
+    // predecessors in connection order.
+    if view.boolean_count() != expected_booleans.len() {
+        out.push(
+            "boolean-table-mismatch",
+            Severity::Error,
+            Vec::new(),
+            format!(
+                "image has {} boolean slots, source has {} gates",
+                view.boolean_count(),
+                expected_booleans.len()
+            ),
+        );
+    }
+    for (slot, &idx) in expected_booleans
+        .iter()
+        .enumerate()
+        .take(view.boolean_count())
+    {
+        let info = view.boolean(slot);
+        let e = &net.elements()[idx];
+        if let ElementKind::Boolean { function, .. } = &e.kind {
+            let expected_preds: Vec<u32> = net
+                .predecessors(e.id)
+                .iter()
+                .filter(|(_, port)| *port == ConnectPort::Activation)
+                .map(|(p, _)| p.index() as u32)
+                .collect();
+            if info.element != idx as u32
+                || info.function != *function
+                || info.predecessors != expected_preds.as_slice()
+            {
+                out.push(
+                    "boolean-table-mismatch",
+                    Severity::Error,
+                    vec![idx],
+                    format!(
+                        "boolean slot {slot}: image (element {}, {:?}, preds {:?}) vs source \
+                         (element {}, {:?}, preds {:?})",
+                        info.element,
+                        info.function,
+                        info.predecessors,
+                        idx,
+                        function,
+                        expected_preds
+                    ),
+                );
+            }
+        }
+    }
+
+    // Start lists and the 256-entry symbol index.
+    if view.start_of_data() != expected_sod.as_slice() {
+        out.push(
+            "start-of-data-mismatch",
+            Severity::Error,
+            Vec::new(),
+            format!(
+                "image StartOfData list {:?} differs from source {:?}",
+                view.start_of_data(),
+                expected_sod
+            ),
+        );
+    }
+    for sym in 0u16..256 {
+        let s = sym as u8;
+        let got = view.symbol_candidates(s);
+        if got != per_symbol[sym as usize] {
+            out.push(
+                "symbol-index-mismatch",
+                Severity::Error,
+                Vec::new(),
+                format!(
+                    "symbol {:#04x}{}: image indexes start STEs {:?}, source defines {:?}",
+                    s,
+                    if view.symbol_is_dense(s) {
+                        " (dense)"
+                    } else {
+                        ""
+                    },
+                    got,
+                    per_symbol[sym as usize]
+                ),
+            );
+        }
+    }
+
+    // CSR successor edges, in connection order, applying the drop rule.
+    let counter_slot_of = |idx: usize| {
+        expected_counters
+            .iter()
+            .position(|&c| c == idx)
+            .map(|s| s as u32)
+    };
+    for e in net.elements() {
+        let idx = e.id.index();
+        let mut expected: Vec<CompiledEdge> = Vec::new();
+        for (t, port) in net.successors(e.id) {
+            let target = t.index();
+            match port {
+                ConnectPort::Activation => {
+                    if net.elements()[target].is_ste() {
+                        expected.push(CompiledEdge::ActivateSte {
+                            target: target as u32,
+                        });
+                    }
+                }
+                ConnectPort::CountEnable => {
+                    if let Some(slot) = counter_slot_of(target) {
+                        expected.push(CompiledEdge::CountEnable { slot });
+                    }
+                }
+                ConnectPort::CountReset => {
+                    if let Some(slot) = counter_slot_of(target) {
+                        expected.push(CompiledEdge::CountReset { slot });
+                    }
+                }
+            }
+        }
+        let got = view.successor_edges(idx);
+        if got != expected {
+            out.push(
+                "successor-edge-mismatch",
+                Severity::Error,
+                vec![idx],
+                format!(
+                    "element {} ('{}'): image successor edges {:?} differ from source \
+                     connections {:?}",
+                    idx, e.label, got, expected
+                ),
+            );
+        }
+    }
+
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_sim::{AutomataNetwork, BooleanFunction, StartKind, SymbolClass};
+
+    fn sample_network() -> AutomataNetwork {
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::single(b'a'), StartKind::AllInput, None);
+        let b = net.add_ste("b", SymbolClass::range(b'a', b'z'), StartKind::None, None);
+        net.connect(a, b).unwrap();
+        let c = net.add_counter("c", 2, ap_sim::CounterMode::Pulse, Some(7));
+        net.connect_port(b, c, ConnectPort::CountEnable).unwrap();
+        net.connect_port(a, c, ConnectPort::CountReset).unwrap();
+        let sod = net.add_ste("sod", SymbolClass::any(), StartKind::StartOfData, None);
+        let g = net.add_boolean("g", BooleanFunction::Or, Some(9));
+        net.connect(sod, g).unwrap();
+        net.connect(b, g).unwrap();
+        net
+    }
+
+    #[test]
+    fn clean_image_validates() {
+        let net = sample_network();
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        assert!(transval_pass(&net, &compiled).is_empty());
+    }
+
+    #[test]
+    fn corrupted_successor_edge_is_detected() {
+        let net = sample_network();
+        let mut compiled = CompiledNetwork::compile(&net).unwrap();
+        // Element 1 ('b') has edges [CountEnable{0}]; flip it to a reset.
+        compiled
+            .inject_successor_fault(1, 0, CompiledEdge::CountReset { slot: 0 })
+            .unwrap();
+        let fs = transval_pass(&net, &compiled);
+        let f = fs
+            .iter()
+            .find(|f| f.code == "successor-edge-mismatch")
+            .expect("edge mismatch finding");
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.elements, vec![1]);
+    }
+
+    #[test]
+    fn wrong_source_network_is_detected_wholesale() {
+        let net = sample_network();
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        // Validate against a *different* network with the same element count.
+        let mut other = AutomataNetwork::new();
+        for i in 0..net.len() {
+            other.add_ste(
+                format!("x{i}"),
+                SymbolClass::single(b'q'),
+                StartKind::AllInput,
+                None,
+            );
+        }
+        let fs = transval_pass(&other, &compiled);
+        assert!(fs.iter().all(|f| f.severity == Severity::Error));
+        assert!(fs.iter().any(|f| f.code == "symbol-mask-mismatch"));
+        assert!(fs.iter().any(|f| f.code == "counter-table-mismatch"));
+        assert!(fs.iter().any(|f| f.code == "symbol-index-mismatch"));
+    }
+
+    #[test]
+    fn element_count_mismatch_short_circuits() {
+        let net = sample_network();
+        let compiled = CompiledNetwork::compile(&net).unwrap();
+        let mut small = AutomataNetwork::new();
+        small.add_ste("only", SymbolClass::any(), StartKind::AllInput, None);
+        let fs = transval_pass(&small, &compiled);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].code, "element-count-mismatch");
+    }
+}

@@ -35,6 +35,17 @@ impl SymbolAlphabet {
         u8::from(bit)
     }
 
+    /// A symbol that never appears in any encoded stream: it has the top bit
+    /// set (so it is outside the single-query and multiplexed data-symbol
+    /// spaces) and differs from every control symbol. Match states that must
+    /// *never* fire (the Jaccard design's 0-bit dimensions) carry this symbol
+    /// instead of an empty class, which `AutomataNetwork::validate` rejects.
+    pub fn never_symbol(&self) -> u8 {
+        (0x80u8..=0xFF)
+            .find(|&s| s != self.sof && s != self.eof && s != self.filler)
+            .expect("three control symbols cannot cover the 128-value top-bit space")
+    }
+
     /// Checks that the three control symbols are distinct and cannot collide with
     /// multiplexed data symbols (which use only the low seven bits).
     pub fn validate(&self) -> Result<(), String> {

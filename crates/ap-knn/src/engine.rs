@@ -88,6 +88,7 @@ pub struct ApKnnEngine {
     planner: ExecutionPlanner,
     throughput: ThroughputModel,
     parallelism: usize,
+    strict_analysis: bool,
 }
 
 impl ApKnnEngine {
@@ -102,7 +103,25 @@ impl ApKnnEngine {
             planner: ExecutionPlanner::Fixed(ExecutionMode::CycleAccurate),
             throughput: ThroughputModel::PaperPipelined,
             parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            strict_analysis: false,
         }
+    }
+
+    /// Enables (or disables) strict static analysis: every compiled board
+    /// image — including the delta segments a live engine compiles
+    /// incrementally — is cross-checked against its source network by the
+    /// `ap-analyze` translation validator before it is used. A mis-translated
+    /// image surfaces as [`SearchError::Backend`] at compile time instead of
+    /// silently corrupted neighbors. Costs one extra structural pass per
+    /// compile; streaming cost is unchanged.
+    pub fn with_strict_analysis(mut self, strict: bool) -> Self {
+        self.strict_analysis = strict;
+        self
+    }
+
+    /// Whether strict static analysis of compiled board images is enabled.
+    pub fn strict_analysis(&self) -> bool {
+        self.strict_analysis
     }
 
     /// Overrides the board capacity model.

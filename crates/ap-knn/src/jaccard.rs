@@ -9,7 +9,8 @@
 //! The automata design reuses the Hamming/sorting macro of [`crate::macros`]
 //! unchanged except for the match-state symbol classes: the match state of
 //! dimension *i* activates only when the *encoded* bit is 1 **and** the streamed
-//! query bit is 1, so the counter accumulates the **intersection size**
+//! query bit is 1 (0-bit dimensions match a reserved symbol the encoder never
+//! emits), so the counter accumulates the **intersection size**
 //! `|x ∩ q|` instead of the inverted Hamming distance. The temporal sort then
 //! reports vectors in order of decreasing intersection, and the report offset
 //! decodes to `d − |x ∩ q|` through the same [`StreamLayout`] arithmetic.
@@ -59,13 +60,15 @@ impl JaccardNeighbor {
 }
 
 /// Symbol class for a Jaccard match state: dimensions encoded as 1 match the query
-/// symbol `1`; dimensions encoded as 0 never match (their STE carries the empty
-/// class, contributing nothing to the intersection counter).
+/// symbol `1`; dimensions encoded as 0 never match — their STE carries the
+/// alphabet's reserved never-streamed symbol (an empty class would be rejected by
+/// `AutomataNetwork::validate` as a can-never-match construction bug), so they
+/// contribute nothing to the intersection counter.
 fn jaccard_symbols(design: &KnnDesign, bit: bool) -> SymbolClass {
     if bit {
         SymbolClass::single(design.alphabet.data_symbol(true))
     } else {
-        SymbolClass::empty()
+        SymbolClass::single(design.alphabet.never_symbol())
     }
 }
 

@@ -48,6 +48,7 @@
 //! * [`plan`] — the frontier-aware auto execution planner (cycle-accurate vs
 //!   behavioural from fabric size × stream length, calibrated on `BENCH_sim.json`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -156,6 +156,8 @@ pub(crate) struct PreparedBoards {
     layout: StreamLayout,
     partitions: Vec<DatasetPartition>,
     dataset_len: usize,
+    /// Run the `ap-analyze` translation validator over every compiled image.
+    strict_analysis: bool,
     /// Compiled board images, built on the first cycle-accurate run.
     images: OnceLock<Result<Vec<BoardImage>, SearchError>>,
     /// Shared execution-scratch pool; clones of a preparation share it.
@@ -172,6 +174,7 @@ impl PreparedBoards {
         design: KnnDesign,
         data: &BinaryDataset,
         vectors_per_board: usize,
+        strict_analysis: bool,
     ) -> Result<Self, SearchError> {
         if design.dims == 0 {
             return Err(SearchError::ZeroDims);
@@ -187,6 +190,7 @@ impl PreparedBoards {
             layout: StreamLayout::for_design(&design),
             partitions: data.partition(vectors_per_board.max(1)),
             dataset_len: data.len(),
+            strict_analysis,
             images: OnceLock::new(),
             pool: Arc::new(ScratchPool::default()),
         })
@@ -327,7 +331,11 @@ impl PreparedBoards {
     }
 
     /// The compiled board images, building every [`PartitionNetwork`] and
-    /// compiling its sparse-frontier core on first use.
+    /// compiling its sparse-frontier core on first use. With strict analysis
+    /// enabled, every compiled image is cross-checked against its source
+    /// network by the `ap-analyze` translation validator before it is cached
+    /// — a mis-translation becomes a hard [`SearchError::Backend`] instead of
+    /// silently corrupted search results.
     pub(crate) fn images(&self) -> Result<&[BoardImage], SearchError> {
         self.images
             .get_or_init(|| {
@@ -341,6 +349,18 @@ impl PreparedBoards {
                                 reason: e.to_string(),
                             }
                         })?;
+                        if self.strict_analysis {
+                            ap_analyze::verify_compilation(&pn.network, &compiled).map_err(
+                                |reason| SearchError::Backend {
+                                    backend: "ap-knn".to_string(),
+                                    reason: format!(
+                                        "strict analysis rejected the board image at base \
+                                         index {}: {reason}",
+                                        partition.base_index
+                                    ),
+                                },
+                            )?;
+                        }
                         Ok(BoardImage {
                             base_index: partition.base_index,
                             compiled,
@@ -368,8 +388,12 @@ pub struct PreparedEngine {
 
 impl PreparedEngine {
     pub(crate) fn new(engine: ApKnnEngine, data: &BinaryDataset) -> Result<Self, SearchError> {
-        let boards =
-            PreparedBoards::new(*engine.design(), data, engine.capacity().vectors_per_board)?;
+        let boards = PreparedBoards::new(
+            *engine.design(),
+            data,
+            engine.capacity().vectors_per_board,
+            engine.strict_analysis(),
+        )?;
         Ok(Self { engine, boards })
     }
 
@@ -628,6 +652,28 @@ mod tests {
             .unwrap();
         prepared.compile().unwrap();
         assert!(prepared.is_compiled());
+    }
+
+    #[test]
+    fn strict_analysis_accepts_healthy_images_and_matches_plain_results() {
+        let dims = 10;
+        let data = uniform_dataset(25, dims, 79);
+        let plain = ApKnnEngine::new(KnnDesign::new(dims)).with_capacity(tiny_capacity(7));
+        let strict = plain.clone().with_strict_analysis(true);
+        assert!(strict.strict_analysis());
+        let prepared = strict.prepare(&data).unwrap();
+        prepared
+            .compile()
+            .expect("validator accepts healthy images");
+        let queries = uniform_queries(3, dims, 80);
+        let options = QueryOptions::top(4);
+        let a = plain
+            .prepare(&data)
+            .unwrap()
+            .try_search_batch(&queries, &options)
+            .unwrap();
+        let b = prepared.try_search_batch(&queries, &options).unwrap();
+        assert_eq!(a, b, "strict analysis must not change results");
     }
 
     #[test]

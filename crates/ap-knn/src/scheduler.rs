@@ -62,6 +62,7 @@ pub struct ParallelApScheduler {
     design: KnnDesign,
     capacity: BoardCapacity,
     workers: usize,
+    strict_analysis: bool,
 }
 
 impl ParallelApScheduler {
@@ -72,7 +73,15 @@ impl ParallelApScheduler {
             capacity: BoardCapacity::paper_calibrated(design.dims),
             design,
             workers: 4,
+            strict_analysis: false,
         }
+    }
+
+    /// Enables strict static analysis of every compiled board image (see
+    /// [`crate::engine::ApKnnEngine::with_strict_analysis`]).
+    pub fn with_strict_analysis(mut self, strict: bool) -> Self {
+        self.strict_analysis = strict;
+        self
     }
 
     /// Overrides the number of worker threads (simulated boards).
@@ -111,7 +120,12 @@ impl ParallelApScheduler {
     /// [`SearchError::DimMismatch`] when the dataset disagrees with it.
     pub fn prepare(&self, data: &BinaryDataset) -> Result<PreparedSchedule, SearchError> {
         Ok(PreparedSchedule {
-            boards: PreparedBoards::new(self.design, data, self.capacity.vectors_per_board)?,
+            boards: PreparedBoards::new(
+                self.design,
+                data,
+                self.capacity.vectors_per_board,
+                self.strict_analysis,
+            )?,
             scheduler: self.clone(),
         })
     }

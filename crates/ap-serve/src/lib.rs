@@ -77,6 +77,7 @@
 //! assert!(responses.iter().all(|r| r.neighbors.len() == 5));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

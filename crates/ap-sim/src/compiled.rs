@@ -616,6 +616,44 @@ impl CompiledNetwork {
         }
     }
 
+    /// Returns a read-only structural view of the compiled image for static
+    /// inspection (the `ap-analyze` translation validator cross-checks every
+    /// table exposed here against the source network).
+    pub fn view(&self) -> CompiledNetworkView<'_> {
+        CompiledNetworkView { net: self }
+    }
+
+    /// Fault-injection hook for validator tests: overwrites one CSR successor
+    /// edge of `element` with `edge`, returning the edge it replaced.
+    ///
+    /// This deliberately breaks the compiled image — it exists so that tests
+    /// of the translation validator can prove a mutated image is *rejected*.
+    /// Never call it on an image that will be executed.
+    pub fn inject_successor_fault(
+        &mut self,
+        element: usize,
+        edge_index: usize,
+        edge: CompiledEdge,
+    ) -> ApResult<CompiledEdge> {
+        let lo = *self
+            .succ_off
+            .get(element)
+            .ok_or(ApError::UnknownElement { id: element })? as usize;
+        let hi = self.succ_off[element + 1] as usize;
+        if edge_index >= hi - lo {
+            return Err(ApError::Simulation {
+                reason: format!(
+                    "element {element} has {} successor edges, no index {edge_index}",
+                    hi - lo
+                ),
+            });
+        }
+        let slot = &mut self.succ[lo + edge_index];
+        let old = CompiledEdge::unpack(*slot);
+        *slot = edge.pack();
+        Ok(old)
+    }
+
     /// Snapshots `st` into the reference stepper's element-indexed layout:
     /// `(prev_active, counts, fired)`, each of length [`Self::len`].
     pub(crate) fn export_state(&self, st: &CompiledState) -> (Vec<bool>, Vec<u32>, Vec<bool>) {
@@ -657,6 +695,192 @@ impl CompiledNetwork {
             }
         }
         st.cycle = cycle;
+    }
+}
+
+/// One decoded successor edge of the compiled CSR adjacency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompiledEdge {
+    /// Push-activate the STE with this element index (subject to its symbol
+    /// mask on the receiving cycle).
+    ActivateSte {
+        /// Target element index.
+        target: u32,
+    },
+    /// Deliver an increment pulse to the counter in this slot.
+    CountEnable {
+        /// Target counter slot (see [`CompiledNetworkView::counter`]).
+        slot: u32,
+    },
+    /// Deliver a reset pulse to the counter in this slot.
+    CountReset {
+        /// Target counter slot.
+        slot: u32,
+    },
+}
+
+impl CompiledEdge {
+    fn unpack(packed: u32) -> Self {
+        let payload = packed >> 2;
+        match packed & 3 {
+            TAG_ACTIVATE_STE => CompiledEdge::ActivateSte { target: payload },
+            TAG_COUNT_ENABLE => CompiledEdge::CountEnable { slot: payload },
+            _ => CompiledEdge::CountReset { slot: payload },
+        }
+    }
+
+    fn pack(self) -> u32 {
+        match self {
+            CompiledEdge::ActivateSte { target } => (target << 2) | TAG_ACTIVATE_STE,
+            CompiledEdge::CountEnable { slot } => (slot << 2) | TAG_COUNT_ENABLE,
+            CompiledEdge::CountReset { slot } => (slot << 2) | TAG_COUNT_RESET,
+        }
+    }
+}
+
+/// A compiled counter slot, as seen by the translation validator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompiledCounterInfo {
+    /// Element index this slot lowers.
+    pub element: u32,
+    /// Activation threshold.
+    pub threshold: u32,
+    /// Per-cycle increment cap.
+    pub max_increment_per_cycle: u32,
+    /// Whether the slot is latch-mode.
+    pub latch: bool,
+}
+
+/// A compiled boolean slot, as seen by the translation validator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompiledBooleanInfo<'a> {
+    /// Element index this slot lowers.
+    pub element: u32,
+    /// The gate's logic function.
+    pub function: BooleanFunction,
+    /// Activation-port predecessor element indices, in connection order.
+    pub predecessors: &'a [u32],
+}
+
+/// Read-only structural view of a [`CompiledNetwork`].
+///
+/// Exposes every lowering decision the compiler makes — per-element symbol
+/// masks and report codes, the counter/boolean slot tables, the 256-entry
+/// symbol index (with dense bitsets decoded back to element lists) and the
+/// CSR successor edges — so a static validator can cross-check the image
+/// against its source [`AutomataNetwork`] without executing either.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledNetworkView<'a> {
+    net: &'a CompiledNetwork,
+}
+
+impl CompiledNetworkView<'_> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.net.n
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.net.n == 0
+    }
+
+    /// Number of reporting elements.
+    pub fn reporting_count(&self) -> usize {
+        self.net.reporting
+    }
+
+    /// The 256-bit symbol mask stored for `element` (all-zero for non-STEs).
+    pub fn symbol_mask(&self, element: usize) -> [u64; 4] {
+        self.net.masks[element]
+    }
+
+    /// The report code stored for `element`, if it reports.
+    pub fn report_code(&self, element: usize) -> Option<u32> {
+        let code = self.net.report_of[element];
+        (code != NO_REPORT).then_some(code as u32)
+    }
+
+    /// The counter slot assigned to `element`, if it is a counter.
+    pub fn counter_slot(&self, element: usize) -> Option<u32> {
+        let slot = self.net.counter_slot_of[element];
+        (slot != NO_SLOT).then_some(slot)
+    }
+
+    /// Number of counter slots.
+    pub fn counter_count(&self) -> usize {
+        self.net.cnt_elem.len()
+    }
+
+    /// The counter slot table entry for `slot`.
+    pub fn counter(&self, slot: usize) -> CompiledCounterInfo {
+        CompiledCounterInfo {
+            element: self.net.cnt_elem[slot],
+            threshold: self.net.cnt_threshold[slot],
+            max_increment_per_cycle: self.net.cnt_max_inc[slot],
+            latch: self.net.cnt_latch[slot],
+        }
+    }
+
+    /// Number of boolean slots.
+    pub fn boolean_count(&self) -> usize {
+        self.net.bool_elem.len()
+    }
+
+    /// The boolean slot table entry for `slot`.
+    pub fn boolean(&self, slot: usize) -> CompiledBooleanInfo<'_> {
+        let lo = self.net.bool_pred_off[slot] as usize;
+        let hi = self.net.bool_pred_off[slot + 1] as usize;
+        CompiledBooleanInfo {
+            element: self.net.bool_elem[slot],
+            function: self.net.bool_fn[slot],
+            predecessors: &self.net.bool_preds[lo..hi],
+        }
+    }
+
+    /// `StartOfData` STE element indices (ascending).
+    pub fn start_of_data(&self) -> &[u32] {
+        &self.net.start_of_data
+    }
+
+    /// The always-eligible (`AllInput`) start STEs indexed under `symbol`,
+    /// in ascending element order, with dense bitsets decoded back to lists.
+    pub fn symbol_candidates(&self, symbol: u8) -> Vec<u32> {
+        let s = symbol as usize;
+        let dense = self.net.sym_dense_off[s];
+        if dense != NO_SLOT {
+            let base = dense as usize;
+            let mut out = Vec::new();
+            for w in 0..self.net.words {
+                let mut bits = self.net.sym_dense[base + w];
+                while bits != 0 {
+                    out.push(((w << 6) as u32) | bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
+            }
+            out
+        } else {
+            let lo = self.net.sym_off[s] as usize;
+            let hi = self.net.sym_off[s + 1] as usize;
+            self.net.sym_candidates[lo..hi].to_vec()
+        }
+    }
+
+    /// Whether `symbol`'s candidate set is stored as a dense bitset.
+    pub fn symbol_is_dense(&self, symbol: u8) -> bool {
+        self.net.sym_dense_off[symbol as usize] != NO_SLOT
+    }
+
+    /// The decoded CSR successor edges of `element`, in the order the
+    /// compiler emitted them (source connection order, minus the edges the
+    /// runtime never consults).
+    pub fn successor_edges(&self, element: usize) -> Vec<CompiledEdge> {
+        let lo = self.net.succ_off[element] as usize;
+        let hi = self.net.succ_off[element + 1] as usize;
+        self.net.succ[lo..hi]
+            .iter()
+            .map(|&p| CompiledEdge::unpack(p))
+            .collect()
     }
 }
 
@@ -782,6 +1006,58 @@ mod tests {
             big.counter_count(&pooled, cnt.index()),
             big.counter_count(&fresh, cnt.index())
         );
+    }
+
+    #[test]
+    fn view_exposes_structure_and_fault_injection_replaces_an_edge() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::single(b'a'), StartKind::AllInput, None);
+        let m = net.add_ste("m", SymbolClass::any(), StartKind::None, Some(3));
+        net.connect(s, m).unwrap();
+        let c = net.add_counter("c", 2, CounterMode::Pulse, Some(9));
+        net.connect_port(m, c, ConnectPort::CountEnable).unwrap();
+        net.connect_port(s, c, ConnectPort::CountReset).unwrap();
+        let mut compiled = CompiledNetwork::compile(&net).unwrap();
+
+        let view = compiled.view();
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.reporting_count(), 2);
+        assert_eq!(view.report_code(m.index()), Some(3));
+        assert_eq!(view.report_code(s.index()), None);
+        assert_eq!(view.counter_slot(c.index()), Some(0));
+        assert_eq!(view.counter_count(), 1);
+        let info = view.counter(0);
+        assert_eq!(info.element, c.index() as u32);
+        assert_eq!(info.threshold, 2);
+        assert!(!info.latch);
+        assert_eq!(view.symbol_candidates(b'a'), vec![s.index() as u32]);
+        assert!(view.symbol_candidates(b'b').is_empty());
+        assert_eq!(
+            view.successor_edges(s.index()),
+            vec![
+                CompiledEdge::ActivateSte {
+                    target: m.index() as u32
+                },
+                CompiledEdge::CountReset { slot: 0 }
+            ]
+        );
+        assert_eq!(
+            view.successor_edges(m.index()),
+            vec![CompiledEdge::CountEnable { slot: 0 }]
+        );
+
+        // Fault injection swaps one edge and returns the original.
+        let old = compiled
+            .inject_successor_fault(m.index(), 0, CompiledEdge::CountReset { slot: 0 })
+            .unwrap();
+        assert_eq!(old, CompiledEdge::CountEnable { slot: 0 });
+        assert_eq!(
+            compiled.view().successor_edges(m.index()),
+            vec![CompiledEdge::CountReset { slot: 0 }]
+        );
+        // Out-of-range indices are typed errors, not panics.
+        assert!(compiled.inject_successor_fault(m.index(), 5, old).is_err());
+        assert!(compiled.inject_successor_fault(99, 0, old).is_err());
     }
 
     #[test]

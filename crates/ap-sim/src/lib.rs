@@ -29,7 +29,11 @@
 //!   (45 ms) and projected Gen-2 (~100× faster) partial-reconfiguration latencies and
 //!   the 133 MHz symbol clock;
 //! * an **ANML-like serializer** ([`anml`]) so networks can be inspected or exported
-//!   in a format close to what the vendor toolchain consumed.
+//!   in a format close to what the vendor toolchain consumed;
+//! * a **static liveness analysis** ([`liveness`]) — the structural can-this-
+//!   element-ever-fire fixpoint backing [`network::AutomataNetwork::validate`]'s
+//!   hard errors, plus activation-count bounds used by the `ap-analyze`
+//!   diagnostics crate to prove counter thresholds unreachable.
 //!
 //! The simulator's cycle alignment was calibrated against the worked example in the
 //! paper's Figures 3 and 4 (see the workspace integration tests): a match on symbol
@@ -37,7 +41,8 @@
 //! a threshold pulse the cycle the count crosses the threshold, and the reporting
 //! state one cycle after the pulse.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod anml;
@@ -46,6 +51,7 @@ pub mod device;
 pub mod dot;
 pub mod element;
 pub mod error;
+pub mod liveness;
 pub mod network;
 pub mod pcre;
 pub mod place;
@@ -54,10 +60,11 @@ pub mod reference;
 pub mod simulate;
 pub mod symbol;
 
-pub use compiled::{CompiledNetwork, CompiledState};
+pub use compiled::{CompiledEdge, CompiledNetwork, CompiledNetworkView, CompiledState};
 pub use device::{ApGeneration, DeviceConfig};
 pub use element::{BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind};
 pub use error::{ApError, ApResult};
+pub use liveness::{Bound, LivenessAnalysis};
 pub use network::{AutomataNetwork, ConnectPort, NetworkStats};
 pub use pcre::{CompiledPcre, PcreMatch, PcreOptions, PcreSet};
 pub use place::{ComponentDemand, PlacementReport, Placer};

@@ -1,0 +1,595 @@
+//! Structural liveness and activation-bound analysis over automata networks.
+//!
+//! This module answers two static questions about an [`AutomataNetwork`],
+//! without executing it:
+//!
+//! 1. **Can this element ever activate?** ([`LivenessAnalysis::can_fire`]) —
+//!    a sound *under-approximation of deadness*: when the analysis says an
+//!    element cannot fire, no input stream makes it fire; when it says an
+//!    element is live, it may still be dead for deeper semantic reasons
+//!    (negating gates, for example, are always treated as live because they
+//!    can activate on *absent* inputs).
+//! 2. **On how many cycles can it activate, at most?**
+//!    ([`LivenessAnalysis::activation_bound`]) — a sound over-approximation
+//!    used to bound the total number of enable pulses a counter can ever
+//!    receive, which decides whether its threshold is achievable at all.
+//!
+//! Two strengths of liveness are exposed:
+//!
+//! * [`structural_liveness`] — the *weak* fixpoint: an STE is live iff its
+//!   symbol class is non-empty and it is a start state or has a live
+//!   activation driver; a counter is live iff some `CountEnable` driver is
+//!   live; `And` needs every input live, `Or`/`Xor` need one, and the
+//!   negating gates (`Nand`/`Nor`/`Not`) are always live. This is the check
+//!   [`AutomataNetwork::validate`] promotes to a hard error, so it must
+//!   accept every construction the simulator accepts today.
+//! * [`LivenessAnalysis`] — the weak fixpoint *refined* by activation
+//!   bounds: a counter whose achievable increment total provably falls short
+//!   of its threshold is re-marked dead, and the deadness is re-propagated
+//!   downstream until the combined fixpoint stabilises.
+//!
+//! The bound lattice is deliberately coarse: anything on or downstream of an
+//! activation cycle, any `AllInput` start, any negating gate, and any
+//! latch-mode or resettable counter is `Unbounded`. Everything else is a DAG
+//! and gets a union-bound sum ([`Bound::AtMost`]) in topological order.
+
+use crate::element::{BooleanFunction, CounterMode, ElementId, ElementKind, StartKind};
+use crate::network::{AutomataNetwork, ConnectPort};
+use std::collections::VecDeque;
+
+/// An upper bound on the number of cycles an element can be active across an
+/// entire run, over *any* input stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// No finite bound could be established.
+    Unbounded,
+    /// Active on at most this many cycles in total.
+    AtMost(u64),
+}
+
+impl Bound {
+    /// Sums above this are considered meaningless and collapse to
+    /// [`Bound::Unbounded`] (no real stream is this long).
+    const SATURATE: u64 = 1 << 40;
+
+    /// Union-bound addition (saturating).
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::AtMost(a), Bound::AtMost(b)) => {
+                let s = a.saturating_add(b);
+                if s >= Self::SATURATE {
+                    Bound::Unbounded
+                } else {
+                    Bound::AtMost(s)
+                }
+            }
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Minimum of two bounds (`Unbounded` is the identity).
+    fn min(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::AtMost(a), Bound::AtMost(b)) => Bound::AtMost(a.min(b)),
+            (Bound::AtMost(a), Bound::Unbounded) | (Bound::Unbounded, Bound::AtMost(a)) => {
+                Bound::AtMost(a)
+            }
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Whether this bound is [`Bound::Unbounded`].
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, Bound::Unbounded)
+    }
+
+    /// The finite bound, if one was established.
+    pub fn at_most(self) -> Option<u64> {
+        match self {
+            Bound::AtMost(v) => Some(v),
+            Bound::Unbounded => None,
+        }
+    }
+}
+
+/// The weak structural-liveness fixpoint, indexed by element id.
+///
+/// `result[i] == false` guarantees element `i` never activates on any input
+/// stream. The converse does not hold (see the module docs). This is the
+/// exact predicate behind the liveness checks in
+/// [`AutomataNetwork::validate`].
+pub fn structural_liveness(net: &AutomataNetwork) -> Vec<bool> {
+    liveness_fixpoint(net, None)
+}
+
+/// The monotone liveness fixpoint; `killed[i]` (when supplied) forces
+/// counter `i` dead regardless of its drivers.
+fn liveness_fixpoint(net: &AutomataNetwork, killed: Option<&[bool]>) -> Vec<bool> {
+    let n = net.len();
+    let mut live = vec![false; n];
+    // Worklist: recompute an element's rule whenever popped; a false→true flip
+    // re-enqueues its successors. Monotone, so each element flips at most once
+    // and total work is O(edges).
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut enqueued = vec![true; n];
+    while let Some(u) = queue.pop_front() {
+        enqueued[u] = false;
+        if live[u] {
+            continue;
+        }
+        let e = &net.elements()[u];
+        let preds = net.predecessors(e.id);
+        let now_live = match &e.kind {
+            ElementKind::Ste { symbols, start, .. } => {
+                symbols.cardinality() > 0
+                    && (*start != StartKind::None
+                        || preds
+                            .iter()
+                            .any(|(p, port)| *port == ConnectPort::Activation && live[p.index()]))
+            }
+            ElementKind::Counter { threshold, .. } => {
+                killed.is_none_or(|k| !k[u])
+                    && (*threshold == 0
+                        || preds
+                            .iter()
+                            .any(|(p, port)| *port == ConnectPort::CountEnable && live[p.index()]))
+            }
+            ElementKind::Boolean { function, .. } => match function {
+                // An AND gate is true only when every input is true at once.
+                BooleanFunction::And => {
+                    !preds.is_empty() && preds.iter().all(|(p, _)| live[p.index()])
+                }
+                // OR/XOR need at least one true input.
+                BooleanFunction::Or | BooleanFunction::Xor => {
+                    preds.iter().any(|(p, _)| live[p.index()])
+                }
+                // Negating gates activate on *absent* inputs, so they are
+                // conservatively always live.
+                BooleanFunction::Nand | BooleanFunction::Nor | BooleanFunction::Not => true,
+            },
+        };
+        if now_live {
+            live[u] = true;
+            for (s, _) in net.successors(e.id) {
+                if !enqueued[s.index()] {
+                    enqueued[s.index()] = true;
+                    queue.push_back(s.index());
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Full liveness, reachability and activation-bound analysis of one network.
+///
+/// Build with [`LivenessAnalysis::of`]. All queries index by [`ElementId`]
+/// and expect ids from the analysed network.
+#[derive(Clone, Debug)]
+pub struct LivenessAnalysis {
+    structurally_live: Vec<bool>,
+    live: Vec<bool>,
+    reachable: Vec<bool>,
+    bounds: Vec<Bound>,
+    counter_increments: Vec<Bound>,
+}
+
+impl LivenessAnalysis {
+    /// Analyses `net`. The network does not need to pass
+    /// [`AutomataNetwork::validate`] — the analysis is total and treats
+    /// structurally invalid corners conservatively.
+    pub fn of(net: &AutomataNetwork) -> Self {
+        let n = net.len();
+        let structurally_live = structural_liveness(net);
+
+        // Refinement loop: kill counters whose achievable increment total is
+        // provably below their threshold, then re-run the fixpoint so the
+        // deadness propagates. Each round kills at least one counter, so the
+        // loop runs at most counters + 1 times.
+        let mut killed = vec![false; n];
+        let mut live = structurally_live.clone();
+        let mut bounds;
+        let mut counter_increments;
+        loop {
+            bounds = compute_bounds(net, &live);
+            counter_increments = counter_increment_bounds(net, &live, &bounds);
+            let mut changed = false;
+            for e in net.elements() {
+                let u = e.id.index();
+                if !live[u] || killed[u] {
+                    continue;
+                }
+                if let ElementKind::Counter { threshold, .. } = &e.kind {
+                    if let Bound::AtMost(total) = counter_increments[u] {
+                        if total < u64::from(*threshold) {
+                            killed[u] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            live = liveness_fixpoint(net, Some(&killed));
+        }
+
+        // Structural reachability from start states, over every port kind.
+        let mut reachable = vec![false; n];
+        let mut queue = VecDeque::new();
+        for e in net.elements() {
+            if e.is_start() {
+                reachable[e.id.index()] = true;
+                queue.push_back(e.id);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for (s, _) in net.successors(u) {
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    queue.push_back(*s);
+                }
+            }
+        }
+
+        Self {
+            structurally_live,
+            live,
+            reachable,
+            bounds,
+            counter_increments,
+        }
+    }
+
+    /// Number of elements in the analysed network.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the analysed network was empty.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Whether `id` can ever activate (bound-refined; `false` is a guarantee).
+    pub fn can_fire(&self, id: ElementId) -> bool {
+        self.live[id.index()]
+    }
+
+    /// The weak structural-liveness verdict (the predicate `validate` uses).
+    pub fn structurally_live(&self, id: ElementId) -> bool {
+        self.structurally_live[id.index()]
+    }
+
+    /// Whether `id` is reachable from some start STE along successor edges.
+    ///
+    /// Purely structural: a negating gate may activate without being
+    /// reachable, so unreachability alone does not imply deadness.
+    pub fn reachable_from_start(&self, id: ElementId) -> bool {
+        self.reachable[id.index()]
+    }
+
+    /// Upper bound on the number of cycles `id` can be active, over any
+    /// stream. Dead elements report `AtMost(0)`.
+    pub fn activation_bound(&self, id: ElementId) -> Bound {
+        self.bounds[id.index()]
+    }
+
+    /// For a counter, an upper bound on the total increments it can ever
+    /// accumulate (the sum of its live enable drivers' activation bounds).
+    /// Non-counters report `AtMost(0)`.
+    pub fn counter_increment_bound(&self, id: ElementId) -> Bound {
+        self.counter_increments[id.index()]
+    }
+}
+
+/// Whether an element's activation bound is *intrinsic* (a source in the
+/// bound-propagation graph) rather than derived from its drivers.
+fn is_intrinsic(kind: &ElementKind) -> bool {
+    match kind {
+        ElementKind::Ste { start, .. } => *start == StartKind::AllInput,
+        ElementKind::Counter { .. } => true,
+        ElementKind::Boolean { function, .. } => matches!(
+            function,
+            BooleanFunction::Nand | BooleanFunction::Nor | BooleanFunction::Not
+        ),
+    }
+}
+
+/// The intrinsic bound of a source node (see [`is_intrinsic`]).
+fn intrinsic_bound(net: &AutomataNetwork, live: &[bool], e: &crate::element::Element) -> Bound {
+    match &e.kind {
+        // Always eligible, so active on arbitrarily many cycles.
+        ElementKind::Ste { .. } => Bound::Unbounded,
+        ElementKind::Counter { mode, .. } => {
+            let resettable = net
+                .predecessors(e.id)
+                .iter()
+                .any(|(p, port)| *port == ConnectPort::CountReset && live[p.index()]);
+            match (mode, resettable) {
+                // A pulse counter without a live reset fires at most once ever
+                // (the fired flag stays set until reset).
+                (CounterMode::Pulse, false) => Bound::AtMost(1),
+                // Latch counters stay active; resettable pulse counters can
+                // re-fire once per reset epoch.
+                _ => Bound::Unbounded,
+            }
+        }
+        // Negating gates can be true on every cycle.
+        ElementKind::Boolean { .. } => Bound::Unbounded,
+    }
+}
+
+/// Computes per-element activation bounds given a liveness verdict.
+///
+/// Propagating nodes (non-start STEs, start-of-data STEs, `And`/`Or`/`Xor`
+/// gates) take bounds from their drivers; a Kahn peel finds the acyclic
+/// region, and everything on or downstream of a propagation cycle is
+/// `Unbounded` (sound, if occasionally coarse for `And`).
+fn compute_bounds(net: &AutomataNetwork, live: &[bool]) -> Vec<Bound> {
+    let n = net.len();
+    let mut bounds = vec![Bound::AtMost(0); n];
+
+    // In-degrees over propagating→propagating activation edges between live
+    // nodes (multi-edges counted; intrinsic sources contribute none).
+    let mut indeg = vec![0u32; n];
+    let propagating = |u: usize| -> bool { live[u] && !is_intrinsic(&net.elements()[u].kind) };
+    for c in net.connections() {
+        if c.port == ConnectPort::Activation
+            && propagating(c.to.index())
+            && propagating(c.from.index())
+        {
+            indeg[c.to.index()] += 1;
+        }
+    }
+
+    // Intrinsic live nodes get their fixed bounds up front.
+    let mut queue = VecDeque::new();
+    for e in net.elements() {
+        let u = e.id.index();
+        if live[u] && is_intrinsic(&e.kind) {
+            bounds[u] = intrinsic_bound(net, live, e);
+        } else if propagating(u) && indeg[u] == 0 {
+            queue.push_back(u);
+        }
+    }
+
+    // Kahn peel in topological order. Nodes never popped sit on or downstream
+    // of a cycle of live propagating nodes.
+    let mut popped = vec![false; n];
+    while let Some(u) = queue.pop_front() {
+        popped[u] = true;
+        let e = &net.elements()[u];
+        let preds = net.predecessors(e.id);
+        let contribution = |(p, port): &(ElementId, ConnectPort)| -> Option<Bound> {
+            (*port == ConnectPort::Activation && live[p.index()]).then(|| bounds[p.index()])
+        };
+        bounds[u] = match &e.kind {
+            ElementKind::Ste { start, .. } => {
+                // Start-of-data eligibility adds one possible activation at
+                // cycle 0 on top of whatever the drivers contribute.
+                let base = if *start == StartKind::StartOfData {
+                    Bound::AtMost(1)
+                } else {
+                    Bound::AtMost(0)
+                };
+                preds.iter().filter_map(contribution).fold(base, Bound::add)
+            }
+            ElementKind::Boolean { function, .. } => match function {
+                // AND is true only when all inputs are, so its count is
+                // bounded by its scarcest input.
+                BooleanFunction::And => preds
+                    .iter()
+                    .filter_map(contribution)
+                    .fold(Bound::Unbounded, Bound::min),
+                // OR/XOR need one true input: union bound.
+                _ => preds
+                    .iter()
+                    .filter_map(contribution)
+                    .fold(Bound::AtMost(0), Bound::add),
+            },
+            // Counters are intrinsic, never in the peel.
+            ElementKind::Counter { .. } => unreachable!("counters are intrinsic"),
+        };
+        for (s, port) in net.successors(e.id) {
+            if *port == ConnectPort::Activation && propagating(s.index()) && !popped[s.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s.index());
+                }
+            }
+        }
+    }
+
+    // Leftovers: live propagating nodes on/under a cycle.
+    for u in 0..n {
+        if propagating(u) && !popped[u] {
+            bounds[u] = Bound::Unbounded;
+        }
+    }
+    bounds
+}
+
+/// Per-counter upper bound on total accumulated increments: the union-bound
+/// sum of the live `CountEnable` drivers' activation bounds. (This ignores
+/// the per-cycle increment cap, which only ever lowers the true total.)
+fn counter_increment_bounds(net: &AutomataNetwork, live: &[bool], bounds: &[Bound]) -> Vec<Bound> {
+    let mut inc = vec![Bound::AtMost(0); net.len()];
+    for e in net.elements() {
+        if !e.is_counter() {
+            continue;
+        }
+        inc[e.id.index()] = net
+            .predecessors(e.id)
+            .iter()
+            .filter(|(p, port)| *port == ConnectPort::CountEnable && live[p.index()])
+            .map(|(p, _)| bounds[p.index()])
+            .fold(Bound::AtMost(0), Bound::add);
+    }
+    inc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::CounterMode;
+    use crate::symbol::SymbolClass;
+
+    #[test]
+    fn empty_mask_ste_is_dead() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::empty(), StartKind::AllInput, None);
+        let a = LivenessAnalysis::of(&net);
+        assert!(!a.can_fire(s));
+        assert!(!a.structurally_live(s));
+        assert_eq!(a.activation_bound(s), Bound::AtMost(0));
+    }
+
+    #[test]
+    fn chain_from_all_input_is_unbounded() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::AllInput, None);
+        let m = net.add_ste("m", SymbolClass::any(), StartKind::None, None);
+        net.connect(s, m).unwrap();
+        let a = LivenessAnalysis::of(&net);
+        assert!(a.can_fire(m));
+        assert!(a.activation_bound(m).is_unbounded());
+        assert!(a.reachable_from_start(m));
+    }
+
+    #[test]
+    fn start_of_data_chain_bounds_counter_increments() {
+        // SOD -> a -> b -> counter(enable). Each link fires at most once, so
+        // the counter can accumulate at most one increment: threshold 2 is
+        // unreachable and the counter is (refined) dead, while threshold 1
+        // stays live.
+        let mut net = AutomataNetwork::new();
+        let sod = net.add_ste("sod", SymbolClass::any(), StartKind::StartOfData, None);
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, None);
+        net.connect(sod, a).unwrap();
+        let c2 = net.add_counter("c2", 2, CounterMode::Pulse, None);
+        net.connect_port(a, c2, ConnectPort::CountEnable).unwrap();
+        let c1 = net.add_counter("c1", 1, CounterMode::Pulse, None);
+        net.connect_port(a, c1, ConnectPort::CountEnable).unwrap();
+
+        let an = LivenessAnalysis::of(&net);
+        assert_eq!(an.activation_bound(sod), Bound::AtMost(1));
+        assert_eq!(an.activation_bound(a), Bound::AtMost(1));
+        assert_eq!(an.counter_increment_bound(c2), Bound::AtMost(1));
+        assert!(
+            !an.can_fire(c2),
+            "threshold 2 exceeds the 1 achievable pulse"
+        );
+        assert!(
+            an.structurally_live(c2),
+            "weak liveness must not apply the bound refinement"
+        );
+        assert!(an.can_fire(c1));
+        assert_eq!(an.activation_bound(c1), Bound::AtMost(1));
+    }
+
+    #[test]
+    fn cycles_are_unbounded() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::StartOfData, None);
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, None);
+        let b = net.add_ste("b", SymbolClass::any(), StartKind::None, None);
+        net.connect(s, a).unwrap();
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        let an = LivenessAnalysis::of(&net);
+        assert!(an.can_fire(a) && an.can_fire(b));
+        assert!(an.activation_bound(a).is_unbounded());
+        assert!(an.activation_bound(b).is_unbounded());
+    }
+
+    #[test]
+    fn dead_cycle_stays_dead() {
+        // Two non-start STEs driving each other: structurally dead despite
+        // the cycle (no start can ever inject an activation).
+        let mut net = AutomataNetwork::new();
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, None);
+        let b = net.add_ste("b", SymbolClass::any(), StartKind::None, None);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        let an = LivenessAnalysis::of(&net);
+        assert!(!an.can_fire(a) && !an.can_fire(b));
+        assert!(!an.reachable_from_start(a));
+        assert_eq!(an.activation_bound(a), Bound::AtMost(0));
+    }
+
+    #[test]
+    fn gate_liveness_rules() {
+        // A dead two-STE cycle feeding gates of each family.
+        let mut net = AutomataNetwork::new();
+        let dead_cyc = net.add_ste("d1", SymbolClass::any(), StartKind::None, None);
+        let dead_cyc2 = net.add_ste("d2", SymbolClass::any(), StartKind::None, None);
+        net.connect(dead_cyc, dead_cyc2).unwrap();
+        net.connect(dead_cyc2, dead_cyc).unwrap();
+        let live = net.add_ste("live", SymbolClass::any(), StartKind::AllInput, None);
+
+        let and = net.add_boolean("and", BooleanFunction::And, None);
+        net.connect(live, and).unwrap();
+        net.connect(dead_cyc, and).unwrap();
+        let or = net.add_boolean("or", BooleanFunction::Or, None);
+        net.connect(live, or).unwrap();
+        net.connect(dead_cyc, or).unwrap();
+        let nor = net.add_boolean("nor", BooleanFunction::Nor, None);
+        net.connect(dead_cyc, nor).unwrap();
+
+        let an = LivenessAnalysis::of(&net);
+        assert!(!an.can_fire(and), "AND with a dead input can never be true");
+        assert!(an.can_fire(or));
+        assert!(an.can_fire(nor), "negating gates fire on absent inputs");
+        assert!(an.activation_bound(nor).is_unbounded());
+    }
+
+    #[test]
+    fn latch_and_resettable_pulse_counters_are_unbounded() {
+        let mut net = AutomataNetwork::new();
+        let s = net.add_ste("s", SymbolClass::any(), StartKind::AllInput, None);
+        let latch = net.add_counter("latch", 1, CounterMode::Latch, None);
+        net.connect_port(s, latch, ConnectPort::CountEnable)
+            .unwrap();
+        let pulse = net.add_counter("pulse", 1, CounterMode::Pulse, None);
+        net.connect_port(s, pulse, ConnectPort::CountEnable)
+            .unwrap();
+        let resettable = net.add_counter("rst", 1, CounterMode::Pulse, None);
+        net.connect_port(s, resettable, ConnectPort::CountEnable)
+            .unwrap();
+        net.connect_port(s, resettable, ConnectPort::CountReset)
+            .unwrap();
+        let an = LivenessAnalysis::of(&net);
+        assert!(an.activation_bound(latch).is_unbounded());
+        assert_eq!(an.activation_bound(pulse), Bound::AtMost(1));
+        assert!(an.activation_bound(resettable).is_unbounded());
+    }
+
+    #[test]
+    fn refined_counter_deadness_propagates_downstream() {
+        // SOD -> a -> c(threshold 3) -> tail: the counter can see one pulse,
+        // so both it and the tail STE it drives are refined-dead.
+        let mut net = AutomataNetwork::new();
+        let sod = net.add_ste("sod", SymbolClass::any(), StartKind::StartOfData, None);
+        let a = net.add_ste("a", SymbolClass::any(), StartKind::None, None);
+        net.connect(sod, a).unwrap();
+        let c = net.add_counter("c", 3, CounterMode::Pulse, None);
+        net.connect_port(a, c, ConnectPort::CountEnable).unwrap();
+        let tail = net.add_ste("tail", SymbolClass::any(), StartKind::None, None);
+        net.connect(c, tail).unwrap();
+        let an = LivenessAnalysis::of(&net);
+        assert!(!an.can_fire(c));
+        assert!(!an.can_fire(tail));
+        assert!(an.structurally_live(tail));
+    }
+
+    #[test]
+    fn bound_helpers() {
+        assert_eq!(Bound::AtMost(2).add(Bound::AtMost(3)), Bound::AtMost(5));
+        assert!(Bound::AtMost(2).add(Bound::Unbounded).is_unbounded());
+        assert_eq!(Bound::AtMost(2).min(Bound::Unbounded), Bound::AtMost(2));
+        assert_eq!(Bound::Unbounded.at_most(), None);
+        assert_eq!(Bound::AtMost(7).at_most(), Some(7));
+        assert!(Bound::AtMost(u64::MAX).add(Bound::AtMost(1)).is_unbounded());
+    }
+}

@@ -330,7 +330,16 @@ impl AutomataNetwork {
     /// * every boolean gate has at least one input;
     /// * report codes are unique across the network (the host must be able to map a
     ///   report back to a single dataset vector);
-    /// * `Not` gates have exactly one input.
+    /// * `Not` gates have exactly one input;
+    /// * no STE has an empty symbol class (it could never match any symbol);
+    /// * no counter's `CountEnable` drivers are all structurally dead (its
+    ///   threshold would be unreachable on every input stream);
+    /// * no boolean gate input dangles from a structurally dead STE or counter
+    ///   (the input would be constant-false on every input stream).
+    ///
+    /// "Structurally dead" is the weak liveness fixpoint of
+    /// [`crate::liveness::structural_liveness`]: a sound deadness guarantee,
+    /// so every construction the simulator can meaningfully run still passes.
     pub fn validate(&self) -> ApResult<()> {
         let mut report_codes: HashMap<u32, ElementId> = HashMap::new();
         for e in &self.elements {
@@ -347,7 +356,16 @@ impl AutomataNetwork {
             }
             let preds = &self.predecessors[e.id.index()];
             match &e.kind {
-                ElementKind::Ste { start, .. } => {
+                ElementKind::Ste { symbols, start, .. } => {
+                    if symbols.cardinality() == 0 {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "STE {} ('{}') has an empty symbol class and can never match",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
                     let has_activation = preds.iter().any(|(_, p)| *p == ConnectPort::Activation);
                     if *start == StartKind::None && !has_activation {
                         return Err(ApError::InvalidNetwork {
@@ -400,6 +418,45 @@ impl AutomataNetwork {
                         });
                     }
                 }
+            }
+        }
+
+        // Liveness-backed checks: these need the whole-network fixpoint, not
+        // just per-element shape, so they run after the cheap scans above.
+        let live = crate::liveness::structural_liveness(self);
+        for e in &self.elements {
+            let preds = &self.predecessors[e.id.index()];
+            match &e.kind {
+                ElementKind::Counter { .. } => {
+                    if !live[e.id.index()] {
+                        return Err(ApError::InvalidNetwork {
+                            reason: format!(
+                                "counter {} ('{}') has an unreachable target: every \
+                                 CountEnable driver is structurally dead",
+                                e.id.index(),
+                                e.label
+                            ),
+                        });
+                    }
+                }
+                ElementKind::Boolean { .. } => {
+                    for (p, _) in preds {
+                        let from = &self.elements[p.index()];
+                        if (from.is_ste() || from.is_counter()) && !live[p.index()] {
+                            return Err(ApError::InvalidNetwork {
+                                reason: format!(
+                                    "boolean gate {} ('{}') has a dangling input: driver \
+                                     {} ('{}') is structurally dead",
+                                    e.id.index(),
+                                    e.label,
+                                    p.index(),
+                                    from.label
+                                ),
+                            });
+                        }
+                    }
+                }
+                ElementKind::Ste { .. } => {}
             }
         }
         Ok(())
@@ -547,6 +604,54 @@ mod tests {
         net2.connect(a, n).unwrap();
         net2.connect(b, n).unwrap();
         assert!(net2.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_symbol_class() {
+        let mut net = AutomataNetwork::new();
+        net.add_ste("hollow", SymbolClass::empty(), StartKind::AllInput, None);
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, ApError::InvalidNetwork { .. }));
+        assert!(err.to_string().contains("empty symbol class"));
+    }
+
+    /// Two non-start STEs driving only each other: individually each has an
+    /// activation driver, but no start state can ever reach the pair.
+    fn dead_pair(net: &mut AutomataNetwork) -> ElementId {
+        let a = net.add_ste("dead-a", SymbolClass::any(), StartKind::None, None);
+        let b = net.add_ste("dead-b", SymbolClass::any(), StartKind::None, None);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        a
+    }
+
+    #[test]
+    fn validate_rejects_counter_with_only_dead_enable_drivers() {
+        let mut net = AutomataNetwork::new();
+        let dead = dead_pair(&mut net);
+        let c = net.add_counter("c", 2, CounterMode::Pulse, None);
+        net.connect_port(dead, c, ConnectPort::CountEnable).unwrap();
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, ApError::InvalidNetwork { .. }));
+        assert!(err.to_string().contains("unreachable target"));
+
+        // Adding one live enable driver makes the same counter acceptable.
+        let live = net.add_ste("live", SymbolClass::any(), StartKind::AllInput, None);
+        net.connect_port(live, c, ConnectPort::CountEnable).unwrap();
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_dangling_boolean_input() {
+        let mut net = AutomataNetwork::new();
+        let dead = dead_pair(&mut net);
+        let live = net.add_ste("live", SymbolClass::any(), StartKind::AllInput, None);
+        let gate = net.add_boolean("or", BooleanFunction::Or, None);
+        net.connect(live, gate).unwrap();
+        net.connect(dead, gate).unwrap();
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, ApError::InvalidNetwork { .. }));
+        assert!(err.to_string().contains("dangling input"));
     }
 
     #[test]

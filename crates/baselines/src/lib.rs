@@ -26,6 +26,7 @@
 //! of candidates it would scan so the AP engine can implement the paper's
 //! host-traverses-index / AP-scans-bucket split (§III-D).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -6,6 +6,7 @@
 //! The binaries also emit machine-readable JSON records (one per row) on request via
 //! the `--json` flag, which EXPERIMENTS.md links to.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use binvec::Workload;

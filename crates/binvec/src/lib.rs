@@ -35,7 +35,8 @@
 //!   ([`QueryOptions`], [`SearchError`], [`Neighbor`], [`BinaryVector`]) for the
 //!   length-prefixed network protocol served by `ap-serve`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bits;

@@ -16,6 +16,7 @@
 //!   technology-scaling adjustment used for the AP Opt+Ext column;
 //! * [`tables`] — plain-text table rendering shared by the bench harness binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

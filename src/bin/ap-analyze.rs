@@ -1,0 +1,209 @@
+//! `ap-analyze` — run the static-analysis passes over the workspace's
+//! canonical networks and emit a machine-readable report.
+//!
+//! Analyzes the seed kNN corpus shapes (one board image per shape, plus a
+//! multi-board partitioned shape) and the PCRE dictionary network from the
+//! integration suite. Every network goes through all four passes —
+//! reachability/liveness, translation validation of the compiled image,
+//! resource/capacity reconciliation, and redundancy profiling — and the
+//! combined reports are written as a JSON array.
+//!
+//! ```text
+//! cargo run --release --bin ap-analyze -- --gate --json ANALYZE_report.json
+//! ```
+//!
+//! With `--gate` the process exits nonzero if any network produced an
+//! `Error`-severity finding (the zero-Error CI budget). Warnings and infos —
+//! utilization advisories, redundancy headroom — never gate.
+
+use ap_analyze::{AnalysisReport, Analyzer, CapacityContext, Severity};
+use ap_knn::PartitionNetwork;
+use ap_sim::CompiledNetwork;
+use ap_similarity::prelude::*;
+
+struct Args {
+    gate: bool,
+    json: std::path::PathBuf,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            gate: false,
+            json: std::path::PathBuf::from("ANALYZE_report.json"),
+            seed: 42,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--gate" => args.gate = true,
+            "--json" => args.json = value("--json")?.into(),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid number for --seed".to_string())?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "ap-analyze: static-analysis gate over the canonical workspace networks\n\n\
+                     \t--gate        exit nonzero on any Error-severity finding\n\
+                     \t--json PATH   write the JSON report array to PATH (default ANALYZE_report.json)\n\
+                     \t--seed N      corpus RNG seed (default 42)\n\n\
+                     Networks analyzed: kNN board images at 512x64, 256x128 and 128x256,\n\
+                     a 3-board partitioned 192x64 corpus, and the PCRE dictionary network."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Builds, compiles and analyzes one kNN board image, reconciling it against
+/// the design's own macro cost and the placement-derived board capacity.
+fn analyze_knn_board(
+    name: &str,
+    data: &BinaryDataset,
+    base_index: usize,
+    design: &KnnDesign,
+) -> Result<AnalysisReport, String> {
+    let capacity = BoardCapacity::from_placement(design);
+    let ctx = CapacityContext {
+        stes_per_macro: design.stes_per_vector(),
+        vectors_per_board: capacity.vectors_per_board,
+    };
+    let pn = PartitionNetwork::build_from_dataset(data, base_index, design);
+    let compiled = CompiledNetwork::compile(&pn.network)
+        .map_err(|e| format!("{name}: compilation failed: {e}"))?;
+    Ok(Analyzer::new()
+        .with_device(design.device)
+        .with_capacity_context(ctx)
+        .analyze_compiled(name, &pn.network, &compiled))
+}
+
+/// Compiles and analyzes the PCRE dictionary network the integration suite
+/// scans with: the literal dictionary plus the structured log patterns.
+fn analyze_pcre_dictionary() -> Result<AnalysisReport, String> {
+    let patterns = [
+        "status",
+        "error",
+        "GET",
+        "api",
+        "retry",
+        "zebra",
+        "status [45]\\d\\d",
+        "timeout after \\d+ms",
+        "user=[a-z]+ (?:GET|POST)",
+    ];
+    let set = PcreSet::compile(&patterns).map_err(|e| format!("pcre-dictionary: {e}"))?;
+    let compiled = CompiledNetwork::compile(set.network())
+        .map_err(|e| format!("pcre-dictionary: compilation failed: {e}"))?;
+    Ok(Analyzer::new().analyze_compiled("pcre-dictionary", set.network(), &compiled))
+}
+
+fn build_reports(seed: u64) -> Result<Vec<AnalysisReport>, String> {
+    let mut reports = Vec::new();
+
+    // The seed corpus shapes: one board image per (vectors x dims) point.
+    for (vectors, dims) in [(512usize, 64usize), (256, 128), (128, 256)] {
+        let design = KnnDesign::new(dims);
+        let data = binvec::generate::uniform_dataset(vectors, dims, seed);
+        let name = format!("knn-{vectors}x{dims}");
+        reports.push(analyze_knn_board(&name, &data, 0, &design)?);
+    }
+
+    // A multi-board shape: the corpus split across three board images, each
+    // partition analyzed as its own network (strict mode sees them the same
+    // way — one image at a time).
+    let dims = 64;
+    let design = KnnDesign::new(dims);
+    let data = binvec::generate::uniform_dataset(192, dims, seed.wrapping_add(1));
+    for (board, part) in data.partition(64).iter().enumerate() {
+        let name = format!("knn-192x{dims}-board{board}");
+        reports.push(analyze_knn_board(
+            &name,
+            &part.data,
+            part.base_index,
+            &design,
+        )?);
+    }
+
+    reports.push(analyze_pcre_dictionary()?);
+    Ok(reports)
+}
+
+fn print_summary(report: &AnalysisReport) {
+    let errors = report.count(Severity::Error);
+    let warns = report.count(Severity::Warn);
+    let infos = report.count(Severity::Info);
+    let r = &report.redundancy;
+    println!(
+        "{:24} {:>6} elements  E/W/I {errors}/{warns}/{infos}  dup-macros {:.1}%  headroom x{:.2}{}",
+        report.name,
+        report.resource.stes + report.resource.counters + report.resource.booleans,
+        r.duplicate_macro_pct,
+        r.headroom_factor,
+        match (r.vectors_per_board, r.projected_vectors_per_board) {
+            (Some(v), Some(p)) => format!("  vectors/board {v} -> {p}"),
+            _ => String::new(),
+        },
+    );
+    for finding in report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+    {
+        println!("    {finding}");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("ap-analyze: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let reports = match build_reports(args.seed) {
+        Ok(reports) => reports,
+        Err(message) => {
+            eprintln!("ap-analyze: {message}");
+            std::process::exit(1);
+        }
+    };
+
+    for report in &reports {
+        print_summary(report);
+    }
+
+    let json: Vec<String> = reports.iter().map(AnalysisReport::to_json).collect();
+    let body = format!("[{}]\n", json.join(","));
+    if let Err(error) = std::fs::write(&args.json, body) {
+        eprintln!(
+            "ap-analyze: failed to write {}: {error}",
+            args.json.display()
+        );
+        std::process::exit(1);
+    }
+    println!("report written to {}", args.json.display());
+
+    let total_errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    if total_errors > 0 {
+        eprintln!("ap-analyze: {total_errors} Error-severity finding(s)");
+        if args.gate {
+            std::process::exit(1);
+        }
+    } else {
+        println!("gate: clean (zero Error-severity findings)");
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`baselines`] | CPU linear scan, kd-tree / k-means / LSH indexes, FPGA and GPU simulators |
 //! | [`ap_knn`] | The paper's contribution: kNN automata, temporal sort, optimizations, extensions, Jaccard, scheduler, live mutable corpora |
 //! | [`ap_serve`] | Query-serving subsystem: admission batching, dataset sharding, result caching, live mutations, wire protocol, service stats |
+//! | [`ap_analyze`] | Static analysis: reachability/liveness, translation validation of compiled images, resource reconciliation, redundancy profiling |
 //! | [`perf_model`] | Table I platforms, run-time and energy models for table regeneration |
 //!
 //! ## Quickstart
@@ -79,9 +80,11 @@
 //! For concurrent serving (multiple caller threads, deadline/priority
 //! scheduling, backpressure), see [`ap_serve::ServiceRuntime`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use ap_analyze;
 pub use ap_knn;
 pub use ap_serve;
 pub use ap_sim;
@@ -91,6 +94,7 @@ pub use perf_model;
 
 /// Convenient re-exports of the most frequently used types across the workspace.
 pub mod prelude {
+    pub use ap_analyze::{AnalysisReport, Analyzer, CapacityContext, Finding, Severity};
     pub use ap_knn::{
         ApKnnEngine, AutoPlanner, BoardCapacity, ExecutionMode, ExecutionPlanner, FaultPlan,
         JaccardSearcher, KnnDesign, LiveConfig, LiveEngine, LiveStatus, ParallelApScheduler,

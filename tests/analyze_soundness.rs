@@ -1,0 +1,366 @@
+//! Soundness gates for the static analyzer.
+//!
+//! Two contracts are enforced here, on random automata networks:
+//!
+//! * **Dead-element soundness** — every element the reach pass flags as
+//!   `dead-element` (dead *and* individually removable) can be deleted, one
+//!   at a time, without changing the [`ReferenceSimulator`] report stream of
+//!   any input by a single event, and without invalidating the network.
+//! * **Clean-network totality** — a network with zero `Error`-severity
+//!   findings always passes `validate()`, always compiles, and its compiled
+//!   image always passes translation validation.
+//!
+//! Plus directed translation-validation checks over the real board images
+//! the engines serve (kNN partitions, the PCRE dictionary), including the
+//! mutated-CSR-edge rejection the strict mode relies on.
+
+use ap_similarity::ap_analyze::{reach_pass, transval_pass, verify_compilation};
+use ap_similarity::ap_sim::{
+    AutomataNetwork, BooleanFunction, CompiledEdge, CompiledNetwork, ConnectPort, CounterMode,
+    ElementId, ElementKind, ReferenceSimulator, ReportEvent, StartKind, SymbolClass,
+};
+use ap_similarity::prelude::*;
+use proptest::prelude::*;
+
+/// Tiny deterministic PRNG (xorshift64*) so one `u64` seed fully describes a
+/// network; keeps the generator identical under the offline proptest shim and
+/// the real crate.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Symbols are drawn from a small alphabet so random streams regularly hit
+/// the random classes.
+const ALPHABET: u8 = 8;
+
+fn random_class(g: &mut Gen) -> SymbolClass {
+    match g.below(5) {
+        0 => SymbolClass::any(),
+        1 => SymbolClass::single(g.below(ALPHABET as usize) as u8),
+        2 => SymbolClass::all_except(g.below(ALPHABET as usize) as u8),
+        3 => {
+            let lo = g.below(ALPHABET as usize) as u8;
+            let hi = lo + g.below((ALPHABET - lo) as usize) as u8;
+            SymbolClass::range(lo, hi)
+        }
+        _ => SymbolClass::bit_slice(g.below(3) as u8, g.chance(50)),
+    }
+}
+
+/// Builds a random, always-valid, fully-live network: STEs first (STE 0 is a
+/// start state and every non-start STE has an earlier driver, so everything
+/// traces to a start), then counters, then boolean gates.
+fn random_live_network(seed: u64) -> (AutomataNetwork, Vec<ElementId>, Vec<bool>) {
+    let mut g = Gen::new(seed);
+    let mut net = AutomataNetwork::new();
+    let n_stes = 1 + g.below(10);
+    let n_counters = g.below(4);
+    let n_booleans = g.below(4);
+
+    let mut stes = Vec::with_capacity(n_stes);
+    let mut is_start = Vec::with_capacity(n_stes);
+    for i in 0..n_stes {
+        let start = if i == 0 || g.chance(30) {
+            if g.chance(25) {
+                StartKind::StartOfData
+            } else {
+                StartKind::AllInput
+            }
+        } else {
+            StartKind::None
+        };
+        is_start.push(start != StartKind::None);
+        let report = g.chance(70).then_some(i as u32);
+        stes.push(net.add_ste(format!("s{i}"), random_class(&mut g), start, report));
+    }
+    for i in 1..n_stes {
+        if !is_start[i] || g.chance(40) {
+            net.connect(stes[g.below(i)], stes[i]).unwrap();
+        }
+        if g.chance(25) {
+            net.connect(stes[i], stes[i]).unwrap();
+        }
+    }
+
+    for c in 0..n_counters {
+        let mode = if g.chance(50) {
+            CounterMode::Pulse
+        } else {
+            CounterMode::Latch
+        };
+        let report = g.chance(70).then_some((1000 + c) as u32);
+        let counter = net.add_counter_with_increment(
+            format!("c{c}"),
+            1 + g.below(6) as u32,
+            mode,
+            report,
+            1 + g.below(3) as u32,
+        );
+        for _ in 0..1 + g.below(3) {
+            net.connect_port(stes[g.below(n_stes)], counter, ConnectPort::CountEnable)
+                .unwrap();
+        }
+        if g.chance(60) {
+            net.connect_port(stes[g.below(n_stes)], counter, ConnectPort::CountReset)
+                .unwrap();
+        }
+        if g.chance(60) {
+            net.connect(counter, stes[g.below(n_stes)]).unwrap();
+        }
+    }
+
+    for b in 0..n_booleans {
+        let function = match g.below(6) {
+            0 => BooleanFunction::And,
+            1 => BooleanFunction::Or,
+            2 => BooleanFunction::Nand,
+            3 => BooleanFunction::Nor,
+            4 => BooleanFunction::Xor,
+            _ => BooleanFunction::Not,
+        };
+        let report = g.chance(70).then_some((2000 + b) as u32);
+        let gate = net.add_boolean(format!("b{b}"), function, report);
+        let inputs = if function == BooleanFunction::Not {
+            1
+        } else {
+            1 + g.below(3)
+        };
+        for _ in 0..inputs {
+            net.connect(stes[g.below(n_stes)], gate).unwrap();
+        }
+    }
+
+    net.validate().expect("generator must build valid networks");
+    (net, stes, is_start)
+}
+
+/// Grafts deliberately-dead fabric onto a live network: a dead two-cycle
+/// (whose members are *not* individually removable) plus 1–3 fringe STEs
+/// hanging off it, which the reach pass must flag as removable
+/// `dead-element`s — some reporting, some also driving live STEs that keep
+/// an alternative driver.
+fn random_network_with_dead_fabric(seed: u64) -> AutomataNetwork {
+    let (mut net, stes, is_start) = random_live_network(seed);
+    let mut g = Gen::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+
+    let d0 = net.add_ste("dead-cycle-0", random_class(&mut g), StartKind::None, None);
+    let d1 = net.add_ste("dead-cycle-1", random_class(&mut g), StartKind::None, None);
+    net.connect(d0, d1).unwrap();
+    net.connect(d1, d0).unwrap();
+
+    let driven: Vec<ElementId> = stes
+        .iter()
+        .zip(&is_start)
+        .filter(|&(_, &start)| !start)
+        .map(|(&id, _)| id)
+        .collect();
+    for f in 0..1 + g.below(3) {
+        let report = g.chance(50).then_some((3000 + f) as u32);
+        let fringe = net.add_ste(
+            format!("dead-fringe-{f}"),
+            random_class(&mut g),
+            StartKind::None,
+            report,
+        );
+        net.connect(if g.chance(50) { d0 } else { d1 }, fringe)
+            .unwrap();
+        // Optionally fan the dead fringe into a live non-start STE: that STE
+        // keeps its original (live) driver, so the fringe stays removable.
+        if !driven.is_empty() && g.chance(50) {
+            net.connect(fringe, driven[g.below(driven.len())]).unwrap();
+        }
+    }
+
+    net.validate()
+        .expect("dead fabric must not invalidate the network");
+    net
+}
+
+/// Rebuilds `net` without `dead`, preserving element parameters, labels, and
+/// global connection insertion order (which fixes boolean input order).
+fn without_element(net: &AutomataNetwork, dead: ElementId) -> AutomataNetwork {
+    let mut out = AutomataNetwork::new();
+    let mut map: Vec<Option<ElementId>> = vec![None; net.len()];
+    for e in net.elements() {
+        if e.id == dead {
+            continue;
+        }
+        let new_id = match &e.kind {
+            ElementKind::Ste {
+                symbols,
+                start,
+                report,
+            } => out.add_ste(e.label.clone(), *symbols, *start, *report),
+            ElementKind::Counter {
+                threshold,
+                mode,
+                report,
+                max_increment_per_cycle,
+            } => out.add_counter_with_increment(
+                e.label.clone(),
+                *threshold,
+                *mode,
+                *report,
+                *max_increment_per_cycle,
+            ),
+            ElementKind::Boolean { function, report } => {
+                out.add_boolean(e.label.clone(), *function, *report)
+            }
+        };
+        map[e.id.index()] = Some(new_id);
+    }
+    for c in net.connections() {
+        if let (Some(from), Some(to)) = (map[c.from.index()], map[c.to.index()]) {
+            out.connect_port(from, to, c.port).unwrap();
+        }
+    }
+    out
+}
+
+/// Element ids shift when an element is deleted, so report streams are
+/// compared as (code, offset) pairs — the externally observable surface.
+fn report_keys(reports: &[ReportEvent]) -> Vec<(u32, u64)> {
+    reports.iter().map(|r| (r.code, r.offset)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Deleting any single analyzer-flagged `dead-element` leaves the
+    /// reference report stream bit-identical and the network valid.
+    #[test]
+    fn deleting_any_flagged_dead_element_preserves_the_report_stream(
+        seed in proptest::prelude::any::<u64>(),
+        stream in prop::collection::vec(0u8..ALPHABET, 0..60),
+    ) {
+        let net = random_network_with_dead_fabric(seed);
+        let dead: Vec<usize> = reach_pass(&net)
+            .iter()
+            .filter(|f| f.code == "dead-element")
+            .flat_map(|f| f.elements.clone())
+            .collect();
+        // The injected fringe guarantees the property is never vacuous.
+        prop_assert!(!dead.is_empty(), "no removable dead element flagged (seed {})", seed);
+
+        let baseline = report_keys(&ReferenceSimulator::new(&net).unwrap().run(&stream));
+        for id in dead {
+            let pruned = without_element(&net, ElementId(id));
+            prop_assert!(
+                pruned.validate().is_ok(),
+                "deleting flagged element {} invalidated the network (seed {})", id, seed
+            );
+            let got = report_keys(&ReferenceSimulator::new(&pruned).unwrap().run(&stream));
+            prop_assert_eq!(
+                got, baseline.clone(),
+                "deleting flagged element {} changed the report stream (seed {})", id, seed
+            );
+        }
+    }
+
+    /// Analyzer-clean networks (zero `Error` findings) always validate,
+    /// always compile, and their images pass translation validation.
+    #[test]
+    fn analyzer_clean_networks_validate_and_compile(seed in proptest::prelude::any::<u64>()) {
+        // Half the cases carry dead (Warn/Info) fabric: clean means
+        // Error-free, not finding-free.
+        let net = if seed.is_multiple_of(2) {
+            random_live_network(seed).0
+        } else {
+            random_network_with_dead_fabric(seed)
+        };
+        let report = Analyzer::new().analyze_network("random", &net);
+        prop_assert!(report.is_clean(), "generator produced Error findings (seed {})", seed);
+        prop_assert!(net.validate().is_ok(), "clean network failed validate() (seed {})", seed);
+        let compiled = CompiledNetwork::compile(&net);
+        prop_assert!(compiled.is_ok(), "clean network failed to compile (seed {})", seed);
+        prop_assert!(
+            verify_compilation(&net, &compiled.unwrap()).is_ok(),
+            "fresh image failed translation validation (seed {})", seed
+        );
+    }
+}
+
+/// Every real board image the engines serve must pass translation validation
+/// as compiled — kNN partitions across shapes, and the PCRE dictionary.
+#[test]
+fn translation_validator_accepts_real_board_images() {
+    for (n, dims, seed) in [(24usize, 16usize, 1u64), (40, 32, 2), (16, 48, 3)] {
+        let design = KnnDesign::new(dims);
+        let data = binvec::generate::uniform_dataset(n, dims, seed);
+        let pn = ap_knn::PartitionNetwork::build_from_dataset(&data, 0, &design);
+        let compiled = CompiledNetwork::compile(&pn.network).expect("board image compiles");
+        verify_compilation(&pn.network, &compiled).expect("fresh kNN image validates");
+    }
+
+    let patterns = ["status", "error", "GET", "status [45]\\d\\d", "user=[a-z]+"];
+    let set = PcreSet::compile(&patterns).expect("dictionary compiles");
+    let compiled = CompiledNetwork::compile(set.network()).expect("pcre image compiles");
+    verify_compilation(set.network(), &compiled).expect("fresh PCRE image validates");
+}
+
+/// A single mutated CSR successor edge in a real kNN board image must be
+/// rejected with an `Error` finding pinned to the corrupted element.
+#[test]
+fn corrupted_csr_edge_is_rejected_with_a_pinned_finding() {
+    let design = KnnDesign::new(16);
+    let data = binvec::generate::uniform_dataset(12, 16, 7);
+    let pn = ap_knn::PartitionNetwork::build_from_dataset(&data, 0, &design);
+    let mut compiled = CompiledNetwork::compile(&pn.network).expect("board image compiles");
+
+    let (victim, original) = {
+        let view = compiled.view();
+        (0..pn.network.len())
+            .find_map(|e| {
+                view.successor_edges(e)
+                    .first()
+                    .copied()
+                    .map(|edge| (e, edge))
+            })
+            .expect("a kNN board image has successor edges")
+    };
+    // Flip the edge to a different kind (the image has counters, so slot 0
+    // always exists).
+    let mutated = match original {
+        CompiledEdge::ActivateSte { .. } | CompiledEdge::CountEnable { .. } => {
+            CompiledEdge::CountReset { slot: 0 }
+        }
+        CompiledEdge::CountReset { slot } => CompiledEdge::CountEnable { slot },
+    };
+    compiled
+        .inject_successor_fault(victim, 0, mutated)
+        .expect("fault injection targets a real edge");
+
+    let findings = transval_pass(&pn.network, &compiled);
+    let finding = findings
+        .iter()
+        .find(|f| f.code == "successor-edge-mismatch")
+        .expect("the mutated edge is detected");
+    assert_eq!(finding.severity, Severity::Error);
+    assert!(
+        finding.elements.contains(&victim),
+        "finding {finding} does not pin element {victim}"
+    );
+    let err = verify_compilation(&pn.network, &compiled).expect_err("strict mode rejects");
+    assert!(err.contains("successor-edge-mismatch"), "{err}");
+}

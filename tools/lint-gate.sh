@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Lint gate, run in CI:
+#
+#  1. No unwrap()/expect() in non-test ap-serve / ap-knn source outside the
+#     fixed-string allowlist (tools/lint-allowlist.txt). Serving and engine
+#     code must handle errors or document why a panic is impossible; unit
+#     tests (everything from the first `#[cfg(test)]` line down) and comment
+#     lines are exempt.
+#  2. The analyzer crate is clippy-clean at -D warnings across all targets.
+#
+# Exit nonzero on any violation, printing file:line for each.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist=tools/lint-allowlist.txt
+if [ ! -s "$allowlist" ]; then
+    echo "lint-gate: missing or empty $allowlist" >&2
+    exit 2
+fi
+
+fail=0
+while IFS= read -r file; do
+    # Truncate each file at its unit-test module and drop comment-only lines,
+    # then flag unwrap()/expect() not matching any allowlist fixed string.
+    violations=$(
+        awk '!/^[[:space:]]*\/\//{ if ($0 ~ /^#\[cfg\(test\)\]/) exit; print FILENAME":"FNR": "$0 }' "$file" |
+            grep -E '\.unwrap\(\)|\.expect\(' |
+            grep -v -F -f "$allowlist" || true
+    )
+    if [ -n "$violations" ]; then
+        printf '%s\n' "$violations"
+        fail=1
+    fi
+done < <(find crates/ap-serve/src crates/ap-knn/src -name '*.rs' | sort)
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint-gate: unhandled unwrap()/expect() in serving code." >&2
+    echo "lint-gate: handle the error, or add a justified entry to $allowlist." >&2
+    exit 1
+fi
+
+cargo clippy -p ap-analyze --all-targets -- -D warnings
+
+echo "lint-gate: OK"
