@@ -16,6 +16,9 @@
 //! * the 256-entry symbol index (dense bitsets decoded back to lists) against
 //!   the `AllInput` STEs whose mask contains each symbol, plus the
 //!   `StartOfData` list;
+//! * the lane symbol-class planes — the deduplicated per-class 256-bit masks
+//!   the lane core matches through *instead of* the per-element masks — both
+//!   the first-occurrence class assignment and each plane's content;
 //! * the CSR successor edges of every element, in connection order, after
 //!   applying the compiler's drop rule (activation edges into boolean gates
 //!   are elided because gates pull their inputs).
@@ -307,6 +310,84 @@ pub fn transval_pass(net: &AutomataNetwork, compiled: &CompiledNetwork) -> Vec<F
         }
     }
 
+    // Lane symbol-class planes. The lane core matches symbols *exclusively*
+    // through this table (never the per-element masks), so a corrupt plane
+    // diverts every lane of every query while the scalar core stays correct —
+    // exactly the kind of silent skew this pass exists to catch. The expected
+    // table is rebuilt from the source classes with the compiler's documented
+    // dedup rule: one class per distinct mask, ids in first-occurrence
+    // element order.
+    let mut expected_classes: Vec<[u64; 4]> = Vec::new();
+    for e in net.elements() {
+        let idx = e.id.index();
+        let expected_mask = match &e.kind {
+            ElementKind::Ste { symbols, .. } => symbols.to_words(),
+            _ => [0u64; 4],
+        };
+        let expected_class = match expected_classes.iter().position(|m| *m == expected_mask) {
+            Some(p) => p,
+            None => {
+                expected_classes.push(expected_mask);
+                expected_classes.len() - 1
+            }
+        };
+        let class = view.symbol_class_of(idx) as usize;
+        if class != expected_class {
+            out.push(
+                "lane-plane-mismatch",
+                Severity::Error,
+                vec![idx],
+                format!(
+                    "element {} ('{}'): image assigns lane symbol class {}, \
+                     first-occurrence dedup expects {}",
+                    idx, e.label, class, expected_class
+                ),
+            );
+            continue;
+        }
+        if class >= view.symbol_class_count() {
+            out.push(
+                "lane-plane-table-mismatch",
+                Severity::Error,
+                vec![idx],
+                format!(
+                    "element {} ('{}'): lane symbol class {} is out of range \
+                     ({} planes stored)",
+                    idx,
+                    e.label,
+                    class,
+                    view.symbol_class_count()
+                ),
+            );
+            continue;
+        }
+        if view.symbol_class_mask(class) != expected_mask {
+            out.push(
+                "lane-plane-mismatch",
+                Severity::Error,
+                vec![idx],
+                format!(
+                    "element {} ('{}'): lane symbol plane {} differs from the source \
+                     class — the lane core would match a different symbol set than \
+                     the scalar core",
+                    idx, e.label, class
+                ),
+            );
+        }
+    }
+    if view.symbol_class_count() != expected_classes.len() {
+        out.push(
+            "lane-plane-table-mismatch",
+            Severity::Error,
+            Vec::new(),
+            format!(
+                "image stores {} lane symbol planes, source masks deduplicate to {}",
+                view.symbol_class_count(),
+                expected_classes.len()
+            ),
+        );
+    }
+
     // CSR successor edges, in connection order, applying the drop rule.
     let counter_slot_of = |idx: usize| {
         expected_counters
@@ -399,6 +480,25 @@ mod tests {
             .expect("edge mismatch finding");
         assert_eq!(f.severity, Severity::Error);
         assert_eq!(f.elements, vec![1]);
+    }
+
+    #[test]
+    fn flipped_lane_plane_bit_is_pinned_to_the_element() {
+        let net = sample_network();
+        let mut compiled = CompiledNetwork::compile(&net).unwrap();
+        // Flip one bit of element 1's ('b', class [a-z]) shared symbol plane:
+        // the lane core would now see 'q' outside the class while the scalar
+        // core still matches it.
+        compiled.inject_class_plane_fault(1, b'q').unwrap();
+        let fs = transval_pass(&net, &compiled);
+        let f = fs
+            .iter()
+            .find(|f| f.code == "lane-plane-mismatch")
+            .expect("lane plane mismatch finding");
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.elements, vec![1]);
+        // The scalar-side checks stay green: only the lane table is corrupt.
+        assert!(fs.iter().all(|f| f.code == "lane-plane-mismatch"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! neighbor-for-neighbor with the CPU baselines.
 
 use crate::stream::StreamLayout;
+use ap_sim::lanes::LaneReportEvent;
 use ap_sim::ReportEvent;
 use binvec::{Neighbor, TopK};
 
@@ -31,6 +32,40 @@ pub fn merge_reports_into(
         }
         if let Some(distance) = layout.distance_for_report_offset(window_offset) {
             accumulators[query_idx].offer(Neighbor::new(base_index + r.code as usize, distance));
+        }
+    }
+}
+
+/// Decodes lane-core report events (one 64-query pass, see
+/// [`crate::lanes::encode_lane_planes_into`]) into per-query neighbor
+/// candidates and merges them into existing top-k accumulators.
+///
+/// Offsets of lane events are *window* offsets — every lane shares one
+/// window — so no [`StreamLayout::split_offset`] division happens here; the
+/// query index is `lane_base + lane bit`. `lane_base` is the global index of
+/// the pass's lane 0 (pass `p` of a batch has `lane_base = p * 64`), and
+/// `base_index` turns report codes into global dataset ids exactly as in
+/// [`merge_reports_into`].
+pub fn merge_lane_reports_into(
+    layout: &StreamLayout,
+    reports: &[LaneReportEvent],
+    base_index: usize,
+    lane_base: usize,
+    accumulators: &mut [TopK],
+) {
+    for r in reports {
+        let Some(distance) = layout.distance_for_report_offset(r.offset as usize) else {
+            continue;
+        };
+        let mut lanes = r.lanes;
+        while lanes != 0 {
+            let lane = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            let query_idx = lane_base + lane;
+            if query_idx < accumulators.len() {
+                accumulators[query_idx]
+                    .offer(Neighbor::new(base_index + r.code as usize, distance));
+            }
         }
     }
 }

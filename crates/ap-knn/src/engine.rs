@@ -69,6 +69,13 @@ pub struct ApRunStats {
     /// Report traffic in bits (32 bits of id + offset bookkeeping per report, per
     /// the paper's §VI-C accounting).
     pub report_bits: u64,
+    /// Lane word width when the bit-parallel lane core executed this run
+    /// ([`ap_sim::lanes::MAX_LANES`]), or 0 for the scalar and behavioural
+    /// paths.
+    pub lane_width: usize,
+    /// Fraction of lane slots that carried a live query:
+    /// `queries / (passes × lane_width)`. 0.0 when the lane core did not run.
+    pub lane_fill: f64,
     /// Wall-clock estimate (streaming + reconfiguration).
     pub estimate: ExecutionEstimate,
 }
@@ -80,6 +87,13 @@ impl ApRunStats {
     }
 }
 
+/// Smallest cycle-accurate batch routed through the bit-parallel lane core.
+/// Even two queries already halve the streamed cycles (one shared window
+/// instead of two), so the default threshold is the smallest batch where
+/// lanes can win; single queries stay on the scalar core, which has no
+/// per-cycle group/class bookkeeping.
+pub const DEFAULT_LANE_THRESHOLD: usize = 2;
+
 /// The AP kNN engine.
 #[derive(Clone, Debug)]
 pub struct ApKnnEngine {
@@ -89,6 +103,7 @@ pub struct ApKnnEngine {
     throughput: ThroughputModel,
     parallelism: usize,
     strict_analysis: bool,
+    lane_threshold: usize,
 }
 
 impl ApKnnEngine {
@@ -104,7 +119,26 @@ impl ApKnnEngine {
             throughput: ThroughputModel::PaperPipelined,
             parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
             strict_analysis: false,
+            lane_threshold: DEFAULT_LANE_THRESHOLD,
         }
+    }
+
+    /// Overrides the smallest cycle-accurate batch that runs on the
+    /// bit-parallel lane core (64 queries per pass) instead of the scalar
+    /// window-per-query core. Results and all non-lane statistics are
+    /// bit-identical either way; `usize::MAX` disables the lane path.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is zero (a zero-query batch streams nothing).
+    pub fn with_lane_threshold(mut self, threshold: usize) -> Self {
+        assert!(threshold > 0, "lane threshold must be at least 1");
+        self.lane_threshold = threshold;
+        self
+    }
+
+    /// The smallest cycle-accurate batch routed through the lane core.
+    pub fn lane_threshold(&self) -> usize {
+        self.lane_threshold
     }
 
     /// Enables (or disables) strict static analysis: every compiled board
@@ -275,6 +309,10 @@ impl ApKnnEngine {
             charged_cycles,
             reports,
             report_bits,
+            // The accounting model is execution-core-agnostic; the prepared
+            // engine overwrites the lane gauges when the lane core ran.
+            lane_width: 0,
+            lane_fill: 0.0,
             estimate,
         }
     }
@@ -557,14 +595,55 @@ mod tests {
             auto.try_search_batch(&data, &queries, &options).unwrap(),
             fixed
         );
-        // A strict budget forces the behavioural fallback; results still match.
+        // A strict budget forces the behavioural fallback; neighbors still
+        // match, and the stats are exactly the pinned-behavioural stats (the
+        // lane gauges legitimately differ from the cycle-accurate run's).
         let strict = ApKnnEngine::new(design).with_planner(ExecutionPlanner::Auto(
             AutoPlanner::measured().with_budget_s(1e-9),
         ));
+        let behavioral = ApKnnEngine::new(design)
+            .with_mode(ExecutionMode::Behavioral)
+            .try_search_batch(&data, &queries, &options)
+            .unwrap();
         assert_eq!(
             strict.try_search_batch(&data, &queries, &options).unwrap(),
-            fixed
+            behavioral
         );
+        assert_eq!(behavioral.0, fixed.0);
+    }
+
+    #[test]
+    fn lane_threshold_routes_batches_and_surfaces_in_stats() {
+        let dims = 12;
+        let data = uniform_dataset(30, dims, 41);
+        let queries = uniform_queries(5, dims, 42);
+        let options = QueryOptions::top(4);
+        let design = KnnDesign::new(dims);
+        // Default threshold: a 5-query batch runs on the lane core.
+        let laned = ApKnnEngine::new(design);
+        assert_eq!(laned.lane_threshold(), DEFAULT_LANE_THRESHOLD);
+        let (lane_results, lane_stats) = laned.try_search_batch(&data, &queries, &options).unwrap();
+        assert_eq!(lane_stats.lane_width, ap_sim::MAX_LANES);
+        assert!((lane_stats.lane_fill - 5.0 / 64.0).abs() < 1e-12);
+        // Threshold usize::MAX: the same batch runs scalar; neighbors and all
+        // non-lane statistics are bit-identical.
+        let scalar = ApKnnEngine::new(design).with_lane_threshold(usize::MAX);
+        let (scalar_results, scalar_stats) =
+            scalar.try_search_batch(&data, &queries, &options).unwrap();
+        assert_eq!(scalar_stats.lane_width, 0);
+        assert_eq!(scalar_stats.lane_fill, 0.0);
+        assert_eq!(lane_results, scalar_results);
+        let normalized = ApRunStats {
+            lane_width: 0,
+            lane_fill: 0.0,
+            ..lane_stats
+        };
+        assert_eq!(normalized, scalar_stats);
+        // Single queries stay scalar even at the default threshold.
+        let (_, single) = laned
+            .try_search_batch(&data, &queries[..1], &options)
+            .unwrap();
+        assert_eq!(single.lane_width, 0);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Lane-plane encoding: one 64-query pass instead of 64 windows.
+//!
+//! The scalar encoder ([`StreamLayout::encode_batch_into`]) concatenates one
+//! window per query, so a batch of `B` queries streams `B × window_len`
+//! symbols and the fabric replays its whole sort phase `B` times. The lane
+//! encoder instead stacks up to [`MAX_LANES`] queries as *bit-planes* of a
+//! single window: every query shares the SOF/filler/EOF control skeleton
+//! (uniform cycles), and each data cycle `i` splits the lanes into at most
+//! two groups — the queries whose bit `i` is 1 and those whose bit `i` is 0.
+//! The lane core ([`ap_sim::lanes`]) then advances all queries through one
+//! window-length pass, and each report event carries the lane mask of the
+//! queries it belongs to.
+//!
+//! This is the module the §VI-B multiplexing chapter composes with: multiplex
+//! widens the *fabric* (more vectors per pass), lanes widen the *stream*
+//! (more queries per pass).
+
+use crate::stream::StreamLayout;
+use ap_sim::lanes::{LaneStream, MAX_LANES};
+use binvec::BinaryVector;
+
+/// Encodes up to [`MAX_LANES`] queries as bit-planes of one window into a
+/// caller-owned [`LaneStream`] (cleared first, allocations kept — the lane
+/// analogue of [`StreamLayout::encode_batch_into`]).
+///
+/// Lane `l` of the stream carries `queries[l]`; run the result with
+/// [`ap_sim::CompiledNetwork::run_lanes_into`] and demultiplex reports by
+/// lane bit. Offsets of lane report events are *window* offsets — feed them
+/// to [`StreamLayout::distance_for_report_offset`] directly, no
+/// [`StreamLayout::split_offset`] division.
+///
+/// # Panics
+/// Panics if `queries` is empty, holds more than [`MAX_LANES`] vectors, or
+/// any query's dimensionality differs from the layout's.
+pub fn encode_lane_planes_into(
+    layout: &StreamLayout,
+    queries: &[BinaryVector],
+    out: &mut LaneStream,
+) {
+    assert!(
+        (1..=MAX_LANES).contains(&queries.len()),
+        "lane pass holds 1..={MAX_LANES} queries, got {}",
+        queries.len()
+    );
+    for q in queries {
+        assert_eq!(
+            q.dims(),
+            layout.dims,
+            "query dims {} != layout dims {}",
+            q.dims(),
+            layout.dims
+        );
+    }
+    out.begin(queries.len());
+    let full = out.width_mask();
+    out.push_uniform_cycle(layout.sof);
+    for i in 0..layout.dims {
+        let mut ones = 0u64;
+        for (l, q) in queries.iter().enumerate() {
+            if q.get(i) {
+                ones |= 1u64 << l;
+            }
+        }
+        out.push_group(1, ones);
+        out.push_group(0, !ones & full);
+        out.end_cycle();
+    }
+    for _ in 0..layout.filler_count() {
+        out.push_uniform_cycle(layout.filler);
+    }
+    out.push_uniform_cycle(layout.eof);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PartitionNetwork;
+    use crate::decode::{decode_reports, merge_lane_reports_into};
+    use crate::design::KnnDesign;
+    use binvec::{BinaryVector, TopK};
+
+    fn random_vectors(n: usize, dims: usize, seed: u64) -> Vec<BinaryVector> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                let bits: Vec<u8> = (0..dims)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) & 1) as u8
+                    })
+                    .collect();
+                BinaryVector::from_bits(&bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_stream_covers_one_window() {
+        let design = KnnDesign::new(8);
+        let layout = StreamLayout::for_design(&design);
+        let queries = random_vectors(5, 8, 7);
+        let mut stream = LaneStream::new();
+        encode_lane_planes_into(&layout, &queries, &mut stream);
+        assert_eq!(stream.cycles(), layout.window_len());
+        assert_eq!(stream.width(), 5);
+        // Re-encoding reuses the buffer.
+        encode_lane_planes_into(&layout, &queries[..3], &mut stream);
+        assert_eq!(stream.width(), 3);
+        assert_eq!(stream.cycles(), layout.window_len());
+    }
+
+    #[test]
+    fn lane_pass_matches_scalar_windows_per_query() {
+        // One lane pass over the partition fabric must produce exactly the
+        // per-query neighbors of the scalar window-per-query run.
+        let dims = 16;
+        let design = KnnDesign::new(dims);
+        let layout = StreamLayout::for_design(&design);
+        let dataset = binvec::BinaryDataset::from_vectors(dims, random_vectors(24, dims, 11));
+        let queries = random_vectors(6, dims, 23);
+        let partition = PartitionNetwork::build_from_dataset(&dataset, 0, &design);
+        let compiled = ap_sim::CompiledNetwork::compile(&partition.network).unwrap();
+
+        // Scalar: one window per query, decoded by absolute offset.
+        let scalar_stream = layout.encode_batch(&queries);
+        let mut st = compiled.new_state();
+        let mut scalar_reports = Vec::new();
+        compiled.run_into(&mut st, &scalar_stream, &mut scalar_reports);
+        let scalar = decode_reports(&layout, &scalar_reports, 0, queries.len(), 4);
+
+        // Lanes: one pass, demuxed by lane mask.
+        let mut lane_stream = LaneStream::new();
+        encode_lane_planes_into(&layout, &queries, &mut lane_stream);
+        let mut lst = compiled.new_lane_state();
+        let mut lane_reports = Vec::new();
+        compiled.run_lanes_into(&mut lst, &lane_stream, &mut lane_reports);
+        let mut acc: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(4)).collect();
+        merge_lane_reports_into(&layout, &lane_reports, 0, 0, &mut acc);
+        let lanes: Vec<_> = acc.into_iter().map(TopK::into_sorted).collect();
+
+        assert_eq!(lanes, scalar);
+        // The lane pass is one window long; the scalar run is one per query.
+        assert_eq!(lst.cycle() as usize * queries.len(), st.cycle() as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane pass holds")]
+    fn empty_lane_batch_panics() {
+        let layout = StreamLayout::for_design(&KnnDesign::new(8));
+        encode_lane_planes_into(&layout, &[], &mut LaneStream::new());
+    }
+}

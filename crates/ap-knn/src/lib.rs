@@ -60,6 +60,7 @@ pub mod engine;
 pub mod extensions;
 pub mod indexed;
 pub mod jaccard;
+pub mod lanes;
 pub mod live;
 pub mod macros;
 pub mod multiplex;
@@ -78,6 +79,7 @@ pub use decode::decode_reports;
 pub use design::{KnnDesign, SymbolAlphabet};
 pub use engine::{ApKnnEngine, ApRunStats, ExecutionMode};
 pub use jaccard::{JaccardNeighbor, JaccardSearcher};
+pub use lanes::encode_lane_planes_into;
 pub use live::{LiveConfig, LiveEngine, LiveStatus};
 pub use plan::{AutoPlanner, ExecutionPlanner};
 pub use prepared::{PoolStats, PreparedEngine};

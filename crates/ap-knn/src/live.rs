@@ -646,6 +646,8 @@ fn zero_stats() -> ApRunStats {
         charged_cycles: 0,
         reports: 0,
         report_bits: 0,
+        lane_width: 0,
+        lane_fill: 0.0,
         estimate: Default::default(),
     }
 }
@@ -657,6 +659,10 @@ fn accumulate(total: &mut ApRunStats, part: &ApRunStats) {
     total.charged_cycles += part.charged_cycles;
     total.reports += part.reports;
     total.report_bits += part.report_bits;
+    // Lane gauges are peaks, not sums: base + delta partitions run the same
+    // batch, so the widest/fullest pass describes the whole search.
+    total.lane_width = total.lane_width.max(part.lane_width);
+    total.lane_fill = total.lane_fill.max(part.lane_fill);
     total.estimate.streaming_s += part.estimate.streaming_s;
     total.estimate.reconfiguration_s += part.estimate.reconfiguration_s;
     total.estimate.symbols += part.estimate.symbols;

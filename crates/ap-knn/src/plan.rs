@@ -34,6 +34,12 @@ pub const BASE_NS_PER_SYMBOL: f64 = 1_700.0;
 pub const NS_PER_ELEMENT_SYMBOL: f64 = 0.48;
 /// Default simulation budget: runs estimated under this stay cycle-accurate.
 pub const DEFAULT_BUDGET_S: f64 = 0.25;
+/// How much more one lane-core cycle costs than one scalar symbol step: the
+/// lane core touches 64-bit words per element where the scalar core touches
+/// a sparse frontier, so a lane cycle is a small constant factor heavier —
+/// but a 64-query batch needs ~64× fewer cycles, so the lane path wins
+/// whenever the batch fills more than a few lanes (`sim_lanes` bench).
+pub const LANE_CYCLE_COST_FACTOR: f64 = 3.0;
 
 /// Picks an [`ExecutionMode`] from fabric size × stream length using the
 /// measured `BENCH_sim.json` cost model.
@@ -88,12 +94,44 @@ impl AutoPlanner {
         total_symbols as f64 * ns_per_symbol * 1e-9
     }
 
+    /// Estimated wall-clock seconds for the *lane* core to run `lane_cycles`
+    /// cycles on boards of `board_elements` elements: the same linear model
+    /// scaled by [`LANE_CYCLE_COST_FACTOR`]. Callers pass the critical-path
+    /// cycle count (`window_len × passes × critical-path images`).
+    pub fn estimated_lane_simulation_s(&self, board_elements: usize, lane_cycles: u64) -> f64 {
+        self.estimated_simulation_s(board_elements, lane_cycles) * LANE_CYCLE_COST_FACTOR
+    }
+
     /// The mode the planner selects for a run of this shape: cycle-accurate
     /// while the estimated simulation time fits the budget, behavioural
     /// beyond it. Deterministic in the run shape, so repeated identical
     /// batches always execute the same way.
     pub fn pick(&self, board_elements: usize, total_symbols: u64) -> ExecutionMode {
         if self.estimated_simulation_s(board_elements, total_symbols) <= self.budget_s {
+            ExecutionMode::CycleAccurate
+        } else {
+            ExecutionMode::Behavioral
+        }
+    }
+
+    /// [`pick`](Self::pick) for engines whose batch qualifies for the lane
+    /// core: when `lane_cycles` is `Some`, the cycle-accurate cost is the
+    /// *cheaper* of the scalar and lane estimates (the engine routes the batch
+    /// to whichever core the threshold selects, and the lane path typically
+    /// compresses a full batch into ~1/64 of the symbols). `None` degrades to
+    /// the scalar [`pick`](Self::pick).
+    pub fn pick_with_lanes(
+        &self,
+        board_elements: usize,
+        total_symbols: u64,
+        lane_cycles: Option<u64>,
+    ) -> ExecutionMode {
+        let scalar_s = self.estimated_simulation_s(board_elements, total_symbols);
+        let best_s = match lane_cycles {
+            Some(cycles) => scalar_s.min(self.estimated_lane_simulation_s(board_elements, cycles)),
+            None => scalar_s,
+        };
+        if best_s <= self.budget_s {
             ExecutionMode::CycleAccurate
         } else {
             ExecutionMode::Behavioral
@@ -116,6 +154,22 @@ impl ExecutionPlanner {
         match self {
             Self::Fixed(mode) => *mode,
             Self::Auto(planner) => planner.pick(board_elements, total_symbols),
+        }
+    }
+
+    /// Resolves the mode when the batch qualifies for the lane core (see
+    /// [`AutoPlanner::pick_with_lanes`]). Fixed planners still ignore shape.
+    pub fn pick_with_lanes(
+        &self,
+        board_elements: usize,
+        total_symbols: u64,
+        lane_cycles: Option<u64>,
+    ) -> ExecutionMode {
+        match self {
+            Self::Fixed(mode) => *mode,
+            Self::Auto(planner) => {
+                planner.pick_with_lanes(board_elements, total_symbols, lane_cycles)
+            }
         }
     }
 }
@@ -177,5 +231,34 @@ mod tests {
     #[should_panic(expected = "positive number of seconds")]
     fn zero_budget_panics() {
         let _ = AutoPlanner::measured().with_budget_s(0.0);
+    }
+
+    #[test]
+    fn lane_compression_keeps_big_batches_cycle_accurate() {
+        let planner = AutoPlanner::measured();
+        // A 64-query batch on a mid-size board: scalar streaming blows the
+        // budget, but one lane pass (1/64 of the symbols at 3× per-cycle
+        // cost) stays well inside it.
+        let board = 36_224;
+        let scalar_symbols = 64 * 4_000u64;
+        let lane_cycles = 4_000u64;
+        assert_eq!(
+            planner.pick(board, scalar_symbols),
+            ExecutionMode::Behavioral
+        );
+        assert_eq!(
+            planner.pick_with_lanes(board, scalar_symbols, Some(lane_cycles)),
+            ExecutionMode::CycleAccurate
+        );
+        // No lane option: degrades to the scalar decision.
+        assert_eq!(
+            planner.pick_with_lanes(board, scalar_symbols, None),
+            ExecutionMode::Behavioral
+        );
+        // Truly huge lane runs still fall back.
+        assert_eq!(
+            planner.pick_with_lanes(board, u64::MAX >> 8, Some(u64::MAX >> 16)),
+            ExecutionMode::Behavioral
+        );
     }
 }

@@ -15,10 +15,13 @@
 //! the multi-board parallel schedule.
 
 use crate::builder::PartitionNetwork;
-use crate::decode::merge_reports_into;
+use crate::decode::{merge_lane_reports_into, merge_reports_into};
 use crate::design::KnnDesign;
 use crate::engine::{ApKnnEngine, ApRunStats, ExecutionMode};
+use crate::lanes::encode_lane_planes_into;
+use crate::plan::{BASE_NS_PER_SYMBOL, LANE_CYCLE_COST_FACTOR, NS_PER_ELEMENT_SYMBOL};
 use crate::stream::StreamLayout;
+use ap_sim::lanes::{LaneReportEvent, LaneState, LaneStream, MAX_LANES};
 use ap_sim::{CompiledNetwork, CompiledState, ReportEvent};
 use binvec::dataset::DatasetPartition;
 use binvec::{
@@ -56,6 +59,14 @@ pub(crate) struct BatchScratch {
     pub(crate) stream: Vec<u8>,
     /// Images run per fan-out worker for the most recent batch.
     pub(crate) chunks: Vec<usize>,
+    /// Lane-core run state, adapted per board image via
+    /// [`CompiledNetwork::recycle_lane_state`].
+    pub(crate) lane_state: Option<LaneState>,
+    /// Lane-core report sink reused across images and passes.
+    pub(crate) lane_reports: Vec<LaneReportEvent>,
+    /// Encoded lane passes for the batch (one per 64-query chunk); streams are
+    /// re-encoded in place, so the vector only grows to the widest batch seen.
+    pub(crate) lane_streams: Vec<LaneStream>,
 }
 
 /// Occupancy statistics of a prepared engine's execution-scratch pool.
@@ -116,6 +127,14 @@ impl ScratchPool {
         }
     }
 }
+
+/// Minimum estimated simulation work (nanoseconds) a fan-out worker must have
+/// before spawning it pays: below this, thread spawn + scratch checkout + host
+/// merge overhead eats the parallel win (the committed `wide` shape recorded a
+/// 0.99× "speedup" for exactly this reason). The estimate reuses the planner's
+/// calibrated cost model, so the gate and the planner can never disagree about
+/// what a symbol costs.
+pub(crate) const MIN_WORKER_FANOUT_NS: f64 = 2_000_000.0;
 
 /// Chunk length of the contiguous worker assignment for `count` items over up
 /// to `workers` workers: worker `w` owns items `[w·span, (w+1)·span)`. This is
@@ -230,6 +249,23 @@ impl PreparedBoards {
         self.images.get().is_some_and(|r| r.is_ok())
     }
 
+    /// Clamps a requested fan-out width to the number of workers that each get
+    /// at least [`MIN_WORKER_FANOUT_NS`] of estimated simulation work.
+    /// `cost_weighted_symbols` is the per-image symbol count, pre-scaled for
+    /// the lane path (lane cycles × [`LANE_CYCLE_COST_FACTOR`]). Only the
+    /// engine batch paths use this; [`crate::scheduler::PreparedSchedule`]
+    /// models explicit boards and keeps its requested worker count.
+    pub(crate) fn gated_workers(&self, cost_weighted_symbols: u64, workers: usize) -> usize {
+        if workers <= 1 {
+            return workers.max(1);
+        }
+        let ns_per_symbol =
+            BASE_NS_PER_SYMBOL + NS_PER_ELEMENT_SYMBOL * self.board_elements() as f64;
+        let total_ns = cost_weighted_symbols as f64 * self.partitions.len() as f64 * ns_per_symbol;
+        let useful = (total_ns / MIN_WORKER_FANOUT_NS) as usize;
+        workers.min(useful.max(1))
+    }
+
     /// Streams the (shared) encoded query batch through every cached board
     /// image, fanning the images out over up to `workers` scoped threads —
     /// each standing in for one board — and merging each worker's per-query
@@ -318,6 +354,107 @@ impl PreparedBoards {
         });
         // The host merge across workers is exactly the merge across sequential
         // reconfigurations, in assignment order.
+        let mut reports_total = 0u64;
+        for (scratch, reports, images_run) in outputs {
+            for (g, partial) in global.iter_mut().zip(&scratch.accumulators) {
+                g.merge(partial);
+            }
+            chunks_out.push(images_run);
+            pool.give_back(scratch);
+            reports_total += reports;
+        }
+        Ok(reports_total)
+    }
+
+    /// The lane-core twin of [`Self::fan_out_into`]: streams the encoded lane
+    /// passes (one per 64-query chunk of the batch, see
+    /// [`crate::lanes::encode_lane_planes_into`]) through every cached board
+    /// image over up to `workers` scoped threads. Pass `p` demultiplexes into
+    /// queries `p·64 ..`, so the merged accumulators are per-query exactly as
+    /// in the scalar fan-out; the returned report count unrolls every event's
+    /// lane mask (one report per set lane), keeping
+    /// [`crate::engine::ApRunStats::reports`] identical to the scalar path.
+    pub(crate) fn fan_out_lanes_into(
+        &self,
+        streams: &[LaneStream],
+        k: usize,
+        queries_len: usize,
+        workers: usize,
+        global: &mut [TopK],
+        chunks_out: &mut Vec<usize>,
+    ) -> Result<u64, SearchError> {
+        let images = self.images()?;
+        let layout = &self.layout;
+        chunks_out.clear();
+        if images.is_empty() {
+            return Ok(0);
+        }
+        let span = assignment_span(images.len(), workers);
+        let workers = workers.min(images.len()).max(1);
+        let pool: &ScratchPool = &self.pool;
+
+        let run_chunk = |owned: &[BoardImage], scratch: &mut BatchScratch| -> u64 {
+            arm_accumulators(&mut scratch.accumulators, queries_len, k);
+            let mut reports_total = 0u64;
+            for image in owned {
+                for (pass, stream) in streams.iter().enumerate() {
+                    // Recycling adapts the pooled state to this image's
+                    // geometry *and* clears it between passes.
+                    if let Some(state) = scratch.lane_state.as_mut() {
+                        image.compiled.recycle_lane_state(state);
+                    } else {
+                        scratch.lane_state = Some(image.compiled.new_lane_state());
+                    }
+                    let state = scratch.lane_state.as_mut().expect("state just ensured");
+                    scratch.lane_reports.clear();
+                    image
+                        .compiled
+                        .run_lanes_into(state, stream, &mut scratch.lane_reports);
+                    merge_lane_reports_into(
+                        layout,
+                        &scratch.lane_reports,
+                        image.base_index,
+                        pass * MAX_LANES,
+                        &mut scratch.accumulators,
+                    );
+                    reports_total += scratch
+                        .lane_reports
+                        .iter()
+                        .map(|r| u64::from(r.lanes.count_ones()))
+                        .sum::<u64>();
+                }
+            }
+            reports_total
+        };
+
+        if workers <= 1 {
+            let mut scratch = pool.checkout();
+            let reports = run_chunk(images, &mut scratch);
+            for (g, partial) in global.iter_mut().zip(&scratch.accumulators) {
+                g.merge(partial);
+            }
+            chunks_out.push(images.len());
+            pool.give_back(scratch);
+            return Ok(reports);
+        }
+
+        let run_chunk = &run_chunk;
+        let outputs: Vec<(BatchScratch, u64, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = images
+                .chunks(span)
+                .map(|owned| {
+                    scope.spawn(move || {
+                        let mut scratch = pool.checkout();
+                        let reports = run_chunk(owned, &mut scratch);
+                        (scratch, reports, owned.len())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("board-image worker panicked"))
+                .collect()
+        });
         let mut reports_total = 0u64;
         for (scratch, reports, images_run) in outputs {
             for (g, partial) in global.iter_mut().zip(&scratch.accumulators) {
@@ -486,6 +623,12 @@ impl PreparedEngine {
 
         let partitions = self.boards.partitions();
         let configs = partitions.len().max(1);
+        // A batch wide enough to amortize lane setup runs on the lane core:
+        // each 64-query chunk becomes one window-length pass instead of 64
+        // concatenated windows.
+        let use_lanes = queries.len() >= self.engine.lane_threshold();
+        let lane_passes = queries.len().div_ceil(MAX_LANES);
+        let lane_cycles_per_image = layout.window_len() as u64 * lane_passes as u64;
         let mode = match options.execution {
             ExecutionPreference::Auto => {
                 // The planner sees the critical-path symbol count: board
@@ -493,9 +636,11 @@ impl PreparedEngine {
                 // set by the most loaded worker, not the serial sum.
                 let workers = self.engine.parallelism().min(configs).max(1);
                 let critical_configs = configs.div_ceil(workers) as u64;
-                self.engine
-                    .planner()
-                    .pick(self.boards.board_elements(), stream_len * critical_configs)
+                self.engine.planner().pick_with_lanes(
+                    self.boards.board_elements(),
+                    stream_len * critical_configs,
+                    use_lanes.then_some(lane_cycles_per_image * critical_configs),
+                )
             }
             ExecutionPreference::CycleAccurate => ExecutionMode::CycleAccurate,
             ExecutionPreference::Behavioral => ExecutionMode::Behavioral,
@@ -507,10 +652,46 @@ impl PreparedEngine {
         let mut host = self.boards.pool().checkout();
         arm_accumulators(&mut host.accumulators, queries.len(), k);
         let mut reports_total = 0u64;
+        let mut lane_ran = false;
         // An empty batch streams nothing and an empty dataset has no boards:
         // skip execution entirely (and never compile images for it).
         if !queries.is_empty() && !partitions.is_empty() {
             match mode {
+                ExecutionMode::CycleAccurate if use_lanes => {
+                    // Lane path: encode each 64-query chunk as bit-planes of
+                    // one window (into pooled streams — only a batch wider
+                    // than any before allocates a new pass buffer), then fan
+                    // the board images out exactly as the scalar path does.
+                    while host.lane_streams.len() < lane_passes {
+                        host.lane_streams.push(LaneStream::new());
+                    }
+                    for (chunk, stream) in
+                        queries.chunks(MAX_LANES).zip(host.lane_streams.iter_mut())
+                    {
+                        encode_lane_planes_into(layout, chunk, stream);
+                    }
+                    let workers = self.boards.gated_workers(
+                        (lane_cycles_per_image as f64 * LANE_CYCLE_COST_FACTOR) as u64,
+                        self.engine.parallelism(),
+                    );
+                    match self.boards.fan_out_lanes_into(
+                        &host.lane_streams[..lane_passes],
+                        k,
+                        queries.len(),
+                        workers,
+                        &mut host.accumulators,
+                        &mut host.chunks,
+                    ) {
+                        Ok(reports) => {
+                            reports_total = reports;
+                            lane_ran = true;
+                        }
+                        Err(e) => {
+                            self.boards.pool().give_back(host);
+                            return Err(e);
+                        }
+                    }
+                }
                 ExecutionMode::CycleAccurate => {
                     // The symbol stream is identical for every board image;
                     // encode it once (into the pooled buffer), then fan the
@@ -519,11 +700,14 @@ impl PreparedEngine {
                     // sequential reconfigurations, so results and statistics
                     // are identical at any worker count.
                     layout.encode_batch_into(queries, &mut host.stream);
+                    let workers = self
+                        .boards
+                        .gated_workers(stream_len, self.engine.parallelism());
                     match self.boards.fan_out_into(
                         &host.stream,
                         k,
                         queries.len(),
-                        self.engine.parallelism(),
+                        workers,
                         &mut host.accumulators,
                         &mut host.chunks,
                     ) {
@@ -553,13 +737,17 @@ impl PreparedEngine {
             }
         }
 
-        let stats = self.engine.accounting(
+        let mut stats = self.engine.accounting(
             self.boards.dataset_len(),
             queries.len(),
             configs,
             reports_total,
             layout,
         );
+        if lane_ran {
+            stats.lane_width = MAX_LANES;
+            stats.lane_fill = queries.len() as f64 / (lane_passes * MAX_LANES) as f64;
+        }
         // Decode into the caller-owned results, reusing inner allocations.
         results.truncate(queries.len());
         while results.len() < queries.len() {
@@ -603,6 +791,32 @@ mod tests {
             vectors_per_board,
             model: CapacityModel::PaperCalibrated,
         }
+    }
+
+    #[test]
+    fn worker_fanout_gate_scales_with_estimated_work() {
+        let dims = 16;
+        let data = uniform_dataset(24, dims, 70);
+        let boards = PreparedBoards::new(KnnDesign::new(dims), &data, 8, false).unwrap();
+        assert_eq!(boards.partitions().len(), 3);
+
+        // Tiny batches do not amortize a thread spawn: the gate collapses the
+        // requested fan-out to a single in-place worker.
+        assert_eq!(boards.gated_workers(0, 8), 1);
+        assert_eq!(boards.gated_workers(10, 8), 1);
+
+        // Huge batches pass the requested width straight through.
+        assert_eq!(boards.gated_workers(1_000_000, 8), 8);
+
+        // In between, the width grows with the work estimate but never
+        // exceeds the request.
+        let mid = boards.gated_workers(2_000, 8);
+        assert!((1..=8).contains(&mid));
+        assert!(boards.gated_workers(4_000, 8) >= mid);
+
+        // A serial request is always honored as-is (and zero is clamped up).
+        assert_eq!(boards.gated_workers(1_000_000, 1), 1);
+        assert_eq!(boards.gated_workers(1_000_000, 0), 1);
     }
 
     #[test]

@@ -101,6 +101,13 @@ pub(crate) fn record_dispatch(
             for (total, &cycles) in stats.shard_cycles.iter_mut().zip(&batch.shard_cycles) {
                 *total += cycles;
             }
+            if let Some(run) = &batch.run_stats {
+                if run.lane_width > 0 {
+                    stats.lane_width = stats.lane_width.max(run.lane_width);
+                    stats.lane_batches += 1;
+                    stats.lane_fill_sum += run.lane_fill;
+                }
+            }
         }
         Err(_) => {
             stats.failed_time += dispatched.elapsed;

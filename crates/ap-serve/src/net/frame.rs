@@ -30,8 +30,9 @@ pub const MAGIC: [u8; 4] = *b"APWF";
 /// The protocol version this build speaks. Version 2 added the live-corpus
 /// frames (`Insert`, `Delete`, `MutAck`) and the mutation block of
 /// [`StatsFrame`]; version 3 added the write-ahead-log gauge block of
-/// [`StatsFrame`]. Older-version peers are refused at decode.
-pub const VERSION: u8 = 3;
+/// [`StatsFrame`]; version 4 added the lane-core gauges (`lane_width`,
+/// `lane_batches`, `lane_fill`). Older-version peers are refused at decode.
+pub const VERSION: u8 = 4;
 
 /// Bytes of frame header before the payload.
 pub const HEADER_LEN: usize = 20;
@@ -115,10 +116,17 @@ pub struct StatsFrame {
     pub wal_replayed: u64,
     /// Bytes truncated off a torn log tail at the most recent restore.
     pub wal_truncated_bytes: u64,
+    /// Lane width of the execution core (64 once any batch ran on the lane
+    /// core, 0 before).
+    pub lane_width: u64,
+    /// Batches executed on the lane core.
+    pub lane_batches: u64,
     /// Wall-clock uptime in milliseconds.
     pub uptime_ms: f64,
     /// Mean records per fsync (0.0 before the first fsync).
     pub wal_group_mean: f64,
+    /// Mean lane occupancy of lane-core batches (0.0 before the first).
+    pub lane_fill: f64,
     /// Submit→dispatch queue-wait percentiles `(p50, p95, p99)` in
     /// milliseconds, absent before the first dispatched query.
     pub queue_wait_ms: Option<(f64, f64, f64)>,
@@ -158,8 +166,11 @@ impl StatsFrame {
             wal_checkpoints: stats.wal_checkpoints,
             wal_replayed: stats.wal_replayed,
             wal_truncated_bytes: stats.wal_truncated_bytes,
+            lane_width: stats.lane_width as u64,
+            lane_batches: stats.lane_batches,
             uptime_ms: stats.uptime.as_secs_f64() * 1e3,
             wal_group_mean: stats.wal_group_mean,
+            lane_fill: stats.lane_fill().unwrap_or(0.0),
             queue_wait_ms: stats.queue_wait_percentiles_ms(),
             mutation_staleness_ms: stats.mutation_staleness_percentiles_ms(),
         }
@@ -194,11 +205,14 @@ impl StatsFrame {
             self.wal_checkpoints,
             self.wal_replayed,
             self.wal_truncated_bytes,
+            self.lane_width,
+            self.lane_batches,
         ] {
             put_u64(out, value);
         }
         put_f64(out, self.uptime_ms);
         put_f64(out, self.wal_group_mean);
+        put_f64(out, self.lane_fill);
         for triple in [self.queue_wait_ms, self.mutation_staleness_ms] {
             match triple {
                 None => out.push(0),
@@ -214,12 +228,13 @@ impl StatsFrame {
 
     fn decode_payload(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
         let backend = reader.string()?;
-        let mut counters = [0u64; 26];
+        let mut counters = [0u64; 28];
         for slot in &mut counters {
             *slot = reader.u64()?;
         }
         let uptime_ms = reader.f64()?;
         let wal_group_mean = reader.f64()?;
+        let lane_fill = reader.f64()?;
         let queue_wait_ms = if reader.presence()? {
             Some((reader.f64()?, reader.f64()?, reader.f64()?))
         } else {
@@ -230,7 +245,7 @@ impl StatsFrame {
         } else {
             None
         };
-        let [workers, queue_capacity, batch_size, cache_capacity, queries_submitted, queries_served, failed_queries, deadline_expired, queue_full_rejections, batches_dispatched, cache_hits, cache_misses, ap_symbol_cycles, generation, mutations_submitted, mutations_applied, mutations_failed, delta_vectors, tombstones, wal_records, wal_bytes, wal_fsyncs, wal_group_max, wal_checkpoints, wal_replayed, wal_truncated_bytes] =
+        let [workers, queue_capacity, batch_size, cache_capacity, queries_submitted, queries_served, failed_queries, deadline_expired, queue_full_rejections, batches_dispatched, cache_hits, cache_misses, ap_symbol_cycles, generation, mutations_submitted, mutations_applied, mutations_failed, delta_vectors, tombstones, wal_records, wal_bytes, wal_fsyncs, wal_group_max, wal_checkpoints, wal_replayed, wal_truncated_bytes, lane_width, lane_batches] =
             counters;
         Ok(Self {
             backend,
@@ -260,8 +275,11 @@ impl StatsFrame {
             wal_checkpoints,
             wal_replayed,
             wal_truncated_bytes,
+            lane_width,
+            lane_batches,
             uptime_ms,
             wal_group_mean,
+            lane_fill,
             queue_wait_ms,
             mutation_staleness_ms,
         })
@@ -612,8 +630,11 @@ mod tests {
             wal_checkpoints: 1,
             wal_replayed: 4,
             wal_truncated_bytes: 13,
+            lane_width: 64,
+            lane_batches: 140,
             uptime_ms: 1234.5,
             wal_group_mean: 3.0,
+            lane_fill: 0.109375,
             queue_wait_ms: Some((0.2, 1.5, 3.0)),
             mutation_staleness_ms: Some((0.4, 2.0, 5.5)),
         };

@@ -185,6 +185,14 @@ pub struct ServiceStats {
     /// `try_submit_mutation` to the epoch swap that made the mutation
     /// observable by queries (the ack is delivered after this is recorded).
     pub mutation_staleness: LatencyHistogram,
+    /// Lane width of the execution core's SIMD-across-queries path (64 when
+    /// any dispatched batch ran on the lane core, 0 if none has yet).
+    pub lane_width: usize,
+    /// Batches that executed on the lane core.
+    pub lane_batches: u64,
+    /// Sum of per-batch lane fill (queries / lane slots) over
+    /// [`Self::lane_batches`]; read through [`Self::lane_fill`].
+    pub lane_fill_sum: f64,
     /// WAL records appended since the log was opened (0 when the backend
     /// serves without a write-ahead log). Refreshed after each applied
     /// mutation batch, like the other live-corpus gauges.
@@ -263,6 +271,12 @@ impl ServiceStats {
             .collect()
     }
 
+    /// Mean lane occupancy of lane-core batches (1.0 = every pass carried 64
+    /// queries). `None` before the first lane-core batch.
+    pub fn lane_fill(&self) -> Option<f64> {
+        (self.lane_batches > 0).then(|| self.lane_fill_sum / self.lane_batches as f64)
+    }
+
     /// Submit→dispatch queue-wait percentiles `(p50, p95, p99)` in
     /// milliseconds; `None` before the first dispatched query.
     pub fn queue_wait_percentiles_ms(&self) -> Option<(f64, f64, f64)> {
@@ -321,6 +335,16 @@ impl ServiceStats {
             .map_or(String::new(), |(p50, p95, p99)| {
                 format!(" | queue wait p50/p95/p99 {p50:.2}/{p95:.2}/{p99:.2} ms")
             });
+        let lanes = if self.lane_batches == 0 {
+            String::new()
+        } else {
+            format!(
+                " | lanes w{} ({} batches, fill {:.0}%)",
+                self.lane_width,
+                self.lane_batches,
+                self.lane_fill().unwrap_or(0.0) * 100.0,
+            )
+        };
         let mutations = if self.mutations_submitted == 0 {
             String::new()
         } else {
@@ -361,7 +385,7 @@ impl ServiceStats {
         format!(
             "served {}/{} queries | {} batches (fill {fill}) | cache hit {hit} | \
              {} AP cycles, {} reconfigs | shard load [{utilization}] | \
-             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}{mutations}{wal}",
+             {:.0} q/s wall, {:.0} q/s busy{failures}{shedding}{queue_wait}{lanes}{mutations}{wal}",
             self.queries_served,
             self.queries_submitted,
             self.batches_dispatched,
@@ -486,6 +510,20 @@ mod tests {
 
         stats.wal_truncated_bytes = 7;
         assert!(stats.report().contains("truncated 7 B"));
+    }
+
+    #[test]
+    fn lane_gauges_surface_in_the_report_only_after_a_lane_batch() {
+        let mut stats = ServiceStats::default();
+        assert_eq!(stats.lane_fill(), None);
+        assert!(!stats.report().contains("lanes"));
+        stats.lane_width = 64;
+        stats.lane_batches = 4;
+        stats.lane_fill_sum = 0.5;
+        assert!((stats.lane_fill().unwrap() - 0.125).abs() < 1e-12);
+        let report = stats.report();
+        assert!(report.contains("lanes w64 (4 batches"));
+        assert!(report.contains("fill 12"));
     }
 
     #[test]

@@ -40,9 +40,9 @@ const TAG_COUNT_ENABLE: u32 = 1;
 const TAG_COUNT_RESET: u32 = 2;
 
 /// Sentinel for "element does not report".
-const NO_REPORT: u64 = u64::MAX;
+pub(crate) const NO_REPORT: u64 = u64::MAX;
 /// Sentinel for "element has no slot of this kind".
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Minimum candidates before a symbol's start-STE set is stored as a dense
 /// bitset. Below this (or when candidates are sparser than one per frontier
@@ -63,51 +63,59 @@ fn bit_is_set(bits: &[u64], index: usize) -> bool {
 #[derive(Clone, Debug)]
 pub struct CompiledNetwork {
     /// Number of elements in the source network.
-    n: usize,
+    pub(crate) n: usize,
     /// Per-element 256-bit symbol masks (all-zero for non-STEs).
-    masks: Vec<[u64; 4]>,
+    pub(crate) masks: Vec<[u64; 4]>,
+    /// Per-element symbol-class id: elements with identical 256-bit symbol
+    /// masks share a class. The lane-parallel core matches a whole class
+    /// against a cycle's symbol groups once instead of per element.
+    pub(crate) mask_class: Vec<u32>,
+    /// Symbol-class id → the shared 256-bit mask, in first-occurrence
+    /// (ascending element) order. `class_masks[mask_class[e]] == masks[e]`
+    /// for every element — the translation validator cross-checks this.
+    pub(crate) class_masks: Vec<[u64; 4]>,
     /// Per-element report code, or [`NO_REPORT`].
-    report_of: Vec<u64>,
+    pub(crate) report_of: Vec<u64>,
     /// Per-element counter slot, or [`NO_SLOT`] for non-counters.
-    counter_slot_of: Vec<u32>,
+    pub(crate) counter_slot_of: Vec<u32>,
     /// CSR offsets into [`Self::sym_candidates`], one per symbol value (257 entries).
-    sym_off: Vec<u32>,
+    pub(crate) sym_off: Vec<u32>,
     /// `AllInput` STE element indices, grouped by matching symbol (sparse
     /// symbols only; dense symbols use [`Self::sym_dense`] instead).
-    sym_candidates: Vec<u32>,
+    pub(crate) sym_candidates: Vec<u32>,
     /// Word offset into [`Self::sym_dense`] for symbols whose candidate set is
     /// dense, or [`NO_SLOT`] for symbols served from the CSR list.
-    sym_dense_off: Vec<u32>,
+    pub(crate) sym_dense_off: Vec<u32>,
     /// Concatenated frontier-sized (`words`-word) candidate bitsets for dense
     /// symbols, ORed into the frontier word-by-word instead of per element.
-    sym_dense: Vec<u64>,
+    pub(crate) sym_dense: Vec<u64>,
     /// Frontier bitset length in `u64` words.
-    words: usize,
+    pub(crate) words: usize,
     /// `StartOfData` STE element indices (symbol mask checked on cycle 0).
-    start_of_data: Vec<u32>,
+    pub(crate) start_of_data: Vec<u32>,
     /// CSR offsets into [`Self::succ`], one per element (`n + 1` entries).
-    succ_off: Vec<u32>,
+    pub(crate) succ_off: Vec<u32>,
     /// Packed successor edges: `(payload << 2) | tag`.
-    succ: Vec<u32>,
+    pub(crate) succ: Vec<u32>,
     /// Counter slot → element index (ascending element order).
-    cnt_elem: Vec<u32>,
+    pub(crate) cnt_elem: Vec<u32>,
     /// Counter slot → threshold.
-    cnt_threshold: Vec<u32>,
+    pub(crate) cnt_threshold: Vec<u32>,
     /// Counter slot → per-cycle increment cap.
-    cnt_max_inc: Vec<u32>,
+    pub(crate) cnt_max_inc: Vec<u32>,
     /// Counter slot → `true` for [`CounterMode::Latch`].
-    cnt_latch: Vec<bool>,
+    pub(crate) cnt_latch: Vec<bool>,
     /// Boolean slot → element index (ascending element order, the fix-point sweep
     /// order of the reference stepper).
-    bool_elem: Vec<u32>,
+    pub(crate) bool_elem: Vec<u32>,
     /// Boolean slot → logic function.
-    bool_fn: Vec<BooleanFunction>,
+    pub(crate) bool_fn: Vec<BooleanFunction>,
     /// CSR offsets into [`Self::bool_preds`].
-    bool_pred_off: Vec<u32>,
+    pub(crate) bool_pred_off: Vec<u32>,
     /// Activation-port predecessors of each boolean gate, in connection order.
-    bool_preds: Vec<u32>,
+    pub(crate) bool_preds: Vec<u32>,
     /// Number of reporting elements.
-    reporting: usize,
+    pub(crate) reporting: usize,
 }
 
 /// Mutable execution state for one symbol stream over a [`CompiledNetwork`].
@@ -301,6 +309,23 @@ impl CompiledNetwork {
             sym_off.push(sym_candidates.len() as u32);
         }
 
+        // Symbol-class planes for the lane-parallel core: elements sharing a
+        // 256-bit symbol mask share a class, so a cycle's symbol groups are
+        // matched once per class instead of once per element. Classes are
+        // numbered in first-occurrence (ascending element) order, which the
+        // translation validator rebuilds and cross-checks.
+        let mut mask_class = vec![0u32; n];
+        let mut class_masks: Vec<[u64; 4]> = Vec::new();
+        let mut class_of: std::collections::HashMap<[u64; 4], u32> =
+            std::collections::HashMap::new();
+        for (idx, mask) in masks.iter().enumerate() {
+            let class = *class_of.entry(*mask).or_insert_with(|| {
+                class_masks.push(*mask);
+                (class_masks.len() - 1) as u32
+            });
+            mask_class[idx] = class;
+        }
+
         // Successor CSR, keeping only run-time-relevant edges.
         let mut succ_off = Vec::with_capacity(n + 1);
         succ_off.push(0u32);
@@ -330,6 +355,8 @@ impl CompiledNetwork {
         Ok(Self {
             n,
             masks,
+            mask_class,
+            class_masks,
             report_of,
             counter_slot_of,
             sym_off,
@@ -654,6 +681,23 @@ impl CompiledNetwork {
         Ok(old)
     }
 
+    /// Fault-injection hook for validator tests: flips the `symbol` bit in the
+    /// symbol-class plane that serves `element`'s lane-parallel matching.
+    ///
+    /// Like [`Self::inject_successor_fault`] this deliberately corrupts the
+    /// compiled image so translation-validator tests can prove corruption is
+    /// *detected*; never execute a faulted image. Note the plane is shared by
+    /// every element of the class — the validator pins its finding to the
+    /// lowest-indexed affected element.
+    pub fn inject_class_plane_fault(&mut self, element: usize, symbol: u8) -> ApResult<()> {
+        let class = *self
+            .mask_class
+            .get(element)
+            .ok_or(ApError::UnknownElement { id: element })? as usize;
+        self.class_masks[class][(symbol >> 6) as usize] ^= 1u64 << (symbol & 63);
+        Ok(())
+    }
+
     /// Snapshots `st` into the reference stepper's element-indexed layout:
     /// `(prev_active, counts, fired)`, each of length [`Self::len`].
     pub(crate) fn export_state(&self, st: &CompiledState) -> (Vec<bool>, Vec<u32>, Vec<bool>) {
@@ -869,6 +913,21 @@ impl CompiledNetworkView<'_> {
     /// Whether `symbol`'s candidate set is stored as a dense bitset.
     pub fn symbol_is_dense(&self, symbol: u8) -> bool {
         self.net.sym_dense_off[symbol as usize] != NO_SLOT
+    }
+
+    /// Number of symbol classes (distinct 256-bit symbol masks).
+    pub fn symbol_class_count(&self) -> usize {
+        self.net.class_masks.len()
+    }
+
+    /// The symbol-class id assigned to `element`.
+    pub fn symbol_class_of(&self, element: usize) -> u32 {
+        self.net.mask_class[element]
+    }
+
+    /// The shared 256-bit plane stored for symbol class `class`.
+    pub fn symbol_class_mask(&self, class: usize) -> [u64; 4] {
+        self.net.class_masks[class]
     }
 
     /// The decoded CSR successor edges of `element`, in the order the

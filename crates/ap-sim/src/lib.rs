@@ -51,6 +51,7 @@ pub mod device;
 pub mod dot;
 pub mod element;
 pub mod error;
+pub mod lanes;
 pub mod liveness;
 pub mod network;
 pub mod pcre;
@@ -64,6 +65,7 @@ pub use compiled::{CompiledEdge, CompiledNetwork, CompiledNetworkView, CompiledS
 pub use device::{ApGeneration, DeviceConfig};
 pub use element::{BooleanFunction, CounterMode, Element, ElementId, ElementKind, StartKind};
 pub use error::{ApError, ApResult};
+pub use lanes::{LaneReportEvent, LaneState, LaneStream, MAX_LANES};
 pub use liveness::{Bound, LivenessAnalysis};
 pub use network::{AutomataNetwork, ConnectPort, NetworkStats};
 pub use pcre::{CompiledPcre, PcreMatch, PcreOptions, PcreSet};

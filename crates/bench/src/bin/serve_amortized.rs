@@ -122,16 +122,25 @@ fn main() {
             .expect("first prepared batch");
         let first_batch_ms = started.elapsed().as_secs_f64() * 1e3;
 
-        let started = Instant::now();
+        // Steady state is repeatable (images stay compiled, scratch stays
+        // pooled), so take the best-of-reps mean to keep scheduler noise out
+        // of the recorded trajectory.
+        let steady_reps = if quick { 2 } else { 3 };
         let mut steady_results = Vec::new();
-        for queries in &query_batches[1..] {
-            steady_results.push(
-                prepared
-                    .try_search_batch(queries, &options)
-                    .expect("steady prepared batch"),
-            );
+        let mut steady_batch_ms = f64::INFINITY;
+        for _ in 0..steady_reps {
+            steady_results.clear();
+            let started = Instant::now();
+            for queries in &query_batches[1..] {
+                steady_results.push(
+                    prepared
+                        .try_search_batch(queries, &options)
+                        .expect("steady prepared batch"),
+                );
+            }
+            let mean_ms = started.elapsed().as_secs_f64() * 1e3 / (shape.batches - 1) as f64;
+            steady_batch_ms = steady_batch_ms.min(mean_ms);
         }
-        let steady_batch_ms = started.elapsed().as_secs_f64() * 1e3 / (shape.batches - 1) as f64;
 
         // Prepared answers must be bit-identical to the fresh path (the
         // workspace proptest enforces this in depth; the bench spot-checks it

@@ -1,20 +1,33 @@
 //! Simulator throughput tracking: naive reference stepper vs the compiled
 //! sparse-frontier core, and serial vs parallel partition execution.
 //!
-//! Emits `BENCH_sim.json` (a JSON array of experiment records) so the performance
-//! trajectory of the execution core is tracked from PR to PR, and prints a
-//! human-readable table. Pass `--quick` for the CI smoke configuration (smaller
-//! shapes, single repetition) and `--json` to additionally print the records as
-//! JSON lines.
+//! Merges its records into `BENCH_sim.json` (next to the `sim_lanes` section)
+//! so the performance trajectory of the execution core is tracked from PR to
+//! PR, and prints a human-readable table. All timings are best-of-reps to keep
+//! scheduler noise out of the recorded trajectory. Pass `--quick` for the CI
+//! smoke configuration (smaller shapes, fewer repetitions) and `--json` to
+//! additionally print the records as JSON lines.
 
 use ap_knn::capacity::CapacityModel;
 use ap_knn::{ApKnnEngine, BoardCapacity, KnnDesign, PartitionNetwork, StreamLayout};
 use ap_sim::ReferenceSimulator;
-use bench::{maybe_emit_json, ExperimentRecord};
+use bench::{maybe_emit_json, merge_records_into_file, ExperimentRecord};
 use binvec::generate::{uniform_dataset, uniform_queries};
 use binvec::QueryOptions;
-use std::io::Write;
 use std::time::Instant;
+
+/// Runs `body` `reps` times and returns the fastest wall-clock seconds.
+fn best_of<R>(reps: usize, mut body: impl FnMut() -> R) -> (f64, R) {
+    let mut best_s = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let r = body();
+        best_s = best_s.min(started.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best_s, last.expect("reps must be positive"))
+}
 
 /// One benchmark shape: a dataset/query geometry plus its per-board capacity.
 struct Shape {
@@ -80,6 +93,7 @@ fn shapes(quick: bool) -> Vec<Shape> {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let parallel_workers = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let reps = if quick { 2 } else { 4 };
     let mut records = Vec::new();
 
     println!(
@@ -101,27 +115,32 @@ fn main() {
         let total_symbols = (stream.len() * partitions.len()) as f64;
 
         // Naive reference stepper, serial over partitions.
-        let started = Instant::now();
-        let mut naive_reports = 0usize;
-        for partition in &partitions {
-            let pn = PartitionNetwork::build(partition, &design);
-            let mut sim = ReferenceSimulator::new(&pn.network).expect("valid partition network");
-            naive_reports += sim.run(&stream).len();
-        }
-        let naive_sps = total_symbols / started.elapsed().as_secs_f64();
+        let (naive_s, naive_reports) = best_of(reps, || {
+            let mut reports = 0usize;
+            for partition in &partitions {
+                let pn = PartitionNetwork::build(partition, &design);
+                let mut sim =
+                    ReferenceSimulator::new(&pn.network).expect("valid partition network");
+                reports += sim.run(&stream).len();
+            }
+            reports
+        });
+        let naive_sps = total_symbols / naive_s;
 
         // Compiled sparse-frontier core, serial over partitions, reusable sink.
-        let started = Instant::now();
-        let mut compiled_reports = 0usize;
         let mut sink = Vec::new();
-        for partition in &partitions {
-            let pn = PartitionNetwork::build(partition, &design);
-            let mut sim = pn.simulator().expect("valid partition network");
-            sink.clear();
-            sim.run_into(&stream, &mut sink);
-            compiled_reports += sink.len();
-        }
-        let compiled_sps = total_symbols / started.elapsed().as_secs_f64();
+        let (compiled_s, compiled_reports) = best_of(reps, || {
+            let mut reports = 0usize;
+            for partition in &partitions {
+                let pn = PartitionNetwork::build(partition, &design);
+                let mut sim = pn.simulator().expect("valid partition network");
+                sink.clear();
+                sim.run_into(&stream, &mut sink);
+                reports += sink.len();
+            }
+            reports
+        });
+        let compiled_sps = total_symbols / compiled_s;
         assert_eq!(
             naive_reports, compiled_reports,
             "the two cores must agree before their timings mean anything"
@@ -136,20 +155,22 @@ fn main() {
         let serial_engine = ApKnnEngine::new(design)
             .with_capacity(capacity)
             .with_parallelism(1);
-        let started = Instant::now();
-        let (serial_results, _) = serial_engine
-            .try_search_batch(&data, &queries, &options)
-            .expect("serial engine run");
-        let serial_s = started.elapsed().as_secs_f64();
+        let (serial_s, serial_results) = best_of(reps, || {
+            serial_engine
+                .try_search_batch(&data, &queries, &options)
+                .expect("serial engine run")
+                .0
+        });
 
         let parallel_engine = ApKnnEngine::new(design)
             .with_capacity(capacity)
             .with_parallelism(parallel_workers);
-        let started = Instant::now();
-        let (parallel_results, _) = parallel_engine
-            .try_search_batch(&data, &queries, &options)
-            .expect("parallel engine run");
-        let parallel_s = started.elapsed().as_secs_f64();
+        let (parallel_s, parallel_results) = best_of(reps, || {
+            parallel_engine
+                .try_search_batch(&data, &queries, &options)
+                .expect("parallel engine run")
+                .0
+        });
         assert_eq!(serial_results, parallel_results);
 
         println!(
@@ -181,12 +202,7 @@ fn main() {
         }
     }
 
-    let mut file = std::fs::File::create("BENCH_sim.json").expect("create BENCH_sim.json");
-    let body: Vec<String> = records
-        .iter()
-        .map(|r| format!("  {}", r.to_json()))
-        .collect();
-    writeln!(file, "[\n{}\n]", body.join(",\n")).expect("write BENCH_sim.json");
-    println!("wrote BENCH_sim.json ({} records)", records.len());
+    merge_records_into_file("BENCH_sim.json", &records).expect("merge BENCH_sim.json");
+    println!("merged {} records into BENCH_sim.json", records.len());
     maybe_emit_json(&records);
 }

@@ -123,8 +123,11 @@ fn sample_frame(seed: u64, kind: usize) -> Frame {
             wal_checkpoints: mix % 17,
             wal_replayed: mix % 513,
             wal_truncated_bytes: mix % 47,
+            lane_width: if mix.is_multiple_of(5) { 0 } else { 64 },
+            lane_batches: mix % 301,
             uptime_ms: (mix % 1_000_000) as f64 / 7.0,
             wal_group_mean: (mix % 64) as f64 / 4.0,
+            lane_fill: (mix % 65) as f64 / 64.0,
             queue_wait_ms: if mix.is_multiple_of(2) {
                 Some(((mix % 10) as f64, (mix % 100) as f64, (mix % 1000) as f64))
             } else {

@@ -92,8 +92,42 @@ proptest! {
             )
             .unwrap();
         prop_assert_eq!(&cycle.0, &behavioral.0);
-        prop_assert_eq!(cycle.1, behavioral.1);
+        // A 2-query batch clears the default lane threshold, so the forced
+        // cycle-accurate run reports lane gauges; everything else matches
+        // the behavioural accounting bit-for-bit.
+        prop_assert_eq!(cycle.1.lane_width, ap_sim::MAX_LANES);
+        prop_assert_eq!(cycle.1.lane_fill, 2.0 / ap_sim::MAX_LANES as f64);
+        let normalized = ap_knn::ApRunStats { lane_width: 0, lane_fill: 0.0, ..cycle.1 };
+        prop_assert_eq!(normalized, behavioral.1);
     }
+}
+
+/// A batch wider than one 64-lane pass splits into several passes that still
+/// agree bit-for-bit with the scalar window-per-query path — including lanes
+/// past the first pass (query 65+ demultiplexes through `lane_base`).
+#[test]
+fn multi_pass_lane_batches_match_the_scalar_path() {
+    let dims = 10;
+    let data = binvec::generate::uniform_dataset(40, dims, 90);
+    let queries = binvec::generate::uniform_queries(70, dims, 91);
+    let options = QueryOptions::top(5);
+    let design = KnnDesign::new(dims);
+    let laned = ApKnnEngine::new(design)
+        .with_capacity(capacity(12))
+        .prepare(&data)
+        .unwrap();
+    let scalar = ApKnnEngine::new(design)
+        .with_capacity(capacity(12))
+        .with_lane_threshold(usize::MAX)
+        .prepare(&data)
+        .unwrap();
+    let (lane_results, lane_stats) = laned.try_search_batch(&queries, &options).unwrap();
+    let (scalar_results, scalar_stats) = scalar.try_search_batch(&queries, &options).unwrap();
+    assert_eq!(lane_results, scalar_results);
+    assert_eq!(lane_stats.lane_width, ap_sim::MAX_LANES);
+    assert_eq!(lane_stats.lane_fill, 70.0 / 128.0);
+    assert_eq!(scalar_stats.lane_width, 0);
+    assert_eq!(lane_stats.reports, scalar_stats.reports);
 }
 
 #[test]
